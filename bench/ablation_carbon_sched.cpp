@@ -1,0 +1,128 @@
+// ABL-CARB — Carbon-aware scheduling vs. FCFS / backfill (Sec. II-A
+// strategy 1 at job granularity; the paper's citation [16]).
+//
+// The measured quantity is the accountant's *attributed* job carbon (job IT
+// energy x PUE x instantaneous grid intensity) — the Eq. 2 per-job e_i that
+// time-shifting actually moves. Facility base load (idle nodes, cooling)
+// runs regardless of job placement and would dilute the signal.
+//
+// Expected shape: flexible jobs scheduled carbon-aware emit measurably less
+// CO2 per GPU-hour than under FCFS/backfill at a bounded queue-wait cost,
+// and the fleet-level saving shrinks toward zero as the flexible fraction
+// goes to zero.
+
+#include <iostream>
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "sched/carbon_aware.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+struct Outcome {
+  double co2_per_gpuh_all = 0.0;       // attributed kg/GPU-h, all jobs
+  double job_mean_intensity = 0.0;     // mean per-job kgCO2/kWh, flexible jobs
+  double deferred_pct = 0.0;           // flexible jobs actually held
+  double wait_h = 0.0;
+  double completed_kgpuh = 0.0;
+};
+
+Outcome run_policy(core::PolicyKind policy, double flexible_scale) {
+  const util::MonthSpan start_span = util::month_span({2021, 4});
+  const util::MonthSpan end_span = util::month_span({2021, 6});
+
+  core::DatacenterConfig config;
+  config.start = start_span.start - util::days(7);
+  core::Datacenter dc(config, core::make_scheduler(policy));
+
+  // Moderate load: carbon-aware shifting needs capacity headroom to move
+  // work in time (Radovanovic et al. likewise shift within spare capacity);
+  // at saturation jobs run whenever GPUs free up regardless of policy.
+  workload::ArrivalConfig arrivals;
+  arrivals.base_rate_per_hour = 9.0;
+  for (workload::ClassProfile& p : arrivals.mix) p.flexible_probability *= flexible_scale;
+  dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+
+  dc.run_until(start_span.start);
+  dc.run_until(end_span.end);
+
+  Outcome out;
+  double co2_all = 0.0, gpuh_all = 0.0, intensity_sum = 0.0;
+  std::size_t flex_n = 0, flex_deferred = 0;
+  for (const telemetry::JobFootprint& fp : dc.accountant().all_jobs()) {
+    co2_all += fp.carbon.kilograms();
+    gpuh_all += fp.gpu_hours;
+    const cluster::Job& job = dc.jobs().get(fp.job);
+    if (job.request().flexible && job.state() == cluster::JobState::kCompleted) {
+      ++flex_n;
+      if ((job.start_time() - job.submit_time()).hours() > 0.3) ++flex_deferred;
+      intensity_sum += fp.carbon.kilograms() / fp.facility_energy.kilowatt_hours();
+    }
+  }
+  out.co2_per_gpuh_all = gpuh_all > 0.0 ? co2_all / gpuh_all : 0.0;
+  out.job_mean_intensity = flex_n > 0 ? intensity_sum / static_cast<double>(flex_n) : 0.0;
+  out.deferred_pct =
+      flex_n > 0 ? 100.0 * static_cast<double>(flex_deferred) / static_cast<double>(flex_n) : 0.0;
+  out.wait_h = dc.summary().mean_queue_wait_hours;
+  out.completed_kgpuh = dc.summary().completed_gpu_hours / 1000.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout,
+                     "ABL-CARB: carbon-aware scheduling vs FCFS/backfill (Apr-Jun 2021)");
+
+  std::cout << "Attributed job carbon (Eq. 2 per-job e_i; \"flexible intensity\" = mean\n"
+               "kgCO2/kWh experienced by a flexible job over its run):\n\n";
+  util::Table table({"policy", "all-jobs kg/GPU-h", "flexible intensity", "deferred %",
+                     "mean wait (h)", "completed kGPU-h", "flexible intensity saved %"});
+
+  Outcome fcfs_base;
+  double flexible_saving = 0.0;
+  for (const auto& [policy, label] :
+       std::vector<std::pair<core::PolicyKind, const char*>>{
+           {core::PolicyKind::kFcfs, "fcfs"},
+           {core::PolicyKind::kBackfill, "backfill"},
+           {core::PolicyKind::kCarbonAware, "carbon_aware"}}) {
+    const Outcome o = run_policy(policy, 1.0);
+    if (policy == core::PolicyKind::kFcfs) fcfs_base = o;
+    const double saving = 100.0 * (1.0 - o.job_mean_intensity / fcfs_base.job_mean_intensity);
+    if (policy == core::PolicyKind::kCarbonAware) flexible_saving = saving;
+    table.add(label, util::fmt_fixed(o.co2_per_gpuh_all, 4),
+              util::fmt_fixed(o.job_mean_intensity, 4), util::fmt_fixed(o.deferred_pct, 1),
+              util::fmt_fixed(o.wait_h, 2), util::fmt_fixed(o.completed_kgpuh, 1),
+              util::fmt_fixed(saving, 2));
+  }
+  std::cout << table;
+
+  // Flexibility ablation: the fleet-level saving must shrink as the
+  // flexible fraction goes to zero.
+  std::cout << "\nFleet-level saving vs flexibility of the workload mix:\n\n";
+  util::Table flex_table({"flexible mix", "carbon_aware all-jobs kg/GPU-h", "fcfs all-jobs",
+                          "saving %"});
+  double saving_full = 0.0, saving_none = 0.0;
+  for (double scale : {1.0, 0.5, 0.0}) {
+    const Outcome fcfs = run_policy(core::PolicyKind::kFcfs, scale);
+    const Outcome green = run_policy(core::PolicyKind::kCarbonAware, scale);
+    const double saving = 100.0 * (1.0 - green.co2_per_gpuh_all / fcfs.co2_per_gpuh_all);
+    if (scale == 1.0) saving_full = saving;
+    if (scale == 0.0) saving_none = saving;
+    flex_table.add("x" + util::fmt_fixed(scale, 1), util::fmt_fixed(green.co2_per_gpuh_all, 4),
+                   util::fmt_fixed(fcfs.co2_per_gpuh_all, 4), util::fmt_fixed(saving, 2));
+  }
+  std::cout << flex_table;
+
+  const bool shape_ok = flexible_saving > 2.0 && saving_full > saving_none + 0.1;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": carbon-aware cuts the carbon intensity flexible jobs run at by\n"
+               "          a few percent; fleet-level savings stay small single digits\n"
+               "          because long runs span beyond green windows (consistent with\n"
+               "          production carbon-aware deployments, the paper's ref. [16])\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// ABL-EQ1 — the paper's Eq. 1, solved on the digital twin.
+//
+//   min_{q_s, p, c}  E(q_d, q_s, p, c, eps)   s.t.   A(...) >= alpha
+//
+// Controls swept: the scheduler policy p (FCFS / EASY backfill /
+// carbon-aware / power-aware), the cluster-wide GPU power cap c, and the
+// enabled-node supply q_s. Each lattice point is one two-week twin run
+// (June 2021); E is metered facility energy, A is completed GPU-hours.
+// alpha is set to 97% of the uncontrolled baseline's activity — the paper's
+// "bare minimum performance level" below which savings become perverse.
+//
+// Expected shape: the optimizer lands on a tightened cap (not TDP) with a
+// work-conserving scheduler; over-tightened caps and heavy node shutdowns
+// violate the activity floor and are rejected.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+/// Applies a full ControlVector to a twin run and reports (E, A).
+core::Evaluation evaluate_controls(const core::ControlVector& cv) {
+  class ControlledScheduler final : public sched::Scheduler {
+   public:
+    ControlledScheduler(std::unique_ptr<sched::Scheduler> inner, util::Power cap)
+        : inner_(std::move(inner)), cap_(cap) {}
+    const char* name() const override { return inner_->name(); }
+    std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+      return inner_->select(ctx);
+    }
+    util::Power choose_cap(const sched::SchedulerContext& ctx) override {
+      // The swept cap is a ceiling; greener policies may tighten further.
+      return std::min(cap_, inner_->choose_cap(ctx));
+    }
+
+   private:
+    std::unique_ptr<sched::Scheduler> inner_;
+    util::Power cap_;
+  };
+
+  const util::MonthSpan june = util::month_span({2021, 6});
+  core::DatacenterConfig config;
+  config.start = june.start - util::days(5);
+  core::Datacenter dc(config,
+                      std::make_unique<ControlledScheduler>(core::make_scheduler(cv.policy),
+                                                            cv.power_cap));
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.run_until(june.start);
+  dc.run_until(june.start + util::days(14));
+
+  core::Evaluation e;
+  e.controls = cv;
+  e.energy = dc.summary().grid_totals.energy.kilowatt_hours();
+  e.activity = dc.summary().completed_gpu_hours;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout, "ABL-EQ1: min E s.t. A >= alpha over (policy, cap) controls");
+
+  // Baseline: uncontrolled (backfill, TDP, all nodes).
+  core::ControlVector baseline;
+  baseline.policy = core::PolicyKind::kBackfill;
+  baseline.power_cap = util::watts(250.0);
+  const core::Evaluation base_eval = evaluate_controls(baseline);
+  const double alpha = 0.97 * base_eval.activity;
+  std::cout << "baseline: E = " << util::fmt_fixed(base_eval.energy / 1000.0, 1)
+            << " MWh, A = " << util::fmt_fixed(base_eval.activity / 1000.0, 1)
+            << " kGPU-h; activity floor alpha = 97% of baseline\n\n";
+
+  // The control lattice: 4 policies x 5 caps (node sweep kept at full supply;
+  // the q_s dimension is exercised in tests — disabling nodes under this
+  // demand always violates alpha, which the optimizer correctly reports).
+  std::vector<core::ControlVector> lattice;
+  for (core::PolicyKind p : {core::PolicyKind::kFcfs, core::PolicyKind::kBackfill,
+                             core::PolicyKind::kCarbonAware, core::PolicyKind::kPowerAware}) {
+    for (double cap : {250.0, 225.0, 200.0, 175.0, 150.0}) {
+      core::ControlVector cv;
+      cv.policy = p;
+      cv.power_cap = util::watts(cap);
+      lattice.push_back(cv);
+    }
+  }
+
+  const core::OptimizationResult result =
+      core::grid_search(evaluate_controls, lattice, alpha, /*parallel=*/true);
+
+  // Print the frontier sorted by energy.
+  std::vector<core::Evaluation> evals = result.all;
+  std::sort(evals.begin(), evals.end(),
+            [](const core::Evaluation& a, const core::Evaluation& b) { return a.energy < b.energy; });
+  util::Table table({"controls", "E (MWh)", "A (kGPU-h)", "feasible", "E saved vs baseline %"});
+  for (const core::Evaluation& e : evals) {
+    table.add(e.controls.label(), util::fmt_fixed(e.energy / 1000.0, 1),
+              util::fmt_fixed(e.activity / 1000.0, 1), e.feasible(alpha) ? "yes" : "NO",
+              util::fmt_fixed(100.0 * (1.0 - e.energy / base_eval.energy), 2));
+  }
+  std::cout << table;
+
+  std::cout << "\nEq. 1 solution: " << result.best.controls.label() << " — E = "
+            << util::fmt_fixed(result.best.energy / 1000.0, 1) << " MWh ("
+            << util::fmt_fixed(100.0 * (1.0 - result.best.energy / base_eval.energy), 1)
+            << "% saved) at A = " << util::fmt_fixed(result.best.activity / 1000.0, 1)
+            << " kGPU-h (floor " << util::fmt_fixed(alpha / 1000.0, 1) << ")\n";
+
+  const bool shape_ok = result.found_feasible &&
+                        result.best.controls.power_cap.watts() < 250.0 &&
+                        result.best.energy < base_eval.energy;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": the constrained optimum tightens the cap below TDP and saves\n"
+               "          energy while holding the paper's activity floor\n";
+  return shape_ok ? 0 : 1;
+}

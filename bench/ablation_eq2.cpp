@@ -1,0 +1,130 @@
+// ABL-EQ2 — Eq. 2: per-user tailored power caps vs. across-the-board caps.
+//
+//   min_i e_i(q_d(i), ...)  s.t.  a_i >= alpha_i  for every user i
+//
+// "by tailoring energy minimization efforts to representative user profiles
+// and workloads, these mechanisms can reduce overall energy expenditure
+// selectively in ways that systematic hardware interventions cannot."
+//
+// Setup: every user i has a tolerated slowdown budget proportional to their
+// patience (their alpha_i). A uniform cluster cap must respect the *least*
+// patient user's budget, so it can only tighten a little. The tailored
+// policy caps each user's jobs at that user's own optimum. Expected shape:
+//   E(tailored) < E(uniform-feasible) < E(uncapped),
+// with no user's slowdown budget violated under tailoring.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "power/gpu_power.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+double slowdown_budget(const workload::UserProfile& user) {
+  // Patient users tolerate up to 12% slower jobs; impatient ones ~1%.
+  return 0.01 + 0.11 * user.patience;
+}
+
+struct Outcome {
+  double energy_mwh = 0.0;
+  double completed_kgpuh = 0.0;
+  double kwh_per_gpuh = 0.0;
+};
+
+Outcome run(const workload::UserPopulation& population, core::Datacenter::JobCapPolicy policy,
+            const power::GpuPowerModel& /*model*/) {
+  const util::MonthSpan may = util::month_span({2021, 5});
+  core::DatacenterConfig config;
+  config.start = may.start - util::days(5);
+  core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard(),
+                     &population);
+  if (policy) dc.set_job_cap_policy(std::move(policy));
+  dc.run_until(may.start);
+  dc.run_until(may.end);
+
+  Outcome out;
+  const core::RunSummary s = dc.summary();
+  out.energy_mwh = s.grid_totals.energy.megawatt_hours();
+  out.completed_kgpuh = s.completed_gpu_hours / 1000.0;
+  out.kwh_per_gpuh = s.grid_totals.energy.kilowatt_hours() / std::max(1.0, s.completed_gpu_hours);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout, "ABL-EQ2: per-user tailored caps vs across-the-board caps");
+
+  util::Rng pop_rng(2021);
+  workload::PopulationConfig pop_config;
+  pop_config.user_count = 200;
+  const workload::UserPopulation population =
+      workload::UserPopulation::generate(pop_config, pop_rng);
+
+  const power::GpuPowerModel model;
+
+  // The strictest user's budget pins the uniform cap.
+  double min_budget = 1.0;
+  for (const workload::UserProfile& u : population.users())
+    min_budget = std::min(min_budget, slowdown_budget(u));
+  const util::Power uniform_cap = model.optimal_cap(min_budget);
+
+  // Tailored policy: each job runs at its owner's optimum.
+  auto tailored = [&](const cluster::Job& job) -> std::optional<util::Power> {
+    const workload::UserProfile& user = population.user(job.request().user);
+    return model.optimal_cap(slowdown_budget(user));
+  };
+  // Uniform policy: everyone at the strictest-feasible cap.
+  auto uniform = [&](const cluster::Job&) -> std::optional<util::Power> {
+    return uniform_cap;
+  };
+
+  const Outcome uncapped = run(population, nullptr, model);
+  const Outcome uniform_out = run(population, uniform, model);
+  const Outcome tailored_out = run(population, tailored, model);
+
+  std::cout << "population: 200 users; slowdown budgets 1-12% by patience;\n"
+            << "uniform-feasible cap (strictest user binds): "
+            << util::fmt_fixed(uniform_cap.watts(), 0) << " W\n\n";
+
+  util::Table table({"policy", "facility MWh", "completed kGPU-h", "kWh per GPU-h",
+                     "energy saved %"});
+  for (const auto& [label, o] :
+       std::vector<std::pair<const char*, const Outcome*>>{{"uncapped", &uncapped},
+                                                           {"uniform (Eq. 1 style)", &uniform_out},
+                                                           {"tailored (Eq. 2)", &tailored_out}}) {
+    table.add(label, util::fmt_fixed(o->energy_mwh, 1), util::fmt_fixed(o->completed_kgpuh, 1),
+              util::fmt_fixed(o->kwh_per_gpuh, 3),
+              util::fmt_fixed(100.0 * (1.0 - o->kwh_per_gpuh / uncapped.kwh_per_gpuh), 2));
+  }
+  std::cout << table;
+
+  // Per-user guarantee: every tailored cap respects its owner's budget by
+  // construction of optimal_cap; print the distribution of assigned caps.
+  std::array<int, 4> cap_histogram{};  // <170 / 170-200 / 200-230 / >=230
+  for (const workload::UserProfile& u : population.users()) {
+    const double w = model.optimal_cap(slowdown_budget(u)).watts();
+    if (w < 170.0) ++cap_histogram[0];
+    else if (w < 200.0) ++cap_histogram[1];
+    else if (w < 230.0) ++cap_histogram[2];
+    else ++cap_histogram[3];
+  }
+  std::cout << "\ntailored cap distribution: <170W: " << cap_histogram[0]
+            << " | 170-200W: " << cap_histogram[1] << " | 200-230W: " << cap_histogram[2]
+            << " | >=230W: " << cap_histogram[3] << "\n";
+
+  const bool shape_ok = tailored_out.kwh_per_gpuh < uniform_out.kwh_per_gpuh &&
+                        uniform_out.kwh_per_gpuh < uncapped.kwh_per_gpuh &&
+                        tailored_out.completed_kgpuh > 0.97 * uncapped.completed_kgpuh;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": tailoring to per-user floors saves more energy than any\n"
+               "          across-the-board cap that respects every user — the paper's\n"
+               "          case for micro-level (Eq. 2) over macro-level (Eq. 1) control\n";
+  return shape_ok ? 0 : 1;
+}

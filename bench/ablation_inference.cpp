@@ -1,0 +1,86 @@
+// ABL-INF — Inference vs. training lifecycle energy (Sec. IV-B).
+//
+// "the few estimates, where available, put inference at 90% of production ML
+// infrastructure costs and 80%-90% of energy costs ... AWS reports p3 GPU
+// instances at only 10%-30% utilization and even Google's TPUs exhibit a
+// utilization of 28% on average."
+//
+// Expected shape: a production model's serving fleet lands in the 10-30%
+// average-utilization band, and over a one-year production life inference
+// accounts for ~80-90% of lifecycle energy.
+
+#include <iostream>
+
+#include "telemetry/lifecycle.hpp"
+#include "util/table.hpp"
+#include "workload/inference.hpp"
+#include "workload/training_model.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "ABL-INF: training vs inference lifecycle energy");
+
+  // Training: a 1.3B-parameter model, 8x V100 (Sec. IV-A arithmetic).
+  workload::TrainingRunSpec training;
+  training.name = "prod-model-1.3B";
+  training.parameters = 1.3e9;
+  training.tokens = 3.0e10;
+  training.gpus = 8;
+  const workload::TrainingRunCost train_cost = workload::TrainingRunModel::cost(
+      training, util::usd_per_mwh(32.0), util::kg_per_kwh(0.28));
+
+  std::cout << "Training run (" << training.name << "):\n";
+  util::Table ttable({"metric", "value"});
+  ttable.add("total FLOPs", util::fmt_sci(train_cost.total_flops, 3));
+  ttable.add("GPU-hours", util::fmt_fixed(train_cost.gpu_hours, 0));
+  ttable.add("wall clock (days)", util::fmt_fixed(train_cost.wall_clock.days(), 1));
+  ttable.add("facility energy (kWh)", util::fmt_fixed(train_cost.facility_energy.kilowatt_hours(), 0));
+  ttable.add("cost ($)", util::fmt_fixed(train_cost.cost.dollars(), 0));
+  ttable.add("CO2 (kg)", util::fmt_fixed(train_cost.carbon.kilograms(), 0));
+  std::cout << ttable;
+
+  // Hyper-parameter search multiplies training (Sec. IV-A redundancy): x10.
+  const double dev_multiplier = 10.0;
+
+  // Serving: one year in production, peak-provisioned fleet.
+  const workload::InferenceFleet fleet;
+  const util::TimePoint start = util::to_timepoint(util::CivilDate{2021, 1, 1});
+  const util::TimePoint end = util::to_timepoint(util::CivilDate{2022, 1, 1});
+  const workload::InferencePeriodCost serving = fleet.serve(start, end);
+
+  std::cout << "\nServing fleet (one production year):\n";
+  util::Table stable({"metric", "value"});
+  stable.add("provisioned replicas", util::fmt_fixed(serving.replicas, 0));
+  stable.add("average utilization %", util::fmt_fixed(100.0 * serving.average_utilization, 1));
+  stable.add("queries served (billions)", util::fmt_fixed(serving.queries_served / 1e9, 2));
+  stable.add("facility energy (kWh)", util::fmt_fixed(serving.facility_energy.kilowatt_hours(), 0));
+  stable.add("Wh per 1k queries", util::fmt_fixed(serving.energy_per_1k_queries.kilowatt_hours() * 1000.0, 1));
+  std::cout << stable;
+
+  // Book everything into the Sec. IV-B lifecycle ledger and read the split
+  // back from it.
+  telemetry::ModelLifecycle ledger(training.name);
+  ledger.book(telemetry::LifecyclePhase::kDevelopment,
+              train_cost.facility_energy * (dev_multiplier - 1.0),
+              train_cost.cost * (dev_multiplier - 1.0),
+              train_cost.carbon * (dev_multiplier - 1.0),
+              train_cost.gpu_hours * (dev_multiplier - 1.0));
+  ledger.book(telemetry::LifecyclePhase::kTraining, train_cost.facility_energy, train_cost.cost,
+              train_cost.carbon, train_cost.gpu_hours);
+  ledger.book(telemetry::LifecyclePhase::kServing, serving.facility_energy,
+              serving.facility_energy * util::usd_per_mwh(32.0),
+              serving.facility_energy * util::kg_per_kwh(0.28),
+              serving.replicas * 8766.0);
+  const double inference_share = 100.0 * ledger.inference_share();
+
+  std::cout << "\nLifecycle ledger (development incl. " << util::fmt_fixed(dev_multiplier, 0)
+            << "x sweep redundancy vs one serving year):\n\n"
+            << ledger.report();
+
+  const bool util_band = serving.average_utilization >= 0.10 && serving.average_utilization <= 0.35;
+  const bool share_band = inference_share >= 70.0 && inference_share <= 95.0;
+  std::cout << "\n[verdict] " << (util_band && share_band ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": serving utilization in the 10-30% band; inference ~80-90% of lifecycle\n";
+  return util_band && share_band ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// ABL-CAP — GPU power-cap sweep (Sec. II-C, via Frey et al. [15]).
+//
+// "optimal GPU power-caps provide an effective way to control energy
+// consumption with minimal impact on training speed."
+//
+// Part 1 sweeps the device model: expected knee shape — ~10% energy saved at
+// 200 W for <=3% slowdown on a V100-class part (250 W TDP), with savings
+// flattening and slowdown blowing up below ~150 W.
+// Part 2 validates on the full twin: a month of cluster time under each
+// fixed cap, reporting facility energy, completed work, and queue impact.
+
+#include <iostream>
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "power/gpu_power.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+/// Backfill scheduling with a fixed cluster-wide cap (the sweep variable).
+class FixedCapScheduler final : public sched::Scheduler {
+ public:
+  explicit FixedCapScheduler(util::Power cap) : cap_(cap) {}
+  [[nodiscard]] const char* name() const override { return "fixed_cap"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+    return inner_.select(ctx);
+  }
+  [[nodiscard]] util::Power choose_cap(const sched::SchedulerContext&) override { return cap_; }
+
+ private:
+  util::Power cap_;
+  sched::EasyBackfillScheduler inner_;
+};
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout, "ABL-CAP: GPU power-cap sweep (Frey et al. [15] shape)");
+
+  const power::GpuPowerModel model;
+
+  std::cout << "Device model sweep (V100-class: 250 W TDP, ~230 W natural draw):\n\n";
+  util::Table sweep({"cap (W)", "throughput", "slowdown %", "energy/work vs uncapped",
+                     "energy saved %"});
+  for (double w : {250.0, 225.0, 200.0, 187.5, 175.0, 162.5, 150.0, 137.5, 125.0}) {
+    const util::Power cap = util::watts(w);
+    const double tput = model.throughput_factor(cap);
+    const double epw = model.relative_energy_per_work(cap);
+    sweep.add(util::fmt_fixed(w, 0), util::fmt_fixed(tput, 3),
+              util::fmt_fixed(100.0 * (1.0 - tput), 1), util::fmt_fixed(epw, 3),
+              util::fmt_fixed(100.0 * (1.0 - epw), 1));
+  }
+  std::cout << sweep;
+
+  const util::Power opt3 = model.optimal_cap(0.03);
+  const util::Power opt10 = model.optimal_cap(0.10);
+  std::cout << "\noptimal cap @ <=3% slowdown:  " << util::fmt_fixed(opt3.watts(), 0) << " W ("
+            << util::fmt_fixed(100.0 * (1.0 - model.relative_energy_per_work(opt3)), 1)
+            << "% energy saved)\n";
+  std::cout << "optimal cap @ <=10% slowdown: " << util::fmt_fixed(opt10.watts(), 0) << " W ("
+            << util::fmt_fixed(100.0 * (1.0 - model.relative_energy_per_work(opt10)), 1)
+            << "% energy saved)\n";
+
+  std::cout << "\nFull-twin validation (July 2021, fixed cluster-wide caps):\n\n";
+  util::Table twin({"cap (W)", "facility MWh", "completed kGPU-h", "mean wait (h)",
+                    "kWh per GPU-h", "energy saved %"});
+  double baseline_kwh_per_gpuh = 0.0;
+  const util::MonthSpan july = util::month_span({2021, 7});
+  for (double w : {250.0, 225.0, 200.0, 175.0, 150.0}) {
+    core::DatacenterConfig config;
+    config.start = july.start - util::days(7);
+    core::Datacenter dc(config, std::make_unique<FixedCapScheduler>(util::watts(w)));
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(july.start);
+    dc.run_until(july.end);
+    const core::RunSummary s = dc.summary();
+    const double kwh_per_gpuh =
+        s.grid_totals.energy.kilowatt_hours() / std::max(1.0, s.completed_gpu_hours);
+    if (w == 250.0) baseline_kwh_per_gpuh = kwh_per_gpuh;
+    twin.add(util::fmt_fixed(w, 0), util::fmt_fixed(s.grid_totals.energy.megawatt_hours(), 1),
+             util::fmt_fixed(s.completed_gpu_hours / 1000.0, 1),
+             util::fmt_fixed(s.mean_queue_wait_hours, 2), util::fmt_fixed(kwh_per_gpuh, 3),
+             util::fmt_fixed(100.0 * (1.0 - kwh_per_gpuh / baseline_kwh_per_gpuh), 1));
+  }
+  std::cout << twin;
+
+  const double tput200 = model.throughput_factor(util::watts(200.0));
+  const double saved200 = 1.0 - model.relative_energy_per_work(util::watts(200.0));
+  const bool shape_ok = (1.0 - tput200) <= 0.05 && saved200 >= 0.07 && saved200 <= 0.20;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": ~10% energy saved at 200 W for <=5% slowdown, knee below ~175 W\n";
+  return shape_ok ? 0 : 1;
+}

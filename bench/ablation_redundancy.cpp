@@ -1,0 +1,74 @@
+// ABL-REDUN — redundancy & reproducibility waste (Sec. IV-A).
+//
+// "problems with reproducibility of research only compound these
+// redundancies as (multiple) attempts at replication also waste resources
+// and energy." The model prices that waste: reproduction attempts are
+// geometric in the field's effective reproducibility rate; avoidable
+// hyper-parameter re-search scales with unreported settings. Expected shape:
+// wasted energy falls monotonically (and steeply at first) as reporting
+// lifts the reproduction rate — the quantified case for the paper's
+// measurement/reporting agenda.
+
+#include <iostream>
+
+#include "util/table.hpp"
+#include "workload/redundancy.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "ABL-REDUN: the energy price of irreproducibility");
+
+  workload::RedundancyParams params;  // 1.3B-param run, 30-config sweep
+
+  std::cout << "Per-project expectation vs reporting quality. Reporting moves BOTH\n"
+               "levers: the reproduction success rate (clear settings) and the\n"
+               "avoidable share of the hyper-parameter sweep (published search):\n\n";
+  util::Table table({"reporting", "repro rate", "avoidable sweep", "expected attempts",
+                     "failed runs", "wasted kWh/project", "waste fraction %"});
+  struct Scenario {
+    const char* label;
+    double rate;
+    double avoidable;
+  };
+  double waste_poor = 0.0, waste_excellent = 0.0;
+  for (const Scenario& s : {Scenario{"poor", 0.2, 0.6}, Scenario{"typical", 0.4, 0.5},
+                            Scenario{"good", 0.7, 0.25}, Scenario{"excellent", 0.95, 0.05}}) {
+    workload::RedundancyParams at = params;
+    at.reproduction_success_rate = s.rate;
+    at.avoidable_sweep_fraction = s.avoidable;
+    const workload::ProjectWaste waste = workload::project_waste(at);
+    if (s.rate == 0.2) waste_poor = waste.wasted.kilowatt_hours();
+    if (s.rate == 0.95) waste_excellent = waste.wasted.kilowatt_hours();
+    table.add(s.label, util::fmt_fixed(s.rate, 2), util::fmt_fixed(s.avoidable, 2),
+              util::fmt_fixed(waste.expected_attempts, 2),
+              util::fmt_fixed(waste.expected_failed_runs, 2),
+              util::fmt_fixed(waste.wasted.kilowatt_hours(), 0),
+              util::fmt_fixed(100.0 * waste.waste_fraction(), 1));
+  }
+  std::cout << table;
+
+  // Community scale: one NeurIPS-cycle's worth of projects.
+  const workload::CommunityWaste community = workload::community_waste(
+      params, /*projects=*/9000.0, util::usd_per_mwh(32.0), util::kg_per_kwh(0.28));
+  std::cout << "\nCommunity scale (9,000 projects/cycle at the default rate "
+            << util::fmt_fixed(params.reproduction_success_rate, 2) << "):\n";
+  std::cout << "  wasted energy: " << util::fmt_fixed(community.wasted.megawatt_hours(), 0)
+            << " MWh  |  CO2: " << util::fmt_fixed(community.wasted_carbon.metric_tons(), 0)
+            << " t  |  cost: $" << util::fmt_fixed(community.wasted_cost.dollars(), 0) << "\n";
+
+  // The reporting dividend (Sec. IV-B's agenda, priced).
+  const util::Energy dividend = workload::reporting_dividend(params, 0.9);
+  std::cout << "\nReporting dividend per project (rate 0.40 -> 0.90 plus published\n"
+               "settings eliminating avoidable sweep): "
+            << util::fmt_fixed(dividend.kilowatt_hours(), 0) << " kWh ("
+            << util::fmt_fixed(100.0 * dividend.kilowatt_hours() /
+                                   workload::project_waste(params).wasted.kilowatt_hours(),
+                               1)
+            << "% of current waste recovered)\n";
+
+  const bool shape_ok = waste_poor > 2.0 * waste_excellent && dividend.kilowatt_hours() > 0.0;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": waste falls steeply as reporting lifts reproducibility\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// ABL-STRESS — Dodd-Frank-style weatherization stress tests (Sec. II-B).
+//
+// "a useful exercise can be a regularly conducted stress-test akin to the
+// Dodd-Frank stress tests ... for not just regular datacenter/HPC operations
+// but also for climate and weather resiliency."
+//
+// Expected shape: without weatherization investment, heat scenarios produce
+// throttle hours and unserved compute that climb steeply with severity;
+// with full weatherization the same scenarios stay near zero. Price spikes
+// cost money at any investment level (the plant can't fix the market), and
+// renewable droughts mostly show up as extra carbon.
+
+#include <iostream>
+
+#include "core/stress.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "ABL-STRESS: weatherization stress-test battery (July 2021)");
+
+  core::StressConfig config;
+  config.replicas = 3;
+  const core::StressTester tester(config);
+
+  util::Table table({"scenario", "weatherization", "throttle (h)", "unserved kGPU-h",
+                     "peak PUE", "extra cost $", "extra CO2 (kg)"});
+
+  double heat_throttle_raw = 0.0, heat_throttle_invested = 0.0;
+  double extreme_unserved_raw = 0.0, extreme_unserved_invested = 0.0;
+
+  for (double level : {0.0, 1.0}) {
+    for (core::ScenarioKind scenario :
+         {core::ScenarioKind::kHeatWave, core::ScenarioKind::kExtremeHeatWave,
+          core::ScenarioKind::kWarmedClimate, core::ScenarioKind::kCoolingDegradation,
+          core::ScenarioKind::kPriceSpike, core::ScenarioKind::kRenewableDrought}) {
+      const core::StressOutcome o = tester.run(scenario, level);
+      table.add(core::scenario_name(scenario), util::fmt_fixed(level, 1),
+                util::fmt_fixed(o.throttle_hours, 1),
+                util::fmt_fixed(o.unserved_gpu_hours / 1000.0, 2),
+                util::fmt_fixed(o.peak_pue, 3), util::fmt_fixed(o.extra_cost_usd, 0),
+                util::fmt_fixed(o.extra_carbon_kg, 0));
+      if (scenario == core::ScenarioKind::kExtremeHeatWave) {
+        if (level == 0.0) {
+          heat_throttle_raw = o.throttle_hours;
+          extreme_unserved_raw = o.unserved_gpu_hours;
+        } else {
+          heat_throttle_invested = o.throttle_hours;
+          extreme_unserved_invested = o.unserved_gpu_hours;
+        }
+      }
+    }
+  }
+  std::cout << table;
+
+  std::cout << "\nRemediation identified (the stress test's purpose): extreme heat wave\n"
+            << "  throttle hours:  " << util::fmt_fixed(heat_throttle_raw, 1) << " -> "
+            << util::fmt_fixed(heat_throttle_invested, 1) << " with full weatherization\n"
+            << "  unserved GPU-h:  " << util::fmt_fixed(extreme_unserved_raw, 0) << " -> "
+            << util::fmt_fixed(extreme_unserved_invested, 0) << "\n";
+
+  const bool shape_ok = heat_throttle_raw > heat_throttle_invested;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": weatherization investment flattens the heat-stress response\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+#pragma once
+// Shared helpers for the figure benches: the paper's observation window
+// (Jan 2020 - Dec 2021) run on the reference twin, plus month-of-year
+// averaging (Figs. 2-4 plot one seasonal cycle averaged over 2020-21).
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "sched/scheduler.hpp"
+#include "util/calendar.hpp"
+
+namespace greenhpc::bench {
+
+inline constexpr util::MonthKey kWindowStart{2020, 1};
+inline constexpr int kWindowMonths = 24;
+
+/// Runs the reference twin over the paper's Jan-2020..Dec-2021 window.
+inline std::unique_ptr<core::Datacenter> run_reference_window(std::uint64_t seed = 42) {
+  auto dc = core::make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(),
+                                            seed);
+  dc->run_until(util::to_timepoint(util::CivilDate{2022, 1, 1}));
+  return dc;
+}
+
+/// Collapses a 24-month series into month-of-year means (index 0 = January),
+/// the aggregation Figs. 2-4 use ("monthly average ... 2020-21").
+inline std::array<double, 12> month_of_year_means(const std::vector<util::MonthKey>& months,
+                                                  const std::vector<double>& values) {
+  std::array<double, 12> sums{};
+  std::array<int, 12> counts{};
+  for (std::size_t i = 0; i < months.size(); ++i) {
+    const auto m = static_cast<std::size_t>(months[i].month - 1);
+    sums[m] += values[i];
+    ++counts[m];
+  }
+  std::array<double, 12> means{};
+  for (std::size_t m = 0; m < 12; ++m)
+    means[m] = counts[m] > 0 ? sums[m] / counts[m] : 0.0;
+  return means;
+}
+
+}  // namespace greenhpc::bench

@@ -1,0 +1,75 @@
+// EXT-DOMAIN — per-domain energy breakdown (the paper's stated future work).
+//
+// Sec. III: "We hope that future work will undertake a finer analysis,
+// accounting for details such as workload type, type of research activity
+// represented, breakdown of activity and energy use by domain (e.g. NLP)."
+//
+// Jobs are domain-tagged from the deadline-modulated area mix; the
+// accountant rolls facility energy up by domain per month. Expected shape:
+// the General-ML + NLP share of attributed energy peaks in the run-up to the
+// spring-2021 NeurIPS/EMNLP deadlines relative to the preceding winter.
+
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "core/datacenter.hpp"
+#include "util/table.hpp"
+#include "workload/conferences.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "EXT: energy breakdown by research domain (Jan-Jun 2021)");
+
+  const util::TimePoint start = util::to_timepoint(util::CivilDate{2021, 1, 1});
+
+  core::DatacenterConfig config;
+  config.start = start - util::days(7);
+  core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.run_until(start);
+
+  // Month-by-month: run a month, snapshot the per-domain ledger, diff.
+  std::array<double, 5> prev{};
+  util::Table table({"month", "NLP/Speech kWh", "CV kWh", "Robotics kWh", "GeneralML kWh",
+                     "DataMining kWh", "ML+NLP share %"});
+  std::map<int, double> mlnlp_share_by_month;
+  for (int month = 1; month <= 6; ++month) {
+    dc.run_until(util::month_span({2021, month}).end);
+    std::array<double, 5> now{};
+    for (const auto& [domain, energy] : dc.accountant().by_domain()) {
+      if (domain < 5) now[domain] += energy.kilowatt_hours();
+    }
+    std::array<double, 5> delta{};
+    double total = 0.0;
+    for (std::size_t a = 0; a < 5; ++a) {
+      delta[a] = now[a] - prev[a];
+      total += delta[a];
+    }
+    prev = now;
+    const double mlnlp =
+        100.0 *
+        (delta[static_cast<std::size_t>(workload::Area::kGeneralMl)] +
+         delta[static_cast<std::size_t>(workload::Area::kNlpSpeech)]) /
+        total;
+    mlnlp_share_by_month[month] = mlnlp;
+    table.add(util::month_name(month), util::fmt_fixed(delta[0], 0),
+              util::fmt_fixed(delta[1], 0), util::fmt_fixed(delta[2], 0),
+              util::fmt_fixed(delta[3], 0), util::fmt_fixed(delta[4], 0),
+              util::fmt_fixed(mlnlp, 1));
+  }
+  std::cout << table;
+
+  const double winter = (mlnlp_share_by_month[1] + mlnlp_share_by_month[2]) / 2.0;
+  const double spring = (mlnlp_share_by_month[4] + mlnlp_share_by_month[5]) / 2.0;
+  std::cout << "\nML+NLP energy share: Jan-Feb " << util::fmt_fixed(winter, 1)
+            << "% vs Apr-May " << util::fmt_fixed(spring, 1)
+            << "% (NeurIPS May 26 / EMNLP May 17 run-up)\n";
+
+  const bool shape_ok = spring > winter + 1.0;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": the domain breakdown resolves which communities drive the\n"
+               "          spring demand ramp — the paper's requested finer analysis\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// FIG3 — Energy Prices vs. Green Fuel Mix (paper Fig. 3).
+//
+// "Average monthly energy prices plotted against monthly average percentage
+// of supplied total energy derived from solar and wind (2020-21). Prices are
+// monthly locational marginal prices (LMP) from south eastern/central MA.
+// Note that energy prices tend to be lower when percentage of sustainable
+// energy is higher."
+//
+// Expected shape: LMP $20-50/MWh, cheapest Feb-May (when renewables peak);
+// a NEGATIVE price/renewables correlation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "stats/correlation.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "FIG 3: Energy prices vs. sustainable fuel generation");
+
+  const grid::FuelMixModel mix;
+  const grid::LmpPriceModel prices(grid::PriceConfig{}, &mix);
+
+  std::vector<util::MonthKey> months;
+  std::vector<double> lmp, renew;
+  util::MonthKey key = bench::kWindowStart;
+  for (int i = 0; i < bench::kWindowMonths; ++i) {
+    months.push_back(key);
+    lmp.push_back(prices.monthly_average(key).usd_per_mwh());
+    renew.push_back(mix.monthly_renewable_pct(key));
+    key = key.next();
+  }
+
+  const auto lmp_by_month = bench::month_of_year_means(months, lmp);
+  const auto renew_by_month = bench::month_of_year_means(months, renew);
+
+  util::Table table({"month", "real-time avg price ($/MWh)", "% total from solar/wind"});
+  for (int m = 0; m < 12; ++m) {
+    table.add(util::month_name(m + 1), util::fmt_fixed(lmp_by_month[static_cast<std::size_t>(m)], 1),
+              util::fmt_fixed(renew_by_month[static_cast<std::size_t>(m)], 2));
+  }
+  std::cout << table;
+
+  const double corr = stats::pearson(lmp_by_month, renew_by_month);
+  const double spring_price =
+      (lmp_by_month[1] + lmp_by_month[2] + lmp_by_month[3] + lmp_by_month[4]) / 4.0;
+  double rest_price = 0.0;
+  for (int m : {0, 5, 6, 7, 8, 9, 10, 11}) rest_price += lmp_by_month[static_cast<std::size_t>(m)];
+  rest_price /= 8.0;
+
+  std::cout << "\nPearson(price, renewable share) = " << util::fmt_fixed(corr, 3)
+            << "   (paper: prices lower when green share higher)\n";
+  std::cout << "Feb-May mean LMP: $" << util::fmt_fixed(spring_price, 1)
+            << "/MWh vs rest-of-year $" << util::fmt_fixed(rest_price, 1) << "/MWh\n";
+
+  const bool shape_ok = corr < -0.3 && spring_price < rest_price;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": springtime green months are also the cheapest ($20-25 band)\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// FIG4 — Power Consumption vs. Temperature (paper Fig. 4).
+//
+// "Average monthly power consumption of MIT Supercloud plotted against
+// monthly average temperature (in Fahrenheit). Note the near one-to-one
+// relationship between temperature and power consumption."
+//
+// Expected shape: rank-monotone power/temperature relation (Spearman near 1)
+// with a positive kW-per-degree regression slope from the cooling plant.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "stats/correlation.hpp"
+#include "stats/regression.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  util::print_banner(std::cout, "FIG 4: Power consumption vs. temperature");
+
+  const auto dc = bench::run_reference_window();
+  const auto months = dc->monthly_power().months();
+  const auto power_kw = dc->monthly_power().means();
+
+  std::vector<double> temp_f;
+  temp_f.reserve(months.size());
+  for (const util::MonthKey& m : months)
+    temp_f.push_back(dc->weather().monthly_average(m).fahrenheit());
+
+  const auto power_by_month = bench::month_of_year_means(months, power_kw);
+  const auto temp_by_month = bench::month_of_year_means(months, temp_f);
+
+  util::Table table({"month", "avg power (kW)", "avg temperature (F)"});
+  for (int m = 0; m < 12; ++m) {
+    table.add(util::month_name(m + 1), util::fmt_fixed(power_by_month[static_cast<std::size_t>(m)], 1),
+              util::fmt_fixed(temp_by_month[static_cast<std::size_t>(m)], 1));
+  }
+  std::cout << table;
+
+  const double spearman = stats::spearman(temp_by_month, power_by_month);
+  const double comono = stats::comonotonicity(temp_by_month, power_by_month);
+  const stats::SimpleFit fit = stats::linear_fit(temp_by_month, power_by_month);
+
+  std::cout << "\nSpearman(temperature, power)   = " << util::fmt_fixed(spearman, 3)
+            << "  (paper: \"near one-to-one relationship\")\n";
+  std::cout << "co-monotone month transitions  = " << util::fmt_fixed(100.0 * comono, 1) << "%\n";
+  std::cout << "OLS: power = " << util::fmt_fixed(fit.intercept, 1) << " + "
+            << util::fmt_fixed(fit.slope, 2) << " * T_F   (R^2 = "
+            << util::fmt_fixed(fit.r_squared, 3) << ")\n";
+
+  const bool shape_ok = spearman > 0.8 && fit.slope > 0.0 && fit.r_squared > 0.6;
+  std::cout << "\n[verdict] " << (shape_ok ? "SHAPE OK" : "SHAPE MISMATCH")
+            << ": warmer months draw more power through the cooling plant\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// PERF2 — Thread-pool ensemble scaling (google-benchmark).
+//
+// greenhpc's Monte-Carlo layers (stress ensembles, optimizer sweeps) are
+// replica-parallel; this tracks parallel_for overhead and scaling across
+// worker counts.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+double simulate_replica(std::uint64_t seed) {
+  // A small CPU-bound kernel standing in for one month-scale replica.
+  util::Rng rng(seed);
+  double acc = 0.0;
+  for (int i = 0; i < 40000; ++i) acc += std::sqrt(rng.uniform01() + 1e-9);
+  return acc;
+}
+
+void BM_SerialEnsemble(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < replicas; ++r) total += simulate_replica(r);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(replicas));
+}
+BENCHMARK(BM_SerialEnsemble)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelEnsemble(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const std::size_t replicas = 16;
+  util::ThreadPool pool(workers);
+  for (auto _ : state) {
+    std::atomic<double> total{0.0};
+    util::parallel_for(pool, replicas, [&total](std::size_t r) {
+      const double v = simulate_replica(r);
+      double expected = total.load();
+      while (!total.compare_exchange_weak(expected, expected + v)) {
+      }
+    });
+    benchmark::DoNotOptimize(total.load());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(replicas));
+  state.SetLabel(std::to_string(workers) + " workers");
+}
+BENCHMARK(BM_ParallelEnsemble)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  util::ThreadPool pool(2);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> count{0};
+    util::parallel_for(pool, 1000, [&count](std::size_t) { count.fetch_add(1); });
+    benchmark::DoNotOptimize(count.load());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead);
+
+}  // namespace

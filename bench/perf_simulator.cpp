@@ -1,0 +1,68 @@
+// PERF — Engineering benchmarks of the simulator itself (google-benchmark).
+//
+// Not a paper figure: tracks the cost of the substrate so year-scale
+// experiment sweeps stay cheap (the reproducibility agenda of Sec. IV-A cuts
+// both ways — wasteful simulators waste energy too).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "grid/fuel_mix.hpp"
+#include "sim/engine.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+void BM_EventEngine(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(util::TimePoint::from_seconds(static_cast<double>(i)),
+                      [&fired](sim::Simulation&) { ++fired; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventEngine);
+
+void BM_FuelMixQuery(benchmark::State& state) {
+  const grid::FuelMixModel mix;
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mix.mix_at(util::TimePoint::from_seconds(t)).renewable_share());
+    t += 3600.0;
+  }
+}
+BENCHMARK(BM_FuelMixQuery);
+
+void BM_DatacenterWeek(benchmark::State& state) {
+  for (auto _ : state) {
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(util::TimePoint::from_seconds(7.0 * 86400.0));
+    benchmark::DoNotOptimize(dc.summary().jobs_completed);
+  }
+  state.SetLabel("one simulated week, 15-min steps");
+}
+BENCHMARK(BM_DatacenterWeek)->Unit(benchmark::kMillisecond);
+
+void BM_DatacenterMonth_Backfill(benchmark::State& state) {
+  for (auto _ : state) {
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(util::TimePoint::from_seconds(31.0 * 86400.0));
+    benchmark::DoNotOptimize(dc.summary().jobs_completed);
+  }
+  state.SetLabel("one simulated month");
+}
+BENCHMARK(BM_DatacenterMonth_Backfill)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,113 @@
+// wind_forecast — A.I. for energy generation (Sec. IV-C).
+//
+// "DeepMind has developed neural networks trained on weather forecasts and
+// historical turbine data to forecast energy output 36 hours ahead, making
+// early recommendations on optimal hourly delivery commitments to the grid
+// possible" — and reportedly boosted the value of wind energy ~20%.
+//
+// We reproduce the mechanism with the library's forecasting stack: hourly
+// wind output from the fuel-mix model, 36-hour-ahead forecasts via AR and
+// Holt-Winters, and the economic uplift of committing delivery a day ahead
+// (committed energy earns full price; uncommitted spot sales are discounted;
+// shortfalls pay a penalty).
+
+#include <algorithm>
+#include <iostream>
+
+#include "forecast/metrics.hpp"
+#include "forecast/models.hpp"
+#include "grid/wind_farm.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+// Value model: committed MWh earn $P; surplus beyond commitment sells at a
+// discount; shortfall below commitment is bought back at a premium.
+double delivery_value(const std::vector<double>& actual, const std::vector<double>& committed,
+                      double price) {
+  double value = 0.0;
+  for (std::size_t h = 0; h < actual.size(); ++h) {
+    const double delivered = std::min(actual[h], committed[h]);
+    const double surplus = std::max(0.0, actual[h] - committed[h]);
+    const double shortfall = std::max(0.0, committed[h] - actual[h]);
+    value += delivered * price + surplus * price * 0.55 - shortfall * price * 0.35;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout, "wind farm: 36-hour-ahead output forecasting (Sec. IV-C)");
+
+  // Hourly output (MW) of a 60-turbine, 150 MW farm over 120 days: wind
+  // regimes drive a cubic turbine power curve (grid::WindFarm).
+  const grid::WindFarm farm;
+  const util::TimePoint start = util::to_timepoint(util::CivilDate{2021, 2, 1});
+  const int hours = 120 * 24;
+  const std::vector<double> output_mw = farm.hourly_output_mw(start, hours);
+  std::cout << "farm: " << farm.config().turbine_count << " turbines, "
+            << util::fmt_fixed(farm.capacity().megawatts(), 0) << " MW nameplate, "
+            << util::fmt_fixed(100.0 * farm.capacity_factor(start, start + util::hours(hours)), 1)
+            << "% capacity factor over the window\n\n";
+
+  // Rolling 36-hour backtests.
+  const std::size_t horizon = 36;
+  const std::size_t min_train = 24 * 28;
+  forecast::SeasonalNaive naive(24);
+  forecast::ArModel ar(48);
+  forecast::HoltWinters hw(24);
+
+  const forecast::BacktestResult naive_result =
+      forecast::backtest(naive, output_mw, min_train, horizon, 24);
+  const forecast::BacktestResult ar_result = forecast::with_skill(
+      forecast::backtest(ar, output_mw, min_train, horizon, 24), naive_result);
+  const forecast::BacktestResult hw_result = forecast::with_skill(
+      forecast::backtest(hw, output_mw, min_train, horizon, 24), naive_result);
+
+  util::Table table({"model", "MAE (MW)", "RMSE (MW)", "skill vs seasonal-naive"});
+  table.add("seasonal naive (24h)", util::fmt_fixed(naive_result.mae, 1),
+            util::fmt_fixed(naive_result.rmse, 1), "-");
+  table.add("AR(48)", util::fmt_fixed(ar_result.mae, 1), util::fmt_fixed(ar_result.rmse, 1),
+            util::fmt_fixed(ar_result.skill, 3));
+  table.add("Holt-Winters (24h season)", util::fmt_fixed(hw_result.mae, 1),
+            util::fmt_fixed(hw_result.rmse, 1), util::fmt_fixed(hw_result.skill, 3));
+  std::cout << table;
+
+  // Economic uplift: commit day-ahead deliveries from each forecaster over
+  // the final 30 days and compare against no-commitment spot sales.
+  const double price = 30.0;  // $/MWh
+  double value_spot = 0.0, value_ar = 0.0, value_naive = 0.0;
+  for (std::size_t day = 0; day < 30; ++day) {
+    const std::size_t origin = output_mw.size() - (30 - day) * 24;
+    const std::vector<double> history(output_mw.begin(),
+                                      output_mw.begin() + static_cast<std::ptrdiff_t>(origin));
+    const std::vector<double> actual(
+        output_mw.begin() + static_cast<std::ptrdiff_t>(origin),
+        output_mw.begin() + static_cast<std::ptrdiff_t>(origin + 24));
+
+    value_spot += delivery_value(actual, std::vector<double>(24, 0.0), price);
+
+    naive.fit(history);
+    value_naive += delivery_value(actual, naive.predict(24), price);
+    ar.fit(history);
+    std::vector<double> committed = ar.predict(24);
+    for (double& c : committed) c = std::max(0.0, c * 0.9);  // conservative bid
+    value_ar += delivery_value(actual, committed, price);
+  }
+
+  std::cout << "\n30-day delivery value at $" << price << "/MWh:\n";
+  util::Table value({"strategy", "revenue $", "uplift vs spot %"});
+  value.add("spot only (no commitment)", util::fmt_fixed(value_spot, 0), "-");
+  value.add("naive commitment", util::fmt_fixed(value_naive, 0),
+            util::fmt_fixed(100.0 * (value_naive / value_spot - 1.0), 1));
+  value.add("AR(48) commitment (x0.9)", util::fmt_fixed(value_ar, 0),
+            util::fmt_fixed(100.0 * (value_ar / value_spot - 1.0), 1));
+  std::cout << value;
+
+  std::cout << "\n(DeepMind reported ~20% value uplift from 36-hour-ahead commitments; the\n"
+               "shape to check is forecast-driven commitment > spot-only.)\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::cluster {
+
+using util::ensure;
+using util::require;
+
+int Allocation::total_gpus() const {
+  int total = 0;
+  for (const auto& s : slices) total += s.gpus;
+  return total;
+}
+
+Cluster::Cluster(ClusterSpec spec)
+    : spec_(spec), gpu_model_(spec.gpu), nodes_(static_cast<std::size_t>(spec.node_count)),
+      power_cap_(spec.gpu.tdp), enabled_nodes_(spec.node_count) {
+  require(spec_.node_count >= 1, "Cluster: need at least one node");
+  require(spec_.gpus_per_node >= 1, "Cluster: need at least one GPU per node");
+  require(spec_.node_base.watts() >= 0.0, "Cluster: negative node base power");
+  require(spec_.fixed_infrastructure.watts() >= 0.0, "Cluster: negative fixed power");
+}
+
+int Cluster::total_gpus() const { return enabled_nodes_ * spec_.gpus_per_node; }
+
+int Cluster::busy_gpus() const {
+  int busy = 0;
+  for (const auto& n : nodes_) busy += n.busy;
+  return busy;
+}
+
+int Cluster::free_gpus() const { return total_gpus() - busy_gpus(); }
+
+double Cluster::utilization() const {
+  const int total = total_gpus();
+  return total == 0 ? 0.0 : static_cast<double>(busy_gpus()) / static_cast<double>(total);
+}
+
+std::optional<Allocation> Cluster::allocate(JobId job, int gpus) {
+  require(gpus >= 1, "Cluster::allocate: must request at least one GPU");
+  require(!allocation_of(job).has_value(), "Cluster::allocate: job already holds GPUs");
+  if (gpus > free_gpus()) return std::nullopt;
+
+  Allocation alloc;
+  alloc.job = job;
+  int remaining = gpus;
+  // First-fit across enabled nodes; jobs may span nodes (distributed runs).
+  for (int n = 0; n < enabled_nodes_ && remaining > 0; ++n) {
+    auto& node = nodes_[static_cast<std::size_t>(n)];
+    const int here = std::min(remaining, spec_.gpus_per_node - node.busy);
+    if (here <= 0) continue;
+    node.busy += here;
+    alloc.slices.push_back({n, here});
+    remaining -= here;
+  }
+  ensure(remaining == 0, "Cluster::allocate: accounting error");
+  allocations_.push_back(alloc);
+  return alloc;
+}
+
+void Cluster::release(JobId job) {
+  job_caps_.erase(job);
+  const auto it = std::find_if(allocations_.begin(), allocations_.end(),
+                               [&](const Allocation& a) { return a.job == job; });
+  if (it == allocations_.end()) return;
+  for (const auto& slice : it->slices) {
+    auto& node = nodes_[static_cast<std::size_t>(slice.node)];
+    ensure(node.busy >= slice.gpus, "Cluster::release: accounting error");
+    node.busy -= slice.gpus;
+  }
+  allocations_.erase(it);
+}
+
+std::optional<Allocation> Cluster::allocation_of(JobId job) const {
+  for (const auto& a : allocations_)
+    if (a.job == job) return a;
+  return std::nullopt;
+}
+
+void Cluster::set_power_cap(util::Power cap) {
+  power_cap_ = std::clamp(cap, spec_.gpu.min_cap, spec_.gpu.tdp);
+}
+
+void Cluster::set_job_cap(JobId job, util::Power cap) {
+  job_caps_[job] = std::clamp(cap, spec_.gpu.min_cap, spec_.gpu.tdp);
+}
+
+util::Power Cluster::effective_cap(JobId job) const {
+  const auto it = job_caps_.find(job);
+  return it == job_caps_.end() ? power_cap_ : std::min(power_cap_, it->second);
+}
+
+double Cluster::job_throughput_factor(JobId job) const {
+  return gpu_model_.throughput_factor(effective_cap(job));
+}
+
+util::Power Cluster::job_gpu_power(JobId job) const {
+  return gpu_model_.active_power(effective_cap(job));
+}
+
+void Cluster::set_enabled_nodes(int count) {
+  require(count >= 0 && count <= spec_.node_count,
+          "Cluster::set_enabled_nodes: count out of range");
+  // Refuse to power off nodes that still hold allocations.
+  for (int n = count; n < spec_.node_count; ++n) {
+    require(nodes_[static_cast<std::size_t>(n)].busy == 0,
+            "Cluster::set_enabled_nodes: node still holds allocations");
+  }
+  enabled_nodes_ = count;
+}
+
+util::Power Cluster::it_power() const {
+  const int idle = free_gpus();
+  util::Power p = spec_.fixed_infrastructure;
+  p += spec_.node_base * static_cast<double>(enabled_nodes_);
+  // Busy GPUs draw per their owning job's effective cap.
+  for (const Allocation& alloc : allocations_)
+    p += job_gpu_power(alloc.job) * static_cast<double>(alloc.total_gpus());
+  p += spec_.gpu.idle * static_cast<double>(idle);
+  return p;
+}
+
+util::Power Cluster::busy_gpu_power() const { return gpu_model_.active_power(power_cap_); }
+
+double Cluster::throughput_factor() const { return gpu_model_.throughput_factor(power_cap_); }
+
+}  // namespace greenhpc::cluster

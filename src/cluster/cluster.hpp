@@ -1,0 +1,117 @@
+#pragma once
+// Cluster hardware model: nodes, GPUs, allocation, and IT power.
+//
+// Scaled to the system the paper's telemetry comes from: the MIT SuperCloud
+// E1/TX-GAIA-class GPU partition (224 nodes x 2 V100). The cluster tracks
+// which GPUs belong to which running job, computes instantaneous IT power
+// from per-GPU state via power::GpuPowerModel, and exposes the "supply"
+// knobs of Eq. 1 (q_s: how many nodes are enabled; c: the cluster-wide power
+// cap).
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "power/gpu_power.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::cluster {
+
+struct ClusterSpec {
+  int node_count = 224;
+  int gpus_per_node = 2;
+  /// Node power excluding GPUs (CPUs, DRAM, NIC, fans), drawn whenever the
+  /// node is enabled.
+  util::Power node_base = util::watts(450.0);
+  /// Always-on shared infrastructure (storage, network fabric, head nodes).
+  util::Power fixed_infrastructure = util::kilowatts(60.0);
+  power::GpuSpec gpu;
+};
+
+/// GPUs granted to one job on one node.
+struct AllocationSlice {
+  int node = 0;
+  int gpus = 0;
+};
+
+/// A job's full GPU grant (may span nodes, as distributed training does).
+struct Allocation {
+  JobId job = 0;
+  std::vector<AllocationSlice> slices;
+  [[nodiscard]] int total_gpus() const;
+};
+
+class Cluster {
+ public:
+  Cluster() : Cluster(ClusterSpec{}) {}
+  explicit Cluster(ClusterSpec spec);
+
+  [[nodiscard]] const ClusterSpec& spec() const { return spec_; }
+  [[nodiscard]] const power::GpuPowerModel& gpu_model() const { return gpu_model_; }
+
+  [[nodiscard]] int total_gpus() const;
+  [[nodiscard]] int free_gpus() const;
+  [[nodiscard]] int busy_gpus() const;
+  /// Busy / total among *enabled* nodes.
+  [[nodiscard]] double utilization() const;
+
+  /// Tries to grant `gpus` to `job`, packing nodes first-fit; fails (nullopt)
+  /// when not enough free GPUs exist on enabled nodes.
+  [[nodiscard]] std::optional<Allocation> allocate(JobId job, int gpus);
+
+  /// Releases everything held by `job` (no-op if it holds nothing).
+  void release(JobId job);
+
+  /// Running allocations (one per active job).
+  [[nodiscard]] const std::vector<Allocation>& allocations() const { return allocations_; }
+  [[nodiscard]] std::optional<Allocation> allocation_of(JobId job) const;
+
+  // --- Eq. 1 control knobs -------------------------------------------------
+
+  /// Sets the cluster-wide GPU power cap (clamped to the settable range).
+  void set_power_cap(util::Power cap);
+  [[nodiscard]] util::Power power_cap() const { return power_cap_; }
+
+  /// Per-job cap override (Eq. 2's tailored intervention): the job's GPUs
+  /// run at min(cluster cap, job cap). Cleared automatically on release.
+  void set_job_cap(JobId job, util::Power cap);
+  /// Effective cap for a job's GPUs under both knobs.
+  [[nodiscard]] util::Power effective_cap(JobId job) const;
+  /// Throughput factor for one job under its effective cap.
+  [[nodiscard]] double job_throughput_factor(JobId job) const;
+  /// Busy board power for one of the job's GPUs under its effective cap.
+  [[nodiscard]] util::Power job_gpu_power(JobId job) const;
+
+  /// Enables only the first `count` nodes (q_s supply knob). Nodes holding
+  /// allocations cannot be disabled; throws if asked to.
+  void set_enabled_nodes(int count);
+  [[nodiscard]] int enabled_nodes() const { return enabled_nodes_; }
+
+  // --- Power ---------------------------------------------------------------
+
+  /// Instantaneous IT power: fixed infrastructure + enabled-node base +
+  /// per-GPU draw (busy GPUs at the cap's active power, free GPUs at idle).
+  [[nodiscard]] util::Power it_power() const;
+
+  /// Per-GPU board power for a busy GPU under the current cap.
+  [[nodiscard]] util::Power busy_gpu_power() const;
+
+  /// Effective throughput factor under the current cap.
+  [[nodiscard]] double throughput_factor() const;
+
+ private:
+  struct Node {
+    int busy = 0;  ///< GPUs in use on this node
+  };
+
+  ClusterSpec spec_;
+  power::GpuPowerModel gpu_model_;
+  std::vector<Node> nodes_;
+  std::vector<Allocation> allocations_;
+  std::unordered_map<JobId, util::Power> job_caps_;
+  util::Power power_cap_;
+  int enabled_nodes_;
+};
+
+}  // namespace greenhpc::cluster

@@ -1,0 +1,118 @@
+#include "cluster/job.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::cluster {
+
+using util::ensure;
+using util::require;
+
+const char* job_class_name(JobClass c) {
+  switch (c) {
+    case JobClass::kDebug: return "debug";
+    case JobClass::kTraining: return "training";
+    case JobClass::kHyperparamSweep: return "hp_sweep";
+    case JobClass::kInference: return "inference";
+    case JobClass::kAnalysis: return "analysis";
+  }
+  return "unknown";
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+Job::Job(JobId id, JobRequest request, util::TimePoint submit_time)
+    : id_(id), request_(request), submit_time_(submit_time) {
+  require(request_.gpus >= 1, "Job: must request at least one GPU");
+  require(request_.work_gpu_seconds > 0.0, "Job: work must be positive");
+  require(request_.estimate_factor >= 1.0, "Job: estimate factor must be >= 1");
+  if (request_.deadline) {
+    require(*request_.deadline > submit_time, "Job: deadline must be after submission");
+  }
+}
+
+util::Duration Job::estimated_runtime(double throughput_factor) const {
+  require(throughput_factor > 0.0, "Job::estimated_runtime: throughput must be positive");
+  return util::seconds(work_remaining() /
+                       (static_cast<double>(request_.gpus) * throughput_factor));
+}
+
+util::Duration Job::user_estimate(double throughput_factor) const {
+  return estimated_runtime(throughput_factor) * request_.estimate_factor;
+}
+
+util::Duration Job::queue_wait() const {
+  switch (state_) {
+    case JobState::kQueued: return util::seconds(0);  // still unknown
+    case JobState::kCancelled: return finish_time_ - submit_time_;
+    default: return start_time_ - submit_time_;
+  }
+}
+
+util::Duration Job::turnaround() const {
+  require(state_ == JobState::kCompleted, "Job::turnaround: job not completed");
+  return finish_time_ - submit_time_;
+}
+
+void Job::start(util::TimePoint now) {
+  require(state_ == JobState::kQueued, "Job::start: job not queued");
+  require(now >= submit_time_, "Job::start: cannot start before submission");
+  state_ = JobState::kRunning;
+  start_time_ = now;
+}
+
+void Job::progress(double gpu_seconds_equivalent, util::Energy energy) {
+  require(state_ == JobState::kRunning, "Job::progress: job not running");
+  require(gpu_seconds_equivalent >= 0.0, "Job::progress: negative work");
+  work_done_ += gpu_seconds_equivalent;
+  energy_ += energy;
+}
+
+void Job::complete(util::TimePoint now) {
+  require(state_ == JobState::kRunning, "Job::complete: job not running");
+  state_ = JobState::kCompleted;
+  finish_time_ = now;
+}
+
+void Job::cancel(util::TimePoint now) {
+  require(state_ == JobState::kQueued || state_ == JobState::kRunning,
+          "Job::cancel: job already finished");
+  state_ = JobState::kCancelled;
+  finish_time_ = now;
+}
+
+JobId JobRegistry::submit(JobRequest request, util::TimePoint now) {
+  const JobId id = next_id_++;
+  index_[id] = jobs_.size();
+  jobs_.emplace_back(id, request, now);
+  order_.push_back(id);
+  return id;
+}
+
+Job& JobRegistry::get(JobId id) {
+  const auto it = index_.find(id);
+  require(it != index_.end(), "JobRegistry::get: unknown job id");
+  return jobs_[it->second];
+}
+
+const Job& JobRegistry::get(JobId id) const {
+  const auto it = index_.find(id);
+  require(it != index_.end(), "JobRegistry::get: unknown job id");
+  return jobs_[it->second];
+}
+
+std::vector<JobId> JobRegistry::in_state(JobState s) const {
+  std::vector<JobId> out;
+  for (const Job& j : jobs_)
+    if (j.state() == s) out.push_back(j.id());
+  return out;
+}
+
+}  // namespace greenhpc::cluster

@@ -1,0 +1,132 @@
+#pragma once
+// Job model and registry.
+//
+// A job asks for a number of GPUs and carries an amount of work measured in
+// GPU-seconds at full (uncapped) throughput. Running under a power cap
+// stretches wall-clock time by the cap's throughput factor; the per-job
+// energy ledger is what the paper's Eq. 2 decomposition (per-user e_i, a_i)
+// and the Sec. IV reporting tools consume.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::cluster {
+
+using JobId = std::uint64_t;
+using UserId = std::uint32_t;
+
+/// Workload classes from the paper's discussion: interactive debugging,
+/// full training runs, hyper-parameter sweeps (Sec. IV-A "inevitably
+/// redundant runs"), inference serving (Sec. IV-B), and generic analysis.
+enum class JobClass : std::uint8_t {
+  kDebug = 0,
+  kTraining,
+  kHyperparamSweep,
+  kInference,
+  kAnalysis,
+};
+
+[[nodiscard]] const char* job_class_name(JobClass c);
+
+/// Research-domain tag carried by jobs. The cluster layer treats it as an
+/// opaque label; workload:: assigns it from the conference calendar (the
+/// paper's future-work ask: "breakdown of activity and energy use by
+/// domain (e.g. NLP)"). 255 = untagged.
+using DomainTag = std::uint8_t;
+inline constexpr DomainTag kNoDomain = 255;
+
+/// What a user submits.
+struct JobRequest {
+  UserId user = 0;
+  JobClass job_class = JobClass::kTraining;
+  DomainTag domain = kNoDomain;
+  int gpus = 1;
+  /// GPU-seconds of work at throughput factor 1.0 (so wall-clock at full
+  /// speed = work_gpu_seconds / gpus).
+  double work_gpu_seconds = 3600.0;
+  /// Jobs with a deadline must finish by it; flexible jobs may be deferred
+  /// by carbon/price-aware policies until slack runs out.
+  std::optional<util::TimePoint> deadline;
+  bool flexible = false;
+  /// User-stated run-time estimate factor vs. truth (backfill uses estimates;
+  /// 1.0 = perfect, >1 = padded).
+  double estimate_factor = 1.0;
+};
+
+enum class JobState : std::uint8_t { kQueued = 0, kRunning, kCompleted, kCancelled };
+
+[[nodiscard]] const char* job_state_name(JobState s);
+
+class Job {
+ public:
+  Job(JobId id, JobRequest request, util::TimePoint submit_time);
+
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const JobRequest& request() const { return request_; }
+  [[nodiscard]] JobState state() const { return state_; }
+  [[nodiscard]] util::TimePoint submit_time() const { return submit_time_; }
+  [[nodiscard]] util::TimePoint start_time() const { return start_time_; }
+  [[nodiscard]] util::TimePoint finish_time() const { return finish_time_; }
+
+  [[nodiscard]] double work_done() const { return work_done_; }
+  [[nodiscard]] double work_remaining() const { return request_.work_gpu_seconds - work_done_; }
+  [[nodiscard]] util::Energy energy() const { return energy_; }
+
+  /// Wall-clock estimate at a given effective per-GPU throughput.
+  [[nodiscard]] util::Duration estimated_runtime(double throughput_factor) const;
+  /// The user's (possibly padded) estimate, used by backfill.
+  [[nodiscard]] util::Duration user_estimate(double throughput_factor) const;
+
+  [[nodiscard]] util::Duration queue_wait() const;
+  [[nodiscard]] util::Duration turnaround() const;
+
+  // --- State transitions (enforced; misuse throws) ------------------------
+  void start(util::TimePoint now);
+  /// Advances progress by `gpu_seconds_equivalent` and charges `energy`.
+  void progress(double gpu_seconds_equivalent, util::Energy energy);
+  void complete(util::TimePoint now);
+  void cancel(util::TimePoint now);
+
+ private:
+  JobId id_;
+  JobRequest request_;
+  JobState state_ = JobState::kQueued;
+  util::TimePoint submit_time_;
+  util::TimePoint start_time_;
+  util::TimePoint finish_time_;
+  double work_done_ = 0.0;
+  util::Energy energy_;
+};
+
+/// Owns all jobs ever submitted in a run; stable addresses, id lookup.
+class JobRegistry {
+ public:
+  /// Creates a job in the queued state and returns its id.
+  JobId submit(JobRequest request, util::TimePoint now);
+
+  [[nodiscard]] Job& get(JobId id);
+  [[nodiscard]] const Job& get(JobId id) const;
+  [[nodiscard]] bool contains(JobId id) const { return index_.contains(id); }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// All ids in submission order.
+  [[nodiscard]] const std::vector<JobId>& all() const { return order_; }
+
+  /// Ids currently in the given state (linear scan; fine at our scales).
+  [[nodiscard]] std::vector<JobId> in_state(JobState s) const;
+
+ private:
+  std::deque<Job> jobs_;  // deque: stable references across submissions
+  std::vector<JobId> order_;
+  std::unordered_map<JobId, std::size_t> index_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace greenhpc::cluster

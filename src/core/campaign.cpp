@@ -1,0 +1,108 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+using util::require;
+
+CampaignPlanner::CampaignPlanner(const grid::CarbonIntensityModel* carbon,
+                                 const grid::LmpPriceModel* price)
+    : carbon_(carbon), price_(price) {
+  require(carbon != nullptr, "CampaignPlanner: null carbon model");
+  require(price != nullptr, "CampaignPlanner: null price model");
+}
+
+std::vector<CampaignMonth> CampaignPlanner::make_months(const CampaignSpec& spec) const {
+  require(spec.month_count >= 1, "CampaignPlanner: need at least one month");
+  require(spec.total_gpu_hours > 0.0, "CampaignPlanner: campaign must be positive");
+  require(spec.monthly_capacity_gpu_hours * spec.month_count >= spec.total_gpu_hours,
+          "CampaignPlanner: campaign exceeds total capacity");
+
+  std::vector<CampaignMonth> months;
+  util::MonthKey key = spec.start;
+  for (int m = 0; m < spec.month_count; ++m) {
+    CampaignMonth cm;
+    cm.month = key;
+    cm.capacity_gpu_hours = spec.monthly_capacity_gpu_hours;
+    cm.intensity = carbon_->monthly_average(key);
+    cm.price = price_->monthly_average(key);
+    months.push_back(cm);
+    key = key.next();
+  }
+  return months;
+}
+
+CampaignPlan CampaignPlanner::roll_up(const CampaignSpec& spec,
+                                      std::vector<CampaignMonth> months) {
+  CampaignPlan plan;
+  plan.kwh_per_gpu_hour = spec.kwh_per_gpu_hour;
+  for (const CampaignMonth& m : months) {
+    const util::Energy e = util::kilowatt_hours(m.planned_gpu_hours * spec.kwh_per_gpu_hour);
+    plan.carbon += e * m.intensity;
+    plan.cost += e * m.price;
+  }
+  plan.months = std::move(months);
+  return plan;
+}
+
+CampaignPlan CampaignPlanner::plan_uniform(const CampaignSpec& spec) const {
+  std::vector<CampaignMonth> months = make_months(spec);
+  const double per_month = spec.total_gpu_hours / static_cast<double>(months.size());
+  for (CampaignMonth& m : months) m.planned_gpu_hours = per_month;
+  return roll_up(spec, std::move(months));
+}
+
+CampaignPlan CampaignPlanner::fill_greedy(const CampaignSpec& spec,
+                                          std::vector<CampaignMonth> months,
+                                          const std::vector<double>& rank_intensity) {
+  require(rank_intensity.size() == months.size(), "fill_greedy: rank size mismatch");
+  std::vector<std::size_t> order(months.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return rank_intensity[a] < rank_intensity[b]; });
+
+  double remaining = spec.total_gpu_hours;
+  for (std::size_t idx : order) {
+    if (remaining <= 0.0) break;
+    const double take = std::min(remaining, months[idx].capacity_gpu_hours);
+    months[idx].planned_gpu_hours = take;
+    remaining -= take;
+  }
+  require(remaining <= 1e-6, "fill_greedy: capacity accounting failure");
+  return roll_up(spec, std::move(months));
+}
+
+CampaignPlan CampaignPlanner::plan_green_oracle(const CampaignSpec& spec) const {
+  std::vector<CampaignMonth> months = make_months(spec);
+  std::vector<double> truth;
+  truth.reserve(months.size());
+  for (const CampaignMonth& m : months) truth.push_back(m.intensity.kg_per_kwh());
+  return fill_greedy(spec, std::move(months), truth);
+}
+
+CampaignPlan CampaignPlanner::plan_green_forecast(const CampaignSpec& spec,
+                                                  int history_months) const {
+  require(history_months >= 24, "plan_green_forecast: need >= 24 months of history");
+  std::vector<CampaignMonth> months = make_months(spec);
+
+  // History: the `history_months` months preceding the campaign start.
+  std::vector<double> history;
+  history.reserve(static_cast<std::size_t>(history_months));
+  util::MonthKey key =
+      util::MonthKey::from_index(spec.start.index_from_epoch() - history_months);
+  for (int m = 0; m < history_months; ++m) {
+    history.push_back(carbon_->monthly_average(key).kg_per_kwh());
+    key = key.next();
+  }
+
+  forecast::HoltWinters model(12);
+  model.fit(history);
+  const std::vector<double> predicted = model.predict(months.size());
+  return fill_greedy(spec, std::move(months), predicted);
+}
+
+}  // namespace greenhpc::core

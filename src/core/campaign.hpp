@@ -1,0 +1,75 @@
+#pragma once
+// Campaign planning: "encouraging more cluster utilization during those
+// months" (Sec. II-A strategy 1, compute-side view).
+//
+// Given an annual training campaign (total GPU-hours of deferrable work),
+// the planner distributes it over months to minimize carbon (or cost),
+// subject to monthly cluster capacity and a baseline load that cannot move.
+// Forecast-driven mode uses fitted models on last year's intensity series
+// instead of the oracle, quantifying how much of the oracle saving a
+// realistic forecaster retains (Sec. II-C's predictive-analytics pitch).
+
+#include <vector>
+
+#include "forecast/models.hpp"
+#include "grid/carbon.hpp"
+#include "grid/price.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::core {
+
+struct CampaignMonth {
+  util::MonthKey month;
+  double capacity_gpu_hours = 0.0;  ///< schedulable headroom this month
+  double planned_gpu_hours = 0.0;
+  util::CarbonIntensity intensity;  ///< (true) monthly average intensity
+  util::EnergyPrice price;
+};
+
+struct CampaignPlan {
+  std::vector<CampaignMonth> months;
+  util::MassCo2 carbon;
+  util::Money cost;
+  /// kWh per GPU-hour used to convert compute to energy.
+  double kwh_per_gpu_hour = 0.0;
+};
+
+struct CampaignSpec {
+  util::MonthKey start{2021, 1};
+  int month_count = 12;
+  double total_gpu_hours = 400000.0;
+  /// Facility energy per GPU-hour (board + node share + PUE): ~0.45 kWh.
+  double kwh_per_gpu_hour = 0.45;
+  /// Monthly capacity headroom for campaign work.
+  double monthly_capacity_gpu_hours = 60000.0;
+};
+
+class CampaignPlanner {
+ public:
+  /// Models are borrowed; must outlive the planner.
+  CampaignPlanner(const grid::CarbonIntensityModel* carbon, const grid::LmpPriceModel* price);
+
+  /// Baseline: spread the campaign uniformly across the window.
+  [[nodiscard]] CampaignPlan plan_uniform(const CampaignSpec& spec) const;
+
+  /// Oracle greedy: fill the greenest months first (true intensities).
+  [[nodiscard]] CampaignPlan plan_green_oracle(const CampaignSpec& spec) const;
+
+  /// Forecast-driven greedy: rank months by a Holt-Winters forecast fitted
+  /// on the preceding `history_months` of monthly intensities.
+  [[nodiscard]] CampaignPlan plan_green_forecast(const CampaignSpec& spec,
+                                                 int history_months = 24) const;
+
+ private:
+  [[nodiscard]] std::vector<CampaignMonth> make_months(const CampaignSpec& spec) const;
+  [[nodiscard]] static CampaignPlan fill_greedy(const CampaignSpec& spec,
+                                                std::vector<CampaignMonth> months,
+                                                const std::vector<double>& rank_intensity);
+  [[nodiscard]] static CampaignPlan roll_up(const CampaignSpec& spec,
+                                            std::vector<CampaignMonth> months);
+
+  const grid::CarbonIntensityModel* carbon_;
+  const grid::LmpPriceModel* price_;
+};
+
+}  // namespace greenhpc::core

@@ -1,0 +1,64 @@
+#include "core/challenge.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+using util::require;
+
+GreenAiChallenge::GreenAiChallenge(ChallengeBudget budget) : budget_(budget) {
+  require(budget_.energy.joules() > 0.0, "GreenAiChallenge: energy budget must be positive");
+  require(budget_.gpu_hours > 0.0, "GreenAiChallenge: compute budget must be positive");
+}
+
+ScoredSubmission GreenAiChallenge::score(const Submission& s) const {
+  require(s.performance >= 0.0, "GreenAiChallenge: negative performance");
+  require(s.energy_used.joules() >= 0.0 && s.gpu_hours_used >= 0.0,
+          "GreenAiChallenge: negative resource usage");
+
+  ScoredSubmission out;
+  out.submission = s;
+  out.within_budget = true;
+  if (s.energy_used > budget_.energy) {
+    out.within_budget = false;
+    out.disqualification = "energy budget exceeded";
+  } else if (s.gpu_hours_used > budget_.gpu_hours) {
+    out.within_budget = false;
+    out.disqualification = "compute budget exceeded";
+  }
+  out.score = out.within_budget ? s.performance : 0.0;
+  const double kwh = s.energy_used.kilowatt_hours();
+  out.efficiency = kwh > 0.0 ? s.performance / kwh : 0.0;
+  return out;
+}
+
+std::vector<ScoredSubmission> GreenAiChallenge::leaderboard(
+    const std::vector<Submission>& submissions) const {
+  std::vector<ScoredSubmission> scored;
+  scored.reserve(submissions.size());
+  for (const Submission& s : submissions) scored.push_back(score(s));
+  std::sort(scored.begin(), scored.end(), [](const ScoredSubmission& a, const ScoredSubmission& b) {
+    if (a.within_budget != b.within_budget) return a.within_budget;
+    if (a.score != b.score) return a.score > b.score;
+    return a.submission.energy_used < b.submission.energy_used;  // greener wins ties
+  });
+  return scored;
+}
+
+std::vector<ScoredSubmission> GreenAiChallenge::efficiency_leaderboard(
+    const std::vector<Submission>& submissions) const {
+  std::vector<ScoredSubmission> scored;
+  for (const Submission& s : submissions) {
+    ScoredSubmission sc = score(s);
+    if (sc.within_budget) scored.push_back(sc);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredSubmission& a, const ScoredSubmission& b) {
+              return a.efficiency > b.efficiency;
+            });
+  return scored;
+}
+
+}  // namespace greenhpc::core

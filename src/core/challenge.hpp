@@ -1,0 +1,61 @@
+#pragma once
+// The Green A.I. challenge scorer (Sec. IV-B).
+//
+// "a Green A.I. challenge (in development) that aims to cast the problem
+// explicitly by challenging participants to maximize performance given
+// explicit training and energy budgets." This module is that scoring
+// infrastructure: submissions declare achieved performance plus measured
+// energy/compute; the scorer enforces the budgets and ranks by performance,
+// breaking ties green-side; an efficiency leaderboard ranks performance per
+// kWh for venues that prefer a scalarized score.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace greenhpc::core {
+
+struct ChallengeBudget {
+  util::Energy energy = util::kilowatt_hours(100.0);
+  double gpu_hours = 500.0;
+};
+
+struct Submission {
+  std::string team;
+  double performance = 0.0;  ///< task metric, higher is better (e.g. accuracy)
+  util::Energy energy_used;
+  double gpu_hours_used = 0.0;
+};
+
+struct ScoredSubmission {
+  Submission submission;
+  bool within_budget = false;
+  double score = 0.0;            ///< performance if within budget, else 0
+  double efficiency = 0.0;       ///< performance per kWh
+  std::string disqualification;  ///< reason when over budget
+};
+
+class GreenAiChallenge {
+ public:
+  explicit GreenAiChallenge(ChallengeBudget budget);
+
+  [[nodiscard]] ScoredSubmission score(const Submission& s) const;
+
+  /// Scores and ranks all submissions: within-budget first (by performance,
+  /// energy as tiebreak), disqualified entries last.
+  [[nodiscard]] std::vector<ScoredSubmission> leaderboard(
+      const std::vector<Submission>& submissions) const;
+
+  /// Ranking by performance-per-kWh among within-budget entries.
+  [[nodiscard]] std::vector<ScoredSubmission> efficiency_leaderboard(
+      const std::vector<Submission>& submissions) const;
+
+  [[nodiscard]] const ChallengeBudget& budget() const { return budget_; }
+
+ private:
+  ChallengeBudget budget_;
+};
+
+}  // namespace greenhpc::core

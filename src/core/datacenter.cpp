@@ -1,0 +1,222 @@
+#include "core/datacenter.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::core {
+
+using util::require;
+
+Datacenter::Datacenter(DatacenterConfig config, std::unique_ptr<sched::Scheduler> scheduler)
+    : config_(config),
+      weather_(config.weather),
+      cooling_(config.cooling),
+      fuel_mix_(config.fuel_mix),
+      carbon_(&fuel_mix_),
+      price_(config.price, &fuel_mix_),
+      cluster_(config.cluster),
+      scheduler_(std::move(scheduler)),
+      rng_(config.seed),
+      sim_(config.start) {
+  require(scheduler_ != nullptr, "Datacenter: null scheduler");
+  require(config_.step.seconds() > 0.0, "Datacenter: step must be positive");
+  connection_ = std::make_unique<grid::GridConnection>(&price_, &carbon_, config_.connection);
+  if (config_.battery) battery_.emplace(*config_.battery);
+}
+
+void Datacenter::attach_arrivals(workload::ArrivalConfig arrival_config,
+                                 workload::DeadlineCalendar calendar,
+                                 workload::DemandConfig demand) {
+  attach_arrivals(std::move(arrival_config), std::move(calendar), nullptr, demand);
+}
+
+void Datacenter::attach_arrivals(workload::ArrivalConfig arrival_config,
+                                 workload::DeadlineCalendar calendar,
+                                 const workload::UserPopulation* population,
+                                 workload::DemandConfig demand) {
+  modulator_ = std::make_unique<workload::DemandModulator>(std::move(calendar), demand);
+  arrivals_ = std::make_unique<workload::ArrivalProcess>(std::move(arrival_config),
+                                                         modulator_.get(), population);
+}
+
+void Datacenter::attach_battery_policy(std::unique_ptr<grid::ArbitragePolicy> policy) {
+  require(battery_.has_value(), "Datacenter: battery policy without a battery config");
+  require(policy != nullptr, "Datacenter: null battery policy");
+  battery_policy_ = std::move(policy);
+}
+
+cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
+  const cluster::JobId id = jobs_.submit(request, sim_.now());
+  queue_.push_back(id);
+  monthly_subs_.add_event(sim_.now());
+  return id;
+}
+
+void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
+  const util::Duration dt = config_.step;
+  const util::Temperature outdoor = weather_.temperature_at(t);
+  const util::Power it_now = cluster_.it_power();
+  const double pue = cooling_.pue(it_now, outdoor);
+  const util::EnergyPrice price_now = price_.price_at(t);
+  const util::CarbonIntensity carbon_now = carbon_.intensity_at(t);
+  // Direct cooling water attributed proportionally to IT energy: facility
+  // L/h divided by IT kW gives liters per IT-kWh.
+  const double water_l_per_it_kwh =
+      cooling_.water_liters_per_hour(cooling_.load(it_now, outdoor).delivered, outdoor) /
+      std::max(1.0, it_now.kilowatts());
+
+  // Copy: completions mutate the allocation list.
+  const std::vector<cluster::Allocation> allocations = cluster_.allocations();
+  for (const cluster::Allocation& alloc : allocations) {
+    cluster::Job& job = jobs_.get(alloc.job);
+    const auto gpus = static_cast<double>(alloc.total_gpus());
+    // Per-job effective cap (Eq. 2 tailoring composes with the cluster knob).
+    const double throughput = cluster_.job_throughput_factor(alloc.job) * (1.0 - throttle);
+    const util::Power busy_power = cluster_.job_gpu_power(alloc.job);
+    // Duty-cycled draw under throttle: GPUs fall back toward idle.
+    const util::Power effective_power =
+        config_.cluster.gpu.idle + (busy_power - config_.cluster.gpu.idle) * (1.0 - throttle);
+    const double step_work = gpus * throughput * dt.seconds();
+
+    double fraction = 1.0;  // fraction of the step the job actually ran
+    if (step_work >= job.work_remaining() && step_work > 0.0) {
+      fraction = job.work_remaining() / step_work;
+    }
+    const double work_delta = step_work * fraction;
+    const util::Energy it_energy = effective_power * dt * gpus * fraction;
+    const double water_l = it_energy.kilowatt_hours() * water_l_per_it_kwh;
+
+    job.progress(work_delta, it_energy);
+    accountant_.charge(job, it_energy, pue, price_now, carbon_now, water_l,
+                       gpus * dt.hours() * fraction);
+
+    if (job.work_remaining() <= 1e-6) {
+      const util::TimePoint finish = t + util::Duration::from_raw(dt.seconds() * fraction);
+      job.complete(finish);
+      completed_gpu_hours_ += job.request().work_gpu_seconds / 3600.0;
+      cluster_.release(job.id());
+    }
+  }
+}
+
+void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& signals) {
+  sched::SchedulerContext ctx;
+  ctx.now = t;
+  ctx.cluster = &cluster_;
+  ctx.jobs = &jobs_;
+  ctx.queue = &queue_;
+  ctx.signals = signals;
+
+  cluster_.set_power_cap(scheduler_->choose_cap(ctx));
+
+  const std::vector<cluster::JobId> starts = scheduler_->select(ctx);
+  for (cluster::JobId id : starts) {
+    cluster::Job& job = jobs_.get(id);
+    const auto alloc = cluster_.allocate(id, job.request().gpus);
+    if (!alloc) continue;  // defensive: scheduler overcommitted; skip
+    job.start(t);
+    if (job_cap_policy_) {
+      if (const std::optional<util::Power> cap = job_cap_policy_(job)) {
+        cluster_.set_job_cap(id, *cap);
+      }
+    }
+    queue_waits_hours_.push_back((t - job.submit_time()).hours());
+    const auto it = std::find(queue_.begin(), queue_.end(), id);
+    require(it != queue_.end(), "Datacenter: scheduler returned a job not in the queue");
+    queue_.erase(it);
+  }
+}
+
+void Datacenter::step(util::TimePoint t) {
+  const util::Duration dt = config_.step;
+  const util::Temperature outdoor = weather_.temperature_at(t);
+
+  // 1. Workload arrivals land at the step boundary.
+  if (arrivals_) {
+    for (const cluster::JobRequest& req : arrivals_->sample(t, dt, rng_)) submit(req);
+  }
+
+  // 2. Thermal state: throttle fraction from the *current* IT load.
+  const double throttle = cooling_.throttle_fraction(cluster_.it_power(), outdoor);
+  if (throttle > 0.0) throttle_seconds_ += dt.seconds();
+
+  // 3. Advance running jobs (progress, energy, completions).
+  progress_running_jobs(t, throttle);
+
+  // 4. Scheduling decisions under current grid signals.
+  sched::GridSignals signals;
+  signals.price = price_.price_at(t);
+  signals.carbon = carbon_.intensity_at(t);
+  signals.renewable_share = fuel_mix_.mix_at(t).renewable_share();
+  run_scheduler(t, signals);
+
+  // 5. Facility power and grid draw (battery may shift it).
+  const util::Power it = cluster_.it_power();
+  util::Power facility = cooling_.facility_power(it, outdoor);
+  if (battery_ && battery_policy_) {
+    grid::MarketView view{t, signals.price, signals.carbon, signals.renewable_share,
+                          battery_->soc_fraction()};
+    const grid::BatteryAction action = battery_policy_->decide(view);
+    if (action.kind == grid::BatteryAction::Kind::kCharge) {
+      const util::Energy from_grid = battery_->charge(action.power, dt);
+      facility += from_grid / dt;
+    } else if (action.kind == grid::BatteryAction::Kind::kDischarge) {
+      const util::Energy delivered = battery_->discharge(
+          std::min(action.power, facility * 0.9), dt);
+      facility -= delivered / dt;
+    }
+  }
+  connection_->draw(t, facility, dt);
+
+  // 6. Monthly instrumentation.
+  monthly_util_.add_sample(t, dt, cluster_.utilization());
+  monthly_pue_.add_sample(t, dt, cooling_.pue(it, outdoor));
+}
+
+void Datacenter::run_until(util::TimePoint end) {
+  if (!step_scheduled_) {
+    sim_.schedule_periodic(sim_.now(), config_.step,
+                           [this](sim::Simulation& s) { step(s.now()); });
+    step_scheduled_ = true;
+  }
+  sim_.run_until(end);
+}
+
+RunSummary Datacenter::summary() const {
+  RunSummary s;
+  s.jobs_submitted = jobs_.size();
+  s.jobs_completed = jobs_.in_state(cluster::JobState::kCompleted).size();
+  s.jobs_pending = queue_.size();
+  if (!queue_waits_hours_.empty()) {
+    s.mean_queue_wait_hours = stats::mean(queue_waits_hours_);
+    s.p95_queue_wait_hours = stats::quantile(queue_waits_hours_, 0.95);
+  }
+  const auto util_means = monthly_util_.means();
+  if (!util_means.empty()) s.mean_utilization = stats::mean(util_means);
+  const auto pue_means = monthly_pue_.means();
+  if (!pue_means.empty()) s.mean_pue = stats::mean(pue_means);
+  s.completed_gpu_hours = completed_gpu_hours_;
+  s.throttle_hours = throttle_seconds_ / 3600.0;
+  s.grid_totals = connection_->totals();
+  return s;
+}
+
+const sim::MonthlyAccumulator& Datacenter::monthly_power() const {
+  return connection_->monthly_power();
+}
+
+std::unique_ptr<Datacenter> make_reference_datacenter(std::unique_ptr<sched::Scheduler> scheduler,
+                                                      std::uint64_t seed) {
+  DatacenterConfig config;
+  config.seed = seed;
+  config.fuel_mix.seed = seed ^ 0x5EEDF00DULL;
+  config.price.seed = seed ^ 0x9E37ULL;
+  config.weather.seed = seed ^ 0xBADCAFEULL;
+  auto dc = std::make_unique<Datacenter>(config, std::move(scheduler));
+  dc->attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  return dc;
+}
+
+}  // namespace greenhpc::core

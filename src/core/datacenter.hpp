@@ -1,0 +1,166 @@
+#pragma once
+// The datacenter digital twin: Eq. 1 made executable.
+//
+// Composes every substrate — cluster (q_s), scheduler (p), power caps (c),
+// workload arrivals (q_d), and the environment epsilon (weather, fuel mix,
+// prices) — and steps them together on the simulation engine. Total energy
+// E(.) and activity A(.) fall out of the run, decomposed per job/user by the
+// accountant (Eq. 2). Every figure bench drives one of these.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/job.hpp"
+#include "grid/battery.hpp"
+#include "grid/carbon.hpp"
+#include "grid/connection.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/recorder.hpp"
+#include "telemetry/accountant.hpp"
+#include "thermal/cooling.hpp"
+#include "thermal/weather.hpp"
+#include "util/rng.hpp"
+#include "workload/arrivals.hpp"
+
+namespace greenhpc::core {
+
+struct DatacenterConfig {
+  cluster::ClusterSpec cluster;
+  thermal::WeatherConfig weather;
+  thermal::CoolingConfig cooling;
+  grid::FuelMixConfig fuel_mix;
+  grid::PriceConfig price;
+  grid::GridConnectionConfig connection;
+  std::optional<grid::BatteryConfig> battery;  ///< nullopt = no storage
+  util::Duration step = util::minutes(15);
+  /// Where the twin's clock starts (default: the simulation epoch,
+  /// 2020-01-01). Experiments on a later window start just before it.
+  util::TimePoint start = util::TimePoint::from_seconds(0.0);
+  std::uint64_t seed = 42;
+};
+
+/// Aggregate results of a run (monthly views live on the accessors).
+struct RunSummary {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_pending = 0;
+  double mean_queue_wait_hours = 0.0;
+  double p95_queue_wait_hours = 0.0;
+  double mean_utilization = 0.0;
+  double mean_pue = 0.0;
+  double completed_gpu_hours = 0.0;  ///< the activity A of Eq. 1
+  double throttle_hours = 0.0;       ///< hours with nonzero thermal throttle
+  grid::EnergyLedger grid_totals;    ///< energy E, cost, carbon, water
+};
+
+class Datacenter {
+ public:
+  /// `scheduler` must be non-null; `arrivals_config`/`modulator` may be
+  /// omitted for externally-driven workloads (submit() only).
+  Datacenter(DatacenterConfig config, std::unique_ptr<sched::Scheduler> scheduler);
+
+  /// Attaches an arrival process (owned modulator built from `calendar`).
+  void attach_arrivals(workload::ArrivalConfig arrival_config,
+                       workload::DeadlineCalendar calendar, workload::DemandConfig demand = {});
+
+  /// As above, with submissions attributed to a user population (borrowed;
+  /// must outlive the datacenter). Enables the Eq. 2 per-user analyses.
+  void attach_arrivals(workload::ArrivalConfig arrival_config,
+                       workload::DeadlineCalendar calendar,
+                       const workload::UserPopulation* population,
+                       workload::DemandConfig demand = {});
+
+  /// Attaches a battery policy (requires config.battery to be set).
+  void attach_battery_policy(std::unique_ptr<grid::ArbitragePolicy> policy);
+
+  /// Eq. 2 hook: called once when a job starts; a returned cap is applied to
+  /// that job's GPUs (min-composed with the cluster-wide cap). Return
+  /// nullopt to leave the job on the cluster cap.
+  using JobCapPolicy = std::function<std::optional<util::Power>(const cluster::Job&)>;
+  void set_job_cap_policy(JobCapPolicy policy) { job_cap_policy_ = std::move(policy); }
+
+  /// Submits an external job at the current simulation time.
+  cluster::JobId submit(const cluster::JobRequest& request);
+
+  /// Runs the twin from its current time to `end`.
+  void run_until(util::TimePoint end);
+
+  [[nodiscard]] util::TimePoint now() const { return sim_.now(); }
+  [[nodiscard]] RunSummary summary() const;
+
+  // --- Component access (read-only) -----------------------------------------
+  [[nodiscard]] const cluster::Cluster& cluster_state() const { return cluster_; }
+  [[nodiscard]] const cluster::JobRegistry& jobs() const { return jobs_; }
+  [[nodiscard]] const grid::GridConnection& grid_meter() const { return *connection_; }
+  [[nodiscard]] const telemetry::EnergyAccountant& accountant() const { return accountant_; }
+  [[nodiscard]] const thermal::WeatherModel& weather() const { return weather_; }
+  [[nodiscard]] const grid::FuelMixModel& fuel_mix() const { return fuel_mix_; }
+  [[nodiscard]] const grid::LmpPriceModel& prices() const { return price_; }
+  [[nodiscard]] const grid::CarbonIntensityModel& carbon() const { return carbon_; }
+  [[nodiscard]] const grid::BatteryStorage* battery() const { return battery_ ? &*battery_ : nullptr; }
+  [[nodiscard]] thermal::WeatherModel& mutable_weather() { return weather_; }
+
+  /// Monthly mean facility power (kW) — Fig. 2/4/5 left axis.
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_power() const;
+  /// Monthly mean GPU utilization (0..1).
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_utilization() const { return monthly_util_; }
+  /// Monthly mean PUE.
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_pue() const { return monthly_pue_; }
+  /// Monthly job submissions (event counts).
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_submissions() const { return monthly_subs_; }
+
+ private:
+  void step(util::TimePoint t);
+  void progress_running_jobs(util::TimePoint t, double throttle);
+  void run_scheduler(util::TimePoint t, const sched::GridSignals& signals);
+
+  DatacenterConfig config_;
+
+  // Environment models.
+  thermal::WeatherModel weather_;
+  thermal::CoolingModel cooling_;
+  grid::FuelMixModel fuel_mix_;
+  grid::CarbonIntensityModel carbon_;
+  grid::LmpPriceModel price_;
+  std::unique_ptr<grid::GridConnection> connection_;
+  std::optional<grid::BatteryStorage> battery_;
+  std::unique_ptr<grid::ArbitragePolicy> battery_policy_;
+
+  // Plant.
+  cluster::Cluster cluster_;
+  cluster::JobRegistry jobs_;
+  std::vector<cluster::JobId> queue_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  JobCapPolicy job_cap_policy_;
+
+  // Workload.
+  std::unique_ptr<workload::DemandModulator> modulator_;
+  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  util::Rng rng_;
+
+  // Measurement.
+  telemetry::EnergyAccountant accountant_;
+  sim::MonthlyAccumulator monthly_util_;
+  sim::MonthlyAccumulator monthly_pue_;
+  sim::MonthlyAccumulator monthly_subs_;
+  std::vector<double> queue_waits_hours_;
+  double throttle_seconds_ = 0.0;
+  double completed_gpu_hours_ = 0.0;
+
+  sim::Simulation sim_;
+  bool step_scheduled_ = false;
+};
+
+/// The standard experiment twin: SuperCloud-E1-scale cluster, Boston
+/// weather, ISO-NE-like grid, Table I deadline-driven arrivals, scheduler of
+/// your choice. This is the configuration every figure bench starts from.
+[[nodiscard]] std::unique_ptr<Datacenter> make_reference_datacenter(
+    std::unique_ptr<sched::Scheduler> scheduler, std::uint64_t seed = 42);
+
+}  // namespace greenhpc::core

@@ -1,0 +1,154 @@
+#include "core/optimization.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/carbon_aware.hpp"
+#include "sched/power_aware.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace greenhpc::core {
+
+using util::require;
+
+const char* policy_name(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kFcfs: return "fcfs";
+    case PolicyKind::kBackfill: return "easy_backfill";
+    case PolicyKind::kCarbonAware: return "carbon_aware";
+    case PolicyKind::kPowerAware: return "power_aware";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p) {
+  switch (p) {
+    case PolicyKind::kFcfs: return std::make_unique<sched::FcfsScheduler>();
+    case PolicyKind::kBackfill: return std::make_unique<sched::EasyBackfillScheduler>();
+    case PolicyKind::kCarbonAware: return std::make_unique<sched::CarbonAwareScheduler>();
+    case PolicyKind::kPowerAware: return std::make_unique<sched::PowerAwareScheduler>();
+  }
+  return std::make_unique<sched::FcfsScheduler>();
+}
+
+std::string ControlVector::label() const {
+  return std::string(policy_name(policy)) + "/cap" + util::fmt_fixed(power_cap.watts(), 0) +
+         "W/nodes" + std::to_string(enabled_nodes) + (battery ? "/battery" : "");
+}
+
+OptimizationResult grid_search(const EvaluateFn& evaluate,
+                               const std::vector<ControlVector>& candidates, double alpha,
+                               bool parallel) {
+  require(static_cast<bool>(evaluate), "grid_search: null evaluate function");
+  require(!candidates.empty(), "grid_search: empty candidate list");
+
+  std::vector<Evaluation> evals(candidates.size());
+  if (parallel) {
+    util::parallel_for(candidates.size(),
+                       [&](std::size_t i) { evals[i] = evaluate(candidates[i]); });
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) evals[i] = evaluate(candidates[i]);
+  }
+
+  OptimizationResult result;
+  result.all = evals;
+  double best_energy = std::numeric_limits<double>::infinity();
+  double least_violation = std::numeric_limits<double>::infinity();
+  for (const Evaluation& e : evals) {
+    if (e.feasible(alpha)) {
+      if (!result.found_feasible || e.energy < best_energy) {
+        result.best = e;
+        best_energy = e.energy;
+        result.found_feasible = true;
+      }
+    } else if (!result.found_feasible) {
+      // Track the least-infeasible point as a fallback recommendation.
+      const double violation = alpha - e.activity;
+      if (violation < least_violation) {
+        least_violation = violation;
+        result.best = e;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ControlVector> default_lattice() {
+  std::vector<ControlVector> lattice;
+  for (PolicyKind p : {PolicyKind::kFcfs, PolicyKind::kBackfill, PolicyKind::kCarbonAware,
+                       PolicyKind::kPowerAware}) {
+    for (double cap : {250.0, 225.0, 200.0, 175.0, 150.0}) {
+      for (int nodes : {224, 200, 176}) {
+        ControlVector cv;
+        cv.policy = p;
+        cv.power_cap = util::watts(cap);
+        cv.enabled_nodes = nodes;
+        lattice.push_back(cv);
+      }
+    }
+  }
+  return lattice;
+}
+
+OptimizationResult refine_cap(const EvaluateFn& evaluate, ControlVector start, double alpha,
+                              util::Power step, int max_iterations) {
+  require(static_cast<bool>(evaluate), "refine_cap: null evaluate function");
+  require(step.watts() > 0.0, "refine_cap: step must be positive");
+
+  OptimizationResult result;
+  Evaluation current = evaluate(start);
+  result.all.push_back(current);
+  result.best = current;
+  result.found_feasible = current.feasible(alpha);
+
+  for (int i = 0; i < max_iterations; ++i) {
+    ControlVector next = result.best.controls;
+    next.power_cap = next.power_cap - step;
+    if (next.power_cap.watts() < 100.0) break;  // settable floor
+    const Evaluation e = evaluate(next);
+    result.all.push_back(e);
+    if (e.feasible(alpha) && e.energy < result.best.energy) {
+      result.best = e;
+      result.found_feasible = true;
+    } else {
+      break;  // constraint broke or energy worsened: stop descending
+    }
+  }
+  return result;
+}
+
+std::vector<UserCapAssignment> per_user_caps(
+    const std::vector<telemetry::UserFootprint>& users, const power::GpuPowerModel& model,
+    const std::function<double(const telemetry::UserFootprint&)>& alpha_of) {
+  require(static_cast<bool>(alpha_of), "per_user_caps: null alpha function");
+
+  std::vector<UserCapAssignment> out;
+  out.reserve(users.size());
+  for (const telemetry::UserFootprint& u : users) {
+    const double alpha = alpha_of(u);
+    UserCapAssignment a;
+    a.user = u.user;
+    a.cap = model.spec().tdp;
+    a.predicted_activity = u.gpu_hours;
+    a.predicted_energy_ratio = 1.0;
+    // Walk the cap down while the user's throughput-scaled activity stays
+    // above their floor; keep the greenest feasible cap.
+    for (double w = model.spec().tdp.watts(); w >= model.spec().min_cap.watts(); w -= 5.0) {
+      const util::Power cap = util::watts(w);
+      const double activity = u.gpu_hours * model.throughput_factor(cap);
+      if (activity < alpha) break;
+      const double energy_ratio = model.relative_energy_per_work(cap);
+      if (energy_ratio <= a.predicted_energy_ratio) {
+        a.cap = cap;
+        a.predicted_activity = activity;
+        a.predicted_energy_ratio = energy_ratio;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace greenhpc::core

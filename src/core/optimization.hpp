@@ -1,0 +1,103 @@
+#pragma once
+// The Eq. 1 / Eq. 2 optimization framework.
+//
+// Eq. 1:  min_{q_s, p, c}  E(q_d, q_s, p, c, eps)   s.t.  A(...) >= alpha
+//
+// Controls: q_s (enabled nodes), p (scheduler policy), c (power cap, battery
+// policy). The objective is evaluated by running the digital twin, so the
+// optimizer treats E and A as a black box — exactly how an operations team
+// would tune a real facility against a simulator. A grid search enumerates
+// the (small, discrete) control lattice, optionally in parallel across the
+// thread pool; coordinate descent refines the continuous cap dimension.
+//
+// Eq. 2 decomposes per user: min sum_i e_i s.t. a_i >= alpha_i. Given the
+// accountant's per-user ledgers, per_user_caps() picks the strictest per-user
+// power cap keeping each user's activity above their floor — the "tailored"
+// micro-level intervention the paper contrasts with across-the-board knobs.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/gpu_power.hpp"
+#include "sched/scheduler.hpp"
+#include "telemetry/accountant.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::core {
+
+/// Which scheduling policy the control vector selects (the `p` knob).
+enum class PolicyKind : std::uint8_t {
+  kFcfs = 0,
+  kBackfill,
+  kCarbonAware,
+  kPowerAware,
+};
+
+[[nodiscard]] const char* policy_name(PolicyKind p);
+
+/// Instantiates the scheduler a control vector selects.
+[[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p);
+
+/// One point in the Eq. 1 control space.
+struct ControlVector {
+  util::Power power_cap = util::watts(250.0);  ///< c: cluster-wide GPU cap
+  int enabled_nodes = 224;                     ///< q_s: supply
+  PolicyKind policy = PolicyKind::kBackfill;   ///< p: allocation rule
+  bool battery = false;                        ///< c: storage dispatch on/off
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// What one evaluation of the twin reports back.
+struct Evaluation {
+  ControlVector controls;
+  double energy = 0.0;    ///< E(.) — the objective (kWh, $ or kgCO2; caller's choice)
+  double activity = 0.0;  ///< A(.) — completed GPU-hours (or any activity proxy)
+  [[nodiscard]] bool feasible(double alpha) const { return activity >= alpha; }
+};
+
+using EvaluateFn = std::function<Evaluation(const ControlVector&)>;
+
+struct OptimizationResult {
+  Evaluation best;
+  std::vector<Evaluation> all;  ///< every evaluated point, for reporting
+  bool found_feasible = false;
+};
+
+/// Minimizes energy subject to A >= alpha over an explicit candidate list.
+/// Evaluations run on the shared thread pool when `parallel` is true (each
+/// candidate must then be independently evaluable — the twin factory must
+/// build a fresh simulation per call).
+[[nodiscard]] OptimizationResult grid_search(const EvaluateFn& evaluate,
+                                             const std::vector<ControlVector>& candidates,
+                                             double alpha, bool parallel = true);
+
+/// Builds a reasonable candidate lattice: caps x node counts x policies.
+[[nodiscard]] std::vector<ControlVector> default_lattice();
+
+/// Coordinate descent on the continuous cap dimension around a start point:
+/// shrinks the cap while the activity constraint holds and energy improves.
+[[nodiscard]] OptimizationResult refine_cap(const EvaluateFn& evaluate, ControlVector start,
+                                            double alpha, util::Power step = util::watts(10.0),
+                                            int max_iterations = 12);
+
+// --- Eq. 2: per-user decomposition ------------------------------------------
+
+struct UserCapAssignment {
+  cluster::UserId user = 0;
+  util::Power cap;
+  double predicted_activity = 0.0;  ///< a_i under the cap (GPU-hours
+                                    ///< rescaled by throughput)
+  double predicted_energy_ratio = 1.0;  ///< e_i vs uncapped
+};
+
+/// For each user ledger, picks the strictest cap whose throughput keeps the
+/// user's activity (gpu-hours x throughput factor) at or above `alpha_i`.
+/// `alpha_of(user)` supplies the per-user floor.
+[[nodiscard]] std::vector<UserCapAssignment> per_user_caps(
+    const std::vector<telemetry::UserFootprint>& users, const power::GpuPowerModel& model,
+    const std::function<double(const telemetry::UserFootprint&)>& alpha_of);
+
+}  // namespace greenhpc::core

@@ -1,0 +1,144 @@
+#include "core/stress.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace greenhpc::core {
+
+using util::require;
+
+const char* scenario_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kBaseline: return "baseline";
+    case ScenarioKind::kHeatWave: return "heat_wave";
+    case ScenarioKind::kExtremeHeatWave: return "extreme_heat_wave";
+    case ScenarioKind::kWarmedClimate: return "warmed_climate";
+    case ScenarioKind::kCoolingDegradation: return "cooling_degradation";
+    case ScenarioKind::kPriceSpike: return "price_spike";
+    case ScenarioKind::kRenewableDrought: return "renewable_drought";
+  }
+  return "unknown";
+}
+
+StressTester::StressTester(StressConfig config) : config_(config) {
+  require(config_.replicas >= 1, "StressTester: need at least one replica");
+}
+
+StressTester::SingleRun StressTester::run_once(ScenarioKind scenario, double weatherization,
+                                               std::uint64_t seed) const {
+  DatacenterConfig dc_config;
+  dc_config.seed = seed;
+  dc_config.fuel_mix.seed = seed ^ 0x5EEDF00DULL;
+  dc_config.price.seed = seed ^ 0x9E37ULL;
+  dc_config.weather.seed = seed ^ 0xBADCAFEULL;
+  dc_config.cooling = thermal::CoolingModel::weatherized(thermal::CoolingConfig{}, weatherization);
+
+  const util::MonthSpan span = util::month_span(config_.month);
+
+  // Environment perturbations.
+  switch (scenario) {
+    case ScenarioKind::kBaseline:
+      break;
+    case ScenarioKind::kWarmedClimate:
+      dc_config.weather.climate_offset = 3.0;
+      break;
+    case ScenarioKind::kCoolingDegradation:
+      dc_config.cooling.cooling_capacity = dc_config.cooling.cooling_capacity * 0.65;
+      break;
+    case ScenarioKind::kPriceSpike:
+      dc_config.price.spikes_per_year *= 10.0;
+      dc_config.price.spike_multiplier = 6.0;
+      break;
+    case ScenarioKind::kRenewableDrought:
+      for (auto& w : dc_config.fuel_mix.wind_pct_by_month) w *= 0.5;
+      break;
+    case ScenarioKind::kHeatWave:
+    case ScenarioKind::kExtremeHeatWave:
+      break;  // injected below, needs the WeatherModel instance
+  }
+
+  // Start a warm-up week before the measured month so the queue and
+  // allocations reach steady state.
+  dc_config.start = span.start - util::days(7);
+
+  auto scheduler = std::make_unique<sched::EasyBackfillScheduler>();
+  Datacenter dc(dc_config, std::move(scheduler));
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+
+  if (scenario == ScenarioKind::kHeatWave) {
+    dc.mutable_weather().add_heat_wave(
+        {span.start + util::days(12), util::days(5), 8.0});
+  } else if (scenario == ScenarioKind::kExtremeHeatWave) {
+    dc.mutable_weather().add_heat_wave(
+        {span.start + util::days(10), util::days(10), 14.0});
+  }
+
+  dc.run_until(span.start);  // warm-up week
+  dc.run_until(span.end);    // measured month
+
+  const RunSummary s = dc.summary();
+  SingleRun out;
+  out.throttle_hours = s.throttle_hours;
+  out.completed_gpu_hours = s.completed_gpu_hours;
+  out.cost_usd = s.grid_totals.cost.dollars();
+  out.carbon_kg = s.grid_totals.carbon.kilograms();
+  const auto pue_monthly = dc.monthly_pue().monthly();
+  for (const auto& m : pue_monthly) {
+    if (m.month == config_.month) out.peak_pue = m.max;
+  }
+  return out;
+}
+
+StressOutcome StressTester::run(ScenarioKind scenario, double weatherization) const {
+  require(weatherization >= 0.0 && weatherization <= 1.0,
+          "StressTester: weatherization must be in [0,1]");
+
+  std::vector<SingleRun> stressed(config_.replicas);
+  std::vector<SingleRun> control(config_.replicas);
+  util::parallel_for(config_.replicas * 2, [&](std::size_t i) {
+    const std::size_t r = i / 2;
+    const std::uint64_t seed = config_.base_seed + r * 7919;
+    if (i % 2 == 0) {
+      stressed[r] = run_once(scenario, weatherization, seed);
+    } else {
+      control[r] = run_once(ScenarioKind::kBaseline, weatherization, seed);
+    }
+  });
+
+  StressOutcome out;
+  out.scenario = scenario;
+  out.weatherization = weatherization;
+  out.replicas = config_.replicas;
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    out.throttle_hours += stressed[r].throttle_hours;
+    out.unserved_gpu_hours +=
+        std::max(0.0, control[r].completed_gpu_hours - stressed[r].completed_gpu_hours);
+    out.peak_pue = std::max(out.peak_pue, stressed[r].peak_pue);
+    out.extra_cost_usd += stressed[r].cost_usd - control[r].cost_usd;
+    out.extra_carbon_kg += stressed[r].carbon_kg - control[r].carbon_kg;
+  }
+  const auto n = static_cast<double>(config_.replicas);
+  out.throttle_hours /= n;
+  out.unserved_gpu_hours /= n;
+  out.extra_cost_usd /= n;
+  out.extra_carbon_kg /= n;
+  return out;
+}
+
+std::vector<StressOutcome> StressTester::run_battery(
+    const std::vector<double>& weatherization_levels) const {
+  std::vector<StressOutcome> out;
+  for (double level : weatherization_levels) {
+    for (ScenarioKind k :
+         {ScenarioKind::kHeatWave, ScenarioKind::kExtremeHeatWave, ScenarioKind::kWarmedClimate,
+          ScenarioKind::kCoolingDegradation, ScenarioKind::kPriceSpike,
+          ScenarioKind::kRenewableDrought}) {
+      out.push_back(run(k, level));
+    }
+  }
+  return out;
+}
+
+}  // namespace greenhpc::core

@@ -1,0 +1,78 @@
+#pragma once
+// Weatherization stress tests (Sec. II-B).
+//
+// "A useful exercise can be a regularly conducted stress-test akin to the
+// Dodd-Frank stress tests ... simulated stress scenarios that test the
+// resiliency ... helping identify areas in need of remediation." Each
+// scenario perturbs the environment (heat waves, chiller degradation, price
+// spikes, renewable droughts); the tester runs the twin with and without
+// weatherization investment and reports resilience metrics. Ensembles run
+// across seeds on the thread pool.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+
+namespace greenhpc::core {
+
+enum class ScenarioKind : std::uint8_t {
+  kBaseline = 0,        ///< no perturbation (control)
+  kHeatWave,            ///< +8 C for 5 days mid-July
+  kExtremeHeatWave,     ///< +14 C for 10 days mid-July
+  kWarmedClimate,       ///< +3 C always (the climate-change drift of Sec. II-B)
+  kCoolingDegradation,  ///< chiller fault: -35% cooling capacity
+  kPriceSpike,          ///< scarcity pricing: 10x spike frequency
+  kRenewableDrought,    ///< wind under-delivers by 50% (Sec. II-A caveat)
+};
+
+[[nodiscard]] const char* scenario_name(ScenarioKind k);
+
+/// Resilience metrics from one scenario run, compared to the control run.
+struct StressOutcome {
+  ScenarioKind scenario = ScenarioKind::kBaseline;
+  double weatherization = 0.0;      ///< investment level used, [0,1]
+  double throttle_hours = 0.0;      ///< hours spent thermally throttled
+  double unserved_gpu_hours = 0.0;  ///< completed work lost vs. control
+  double peak_pue = 0.0;
+  double extra_cost_usd = 0.0;      ///< electricity cost vs. control
+  double extra_carbon_kg = 0.0;
+  std::size_t replicas = 0;         ///< ensemble size behind the means
+};
+
+struct StressConfig {
+  /// Month to run (July stresses cooling hardest).
+  util::MonthKey month{2021, 7};
+  /// Ensemble size (independent seeds, parallel).
+  std::size_t replicas = 4;
+  std::uint64_t base_seed = 1234;
+};
+
+class StressTester {
+ public:
+  explicit StressTester(StressConfig config = {});
+
+  /// Runs one scenario at a weatherization level; returns ensemble means.
+  [[nodiscard]] StressOutcome run(ScenarioKind scenario, double weatherization) const;
+
+  /// The full Dodd-Frank-style battery: every scenario at the given
+  /// investment levels.
+  [[nodiscard]] std::vector<StressOutcome> run_battery(
+      const std::vector<double>& weatherization_levels) const;
+
+ private:
+  struct SingleRun {
+    double throttle_hours = 0.0;
+    double completed_gpu_hours = 0.0;
+    double peak_pue = 0.0;
+    double cost_usd = 0.0;
+    double carbon_kg = 0.0;
+  };
+  [[nodiscard]] SingleRun run_once(ScenarioKind scenario, double weatherization,
+                                   std::uint64_t seed) const;
+
+  StressConfig config_;
+};
+
+}  // namespace greenhpc::core

@@ -1,0 +1,74 @@
+#include "forecast/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::forecast {
+
+using util::require;
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  require(truth.size() == predicted.size() && !truth.empty(), "mae: size mismatch or empty");
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) total += std::abs(truth[i] - predicted[i]);
+  return total / static_cast<double>(truth.size());
+}
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  require(truth.size() == predicted.size() && !truth.empty(), "rmse: size mismatch or empty");
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+double mape(std::span<const double> truth, std::span<const double> predicted) {
+  require(truth.size() == predicted.size() && !truth.empty(), "mape: size mismatch or empty");
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    require(truth[i] != 0.0, "mape: zero truth value");
+    total += std::abs((truth[i] - predicted[i]) / truth[i]);
+  }
+  return 100.0 * total / static_cast<double>(truth.size());
+}
+
+BacktestResult backtest(Forecaster& model, std::span<const double> series, std::size_t min_train,
+                        std::size_t horizon, std::size_t stride) {
+  require(horizon >= 1, "backtest: horizon must be >= 1");
+  require(stride >= 1, "backtest: stride must be >= 1");
+  const std::size_t start = std::max(min_train, model.min_history());
+  require(series.size() > start + horizon, "backtest: series too short for configuration");
+
+  double mae_total = 0.0, mse_total = 0.0, mape_total = 0.0;
+  std::size_t folds = 0;
+  for (std::size_t origin = start; origin + horizon <= series.size(); origin += stride) {
+    model.fit(series.subspan(0, origin));
+    const std::vector<double> predicted = model.predict(horizon);
+    const auto truth = series.subspan(origin, horizon);
+    mae_total += mae(truth, predicted);
+    const double r = rmse(truth, predicted);
+    mse_total += r * r;
+    bool mape_ok = true;
+    for (double v : truth)
+      if (v == 0.0) mape_ok = false;
+    if (mape_ok) mape_total += mape(truth, predicted);
+    ++folds;
+  }
+  BacktestResult out;
+  out.folds = folds;
+  out.mae = mae_total / static_cast<double>(folds);
+  out.rmse = std::sqrt(mse_total / static_cast<double>(folds));
+  out.mape = mape_total / static_cast<double>(folds);
+  return out;
+}
+
+BacktestResult with_skill(BacktestResult candidate, const BacktestResult& baseline) {
+  candidate.skill = baseline.rmse > 0.0 ? 1.0 - candidate.rmse / baseline.rmse : 0.0;
+  return candidate;
+}
+
+}  // namespace greenhpc::forecast

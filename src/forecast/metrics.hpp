@@ -1,0 +1,36 @@
+#pragma once
+// Forecast accuracy metrics and rolling-origin backtesting.
+
+#include <span>
+#include <vector>
+
+#include "forecast/models.hpp"
+
+namespace greenhpc::forecast {
+
+[[nodiscard]] double mae(std::span<const double> truth, std::span<const double> predicted);
+[[nodiscard]] double rmse(std::span<const double> truth, std::span<const double> predicted);
+/// Mean absolute percentage error; truth values must be nonzero.
+[[nodiscard]] double mape(std::span<const double> truth, std::span<const double> predicted);
+
+struct BacktestResult {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;
+  std::size_t folds = 0;
+  /// Skill vs. the supplied baseline metric: 1 - rmse/baseline_rmse (filled
+  /// by compare_backtests, 0 otherwise).
+  double skill = 0.0;
+};
+
+/// Rolling-origin evaluation: fit on series[0..t), predict `horizon`, score
+/// against series[t..t+horizon), advance by `stride`. The first origin is
+/// max(min_train, model.min_history()).
+[[nodiscard]] BacktestResult backtest(Forecaster& model, std::span<const double> series,
+                                      std::size_t min_train, std::size_t horizon,
+                                      std::size_t stride = 1);
+
+/// Fills `candidate.skill` relative to `baseline`.
+[[nodiscard]] BacktestResult with_skill(BacktestResult candidate, const BacktestResult& baseline);
+
+}  // namespace greenhpc::forecast

@@ -1,0 +1,116 @@
+#include "forecast/models.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::forecast {
+
+using util::require;
+
+// --- SeasonalNaive ----------------------------------------------------------
+
+SeasonalNaive::SeasonalNaive(std::size_t period) : period_(period) {
+  require(period >= 1, "SeasonalNaive: period must be >= 1");
+}
+
+void SeasonalNaive::fit(std::span<const double> series) {
+  require(series.size() >= period_, "SeasonalNaive: history shorter than one period");
+  last_season_.assign(series.end() - static_cast<std::ptrdiff_t>(period_), series.end());
+}
+
+std::vector<double> SeasonalNaive::predict(std::size_t horizon) const {
+  require(!last_season_.empty(), "SeasonalNaive: predict before fit");
+  std::vector<double> out(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) out[h] = last_season_[h % period_];
+  return out;
+}
+
+// --- ArModel ------------------------------------------------------------------
+
+ArModel::ArModel(std::size_t order) : order_(order) {
+  require(order >= 1, "ArModel: order must be >= 1");
+}
+
+void ArModel::fit(std::span<const double> series) {
+  require(series.size() >= min_history(), "ArModel: history too short for order");
+  const std::size_t n = series.size();
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  rows.reserve(n - order_);
+  for (std::size_t t = order_; t < n; ++t) {
+    std::vector<double> row;
+    row.reserve(order_ + 1);
+    row.push_back(1.0);  // intercept
+    for (std::size_t lag = 1; lag <= order_; ++lag) row.push_back(series[t - lag]);
+    rows.push_back(std::move(row));
+    targets.push_back(series[t]);
+  }
+  coefficients_ = stats::multiple_fit(rows, targets).coefficients;
+  tail_.assign(series.end() - static_cast<std::ptrdiff_t>(order_), series.end());
+}
+
+std::vector<double> ArModel::predict(std::size_t horizon) const {
+  require(!coefficients_.empty(), "ArModel: predict before fit");
+  std::vector<double> window = tail_;  // oldest-first
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    double y = coefficients_[0];
+    for (std::size_t lag = 1; lag <= order_; ++lag)
+      y += coefficients_[lag] * window[window.size() - lag];
+    out.push_back(y);
+    window.push_back(y);
+  }
+  return out;
+}
+
+// --- HoltWinters ---------------------------------------------------------------
+
+HoltWinters::HoltWinters(std::size_t period, Params params) : period_(period), params_(params) {
+  require(period >= 2, "HoltWinters: period must be >= 2");
+  for (double p : {params.alpha, params.beta, params.gamma})
+    require(p > 0.0 && p < 1.0, "HoltWinters: smoothing parameters must be in (0,1)");
+}
+
+void HoltWinters::fit(std::span<const double> series) {
+  require(series.size() >= min_history(), "HoltWinters: need at least two full seasons");
+
+  // Classical initialization from the first two seasons.
+  double mean1 = 0.0, mean2 = 0.0;
+  for (std::size_t i = 0; i < period_; ++i) {
+    mean1 += series[i];
+    mean2 += series[period_ + i];
+  }
+  mean1 /= static_cast<double>(period_);
+  mean2 /= static_cast<double>(period_);
+  level_ = mean1;
+  trend_ = (mean2 - mean1) / static_cast<double>(period_);
+  seasonal_.assign(period_, 0.0);
+  for (std::size_t i = 0; i < period_; ++i) seasonal_[i] = series[i] - mean1;
+
+  // Smooth through the full history.
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    const std::size_t s = t % period_;
+    const double prev_level = level_;
+    level_ = params_.alpha * (series[t] - seasonal_[s]) +
+             (1.0 - params_.alpha) * (level_ + trend_);
+    trend_ = params_.beta * (level_ - prev_level) + (1.0 - params_.beta) * trend_;
+    seasonal_[s] = params_.gamma * (series[t] - level_) + (1.0 - params_.gamma) * seasonal_[s];
+  }
+  fitted_length_ = series.size();
+}
+
+std::vector<double> HoltWinters::predict(std::size_t horizon) const {
+  require(fitted_length_ > 0, "HoltWinters: predict before fit");
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    const std::size_t s = (fitted_length_ + h - 1) % period_;
+    out.push_back(level_ + static_cast<double>(h) * trend_ + seasonal_[s]);
+  }
+  return out;
+}
+
+}  // namespace greenhpc::forecast

@@ -1,0 +1,101 @@
+#pragma once
+// Forecasting models.
+//
+// Sec. II-C: "Models that help forecast and relate energy prices, fuel mix,
+// as well as energy expenditure to one another can provide significant
+// support in the decision-making process for optimizing energy purchases and
+// consumption." These are the classical models that do that job: seasonal
+// naive (baseline), autoregressive (OLS-fit), and additive Holt-Winters
+// (level/trend/seasonality). Sec. IV-C's wind-forecasting example (DeepMind's
+// 36-hour-ahead wind commitment) is reproduced with these in
+// examples/wind_forecast.cpp.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stats/regression.hpp"
+
+namespace greenhpc::forecast {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Fits on a history (chronological). Throws if the series is too short.
+  virtual void fit(std::span<const double> series) = 0;
+
+  /// Forecasts the next `horizon` values after the fitted history.
+  [[nodiscard]] virtual std::vector<double> predict(std::size_t horizon) const = 0;
+
+  /// Minimum history length fit() accepts.
+  [[nodiscard]] virtual std::size_t min_history() const = 0;
+};
+
+/// y_hat(t+h) = y(t + h - period) — the standard seasonal baseline.
+class SeasonalNaive final : public Forecaster {
+ public:
+  explicit SeasonalNaive(std::size_t period);
+
+  [[nodiscard]] const char* name() const override { return "seasonal_naive"; }
+  void fit(std::span<const double> series) override;
+  [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  [[nodiscard]] std::size_t min_history() const override { return period_; }
+
+ private:
+  std::size_t period_;
+  std::vector<double> last_season_;
+};
+
+/// AR(p) with intercept, fit by OLS on the lag design matrix; multi-step
+/// forecasts feed predictions back recursively.
+class ArModel final : public Forecaster {
+ public:
+  explicit ArModel(std::size_t order);
+
+  [[nodiscard]] const char* name() const override { return "ar"; }
+  void fit(std::span<const double> series) override;
+  [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  [[nodiscard]] std::size_t min_history() const override { return order_ * 3 + 1; }
+
+  [[nodiscard]] std::size_t order() const { return order_; }
+  /// [intercept, phi_1 .. phi_p]; valid after fit().
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  std::size_t order_;
+  std::vector<double> coefficients_;
+  std::vector<double> tail_;  ///< last `order_` observations, oldest first
+};
+
+/// Additive Holt-Winters (triple exponential smoothing).
+class HoltWinters final : public Forecaster {
+ public:
+  struct Params {
+    double alpha = 0.3;  ///< level smoothing
+    double beta = 0.05;  ///< trend smoothing
+    double gamma = 0.2;  ///< seasonal smoothing
+  };
+  HoltWinters(std::size_t period, Params params);
+  explicit HoltWinters(std::size_t period) : HoltWinters(period, Params{}) {}
+
+  [[nodiscard]] const char* name() const override { return "holt_winters"; }
+  void fit(std::span<const double> series) override;
+  [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  [[nodiscard]] std::size_t min_history() const override { return period_ * 2; }
+
+  [[nodiscard]] double level() const { return level_; }
+  [[nodiscard]] double trend() const { return trend_; }
+  [[nodiscard]] const std::vector<double>& seasonal() const { return seasonal_; }
+
+ private:
+  std::size_t period_;
+  Params params_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::vector<double> seasonal_;
+  std::size_t fitted_length_ = 0;
+};
+
+}  // namespace greenhpc::forecast

@@ -1,0 +1,90 @@
+#include "grid/battery.hpp"
+
+#include <algorithm>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+BatteryStorage::BatteryStorage(BatteryConfig config) : config_(config) {
+  require(config_.capacity.joules() > 0.0, "BatteryStorage: capacity must be positive");
+  require(config_.max_charge.watts() > 0.0, "BatteryStorage: charge rate must be positive");
+  require(config_.max_discharge.watts() > 0.0, "BatteryStorage: discharge rate must be positive");
+  require(config_.charge_efficiency > 0.0 && config_.charge_efficiency <= 1.0,
+          "BatteryStorage: charge efficiency must be in (0,1]");
+  require(config_.discharge_efficiency > 0.0 && config_.discharge_efficiency <= 1.0,
+          "BatteryStorage: discharge efficiency must be in (0,1]");
+  require(config_.initial_soc_fraction >= 0.0 && config_.initial_soc_fraction <= 1.0,
+          "BatteryStorage: initial SoC fraction must be in [0,1]");
+  soc_ = config_.capacity * config_.initial_soc_fraction;
+}
+
+util::Energy BatteryStorage::charge(util::Power power, util::Duration dt) {
+  require(power.watts() >= 0.0 && dt.seconds() >= 0.0, "BatteryStorage::charge: negative input");
+  const util::Power rate = std::min(power, config_.max_charge);
+  // Energy that would be stored after losses, capped by remaining headroom.
+  util::Energy stored = (rate * dt) * config_.charge_efficiency;
+  const util::Energy headroom = config_.capacity - soc_;
+  stored = std::min(stored, headroom);
+  soc_ += stored;
+  const util::Energy from_grid = stored / config_.charge_efficiency;
+  grid_in_ += from_grid;
+  return from_grid;
+}
+
+util::Energy BatteryStorage::discharge(util::Power power, util::Duration dt) {
+  require(power.watts() >= 0.0 && dt.seconds() >= 0.0, "BatteryStorage::discharge: negative input");
+  const util::Power rate = std::min(power, config_.max_discharge);
+  // Energy drawn from the cells to serve the request, capped by SoC.
+  util::Energy from_cells = (rate * dt) / config_.discharge_efficiency;
+  from_cells = std::min(from_cells, soc_);
+  soc_ -= from_cells;
+  const util::Energy delivered = from_cells * config_.discharge_efficiency;
+  delivered_out_ += delivered;
+  return delivered;
+}
+
+util::Energy BatteryStorage::total_losses() const {
+  // grid_in = stored/eff_c; delivered = from_cells*eff_d. Losses are whatever
+  // entered from the grid but was not (yet) delivered, excluding the residual
+  // charge still in the cells relative to the initial SoC.
+  const util::Energy initial = config_.capacity * config_.initial_soc_fraction;
+  return grid_in_ + initial - delivered_out_ - soc_;
+}
+
+double BatteryStorage::equivalent_cycles() const { return delivered_out_ / config_.capacity; }
+
+BatteryAction ThresholdArbitragePolicy::decide(const MarketView& view) const {
+  if (view.price < params_.charge_below ||
+      view.renewable_share > params_.charge_when_renewables_above) {
+    if (view.soc_fraction < 0.999) return {BatteryAction::Kind::kCharge, params_.rate};
+  }
+  if (view.price > params_.discharge_above && view.soc_fraction > 0.001)
+    return {BatteryAction::Kind::kDischarge, params_.rate};
+  return {BatteryAction::Kind::kIdle, util::watts(0.0)};
+}
+
+ForecastArbitragePolicy::ForecastArbitragePolicy(PriceForecastFn forecast, Params params)
+    : forecast_(std::move(forecast)), params_(params) {
+  require(static_cast<bool>(forecast_), "ForecastArbitragePolicy: null forecast function");
+  require(params_.charge_quantile < params_.discharge_quantile,
+          "ForecastArbitragePolicy: charge quantile must be below discharge quantile");
+}
+
+BatteryAction ForecastArbitragePolicy::decide(const MarketView& view) const {
+  const std::vector<double> window = forecast_(view.now);
+  if (window.size() < 4) return {BatteryAction::Kind::kIdle, util::watts(0.0)};
+  const double lo = stats::quantile(window, params_.charge_quantile);
+  const double hi = stats::quantile(window, params_.discharge_quantile);
+  const double now_price = view.price.usd_per_mwh();
+  if (now_price <= lo && view.soc_fraction < 0.999)
+    return {BatteryAction::Kind::kCharge, params_.rate};
+  if (now_price >= hi && view.soc_fraction > 0.001)
+    return {BatteryAction::Kind::kDischarge, params_.rate};
+  return {BatteryAction::Kind::kIdle, util::watts(0.0)};
+}
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,129 @@
+#pragma once
+// Behind-the-meter battery storage and arbitrage policies.
+//
+// Sec. II-A strategy (2): "store that energy to help offset energy
+// consumption during times where the fuel mix is less sustainably sourced."
+// BatteryStorage models a lithium-ion bank with power limits and round-trip
+// losses; the policies decide when to charge (cheap/green hours) and when to
+// discharge (expensive/brown hours). The ABL-STOR bench sweeps capacity and
+// compares a myopic threshold policy with a forecast-driven one.
+
+#include <functional>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+struct BatteryConfig {
+  util::Energy capacity = util::kilowatt_hours(500.0);
+  util::Power max_charge = util::kilowatts(125.0);
+  util::Power max_discharge = util::kilowatts(125.0);
+  /// One-way efficiencies; round-trip = charge_eff * discharge_eff (~0.90).
+  double charge_efficiency = 0.95;
+  double discharge_efficiency = 0.95;
+  /// Initial state of charge as a fraction of capacity.
+  double initial_soc_fraction = 0.5;
+};
+
+class BatteryStorage {
+ public:
+  explicit BatteryStorage(BatteryConfig config = {});
+
+  /// Offers `power` from the grid for `dt`; stores what fits (after charge
+  /// losses, rate- and capacity-limited). Returns the energy actually drawn
+  /// FROM THE GRID (i.e. including losses).
+  util::Energy charge(util::Power power, util::Duration dt);
+
+  /// Requests `power` for `dt`; returns the energy actually DELIVERED to the
+  /// load (after discharge losses, rate- and SoC-limited).
+  util::Energy discharge(util::Power power, util::Duration dt);
+
+  [[nodiscard]] util::Energy state_of_charge() const { return soc_; }
+  [[nodiscard]] double soc_fraction() const { return soc_ / config_.capacity; }
+  [[nodiscard]] const BatteryConfig& config() const { return config_; }
+
+  /// Lifetime counters (for efficiency/degradation analyses).
+  [[nodiscard]] util::Energy total_grid_energy_in() const { return grid_in_; }
+  [[nodiscard]] util::Energy total_delivered_out() const { return delivered_out_; }
+  [[nodiscard]] util::Energy total_losses() const;
+  /// Equivalent full cycles (delivered energy / capacity).
+  [[nodiscard]] double equivalent_cycles() const;
+
+ private:
+  BatteryConfig config_;
+  util::Energy soc_;
+  util::Energy grid_in_;
+  util::Energy delivered_out_;
+};
+
+/// What an arbitrage policy wants the battery to do over the next step.
+struct BatteryAction {
+  enum class Kind { kIdle, kCharge, kDischarge } kind = Kind::kIdle;
+  util::Power power;  ///< magnitude of the charge or discharge request
+};
+
+/// Market conditions handed to a policy each control step.
+struct MarketView {
+  util::TimePoint now;
+  util::EnergyPrice price;
+  util::CarbonIntensity carbon;
+  double renewable_share = 0.0;  ///< solar+wind fraction of the fuel mix
+  double soc_fraction = 0.0;
+};
+
+/// Pure decision rule: conditions in, action out.
+class ArbitragePolicy {
+ public:
+  virtual ~ArbitragePolicy() = default;
+  [[nodiscard]] virtual BatteryAction decide(const MarketView& view) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Myopic rule: charge below the charge threshold (price) or above the
+/// renewable-share threshold; discharge above the discharge price threshold.
+class ThresholdArbitragePolicy final : public ArbitragePolicy {
+ public:
+  struct Params {
+    util::EnergyPrice charge_below = util::usd_per_mwh(25.0);
+    util::EnergyPrice discharge_above = util::usd_per_mwh(40.0);
+    double charge_when_renewables_above = 0.085;
+    util::Power rate = util::kilowatts(125.0);
+  };
+  ThresholdArbitragePolicy() : ThresholdArbitragePolicy(Params{}) {}
+  explicit ThresholdArbitragePolicy(Params params) : params_(params) {}
+
+  [[nodiscard]] BatteryAction decide(const MarketView& view) const override;
+  [[nodiscard]] const char* name() const override { return "threshold"; }
+
+ private:
+  Params params_;
+};
+
+/// Forecast-driven rule: charge when the current price sits in the bottom
+/// quantile of the forecast window, discharge in the top quantile. The
+/// forecast function returns expected hourly prices for the lookahead window
+/// starting at `now` (supplied by forecast:: or by an oracle in tests).
+class ForecastArbitragePolicy final : public ArbitragePolicy {
+ public:
+  using PriceForecastFn = std::function<std::vector<double>(util::TimePoint now)>;
+
+  struct Params {
+    double charge_quantile = 0.25;
+    double discharge_quantile = 0.75;
+    util::Power rate = util::kilowatts(125.0);
+  };
+  explicit ForecastArbitragePolicy(PriceForecastFn forecast)
+      : ForecastArbitragePolicy(std::move(forecast), Params{}) {}
+  ForecastArbitragePolicy(PriceForecastFn forecast, Params params);
+
+  [[nodiscard]] BatteryAction decide(const MarketView& view) const override;
+  [[nodiscard]] const char* name() const override { return "forecast"; }
+
+ private:
+  PriceForecastFn forecast_;
+  Params params_;
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,30 @@
+#include "grid/carbon.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+CarbonIntensityModel::CarbonIntensityModel(const FuelMixModel* mix_model, EmissionFactors factors)
+    : mix_model_(mix_model), factors_(factors) {
+  util::require(mix_model != nullptr, "CarbonIntensityModel: null fuel-mix model");
+  for (double f : factors_.kg_per_kwh)
+    util::require(f >= 0.0, "CarbonIntensityModel: negative emission factor");
+}
+
+util::CarbonIntensity CarbonIntensityModel::intensity_of(const FuelMix& mix) const {
+  double kg_per_kwh = 0.0;
+  for (std::size_t i = 0; i < kFuelCount; ++i)
+    kg_per_kwh += mix.shares()[i] * factors_.kg_per_kwh[i];
+  return util::kg_per_kwh(kg_per_kwh);
+}
+
+util::CarbonIntensity CarbonIntensityModel::intensity_at(util::TimePoint t) const {
+  return intensity_of(mix_model_->mix_at(t));
+}
+
+util::CarbonIntensity CarbonIntensityModel::monthly_average(util::MonthKey month) const {
+  const util::MonthSpan span = util::month_span(month);
+  return intensity_of(mix_model_->average_mix(span.start, span.end));
+}
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,47 @@
+#pragma once
+// Carbon intensity of delivered electricity.
+//
+// The paper argues the *composition* of supplied power carries "an implicit
+// environmental opportunity cost" (Sec. II-A): the same kWh is cheaper in
+// carbon when the fuel mix is greener. This model turns a FuelMix into kg
+// CO2 per kWh using published life-cycle emission factors, so schedulers and
+// purchase planners can price that opportunity cost explicitly.
+
+#include <array>
+
+#include "grid/fuel_mix.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+/// Life-cycle emission factors (kg CO2e per kWh generated). Defaults follow
+/// IPCC AR5 median values: coal 0.82, gas 0.49, oil 0.74, solar 0.045,
+/// wind 0.011, hydro 0.024, nuclear 0.012, other (biomass/waste mix) 0.23.
+struct EmissionFactors {
+  std::array<double, kFuelCount> kg_per_kwh = {
+      /*solar*/ 0.045, /*wind*/ 0.011, /*hydro*/ 0.024, /*nuclear*/ 0.012,
+      /*gas*/ 0.49,    /*coal*/ 0.82,  /*oil*/ 0.74,    /*other*/ 0.23};
+
+  [[nodiscard]] double factor(Fuel f) const { return kg_per_kwh[static_cast<std::size_t>(f)]; }
+};
+
+/// Maps the instantaneous fuel mix to a grid carbon intensity.
+class CarbonIntensityModel {
+ public:
+  explicit CarbonIntensityModel(const FuelMixModel* mix_model, EmissionFactors factors = {});
+
+  /// Intensity of the mix itself (share-weighted emission factors).
+  [[nodiscard]] util::CarbonIntensity intensity_of(const FuelMix& mix) const;
+
+  /// Intensity of delivered power at time t.
+  [[nodiscard]] util::CarbonIntensity intensity_at(util::TimePoint t) const;
+
+  /// Time-averaged intensity over a month (hourly sampling).
+  [[nodiscard]] util::CarbonIntensity monthly_average(util::MonthKey month) const;
+
+ private:
+  const FuelMixModel* mix_model_;  // non-owning; outlives this model
+  EmissionFactors factors_;
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,36 @@
+#include "grid/connection.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+GridConnection::GridConnection(const LmpPriceModel* price_model,
+                               const CarbonIntensityModel* carbon_model,
+                               GridConnectionConfig config)
+    : price_model_(price_model), carbon_model_(carbon_model), config_(config) {
+  require(price_model != nullptr, "GridConnection: null price model");
+  require(carbon_model != nullptr, "GridConnection: null carbon model");
+}
+
+EnergyLedger GridConnection::draw(util::TimePoint t, util::Power average_power, util::Duration dt) {
+  require(average_power.watts() >= 0.0, "GridConnection::draw: negative power");
+  require(dt.seconds() >= 0.0, "GridConnection::draw: negative duration");
+
+  EnergyLedger delta;
+  delta.energy = average_power * dt;
+  delta.cost = delta.energy * price_model_->price_at(t);
+  delta.carbon = delta.energy * carbon_model_->intensity_at(t);
+  delta.water = delta.energy * config_.generation_water;
+  totals_ += delta;
+
+  monthly_power_.add_sample(t, dt, average_power.kilowatts());
+  if (dt.seconds() > 0.0) {
+    monthly_cost_.add_sample(t, dt, delta.cost.dollars() / dt.seconds());
+    monthly_carbon_.add_sample(t, dt, delta.carbon.kilograms() / dt.seconds());
+  }
+  return delta;
+}
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,70 @@
+#pragma once
+// Metered grid connection.
+//
+// Every joule the datacenter pulls from the grid flows through this meter,
+// which prices it (LMP model), attributes carbon (fuel-mix intensity), and
+// attributes indirect water use (power-plant cooling — the Sec. I point that
+// "50% of servers are at least partially supplied by power plants in water
+// stressed areas"). Monthly ledgers feed Figs. 2-5 and the ablations.
+
+#include "grid/carbon.hpp"
+#include "grid/price.hpp"
+#include "sim/recorder.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+/// Totals accumulated by a GridConnection (or any energy ledger).
+struct EnergyLedger {
+  util::Energy energy;
+  util::Money cost;
+  util::MassCo2 carbon;
+  util::WaterVolume water;
+
+  EnergyLedger& operator+=(const EnergyLedger& o) {
+    energy += o.energy;
+    cost += o.cost;
+    carbon += o.carbon;
+    water += o.water;
+    return *this;
+  }
+};
+
+struct GridConnectionConfig {
+  /// Indirect water footprint of generation (thermoelectric average ~1.8 L/kWh).
+  util::WaterIntensity generation_water = util::liters_per_kwh(1.8);
+};
+
+class GridConnection {
+ public:
+  /// Both models are borrowed and must outlive the connection.
+  GridConnection(const LmpPriceModel* price_model, const CarbonIntensityModel* carbon_model,
+                 GridConnectionConfig config = {});
+
+  /// Meters `average_power` drawn over [t, t+dt): accumulates energy, cost
+  /// at the instantaneous LMP, carbon at the instantaneous intensity, and
+  /// indirect water. Returns the increment.
+  EnergyLedger draw(util::TimePoint t, util::Power average_power, util::Duration dt);
+
+  [[nodiscard]] const EnergyLedger& totals() const { return totals_; }
+
+  /// Monthly mean drawn power (kW) — the Fig. 2 left axis.
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_power() const { return monthly_power_; }
+  /// Monthly energy cost ($) and carbon (kg).
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_cost() const { return monthly_cost_; }
+  [[nodiscard]] const sim::MonthlyAccumulator& monthly_carbon() const { return monthly_carbon_; }
+
+  [[nodiscard]] const LmpPriceModel& price_model() const { return *price_model_; }
+  [[nodiscard]] const CarbonIntensityModel& carbon_model() const { return *carbon_model_; }
+
+ private:
+  const LmpPriceModel* price_model_;
+  const CarbonIntensityModel* carbon_model_;
+  GridConnectionConfig config_;
+  EnergyLedger totals_;
+  sim::MonthlyAccumulator monthly_power_;   // value = kW
+  sim::MonthlyAccumulator monthly_cost_;    // value = $/s (integral = $)
+  sim::MonthlyAccumulator monthly_carbon_;  // value = kg/s (integral = kg)
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,128 @@
+#include "grid/fuel_mix.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+const char* fuel_name(Fuel f) {
+  switch (f) {
+    case Fuel::kSolar: return "solar";
+    case Fuel::kWind: return "wind";
+    case Fuel::kHydro: return "hydro";
+    case Fuel::kNuclear: return "nuclear";
+    case Fuel::kNaturalGas: return "natural_gas";
+    case Fuel::kCoal: return "coal";
+    case Fuel::kOil: return "oil";
+    case Fuel::kOther: return "other";
+  }
+  return "unknown";
+}
+
+FuelMix FuelMix::normalized(const std::array<double, kFuelCount>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "FuelMix: negative share");
+    total += w;
+  }
+  require(total > 0.0, "FuelMix: all-zero shares");
+  FuelMix mix;
+  for (std::size_t i = 0; i < kFuelCount; ++i) mix.shares_[i] = weights[i] / total;
+  return mix;
+}
+
+FuelMixModel::FuelMixModel(FuelMixConfig config)
+    : config_(config), wind_noise_(config.seed, config.wind_noise_period) {
+  for (double v : config_.solar_pct_by_month) require(v >= 0.0, "FuelMixModel: negative solar share");
+  for (double v : config_.wind_pct_by_month) require(v >= 0.0, "FuelMixModel: negative wind share");
+}
+
+double FuelMixModel::seasonal_value(const std::array<double, 12>& by_month, util::TimePoint t) {
+  // Interpolate between mid-month anchor points so the seasonal curve has no
+  // step discontinuities at month boundaries.
+  const util::CivilDate d = util::civil_of(t);
+  const util::MonthSpan span = util::month_span(util::MonthKey{d.year, d.month});
+  const double mid = (span.start.seconds_since_epoch() + span.end.seconds_since_epoch()) / 2.0;
+  const double pos = t.seconds_since_epoch();
+
+  int m0 = d.month - 1;  // 0-based index of the anchor at/before t
+  int other;             // neighbouring month index
+  double frac;           // 0 at anchor m0, 1 at anchor `other`
+  if (pos >= mid) {
+    other = (m0 + 1) % 12;
+    const util::MonthKey next = util::MonthKey{d.year, d.month}.next();
+    const util::MonthSpan nspan = util::month_span(next);
+    const double nmid = (nspan.start.seconds_since_epoch() + nspan.end.seconds_since_epoch()) / 2.0;
+    frac = (pos - mid) / (nmid - mid);
+  } else {
+    other = (m0 + 11) % 12;
+    const util::MonthKey prev = util::MonthKey::from_index(util::MonthKey{d.year, d.month}.index_from_epoch() - 1);
+    const util::MonthSpan pspan = util::month_span(prev);
+    const double pmid = (pspan.start.seconds_since_epoch() + pspan.end.seconds_since_epoch()) / 2.0;
+    frac = (mid - pos) / (mid - pmid);
+  }
+  return by_month[static_cast<std::size_t>(m0)] * (1.0 - frac) +
+         by_month[static_cast<std::size_t>(other)] * frac;
+}
+
+double FuelMixModel::solar_diurnal_factor(util::TimePoint t) const {
+  // Daylight window widens with summer: half-length 5 h (winter) to 7.5 h
+  // (summer), centred at 12:30. Normalized so the factor's daily mean is ~1.
+  const double yf = util::year_fraction(t);
+  const double half_len = 6.25 + 1.25 * std::cos(2.0 * std::numbers::pi * (yf - 0.5));
+  const double h = util::hour_of_day(t);
+  const double from_noon = std::abs(h - 12.5);
+  if (from_noon >= half_len) return 0.0;
+  const double shape = std::cos(std::numbers::pi / 2.0 * from_noon / half_len);
+  // Mean of cos^2(pi/2 * x) over x in [-1,1] is 1/2 and the daylight window
+  // covers (2*half_len)/24 of the day, so shape^2 has daily mean half_len/24.
+  const double daily_mean = half_len / 24.0;
+  return shape * shape / daily_mean;
+}
+
+FuelMix FuelMixModel::mix_at(util::TimePoint t) const {
+  const double solar_pct = seasonal_value(config_.solar_pct_by_month, t) * solar_diurnal_factor(t);
+  double wind_pct = seasonal_value(config_.wind_pct_by_month, t) *
+                    (1.0 + config_.wind_noise_amplitude * wind_noise_.value(t));
+  if (wind_pct < 0.0) wind_pct = 0.0;
+
+  std::array<double, kFuelCount> weights{};
+  weights[static_cast<std::size_t>(Fuel::kSolar)] = solar_pct;
+  weights[static_cast<std::size_t>(Fuel::kWind)] = wind_pct;
+  weights[static_cast<std::size_t>(Fuel::kHydro)] = config_.hydro_pct;
+  weights[static_cast<std::size_t>(Fuel::kNuclear)] = config_.nuclear_pct;
+  weights[static_cast<std::size_t>(Fuel::kCoal)] = config_.coal_pct;
+  weights[static_cast<std::size_t>(Fuel::kOil)] = config_.oil_pct;
+  weights[static_cast<std::size_t>(Fuel::kOther)] = config_.other_pct;
+  // Dispatchable gas covers whatever the rest leaves of 100%.
+  double covered = 0.0;
+  for (double w : weights) covered += w;
+  weights[static_cast<std::size_t>(Fuel::kNaturalGas)] = std::max(5.0, 100.0 - covered);
+  return FuelMix::normalized(weights);
+}
+
+FuelMix FuelMixModel::average_mix(util::TimePoint start, util::TimePoint end,
+                                  util::Duration step) const {
+  require(end > start, "FuelMixModel::average_mix: empty interval");
+  require(step.seconds() > 0.0, "FuelMixModel::average_mix: step must be positive");
+  std::array<double, kFuelCount> accum{};
+  std::size_t samples = 0;
+  for (util::TimePoint t = start; t < end; t += step) {
+    const FuelMix mix = mix_at(t);
+    for (std::size_t i = 0; i < kFuelCount; ++i) accum[i] += mix.shares()[i];
+    ++samples;
+  }
+  for (auto& a : accum) a /= static_cast<double>(samples);
+  return FuelMix::normalized(accum);
+}
+
+double FuelMixModel::monthly_renewable_pct(util::MonthKey month) const {
+  const util::MonthSpan span = util::month_span(month);
+  return average_mix(span.start, span.end).renewable_share() * 100.0;
+}
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,109 @@
+#pragma once
+// Grid fuel-mix model.
+//
+// Reproduces the substrate behind the paper's Figs. 2-3: the share of
+// supplied energy generated from each fuel, hour by hour, for an ISO-NE-like
+// grid serving south-eastern/central Massachusetts in 2020-21. Calibration:
+// solar+wind share peaks in spring (~8-8.5% Mar-May) and bottoms out in
+// mid-summer (~5% Jul-Aug), matching the right axes of Figs. 2 and 3.
+// Solar follows a daylight diurnal curve; wind carries smooth stochastic
+// variation; dispatchable gas absorbs the slack so shares always sum to 1.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/calendar.hpp"
+#include "util/noise.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+enum class Fuel : std::uint8_t {
+  kSolar = 0,
+  kWind,
+  kHydro,
+  kNuclear,
+  kNaturalGas,
+  kCoal,
+  kOil,
+  kOther,  // refuse, wood, net imports
+};
+inline constexpr std::size_t kFuelCount = 8;
+
+[[nodiscard]] const char* fuel_name(Fuel f);
+
+/// Fractional generation shares; invariant: each in [0,1], sum == 1.
+class FuelMix {
+ public:
+  FuelMix() = default;
+  /// Normalizes the given raw weights (must be non-negative, not all zero).
+  static FuelMix normalized(const std::array<double, kFuelCount>& weights);
+
+  [[nodiscard]] double share(Fuel f) const { return shares_[static_cast<std::size_t>(f)]; }
+  [[nodiscard]] std::span<const double, kFuelCount> shares() const { return shares_; }
+
+  /// Solar + wind: the quantity the paper plots as "% Total from Solar/Wind".
+  [[nodiscard]] double renewable_share() const {
+    return share(Fuel::kSolar) + share(Fuel::kWind);
+  }
+  /// Broader low-carbon share (adds hydro and nuclear).
+  [[nodiscard]] double low_carbon_share() const {
+    return renewable_share() + share(Fuel::kHydro) + share(Fuel::kNuclear);
+  }
+
+ private:
+  std::array<double, kFuelCount> shares_ = {0, 0, 0, 0, 1.0, 0, 0, 0};
+};
+
+/// Configuration for the seasonal fuel-mix model; defaults are the ISO-NE
+/// 2020-21 calibration described in DESIGN.md §3.
+struct FuelMixConfig {
+  /// Month-of-year (index 0 = January) mean shares for solar and wind, in
+  /// percent of total supply.
+  std::array<double, 12> solar_pct_by_month = {1.0, 1.5, 2.2, 2.8, 3.0, 3.0,
+                                               2.8, 2.6, 2.2, 1.6, 1.2, 0.9};
+  std::array<double, 12> wind_pct_by_month = {5.5, 6.0, 6.0, 5.7, 5.0, 3.5,
+                                              2.4, 2.4, 3.3, 4.6, 5.6, 5.4};
+  double hydro_pct = 8.0;
+  double nuclear_pct = 26.0;
+  double coal_pct = 0.8;
+  double oil_pct = 0.7;
+  double other_pct = 8.0;
+  /// Relative amplitude of the smooth stochastic wind variation.
+  double wind_noise_amplitude = 0.45;
+  /// Knot spacing of the wind noise process (wind regimes last ~2 days).
+  util::Duration wind_noise_period = util::hours(48);
+  std::uint64_t seed = 20220101;
+};
+
+class FuelMixModel {
+ public:
+  explicit FuelMixModel(FuelMixConfig config = {});
+
+  /// Instantaneous fuel mix at time t.
+  [[nodiscard]] FuelMix mix_at(util::TimePoint t) const;
+
+  /// Time-averaged mix over [start, end) sampled at `step` (default 1 h).
+  [[nodiscard]] FuelMix average_mix(util::TimePoint start, util::TimePoint end,
+                                    util::Duration step = util::hours(1)) const;
+
+  /// Average renewable (solar+wind) share for a calendar month, in percent —
+  /// directly comparable to the right axis of Figs. 2-3.
+  [[nodiscard]] double monthly_renewable_pct(util::MonthKey month) const;
+
+  [[nodiscard]] const FuelMixConfig& config() const { return config_; }
+
+ private:
+  /// Daylight-shaped multiplier with mean ~1 over a day.
+  [[nodiscard]] double solar_diurnal_factor(util::TimePoint t) const;
+  /// Smoothly interpolated month-of-year value (piecewise-linear on mid-months).
+  [[nodiscard]] static double seasonal_value(const std::array<double, 12>& by_month,
+                                             util::TimePoint t);
+
+  FuelMixConfig config_;
+  util::FractalNoise wind_noise_;
+};
+
+}  // namespace greenhpc::grid

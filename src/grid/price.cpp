@@ -1,0 +1,70 @@
+#include "grid/price.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+LmpPriceModel::LmpPriceModel(PriceConfig config, const FuelMixModel* mix_model)
+    : config_(config), mix_model_(mix_model), noise_(config.seed, config.noise_period) {
+  for (double base : config_.base_usd_per_mwh)
+    require(base > 0.0, "LmpPriceModel: base prices must be positive");
+  require(config_.noise_amplitude >= 0.0 && config_.noise_amplitude < 1.0,
+          "LmpPriceModel: noise amplitude must be in [0,1)");
+  require(config_.spikes_per_year >= 0.0, "LmpPriceModel: negative spike rate");
+}
+
+double LmpPriceModel::diurnal_factor(util::TimePoint t) const {
+  const double h = util::hour_of_day(t);
+  const int dow = util::day_of_week(t);
+  const bool weekend = dow >= 5;
+  // Overnight trough, morning ramp, midday plateau, evening peak.
+  double factor;
+  if (h < 5.0) factor = 0.78;
+  else if (h < 9.0) factor = 0.78 + (h - 5.0) / 4.0 * 0.32;  // ramp to 1.10
+  else if (h < 16.0) factor = 1.0;
+  else if (h < 21.0) factor = 1.10 + 0.15 * std::sin((h - 16.0) / 5.0 * 3.14159265);
+  else factor = 0.88;
+  return weekend ? factor * 0.92 : factor;
+}
+
+double LmpPriceModel::spike_factor(util::TimePoint t) const {
+  // Hash each spike-length slot; a slot is "in spike" with probability
+  // spikes_per_year * slot_length / year. Pure function of (seed, slot).
+  if (config_.spikes_per_year <= 0.0) return 1.0;
+  const double slot_s = config_.spike_length.seconds();
+  const auto slot = static_cast<std::int64_t>(std::floor(t.seconds_since_epoch() / slot_s));
+  const double p_spike = config_.spikes_per_year * slot_s / (365.0 * 86400.0);
+  const double u = util::hash_uniform(config_.seed ^ 0xDEAD5EEDULL, slot);
+  return u < p_spike ? config_.spike_multiplier : 1.0;
+}
+
+util::EnergyPrice LmpPriceModel::price_at(util::TimePoint t) const {
+  const util::MonthKey mk = util::month_of(t);
+  const double base = config_.base_usd_per_mwh[static_cast<std::size_t>(mk.month - 1)];
+  double price = base * diurnal_factor(t);
+  if (mix_model_ != nullptr) {
+    const double share = mix_model_->mix_at(t).renewable_share();
+    price *= std::max(0.3, 1.0 - config_.renewable_coupling * (share - config_.mean_renewable_share));
+  }
+  price *= 1.0 + config_.noise_amplitude * noise_.value(t);
+  price *= spike_factor(t);
+  return util::usd_per_mwh(std::max(config_.floor_usd_per_mwh, price));
+}
+
+util::EnergyPrice LmpPriceModel::monthly_average(util::MonthKey month) const {
+  const util::MonthSpan span = util::month_span(month);
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (util::TimePoint t = span.start; t < span.end; t += util::hours(1)) {
+    total += price_at(t).usd_per_mwh();
+    ++samples;
+  }
+  return util::usd_per_mwh(total / static_cast<double>(samples));
+}
+
+}  // namespace greenhpc::grid

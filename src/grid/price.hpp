@@ -1,0 +1,62 @@
+#pragma once
+// Locational marginal price (LMP) model.
+//
+// Reproduces the substrate behind Fig. 3: "monthly locational marginal prices
+// from south eastern/central MA", 2020-21, ranging roughly $20-50/MWh with
+// the spring months (Feb-May) cheapest — precisely when the renewable share
+// of the fuel mix is highest. The model composes a monthly seasonal base,
+// a weekday diurnal shape (morning ramp + evening peak), renewable-share
+// coupling (more wind/solar on the margin pushes LMPs down), smooth noise,
+// and rare scarcity spikes.
+
+#include <cstdint>
+
+#include "grid/fuel_mix.hpp"
+#include "util/calendar.hpp"
+#include "util/noise.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+struct PriceConfig {
+  /// Month-of-year (index 0 = January) base LMP in $/MWh. Calibrated to the
+  /// Fig. 3 band: winter peaks near $45-48, spring trough $21-25.
+  std::array<double, 12> base_usd_per_mwh = {45.0, 25.0, 22.0, 21.0, 24.0, 30.0,
+                                             36.0, 33.0, 31.0, 34.0, 38.0, 47.0};
+  /// Strength of the (renewable share -> cheaper power) coupling: price is
+  /// multiplied by (1 - coupling * (renewable_share - mean_share)).
+  double renewable_coupling = 4.0;
+  double mean_renewable_share = 0.066;
+  /// Relative amplitude of smooth stochastic variation.
+  double noise_amplitude = 0.10;
+  util::Duration noise_period = util::hours(36);
+  /// Scarcity spikes: expected events per year, multiplier, duration.
+  double spikes_per_year = 10.0;
+  double spike_multiplier = 4.0;
+  util::Duration spike_length = util::hours(3);
+  double floor_usd_per_mwh = 5.0;
+  std::uint64_t seed = 20200301;
+};
+
+class LmpPriceModel {
+ public:
+  /// `mix_model` may be null, disabling the renewable coupling term.
+  explicit LmpPriceModel(PriceConfig config = {}, const FuelMixModel* mix_model = nullptr);
+
+  [[nodiscard]] util::EnergyPrice price_at(util::TimePoint t) const;
+
+  /// Time-averaged price over a month (hourly sampling) — the Fig. 3 series.
+  [[nodiscard]] util::EnergyPrice monthly_average(util::MonthKey month) const;
+
+  [[nodiscard]] const PriceConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double diurnal_factor(util::TimePoint t) const;
+  [[nodiscard]] double spike_factor(util::TimePoint t) const;
+
+  PriceConfig config_;
+  const FuelMixModel* mix_model_;  // non-owning, may be null
+  util::SmoothNoise noise_;
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,167 @@
+#include "grid/purchase_planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+double PlanSummary::cost_saving_pct() const {
+  if (baseline_cost.dollars() <= 0.0) return 0.0;
+  return 100.0 * (baseline_cost - planned_cost).dollars() / baseline_cost.dollars();
+}
+
+double PlanSummary::carbon_saving_pct() const {
+  if (baseline_carbon.kilograms() <= 0.0) return 0.0;
+  return 100.0 * (baseline_carbon - planned_carbon).kilograms() / baseline_carbon.kilograms();
+}
+
+PurchasePlanner::PurchasePlanner(const LmpPriceModel* price_model,
+                                 const CarbonIntensityModel* carbon_model,
+                                 const FuelMixModel* mix_model)
+    : price_model_(price_model), carbon_model_(carbon_model), mix_model_(mix_model) {
+  require(price_model != nullptr, "PurchasePlanner: null price model");
+  require(carbon_model != nullptr, "PurchasePlanner: null carbon model");
+  require(mix_model != nullptr, "PurchasePlanner: null fuel-mix model");
+}
+
+std::vector<MonthPlan> PurchasePlanner::make_baseline(
+    util::MonthKey start, const std::vector<util::Energy>& demand) const {
+  std::vector<MonthPlan> months;
+  months.reserve(demand.size());
+  util::MonthKey key = start;
+  for (const util::Energy& d : demand) {
+    MonthPlan m;
+    m.month = key;
+    m.baseline_demand = d;
+    m.purchased = d;
+    m.price = price_model_->monthly_average(key);
+    m.renewable_pct = mix_model_->monthly_renewable_pct(key);
+    m.carbon = carbon_model_->monthly_average(key);
+    months.push_back(m);
+    key = key.next();
+  }
+  return months;
+}
+
+PlanSummary PurchasePlanner::summarize(std::vector<MonthPlan> months) {
+  PlanSummary s;
+  for (const MonthPlan& m : months) {
+    s.baseline_cost += m.baseline_demand * m.price;
+    s.baseline_carbon += m.baseline_demand * m.carbon;
+    s.planned_cost += m.purchased * m.price;
+    s.planned_carbon += m.purchased * m.carbon;
+  }
+  s.months = std::move(months);
+  return s;
+}
+
+PlanSummary PurchasePlanner::plan_load_shift(const std::vector<MonthPlan>& baseline,
+                                             double deferrable_fraction, int max_shift_months,
+                                             double absorb_headroom) const {
+  require(deferrable_fraction >= 0.0 && deferrable_fraction <= 1.0,
+          "plan_load_shift: deferrable fraction must be in [0,1]");
+  require(max_shift_months >= 0, "plan_load_shift: negative shift window");
+  require(absorb_headroom >= 0.0, "plan_load_shift: negative absorb headroom");
+
+  std::vector<MonthPlan> plan = baseline;
+  const std::size_t n = plan.size();
+
+  // Donor months in descending carbon intensity: move the brownest demand
+  // first, into the greenest reachable month with absorption headroom left.
+  std::vector<std::size_t> donors(n);
+  std::iota(donors.begin(), donors.end(), std::size_t{0});
+  std::sort(donors.begin(), donors.end(), [&](std::size_t a, std::size_t b) {
+    return plan[a].carbon.kg_per_kwh() > plan[b].carbon.kg_per_kwh();
+  });
+
+  std::vector<util::Energy> headroom(n);
+  for (std::size_t i = 0; i < n; ++i) headroom[i] = plan[i].baseline_demand * absorb_headroom;
+
+  for (std::size_t donor : donors) {
+    util::Energy movable = plan[donor].baseline_demand * deferrable_fraction;
+
+    // Candidate receivers within the window, greenest (lowest intensity) first.
+    std::vector<std::size_t> receivers;
+    for (std::size_t r = 0; r < n; ++r) {
+      const int dist = std::abs(static_cast<int>(r) - static_cast<int>(donor));
+      if (r != donor && dist <= max_shift_months) receivers.push_back(r);
+    }
+    std::sort(receivers.begin(), receivers.end(), [&](std::size_t a, std::size_t b) {
+      return plan[a].carbon.kg_per_kwh() < plan[b].carbon.kg_per_kwh();
+    });
+
+    for (std::size_t recv : receivers) {
+      if (movable.joules() <= 0.0) break;
+      // Only shift toward strictly greener months.
+      if (plan[recv].carbon.kg_per_kwh() >= plan[donor].carbon.kg_per_kwh()) break;
+      const util::Energy amount = std::min(movable, headroom[recv]);
+      if (amount.joules() <= 0.0) continue;
+      plan[donor].purchased -= amount;
+      plan[donor].shifted_out += amount;
+      plan[recv].purchased += amount;
+      plan[recv].shifted_in += amount;
+      headroom[recv] -= amount;
+      movable -= amount;
+    }
+  }
+  return summarize(std::move(plan));
+}
+
+PlanSummary PurchasePlanner::plan_storage(const std::vector<MonthPlan>& baseline,
+                                          util::Energy monthly_storage_cap, int max_shift_months,
+                                          double round_trip_efficiency) const {
+  require(monthly_storage_cap.joules() >= 0.0, "plan_storage: negative storage cap");
+  require(max_shift_months >= 0, "plan_storage: negative shift window");
+  require(round_trip_efficiency > 0.0 && round_trip_efficiency <= 1.0,
+          "plan_storage: round-trip efficiency must be in (0,1]");
+
+  std::vector<MonthPlan> plan = baseline;
+  const std::size_t n = plan.size();
+
+  // For each brown month (in descending intensity), find the greenest prior
+  // month within the window and bank energy there. Storage only pays off in
+  // carbon when intensity_green / efficiency < intensity_brown; check it.
+  std::vector<std::size_t> brown(n);
+  std::iota(brown.begin(), brown.end(), std::size_t{0});
+  std::sort(brown.begin(), brown.end(), [&](std::size_t a, std::size_t b) {
+    return plan[a].carbon.kg_per_kwh() > plan[b].carbon.kg_per_kwh();
+  });
+
+  std::vector<util::Energy> bank_used(n);  // grid energy banked in month i
+
+  for (std::size_t b : brown) {
+    util::Energy demand_left = plan[b].baseline_demand;
+    // Greenest eligible earlier month first.
+    std::vector<std::size_t> sources;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s < b && static_cast<int>(b - s) <= max_shift_months) sources.push_back(s);
+    }
+    std::sort(sources.begin(), sources.end(), [&](std::size_t x, std::size_t y) {
+      return plan[x].carbon.kg_per_kwh() < plan[y].carbon.kg_per_kwh();
+    });
+    for (std::size_t s : sources) {
+      if (demand_left.joules() <= 0.0) break;
+      const double src_effective = plan[s].carbon.kg_per_kwh() / round_trip_efficiency;
+      if (src_effective >= plan[b].carbon.kg_per_kwh()) continue;  // not worth the losses
+      const util::Energy cap_left = monthly_storage_cap - bank_used[s];
+      if (cap_left.joules() <= 0.0) continue;
+      // Delivered energy is limited by both the remaining demand and cap.
+      const util::Energy delivered =
+          std::min(demand_left, cap_left * round_trip_efficiency);
+      const util::Energy grid_buy = delivered / round_trip_efficiency;
+      plan[s].purchased += grid_buy;
+      plan[s].stored += grid_buy;
+      bank_used[s] += grid_buy;
+      plan[b].purchased -= delivered;
+      plan[b].discharged += delivered;
+      demand_left -= delivered;
+    }
+  }
+  return summarize(std::move(plan));
+}
+
+}  // namespace greenhpc::grid

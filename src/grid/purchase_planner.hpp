@@ -1,0 +1,85 @@
+#pragma once
+// Opportunity-cost-aware energy purchase planning (Sec. II-A).
+//
+// "One strategy ... is to purchase more power during times when sustainable
+// energy takes up a larger share of the fuel mix (e.g. March to May) and
+// either (1) capitalize during that time period by encouraging more cluster
+// utilization during those months or (2) store that energy to help offset
+// energy consumption during times where the fuel mix is less sustainably
+// sourced."
+//
+// The planner operates at monthly granularity. Given the baseline monthly
+// demand and the grid's monthly price/green-share/intensity profile, it
+// produces a revised purchase schedule under one of the two strategies and
+// reports the fiscal and carbon opportunity-cost savings versus baseline.
+
+#include <array>
+#include <vector>
+
+#include "grid/carbon.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+/// One month of the plan.
+struct MonthPlan {
+  util::MonthKey month;
+  util::Energy baseline_demand;   ///< what the cluster would draw untouched
+  util::Energy purchased;         ///< what we actually buy this month
+  util::Energy shifted_in;        ///< demand moved INTO this month (strategy 1)
+  util::Energy shifted_out;       ///< demand moved OUT of this month
+  util::Energy stored;            ///< bought for storage this month (strategy 2)
+  util::Energy discharged;        ///< served from storage this month
+  util::EnergyPrice price;        ///< monthly average LMP
+  double renewable_pct = 0.0;     ///< monthly average solar+wind share (%)
+  util::CarbonIntensity carbon;   ///< monthly average intensity
+};
+
+struct PlanSummary {
+  std::vector<MonthPlan> months;
+  util::Money baseline_cost;
+  util::Money planned_cost;
+  util::MassCo2 baseline_carbon;
+  util::MassCo2 planned_carbon;
+
+  [[nodiscard]] double cost_saving_pct() const;
+  [[nodiscard]] double carbon_saving_pct() const;
+};
+
+class PurchasePlanner {
+ public:
+  /// Both models are borrowed and must outlive the planner.
+  PurchasePlanner(const LmpPriceModel* price_model, const CarbonIntensityModel* carbon_model,
+                  const FuelMixModel* mix_model);
+
+  /// Strategy 1 — load shifting: move up to `deferrable_fraction` of each
+  /// month's demand into greener months at most `max_shift_months` away
+  /// (deadline tolerance); a receiving month can absorb at most
+  /// `absorb_headroom` extra relative to its baseline (cluster capacity).
+  [[nodiscard]] PlanSummary plan_load_shift(const std::vector<MonthPlan>& baseline,
+                                            double deferrable_fraction, int max_shift_months,
+                                            double absorb_headroom) const;
+
+  /// Strategy 2 — storage: each month may bank up to `monthly_storage_cap`
+  /// of green-month energy (round-trip efficiency applied) and draw it back
+  /// in browner months within `max_shift_months`.
+  [[nodiscard]] PlanSummary plan_storage(const std::vector<MonthPlan>& baseline,
+                                         util::Energy monthly_storage_cap, int max_shift_months,
+                                         double round_trip_efficiency) const;
+
+  /// Builds the baseline months (prices/shares/intensities filled in) for a
+  /// demand profile; demand[i] corresponds to `start` advanced i months.
+  [[nodiscard]] std::vector<MonthPlan> make_baseline(util::MonthKey start,
+                                                     const std::vector<util::Energy>& demand) const;
+
+ private:
+  [[nodiscard]] static PlanSummary summarize(std::vector<MonthPlan> months);
+
+  const LmpPriceModel* price_model_;
+  const CarbonIntensityModel* carbon_model_;
+  const FuelMixModel* mix_model_;
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,74 @@
+#include "grid/wind_farm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::grid {
+
+using util::require;
+
+util::Power turbine_power(const TurbineSpec& spec, double wind_ms) {
+  require(spec.cut_in_ms > 0.0 && spec.rated_ms > spec.cut_in_ms &&
+              spec.cut_out_ms > spec.rated_ms,
+          "turbine_power: cut-in < rated < cut-out must hold");
+  require(wind_ms >= 0.0, "turbine_power: negative wind speed");
+  if (wind_ms < spec.cut_in_ms || wind_ms >= spec.cut_out_ms) return util::watts(0.0);
+  if (wind_ms >= spec.rated_ms) return spec.rated;
+  // Cubic ramp between cut-in and rated (kinetic energy flux ~ v^3).
+  const double ci3 = std::pow(spec.cut_in_ms, 3);
+  const double r3 = std::pow(spec.rated_ms, 3);
+  const double v3 = std::pow(wind_ms, 3);
+  return spec.rated * ((v3 - ci3) / (r3 - ci3));
+}
+
+WindFarm::WindFarm(WindFarmConfig config)
+    : config_(config), synoptic_(config.seed, config.synoptic_period) {
+  require(config_.turbine_count >= 1, "WindFarm: need at least one turbine");
+  require(config_.availability > 0.0 && config_.availability <= 1.0,
+          "WindFarm: availability must be in (0,1]");
+  for (double v : config_.mean_ms_by_month)
+    require(v > 0.0, "WindFarm: monthly mean wind speeds must be positive");
+}
+
+double WindFarm::wind_speed_at(util::TimePoint t) const {
+  const util::MonthKey mk = util::month_of(t);
+  const double base = config_.mean_ms_by_month[static_cast<std::size_t>(mk.month - 1)];
+  double v = base * (1.0 + config_.synoptic_amplitude * synoptic_.value(t));
+  // Hub-height winds pick up in the afternoon.
+  const double h = util::hour_of_day(t);
+  v += config_.diurnal_ms * std::sin(2.0 * std::numbers::pi * (h - 9.0) / 24.0);
+  return std::max(0.0, v);
+}
+
+util::Power WindFarm::output_at(util::TimePoint t) const {
+  const util::Power per_turbine = turbine_power(config_.turbine, wind_speed_at(t));
+  return per_turbine * (static_cast<double>(config_.turbine_count) * config_.availability);
+}
+
+util::Power WindFarm::capacity() const {
+  return config_.turbine.rated * static_cast<double>(config_.turbine_count);
+}
+
+double WindFarm::capacity_factor(util::TimePoint start, util::TimePoint end) const {
+  require(end > start, "WindFarm::capacity_factor: empty interval");
+  double total_mw = 0.0;
+  std::size_t samples = 0;
+  for (util::TimePoint t = start; t < end; t += util::hours(1)) {
+    total_mw += output_at(t).megawatts();
+    ++samples;
+  }
+  return total_mw / (static_cast<double>(samples) * capacity().megawatts());
+}
+
+std::vector<double> WindFarm::hourly_output_mw(util::TimePoint start, int hours) const {
+  require(hours >= 1, "WindFarm::hourly_output_mw: need at least one hour");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hours));
+  for (int h = 0; h < hours; ++h) out.push_back(output_at(start + util::hours(h)).megawatts());
+  return out;
+}
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,78 @@
+#pragma once
+// Wind farm model (Sec. IV-C).
+//
+// "wind farms provide inexpensive, carbon-free energy but can be
+// unpredictable, making planning and energy delivery/storage difficult. In
+// response, DeepMind has developed neural networks ... to forecast energy
+// output 36 hours ahead." This module supplies the physical substrate for
+// that experiment: a wind-speed process (seasonal + synoptic regimes +
+// diurnal) driving a standard turbine power curve (cut-in / cubic ramp /
+// rated / cut-out), aggregated over a farm. examples/wind_forecast.cpp runs
+// the paper's forecasting-and-commitment story on this farm's output.
+
+#include <cstdint>
+
+#include "util/calendar.hpp"
+#include "util/noise.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::grid {
+
+/// A utility-scale turbine (GE 2.5 MW class by default).
+struct TurbineSpec {
+  double cut_in_ms = 3.0;    ///< below this, no generation
+  double rated_ms = 12.0;    ///< at/above this, rated power
+  double cut_out_ms = 25.0;  ///< above this, shutdown for protection
+  util::Power rated = util::megawatts(2.5);
+};
+
+/// Power-curve evaluation: 0 below cut-in, cubic ramp to rated, flat at
+/// rated, 0 above cut-out.
+[[nodiscard]] util::Power turbine_power(const TurbineSpec& spec, double wind_ms);
+
+struct WindFarmConfig {
+  TurbineSpec turbine;
+  int turbine_count = 60;
+  /// Month-of-year mean wind speed at hub height (m/s); New England
+  /// onshore-coastal shape: windy winter, calm mid-summer.
+  std::array<double, 12> mean_ms_by_month = {8.6, 8.4, 8.2, 7.6, 6.8, 6.2,
+                                             5.8, 5.9, 6.5, 7.3, 8.0, 8.5};
+  /// Relative amplitude of synoptic (weather-regime) variation.
+  double synoptic_amplitude = 0.45;
+  util::Duration synoptic_period = util::hours(42);
+  /// Diurnal amplitude (m/s): afternoons are windier at hub height.
+  double diurnal_ms = 0.6;
+  /// Fraction of turbines available (maintenance/derating).
+  double availability = 0.95;
+  std::uint64_t seed = 36524;
+};
+
+class WindFarm {
+ public:
+  WindFarm() : WindFarm(WindFarmConfig{}) {}
+  explicit WindFarm(WindFarmConfig config);
+
+  /// Hub-height wind speed at t (m/s, >= 0).
+  [[nodiscard]] double wind_speed_at(util::TimePoint t) const;
+
+  /// Farm electrical output at t.
+  [[nodiscard]] util::Power output_at(util::TimePoint t) const;
+
+  /// Nameplate capacity (count x rated).
+  [[nodiscard]] util::Power capacity() const;
+
+  /// Capacity factor over [start, end) (hourly sampling).
+  [[nodiscard]] double capacity_factor(util::TimePoint start, util::TimePoint end) const;
+
+  /// Hourly output series in MW for `hours` starting at `start` — the input
+  /// the forecasting example trains on.
+  [[nodiscard]] std::vector<double> hourly_output_mw(util::TimePoint start, int hours) const;
+
+  [[nodiscard]] const WindFarmConfig& config() const { return config_; }
+
+ private:
+  WindFarmConfig config_;
+  util::FractalNoise synoptic_;
+};
+
+}  // namespace greenhpc::grid

@@ -1,0 +1,163 @@
+#include "mechanism/queues.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/noise.hpp"
+
+namespace greenhpc::mechanism {
+
+using util::require;
+
+QueueChoiceSimulator::QueueChoiceSimulator(std::vector<QueueSpec> queues,
+                                           power::GpuPowerModel gpu_model, ChoiceModel choice)
+    : queues_(std::move(queues)), gpu_model_(gpu_model), choice_(choice) {
+  require(queues_.size() >= 2, "QueueChoiceSimulator: need at least two queues");
+  double total_share = 0.0;
+  for (const QueueSpec& q : queues_) {
+    require(q.resource_share > 0.0, "QueueChoiceSimulator: queue shares must be positive");
+    require(q.green_score >= 0.0 && q.green_score <= 1.0,
+            "QueueChoiceSimulator: green score must be in [0,1]");
+    total_share += q.resource_share;
+  }
+  require(std::abs(total_share - 1.0) < 1e-6,
+          "QueueChoiceSimulator: resource shares must sum to 1");
+  require(choice_.iterations >= 1, "QueueChoiceSimulator: need at least one iteration");
+  require(choice_.damping > 0.0 && choice_.damping <= 1.0,
+          "QueueChoiceSimulator: damping must be in (0,1]");
+}
+
+double QueueChoiceSimulator::queue_speed(const QueueSpec& q) const {
+  return gpu_model_.throughput_factor(q.power_cap);
+}
+
+SelectionResult QueueChoiceSimulator::equilibrium(const workload::UserPopulation& population,
+                                                  util::Rng& rng,
+                                                  double honesty_override) const {
+  require(population.size() > 0, "QueueChoiceSimulator: empty population");
+  const std::size_t nq = queues_.size();
+  const double inv_n = 1.0 / static_cast<double>(population.size());
+
+  // Damped-logit dynamics: each user mixes over queues with softmax choice
+  // probabilities; loads are the population-mean probabilities. Unlike hard
+  // best response this converges smoothly for congestion games.
+  std::vector<double> load(nq);
+  for (std::size_t q = 0; q < nq; ++q) load[q] = queues_[q].resource_share;
+
+  auto wait_of = [&](std::size_t q, const std::vector<double>& l) {
+    // M/M/1-flavoured congestion: wait grows superlinearly as load
+    // approaches the queue's capacity share.
+    const double rho = std::min(0.96, l[q] / queues_[q].resource_share * 0.7);
+    return rho / (1.0 - rho);
+  };
+
+  auto utility_of = [&](const workload::UserProfile& user, bool truthful, std::size_t q,
+                        const std::vector<double>& l) {
+    const double slowdown = 1.0 - queue_speed(queues_[q]);
+    if (!truthful) {
+      // Strategic users "mis-characterize their preferences and select
+      // themselves into queues where resources are fastest, most plentiful,
+      // or the most available" (Sec. II-C). They choose on static
+      // attributes — speed and resource plenty — and ignore both the green
+      // score and the congestion their choices create, which is what
+      // produces the clogged/idle imbalance.
+      return choice_.plenty_weight * queues_[q].resource_share -
+             1.5 * choice_.slowdown_weight * slowdown;
+    }
+    const double wait = wait_of(q, l);
+    return -choice_.wait_weight * (1.0 - user.patience) * wait -
+           choice_.slowdown_weight * slowdown +
+           choice_.green_weight * user.green_preference * queues_[q].green_score;
+  };
+
+  std::vector<bool> truthful(population.size());
+  for (std::size_t u = 0; u < population.size(); ++u) {
+    const double honesty =
+        honesty_override >= 0.0 ? honesty_override : population.users()[u].honesty;
+    // Stable per-user coin so the counterfactual comparisons are paired.
+    truthful[u] = util::hash_uniform(0xC0FFEE, static_cast<std::int64_t>(u)) < honesty;
+  }
+
+  std::vector<double> probs(nq);
+  std::vector<double> avg_load(nq, 0.0);
+  int averaged_iters = 0;
+  double mean_utility = 0.0;
+  double mean_utility_avg = 0.0;
+  for (int iter = 0; iter < choice_.iterations; ++iter) {
+    std::vector<double> fresh(nq, 0.0);
+    mean_utility = 0.0;
+    for (std::size_t u = 0; u < population.size(); ++u) {
+      const workload::UserProfile& user = population.users()[u];
+      double max_u = -1e18;
+      std::size_t best_q = 0;
+      for (std::size_t q = 0; q < nq; ++q) {
+        probs[q] = utility_of(user, truthful[u], q, load);
+        if (probs[q] > max_u) {
+          max_u = probs[q];
+          best_q = q;
+        }
+      }
+      if (!truthful[u]) {
+        // Static-attribute choosers commit outright (no congestion hedging).
+        fresh[best_q] += inv_n;
+        mean_utility += max_u * inv_n;
+        continue;
+      }
+      double z = 0.0;
+      for (std::size_t q = 0; q < nq; ++q) {
+        probs[q] = std::exp((probs[q] - max_u) / choice_.temperature);
+        z += probs[q];
+      }
+      for (std::size_t q = 0; q < nq; ++q) {
+        probs[q] /= z;
+        fresh[q] += probs[q] * inv_n;
+        mean_utility += probs[q] * utility_of(user, truthful[u], q, load) * inv_n;
+      }
+    }
+    // Annealed damping stabilizes the best-response dynamics; the reported
+    // equilibrium is the time average over the second half of the run
+    // (fictitious-play averaging), which converges even when the raw
+    // dynamics cycle around the fixed point.
+    const double damping = choice_.damping * 20.0 / (20.0 + static_cast<double>(iter));
+    for (std::size_t q = 0; q < nq; ++q) load[q] += damping * (fresh[q] - load[q]);
+    if (iter >= choice_.iterations / 2) {
+      for (std::size_t q = 0; q < nq; ++q) avg_load[q] += load[q];
+      mean_utility_avg += mean_utility;
+      ++averaged_iters;
+    }
+  }
+  for (std::size_t q = 0; q < nq; ++q) load[q] = avg_load[q] / averaged_iters;
+  mean_utility = mean_utility_avg / averaged_iters;
+  (void)rng;  // reserved for stochastic tie-breaking extensions
+
+  SelectionResult result;
+  result.queues.reserve(nq);
+  double max_util = 0.0, sum_util = 0.0, idle_cap = 0.0, energy = 0.0;
+  double fastest_cap = -1.0;
+  for (std::size_t q = 0; q < nq; ++q) {
+    QueueOutcome out;
+    out.spec = queues_[q];
+    out.load_share = load[q];
+    out.expected_wait = wait_of(q, load);
+    out.utilization = load[q] / queues_[q].resource_share;
+    result.queues.push_back(out);
+    max_util = std::max(max_util, out.utilization);
+    sum_util += out.utilization;
+    if (out.utilization < 0.10) idle_cap += queues_[q].resource_share;
+    energy += load[q] * gpu_model_.relative_energy_per_work(queues_[q].power_cap);
+    if (queues_[q].power_cap.watts() > fastest_cap) {
+      fastest_cap = queues_[q].power_cap.watts();
+      result.fast_queue_utilization = out.utilization;
+    }
+  }
+  result.clog_factor = max_util / (sum_util / static_cast<double>(nq));
+  result.idle_capacity_share = idle_cap;
+  const double total_load = std::accumulate(load.begin(), load.end(), 0.0);
+  result.energy_per_work = total_load > 0.0 ? energy / total_load : 1.0;
+  result.mean_utility = mean_utility;
+  return result;
+}
+
+}  // namespace greenhpc::mechanism

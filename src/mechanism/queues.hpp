@@ -1,0 +1,103 @@
+#pragma once
+// Queue segmentation and user self-selection (Sec. II-C).
+//
+// "One example is the design of queues for finer user and workload
+// segmentation ... However, if queue selection and user intent conflict ...
+// this mechanism runs the risk of adverse selection — users mis-characterize
+// their preferences and select themselves into queues where resources are
+// fastest, most plentiful, or the most available, leaving select queues
+// clogged and overtaxed and others largely, if not entirely, idle."
+//
+// QueueChoiceSimulator computes the congestion equilibrium of that game:
+// each queue has a resource share and a power cap (greener queues run
+// capped); users choose queues to maximize utility; waits are endogenous to
+// load. Honest users weigh their true green preference; strategic users
+// chase speed only. The adverse-selection diagnostics (clog factor, idle
+// share, realized energy) feed the ABL-MECH bench.
+
+#include <string>
+#include <vector>
+
+#include "power/gpu_power.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/users.hpp"
+
+namespace greenhpc::mechanism {
+
+struct QueueSpec {
+  std::string name;
+  /// GPUs in this queue run at this cap (greener queues cap harder).
+  util::Power power_cap = util::watts(250.0);
+  /// Fraction of cluster capacity assigned to the queue (shares sum to 1).
+  double resource_share = 0.5;
+  /// Advertised greenness in [0,1] (drives honest users' preference term).
+  double green_score = 0.0;
+};
+
+struct QueueOutcome {
+  QueueSpec spec;
+  double load_share = 0.0;       ///< fraction of users who picked this queue
+  double expected_wait = 0.0;    ///< congestion wait in arbitrary time units
+  double utilization = 0.0;      ///< load / capacity (1 = balanced)
+};
+
+struct SelectionResult {
+  std::vector<QueueOutcome> queues;
+  /// max queue utilization / mean utilization; 1 = balanced, >>1 = clogged.
+  double clog_factor = 1.0;
+  /// Utilization of the fastest (highest-cap) queue — the one the paper says
+  /// strategic users select into, "leaving select queues clogged".
+  double fast_queue_utilization = 0.0;
+  /// Fraction of cluster capacity in queues with load below 10% of their
+  /// share ("others largely, if not entirely, idle").
+  double idle_capacity_share = 0.0;
+  /// Fleet energy per unit work relative to uncapped (weighted by realized
+  /// queue loads) — lower is greener.
+  double energy_per_work = 1.0;
+  /// Mean realized (expected) user utility.
+  double mean_utility = 0.0;
+};
+
+struct ChoiceModel {
+  /// Weight of (negative) waiting time in utility (honest users account for
+  /// congestion; strategic users do not — see `plenty_weight`).
+  double wait_weight = 1.0;
+  /// Weight of the green-score term for honest users.
+  double green_weight = 0.8;
+  /// Weight of execution slowdown (capped queues run slower).
+  double slowdown_weight = 0.8;
+  /// Strategic users choose by *static* attributes — "queues where resources
+  /// are fastest, most plentiful, or the most available" — ignoring the
+  /// congestion they create. This weights the resource-share attraction.
+  double plenty_weight = 1.0;
+  /// Damped-logit iterations toward the congestion equilibrium.
+  int iterations = 120;
+  /// Damping on load updates per iteration, in (0,1].
+  double damping = 0.25;
+  /// Logit choice temperature: lower = closer to hard best response.
+  double temperature = 0.25;
+};
+
+class QueueChoiceSimulator {
+ public:
+  QueueChoiceSimulator(std::vector<QueueSpec> queues, power::GpuPowerModel gpu_model,
+                       ChoiceModel choice = {});
+
+  /// Runs the choice equilibrium for a population. `honesty_override` < 0
+  /// uses each user's own honesty; otherwise forces that honesty level
+  /// (e.g. 1.0 = everyone truthful) for counterfactuals.
+  [[nodiscard]] SelectionResult equilibrium(const workload::UserPopulation& population,
+                                            util::Rng& rng, double honesty_override = -1.0) const;
+
+  [[nodiscard]] const std::vector<QueueSpec>& queues() const { return queues_; }
+
+ private:
+  [[nodiscard]] double queue_speed(const QueueSpec& q) const;
+
+  std::vector<QueueSpec> queues_;
+  power::GpuPowerModel gpu_model_;
+  ChoiceModel choice_;
+};
+
+}  // namespace greenhpc::mechanism

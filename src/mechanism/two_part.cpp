@@ -1,0 +1,106 @@
+#include "mechanism/two_part.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::mechanism {
+
+using util::require;
+
+TwoPartMechanism::TwoPartMechanism(power::GpuPowerModel gpu_model, util::Power base_cap,
+                                   std::vector<CapOption> menu, double headroom_fraction)
+    : gpu_model_(gpu_model), base_cap_(base_cap), menu_(std::move(menu)),
+      headroom_fraction_(headroom_fraction) {
+  require(base_cap_ >= gpu_model_.spec().min_cap && base_cap_ <= gpu_model_.spec().tdp,
+          "TwoPartMechanism: base cap outside settable range");
+  require(headroom_fraction_ >= 0.0, "TwoPartMechanism: negative headroom");
+  for (const CapOption& opt : menu_) {
+    require(opt.cap < base_cap_, "TwoPartMechanism: menu caps must be stricter than base");
+    require(opt.cap >= gpu_model_.spec().min_cap, "TwoPartMechanism: menu cap below settable min");
+    require(opt.gpu_multiplier >= 1.0, "TwoPartMechanism: multipliers must be >= 1");
+  }
+}
+
+std::vector<CapOption> TwoPartMechanism::default_menu(const power::GpuPowerModel& model,
+                                                      util::Power base_cap) {
+  std::vector<CapOption> menu;
+  for (double fraction : {0.88, 0.80, 0.72}) {
+    CapOption opt;
+    opt.cap = std::max(model.spec().min_cap, base_cap * fraction);
+    // Set the multiplier so accepting the deal is a mild speedup (+5%) over
+    // the base cap: mult * throughput(cap) = 1.05 * throughput(base).
+    opt.gpu_multiplier = 1.05 * model.throughput_factor(base_cap) /
+                         model.throughput_factor(opt.cap);
+    menu.push_back(opt);
+  }
+  return menu;
+}
+
+MechanismOutcome TwoPartMechanism::run(const workload::UserPopulation& population,
+                                       util::Rng& rng) const {
+  require(population.size() > 0, "TwoPartMechanism: empty population");
+  MechanismOutcome out;
+  out.deals.reserve(population.size());
+
+  const double base_throughput = gpu_model_.throughput_factor(base_cap_);
+  const double base_energy = gpu_model_.relative_energy_per_work(base_cap_);
+
+  // Headroom pool in "GPU-demand units": each user's ask counts 1.
+  double headroom = headroom_fraction_ * static_cast<double>(population.size());
+  double headroom_spent = 0.0;
+
+  double fleet_energy_base_weighted = 0.0;  // energy if everyone stayed on base
+  double fleet_energy_actual = 0.0;
+  double speed_total = 0.0;
+  std::size_t participants = 0;
+
+  // Arrival order is randomized: headroom is first-come-first-served.
+  std::vector<std::size_t> order(population.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  for (std::size_t idx : order) {
+    const workload::UserProfile& user = population.users()[idx];
+    DealTaken deal;
+    deal.user = user.id;
+
+    double best_score = 0.0;  // score of staying on base = 0
+    for (std::size_t k = 0; k < menu_.size(); ++k) {
+      const CapOption& opt = menu_[k];
+      const double extra_gpus = opt.gpu_multiplier - 1.0;
+      if (headroom_spent + extra_gpus > headroom) continue;  // pool exhausted
+      const double speedup =
+          opt.gpu_multiplier * gpu_model_.throughput_factor(opt.cap) / base_throughput;
+      const double energy_ratio = gpu_model_.relative_energy_per_work(opt.cap) / base_energy;
+      // Users value speed linearly and greenness by their preference.
+      const double score = (speedup - 1.0) + user.green_preference * (1.0 - energy_ratio);
+      if (score > best_score) {
+        best_score = score;
+        deal.option = static_cast<int>(k);
+        deal.speedup = speedup;
+        deal.energy_ratio = energy_ratio;
+      }
+    }
+    if (deal.option >= 0) {
+      headroom_spent += menu_[static_cast<std::size_t>(deal.option)].gpu_multiplier - 1.0;
+      ++participants;
+    }
+    fleet_energy_base_weighted += base_energy;
+    fleet_energy_actual += base_energy * deal.energy_ratio;
+    speed_total += deal.speedup;
+    out.deals.push_back(deal);
+  }
+
+  out.participation_rate =
+      static_cast<double>(participants) / static_cast<double>(population.size());
+  out.mean_speedup = speed_total / static_cast<double>(population.size());
+  out.energy_vs_base = fleet_energy_actual / fleet_energy_base_weighted;
+  out.energy_vs_uncapped =
+      fleet_energy_actual / static_cast<double>(population.size());  // uncapped e/w == 1
+  out.headroom_used = headroom > 0.0 ? headroom_spent / headroom : 0.0;
+  return out;
+}
+
+}  // namespace greenhpc::mechanism

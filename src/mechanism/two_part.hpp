@@ -1,0 +1,80 @@
+#pragma once
+// The two-part mechanism (Sec. II-C).
+//
+// "One alternative to balance these two factors of too much choice and too
+// little control is to maintain a two-part mechanism: a fixed component that
+// guarantees a specified minimum amount of energy efficiency and a variable
+// component that allows for user choice ... if a user accepts increasingly
+// stringent power caps on his/her allocated GPUs, the user can then, in
+// exchange, choose to have more GPUs allocated to his/her tasks."
+//
+// Fixed part: every GPU runs at `base_cap` (an optimal cap with negligible
+// slowdown). Variable part: a menu of (stricter cap, GPU multiplier) deals.
+// A deal is *incentive compatible* when gpu_multiplier x throughput(cap) >= 1
+// (the user is no slower) and *system improving* when energy-per-work(cap) <
+// energy-per-work(base) (strictly greener). Extra GPUs come from a bounded
+// headroom pool, so participation is first-come-first-served.
+
+#include <vector>
+
+#include "power/gpu_power.hpp"
+#include "util/rng.hpp"
+#include "workload/users.hpp"
+
+namespace greenhpc::mechanism {
+
+struct CapOption {
+  util::Power cap;
+  double gpu_multiplier = 1.0;  ///< extra GPUs granted relative to the ask
+};
+
+struct DealTaken {
+  cluster::UserId user = 0;
+  int option = -1;       ///< -1 = stayed on the base cap
+  double speedup = 1.0;  ///< wall-clock speed vs. base-cap baseline
+  double energy_ratio = 1.0;  ///< energy-per-work vs. base cap (lower = greener)
+};
+
+struct MechanismOutcome {
+  std::vector<DealTaken> deals;
+  double participation_rate = 0.0;
+  double mean_speedup = 1.0;
+  /// Fleet energy-per-work vs. the base-cap-only counterfactual (< 1 means
+  /// the variable component saved additional energy).
+  double energy_vs_base = 1.0;
+  /// Fleet energy-per-work vs. a completely uncapped fleet.
+  double energy_vs_uncapped = 1.0;
+  /// Fraction of the GPU headroom pool consumed.
+  double headroom_used = 0.0;
+};
+
+class TwoPartMechanism {
+ public:
+  /// `headroom_fraction`: extra GPU capacity (relative to the population's
+  /// aggregate demand) available to fund multipliers.
+  TwoPartMechanism(power::GpuPowerModel gpu_model, util::Power base_cap,
+                   std::vector<CapOption> menu, double headroom_fraction);
+
+  /// Builds a default menu around a base cap: three increasingly stringent
+  /// caps whose multipliers leave users slightly faster than baseline
+  /// (incentive compatible by construction).
+  [[nodiscard]] static std::vector<CapOption> default_menu(const power::GpuPowerModel& model,
+                                                           util::Power base_cap);
+
+  /// Runs the menu over a population; users accept the best deal for them
+  /// (speed-dominant users need speedup >= 1, green users accept mild
+  /// slowdowns scaled by their green preference).
+  [[nodiscard]] MechanismOutcome run(const workload::UserPopulation& population,
+                                     util::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<CapOption>& menu() const { return menu_; }
+  [[nodiscard]] util::Power base_cap() const { return base_cap_; }
+
+ private:
+  power::GpuPowerModel gpu_model_;
+  util::Power base_cap_;
+  std::vector<CapOption> menu_;
+  double headroom_fraction_;
+};
+
+}  // namespace greenhpc::mechanism

@@ -1,0 +1,68 @@
+#include "power/dvfs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::power {
+
+using util::require;
+
+std::vector<FrequencyState> default_pstates(double top_mhz) {
+  require(top_mhz > 0.0, "default_pstates: top frequency must be positive");
+  std::vector<FrequencyState> states;
+  for (double frac : {1.0, 0.9, 0.8, 0.7, 0.6}) {
+    FrequencyState s;
+    s.mhz = top_mhz * frac;
+    s.throughput = frac;                    // compute-bound: perf ~ f
+    s.dynamic_power = frac * frac * frac;   // P_dyn ~ f V^2, V ~ f
+    states.push_back(s);
+  }
+  return states;
+}
+
+DvfsGovernor::DvfsGovernor(std::vector<FrequencyState> states, GovernorPolicy policy)
+    : states_(std::move(states)), policy_(policy) {
+  require(!states_.empty(), "DvfsGovernor: need at least one state");
+  for (std::size_t i = 1; i < states_.size(); ++i) {
+    require(states_[i].throughput <= states_[i - 1].throughput,
+            "DvfsGovernor: states must be ordered fastest to slowest");
+  }
+  for (const auto& s : states_) {
+    require(s.throughput > 0.0 && s.throughput <= 1.0, "DvfsGovernor: bad throughput");
+    require(s.dynamic_power > 0.0 && s.dynamic_power <= 1.0, "DvfsGovernor: bad dynamic power");
+  }
+}
+
+std::size_t DvfsGovernor::choose(double utilization, double pressure) const {
+  require(utilization >= 0.0 && utilization <= 1.0, "DvfsGovernor: utilization must be in [0,1]");
+  require(pressure >= 0.0 && pressure <= 1.0, "DvfsGovernor: pressure must be in [0,1]");
+  const std::size_t last = states_.size() - 1;
+  switch (policy_) {
+    case GovernorPolicy::kPerformance:
+      return 0;
+    case GovernorPolicy::kPowersave:
+      return last;
+    case GovernorPolicy::kOndemand: {
+      // Busy devices get full clocks; idle ones step down proportionally.
+      const double idle = 1.0 - utilization;
+      return std::min(last, static_cast<std::size_t>(idle * static_cast<double>(states_.size())));
+    }
+    case GovernorPolicy::kSignal: {
+      return std::min(last, static_cast<std::size_t>(pressure * static_cast<double>(states_.size())));
+    }
+  }
+  return 0;
+}
+
+double DvfsGovernor::relative_energy_per_work(std::size_t idx, double static_fraction) const {
+  require(idx < states_.size(), "DvfsGovernor: state index out of range");
+  require(static_fraction >= 0.0 && static_fraction < 1.0,
+          "DvfsGovernor: static fraction must be in [0,1)");
+  const FrequencyState& s = states_[idx];
+  const double power = static_fraction + (1.0 - static_fraction) * s.dynamic_power;
+  return power / s.throughput;  // == 1.0 at the top state
+}
+
+}  // namespace greenhpc::power

@@ -1,0 +1,61 @@
+#pragma once
+// DVFS (dynamic voltage/frequency scaling) governor.
+//
+// Eq. 1 lists "hardware settings (e.g. power caps, clock rate settings)"
+// among the control mechanisms `c`. Power caps act through the board power
+// limit; DVFS acts through the clock. Dynamic power scales roughly with
+// f * V^2 and voltage tracks frequency, giving the classic ~f^3 dynamic-power
+// law, while compute throughput scales ~f for compute-bound kernels. The
+// governor picks a frequency state per control interval from utilization or
+// an external pressure signal (price/carbon).
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace greenhpc::power {
+
+/// One performance state (P-state).
+struct FrequencyState {
+  double mhz = 1380.0;
+  /// Relative throughput vs. the top state, in (0, 1].
+  double throughput = 1.0;
+  /// Dynamic power vs. the top state, in (0, 1].
+  double dynamic_power = 1.0;
+};
+
+/// Builds a V100-like P-state ladder from a top frequency: states at
+/// fractions {1.0, 0.9, 0.8, 0.7, 0.6} with throughput ~ f and dynamic
+/// power ~ f^3 (normalized).
+[[nodiscard]] std::vector<FrequencyState> default_pstates(double top_mhz = 1380.0);
+
+enum class GovernorPolicy {
+  kPerformance,  ///< always the top state
+  kPowersave,    ///< always the bottom state
+  kOndemand,     ///< top state when utilization is high, scale down when idle
+  kSignal,       ///< scale down as an external pressure signal rises
+};
+
+class DvfsGovernor {
+ public:
+  DvfsGovernor(std::vector<FrequencyState> states, GovernorPolicy policy);
+
+  /// Chooses a state index. `utilization` in [0,1]; `pressure` in [0,1]
+  /// (e.g. normalized price or carbon intensity; used by kSignal).
+  [[nodiscard]] std::size_t choose(double utilization, double pressure) const;
+
+  [[nodiscard]] const FrequencyState& state(std::size_t idx) const { return states_.at(idx); }
+  [[nodiscard]] std::span<const FrequencyState> states() const { return states_; }
+  [[nodiscard]] GovernorPolicy policy() const { return policy_; }
+
+  /// Energy per unit work of a state relative to the top state
+  /// ((static + dynamic)/throughput, normalized).
+  [[nodiscard]] double relative_energy_per_work(std::size_t idx, double static_fraction = 0.25) const;
+
+ private:
+  std::vector<FrequencyState> states_;  // ordered fastest -> slowest
+  GovernorPolicy policy_;
+};
+
+}  // namespace greenhpc::power

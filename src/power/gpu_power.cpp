@@ -1,0 +1,68 @@
+#include "power/gpu_power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::power {
+
+using util::require;
+
+GpuPowerModel::GpuPowerModel(GpuSpec spec) : spec_(spec) {
+  require(spec_.tdp.watts() > 0.0, "GpuPowerModel: TDP must be positive");
+  require(spec_.min_cap.watts() > 0.0 && spec_.min_cap <= spec_.tdp,
+          "GpuPowerModel: min cap must be in (0, TDP]");
+  require(spec_.idle.watts() >= 0.0 && spec_.idle < spec_.natural_draw,
+          "GpuPowerModel: idle draw must be below natural draw");
+  require(spec_.natural_draw <= spec_.tdp, "GpuPowerModel: natural draw must not exceed TDP");
+  require(spec_.slowdown_scale >= 0.0 && spec_.slowdown_scale <= 1.0,
+          "GpuPowerModel: slowdown scale must be in [0,1]");
+  require(spec_.slowdown_exponent >= 1.0, "GpuPowerModel: slowdown exponent must be >= 1");
+}
+
+double GpuPowerModel::throughput_factor(util::Power cap) const {
+  require(cap >= spec_.min_cap && cap <= spec_.tdp,
+          "GpuPowerModel: cap outside settable range");
+  if (cap >= spec_.natural_draw) return 1.0;
+  const double deficit = (spec_.natural_draw - cap) / spec_.natural_draw;
+  const double slowdown = spec_.slowdown_scale * std::pow(deficit, spec_.slowdown_exponent);
+  return std::max(0.05, 1.0 - slowdown);
+}
+
+util::Power GpuPowerModel::active_power(util::Power cap) const {
+  require(cap >= spec_.min_cap && cap <= spec_.tdp,
+          "GpuPowerModel: cap outside settable range");
+  return std::min(cap, spec_.natural_draw);
+}
+
+util::Power GpuPowerModel::power_at_utilization(util::Power cap, double utilization) const {
+  require(utilization >= 0.0 && utilization <= 1.0,
+          "GpuPowerModel: utilization must be in [0,1]");
+  const util::Power active = active_power(cap);
+  return spec_.idle + (active - spec_.idle) * utilization;
+}
+
+double GpuPowerModel::relative_energy_per_work(util::Power cap) const {
+  const double baseline = spec_.natural_draw.watts();  // energy/work uncapped
+  return (active_power(cap).watts() / throughput_factor(cap)) / baseline;
+}
+
+util::Power GpuPowerModel::optimal_cap(double max_slowdown) const {
+  require(max_slowdown >= 0.0 && max_slowdown < 1.0,
+          "GpuPowerModel: max slowdown must be in [0,1)");
+  util::Power best = spec_.tdp;
+  double best_energy = relative_energy_per_work(spec_.tdp);
+  for (double w = spec_.min_cap.watts(); w <= spec_.tdp.watts(); w += 1.0) {
+    const util::Power cap = util::watts(w);
+    if (1.0 - throughput_factor(cap) > max_slowdown) continue;
+    const double energy = relative_energy_per_work(cap);
+    if (energy < best_energy) {
+      best_energy = energy;
+      best = cap;
+    }
+  }
+  return best;
+}
+
+}  // namespace greenhpc::power

@@ -1,0 +1,59 @@
+#pragma once
+// GPU power/performance model.
+//
+// Encodes the empirical result the paper leans on for its two-part mechanism
+// (Sec. II-C): "optimal GPU power-caps provide an effective way to control
+// energy consumption with minimal impact on training speed" (Frey et al.,
+// arXiv:2201.12423). On a V100-class device, training workloads draw ~230 W
+// uncapped (below the 250 W TDP); capping to 200 W costs ~3% throughput but
+// saves ~10% energy per unit of work, and the knee sits near 160-175 W.
+//
+// Model: with cap C and natural draw P_nat,
+//   throughput(C) = 1                                   for C >= P_nat
+//   throughput(C) = 1 - s * ((P_nat - C)/P_nat)^q       for C <  P_nat
+//   draw(C)       = min(C, P_nat)
+// so energy-per-work(C) = draw(C)/throughput(C), which is decreasing down to
+// a knee and rising again as slowdown dominates — matching the measured shape.
+
+#include "util/units.hpp"
+
+namespace greenhpc::power {
+
+struct GpuSpec {
+  util::Power tdp = util::watts(250.0);          ///< vendor power limit ceiling
+  util::Power min_cap = util::watts(100.0);      ///< lowest settable power limit
+  util::Power idle = util::watts(50.0);          ///< draw with no work bound
+  util::Power natural_draw = util::watts(230.0); ///< uncapped draw under training
+  double slowdown_scale = 0.6;                   ///< `s` in the throughput model
+  double slowdown_exponent = 1.5;                ///< `q` in the throughput model
+};
+
+class GpuPowerModel {
+ public:
+  GpuPowerModel() : GpuPowerModel(GpuSpec{}) {}
+  explicit GpuPowerModel(GpuSpec spec);
+
+  /// Relative training throughput in (0, 1] under power cap `cap`.
+  [[nodiscard]] double throughput_factor(util::Power cap) const;
+
+  /// Board draw while busy under `cap`.
+  [[nodiscard]] util::Power active_power(util::Power cap) const;
+
+  /// Board draw at a fractional utilization (linear idle->active blend).
+  [[nodiscard]] util::Power power_at_utilization(util::Power cap, double utilization) const;
+
+  /// Energy per unit work relative to uncapped operation (1.0 at no cap);
+  /// the ABL-CAP bench sweeps this.
+  [[nodiscard]] double relative_energy_per_work(util::Power cap) const;
+
+  /// The cap minimizing energy-per-work subject to a maximum tolerated
+  /// slowdown (e.g. 0.03 = 3%). Scans the settable range at 1 W resolution.
+  [[nodiscard]] util::Power optimal_cap(double max_slowdown) const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+ private:
+  GpuSpec spec_;
+};
+
+}  // namespace greenhpc::power

@@ -1,0 +1,93 @@
+#include "power/nvml_sim.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::power {
+
+using util::require;
+
+NvmlSim::NvmlSim(std::size_t device_count, GpuSpec spec) : model_(spec) {
+  require(device_count > 0, "NvmlSim: need at least one device");
+  devices_.resize(device_count);
+  for (auto& d : devices_) d.cap = spec.tdp;
+}
+
+NvmlStatus NvmlSim::set_power_limit_mw(std::size_t device, std::uint32_t limit_mw) {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  const util::Power cap = util::watts(static_cast<double>(limit_mw) / 1000.0);
+  if (cap < model_.spec().min_cap || cap > model_.spec().tdp) return NvmlStatus::kInvalidArgument;
+  devices_[device].cap = cap;
+  return NvmlStatus::kSuccess;
+}
+
+NvmlStatus NvmlSim::get_power_limit_mw(std::size_t device, std::uint32_t& out_mw) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  out_mw = static_cast<std::uint32_t>(devices_[device].cap.watts() * 1000.0);
+  return NvmlStatus::kSuccess;
+}
+
+NvmlStatus NvmlSim::get_power_limit_constraints_mw(std::size_t device, std::uint32_t& min_mw,
+                                                   std::uint32_t& max_mw) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  min_mw = static_cast<std::uint32_t>(model_.spec().min_cap.watts() * 1000.0);
+  max_mw = static_cast<std::uint32_t>(model_.spec().tdp.watts() * 1000.0);
+  return NvmlStatus::kSuccess;
+}
+
+util::Power NvmlSim::draw(const Device& d) const {
+  return model_.power_at_utilization(d.cap, d.utilization);
+}
+
+NvmlStatus NvmlSim::get_power_usage_mw(std::size_t device, std::uint32_t& out_mw) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  out_mw = static_cast<std::uint32_t>(draw(devices_[device]).watts() * 1000.0);
+  return NvmlStatus::kSuccess;
+}
+
+NvmlStatus NvmlSim::get_utilization_pct(std::size_t device, std::uint32_t& out_pct) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  out_pct = static_cast<std::uint32_t>(std::lround(devices_[device].utilization * 100.0));
+  return NvmlStatus::kSuccess;
+}
+
+NvmlStatus NvmlSim::get_temperature_c(std::size_t device, std::uint32_t& out_c) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  out_c = static_cast<std::uint32_t>(std::lround(devices_[device].temperature_c));
+  return NvmlStatus::kSuccess;
+}
+
+NvmlStatus NvmlSim::get_total_energy_mj(std::size_t device, std::uint64_t& out_mj) const {
+  if (!valid(device)) return NvmlStatus::kInvalidDevice;
+  out_mj = static_cast<std::uint64_t>(devices_[device].energy.joules() * 1000.0);
+  return NvmlStatus::kSuccess;
+}
+
+void NvmlSim::set_workload(std::size_t device, double utilization) {
+  require(valid(device), "NvmlSim::set_workload: invalid device");
+  require(utilization >= 0.0 && utilization <= 1.0,
+          "NvmlSim::set_workload: utilization must be in [0,1]");
+  devices_[device].utilization = utilization;
+}
+
+void NvmlSim::step(util::Duration dt) {
+  require(dt.seconds() >= 0.0, "NvmlSim::step: negative dt");
+  constexpr double kAmbientC = 30.0;       // inlet air
+  constexpr double kDegCPerWatt = 0.22;    // steady-state rise per watt of draw
+  constexpr double kThermalTauS = 90.0;    // first-order time constant
+  for (auto& d : devices_) {
+    const util::Power p = draw(d);
+    d.energy += p * dt;
+    const double steady_c = kAmbientC + kDegCPerWatt * p.watts();
+    const double alpha = 1.0 - std::exp(-dt.seconds() / kThermalTauS);
+    d.temperature_c += (steady_c - d.temperature_c) * alpha;
+  }
+}
+
+double NvmlSim::throughput_factor(std::size_t device) const {
+  require(valid(device), "NvmlSim::throughput_factor: invalid device");
+  return model_.throughput_factor(devices_[device].cap);
+}
+
+}  // namespace greenhpc::power

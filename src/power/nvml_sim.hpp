@@ -1,0 +1,81 @@
+#pragma once
+// NVML-style telemetry/capping facade over simulated GPUs.
+//
+// The reproduction note for this paper says "NVML power APIs available" —
+// the real system would read device power through NVML and set power limits
+// through nvmlDeviceSetPowerManagementLimit. We have no physical GPUs, so
+// NvmlSim exposes the same call shapes (milliwatt units, device indices,
+// status codes) over GpuPowerModel-driven simulated devices, including a
+// first-order thermal model. Examples and tests interact with GPUs through
+// this API exactly as a production agent would through NVML.
+
+#include <cstdint>
+#include <vector>
+
+#include "power/gpu_power.hpp"
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::power {
+
+enum class NvmlStatus : std::uint8_t {
+  kSuccess = 0,
+  kInvalidDevice,
+  kInvalidArgument,
+  kNotSupported,
+};
+
+class NvmlSim {
+ public:
+  /// Creates `device_count` identical devices following `spec`.
+  NvmlSim(std::size_t device_count, GpuSpec spec = {});
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+  // --- Control-plane calls (mirror nvmlDeviceSet*/Get*) ------------------
+
+  /// Sets the power management limit, in milliwatts (NVML's unit).
+  NvmlStatus set_power_limit_mw(std::size_t device, std::uint32_t limit_mw);
+  NvmlStatus get_power_limit_mw(std::size_t device, std::uint32_t& out_mw) const;
+  /// The valid settable range, in milliwatts.
+  NvmlStatus get_power_limit_constraints_mw(std::size_t device, std::uint32_t& min_mw,
+                                            std::uint32_t& max_mw) const;
+
+  /// Instantaneous board draw, in milliwatts.
+  NvmlStatus get_power_usage_mw(std::size_t device, std::uint32_t& out_mw) const;
+  /// SM utilization percent [0,100].
+  NvmlStatus get_utilization_pct(std::size_t device, std::uint32_t& out_pct) const;
+  /// Die temperature in whole degrees C.
+  NvmlStatus get_temperature_c(std::size_t device, std::uint32_t& out_c) const;
+  /// Cumulative energy since construction, in millijoules (NVML's
+  /// nvmlDeviceGetTotalEnergyConsumption unit).
+  NvmlStatus get_total_energy_mj(std::size_t device, std::uint64_t& out_mj) const;
+
+  // --- Simulation-side hooks ---------------------------------------------
+
+  /// Binds a workload at `utilization` in [0,1] to the device.
+  void set_workload(std::size_t device, double utilization);
+
+  /// Advances device state by dt: integrates energy, relaxes die temperature
+  /// toward the load-dependent steady state (first-order RC).
+  void step(util::Duration dt);
+
+  /// Effective training throughput factor for the device's current cap.
+  [[nodiscard]] double throughput_factor(std::size_t device) const;
+
+ private:
+  struct Device {
+    util::Power cap;
+    double utilization = 0.0;
+    double temperature_c = 30.0;
+    util::Energy energy;
+  };
+
+  [[nodiscard]] bool valid(std::size_t device) const { return device < devices_.size(); }
+  [[nodiscard]] util::Power draw(const Device& d) const;
+
+  GpuPowerModel model_;
+  std::vector<Device> devices_;
+};
+
+}  // namespace greenhpc::power

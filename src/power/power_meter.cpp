@@ -1,0 +1,41 @@
+#include "power/power_meter.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::power {
+
+using util::require;
+
+void PowerMeter::record(util::TimePoint t, util::Duration dt, util::Power p) {
+  require(dt.seconds() >= 0.0, "PowerMeter::record: negative duration");
+  require(p.watts() >= 0.0, "PowerMeter::record: negative power");
+  (void)t;
+  energy_ += p * dt;
+  metered_ += dt;
+  peak_ = std::max(peak_, p);
+}
+
+void PowerMeter::sample(util::TimePoint t, util::Power p) {
+  require(p.watts() >= 0.0, "PowerMeter::sample: negative power");
+  peak_ = std::max(peak_, p);
+  if (has_last_sample_) {
+    require(t >= last_time_, "PowerMeter::sample: non-monotonic sample time");
+    const util::Duration dt = t - last_time_;
+    energy_ += (last_power_ + p) / 2.0 * dt;  // trapezoid
+    metered_ += dt;
+  }
+  has_last_sample_ = true;
+  last_time_ = t;
+  last_power_ = p;
+}
+
+util::Power PowerMeter::average_power() const {
+  if (metered_.seconds() <= 0.0) return util::watts(0.0);
+  return energy_ / metered_;
+}
+
+void PowerMeter::reset() { *this = PowerMeter{}; }
+
+}  // namespace greenhpc::power

@@ -1,0 +1,44 @@
+#pragma once
+// Power-to-energy integration.
+//
+// The measurement substrate (Sec. IV-B: "an active, systematic, and
+// consistent approach towards collecting and reporting data") starts with a
+// meter. PowerMeter supports the two integration styles greenhpc uses:
+// piecewise-constant records from the simulator loop, and trapezoidal
+// integration of sampled instantaneous readings (the NVML polling style).
+
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::power {
+
+class PowerMeter {
+ public:
+  /// Records that power was `p` over [t, t+dt) (piecewise-constant).
+  void record(util::TimePoint t, util::Duration dt, util::Power p);
+
+  /// Feeds an instantaneous sample; energy accrues trapezoidally between
+  /// consecutive samples. The first sample only establishes the baseline.
+  void sample(util::TimePoint t, util::Power p);
+
+  [[nodiscard]] util::Energy energy() const { return energy_; }
+  [[nodiscard]] util::Duration metered_time() const { return metered_; }
+
+  /// Mean power over the metered interval (zero when nothing metered).
+  [[nodiscard]] util::Power average_power() const;
+
+  /// Highest instantaneous reading seen by either path.
+  [[nodiscard]] util::Power peak_power() const { return peak_; }
+
+  void reset();
+
+ private:
+  util::Energy energy_;
+  util::Duration metered_;
+  util::Power peak_;
+  bool has_last_sample_ = false;
+  util::TimePoint last_time_;
+  util::Power last_power_;
+};
+
+}  // namespace greenhpc::power

@@ -1,0 +1,100 @@
+#include "sched/carbon_aware.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::sched {
+
+using util::require;
+
+CarbonAwareScheduler::CarbonAwareScheduler(CarbonAwareConfig config) : config_(config) {
+  require(config_.green_quantile >= 0.0 && config_.green_quantile < 1.0,
+          "CarbonAwareScheduler: quantile must be in [0,1)");
+  require(config_.green_threshold.kg_per_kwh() > 0.0,
+          "CarbonAwareScheduler: threshold must be positive");
+  require(config_.renewable_trigger >= 0.0 && config_.renewable_trigger <= 1.0,
+          "CarbonAwareScheduler: renewable trigger must be in [0,1]");
+  require(config_.max_hold.seconds() > 0.0, "CarbonAwareScheduler: max hold must be positive");
+  require(config_.history_window.seconds() > 0.0,
+          "CarbonAwareScheduler: history window must be positive");
+}
+
+void CarbonAwareScheduler::observe(util::TimePoint now, util::CarbonIntensity intensity) {
+  history_.emplace_back(now, intensity.kg_per_kwh());
+  const util::TimePoint horizon = now - config_.history_window;
+  while (!history_.empty() && history_.front().first < horizon) history_.pop_front();
+}
+
+bool CarbonAwareScheduler::green_window(util::TimePoint now, const GridSignals& signals) {
+  observe(now, signals.carbon);
+  if (signals.carbon <= config_.green_threshold ||
+      signals.renewable_share >= config_.renewable_trigger) {
+    return true;
+  }
+  // Adaptive trigger once a day of history exists.
+  if (config_.green_quantile > 0.0 && history_.size() >= 96) {
+    std::vector<double> values;
+    values.reserve(history_.size());
+    for (const auto& [t, v] : history_) values.push_back(v);
+    return signals.carbon.kg_per_kwh() <= stats::quantile(values, config_.green_quantile);
+  }
+  return false;
+}
+
+bool CarbonAwareScheduler::must_start(const cluster::Job& job, util::TimePoint now,
+                                      double throughput) const {
+  if (!job.request().flexible) return true;
+  if (now - job.submit_time() >= config_.max_hold) return true;  // anti-starvation
+  if (job.request().deadline) {
+    const util::TimePoint latest_start =
+        *job.request().deadline - job.estimated_runtime(throughput) - config_.deadline_margin;
+    if (now >= latest_start) return true;
+  }
+  return false;
+}
+
+std::vector<cluster::JobId> CarbonAwareScheduler::select(const SchedulerContext& ctx) {
+  require(ctx.cluster != nullptr && ctx.jobs != nullptr && ctx.queue != nullptr,
+          "CarbonAwareScheduler: incomplete context");
+  const bool green = green_window(ctx.now, ctx.signals);
+  const double throughput = ctx.cluster->throughput_factor();
+
+  std::vector<cluster::JobId> starts;
+  int free = ctx.cluster->free_gpus();
+
+  // Pass 1: everything that must run (urgent or out of slack), FIFO order.
+  for (cluster::JobId id : *ctx.queue) {
+    const cluster::Job& job = ctx.jobs->get(id);
+    if (!must_start(job, ctx.now, throughput)) continue;
+    if (job.request().gpus > free) continue;  // skip over too-large jobs
+    starts.push_back(id);
+    free -= job.request().gpus;
+  }
+  // Pass 2: in a green window, release deferred flexible work — shortest
+  // first, since a short job completes inside the window while a multi-day
+  // run would mostly execute outside it anyway.
+  if (green) {
+    std::vector<cluster::JobId> deferred;
+    for (cluster::JobId id : *ctx.queue) {
+      const cluster::Job& job = ctx.jobs->get(id);
+      if (must_start(job, ctx.now, throughput)) continue;  // already considered
+      deferred.push_back(id);
+    }
+    std::sort(deferred.begin(), deferred.end(), [&](cluster::JobId a, cluster::JobId b) {
+      return ctx.jobs->get(a).estimated_runtime(throughput) <
+             ctx.jobs->get(b).estimated_runtime(throughput);
+    });
+    for (cluster::JobId id : deferred) {
+      const cluster::Job& job = ctx.jobs->get(id);
+      if (job.request().gpus > free) continue;
+      starts.push_back(id);
+      free -= job.request().gpus;
+    }
+  }
+  return starts;
+}
+
+}  // namespace greenhpc::sched

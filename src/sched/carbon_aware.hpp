@@ -1,0 +1,64 @@
+#pragma once
+// Carbon-aware scheduling (Sec. II-A strategy 1, operationalized).
+//
+// "One strategy to take advantage of this mis-match between power
+// consumption and fuel mix ... is to purchase more power during times when
+// sustainable energy takes up a larger share of the fuel mix" — at job
+// granularity this means deferring *flexible* jobs into green windows
+// (cf. Radovanovic et al., "Carbon-aware computing for datacenters", which
+// the paper cites as [16]). Urgent jobs run FCFS; flexible jobs wait until
+// the grid is green enough, their deadline slack runs out, or a maximum
+// hold time expires (no starvation).
+//
+// The green window is adaptive by default: the grid is "green" when the
+// current intensity sits below a rolling quantile of the recent intensity
+// history, so the trigger tracks seasonal drift in the fuel mix instead of
+// relying on a hand-tuned absolute threshold.
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace greenhpc::sched {
+
+struct CarbonAwareConfig {
+  /// Adaptive trigger: green when intensity <= this quantile of the rolling
+  /// history (0 disables the adaptive trigger).
+  double green_quantile = 0.30;
+  util::Duration history_window = util::days(7);
+  /// Absolute fallbacks, used until enough history accumulates (and always
+  /// OR-ed in): intensity at/below threshold or renewables at/above trigger.
+  util::CarbonIntensity green_threshold = util::kg_per_kwh(0.25);
+  double renewable_trigger = 0.095;
+  /// Safety margin subtracted from deadline slack before forcing a start.
+  util::Duration deadline_margin = util::hours(1);
+  /// Upper bound on how long a flexible job may be held.
+  util::Duration max_hold = util::hours(36);
+};
+
+class CarbonAwareScheduler final : public Scheduler {
+ public:
+  CarbonAwareScheduler() : CarbonAwareScheduler(CarbonAwareConfig{}) {}
+  explicit CarbonAwareScheduler(CarbonAwareConfig config);
+
+  [[nodiscard]] const char* name() const override { return "carbon_aware"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] const CarbonAwareConfig& config() const { return config_; }
+
+  /// True when the grid is green enough to release deferred work. Non-const:
+  /// feeds the rolling intensity history.
+  [[nodiscard]] bool green_window(util::TimePoint now, const GridSignals& signals);
+
+  /// True when a job must start now regardless of grid state.
+  [[nodiscard]] bool must_start(const cluster::Job& job, util::TimePoint now,
+                                double throughput) const;
+
+ private:
+  void observe(util::TimePoint now, util::CarbonIntensity intensity);
+
+  CarbonAwareConfig config_;
+  std::deque<std::pair<util::TimePoint, double>> history_;
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,26 @@
+#include "sched/power_aware.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::sched {
+
+using util::require;
+
+PowerAwareScheduler::PowerAwareScheduler(PowerAwareConfig config, std::unique_ptr<Scheduler> inner)
+    : config_(config), inner_(std::move(inner)) {
+  require(config_.stress_cap <= config_.base_cap,
+          "PowerAwareScheduler: stress cap must not exceed base cap");
+  if (!inner_) inner_ = std::make_unique<EasyBackfillScheduler>();
+}
+
+std::vector<cluster::JobId> PowerAwareScheduler::select(const SchedulerContext& ctx) {
+  return inner_->select(ctx);
+}
+
+util::Power PowerAwareScheduler::choose_cap(const SchedulerContext& ctx) {
+  const bool stressed = ctx.signals.price > config_.price_trigger ||
+                        ctx.signals.carbon > config_.carbon_trigger;
+  return stressed ? config_.stress_cap : config_.base_cap;
+}
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,43 @@
+#pragma once
+// Power-aware scheduling: the "fixed component" of the Sec. II-C mechanism.
+//
+// "It has been shown that optimal GPU power-caps provide an effective way to
+// control energy consumption with minimal impact on training speed. With
+// these optimal power caps as the fixed base component..." — this scheduler
+// applies a base power cap at all times (the guaranteed efficiency floor)
+// and tightens it further when grid conditions are bad (price or carbon
+// above thresholds), while delegating job selection to an inner scheduler.
+
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace greenhpc::sched {
+
+struct PowerAwareConfig {
+  /// The always-on base cap (e.g. GpuPowerModel::optimal_cap(0.03)).
+  util::Power base_cap = util::watts(205.0);
+  /// Tightened cap during expensive/dirty-grid periods.
+  util::Power stress_cap = util::watts(165.0);
+  util::EnergyPrice price_trigger = util::usd_per_mwh(45.0);
+  util::CarbonIntensity carbon_trigger = util::kg_per_kwh(0.32);
+};
+
+class PowerAwareScheduler final : public Scheduler {
+ public:
+  /// Wraps `inner` (defaults to EASY backfill when null).
+  explicit PowerAwareScheduler(PowerAwareConfig config = PowerAwareConfig{},
+                               std::unique_ptr<Scheduler> inner = nullptr);
+
+  [[nodiscard]] const char* name() const override { return "power_aware"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const SchedulerContext& ctx) override;
+  [[nodiscard]] util::Power choose_cap(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] const PowerAwareConfig& config() const { return config_; }
+
+ private:
+  PowerAwareConfig config_;
+  std::unique_ptr<Scheduler> inner_;
+};
+
+}  // namespace greenhpc::sched

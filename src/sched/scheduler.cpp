@@ -1,0 +1,101 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::sched {
+
+using util::require;
+
+util::Power Scheduler::choose_cap(const SchedulerContext& ctx) {
+  return ctx.cluster->spec().gpu.tdp;
+}
+
+std::vector<cluster::JobId> FcfsScheduler::select(const SchedulerContext& ctx) {
+  require(ctx.cluster != nullptr && ctx.jobs != nullptr && ctx.queue != nullptr,
+          "FcfsScheduler: incomplete context");
+  std::vector<cluster::JobId> starts;
+  int free = ctx.cluster->free_gpus();
+  for (cluster::JobId id : *ctx.queue) {
+    const cluster::Job& job = ctx.jobs->get(id);
+    if (job.request().gpus > free) break;  // strict FCFS: head blocks the rest
+    starts.push_back(id);
+    free -= job.request().gpus;
+  }
+  return starts;
+}
+
+std::vector<cluster::JobId> EasyBackfillScheduler::select(const SchedulerContext& ctx) {
+  require(ctx.cluster != nullptr && ctx.jobs != nullptr && ctx.queue != nullptr,
+          "EasyBackfillScheduler: incomplete context");
+  std::vector<cluster::JobId> starts;
+  int free = ctx.cluster->free_gpus();
+  const double throughput = ctx.cluster->throughput_factor();
+
+  // Phase 1: FCFS while the head fits.
+  std::size_t head = 0;
+  const auto& queue = *ctx.queue;
+  while (head < queue.size()) {
+    const cluster::Job& job = ctx.jobs->get(queue[head]);
+    if (job.request().gpus > free) break;
+    starts.push_back(queue[head]);
+    free -= job.request().gpus;
+    ++head;
+  }
+  if (head >= queue.size()) return starts;  // queue drained
+
+  // Phase 2: compute the head job's shadow reservation from the estimated
+  // completion times of running jobs (user-padded estimates, as in EASY).
+  const cluster::Job& head_job = ctx.jobs->get(queue[head]);
+  struct Release {
+    util::TimePoint at;
+    int gpus;
+  };
+  std::vector<Release> releases;
+  for (const cluster::Allocation& alloc : ctx.cluster->allocations()) {
+    const cluster::Job& running = ctx.jobs->get(alloc.job);
+    releases.push_back({ctx.now + running.user_estimate(throughput), alloc.total_gpus()});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.at < b.at; });
+
+  util::TimePoint shadow_time = ctx.now;
+  int available = free;
+  bool reserved = false;
+  for (const Release& r : releases) {
+    available += r.gpus;
+    if (available >= head_job.request().gpus) {
+      shadow_time = r.at;
+      reserved = true;
+      break;
+    }
+  }
+  if (!reserved) {
+    // Even with everything released the head cannot fit (bigger than the
+    // enabled partition); do not backfill around a permanently stuck head.
+    return starts;
+  }
+  // GPUs the head job will NOT need at shadow time can be used freely; jobs
+  // finishing before shadow_time can use anything free now.
+  int extra_at_shadow = available - head_job.request().gpus;
+
+  // Phase 3: backfill later queued jobs.
+  for (std::size_t i = head + 1; i < queue.size(); ++i) {
+    const cluster::Job& job = ctx.jobs->get(queue[i]);
+    const int need = job.request().gpus;
+    if (need > free) continue;
+    const util::TimePoint est_finish = ctx.now + job.user_estimate(throughput);
+    if (est_finish <= shadow_time) {
+      starts.push_back(queue[i]);
+      free -= need;
+    } else if (need <= extra_at_shadow) {
+      starts.push_back(queue[i]);
+      free -= need;
+      extra_at_shadow -= need;
+    }
+  }
+  return starts;
+}
+
+}  // namespace greenhpc::sched

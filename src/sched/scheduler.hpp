@@ -1,0 +1,67 @@
+#pragma once
+// Scheduler interface: the `p` (resource-allocation rule) knob of Eq. 1.
+//
+// Each control step the datacenter hands the scheduler a view of the queue,
+// the cluster, and the grid signals (price, carbon intensity, renewable
+// share). The scheduler returns which queued jobs to start, in order, and a
+// cluster-wide GPU power cap for the step (the `c` knob). Implementations
+// must respect capacity: the returned set must fit the free GPUs if started
+// in order.
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/job.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::sched {
+
+/// Grid-side signals a green policy may react to.
+struct GridSignals {
+  util::EnergyPrice price;
+  util::CarbonIntensity carbon;
+  double renewable_share = 0.0;
+};
+
+/// Read-only view handed to schedulers each step.
+struct SchedulerContext {
+  util::TimePoint now;
+  const cluster::Cluster* cluster = nullptr;
+  const cluster::JobRegistry* jobs = nullptr;
+  /// Pending job ids in submission (FIFO) order.
+  const std::vector<cluster::JobId>* queue = nullptr;
+  GridSignals signals;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Jobs to start this step, in start order. The contract: if the jobs are
+  /// allocated in the returned order, every allocation succeeds.
+  [[nodiscard]] virtual std::vector<cluster::JobId> select(const SchedulerContext& ctx) = 0;
+
+  /// Cluster-wide power cap for this step. Default: the GPU TDP (no cap).
+  [[nodiscard]] virtual util::Power choose_cap(const SchedulerContext& ctx);
+};
+
+/// Strict first-come-first-served: start queue-head jobs while they fit;
+/// stop at the first job that does not (no skipping, so no starvation).
+class FcfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fcfs"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const SchedulerContext& ctx) override;
+};
+
+/// EASY backfill: FCFS head reservation plus backfilling of later jobs that
+/// fit now without delaying the head job's reservation (computed from user
+/// runtime estimates, as production backfill does).
+class EasyBackfillScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "easy_backfill"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const SchedulerContext& ctx) override;
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace greenhpc::sim {
+
+using util::require;
+
+EventId Simulation::schedule_at(util::TimePoint at, EventFn fn) {
+  require(at >= now_, "Simulation::schedule_at: cannot schedule in the past");
+  require(static_cast<bool>(fn), "Simulation::schedule_at: null callback");
+  const EventId id = next_id_++;
+  queue_.push(QueuedEvent{at, next_seq_++, id, std::move(fn), false, util::seconds(0)});
+  return id;
+}
+
+EventId Simulation::schedule_in(util::Duration delay, EventFn fn) {
+  require(delay.seconds() >= 0.0, "Simulation::schedule_in: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_periodic(util::TimePoint first, util::Duration period, EventFn fn) {
+  require(period.seconds() > 0.0, "Simulation::schedule_periodic: period must be positive");
+  require(first >= now_, "Simulation::schedule_periodic: cannot schedule in the past");
+  require(static_cast<bool>(fn), "Simulation::schedule_periodic: null callback");
+  const EventId id = next_id_++;
+  queue_.push(QueuedEvent{first, next_seq_++, id, std::move(fn), true, period});
+  return id;
+}
+
+void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+
+void Simulation::run_until(util::TimePoint end) {
+  while (!queue_.empty()) {
+    const QueuedEvent& top = queue_.top();
+    if (top.at >= end) break;
+
+    QueuedEvent event = top;
+    queue_.pop();
+    if (cancelled_.contains(event.id)) {
+      if (!event.periodic) cancelled_.erase(event.id);
+      continue;
+    }
+
+    now_ = event.at;
+    ++processed_;
+    event.fn(*this);
+
+    // Re-arm periodic events after running (so a callback can cancel itself).
+    if (event.periodic && !cancelled_.contains(event.id)) {
+      event.at = event.at + event.period;
+      event.seq = next_seq_++;
+      queue_.push(std::move(event));
+    }
+  }
+  if (end > now_) now_ = end;
+}
+
+void Simulation::run_all() {
+  run_until(util::TimePoint::from_seconds(std::numeric_limits<double>::infinity()));
+}
+
+}  // namespace greenhpc::sim

@@ -1,0 +1,85 @@
+#pragma once
+// Discrete-event simulation engine.
+//
+// The datacenter twin is driven by a classic event queue: job arrivals,
+// starts, and completions are discrete events, while continuous quantities
+// (power, price, temperature) are integrated by periodic sampling events
+// (typically 15-minute steps). The engine is deliberately single-threaded
+// and deterministic — parallelism in greenhpc lives one level up, across
+// independent replica simulations (util::parallel_for).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::sim {
+
+class Simulation;
+
+/// Identifies a scheduled event so it can be cancelled (e.g. a job's
+/// completion event when the job is killed by a stress scenario).
+using EventId = std::uint64_t;
+
+using EventFn = std::function<void(Simulation&)>;
+
+class Simulation {
+ public:
+  explicit Simulation(util::TimePoint start = util::TimePoint::from_seconds(0.0)) : now_(start) {}
+
+  [[nodiscard]] util::TimePoint now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  EventId schedule_at(util::TimePoint at, EventFn fn);
+
+  /// Schedules `fn` after a delay relative to now (delay must be >= 0).
+  EventId schedule_in(util::Duration delay, EventFn fn);
+
+  /// Schedules `fn` every `period`, starting at `first`, until the
+  /// simulation stops or the callback calls `cancel` on the returned id.
+  /// Each firing sees the same EventId, so one id cancels the whole train.
+  EventId schedule_periodic(util::TimePoint first, util::Duration period, EventFn fn);
+
+  /// Cancels a pending (or periodic) event. Cancelling an already-fired
+  /// one-shot event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs events in time order until the queue empties or `end` is reached.
+  /// Events at exactly `end` are NOT run (half-open interval); the clock is
+  /// left at `end`.
+  void run_until(util::TimePoint end);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+ private:
+  struct QueuedEvent {
+    util::TimePoint at;
+    std::uint64_t seq;  ///< FIFO tiebreak for simultaneous events
+    EventId id;
+    EventFn fn;
+    bool periodic = false;
+    util::Duration period;
+  };
+  struct Later {
+    bool operator()(const QueuedEvent& a, const QueuedEvent& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::TimePoint now_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace greenhpc::sim

@@ -1,0 +1,119 @@
+#include "sim/recorder.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::sim {
+
+using util::require;
+
+void TimeSeries::push(util::TimePoint t, double value) {
+  require(times_.empty() || t >= times_.back(), "TimeSeries::push: non-monotonic time");
+  times_.push_back(t);
+  values_.push_back(value);
+}
+
+MonthlyAccumulator::Cell& MonthlyAccumulator::cell(util::MonthKey key) {
+  const int idx = key.index_from_epoch();
+  if (!any_) {
+    base_index_ = idx;
+    cells_.resize(1);
+    any_ = true;
+  }
+  if (idx < base_index_) {
+    cells_.insert(cells_.begin(), static_cast<std::size_t>(base_index_ - idx), Cell{});
+    base_index_ = idx;
+  } else if (idx - base_index_ >= static_cast<int>(cells_.size())) {
+    cells_.resize(static_cast<std::size_t>(idx - base_index_) + 1);
+  }
+  return cells_[static_cast<std::size_t>(idx - base_index_)];
+}
+
+void MonthlyAccumulator::add_within_month(util::TimePoint t, util::Duration dt, double value) {
+  Cell& c = cell(util::month_of(t));
+  if (!c.touched) {
+    c.min = value;
+    c.max = value;
+    c.touched = true;
+  } else {
+    c.min = std::min(c.min, value);
+    c.max = std::max(c.max, value);
+  }
+  c.weighted_sum += value * dt.seconds();
+  c.seconds += dt.seconds();
+}
+
+void MonthlyAccumulator::add_sample(util::TimePoint t, util::Duration dt, double value) {
+  require(dt.seconds() >= 0.0, "MonthlyAccumulator::add_sample: negative duration");
+  if (dt.seconds() == 0.0) return;
+  // Split across month boundaries so monthly integrals are exact.
+  util::TimePoint cursor = t;
+  util::Duration remaining = dt;
+  while (remaining.seconds() > 0.0) {
+    const util::MonthSpan span = util::month_span(util::month_of(cursor));
+    const util::Duration to_boundary = span.end - cursor;
+    const util::Duration step = remaining < to_boundary ? remaining : to_boundary;
+    add_within_month(cursor, step, value);
+    cursor = cursor + step;
+    remaining -= step;
+    if (step.seconds() <= 0.0) break;  // defensive: should be unreachable
+  }
+}
+
+void MonthlyAccumulator::add_event(util::TimePoint t, double weight) {
+  Cell& c = cell(util::month_of(t));
+  c.event_weight += weight;
+}
+
+std::vector<MonthlyStat> MonthlyAccumulator::monthly() const {
+  std::vector<MonthlyStat> out;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (!c.touched && c.event_weight == 0.0) continue;
+    MonthlyStat stat;
+    stat.month = util::MonthKey::from_index(base_index_ + static_cast<int>(i));
+    stat.time_weighted_mean = c.seconds > 0.0 ? c.weighted_sum / c.seconds : 0.0;
+    stat.integral = c.weighted_sum;
+    stat.min = c.min;
+    stat.max = c.max;
+    stat.samples = static_cast<std::size_t>(c.event_weight);
+    out.push_back(stat);
+  }
+  return out;
+}
+
+std::optional<MonthlyStat> MonthlyAccumulator::month(util::MonthKey key) const {
+  const int idx = key.index_from_epoch() - base_index_;
+  if (!any_ || idx < 0 || idx >= static_cast<int>(cells_.size())) return std::nullopt;
+  const Cell& c = cells_[static_cast<std::size_t>(idx)];
+  if (!c.touched && c.event_weight == 0.0) return std::nullopt;
+  MonthlyStat stat;
+  stat.month = key;
+  stat.time_weighted_mean = c.seconds > 0.0 ? c.weighted_sum / c.seconds : 0.0;
+  stat.integral = c.weighted_sum;
+  stat.min = c.min;
+  stat.max = c.max;
+  stat.samples = static_cast<std::size_t>(c.event_weight);
+  return stat;
+}
+
+std::vector<double> MonthlyAccumulator::means() const {
+  std::vector<double> out;
+  for (const auto& m : monthly()) out.push_back(m.time_weighted_mean);
+  return out;
+}
+
+std::vector<double> MonthlyAccumulator::integrals() const {
+  std::vector<double> out;
+  for (const auto& m : monthly()) out.push_back(m.integral);
+  return out;
+}
+
+std::vector<util::MonthKey> MonthlyAccumulator::months() const {
+  std::vector<util::MonthKey> out;
+  for (const auto& m : monthly()) out.push_back(m.month);
+  return out;
+}
+
+}  // namespace greenhpc::sim

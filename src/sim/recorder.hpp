@@ -1,0 +1,86 @@
+#pragma once
+// Time-series recording and monthly aggregation.
+//
+// Every figure in the paper is a *monthly* series (average power, average
+// price, deadline counts...). MonthlyAccumulator turns the simulator's
+// sampled instantaneous values into time-weighted monthly means and sums,
+// exactly mirroring how the SuperCloud telemetry in the paper was reduced.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::sim {
+
+/// Append-only (time, value) series.
+class TimeSeries {
+ public:
+  void push(util::TimePoint t, double value);
+
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] const std::vector<util::TimePoint>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<util::TimePoint> times_;
+  std::vector<double> values_;
+};
+
+/// One month's reduced statistics.
+struct MonthlyStat {
+  util::MonthKey month;
+  double time_weighted_mean = 0.0;  ///< e.g. average kW over the month
+  double integral = 0.0;            ///< value * seconds (e.g. joules if value is watts)
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Accumulates piecewise-constant samples into per-month statistics.
+/// add_sample(t, dt, v) means "the value was v over [t, t+dt)". Samples that
+/// straddle a month boundary are split exactly.
+class MonthlyAccumulator {
+ public:
+  void add_sample(util::TimePoint t, util::Duration dt, double value);
+
+  /// Adds an instantaneous count (e.g. a job submission) to its month.
+  void add_event(util::TimePoint t, double weight = 1.0);
+
+  /// All months seen, in chronological order.
+  [[nodiscard]] std::vector<MonthlyStat> monthly() const;
+
+  /// The stat for one month, if any samples landed there.
+  [[nodiscard]] std::optional<MonthlyStat> month(util::MonthKey key) const;
+
+  /// Convenience: the time-weighted means in chronological month order.
+  [[nodiscard]] std::vector<double> means() const;
+
+  /// Convenience: the integrals in chronological month order.
+  [[nodiscard]] std::vector<double> integrals() const;
+
+  /// Chronological month keys.
+  [[nodiscard]] std::vector<util::MonthKey> months() const;
+
+ private:
+  struct Cell {
+    double weighted_sum = 0.0;  ///< sum of value * dt_seconds
+    double seconds = 0.0;
+    double event_weight = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool touched = false;
+  };
+  Cell& cell(util::MonthKey key);
+  void add_within_month(util::TimePoint t, util::Duration dt, double value);
+
+  // Dense storage keyed by MonthKey::index_from_epoch() - base_index_.
+  std::vector<Cell> cells_;
+  int base_index_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace greenhpc::sim

@@ -1,0 +1,104 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::stats {
+
+using util::require;
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson: length mismatch");
+  require(xs.size() >= 2, "pearson: need at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0 && syy > 0.0, "pearson: zero-variance series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based.
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) out[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return out;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "spearman: length mismatch");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+std::vector<LagCorrelation> cross_correlation(std::span<const double> xs, std::span<const double> ys,
+                                              int max_lag) {
+  require(xs.size() == ys.size(), "cross_correlation: length mismatch");
+  require(max_lag >= 0, "cross_correlation: max_lag must be non-negative");
+  const auto n = static_cast<int>(xs.size());
+  require(n - max_lag >= 3, "cross_correlation: series too short for requested max_lag");
+
+  std::vector<LagCorrelation> out;
+  out.reserve(static_cast<std::size_t>(2 * max_lag + 1));
+  for (int lag = -max_lag; lag <= max_lag; ++lag) {
+    // Correlate x[t] with y[t + lag] over the overlapping window.
+    const int start_x = std::max(0, -lag);
+    const int count = n - std::abs(lag);
+    std::vector<double> wx, wy;
+    wx.reserve(static_cast<std::size_t>(count));
+    wy.reserve(static_cast<std::size_t>(count));
+    for (int t = 0; t < count; ++t) {
+      wx.push_back(xs[static_cast<std::size_t>(start_x + t)]);
+      wy.push_back(ys[static_cast<std::size_t>(start_x + t + lag)]);
+    }
+    out.push_back({lag, pearson(wx, wy)});
+  }
+  return out;
+}
+
+LagCorrelation best_lag(std::span<const double> xs, std::span<const double> ys, int max_lag) {
+  const auto all = cross_correlation(xs, ys, max_lag);
+  return *std::max_element(all.begin(), all.end(), [](const LagCorrelation& a, const LagCorrelation& b) {
+    return a.correlation < b.correlation;
+  });
+}
+
+double comonotonicity(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "comonotonicity: length mismatch");
+  require(xs.size() >= 2, "comonotonicity: need at least two samples");
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double dx = xs[i] - xs[i - 1];
+    const double dy = ys[i] - ys[i - 1];
+    if (dx == 0.0 && dy == 0.0) continue;  // joint plateau: uninformative
+    ++total;
+    if ((dx >= 0.0 && dy >= 0.0) || (dx <= 0.0 && dy <= 0.0)) ++agree;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace greenhpc::stats

@@ -1,0 +1,45 @@
+#pragma once
+// Correlation measures.
+//
+// The paper's empirical claims are correlation-shaped:
+//  - Fig. 2: power consumption is *inversely* related to renewable share,
+//  - Fig. 3: prices tend to be lower when renewable share is higher,
+//  - Fig. 4: a "near one-to-one" (rank-monotone) power/temperature relation,
+//  - Fig. 5: energy use *leads* deadline concentrations (anticipatory ramp),
+//    which we quantify with a lagged cross-correlation.
+// The benches reproduce each claim by computing these statistics over the
+// simulated monthly series and asserting the signs/lags.
+
+#include <span>
+#include <vector>
+
+namespace greenhpc::stats {
+
+/// Pearson product-moment correlation. Series must be equal-length, size>=2,
+/// and have nonzero variance.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Mid-ranks (1-based, ties averaged), the Spearman building block.
+[[nodiscard]] std::vector<double> ranks(std::span<const double> xs);
+
+/// Pearson correlation between x[t] and y[t+lag] for each lag in
+/// [-max_lag, +max_lag]. A *positive* lag with high correlation means x leads
+/// y (x moves first). Overlapping windows shrink with |lag|.
+struct LagCorrelation {
+  int lag = 0;
+  double correlation = 0.0;
+};
+[[nodiscard]] std::vector<LagCorrelation> cross_correlation(std::span<const double> xs,
+                                                            std::span<const double> ys, int max_lag);
+
+/// The lag in [-max_lag, max_lag] with the highest correlation.
+[[nodiscard]] LagCorrelation best_lag(std::span<const double> xs, std::span<const double> ys, int max_lag);
+
+/// Fraction of adjacent pairs moving in the same direction in both series;
+/// 1.0 means perfectly co-monotone ("near one-to-one" in the Fig. 4 sense).
+[[nodiscard]] double comonotonicity(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace greenhpc::stats

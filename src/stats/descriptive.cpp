@@ -1,0 +1,85 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::stats {
+
+using util::require;
+
+double sum(std::span<const double> xs) {
+  // Kahan summation keeps year-long hourly accumulations exact enough for
+  // the conservation tests (ledger == meter integral).
+  double total = 0.0;
+  double compensation = 0.0;
+  for (double x : xs) {
+    const double y = x - compensation;
+    const double t = total + y;
+    compensation = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean: empty series");
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require(xs.size() >= 2, "variance: need at least two samples");
+  const double m = mean(xs);
+  double accum = 0.0;
+  for (double x : xs) accum += (x - m) * (x - m);
+  return accum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min(std::span<const double> xs) {
+  require(!xs.empty(), "min: empty series");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  require(!xs.empty(), "max: empty series");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  require(!xs.empty(), "quantile: empty series");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be within [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  require(m != 0.0, "coefficient_of_variation: zero mean");
+  return stddev(xs) / m;
+}
+
+Summary summarize(std::span<const double> xs) {
+  require(!xs.empty(), "summarize: empty series");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? stddev(xs) : 0.0;
+  s.min = min(xs);
+  s.p25 = quantile(xs, 0.25);
+  s.median = median(xs);
+  s.p75 = quantile(xs, 0.75);
+  s.max = max(xs);
+  return s;
+}
+
+}  // namespace greenhpc::stats

@@ -1,0 +1,44 @@
+#pragma once
+// Descriptive statistics over contiguous double series.
+//
+// These are the primitives every analysis in the paper reduces to: monthly
+// means of power (Figs. 2, 4, 5), ranges of prices (Fig. 3), and spread
+// measures for the mechanism/stress ensembles.
+
+#include <span>
+#include <vector>
+
+namespace greenhpc::stats {
+
+[[nodiscard]] double sum(std::span<const double> xs);
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Requires at least two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+[[nodiscard]] double min(std::span<const double> xs);
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. q=0.5 is the median.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); requires nonzero mean.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
+
+/// Summary bundle used in reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace greenhpc::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::stats {
+
+using util::require;
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bin_count)),
+      counts_(bin_count, 0) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(bin_count >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard float edge at hi_
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::bin_range: bin out of range");
+  const double lo = lo_ + bin_width_ * static_cast<double>(bin);
+  return {lo, lo + bin_width_};
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram::fraction: bin out of range");
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  const std::size_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = bin_range(b);
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    out += "[" + util::fmt_fixed(lo, 2) + ", " + util::fmt_fixed(hi, 2) + ") ";
+    out += std::string(bar, '#');
+    out += " " + util::fmt_fixed(100.0 * fraction(b), 1) + "%\n";
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace greenhpc::stats

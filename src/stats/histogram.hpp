@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-width-bin histogram, used for utilization and queue-wait
+// distributions in the telemetry reports and mechanism analyses.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace greenhpc::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split into `bin_count` equal bins, with underflow and
+  /// overflow tracked separately.
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// [lo, hi) bounds of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Fraction of all added samples landing in `bin` (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Compact ASCII rendering ("[0.0,0.1) ####... 12%") for reports.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace greenhpc::stats

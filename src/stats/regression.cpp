@@ -1,0 +1,133 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::stats {
+
+using util::ensure;
+using util::require;
+
+SimpleFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "linear_fit: length mismatch");
+  require(xs.size() >= 2, "linear_fit: need at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  require(sxx > 0.0, "linear_fit: zero variance in x");
+
+  SimpleFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double resid = ys[i] - fit.predict(xs[i]);
+    ss_res += resid * resid;
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.residual_stddev =
+      xs.size() > 2 ? std::sqrt(ss_res / static_cast<double>(xs.size() - 2)) : 0.0;
+  return fit;
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  require(a.size() == n, "solve_linear_system: dimension mismatch");
+  for (const auto& row : a) require(row.size() == n, "solve_linear_system: non-square matrix");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row)
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    require(std::abs(a[pivot][col]) > 1e-12, "solve_linear_system: singular system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double accum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) accum -= a[i][k] * x[k];
+    x[i] = accum / a[i][i];
+  }
+  return x;
+}
+
+double MultiFit::predict(std::span<const double> row) const {
+  require(row.size() == coefficients.size(), "MultiFit::predict: arity mismatch");
+  double y = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) y += coefficients[i] * row[i];
+  return y;
+}
+
+MultiFit multiple_fit(const std::vector<std::vector<double>>& rows, std::span<const double> ys) {
+  require(rows.size() == ys.size(), "multiple_fit: row/target count mismatch");
+  require(!rows.empty(), "multiple_fit: empty design matrix");
+  const std::size_t p = rows.front().size();
+  require(p >= 1, "multiple_fit: need at least one predictor");
+  require(rows.size() >= p, "multiple_fit: fewer rows than predictors");
+  for (const auto& row : rows) require(row.size() == p, "multiple_fit: ragged design matrix");
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += rows[r][i] * ys[r];
+      for (std::size_t j = i; j < p; ++j) xtx[i][j] += rows[r][i] * rows[r][j];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+
+  MultiFit fit;
+  fit.coefficients = solve_linear_system(std::move(xtx), std::move(xty));
+
+  const double my = mean(ys);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double resid = ys[r] - fit.predict(rows[r]);
+    ss_res += resid * resid;
+    ss_tot += (ys[r] - my) * (ys[r] - my);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  fit.residual_stddev = rows.size() > p
+                            ? std::sqrt(ss_res / static_cast<double>(rows.size() - p))
+                            : 0.0;
+  return fit;
+}
+
+double DoublingFit::predict(double t) const {
+  return std::exp2(log2_intercept + t / doubling_time);
+}
+
+DoublingFit doubling_fit(std::span<const double> ts, std::span<const double> ys) {
+  require(ts.size() == ys.size(), "doubling_fit: length mismatch");
+  std::vector<double> log2y;
+  log2y.reserve(ys.size());
+  for (double y : ys) {
+    require(y > 0.0, "doubling_fit: y values must be positive");
+    log2y.push_back(std::log2(y));
+  }
+  const SimpleFit fit = linear_fit(ts, log2y);
+  ensure(fit.slope != 0.0, "doubling_fit: zero growth slope");
+  return DoublingFit{1.0 / fit.slope, fit.intercept, fit.r_squared};
+}
+
+}  // namespace greenhpc::stats

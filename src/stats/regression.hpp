@@ -1,0 +1,62 @@
+#pragma once
+// Least-squares regression.
+//
+// Used three ways in the reproduction:
+//  1. Fig. 1: log-linear fits of compute-vs-time give the two-era doubling
+//     times (~24 months pre-2012, ~3.4 months after).
+//  2. Fig. 4: the slope of monthly power on temperature quantifies the
+//     "near one-to-one" cooling relationship.
+//  3. forecast/: AR(p) models are fit by OLS on lagged design matrices.
+
+#include <span>
+#include <vector>
+
+namespace greenhpc::stats {
+
+/// y = intercept + slope * x fit, with fit quality diagnostics.
+struct SimpleFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double residual_stddev = 0.0;
+
+  [[nodiscard]] double predict(double x) const { return intercept + slope * x; }
+};
+
+[[nodiscard]] SimpleFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Multiple linear regression y = X beta (+ optional intercept prepended by
+/// the caller as a column of ones). Solved by Gaussian elimination with
+/// partial pivoting on the normal equations — ample for the small design
+/// matrices greenhpc fits (p <= ~12 seasonal/lag terms).
+struct MultiFit {
+  std::vector<double> coefficients;
+  double r_squared = 0.0;
+  double residual_stddev = 0.0;
+
+  [[nodiscard]] double predict(std::span<const double> row) const;
+};
+
+/// `rows` is the design matrix, row-major; every row must have the same
+/// length, and rows.size() must be >= the number of predictors.
+[[nodiscard]] MultiFit multiple_fit(const std::vector<std::vector<double>>& rows,
+                                    std::span<const double> ys);
+
+/// Fits exponential growth y = a * 2^(t / doubling_time) by regressing
+/// log2(y) on t. Returns doubling time in the units of `t`. Requires y > 0.
+struct DoublingFit {
+  double doubling_time = 0.0;   ///< time units per factor-of-two growth
+  double log2_intercept = 0.0;  ///< log2(y) at t = 0
+  double r_squared = 0.0;
+
+  [[nodiscard]] double predict(double t) const;
+};
+
+[[nodiscard]] DoublingFit doubling_fit(std::span<const double> ts, std::span<const double> ys);
+
+/// Solves the dense linear system A x = b in-place via partial-pivot Gaussian
+/// elimination. Exposed for reuse by forecast::. Throws on singular systems.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                                      std::vector<double> b);
+
+}  // namespace greenhpc::stats

@@ -1,0 +1,86 @@
+#include "telemetry/accountant.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::telemetry {
+
+using util::require;
+
+void EnergyAccountant::charge(const cluster::Job& job, util::Energy it_energy, double pue,
+                              util::EnergyPrice price, util::CarbonIntensity intensity,
+                              double water_l, double gpu_hours) {
+  require(it_energy.joules() >= 0.0, "EnergyAccountant: negative energy");
+  require(pue >= 1.0, "EnergyAccountant: PUE must be >= 1");
+  require(water_l >= 0.0, "EnergyAccountant: negative water");
+  require(gpu_hours >= 0.0, "EnergyAccountant: negative gpu-hours");
+
+  auto [it, inserted] = jobs_.try_emplace(job.id());
+  JobFootprint& fp = it->second;
+  if (inserted) {
+    fp.job = job.id();
+    fp.user = job.request().user;
+    fp.job_class = job.request().job_class;
+    fp.domain = job.request().domain;
+    order_.push_back(job.id());
+  }
+  const util::Energy facility = it_energy * pue;
+  fp.it_energy += it_energy;
+  fp.facility_energy += facility;
+  fp.cost += facility * price;
+  fp.carbon += facility * intensity;
+  fp.water += util::liters(water_l);
+  fp.gpu_hours += gpu_hours;
+
+  totals_.energy += facility;
+  totals_.cost += facility * price;
+  totals_.carbon += facility * intensity;
+  totals_.water += util::liters(water_l);
+}
+
+const JobFootprint* EnergyAccountant::job(cluster::JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobFootprint> EnergyAccountant::all_jobs() const {
+  std::vector<JobFootprint> out;
+  out.reserve(order_.size());
+  for (cluster::JobId id : order_) out.push_back(jobs_.at(id));
+  return out;
+}
+
+std::vector<UserFootprint> EnergyAccountant::by_user() const {
+  std::unordered_map<cluster::UserId, UserFootprint> users;
+  for (const auto& [id, fp] : jobs_) {
+    UserFootprint& u = users[fp.user];
+    u.user = fp.user;
+    u.facility_energy += fp.facility_energy;
+    u.cost += fp.cost;
+    u.carbon += fp.carbon;
+    u.gpu_hours += fp.gpu_hours;
+    u.jobs += 1;
+  }
+  std::vector<UserFootprint> out;
+  out.reserve(users.size());
+  for (auto& [id, u] : users) out.push_back(u);
+  std::sort(out.begin(), out.end(), [](const UserFootprint& a, const UserFootprint& b) {
+    return a.facility_energy > b.facility_energy;
+  });
+  return out;
+}
+
+std::unordered_map<cluster::JobClass, util::Energy> EnergyAccountant::by_class() const {
+  std::unordered_map<cluster::JobClass, util::Energy> out;
+  for (const auto& [id, fp] : jobs_) out[fp.job_class] += fp.facility_energy;
+  return out;
+}
+
+std::unordered_map<cluster::DomainTag, util::Energy> EnergyAccountant::by_domain() const {
+  std::unordered_map<cluster::DomainTag, util::Energy> out;
+  for (const auto& [id, fp] : jobs_) out[fp.domain] += fp.facility_energy;
+  return out;
+}
+
+}  // namespace greenhpc::telemetry

@@ -1,0 +1,71 @@
+#pragma once
+// Energy accounting: the measurement-and-reporting substrate of Sec. IV-B.
+//
+// The paper's Eq. 2 decomposes datacenter totals into per-user energy e_i
+// and activity a_i ("sum_i e_i = E, sum_i a_i = A"). The accountant maintains
+// exactly that decomposition: every charged joule lands in a per-job record,
+// rolls up to per-user and per-class ledgers, and the invariant
+// sum(per-user) == cluster total is enforced by tests.
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "grid/connection.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::telemetry {
+
+/// Footprint attributed to one job (facility-level: PUE applied).
+struct JobFootprint {
+  cluster::JobId job = 0;
+  cluster::UserId user = 0;
+  cluster::JobClass job_class = cluster::JobClass::kTraining;
+  cluster::DomainTag domain = cluster::kNoDomain;
+  util::Energy it_energy;
+  util::Energy facility_energy;
+  util::Money cost;
+  util::MassCo2 carbon;
+  util::WaterVolume water;
+  double gpu_hours = 0.0;
+};
+
+/// Per-user roll-up (the e_i / a_i of Eq. 2).
+struct UserFootprint {
+  cluster::UserId user = 0;
+  util::Energy facility_energy;
+  util::Money cost;
+  util::MassCo2 carbon;
+  double gpu_hours = 0.0;  ///< the activity proxy a_i
+  std::size_t jobs = 0;
+};
+
+class EnergyAccountant {
+ public:
+  /// Charges a slice of running time to a job: `it_energy` is the GPU/node
+  /// energy over the slice; `pue` grosses it up to facility level; price and
+  /// intensity are the instantaneous grid conditions; `water_l` is direct
+  /// cooling water attributed to the slice.
+  void charge(const cluster::Job& job, util::Energy it_energy, double pue,
+              util::EnergyPrice price, util::CarbonIntensity intensity, double water_l,
+              double gpu_hours);
+
+  [[nodiscard]] const JobFootprint* job(cluster::JobId id) const;
+  [[nodiscard]] std::vector<JobFootprint> all_jobs() const;
+  [[nodiscard]] std::vector<UserFootprint> by_user() const;
+  /// Facility energy by job class (training vs inference vs debug...).
+  [[nodiscard]] std::unordered_map<cluster::JobClass, util::Energy> by_class() const;
+
+  /// Facility energy by research domain tag — the paper's future-work
+  /// "breakdown of activity and energy use by domain (e.g. NLP)".
+  [[nodiscard]] std::unordered_map<cluster::DomainTag, util::Energy> by_domain() const;
+
+  [[nodiscard]] const grid::EnergyLedger& totals() const { return totals_; }
+
+ private:
+  std::unordered_map<cluster::JobId, JobFootprint> jobs_;
+  std::vector<cluster::JobId> order_;
+  grid::EnergyLedger totals_;
+};
+
+}  // namespace greenhpc::telemetry

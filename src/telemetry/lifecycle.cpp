@@ -1,0 +1,82 @@
+#include "telemetry/lifecycle.hpp"
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+using util::require;
+
+const char* lifecycle_phase_name(LifecyclePhase p) {
+  switch (p) {
+    case LifecyclePhase::kDevelopment: return "development";
+    case LifecyclePhase::kTraining: return "training";
+    case LifecyclePhase::kServing: return "serving";
+  }
+  return "unknown";
+}
+
+ModelLifecycle::ModelLifecycle(std::string model_name) : name_(std::move(model_name)) {
+  require(!name_.empty(), "ModelLifecycle: empty model name");
+}
+
+void ModelLifecycle::book(LifecyclePhase phase, util::Energy energy, util::Money cost,
+                          util::MassCo2 carbon, double gpu_hours) {
+  require(energy.joules() >= 0.0 && gpu_hours >= 0.0, "ModelLifecycle: negative usage");
+  PhaseTotals& p = phases_[static_cast<std::size_t>(phase)];
+  p.energy += energy;
+  p.cost += cost;
+  p.carbon += carbon;
+  p.gpu_hours += gpu_hours;
+}
+
+const PhaseTotals& ModelLifecycle::phase(LifecyclePhase p) const {
+  return phases_[static_cast<std::size_t>(p)];
+}
+
+PhaseTotals ModelLifecycle::total() const {
+  PhaseTotals t;
+  for (const PhaseTotals& p : phases_) {
+    t.energy += p.energy;
+    t.cost += p.cost;
+    t.carbon += p.carbon;
+    t.gpu_hours += p.gpu_hours;
+  }
+  return t;
+}
+
+std::array<double, kLifecyclePhases> ModelLifecycle::energy_shares() const {
+  std::array<double, kLifecyclePhases> shares{};
+  const double total_j = total().energy.joules();
+  if (total_j <= 0.0) return shares;
+  for (std::size_t i = 0; i < kLifecyclePhases; ++i)
+    shares[i] = phases_[i].energy.joules() / total_j;
+  return shares;
+}
+
+double ModelLifecycle::inference_share() const {
+  return energy_shares()[static_cast<std::size_t>(LifecyclePhase::kServing)];
+}
+
+std::string ModelLifecycle::report() const {
+  std::string md = "## Lifecycle footprint — " + name_ + "\n\n";
+  md += "| phase | energy (kWh) | cost ($) | CO2 (kg) | GPU-hours | energy share % |\n";
+  md += "|---|---|---|---|---|---|\n";
+  const auto shares = energy_shares();
+  for (std::size_t i = 0; i < kLifecyclePhases; ++i) {
+    const PhaseTotals& p = phases_[i];
+    md += "| " + std::string(lifecycle_phase_name(static_cast<LifecyclePhase>(i))) + " | " +
+          util::fmt_fixed(p.energy.kilowatt_hours(), 1) + " | " +
+          util::fmt_fixed(p.cost.dollars(), 2) + " | " +
+          util::fmt_fixed(p.carbon.kilograms(), 1) + " | " +
+          util::fmt_fixed(p.gpu_hours, 1) + " | " + util::fmt_fixed(100.0 * shares[i], 1) +
+          " |\n";
+  }
+  const PhaseTotals t = total();
+  md += "| **total** | " + util::fmt_fixed(t.energy.kilowatt_hours(), 1) + " | " +
+        util::fmt_fixed(t.cost.dollars(), 2) + " | " + util::fmt_fixed(t.carbon.kilograms(), 1) +
+        " | " + util::fmt_fixed(t.gpu_hours, 1) + " | 100.0 |\n";
+  return md;
+}
+
+}  // namespace greenhpc::telemetry

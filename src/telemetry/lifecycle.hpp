@@ -1,0 +1,64 @@
+#pragma once
+// Model lifecycle ledger (Sec. IV-B).
+//
+// "while many estimates have focused on training costs, even less clear are
+// the costs arising through a model's entire life-cycle, which are
+// particularly important in industry and applied settings. Even so, there
+// exist even less data on the costs of inference."
+//
+// The ledger tracks one model across its phases — development (sweeps,
+// ablations), final training, and serving — so the full-life split the
+// paper asks for is a query, not an estimate. Phases accumulate energy from
+// any source (accountant footprints, training-model roll-ups, inference
+// fleet periods).
+
+#include <array>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace greenhpc::telemetry {
+
+enum class LifecyclePhase : std::uint8_t {
+  kDevelopment = 0,  ///< prototypes, sweeps, ablations, failed runs
+  kTraining,         ///< the final production training run(s)
+  kServing,          ///< inference in production
+};
+inline constexpr std::size_t kLifecyclePhases = 3;
+
+[[nodiscard]] const char* lifecycle_phase_name(LifecyclePhase p);
+
+struct PhaseTotals {
+  util::Energy energy;
+  util::Money cost;
+  util::MassCo2 carbon;
+  double gpu_hours = 0.0;
+};
+
+class ModelLifecycle {
+ public:
+  explicit ModelLifecycle(std::string model_name);
+
+  /// Books facility-level usage into a phase.
+  void book(LifecyclePhase phase, util::Energy energy, util::Money cost, util::MassCo2 carbon,
+            double gpu_hours);
+
+  [[nodiscard]] const std::string& model_name() const { return name_; }
+  [[nodiscard]] const PhaseTotals& phase(LifecyclePhase p) const;
+  [[nodiscard]] PhaseTotals total() const;
+
+  /// Fraction of lifecycle energy in each phase (sums to 1 when non-empty).
+  [[nodiscard]] std::array<double, kLifecyclePhases> energy_shares() const;
+
+  /// The headline Sec. IV-B number: serving's share of lifecycle energy.
+  [[nodiscard]] double inference_share() const;
+
+  /// Markdown summary table.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::string name_;
+  std::array<PhaseTotals, kLifecyclePhases> phases_;
+};
+
+}  // namespace greenhpc::telemetry

@@ -1,0 +1,100 @@
+#include "telemetry/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+using util::fmt_fixed;
+using util::require;
+
+CarbonEquivalents equivalents(util::MassCo2 carbon, util::Energy energy) {
+  CarbonEquivalents eq;
+  eq.car_miles = carbon.kilograms() / 0.40;
+  eq.car_lifetimes = carbon.kilograms() / 57150.0;
+  eq.household_days_energy = energy.kilowatt_hours() / 29.0;
+  return eq;
+}
+
+ReportCard::ReportCard(const EnergyAccountant* accountant) : accountant_(accountant) {
+  require(accountant != nullptr, "ReportCard: null accountant");
+}
+
+std::string ReportCard::job_report(cluster::JobId id) const {
+  const JobFootprint* fp = accountant_->job(id);
+  require(fp != nullptr, "ReportCard::job_report: job has no recorded footprint");
+  const CarbonEquivalents eq = equivalents(fp->carbon, fp->facility_energy);
+
+  std::string md;
+  md += "## Energy report — job " + std::to_string(fp->job) + "\n\n";
+  md += "| metric | value |\n|---|---|\n";
+  md += "| class | " + std::string(cluster::job_class_name(fp->job_class)) + " |\n";
+  md += "| user | " + std::to_string(fp->user) + " |\n";
+  md += "| GPU-hours | " + fmt_fixed(fp->gpu_hours, 1) + " |\n";
+  md += "| IT energy (kWh) | " + fmt_fixed(fp->it_energy.kilowatt_hours(), 2) + " |\n";
+  md += "| facility energy (kWh) | " + fmt_fixed(fp->facility_energy.kilowatt_hours(), 2) + " |\n";
+  md += "| electricity cost ($) | " + fmt_fixed(fp->cost.dollars(), 2) + " |\n";
+  md += "| CO2 (kg) | " + fmt_fixed(fp->carbon.kilograms(), 2) + " |\n";
+  md += "| water (L) | " + fmt_fixed(fp->water.liters(), 1) + " |\n";
+  md += "| ~ car miles | " + fmt_fixed(eq.car_miles, 1) + " |\n";
+  md += "| ~ US-household days of electricity | " + fmt_fixed(eq.household_days_energy, 1) + " |\n";
+  return md;
+}
+
+std::string ReportCard::user_leaderboard(std::size_t top_n) const {
+  const std::vector<UserFootprint> users = accountant_->by_user();
+  std::string md = "## Per-user footprint (Eq. 2 decomposition)\n\n";
+  md += "| user | jobs | GPU-hours (a_i) | energy kWh (e_i) | CO2 kg | cost $ |\n";
+  md += "|---|---|---|---|---|---|\n";
+  const std::size_t n = std::min(top_n, users.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const UserFootprint& u = users[i];
+    md += "| " + std::to_string(u.user) + " | " + std::to_string(u.jobs) + " | " +
+          fmt_fixed(u.gpu_hours, 1) + " | " + fmt_fixed(u.facility_energy.kilowatt_hours(), 1) +
+          " | " + fmt_fixed(u.carbon.kilograms(), 1) + " | " + fmt_fixed(u.cost.dollars(), 2) +
+          " |\n";
+  }
+  return md;
+}
+
+std::string ReportCard::cluster_summary() const {
+  const grid::EnergyLedger& t = accountant_->totals();
+  const CarbonEquivalents eq = equivalents(t.carbon, t.energy);
+
+  std::string md = "## Cluster footprint summary\n\n";
+  md += "| metric | value |\n|---|---|\n";
+  md += "| facility energy (MWh) | " + fmt_fixed(t.energy.megawatt_hours(), 2) + " |\n";
+  md += "| electricity cost ($) | " + fmt_fixed(t.cost.dollars(), 0) + " |\n";
+  md += "| CO2 (metric tons) | " + fmt_fixed(t.carbon.metric_tons(), 2) + " |\n";
+  md += "| water (m^3) | " + fmt_fixed(t.water.cubic_meters(), 1) + " |\n";
+  md += "| ~ car lifetimes (Strubell et al. benchmark) | " + fmt_fixed(eq.car_lifetimes, 3) +
+        " |\n\n";
+
+  md += "### By workload class\n\n| class | facility energy (kWh) |\n|---|---|\n";
+  auto by_class = accountant_->by_class();
+  std::vector<std::pair<cluster::JobClass, util::Energy>> rows(by_class.begin(), by_class.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [cls, energy] : rows) {
+    md += "| " + std::string(cluster::job_class_name(cls)) + " | " +
+          fmt_fixed(energy.kilowatt_hours(), 1) + " |\n";
+  }
+  return md;
+}
+
+std::string ReportCard::jobs_csv() const {
+  util::Table table({"job", "user", "class", "gpu_hours", "it_kwh", "facility_kwh", "cost_usd",
+                     "co2_kg", "water_l"});
+  for (const JobFootprint& fp : accountant_->all_jobs()) {
+    table.add(fp.job, fp.user, cluster::job_class_name(fp.job_class),
+              util::fmt_fixed(fp.gpu_hours, 3), util::fmt_fixed(fp.it_energy.kilowatt_hours(), 4),
+              util::fmt_fixed(fp.facility_energy.kilowatt_hours(), 4),
+              util::fmt_fixed(fp.cost.dollars(), 4), util::fmt_fixed(fp.carbon.kilograms(), 4),
+              util::fmt_fixed(fp.water.liters(), 2));
+  }
+  return table.to_csv();
+}
+
+}  // namespace greenhpc::telemetry

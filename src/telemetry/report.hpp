@@ -1,0 +1,50 @@
+#pragma once
+// Report cards: "consistent reporting" as a tool, not an exhortation.
+//
+// Sec. IV-B closes with: facilities "should also provide the central
+// infrastructure, user interfaces, and analytical tools/instrumentation/
+// logging to further encourage easy reporting and sharing of data,
+// especially since not all users are equipped with the expertise to manually
+// report relevant data." ReportCard renders per-job and per-cluster
+// footprints with everyday-equivalents (the Strubell-style car comparison
+// the paper cites) in markdown, ready to paste into a paper appendix.
+
+#include <string>
+
+#include "telemetry/accountant.hpp"
+
+namespace greenhpc::telemetry {
+
+/// Everyday equivalents for a carbon mass. Conversion factors: average US
+/// passenger car 0.40 kgCO2/mile; car lifetime incl. fuel ~57,150 kgCO2
+/// (the Strubell et al. benchmark the paper cites); one US household-day of
+/// electricity ~ 29 kWh.
+struct CarbonEquivalents {
+  double car_miles = 0.0;
+  double car_lifetimes = 0.0;
+  double household_days_energy = 0.0;
+};
+
+[[nodiscard]] CarbonEquivalents equivalents(util::MassCo2 carbon, util::Energy energy);
+
+class ReportCard {
+ public:
+  explicit ReportCard(const EnergyAccountant* accountant);
+
+  /// Markdown report for one job (throws if the job has no footprint).
+  [[nodiscard]] std::string job_report(cluster::JobId id) const;
+
+  /// Markdown leaderboard of the heaviest users (Eq. 2's per-user view).
+  [[nodiscard]] std::string user_leaderboard(std::size_t top_n = 10) const;
+
+  /// Cluster-level roll-up with class breakdown and equivalents.
+  [[nodiscard]] std::string cluster_summary() const;
+
+  /// CSV of all job footprints (the shareable dataset Sec. IV-B asks for).
+  [[nodiscard]] std::string jobs_csv() const;
+
+ private:
+  const EnergyAccountant* accountant_;
+};
+
+}  // namespace greenhpc::telemetry

@@ -1,0 +1,79 @@
+#include "thermal/cooling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::thermal {
+
+using util::require;
+
+CoolingModel::CoolingModel(CoolingConfig config) : config_(config) {
+  require(config_.min_overhead >= 0.0, "CoolingModel: negative min overhead");
+  require(config_.max_overhead >= config_.min_overhead,
+          "CoolingModel: max overhead below min overhead");
+  require(config_.saturation_celsius > config_.free_cooling_celsius,
+          "CoolingModel: saturation temperature must exceed free-cooling temperature");
+  require(config_.cooling_capacity.watts() > 0.0, "CoolingModel: capacity must be positive");
+  require(config_.fixed_overhead >= 0.0, "CoolingModel: negative fixed overhead");
+}
+
+CoolingConfig CoolingModel::weatherized(const CoolingConfig& base, double level) {
+  require(level >= 0.0 && level <= 1.0, "CoolingModel::weatherized: level must be in [0,1]");
+  CoolingConfig up = base;
+  // Investment buys a more efficient chiller plant, more capacity headroom,
+  // and better containment/economizer reach.
+  up.max_overhead = base.max_overhead - level * 0.18;
+  up.cooling_capacity = base.cooling_capacity * (1.0 + 0.75 * level);
+  up.saturation_celsius = base.saturation_celsius + 6.0 * level;
+  up.free_cooling_celsius = base.free_cooling_celsius + 3.0 * level;
+  up.water_slope_l_per_kwh_per_c = base.water_slope_l_per_kwh_per_c * (1.0 - 0.4 * level);
+  return up;
+}
+
+double CoolingModel::overhead_fraction(util::Temperature outdoor) const {
+  const double t = outdoor.celsius();
+  if (t <= config_.free_cooling_celsius) return config_.min_overhead;
+  const double span = config_.saturation_celsius - config_.free_cooling_celsius;
+  const double x = std::min(1.0, (t - config_.free_cooling_celsius) / span);
+  const double s = x * x * (3.0 - 2.0 * x);  // smoothstep: C1 at both ends
+  return config_.min_overhead + (config_.max_overhead - config_.min_overhead) * s;
+}
+
+CoolingLoad CoolingModel::load(util::Power it_power, util::Temperature outdoor) const {
+  require(it_power.watts() >= 0.0, "CoolingModel::load: negative IT power");
+  CoolingLoad out;
+  out.required = it_power * overhead_fraction(outdoor);
+  out.delivered = std::min(out.required, config_.cooling_capacity);
+  out.deficit = out.required - out.delivered;
+  return out;
+}
+
+util::Power CoolingModel::facility_power(util::Power it_power, util::Temperature outdoor) const {
+  const CoolingLoad cl = load(it_power, outdoor);
+  return it_power + cl.delivered + it_power * config_.fixed_overhead;
+}
+
+double CoolingModel::pue(util::Power it_power, util::Temperature outdoor) const {
+  require(it_power.watts() > 0.0, "CoolingModel::pue: IT power must be positive");
+  return facility_power(it_power, outdoor) / it_power;
+}
+
+double CoolingModel::water_liters_per_hour(util::Power cooling_delivered,
+                                           util::Temperature outdoor) const {
+  require(cooling_delivered.watts() >= 0.0, "CoolingModel: negative cooling power");
+  const double excess_c = std::max(0.0, outdoor.celsius() - config_.free_cooling_celsius);
+  const double l_per_kwh = config_.base_water_l_per_kwh +
+                           config_.water_slope_l_per_kwh_per_c * excess_c;
+  return cooling_delivered.kilowatts() * l_per_kwh;  // kW * L/kWh = L/h
+}
+
+double CoolingModel::throttle_fraction(util::Power it_power, util::Temperature outdoor) const {
+  const CoolingLoad cl = load(it_power, outdoor);
+  if (!cl.saturated()) return 0.0;
+  // Shed enough IT load that required cooling equals capacity.
+  return std::min(1.0, cl.deficit / cl.required);
+}
+
+}  // namespace greenhpc::thermal

@@ -1,0 +1,82 @@
+#pragma once
+// Datacenter cooling plant model.
+//
+// Turns IT load plus outdoor temperature into cooling power, PUE, and direct
+// (evaporative) water use. The shape is what matters for Fig. 4: below the
+// free-cooling threshold the economizer carries the load at a small fixed
+// overhead; above it, mechanical chillers engage and their effective COP
+// degrades with outdoor temperature, so cooling overhead rises smoothly from
+// ~12% (winter) to ~55% (peak summer) of IT power. A finite cooling capacity
+// produces the thermal-throttling signal the Sec. II-B stress tests probe,
+// and a `weatherized` constructor models capital investment in the plant
+// ("investments into infrastructure weatherization is critical").
+
+#include "util/units.hpp"
+
+namespace greenhpc::thermal {
+
+struct CoolingConfig {
+  /// Fan/pump overhead that is always present, as a fraction of IT power.
+  double min_overhead = 0.12;
+  /// Overhead fraction when outdoor temperature reaches `saturation_celsius`.
+  double max_overhead = 0.62;
+  /// Full free cooling at or below this outdoor temperature (deg C).
+  double free_cooling_celsius = 5.0;
+  /// Overhead saturates at this outdoor temperature (deg C).
+  double saturation_celsius = 32.0;
+  /// Most cooling the plant can deliver; beyond this the facility throttles.
+  util::Power cooling_capacity = util::kilowatts(160.0);
+  /// Evaporative water per kWh of *cooling* energy at the free-cooling point;
+  /// grows linearly with outdoor temperature above it.
+  double base_water_l_per_kwh = 0.4;
+  double water_slope_l_per_kwh_per_c = 0.06;
+  /// Non-cooling facility overhead (lighting, UPS losses, PDUs) as a
+  /// fraction of IT power; enters PUE but not the cooling plant.
+  double fixed_overhead = 0.06;
+};
+
+/// Cooling demand vs. delivery at one instant.
+struct CoolingLoad {
+  util::Power required;   ///< what full heat removal needs
+  util::Power delivered;  ///< min(required, capacity)
+  util::Power deficit;    ///< required - delivered (drives throttling)
+
+  [[nodiscard]] bool saturated() const { return deficit.watts() > 0.0; }
+};
+
+class CoolingModel {
+ public:
+  explicit CoolingModel(CoolingConfig config = {});
+
+  /// A config upgraded by capital investment `level` in [0, 1]:
+  /// lower peak overhead, more capacity, wider free-cooling band. level=0 is
+  /// the base config; level=1 is a fully weatherized plant.
+  [[nodiscard]] static CoolingConfig weatherized(const CoolingConfig& base, double level);
+
+  /// Cooling overhead fraction at the given outdoor temperature.
+  [[nodiscard]] double overhead_fraction(util::Temperature outdoor) const;
+
+  /// Cooling power demanded/delivered for an IT load at a temperature.
+  [[nodiscard]] CoolingLoad load(util::Power it_power, util::Temperature outdoor) const;
+
+  /// Total facility power: IT + delivered cooling + fixed overhead.
+  [[nodiscard]] util::Power facility_power(util::Power it_power, util::Temperature outdoor) const;
+
+  /// Power usage effectiveness at this operating point (>= 1).
+  [[nodiscard]] double pue(util::Power it_power, util::Temperature outdoor) const;
+
+  /// Direct evaporative water rate (liters/hour) for a cooling delivery.
+  [[nodiscard]] double water_liters_per_hour(util::Power cooling_delivered,
+                                             util::Temperature outdoor) const;
+
+  /// Fraction of compute that must be shed so cooling fits capacity: 0 when
+  /// unconstrained, approaching 1 under extreme deficit.
+  [[nodiscard]] double throttle_fraction(util::Power it_power, util::Temperature outdoor) const;
+
+  [[nodiscard]] const CoolingConfig& config() const { return config_; }
+
+ private:
+  CoolingConfig config_;
+};
+
+}  // namespace greenhpc::thermal

@@ -1,0 +1,71 @@
+#include "thermal/weather.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::thermal {
+
+using util::require;
+
+WeatherModel::WeatherModel(WeatherConfig config)
+    : config_(config), synoptic_(config.seed, config.synoptic_period) {
+  require(config_.diurnal_amplitude >= 0.0, "WeatherModel: negative diurnal amplitude");
+  require(config_.synoptic_amplitude >= 0.0, "WeatherModel: negative synoptic amplitude");
+}
+
+double WeatherModel::seasonal_celsius(util::TimePoint t) const {
+  // Interpolate between mid-month climate normals (same scheme as the fuel
+  // mix model): piecewise linear in time, no month-boundary steps.
+  const util::CivilDate d = util::civil_of(t);
+  const util::MonthKey mk{d.year, d.month};
+  const util::MonthSpan span = util::month_span(mk);
+  const double mid = (span.start.seconds_since_epoch() + span.end.seconds_since_epoch()) / 2.0;
+  const double pos = t.seconds_since_epoch();
+  const auto normal = [&](int month_index_0based) {
+    return config_.normal_celsius[static_cast<std::size_t>((month_index_0based % 12 + 12) % 12)];
+  };
+  const int m0 = d.month - 1;
+  if (pos >= mid) {
+    const util::MonthSpan nspan = util::month_span(mk.next());
+    const double nmid = (nspan.start.seconds_since_epoch() + nspan.end.seconds_since_epoch()) / 2.0;
+    const double frac = (pos - mid) / (nmid - mid);
+    return normal(m0) * (1.0 - frac) + normal(m0 + 1) * frac;
+  }
+  const util::MonthKey prev = util::MonthKey::from_index(mk.index_from_epoch() - 1);
+  const util::MonthSpan pspan = util::month_span(prev);
+  const double pmid = (pspan.start.seconds_since_epoch() + pspan.end.seconds_since_epoch()) / 2.0;
+  const double frac = (mid - pos) / (mid - pmid);
+  return normal(m0) * (1.0 - frac) + normal(m0 - 1) * frac;
+}
+
+util::Temperature WeatherModel::temperature_at(util::TimePoint t) const {
+  double celsius = seasonal_celsius(t) + config_.climate_offset;
+  // Diurnal cycle: coldest ~05:00, warmest ~15:00.
+  const double h = util::hour_of_day(t);
+  celsius += config_.diurnal_amplitude * std::sin(2.0 * std::numbers::pi * (h - 10.0) / 24.0);
+  celsius += config_.synoptic_amplitude * synoptic_.value(t);
+  for (const HeatWave& wave : heat_waves_) {
+    if (t >= wave.start && t < wave.start + wave.length) celsius += wave.delta_celsius;
+  }
+  return util::celsius(celsius);
+}
+
+util::Temperature WeatherModel::monthly_average(util::MonthKey month) const {
+  const util::MonthSpan span = util::month_span(month);
+  double total = 0.0;
+  std::size_t samples = 0;
+  for (util::TimePoint t = span.start; t < span.end; t += util::hours(1)) {
+    total += temperature_at(t).celsius();
+    ++samples;
+  }
+  return util::celsius(total / static_cast<double>(samples));
+}
+
+void WeatherModel::add_heat_wave(const HeatWave& wave) {
+  require(wave.length.seconds() > 0.0, "WeatherModel: heat wave must have positive length");
+  heat_waves_.push_back(wave);
+}
+
+}  // namespace greenhpc::thermal

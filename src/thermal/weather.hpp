@@ -1,0 +1,66 @@
+#pragma once
+// Outdoor weather model (Boston-like climate).
+//
+// Fig. 4 of the paper plots monthly average power against monthly average
+// local temperature and finds a "near one-to-one relationship" — the cooling
+// plant works harder in warm months. This model supplies the temperature
+// signal: monthly climate normals for the Boston area, a diurnal cycle,
+// smooth synoptic noise, and injectable heat waves for the Sec. II-B
+// weatherization stress tests ("more extreme weather events and rising
+// temperatures").
+
+#include <cstdint>
+#include <vector>
+
+#include "util/calendar.hpp"
+#include "util/noise.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::thermal {
+
+/// A sustained temperature anomaly (stress-test scenario ingredient).
+struct HeatWave {
+  util::TimePoint start;
+  util::Duration length = util::days(3);
+  double delta_celsius = 8.0;  ///< uniform offset while active
+};
+
+struct WeatherConfig {
+  /// Month-of-year (index 0 = January) mean temperature, deg C. Defaults are
+  /// Boston 1991-2020 climate normals (approx).
+  std::array<double, 12> normal_celsius = {-1.5, -0.5, 3.5, 9.5, 15.0, 20.5,
+                                           23.5, 22.5, 18.5, 12.5, 7.0, 1.5};
+  /// Half peak-to-trough diurnal swing, deg C (min near 05:00, max near 15:00).
+  double diurnal_amplitude = 4.5;
+  /// Synoptic (weather-front) noise amplitude, deg C, and knot period.
+  double synoptic_amplitude = 4.0;
+  util::Duration synoptic_period = util::hours(72);
+  /// Constant climate offset, deg C — lets stress tests model warmed climates.
+  double climate_offset = 0.0;
+  std::uint64_t seed = 19930407;
+};
+
+class WeatherModel {
+ public:
+  explicit WeatherModel(WeatherConfig config = {});
+
+  [[nodiscard]] util::Temperature temperature_at(util::TimePoint t) const;
+
+  /// Monthly average temperature (hourly sampling) — the Fig. 4 x-axis.
+  [[nodiscard]] util::Temperature monthly_average(util::MonthKey month) const;
+
+  /// Registers a heat wave; overlapping waves stack.
+  void add_heat_wave(const HeatWave& wave);
+  [[nodiscard]] const std::vector<HeatWave>& heat_waves() const { return heat_waves_; }
+
+  [[nodiscard]] const WeatherConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double seasonal_celsius(util::TimePoint t) const;
+
+  WeatherConfig config_;
+  util::FractalNoise synoptic_;
+  std::vector<HeatWave> heat_waves_;
+};
+
+}  // namespace greenhpc::thermal

@@ -1,0 +1,63 @@
+#include "util/calendar.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace greenhpc::util {
+
+CivilDate civil_of(TimePoint t) {
+  const auto day = static_cast<std::int64_t>(std::floor(t.seconds_since_epoch() / 86400.0));
+  return civil_from_days(day + days_from_civil(2020, 1, 1));
+}
+
+MonthKey month_of(TimePoint t) {
+  const CivilDate d = civil_of(t);
+  return MonthKey{d.year, d.month};
+}
+
+double hour_of_day(TimePoint t) {
+  const double day_frac = t.seconds_since_epoch() / 86400.0 - std::floor(t.seconds_since_epoch() / 86400.0);
+  return day_frac * 24.0;
+}
+
+double year_fraction(TimePoint t) {
+  const CivilDate d = civil_of(t);
+  const TimePoint year_start = to_timepoint(CivilDate{d.year, 1, 1});
+  const TimePoint year_end = to_timepoint(CivilDate{d.year + 1, 1, 1});
+  return (t - year_start).seconds() / (year_end - year_start).seconds();
+}
+
+int day_of_week(TimePoint t) {
+  const auto day = static_cast<std::int64_t>(std::floor(t.seconds_since_epoch() / 86400.0));
+  // 2020-01-01 was a Wednesday (index 2 with Monday = 0).
+  std::int64_t dow = (day + 2) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+MonthSpan month_span(MonthKey key) {
+  const MonthKey next = key.next();
+  return MonthSpan{to_timepoint(CivilDate{key.year, key.month, 1}),
+                   to_timepoint(CivilDate{next.year, next.month, 1})};
+}
+
+const char* month_name(int month) {
+  static constexpr std::array<const char*, 12> kNames = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                                         "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  return kNames.at(static_cast<std::size_t>(month - 1));
+}
+
+std::string MonthKey::label() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d", year, month);
+  return buf;
+}
+
+std::string to_string(const CivilDate& d) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace greenhpc::util

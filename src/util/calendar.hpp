@@ -1,0 +1,145 @@
+#pragma once
+// Civil-calendar support for the simulation timeline.
+//
+// All greenhpc experiments live on a real calendar because the paper's
+// evidence is calendar-shaped: monthly power (Figs. 2-5), month-of-year fuel
+// mixes, and conference deadlines on specific dates. The simulation epoch is
+// 2020-01-01 00:00 local, matching the start of the paper's observation
+// window (Jan 2020 - Dec 2021). Conversions use Howard Hinnant's proleptic
+// Gregorian algorithms, so leap years (2020 is one) are handled exactly.
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace greenhpc::util {
+
+/// A proleptic Gregorian calendar date.
+struct CivilDate {
+  int year = 2020;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend constexpr auto operator<=>(const CivilDate&, const CivilDate&) = default;
+};
+
+/// An instant on the simulation timeline, stored as seconds since the
+/// simulation epoch (2020-01-01 00:00). Distinct from Duration so that
+/// instants and spans cannot be mixed up (TimePoint - TimePoint = Duration).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_seconds(double s) { return TimePoint{s}; }
+  [[nodiscard]] constexpr double seconds_since_epoch() const { return seconds_; }
+  [[nodiscard]] constexpr double hours_since_epoch() const { return seconds_ / 3600.0; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.seconds_ + d.seconds()}; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.seconds_ - d.seconds()}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return seconds(a.seconds_ - b.seconds_); }
+  constexpr TimePoint& operator+=(Duration d) { seconds_ += d.seconds(); return *this; }
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+ private:
+  constexpr explicit TimePoint(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+/// Identifies one calendar month; supports linear indexing so monthly series
+/// can be stored in flat vectors (index 0 == January 2020 by convention).
+struct MonthKey {
+  int year = 2020;
+  int month = 1;  ///< 1..12
+
+  /// Months elapsed since January 2020 (may be negative before the epoch).
+  [[nodiscard]] constexpr int index_from_epoch() const { return (year - 2020) * 12 + (month - 1); }
+  [[nodiscard]] static constexpr MonthKey from_index(int idx) {
+    // Floor-divide so negative indices land in the right year.
+    int y = 2020 + (idx >= 0 ? idx / 12 : (idx - 11) / 12);
+    int m = idx - (y - 2020) * 12 + 1;
+    return MonthKey{y, m};
+  }
+  [[nodiscard]] MonthKey next() const { return from_index(index_from_epoch() + 1); }
+  [[nodiscard]] std::string label() const;  ///< e.g. "2020-07"
+
+  friend constexpr auto operator<=>(const MonthKey&, const MonthKey&) = default;
+};
+
+/// True for Gregorian leap years.
+[[nodiscard]] constexpr bool is_leap_year(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+/// Number of days in the given month (28..31).
+[[nodiscard]] constexpr int days_in_month(int year, int month) {
+  constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's days_from_civil).
+[[nodiscard]] constexpr std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+[[nodiscard]] constexpr CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m), static_cast<int>(d)};
+}
+
+/// Days since the simulation epoch (2020-01-01) for a civil date.
+[[nodiscard]] constexpr std::int64_t days_from_sim_epoch(const CivilDate& d) {
+  return days_from_civil(d.year, d.month, d.day) - days_from_civil(2020, 1, 1);
+}
+
+/// The instant at `hour_of_day` (fractional hours allowed) on date `d`.
+[[nodiscard]] constexpr TimePoint to_timepoint(const CivilDate& d, double hour_of_day = 0.0) {
+  return TimePoint::from_seconds(static_cast<double>(days_from_sim_epoch(d)) * 86400.0 + hour_of_day * 3600.0);
+}
+
+/// The civil date containing `t`.
+[[nodiscard]] CivilDate civil_of(TimePoint t);
+
+/// The calendar month containing `t`.
+[[nodiscard]] MonthKey month_of(TimePoint t);
+
+/// Hour of day in [0, 24).
+[[nodiscard]] double hour_of_day(TimePoint t);
+
+/// Fraction of the year elapsed at `t`, in [0, 1). Useful for seasonal curves.
+[[nodiscard]] double year_fraction(TimePoint t);
+
+/// Day of week, 0 = Monday .. 6 = Sunday (2020-01-01 was a Wednesday).
+[[nodiscard]] int day_of_week(TimePoint t);
+
+/// Half-open interval [start, end) covering a calendar month.
+struct MonthSpan {
+  TimePoint start;
+  TimePoint end;
+  [[nodiscard]] Duration length() const { return end - start; }
+};
+
+[[nodiscard]] MonthSpan month_span(MonthKey key);
+
+/// Short month name, "Jan".."Dec".
+[[nodiscard]] const char* month_name(int month);
+
+/// "YYYY-MM-DD" formatting.
+[[nodiscard]] std::string to_string(const CivilDate& d);
+
+}  // namespace greenhpc::util

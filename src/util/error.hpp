@@ -1,0 +1,26 @@
+#pragma once
+// Precondition / invariant helpers used across greenhpc.
+//
+// Following the C++ Core Guidelines (I.5/I.6, E.12) we state contracts at the
+// top of functions and fail loudly on violation. `require` guards caller
+// errors (throws std::invalid_argument), `ensure` guards internal invariants
+// (throws std::logic_error). Both are plain functions, not macros.
+
+#include <stdexcept>
+#include <string>
+
+namespace greenhpc::util {
+
+/// Throws std::invalid_argument with `what` when `condition` is false.
+/// Use for caller-facing precondition checks.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+
+/// Throws std::logic_error with `what` when `condition` is false.
+/// Use for internal invariants that indicate a bug in greenhpc itself.
+inline void ensure(bool condition, const std::string& what) {
+  if (!condition) throw std::logic_error(what);
+}
+
+}  // namespace greenhpc::util

@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic, random-access smooth noise.
+//
+// The synthetic telemetry models (wind output, prices, weather) need noise
+// that is (a) reproducible for a seed, (b) smooth in time (weather is
+// autocorrelated), and (c) random-access — a component may ask for the value
+// at any instant without replaying history. Classic AR(1) state fails (c),
+// so we use value noise: hash-derived uniforms at regular knots, cubic
+// Hermite interpolation between them. Pure function of (seed, t).
+
+#include <cstdint>
+
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::util {
+
+/// Uniform double in [0,1) derived by hashing (seed, knot index).
+[[nodiscard]] inline double hash_uniform(std::uint64_t seed, std::int64_t knot) {
+  SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(knot + 0x7FFFFFFF)));
+  sm.next();  // decorrelate low-entropy seeds
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+/// Smooth noise in [-1, 1] with knots every `period`; C1-continuous.
+class SmoothNoise {
+ public:
+  SmoothNoise(std::uint64_t seed, Duration period) : seed_(seed), period_s_(period.seconds()) {}
+
+  [[nodiscard]] double value(TimePoint t) const {
+    const double pos = t.seconds_since_epoch() / period_s_;
+    const double floor_pos = std::floor(pos);
+    const auto k = static_cast<std::int64_t>(floor_pos);
+    const double frac = pos - floor_pos;
+    // Knot values in [-1, 1].
+    const double v0 = 2.0 * hash_uniform(seed_, k) - 1.0;
+    const double v1 = 2.0 * hash_uniform(seed_, k + 1) - 1.0;
+    // Smoothstep blend keeps the curve C1 without storing derivatives.
+    const double s = frac * frac * (3.0 - 2.0 * frac);
+    return v0 * (1.0 - s) + v1 * s;
+  }
+
+ private:
+  std::uint64_t seed_;
+  double period_s_;
+};
+
+/// Sum of two SmoothNoise octaves — richer spectrum for weather/wind, still
+/// bounded in [-1, 1].
+class FractalNoise {
+ public:
+  FractalNoise(std::uint64_t seed, Duration base_period)
+      : coarse_(seed, base_period), fine_(seed ^ 0xABCDEF0123456789ULL,
+                                          Duration::from_raw(base_period.seconds() / 4.0)) {}
+
+  [[nodiscard]] double value(TimePoint t) const {
+    return (coarse_.value(t) * 0.75 + fine_.value(t) * 0.25);
+  }
+
+ private:
+  SmoothNoise coarse_;
+  SmoothNoise fine_;
+};
+
+}  // namespace greenhpc::util

@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "uniform_int: lo must be <= hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(engine_());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range + 1) % range;
+  std::uint64_t draw = engine_();
+  while (draw > limit) draw = engine_();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform; u1 nudged away from 0 to keep log finite.
+  double u1 = uniform01();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  require(sigma >= 0.0, "lognormal: sigma must be non-negative");
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  require(rate > 0.0, "exponential: rate must be positive");
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  require(mean >= 0.0, "poisson: mean must be non-negative");
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double threshold = std::exp(-mean);
+    std::int64_t count = -1;
+    double product = 1.0;
+    do {
+      ++count;
+      product *= uniform01();
+    } while (product > threshold);
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate beyond mean 30.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::int64_t>(std::llround(draw));
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  require(!weights.empty(), "weighted_index: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "weighted_index: weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "weighted_index: total weight must be positive");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fall back to last index
+}
+
+}  // namespace greenhpc::util

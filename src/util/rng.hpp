@@ -1,0 +1,151 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Standard-library distributions are not reproducible across standard library
+// implementations, and reproducibility is a theme of the paper (Sec. IV-A:
+// "problems with reproducibility ... waste resources and energy"). greenhpc
+// therefore ships its own engine (xoshiro256++) and portable distribution
+// implementations so every experiment is bit-identical for a given seed on
+// any platform.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace greenhpc::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ engine (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256pp(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// parallel streams for thread-pool ensembles.
+  constexpr void jump() {
+    constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (std::uint64_t{1} << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4] = {};
+};
+
+/// Convenience facade bundling the engine with portable distributions.
+/// All sampling greenhpc does goes through this type.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// A new generator whose stream is independent of this one (xoshiro jump).
+  /// Use to hand one Rng per worker in parallel ensembles.
+  [[nodiscard]] Rng split() {
+    Rng child = *this;
+    child.engine_.jump();
+    engine_();  // perturb the parent so repeated splits differ
+    return child;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    // 53 random mantissa bits -> uniform double, portable across platforms.
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Standard normal via Box-Muller (cached pair for efficiency).
+  double normal() ;
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Poisson counts; exact (Knuth) for small means, normal approximation
+  /// with rounding for large means (error negligible at mean > 30).
+  std::int64_t poisson(double mean);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  [[nodiscard]] Xoshiro256pp& engine() { return engine_; }
+
+ private:
+  Xoshiro256pp engine_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace greenhpc::util

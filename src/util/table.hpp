@@ -1,0 +1,65 @@
+#pragma once
+// Plain-text / CSV table rendering for bench harnesses and reports.
+//
+// Every figure and table reproduction prints its series through this type so
+// output formatting is uniform: aligned columns on stdout for humans, CSV for
+// downstream plotting. (Sec. IV-B of the paper argues facilities should ship
+// "user interfaces and analytical tools ... to further encourage easy
+// reporting and sharing of data" — this is that tooling for our library.)
+
+#include <concepts>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greenhpc::util {
+
+/// Fixed-precision formatting helper ("12.35" style).
+[[nodiscard]] std::string fmt_fixed(double value, int precision = 2);
+
+/// Significant-digit scientific-ish formatting for wide-range values.
+[[nodiscard]] std::string fmt_sci(double value, int precision = 3);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with fmt_fixed, passes strings through.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  /// Renders an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(double v) { return fmt_fixed(v); }
+  template <std::integral T>
+  static std::string cell_to_string(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+/// Prints a section banner used by the bench harnesses:
+///   === title ===================
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace greenhpc::util

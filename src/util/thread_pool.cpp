@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::util {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  if (thread_count == 0) thread_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::scoped_lock lock(mutex_);
+    ensure(!stopping_, "ThreadPool::submit called during shutdown");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t chunk_count = std::min(count, pool.thread_count() * 4);
+  const std::size_t chunk_size = (count + chunk_count - 1) / chunk_count;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunk_count);
+  for (std::size_t chunk = 0; chunk < chunk_count; ++chunk) {
+    const std::size_t begin = chunk * chunk_size;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    if (begin >= end) break;
+    futures.push_back(pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& future : futures) future.get();
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  parallel_for(shared_pool(), count, fn);
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace greenhpc::util

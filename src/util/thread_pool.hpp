@@ -1,0 +1,55 @@
+#pragma once
+// Minimal work-stealing-free thread pool plus parallel_for.
+//
+// greenhpc's Monte-Carlo layers (stress-test ensembles, mechanism simulations,
+// optimizer sweeps) are embarrassingly parallel across independent replicas,
+// each with its own split RNG stream. This pool keeps that parallelism simple
+// and exception-safe (Core Guidelines CP.22-ish: no naked thread management
+// in user code).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace greenhpc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (hardware concurrency when 0).
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the future reports completion and propagates exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool in contiguous chunks and
+/// waits for completion. Exceptions from any chunk propagate to the caller.
+void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using a process-wide shared pool.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+/// The lazily-created process-wide pool (hardware-concurrency sized).
+ThreadPool& shared_pool();
+
+}  // namespace greenhpc::util

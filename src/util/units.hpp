@@ -1,0 +1,254 @@
+#pragma once
+// Strong unit types for the quantities greenhpc reasons about.
+//
+// The paper's Eq. 1 objective E(.) "can represent any number of quantities
+// correlated with energy expenditure: kilowatt-hours, PUE, pounds of CO2,
+// amount of water used in cooling" and fiscal cost. We give each of those a
+// distinct vocabulary type so they cannot be confused (Core Guidelines I.4:
+// make interfaces precisely and strongly typed). All types are trivially
+// copyable doubles under the hood and constexpr-friendly.
+//
+// Cross-type arithmetic encodes physics:
+//   Power * Duration        -> Energy
+//   Energy / Duration       -> Power
+//   Energy * CarbonIntensity-> MassCo2
+//   Energy * EnergyPrice    -> Money
+//   Energy * WaterIntensity -> WaterVolume
+
+#include <cmath>
+#include <compare>
+
+namespace greenhpc::util {
+
+/// CRTP mixin giving a strong double wrapper its additive-group and
+/// scalar-multiplication structure plus ordering. Derived types expose
+/// unit-named factories/accessors only, so call sites read like physics.
+template <class Derived>
+class QuantityOps {
+ public:
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived::from_raw(a.raw() + b.raw()); }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived::from_raw(a.raw() - b.raw()); }
+  friend constexpr Derived operator-(Derived a) { return Derived::from_raw(-a.raw()); }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived::from_raw(a.raw() * s); }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived::from_raw(s * a.raw()); }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived::from_raw(a.raw() / s); }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) { return a.raw() / b.raw(); }
+  friend constexpr auto operator<=>(Derived a, Derived b) { return a.raw() <=> b.raw(); }
+  friend constexpr bool operator==(Derived a, Derived b) { return a.raw() == b.raw(); }
+
+  constexpr Derived& operator+=(Derived o) {
+    self() = self() + o;
+    return self();
+  }
+  constexpr Derived& operator-=(Derived o) {
+    self() = self() - o;
+    return self();
+  }
+
+ private:
+  constexpr Derived& self() { return static_cast<Derived&>(*this); }
+};
+
+/// Span of (simulated) time. Stored in seconds.
+class Duration : public QuantityOps<Duration> {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration from_raw(double s) { return Duration{s}; }
+  [[nodiscard]] constexpr double raw() const { return seconds_; }
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double minutes() const { return seconds_ / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return seconds_ / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return seconds_ / 86400.0; }
+
+ private:
+  constexpr explicit Duration(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+[[nodiscard]] constexpr Duration seconds(double s) { return Duration::from_raw(s); }
+[[nodiscard]] constexpr Duration minutes(double m) { return Duration::from_raw(m * 60.0); }
+[[nodiscard]] constexpr Duration hours(double h) { return Duration::from_raw(h * 3600.0); }
+[[nodiscard]] constexpr Duration days(double d) { return Duration::from_raw(d * 86400.0); }
+
+/// Electrical (or thermal) power. Stored in watts.
+class Power : public QuantityOps<Power> {
+ public:
+  constexpr Power() = default;
+  static constexpr Power from_raw(double w) { return Power{w}; }
+  [[nodiscard]] constexpr double raw() const { return watts_; }
+  [[nodiscard]] constexpr double watts() const { return watts_; }
+  [[nodiscard]] constexpr double kilowatts() const { return watts_ / 1e3; }
+  [[nodiscard]] constexpr double megawatts() const { return watts_ / 1e6; }
+
+ private:
+  constexpr explicit Power(double w) : watts_(w) {}
+  double watts_ = 0.0;
+};
+
+[[nodiscard]] constexpr Power watts(double w) { return Power::from_raw(w); }
+[[nodiscard]] constexpr Power kilowatts(double kw) { return Power::from_raw(kw * 1e3); }
+[[nodiscard]] constexpr Power megawatts(double mw) { return Power::from_raw(mw * 1e6); }
+
+/// Energy. Stored in joules; kWh/MWh accessors for reporting.
+class Energy : public QuantityOps<Energy> {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy from_raw(double j) { return Energy{j}; }
+  [[nodiscard]] constexpr double raw() const { return joules_; }
+  [[nodiscard]] constexpr double joules() const { return joules_; }
+  [[nodiscard]] constexpr double kilowatt_hours() const { return joules_ / 3.6e6; }
+  [[nodiscard]] constexpr double megawatt_hours() const { return joules_ / 3.6e9; }
+
+ private:
+  constexpr explicit Energy(double j) : joules_(j) {}
+  double joules_ = 0.0;
+};
+
+[[nodiscard]] constexpr Energy joules(double j) { return Energy::from_raw(j); }
+[[nodiscard]] constexpr Energy kilowatt_hours(double kwh) { return Energy::from_raw(kwh * 3.6e6); }
+[[nodiscard]] constexpr Energy megawatt_hours(double mwh) { return Energy::from_raw(mwh * 3.6e9); }
+
+[[nodiscard]] constexpr Energy operator*(Power p, Duration t) { return joules(p.watts() * t.seconds()); }
+[[nodiscard]] constexpr Energy operator*(Duration t, Power p) { return p * t; }
+[[nodiscard]] constexpr Power operator/(Energy e, Duration t) { return watts(e.joules() / t.seconds()); }
+[[nodiscard]] constexpr Duration operator/(Energy e, Power p) { return seconds(e.joules() / p.watts()); }
+
+/// Money in USD.
+class Money : public QuantityOps<Money> {
+ public:
+  constexpr Money() = default;
+  static constexpr Money from_raw(double d) { return Money{d}; }
+  [[nodiscard]] constexpr double raw() const { return usd_; }
+  [[nodiscard]] constexpr double dollars() const { return usd_; }
+
+ private:
+  constexpr explicit Money(double d) : usd_(d) {}
+  double usd_ = 0.0;
+};
+
+[[nodiscard]] constexpr Money usd(double d) { return Money::from_raw(d); }
+
+/// Mass of emitted CO2-equivalent. Stored in kilograms.
+class MassCo2 : public QuantityOps<MassCo2> {
+ public:
+  constexpr MassCo2() = default;
+  static constexpr MassCo2 from_raw(double kg) { return MassCo2{kg}; }
+  [[nodiscard]] constexpr double raw() const { return kg_; }
+  [[nodiscard]] constexpr double kilograms() const { return kg_; }
+  [[nodiscard]] constexpr double metric_tons() const { return kg_ / 1000.0; }
+  [[nodiscard]] constexpr double pounds() const { return kg_ * 2.20462262185; }
+
+ private:
+  constexpr explicit MassCo2(double kg) : kg_(kg) {}
+  double kg_ = 0.0;
+};
+
+[[nodiscard]] constexpr MassCo2 kg_co2(double kg) { return MassCo2::from_raw(kg); }
+[[nodiscard]] constexpr MassCo2 tons_co2(double t) { return MassCo2::from_raw(t * 1000.0); }
+
+/// Volume of water (cooling footprint). Stored in liters.
+class WaterVolume : public QuantityOps<WaterVolume> {
+ public:
+  constexpr WaterVolume() = default;
+  static constexpr WaterVolume from_raw(double l) { return WaterVolume{l}; }
+  [[nodiscard]] constexpr double raw() const { return liters_; }
+  [[nodiscard]] constexpr double liters() const { return liters_; }
+  [[nodiscard]] constexpr double cubic_meters() const { return liters_ / 1000.0; }
+
+ private:
+  constexpr explicit WaterVolume(double l) : liters_(l) {}
+  double liters_ = 0.0;
+};
+
+[[nodiscard]] constexpr WaterVolume liters(double l) { return WaterVolume::from_raw(l); }
+
+/// Price of energy, stored in USD per MWh (the unit LMPs are quoted in; the
+/// paper's Fig. 3 plots $20-50/MWh locational marginal prices).
+class EnergyPrice : public QuantityOps<EnergyPrice> {
+ public:
+  constexpr EnergyPrice() = default;
+  static constexpr EnergyPrice from_raw(double v) { return EnergyPrice{v}; }
+  [[nodiscard]] constexpr double raw() const { return usd_per_mwh_; }
+  [[nodiscard]] constexpr double usd_per_mwh() const { return usd_per_mwh_; }
+  [[nodiscard]] constexpr double usd_per_kwh() const { return usd_per_mwh_ / 1000.0; }
+
+ private:
+  constexpr explicit EnergyPrice(double v) : usd_per_mwh_(v) {}
+  double usd_per_mwh_ = 0.0;
+};
+
+[[nodiscard]] constexpr EnergyPrice usd_per_mwh(double v) { return EnergyPrice::from_raw(v); }
+
+[[nodiscard]] constexpr Money operator*(Energy e, EnergyPrice p) { return usd(e.megawatt_hours() * p.usd_per_mwh()); }
+[[nodiscard]] constexpr Money operator*(EnergyPrice p, Energy e) { return e * p; }
+
+/// Carbon intensity of delivered electricity, stored in kg CO2 per kWh.
+class CarbonIntensity : public QuantityOps<CarbonIntensity> {
+ public:
+  constexpr CarbonIntensity() = default;
+  static constexpr CarbonIntensity from_raw(double v) { return CarbonIntensity{v}; }
+  [[nodiscard]] constexpr double raw() const { return kg_per_kwh_; }
+  [[nodiscard]] constexpr double kg_per_kwh() const { return kg_per_kwh_; }
+  [[nodiscard]] constexpr double g_per_kwh() const { return kg_per_kwh_ * 1000.0; }
+
+ private:
+  constexpr explicit CarbonIntensity(double v) : kg_per_kwh_(v) {}
+  double kg_per_kwh_ = 0.0;
+};
+
+[[nodiscard]] constexpr CarbonIntensity kg_per_kwh(double v) { return CarbonIntensity::from_raw(v); }
+[[nodiscard]] constexpr CarbonIntensity g_per_kwh(double v) { return CarbonIntensity::from_raw(v / 1000.0); }
+
+[[nodiscard]] constexpr MassCo2 operator*(Energy e, CarbonIntensity ci) {
+  return kg_co2(e.kilowatt_hours() * ci.kg_per_kwh());
+}
+[[nodiscard]] constexpr MassCo2 operator*(CarbonIntensity ci, Energy e) { return e * ci; }
+
+/// Water usage effectiveness, stored in liters per kWh (datacenter WUE;
+/// the paper's Sec. I discusses the direct/indirect water footprint).
+class WaterIntensity : public QuantityOps<WaterIntensity> {
+ public:
+  constexpr WaterIntensity() = default;
+  static constexpr WaterIntensity from_raw(double v) { return WaterIntensity{v}; }
+  [[nodiscard]] constexpr double raw() const { return l_per_kwh_; }
+  [[nodiscard]] constexpr double liters_per_kwh() const { return l_per_kwh_; }
+
+ private:
+  constexpr explicit WaterIntensity(double v) : l_per_kwh_(v) {}
+  double l_per_kwh_ = 0.0;
+};
+
+[[nodiscard]] constexpr WaterIntensity liters_per_kwh(double v) { return WaterIntensity::from_raw(v); }
+
+[[nodiscard]] constexpr WaterVolume operator*(Energy e, WaterIntensity wi) {
+  return liters(e.kilowatt_hours() * wi.liters_per_kwh());
+}
+[[nodiscard]] constexpr WaterVolume operator*(WaterIntensity wi, Energy e) { return e * wi; }
+
+/// Temperature. Affine quantity (no + between temperatures); stored in Celsius.
+/// The paper plots Fahrenheit (Fig. 4); both accessors are provided.
+class Temperature {
+ public:
+  constexpr Temperature() = default;
+  static constexpr Temperature from_celsius(double c) { return Temperature{c}; }
+  static constexpr Temperature from_fahrenheit(double f) { return Temperature{(f - 32.0) * 5.0 / 9.0}; }
+  [[nodiscard]] constexpr double celsius() const { return celsius_; }
+  [[nodiscard]] constexpr double fahrenheit() const { return celsius_ * 9.0 / 5.0 + 32.0; }
+  [[nodiscard]] constexpr double kelvin() const { return celsius_ + 273.15; }
+
+  /// Temperature differences are plain doubles in Kelvin/Celsius degrees.
+  friend constexpr double operator-(Temperature a, Temperature b) { return a.celsius_ - b.celsius_; }
+  /// Shift by a number of Celsius degrees (e.g. heat-wave offsets).
+  [[nodiscard]] constexpr Temperature shifted(double delta_c) const { return Temperature{celsius_ + delta_c}; }
+  friend constexpr auto operator<=>(Temperature a, Temperature b) = default;
+
+ private:
+  constexpr explicit Temperature(double c) : celsius_(c) {}
+  double celsius_ = 0.0;
+};
+
+[[nodiscard]] constexpr Temperature celsius(double c) { return Temperature::from_celsius(c); }
+[[nodiscard]] constexpr Temperature fahrenheit(double f) { return Temperature::from_fahrenheit(f); }
+
+}  // namespace greenhpc::util

@@ -1,0 +1,137 @@
+#include "workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+std::vector<ClassProfile> default_mix() {
+  std::vector<ClassProfile> mix;
+
+  // Short interactive/debug jobs: frequent, small, never deferrable.
+  ClassProfile debug;
+  debug.job_class = cluster::JobClass::kDebug;
+  debug.weight = 0.38;
+  debug.gpu_choices = {1, 2};
+  debug.gpu_weights = {0.8, 0.2};
+  debug.log_hours_mu = std::log(0.4);  // ~24 min median
+  debug.log_hours_sigma = 0.7;
+  mix.push_back(debug);
+
+  // Full training runs: the energy heavyweights; often flexible.
+  ClassProfile training;
+  training.job_class = cluster::JobClass::kTraining;
+  training.weight = 0.27;
+  training.gpu_choices = {1, 2, 4, 8, 16, 32};
+  training.gpu_weights = {0.28, 0.24, 0.2, 0.16, 0.08, 0.04};
+  training.log_hours_mu = std::log(6.0);  // 6 h median, heavy tail to days
+  training.log_hours_sigma = 1.1;
+  training.flexible_probability = 0.45;
+  training.deadline_slack = 4.0;
+  mix.push_back(training);
+
+  // Hyper-parameter sweeps: Sec. IV-A's "multiple training runs and
+  // inevitably redundant runs"; medium size, highly deferrable.
+  ClassProfile sweep;
+  sweep.job_class = cluster::JobClass::kHyperparamSweep;
+  sweep.weight = 0.17;
+  sweep.gpu_choices = {1, 2, 4};
+  sweep.gpu_weights = {0.5, 0.3, 0.2};
+  sweep.log_hours_mu = std::log(2.5);
+  sweep.log_hours_sigma = 0.9;
+  sweep.flexible_probability = 0.7;
+  sweep.deadline_slack = 8.0;
+  mix.push_back(sweep);
+
+  // Inference/serving batches: small, latency-sensitive, never deferred.
+  ClassProfile inference;
+  inference.job_class = cluster::JobClass::kInference;
+  inference.weight = 0.08;
+  inference.gpu_choices = {1};
+  inference.gpu_weights = {1.0};
+  inference.log_hours_mu = std::log(1.0);
+  inference.log_hours_sigma = 0.6;
+  mix.push_back(inference);
+
+  // Generic analysis jobs.
+  ClassProfile analysis;
+  analysis.job_class = cluster::JobClass::kAnalysis;
+  analysis.weight = 0.10;
+  analysis.gpu_choices = {1, 2};
+  analysis.gpu_weights = {0.7, 0.3};
+  analysis.log_hours_mu = std::log(1.5);
+  analysis.log_hours_sigma = 0.8;
+  analysis.flexible_probability = 0.3;
+  analysis.deadline_slack = 6.0;
+  mix.push_back(analysis);
+
+  return mix;
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, const DemandModulator* modulator)
+    : ArrivalProcess(std::move(config), modulator, nullptr) {}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, const DemandModulator* modulator,
+                               const UserPopulation* population)
+    : config_(std::move(config)), modulator_(modulator), population_(population) {
+  require(config_.base_rate_per_hour > 0.0, "ArrivalProcess: base rate must be positive");
+  require(!config_.mix.empty(), "ArrivalProcess: empty class mix");
+  for (const ClassProfile& p : config_.mix) {
+    require(p.weight >= 0.0, "ArrivalProcess: negative class weight");
+    require(p.gpu_choices.size() == p.gpu_weights.size(),
+            "ArrivalProcess: GPU choice/weight arity mismatch");
+    require(!p.gpu_choices.empty(), "ArrivalProcess: empty GPU choices");
+    require(p.log_hours_sigma >= 0.0, "ArrivalProcess: negative sigma");
+    for (int g : p.gpu_choices) require(g >= 1, "ArrivalProcess: GPU choice below 1");
+  }
+  for (const ClassProfile& p : config_.mix) class_weights_.push_back(p.weight);
+}
+
+double ArrivalProcess::rate_per_hour(util::TimePoint t) const {
+  const double mod = modulator_ != nullptr ? modulator_->factor(t) : 1.0;
+  return config_.base_rate_per_hour * mod;
+}
+
+cluster::JobRequest ArrivalProcess::draw_request(util::TimePoint t, util::Rng& rng) const {
+  const std::size_t cls = rng.weighted_index(class_weights_);
+  const ClassProfile& profile = config_.mix[cls];
+
+  cluster::JobRequest req;
+  req.job_class = profile.job_class;
+  if (population_ != nullptr) req.user = population_->sample_user(rng);
+  // Tag the job with a research domain drawn from the deadline-modulated
+  // area mix (untagged when no modulator drives the workload).
+  if (modulator_ != nullptr) {
+    const std::array<double, 5> areas = modulator_->area_weights(t);
+    req.domain = static_cast<cluster::DomainTag>(rng.weighted_index(areas));
+  }
+  const std::size_t gi = rng.weighted_index(profile.gpu_weights);
+  req.gpus = profile.gpu_choices[gi];
+  const double busy_hours = rng.lognormal(profile.log_hours_mu, profile.log_hours_sigma);
+  req.work_gpu_seconds = std::max(60.0, busy_hours * 3600.0) * static_cast<double>(req.gpus);
+  req.flexible = rng.bernoulli(profile.flexible_probability);
+  if (profile.deadline_slack > 0.0 && req.flexible) {
+    const double runtime_s = req.work_gpu_seconds / static_cast<double>(req.gpus);
+    req.deadline = t + util::seconds(runtime_s * (1.0 + profile.deadline_slack));
+  }
+  // Users pad runtime estimates by 10-100% (backfill relies on estimates).
+  req.estimate_factor = 1.1 + 0.9 * rng.uniform01();
+  return req;
+}
+
+std::vector<cluster::JobRequest> ArrivalProcess::sample(util::TimePoint t, util::Duration dt,
+                                                        util::Rng& rng) const {
+  require(dt.seconds() >= 0.0, "ArrivalProcess::sample: negative window");
+  const double expected = rate_per_hour(t) * dt.hours();
+  const std::int64_t count = rng.poisson(expected);
+  std::vector<cluster::JobRequest> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) out.push_back(draw_request(t, rng));
+  return out;
+}
+
+}  // namespace greenhpc::workload

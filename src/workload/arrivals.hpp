@@ -1,0 +1,79 @@
+#pragma once
+// Job arrival process and workload mix.
+//
+// A nonhomogeneous Poisson process whose rate is the base rate times the
+// DemandModulator factor. Each arrival draws a job class (debug / training /
+// hyper-parameter sweep / inference / analysis), a GPU count, and a work
+// amount from class-conditional distributions, reproducing the heterogeneous
+// mix of an academic cluster (many short debug jobs, a heavy tail of
+// multi-day training runs — cf. the SuperCloud workload papers the paper
+// cites).
+
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "util/rng.hpp"
+#include "workload/demand.hpp"
+#include "workload/users.hpp"
+
+namespace greenhpc::workload {
+
+/// Distribution parameters for one job class.
+struct ClassProfile {
+  cluster::JobClass job_class = cluster::JobClass::kTraining;
+  double weight = 1.0;  ///< relative arrival share
+  /// GPU-count choices and weights (drawn jointly).
+  std::vector<int> gpu_choices = {1, 2, 4, 8};
+  std::vector<double> gpu_weights = {0.5, 0.25, 0.15, 0.10};
+  /// Work per GPU: lognormal over busy-hours (median = exp(mu)).
+  double log_hours_mu = 0.7;     ///< ~2 h median
+  double log_hours_sigma = 1.0;
+  /// Probability the job is flexible (deferrable by green policies).
+  double flexible_probability = 0.0;
+  /// Deadline slack (multiple of the job's runtime) when a deadline is set;
+  /// <= 0 disables deadlines for the class.
+  double deadline_slack = 0.0;
+};
+
+/// The default SuperCloud-like mix.
+[[nodiscard]] std::vector<ClassProfile> default_mix();
+
+struct ArrivalConfig {
+  /// Base submissions per hour before modulation. With the default mix and
+  /// the 448-GPU reference cluster this yields ~55-75% GPU occupancy.
+  double base_rate_per_hour = 12.0;
+  std::vector<ClassProfile> mix = default_mix();
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, const DemandModulator* modulator);
+
+  /// Optionally attributes submissions to a user population (activity
+  /// weighted). Without one, all jobs carry user id 0. The population is
+  /// borrowed and must outlive the process.
+  ArrivalProcess(ArrivalConfig config, const DemandModulator* modulator,
+                 const UserPopulation* population);
+
+  /// Draws the submissions landing in [t, t+dt): Poisson count at the
+  /// modulated rate, then one request each from the class mix.
+  [[nodiscard]] std::vector<cluster::JobRequest> sample(util::TimePoint t, util::Duration dt,
+                                                        util::Rng& rng) const;
+
+  /// The modulated instantaneous rate (jobs/hour) at t.
+  [[nodiscard]] double rate_per_hour(util::TimePoint t) const;
+
+  /// Draws a single request from the mix (used by tests and by campaign
+  /// planners that inject synthetic load).
+  [[nodiscard]] cluster::JobRequest draw_request(util::TimePoint t, util::Rng& rng) const;
+
+  [[nodiscard]] const ArrivalConfig& config() const { return config_; }
+
+ private:
+  ArrivalConfig config_;
+  const DemandModulator* modulator_;   // non-owning, may be null (flat demand)
+  const UserPopulation* population_ = nullptr;  // non-owning, may be null
+  std::vector<double> class_weights_;
+};
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,153 @@
+#include "workload/conferences.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::CivilDate;
+using util::require;
+
+const char* area_name(Area a) {
+  switch (a) {
+    case Area::kNlpSpeech: return "NLP/Speech";
+    case Area::kComputerVision: return "Computer Vision";
+    case Area::kRobotics: return "Robotics";
+    case Area::kGeneralMl: return "General ML";
+    case Area::kDataMining: return "Data Mining";
+  }
+  return "unknown";
+}
+
+const std::vector<Conference>& conference_table() {
+  // Dates are curated approximations of each venue's 2020/2021 CFP (see
+  // header comment). Venues that are biennial or skipped a year carry a
+  // single entry. Weights approximate each community's compute draw on a
+  // shared ML cluster (large deep-learning venues ~3, mid-size ~1-2,
+  // small/theory/IR venues ~0.5).
+  static const std::vector<Conference> kTable = {
+      // --- NLP / Speech ---------------------------------------------------
+      {"EACL", Area::kNlpSpeech, {{2020, 10, 7}}, 1.0},
+      {"InterSpeech", Area::kNlpSpeech, {{2020, 3, 30}, {2021, 4, 2}}, 2.0},
+      {"EMNLP", Area::kNlpSpeech, {{2020, 6, 1}, {2021, 5, 17}}, 3.0},
+      {"AKBC", Area::kNlpSpeech, {{2020, 4, 15}, {2021, 4, 9}}, 0.5},
+      {"ICASSP", Area::kNlpSpeech, {{2020, 10, 19}, {2021, 10, 6}}, 2.0},
+      {"ISMIR", Area::kNlpSpeech, {{2020, 4, 20}, {2021, 4, 23}}, 0.5},
+      {"AACL-IJCNLP", Area::kNlpSpeech, {{2020, 6, 26}}, 1.0},
+      {"COLING", Area::kNlpSpeech, {{2020, 7, 1}}, 1.5},
+      {"CoNLL", Area::kNlpSpeech, {{2020, 7, 17}, {2021, 6, 14}}, 0.5},
+      {"WMT", Area::kNlpSpeech, {{2020, 7, 15}, {2021, 7, 30}}, 0.5},
+      // --- Computer Vision ------------------------------------------------
+      {"ICME", Area::kComputerVision, {{2020, 12, 13}, {2021, 12, 12}}, 1.0},
+      {"ICIP", Area::kComputerVision, {{2020, 2, 5}, {2021, 2, 10}}, 1.0},
+      {"SIGGRAPH", Area::kComputerVision, {{2020, 1, 22}, {2021, 1, 27}}, 1.0},
+      {"MIDL", Area::kComputerVision, {{2020, 1, 17}, {2020, 12, 18}}, 0.5},
+      {"ICCV", Area::kComputerVision, {{2021, 3, 17}}, 2.5},  // odd years only
+      {"FG", Area::kComputerVision, {{2020, 7, 8}, {2021, 8, 2}}, 0.5},
+      {"ICMI", Area::kComputerVision, {{2020, 5, 4}, {2021, 5, 26}}, 0.5},
+      {"BMVC", Area::kComputerVision, {{2020, 4, 30}, {2021, 6, 25}}, 1.0},
+      {"WACV", Area::kComputerVision, {{2020, 8, 14}, {2021, 8, 18}}, 1.0},
+      // --- Robotics ---------------------------------------------------------
+      {"IROS", Area::kRobotics, {{2020, 3, 1}, {2021, 3, 5}}, 2.0},
+      {"RSS", Area::kRobotics, {{2020, 1, 31}, {2021, 3, 1}}, 1.0},
+      {"CoRL", Area::kRobotics, {{2020, 7, 7}, {2021, 7, 23}}, 1.0},
+      {"ICRA", Area::kRobotics, {{2020, 10, 31}, {2021, 9, 14}}, 2.0},
+      // --- General ML -------------------------------------------------------
+      {"COLT", Area::kGeneralMl, {{2020, 1, 31}, {2021, 2, 12}}, 0.5},
+      {"ICCC", Area::kGeneralMl, {{2020, 1, 20}, {2021, 1, 28}}, 0.5},
+      {"ICPR", Area::kGeneralMl, {{2020, 3, 2}}, 1.0},  // biennial in the window
+      {"AAMAS", Area::kGeneralMl, {{2020, 11, 13}, {2021, 10, 8}}, 1.0},
+      {"AISTATS", Area::kGeneralMl, {{2020, 10, 15}, {2021, 10, 15}}, 1.5},
+      {"CHIL", Area::kGeneralMl, {{2020, 1, 26}, {2021, 1, 13}}, 0.5},
+      {"ECML-PKDD", Area::kGeneralMl, {{2020, 4, 23}, {2021, 3, 26}}, 1.0},
+      {"NeurIPS", Area::kGeneralMl, {{2020, 6, 5}, {2021, 5, 26}}, 3.0},
+      {"ACML", Area::kGeneralMl, {{2020, 6, 20}, {2021, 7, 2}}, 0.5},
+      {"AAAI", Area::kGeneralMl, {{2020, 9, 9}, {2021, 9, 8}}, 3.0},
+      {"ICLR", Area::kGeneralMl, {{2020, 10, 2}, {2021, 10, 6}}, 3.0},
+      // --- Data Mining -------------------------------------------------------
+      {"SDM", Area::kDataMining, {{2020, 10, 13}, {2021, 10, 19}}, 0.5},
+      {"KDD", Area::kDataMining, {{2020, 2, 13}, {2021, 2, 8}}, 2.0},
+      {"SIGIR", Area::kDataMining, {{2020, 1, 28}, {2021, 2, 2}}, 1.0},
+      {"RecSys", Area::kDataMining, {{2020, 4, 6}, {2021, 4, 30}}, 1.0},
+      {"CIKM", Area::kDataMining, {{2020, 5, 8}, {2021, 5, 19}}, 1.0},
+      {"ICDM", Area::kDataMining, {{2020, 6, 11}, {2021, 6, 11}}, 1.0},
+      {"WSDM", Area::kDataMining, {{2020, 8, 16}, {2021, 8, 16}}, 1.0},
+      {"WWW", Area::kDataMining, {{2020, 10, 19}, {2021, 10, 21}}, 1.5},
+  };
+  return kTable;
+}
+
+DeadlineCalendar DeadlineCalendar::standard() {
+  std::vector<Deadline> all;
+  for (const Conference& c : conference_table())
+    for (const CivilDate& d : c.deadlines) all.push_back({d, c.weight, c.area});
+  return DeadlineCalendar(std::move(all));
+}
+
+DeadlineCalendar::DeadlineCalendar(std::vector<Deadline> deadlines)
+    : deadlines_(std::move(deadlines)) {
+  for (const Deadline& d : deadlines_)
+    require(d.weight > 0.0, "DeadlineCalendar: weights must be positive");
+  std::sort(deadlines_.begin(), deadlines_.end());
+}
+
+int DeadlineCalendar::monthly_count(util::MonthKey month) const {
+  int count = 0;
+  for (const Deadline& d : deadlines_)
+    if (d.date.year == month.year && d.date.month == month.month) ++count;
+  return count;
+}
+
+double DeadlineCalendar::monthly_weight(util::MonthKey month) const {
+  double total = 0.0;
+  for (const Deadline& d : deadlines_)
+    if (d.date.year == month.year && d.date.month == month.month) total += d.weight;
+  return total;
+}
+
+std::optional<std::pair<util::MonthKey, util::MonthKey>> DeadlineCalendar::span() const {
+  if (deadlines_.empty()) return std::nullopt;
+  const CivilDate& first = deadlines_.front().date;
+  const CivilDate& last = deadlines_.back().date;
+  return std::make_pair(util::MonthKey{first.year, first.month},
+                        util::MonthKey{last.year, last.month});
+}
+
+DeadlineCalendar DeadlineCalendar::spread_uniform() const {
+  if (deadlines_.empty()) return *this;
+  const auto [first, last] = *span();
+  const int month_count = last.index_from_epoch() - first.index_from_epoch() + 1;
+  const std::size_t n = deadlines_.size();
+  std::vector<Deadline> spread;
+  spread.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Place deadline i in the month proportional to its rank, mid-month.
+    const int offset = static_cast<int>(i * static_cast<std::size_t>(month_count) / n);
+    const util::MonthKey mk = util::MonthKey::from_index(first.index_from_epoch() + offset);
+    const int day = 5 + static_cast<int>(i % 3) * 8;  // 5th/13th/21st, avoids stacking
+    spread.push_back({CivilDate{mk.year, mk.month, day}, deadlines_[i].weight,
+                      deadlines_[i].area});
+  }
+  return DeadlineCalendar(std::move(spread));
+}
+
+DeadlineCalendar DeadlineCalendar::concentrate_winter() const {
+  if (deadlines_.empty()) return *this;
+  std::vector<Deadline> winter;
+  winter.reserve(deadlines_.size());
+  std::size_t i = 0;
+  for (const Deadline& d : deadlines_) {
+    // Keep the year, remap to Jan-Apr so the 8-10 week prep ramp lands in
+    // Nov-Mar, the coldest (cheap cooling) and greenest-adjacent months.
+    const int month = 1 + static_cast<int>(i % 4);
+    const int day = 4 + static_cast<int>((i / 4) % 3) * 9;
+    winter.push_back({CivilDate{d.date.year, month, day}, d.weight, d.area});
+    ++i;
+  }
+  return DeadlineCalendar(std::move(winter));
+}
+
+DeadlineCalendar DeadlineCalendar::rolling() const { return DeadlineCalendar({}); }
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,70 @@
+#include "workload/demand.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+DemandModulator::DemandModulator(DeadlineCalendar calendar, DemandConfig config)
+    : calendar_(std::move(calendar)), config_(config) {
+  require(config_.deadline_boost >= 0.0, "DemandModulator: negative deadline boost");
+  require(config_.ramp_width_days > 0.0, "DemandModulator: ramp width must be positive");
+  require(config_.relief_days > 0.0, "DemandModulator: relief days must be positive");
+  require(config_.weekend_factor > 0.0, "DemandModulator: weekend factor must be positive");
+}
+
+double DemandModulator::deadline_factor(util::TimePoint t) const {
+  double factor = 1.0;
+  for (const Deadline& d : calendar_.deadlines()) {
+    // Deadlines are effectively end-of-day (23:59 AoE in practice).
+    const util::TimePoint when = util::to_timepoint(d.date, 23.99);
+    const double days_until = (when - t).days();
+    if (days_until > 84.0 || days_until < -35.0) continue;  // outside influence
+    if (days_until >= 0.0) {
+      // Anticipatory ramp peaking `peak_days_before` days out, scaled by the
+      // venue's community compute draw.
+      const double z = (days_until - config_.peak_days_before) / config_.ramp_width_days;
+      factor += config_.deadline_boost * d.weight * std::exp(-0.5 * z * z);
+    } else {
+      // Post-deadline relief dip, decaying over relief_days.
+      factor -= config_.deadline_boost * config_.relief_fraction * d.weight *
+                std::exp(days_until / config_.relief_days);
+    }
+  }
+  return std::max(0.1, factor);
+}
+
+double DemandModulator::calendar_factor(util::TimePoint t) const {
+  const double h = util::hour_of_day(t);
+  // Submissions peak mid-afternoon, trough pre-dawn.
+  double factor = 1.0 + config_.diurnal_amplitude *
+                            std::sin(2.0 * std::numbers::pi * (h - 9.0) / 24.0);
+  if (util::day_of_week(t) >= 5) factor *= config_.weekend_factor;
+  return std::max(0.05, factor);
+}
+
+double DemandModulator::factor(util::TimePoint t) const {
+  return deadline_factor(t) * calendar_factor(t);
+}
+
+std::array<double, 5> DemandModulator::area_weights(util::TimePoint t) const {
+  // Base popularity of each area on a shared ML cluster (general ML and
+  // vision dominate, mirroring the Table-I venue weighting).
+  std::array<double, 5> weights = {/*NLP*/ 0.22, /*CV*/ 0.26, /*Robotics*/ 0.10,
+                                   /*GeneralML*/ 0.30, /*DataMining*/ 0.12};
+  for (const Deadline& d : calendar_.deadlines()) {
+    const util::TimePoint when = util::to_timepoint(d.date, 23.99);
+    const double days_until = (when - t).days();
+    if (days_until < 0.0 || days_until > 84.0) continue;
+    const double z = (days_until - config_.peak_days_before) / config_.ramp_width_days;
+    weights[static_cast<std::size_t>(d.area)] +=
+        config_.deadline_boost * d.weight * std::exp(-0.5 * z * z);
+  }
+  return weights;
+}
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,66 @@
+#pragma once
+// Demand modulation: turning the calendar into a compute-demand signal.
+//
+// Sec. III: "Given the way deadlines are structured, we might expect a
+// lagging relationship where activity or compute demand ... might pick up in
+// anticipation of upcoming deadlines ... As deadlines approach, users are
+// accelerating their workloads, finishing or repeating experiments." The
+// modulator multiplies a base arrival rate by (diurnal x weekly x deadline)
+// factors. Each upcoming deadline contributes an anticipatory ramp that
+// builds from ~10 weeks out, peaks shortly before the date, and relaxes
+// (with a brief post-deadline dip) afterwards.
+
+#include <array>
+
+#include "workload/conferences.hpp"
+
+#include "util/calendar.hpp"
+
+namespace greenhpc::workload {
+
+struct DemandConfig {
+  /// Peak fractional demand boost contributed by a single deadline.
+  double deadline_boost = 0.13;
+  /// Days before the deadline where the ramp peaks.
+  double peak_days_before = 10.0;
+  /// Gaussian width (days) of the anticipatory ramp.
+  double ramp_width_days = 22.0;
+  /// Post-deadline relief: fraction of the boost that becomes a dip,
+  /// decaying over `relief_days`.
+  double relief_fraction = 0.30;
+  double relief_days = 7.0;
+  /// Diurnal swing: day-time demand vs. the daily mean (+-), 0 disables.
+  double diurnal_amplitude = 0.25;
+  /// Weekend demand multiplier.
+  double weekend_factor = 0.75;
+};
+
+class DemandModulator {
+ public:
+  DemandModulator(DeadlineCalendar calendar, DemandConfig config = {});
+
+  /// Combined multiplier applied to the base arrival rate at time t.
+  [[nodiscard]] double factor(util::TimePoint t) const;
+
+  /// The deadline-driven component alone (1.0 when no deadline is near) —
+  /// what the Fig. 5 analysis isolates.
+  [[nodiscard]] double deadline_factor(util::TimePoint t) const;
+
+  /// Day-of-week and hour-of-day component alone.
+  [[nodiscard]] double calendar_factor(util::TimePoint t) const;
+
+  /// Relative submission weight per research area at time t: a base
+  /// popularity plus each nearby deadline's anticipatory contribution
+  /// attributed to its venue's area. Supports the paper's future-work ask,
+  /// "breakdown of activity and energy use by domain (e.g. NLP)".
+  [[nodiscard]] std::array<double, 5> area_weights(util::TimePoint t) const;
+
+  [[nodiscard]] const DeadlineCalendar& calendar() const { return calendar_; }
+  [[nodiscard]] const DemandConfig& config() const { return config_; }
+
+ private:
+  DeadlineCalendar calendar_;
+  DemandConfig config_;
+};
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,68 @@
+#include "workload/inference.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+InferenceFleet::InferenceFleet(InferenceFleetSpec spec) : spec_(spec) {
+  require(spec_.peak_qps > 0.0, "InferenceFleet: peak QPS must be positive");
+  require(spec_.qps_per_replica > 0.0, "InferenceFleet: replica QPS must be positive");
+  require(spec_.headroom >= 1.0, "InferenceFleet: headroom must be >= 1");
+  require(spec_.trough_fraction > 0.0 && spec_.trough_fraction <= 1.0,
+          "InferenceFleet: trough fraction must be in (0,1]");
+  require(spec_.replica_busy >= spec_.replica_idle, "InferenceFleet: busy power below idle");
+  require(spec_.pue >= 1.0, "InferenceFleet: PUE must be >= 1");
+}
+
+double InferenceFleet::qps_at(util::TimePoint t) const {
+  // Sinusoidal diurnal demand between trough_fraction*peak and peak,
+  // peaking around 20:00 local.
+  const double h = util::hour_of_day(t);
+  const double phase = std::sin(2.0 * std::numbers::pi * (h - 14.0) / 24.0);  // max at 20:00
+  const double mid = (1.0 + spec_.trough_fraction) / 2.0;
+  const double amp = (1.0 - spec_.trough_fraction) / 2.0;
+  return spec_.peak_qps * (mid + amp * phase);
+}
+
+int InferenceFleet::provisioned_replicas() const {
+  return static_cast<int>(std::ceil(spec_.peak_qps * spec_.headroom / spec_.qps_per_replica));
+}
+
+double InferenceFleet::utilization_at(util::TimePoint t) const {
+  const double capacity = static_cast<double>(provisioned_replicas()) * spec_.qps_per_replica;
+  return std::min(1.0, qps_at(t) / capacity);
+}
+
+InferencePeriodCost InferenceFleet::serve(util::TimePoint start, util::TimePoint end) const {
+  require(end > start, "InferenceFleet::serve: empty interval");
+  InferencePeriodCost out;
+  out.replicas = provisioned_replicas();
+
+  const util::Duration step = util::hours(1);
+  double util_total = 0.0;
+  std::size_t samples = 0;
+  for (util::TimePoint t = start; t < end; t += step) {
+    const double u = utilization_at(t);
+    util_total += u;
+    ++samples;
+    out.queries_served += qps_at(t) * step.seconds();
+    // Replica power scales linearly with its utilization between idle/busy.
+    const util::Power per_replica =
+        spec_.replica_idle + (spec_.replica_busy - spec_.replica_idle) * u;
+    out.it_energy += per_replica * step * out.replicas;
+  }
+  out.average_utilization = util_total / static_cast<double>(samples);
+  out.facility_energy = out.it_energy * spec_.pue;
+  if (out.queries_served > 0.0) {
+    out.energy_per_1k_queries =
+        util::joules(out.facility_energy.joules() / out.queries_served * 1000.0);
+  }
+  return out;
+}
+
+}  // namespace greenhpc::workload

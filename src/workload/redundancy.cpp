@@ -1,0 +1,62 @@
+#include "workload/redundancy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+ProjectWaste project_waste(const RedundancyParams& params) {
+  require(params.reproduction_success_rate > 0.0 && params.reproduction_success_rate <= 1.0,
+          "project_waste: success rate must be in (0,1]");
+  require(params.max_attempts >= 1, "project_waste: need at least one attempt");
+  require(params.sweep_size >= 0, "project_waste: negative sweep size");
+  require(params.avoidable_sweep_fraction >= 0.0 && params.avoidable_sweep_fraction <= 1.0,
+          "project_waste: avoidable fraction must be in [0,1]");
+  require(params.energy_per_run.joules() > 0.0, "project_waste: energy per run must be positive");
+
+  const double p = params.reproduction_success_rate;
+  const int n = params.max_attempts;
+
+  // Truncated geometric: E[attempts] = sum_{k=1..n} k p (1-p)^{k-1}
+  //                                   + n (1-p)^n (gave up after n).
+  double expected_attempts = 0.0;
+  for (int k = 1; k <= n; ++k)
+    expected_attempts += k * p * std::pow(1.0 - p, k - 1);
+  expected_attempts += static_cast<double>(n) * std::pow(1.0 - p, n);
+
+  ProjectWaste out;
+  out.expected_attempts = expected_attempts;
+  out.expected_failed_runs = expected_attempts - (1.0 - std::pow(1.0 - p, n));
+  out.avoidable_sweep_runs = params.avoidable_sweep_fraction * params.sweep_size;
+
+  const double lean_sweep = params.sweep_size - out.avoidable_sweep_runs;
+  out.necessary = params.energy_per_run * (1.0 + lean_sweep);
+  out.wasted = params.energy_per_run * (out.expected_failed_runs + out.avoidable_sweep_runs);
+  return out;
+}
+
+CommunityWaste community_waste(const RedundancyParams& params, double projects,
+                               util::EnergyPrice price, util::CarbonIntensity intensity) {
+  require(projects >= 0.0, "community_waste: negative project count");
+  const ProjectWaste per_project = project_waste(params);
+  CommunityWaste out;
+  out.projects = projects;
+  out.wasted = per_project.wasted * projects;
+  out.wasted_carbon = out.wasted * intensity;
+  out.wasted_cost = out.wasted * price;
+  return out;
+}
+
+util::Energy reporting_dividend(const RedundancyParams& params, double improved_rate) {
+  require(improved_rate >= params.reproduction_success_rate && improved_rate <= 1.0,
+          "reporting_dividend: improved rate must be in [current rate, 1]");
+  RedundancyParams improved = params;
+  improved.reproduction_success_rate = improved_rate;
+  improved.avoidable_sweep_fraction = 0.0;  // settings published: no re-search
+  return project_waste(params).wasted - project_waste(improved).wasted;
+}
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,73 @@
+#pragma once
+// Redundancy & reproducibility waste model (Sec. IV-A).
+//
+// "Many experiments usually begin with training known and proven models up
+// to some pre-specified level of performance ... Doing so may require some
+// hyper-parameter search ... resulting in multiple training runs and
+// inevitably redundant runs, wasted compute, and additional energy costs.
+// ... problems with reproducibility of research only compound these
+// redundancies as (multiple) attempts at replication also waste resources."
+//
+// The model makes that arithmetic explicit. A project starts by reproducing
+// a published baseline: each attempt succeeds with probability p (the
+// field's effective reproducibility, driven by reporting quality), and a
+// failed attempt costs a full training run. Hyper-parameter search adds
+// sweep_size runs of which a fraction is avoidable with better reported
+// settings. Scaling by projects per year gives the community-level waste the
+// paper argues reporting standards would recover.
+
+#include "util/units.hpp"
+
+namespace greenhpc::workload {
+
+struct RedundancyParams {
+  /// Probability a single reproduction attempt succeeds. The paper's
+  /// reporting agenda raises this (published hyper-parameters, settings,
+  /// seeds); widespread values for ML reproduction are low.
+  double reproduction_success_rate = 0.4;
+  /// Attempts before the team gives up (failure still costs energy).
+  int max_attempts = 5;
+  /// Hyper-parameter configurations trained per project.
+  int sweep_size = 30;
+  /// Fraction of the sweep avoidable when the baseline's settings are
+  /// fully reported (teams re-search what authors already searched).
+  double avoidable_sweep_fraction = 0.5;
+  /// Facility energy of one training run.
+  util::Energy energy_per_run = util::kilowatt_hours(724.0);  // 1.3B-param run
+};
+
+struct ProjectWaste {
+  double expected_attempts = 0.0;      ///< reproduction attempts per project
+  double expected_failed_runs = 0.0;   ///< attempts beyond the successful one
+  double avoidable_sweep_runs = 0.0;
+  util::Energy necessary;              ///< one clean reproduction + lean sweep
+  util::Energy wasted;                 ///< failures + avoidable sweep
+  [[nodiscard]] double waste_fraction() const {
+    const double total = necessary.joules() + wasted.joules();
+    return total > 0.0 ? wasted.joules() / total : 0.0;
+  }
+};
+
+/// Expected waste for one project under the given parameters.
+[[nodiscard]] ProjectWaste project_waste(const RedundancyParams& params);
+
+struct CommunityWaste {
+  double projects = 0.0;
+  util::Energy wasted;
+  util::MassCo2 wasted_carbon;
+  util::Money wasted_cost;
+};
+
+/// Scales project waste to a community (e.g. a conference cycle's worth of
+/// submissions) at the given grid conditions.
+[[nodiscard]] CommunityWaste community_waste(const RedundancyParams& params, double projects,
+                                             util::EnergyPrice price,
+                                             util::CarbonIntensity intensity);
+
+/// The reporting-improvement counterfactual: waste recovered per project if
+/// reporting lifts the reproduction rate from `params.p` to `improved_rate`
+/// and eliminates the avoidable sweep fraction.
+[[nodiscard]] util::Energy reporting_dividend(const RedundancyParams& params,
+                                              double improved_rate);
+
+}  // namespace greenhpc::workload

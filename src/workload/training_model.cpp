@@ -1,0 +1,101 @@
+#include "workload/training_model.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+double TrainingRunModel::estimate_flops(double parameters, double tokens) {
+  require(parameters > 0.0 && tokens > 0.0, "estimate_flops: inputs must be positive");
+  return 6.0 * parameters * tokens;
+}
+
+TrainingRunCost TrainingRunModel::cost(const TrainingRunSpec& spec, util::EnergyPrice price,
+                                       util::CarbonIntensity intensity) {
+  require(spec.gpus >= 1, "TrainingRunModel: need at least one GPU");
+  require(spec.sustained_flops_per_gpu > 0.0, "TrainingRunModel: throughput must be positive");
+  require(spec.pue >= 1.0, "TrainingRunModel: PUE must be >= 1");
+
+  TrainingRunCost out;
+  out.total_flops = estimate_flops(spec.parameters, spec.tokens);
+  const double gpu_seconds = out.total_flops / spec.sustained_flops_per_gpu;
+  out.gpu_hours = gpu_seconds / 3600.0;
+  out.wall_clock = util::seconds(gpu_seconds / static_cast<double>(spec.gpus));
+  out.it_energy = spec.power_per_gpu * util::seconds(gpu_seconds);
+  out.facility_energy = out.it_energy * spec.pue;
+  out.cost = out.facility_energy * price;
+  out.carbon = out.facility_energy * intensity;
+  return out;
+}
+
+const std::vector<LandmarkSystem>& landmark_systems() {
+  // Values follow OpenAI's "AI and Compute" chart (petaflop/s-days); where
+  // the blog gives only chart positions we use order-of-magnitude readings.
+  // GPT-3 is appended from its published 3.14e23 FLOPs ~= 3640 PF/s-days.
+  static const std::vector<LandmarkSystem> kSystems = {
+      {"Perceptron", 1958.0, 1.0e-12},
+      {"ADALINE", 1960.0, 2.5e-12},
+      {"Neocognitron", 1980.0, 2.0e-9},
+      {"NETtalk", 1987.5, 1.5e-8},
+      {"ALVINN", 1988.5, 5.0e-8},
+      {"TD-Gammon v2.1", 1992.5, 2.0e-7},
+      {"LeNet-5", 1998.0, 8.0e-7},
+      {"Deep Belief Nets", 2006.5, 2.0e-5},
+      {"BiLSTM for Speech", 2009.0, 8.0e-5},
+      {"AlexNet", 2012.5, 5.8e-3},
+      {"Dropout", 2012.9, 2.4e-3},
+      {"Visualizing CNNs", 2013.9, 6.0e-3},
+      {"Seq2Seq", 2014.7, 7.0e-3},
+      {"VGG", 2014.7, 9.5e-2},
+      {"GoogleNet", 2014.7, 1.7e-2},
+      {"DeepSpeech2", 2015.9, 2.6e-1},
+      {"ResNet-152", 2015.9, 2.3e-1},
+      {"Xception", 2016.8, 4.5e-1},
+      {"Neural Machine Translation", 2016.7, 1.0e2},
+      {"Neural Architecture Search", 2016.9, 1.9e2},
+      {"AlphaZero", 2017.9, 3.4e2},
+      {"AlphaGo Zero", 2017.8, 1.86e3},
+      {"GPT-3", 2020.4, 3.64e3},
+  };
+  return kSystems;
+}
+
+ComputeTrendModel::ComputeTrendModel() : systems_(landmark_systems()) {}
+
+ComputeTrendModel::ComputeTrendModel(std::vector<LandmarkSystem> systems)
+    : systems_(std::move(systems)) {
+  require(!systems_.empty(), "ComputeTrendModel: empty systems list");
+}
+
+stats::DoublingFit ComputeTrendModel::fit_era(double from_year, double to_year) const {
+  std::vector<double> years;
+  std::vector<double> compute;
+  for (const LandmarkSystem& s : systems_) {
+    if (s.year >= from_year && s.year < to_year) {
+      years.push_back(s.year);
+      compute.push_back(s.petaflop_s_days);
+    }
+  }
+  require(years.size() >= 2, "ComputeTrendModel::fit_era: need at least two systems in era");
+  stats::DoublingFit fit = stats::doubling_fit(years, compute);
+  fit.doubling_time *= 12.0;  // years -> months
+  return fit;
+}
+
+double ComputeTrendModel::project(const stats::DoublingFit& fit, double year) const {
+  stats::DoublingFit in_years = fit;
+  in_years.doubling_time /= 12.0;
+  return in_years.predict(year);
+}
+
+double ComputeTrendModel::energy_kwh(double petaflop_s_days, double gflops_per_watt) {
+  require(petaflop_s_days >= 0.0, "energy_kwh: negative compute");
+  require(gflops_per_watt > 0.0, "energy_kwh: efficiency must be positive");
+  // 1 PF/s-day = 1e15 FLOP/s * 86400 s = 8.64e19 FLOPs.
+  const double flops = petaflop_s_days * 8.64e19;
+  const double joules = flops / (gflops_per_watt * 1.0e9);
+  return joules / 3.6e6;
+}
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,96 @@
+#pragma once
+// Training-cost model and the Fig. 1 compute-demand trend.
+//
+// Two pieces:
+//  1. TrainingRunModel: parameters x tokens -> FLOPs -> GPU-hours -> energy,
+//     cost, and CO2, the lifecycle arithmetic behind Sec. IV-A's GPT-3
+//     discussion ("training ... was prohibitively costly and estimated at
+//     around $5 million") and Sec. IV-B's measurement/reporting agenda.
+//  2. ComputeTrendModel: the landmark-systems dataset behind Fig. 1 ("Modern
+//     AI's Computational Demands", OpenAI/The Economist), with the two-era
+//     doubling-time fit (~2-year Moore era pre-2012, ~3.4-month modern era).
+
+#include <string>
+#include <vector>
+
+#include "stats/regression.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::workload {
+
+struct TrainingRunSpec {
+  std::string name = "model";
+  double parameters = 1.0e9;  ///< trainable parameter count
+  double tokens = 2.0e10;     ///< training tokens
+  /// Sustained per-GPU training throughput (FLOP/s). Default: V100-class at
+  /// ~125 TFLOP/s peak tensor throughput, ~28% utilization (the paper cites
+  /// TPU utilization of 28% on average; GPUs fare similarly).
+  double sustained_flops_per_gpu = 3.5e13;
+  int gpus = 8;
+  /// Average board+amortized-node power per GPU while training.
+  util::Power power_per_gpu = util::watts(300.0);
+  /// Facility PUE applied on top of IT energy.
+  double pue = 1.30;
+};
+
+struct TrainingRunCost {
+  double total_flops = 0.0;
+  double gpu_hours = 0.0;
+  util::Duration wall_clock;
+  util::Energy it_energy;
+  util::Energy facility_energy;  ///< it_energy * PUE
+  util::Money cost;
+  util::MassCo2 carbon;
+};
+
+class TrainingRunModel {
+ public:
+  /// Kaplan-style compute estimate: FLOPs ~= 6 * parameters * tokens.
+  [[nodiscard]] static double estimate_flops(double parameters, double tokens);
+
+  /// Full cost roll-up at the given electricity price and carbon intensity.
+  [[nodiscard]] static TrainingRunCost cost(const TrainingRunSpec& spec, util::EnergyPrice price,
+                                            util::CarbonIntensity intensity);
+};
+
+/// One point on the Fig. 1 chart.
+struct LandmarkSystem {
+  std::string name;
+  double year = 2012.0;          ///< fractional publication year
+  double petaflop_s_days = 1.0;  ///< training compute (1 PF/s-day = 8.64e19 FLOPs)
+};
+
+/// The Fig. 1 dataset: landmark systems 1958-2020 (OpenAI "AI and Compute"
+/// values, approximated where the blog gives only chart positions).
+[[nodiscard]] const std::vector<LandmarkSystem>& landmark_systems();
+
+class ComputeTrendModel {
+ public:
+  /// Uses landmark_systems() by default.
+  ComputeTrendModel();
+  explicit ComputeTrendModel(std::vector<LandmarkSystem> systems);
+
+  [[nodiscard]] const std::vector<LandmarkSystem>& systems() const { return systems_; }
+
+  /// Doubling-time fit over systems with year in [from, to), in months.
+  [[nodiscard]] stats::DoublingFit fit_era(double from_year, double to_year) const;
+
+  /// The pre-2012 ("Moore") era fit.
+  [[nodiscard]] stats::DoublingFit first_era() const { return fit_era(1900.0, 2012.0); }
+  /// The modern large-scale era fit (2012-2018 inclusive; the OpenAI 3.4-month
+  /// figure is measured to AlphaGo Zero — later points fall below the line).
+  [[nodiscard]] stats::DoublingFit modern_era() const { return fit_era(2012.0, 2018.5); }
+
+  /// Projected compute (PF/s-days) at `year` under an era's fit.
+  [[nodiscard]] double project(const stats::DoublingFit& fit, double year) const;
+
+  /// Energy (kWh) to train a run of `petaflop_s_days` at a given sustained
+  /// efficiency (GFLOP/s per watt; ~20 for a V100-era accelerator at the
+  /// facility level).
+  [[nodiscard]] static double energy_kwh(double petaflop_s_days, double gflops_per_watt = 20.0);
+
+ private:
+  std::vector<LandmarkSystem> systems_;
+};
+
+}  // namespace greenhpc::workload

@@ -1,0 +1,59 @@
+#include "workload/users.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::workload {
+
+using util::require;
+
+UserPopulation UserPopulation::generate(const PopulationConfig& config, util::Rng& rng) {
+  require(config.user_count >= 1, "UserPopulation: need at least one user");
+  require(config.strategic_fraction >= 0.0 && config.strategic_fraction <= 1.0,
+          "UserPopulation: strategic fraction must be in [0,1]");
+  require(config.min_patience > 0.0 && config.min_patience <= config.max_patience &&
+              config.max_patience <= 1.0,
+          "UserPopulation: patience bounds must satisfy 0 < min <= max <= 1");
+
+  UserPopulation pop;
+  pop.users_.reserve(config.user_count);
+  for (std::size_t i = 0; i < config.user_count; ++i) {
+    UserProfile u;
+    u.id = static_cast<cluster::UserId>(i);
+    u.patience = rng.uniform(config.min_patience, config.max_patience);
+    u.green_preference = rng.uniform01();
+    const bool strategic = rng.bernoulli(config.strategic_fraction);
+    u.honesty = strategic ? rng.uniform(0.0, 0.3) : rng.uniform(0.7, 1.0);
+    // Activity is heavy-tailed: a few users generate most jobs (typical of
+    // shared academic clusters).
+    u.activity = rng.lognormal(0.0, 1.0);
+    pop.users_.push_back(u);
+    pop.activity_weights_.push_back(u.activity);
+  }
+  return pop;
+}
+
+const UserProfile& UserPopulation::user(cluster::UserId id) const {
+  require(static_cast<std::size_t>(id) < users_.size(), "UserPopulation: unknown user id");
+  return users_[static_cast<std::size_t>(id)];
+}
+
+cluster::UserId UserPopulation::sample_user(util::Rng& rng) const {
+  require(!users_.empty(), "UserPopulation: empty population");
+  return users_[rng.weighted_index(activity_weights_)].id;
+}
+
+double UserPopulation::mean_green_preference() const {
+  require(!users_.empty(), "UserPopulation: empty population");
+  double total = 0.0;
+  for (const auto& u : users_) total += u.green_preference;
+  return total / static_cast<double>(users_.size());
+}
+
+double UserPopulation::mean_honesty() const {
+  require(!users_.empty(), "UserPopulation: empty population");
+  double total = 0.0;
+  for (const auto& u : users_) total += u.honesty;
+  return total / static_cast<double>(users_.size());
+}
+
+}  // namespace greenhpc::workload

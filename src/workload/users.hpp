@@ -1,0 +1,65 @@
+#pragma once
+// User population with behavioural profiles.
+//
+// Sec. II-C's mechanism-design discussion hinges on heterogeneous users:
+// some are patient ("job urgency/patience"), some value green computing
+// ("the user's stated preferences on energy efficiency"), and some are
+// strategic — they will "mis-characterize their preferences and select
+// themselves into queues where resources are fastest" (adverse selection).
+// UserProfile carries those traits; mechanism:: consumes them.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::workload {
+
+struct UserProfile {
+  cluster::UserId id = 0;
+  /// Willingness to wait, in (0, 1]: 1 = fully patient. Enters the utility
+  /// model as tolerance for queue delay.
+  double patience = 0.5;
+  /// Intrinsic value placed on energy efficiency, in [0, 1].
+  double green_preference = 0.3;
+  /// Probability of reporting preferences truthfully in a self-selection
+  /// mechanism; strategic users (low honesty) report whatever gets them the
+  /// fastest queue.
+  double honesty = 0.8;
+  /// Relative submission activity (multiplies the base arrival share).
+  double activity = 1.0;
+};
+
+struct PopulationConfig {
+  std::size_t user_count = 200;
+  /// Fraction of strategic users (honesty drawn low).
+  double strategic_fraction = 0.3;
+  /// Beta-ish shape controls via min/max uniform draws.
+  double min_patience = 0.1;
+  double max_patience = 1.0;
+};
+
+class UserPopulation {
+ public:
+  UserPopulation() = default;
+  /// Draws a population with the given seed; deterministic.
+  static UserPopulation generate(const PopulationConfig& config, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<UserProfile>& users() const { return users_; }
+  [[nodiscard]] std::size_t size() const { return users_.size(); }
+  [[nodiscard]] const UserProfile& user(cluster::UserId id) const;
+
+  /// Draws a user id weighted by activity.
+  [[nodiscard]] cluster::UserId sample_user(util::Rng& rng) const;
+
+  /// Mean green preference / honesty, for reporting.
+  [[nodiscard]] double mean_green_preference() const;
+  [[nodiscard]] double mean_honesty() const;
+
+ private:
+  std::vector<UserProfile> users_;
+  std::vector<double> activity_weights_;
+};
+
+}  // namespace greenhpc::workload

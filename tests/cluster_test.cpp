@@ -1,0 +1,293 @@
+// Unit tests for greenhpc::cluster — jobs, registry, allocation, IT power.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/job.hpp"
+
+namespace greenhpc::cluster {
+namespace {
+
+using util::TimePoint;
+
+TimePoint at(double s) { return TimePoint::from_seconds(s); }
+
+JobRequest small_request(int gpus = 2, double work_gpu_seconds = 7200.0) {
+  JobRequest req;
+  req.gpus = gpus;
+  req.work_gpu_seconds = work_gpu_seconds;
+  return req;
+}
+
+// --- Job state machine ------------------------------------------------------------
+
+TEST(JobTest, LifecycleHappyPath) {
+  Job job(1, small_request(), at(100.0));
+  EXPECT_EQ(job.state(), JobState::kQueued);
+  job.start(at(200.0));
+  EXPECT_EQ(job.state(), JobState::kRunning);
+  EXPECT_DOUBLE_EQ(job.queue_wait().seconds(), 100.0);
+  job.progress(7200.0, util::kilowatt_hours(1.0));
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 0.0);
+  job.complete(at(3800.0));
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_DOUBLE_EQ(job.turnaround().seconds(), 3700.0);
+  EXPECT_DOUBLE_EQ(job.energy().kilowatt_hours(), 1.0);
+}
+
+TEST(JobTest, IllegalTransitionsThrow) {
+  Job job(1, small_request(), at(0.0));
+  EXPECT_THROW(job.complete(at(1.0)), std::invalid_argument);  // not running
+  EXPECT_THROW(job.progress(1.0, util::Energy{}), std::invalid_argument);
+  job.start(at(1.0));
+  EXPECT_THROW(job.start(at(2.0)), std::invalid_argument);  // already running
+  job.complete(at(3.0));
+  EXPECT_THROW(job.cancel(at(4.0)), std::invalid_argument);  // already done
+  EXPECT_THROW((void)Job(2, small_request(), at(10.0)).turnaround(), std::invalid_argument);
+}
+
+TEST(JobTest, CancelFromQueuedAndRunning) {
+  Job queued(1, small_request(), at(0.0));
+  queued.cancel(at(5.0));
+  EXPECT_EQ(queued.state(), JobState::kCancelled);
+
+  Job running(2, small_request(), at(0.0));
+  running.start(at(1.0));
+  running.cancel(at(2.0));
+  EXPECT_EQ(running.state(), JobState::kCancelled);
+}
+
+TEST(JobTest, RuntimeEstimates) {
+  JobRequest req = small_request(4, 14400.0);  // 4 GPUs, 4 GPU-hours of work
+  req.estimate_factor = 1.5;
+  const Job job(1, req, at(0.0));
+  EXPECT_DOUBLE_EQ(job.estimated_runtime(1.0).seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(job.estimated_runtime(0.5).seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(job.user_estimate(1.0).seconds(), 5400.0);
+  EXPECT_THROW((void)job.estimated_runtime(0.0), std::invalid_argument);
+}
+
+TEST(JobTest, RequestValidation) {
+  JobRequest bad = small_request(0);
+  EXPECT_THROW(Job(1, bad, at(0.0)), std::invalid_argument);
+  bad = small_request();
+  bad.work_gpu_seconds = 0.0;
+  EXPECT_THROW(Job(1, bad, at(0.0)), std::invalid_argument);
+  bad = small_request();
+  bad.deadline = at(0.0);  // not after submission
+  EXPECT_THROW(Job(1, bad, at(10.0)), std::invalid_argument);
+  bad = small_request();
+  bad.estimate_factor = 0.8;
+  EXPECT_THROW(Job(1, bad, at(0.0)), std::invalid_argument);
+}
+
+TEST(JobTest, ClassAndStateNames) {
+  EXPECT_STREQ(job_class_name(JobClass::kTraining), "training");
+  EXPECT_STREQ(job_class_name(JobClass::kHyperparamSweep), "hp_sweep");
+  EXPECT_STREQ(job_state_name(JobState::kQueued), "queued");
+  EXPECT_STREQ(job_state_name(JobState::kCancelled), "cancelled");
+}
+
+// --- JobRegistry -------------------------------------------------------------------
+
+TEST(Registry, SubmitAssignsSequentialIds) {
+  JobRegistry registry;
+  const JobId a = registry.submit(small_request(), at(0.0));
+  const JobId b = registry.submit(small_request(), at(1.0));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.contains(a));
+  EXPECT_FALSE(registry.contains(999));
+  EXPECT_THROW((void)registry.get(999), std::invalid_argument);
+}
+
+TEST(Registry, ReferencesStableAcrossManySubmissions) {
+  JobRegistry registry;
+  const JobId first = registry.submit(small_request(), at(0.0));
+  Job* ptr = &registry.get(first);
+  for (int i = 0; i < 2000; ++i) registry.submit(small_request(), at(i + 1.0));
+  EXPECT_EQ(&registry.get(first), ptr);  // deque storage: no reallocation moves
+}
+
+TEST(Registry, InStateFilters) {
+  JobRegistry registry;
+  const JobId a = registry.submit(small_request(), at(0.0));
+  const JobId b = registry.submit(small_request(), at(0.0));
+  registry.submit(small_request(), at(0.0));
+  registry.get(a).start(at(1.0));
+  registry.get(b).start(at(1.0));
+  registry.get(b).progress(7200.0, util::Energy{});
+  registry.get(b).complete(at(2.0));
+  EXPECT_EQ(registry.in_state(JobState::kQueued).size(), 1u);
+  EXPECT_EQ(registry.in_state(JobState::kRunning).size(), 1u);
+  EXPECT_EQ(registry.in_state(JobState::kCompleted), std::vector<JobId>{b});
+}
+
+// --- Cluster -----------------------------------------------------------------------
+
+ClusterSpec tiny_spec() {
+  ClusterSpec spec;
+  spec.node_count = 4;
+  spec.gpus_per_node = 2;
+  return spec;
+}
+
+TEST(ClusterTest, CountsAndUtilization) {
+  Cluster cluster(tiny_spec());
+  EXPECT_EQ(cluster.total_gpus(), 8);
+  EXPECT_EQ(cluster.free_gpus(), 8);
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 0.0);
+
+  const auto alloc = cluster.allocate(1, 5);
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->total_gpus(), 5);
+  EXPECT_EQ(cluster.busy_gpus(), 5);
+  EXPECT_DOUBLE_EQ(cluster.utilization(), 5.0 / 8.0);
+}
+
+TEST(ClusterTest, AllocationSpansNodesFirstFit) {
+  Cluster cluster(tiny_spec());
+  const auto alloc = cluster.allocate(1, 3);
+  ASSERT_TRUE(alloc.has_value());
+  ASSERT_EQ(alloc->slices.size(), 2u);
+  EXPECT_EQ(alloc->slices[0].node, 0);
+  EXPECT_EQ(alloc->slices[0].gpus, 2);
+  EXPECT_EQ(alloc->slices[1].node, 1);
+  EXPECT_EQ(alloc->slices[1].gpus, 1);
+}
+
+TEST(ClusterTest, OversubscriptionFails) {
+  Cluster cluster(tiny_spec());
+  EXPECT_TRUE(cluster.allocate(1, 8).has_value());
+  EXPECT_FALSE(cluster.allocate(2, 1).has_value());
+  cluster.release(1);
+  EXPECT_TRUE(cluster.allocate(2, 1).has_value());
+}
+
+TEST(ClusterTest, DoubleAllocationForSameJobThrows) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 2);
+  EXPECT_THROW((void)cluster.allocate(1, 2), std::invalid_argument);
+}
+
+TEST(ClusterTest, ReleaseUnknownJobIsNoop) {
+  Cluster cluster(tiny_spec());
+  cluster.release(42);  // must not throw
+  EXPECT_EQ(cluster.free_gpus(), 8);
+}
+
+TEST(ClusterTest, AllocationLookup) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(7, 4);
+  const auto found = cluster.allocation_of(7);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->total_gpus(), 4);
+  EXPECT_FALSE(cluster.allocation_of(8).has_value());
+  EXPECT_EQ(cluster.allocations().size(), 1u);
+}
+
+TEST(ClusterTest, PowerCapClampedToSpec) {
+  Cluster cluster(tiny_spec());
+  cluster.set_power_cap(util::watts(300.0));
+  EXPECT_DOUBLE_EQ(cluster.power_cap().watts(), 250.0);
+  cluster.set_power_cap(util::watts(50.0));
+  EXPECT_DOUBLE_EQ(cluster.power_cap().watts(), 100.0);
+  cluster.set_power_cap(util::watts(180.0));
+  EXPECT_DOUBLE_EQ(cluster.power_cap().watts(), 180.0);
+  EXPECT_LT(cluster.throughput_factor(), 1.0);
+}
+
+TEST(ClusterTest, ItPowerComposition) {
+  ClusterSpec spec = tiny_spec();
+  spec.node_base = util::watts(400.0);
+  spec.fixed_infrastructure = util::kilowatts(1.0);
+  Cluster cluster(spec);
+  // Idle: fixed 1000 + 4*400 + 8*50 = 3000 W.
+  EXPECT_NEAR(cluster.it_power().watts(), 3000.0, 1e-9);
+  (void)cluster.allocate(1, 4);
+  // 4 busy at 230, 4 idle at 50: 1000 + 1600 + 920 + 200 = 3720 W.
+  EXPECT_NEAR(cluster.it_power().watts(), 3720.0, 1e-9);
+}
+
+TEST(ClusterTest, PowerCapLowersBusyPower) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 8);
+  const double uncapped = cluster.it_power().watts();
+  cluster.set_power_cap(util::watts(150.0));
+  EXPECT_LT(cluster.it_power().watts(), uncapped);
+  EXPECT_NEAR(cluster.busy_gpu_power().watts(), 150.0, 1e-9);
+}
+
+TEST(ClusterTest, NodeSupplyKnob) {
+  Cluster cluster(tiny_spec());
+  cluster.set_enabled_nodes(2);
+  EXPECT_EQ(cluster.total_gpus(), 4);
+  EXPECT_EQ(cluster.enabled_nodes(), 2);
+  // Fewer enabled nodes draw less base power.
+  const double low = cluster.it_power().watts();
+  cluster.set_enabled_nodes(4);
+  EXPECT_GT(cluster.it_power().watts(), low);
+}
+
+TEST(ClusterTest, CannotDisableBusyNodes) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 7);  // spans nodes 0-3
+  EXPECT_THROW(cluster.set_enabled_nodes(2), std::invalid_argument);
+  cluster.release(1);
+  EXPECT_NO_THROW(cluster.set_enabled_nodes(2));
+}
+
+TEST(ClusterTest, DisabledNodesNotAllocated) {
+  Cluster cluster(tiny_spec());
+  cluster.set_enabled_nodes(1);
+  EXPECT_FALSE(cluster.allocate(1, 3).has_value());  // only 2 GPUs enabled
+  EXPECT_TRUE(cluster.allocate(1, 2).has_value());
+}
+
+TEST(ClusterTest, PerJobCapsComposeWithClusterCap) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 2);
+  (void)cluster.allocate(2, 2);
+  cluster.set_job_cap(1, util::watts(150.0));
+  // Job 1 runs at its own cap; job 2 at the cluster cap.
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(1).watts(), 150.0);
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(2).watts(), 250.0);
+  EXPECT_LT(cluster.job_throughput_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(cluster.job_throughput_factor(2), 1.0);
+  // The cluster-wide knob still dominates when stricter.
+  cluster.set_power_cap(util::watts(125.0));
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(1).watts(), 125.0);
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(2).watts(), 125.0);
+}
+
+TEST(ClusterTest, PerJobCapLowersItPower) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 4);
+  const double before = cluster.it_power().watts();
+  cluster.set_job_cap(1, util::watts(150.0));
+  EXPECT_LT(cluster.it_power().watts(), before);
+  // Releasing clears the override.
+  cluster.release(1);
+  (void)cluster.allocate(1, 4);
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(1).watts(), 250.0);
+}
+
+TEST(ClusterTest, JobCapClampedToSettableRange) {
+  Cluster cluster(tiny_spec());
+  (void)cluster.allocate(1, 1);
+  cluster.set_job_cap(1, util::watts(10.0));
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(1).watts(), 100.0);
+  cluster.set_job_cap(1, util::watts(900.0));
+  EXPECT_DOUBLE_EQ(cluster.effective_cap(1).watts(), 250.0);
+}
+
+TEST(ClusterTest, ReferenceScaleMatchesPaperCluster) {
+  const Cluster cluster;  // defaults: 224 nodes x 2 V100
+  EXPECT_EQ(cluster.total_gpus(), 448);
+  // Idle IT power lands in the calibrated band (DESIGN.md: ~183 kW floor).
+  EXPECT_GT(cluster.it_power().kilowatts(), 150.0);
+  EXPECT_LT(cluster.it_power().kilowatts(), 220.0);
+}
+
+}  // namespace
+}  // namespace greenhpc::cluster

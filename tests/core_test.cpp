@@ -1,0 +1,413 @@
+// Unit tests for greenhpc::core — datacenter facade, Eq. 1/Eq. 2 optimizers,
+// campaign planner, stress tester, Green AI challenge.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/campaign.hpp"
+#include "core/challenge.hpp"
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "core/stress.hpp"
+
+namespace greenhpc::core {
+namespace {
+
+using util::CivilDate;
+using util::MonthKey;
+using util::TimePoint;
+
+// --- Datacenter -----------------------------------------------------------------
+
+TEST(DatacenterTest, ExternalJobRunsToCompletion) {
+  DatacenterConfig config;
+  Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  cluster::JobRequest req;
+  req.gpus = 4;
+  req.work_gpu_seconds = 4.0 * 2.0 * 3600.0;  // 2 h on 4 GPUs
+  const cluster::JobId id = dc.submit(req);
+  dc.run_until(TimePoint::from_seconds(86400.0));
+  const cluster::Job& job = dc.jobs().get(id);
+  EXPECT_EQ(job.state(), cluster::JobState::kCompleted);
+  // Wall clock within a step of the ideal 2 h.
+  EXPECT_NEAR((job.finish_time() - job.start_time()).hours(), 2.0, 0.3);
+  EXPECT_GT(job.energy().kilowatt_hours(), 0.5);
+}
+
+TEST(DatacenterTest, SummaryAccountsAllJobs) {
+  auto dc = make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 3);
+  dc->run_until(TimePoint::from_seconds(5.0 * 86400.0));
+  const RunSummary s = dc->summary();
+  const auto running = dc->jobs().in_state(cluster::JobState::kRunning).size();
+  EXPECT_EQ(s.jobs_submitted, s.jobs_completed + s.jobs_pending + running);
+  EXPECT_GT(s.jobs_completed, 100u);
+  EXPECT_GT(s.mean_utilization, 0.2);
+  EXPECT_GE(s.mean_pue, 1.0);
+  EXPECT_GT(s.grid_totals.energy.megawatt_hours(), 1.0);
+}
+
+TEST(DatacenterTest, DeterministicForSeed) {
+  auto a = make_reference_datacenter(std::make_unique<sched::FcfsScheduler>(), 77);
+  auto b = make_reference_datacenter(std::make_unique<sched::FcfsScheduler>(), 77);
+  a->run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  b->run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  EXPECT_EQ(a->summary().jobs_submitted, b->summary().jobs_submitted);
+  EXPECT_DOUBLE_EQ(a->summary().grid_totals.energy.joules(),
+                   b->summary().grid_totals.energy.joules());
+}
+
+TEST(DatacenterTest, SeedsChangeTheRealization) {
+  auto a = make_reference_datacenter(std::make_unique<sched::FcfsScheduler>(), 1);
+  auto b = make_reference_datacenter(std::make_unique<sched::FcfsScheduler>(), 2);
+  a->run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  b->run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  EXPECT_NE(a->summary().grid_totals.energy.joules(), b->summary().grid_totals.energy.joules());
+}
+
+TEST(DatacenterTest, AccountantEnergyBoundedByMeter) {
+  // Jobs are charged GPU energy x PUE; the grid meter additionally covers
+  // idle nodes and fixed infrastructure, so job totals must be a strict
+  // lower bound on metered facility energy.
+  auto dc = make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 5);
+  dc->run_until(TimePoint::from_seconds(4.0 * 86400.0));
+  EXPECT_LT(dc->accountant().totals().energy.joules(),
+            dc->grid_meter().totals().energy.joules());
+  EXPECT_GT(dc->accountant().totals().energy.joules(), 0.0);
+}
+
+TEST(DatacenterTest, BatteryPolicyRequiresBattery) {
+  DatacenterConfig config;  // no battery configured
+  Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  EXPECT_THROW(dc.attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>()),
+               std::invalid_argument);
+}
+
+TEST(DatacenterTest, BatteryCyclesWhenAttached) {
+  DatacenterConfig config;
+  config.battery = grid::BatteryConfig{};
+  Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>());
+  dc.run_until(TimePoint::from_seconds(10.0 * 86400.0));
+  ASSERT_NE(dc.battery(), nullptr);
+  EXPECT_GT(dc.battery()->total_grid_energy_in().kilowatt_hours(), 1.0);
+}
+
+TEST(DatacenterTest, JobCapPolicyReducesEnergyAtSameWork) {
+  auto run = [](bool tailored) {
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    if (tailored) {
+      dc.set_job_cap_policy([](const cluster::Job& job) -> std::optional<util::Power> {
+        // Flexible jobs opt into a strict cap; urgent jobs stay uncapped.
+        if (job.request().flexible) return util::watts(160.0);
+        return std::nullopt;
+      });
+    }
+    dc.run_until(TimePoint::from_seconds(7.0 * 86400.0));
+    return dc.summary();
+  };
+  const core::RunSummary plain = run(false);
+  const core::RunSummary capped = run(true);
+  EXPECT_LT(capped.grid_totals.energy.joules(), plain.grid_totals.energy.joules());
+  EXPECT_GT(capped.completed_gpu_hours, 0.95 * plain.completed_gpu_hours);
+}
+
+TEST(DatacenterTest, UserAttributedArrivalsPopulateLedgers) {
+  util::Rng rng(8);
+  workload::PopulationConfig pop_config;
+  pop_config.user_count = 40;
+  const workload::UserPopulation population =
+      workload::UserPopulation::generate(pop_config, rng);
+  core::DatacenterConfig config;
+  core::Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard(),
+                     &population);
+  dc.run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  const auto users = dc.accountant().by_user();
+  EXPECT_GT(users.size(), 10u);  // many distinct users charged
+  for (const telemetry::UserFootprint& u : users)
+    EXPECT_LT(u.user, pop_config.user_count);
+}
+
+TEST(DatacenterTest, StartOffsetRunsOnLaterCalendar) {
+  DatacenterConfig config;
+  config.start = util::to_timepoint(CivilDate{2021, 6, 24});
+  Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.run_until(util::to_timepoint(CivilDate{2021, 7, 2}));
+  const auto months = dc.monthly_power().months();
+  ASSERT_FALSE(months.empty());
+  EXPECT_EQ(months.front(), (MonthKey{2021, 6}));
+  EXPECT_EQ(months.back(), (MonthKey{2021, 7}));
+}
+
+// --- Eq. 1 optimizers ---------------------------------------------------------------
+
+TEST(Optimization, GridSearchFindsFeasibleMinimum) {
+  // Synthetic objective: energy = cap; activity = cap (monotone), alpha=170.
+  auto evaluate = [](const ControlVector& cv) {
+    Evaluation e;
+    e.controls = cv;
+    e.energy = cv.power_cap.watts();
+    e.activity = cv.power_cap.watts();
+    return e;
+  };
+  std::vector<ControlVector> candidates;
+  for (double w : {150.0, 175.0, 200.0, 225.0, 250.0}) {
+    ControlVector cv;
+    cv.power_cap = util::watts(w);
+    candidates.push_back(cv);
+  }
+  const OptimizationResult result = grid_search(evaluate, candidates, 170.0, false);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best.controls.power_cap.watts(), 175.0);
+  EXPECT_EQ(result.all.size(), 5u);
+}
+
+TEST(Optimization, GridSearchFallsBackToLeastViolating) {
+  auto evaluate = [](const ControlVector& cv) {
+    Evaluation e;
+    e.controls = cv;
+    e.energy = cv.power_cap.watts();
+    e.activity = cv.power_cap.watts();
+    return e;
+  };
+  std::vector<ControlVector> candidates;
+  for (double w : {150.0, 200.0}) {
+    ControlVector cv;
+    cv.power_cap = util::watts(w);
+    candidates.push_back(cv);
+  }
+  const OptimizationResult result = grid_search(evaluate, candidates, 1000.0, false);
+  EXPECT_FALSE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best.controls.power_cap.watts(), 200.0);  // closest to alpha
+}
+
+TEST(Optimization, ParallelAndSerialAgree) {
+  auto evaluate = [](const ControlVector& cv) {
+    Evaluation e;
+    e.controls = cv;
+    e.energy = cv.power_cap.watts() + static_cast<double>(cv.enabled_nodes);
+    e.activity = 500.0;
+    return e;
+  };
+  const auto lattice = default_lattice();
+  const OptimizationResult serial = grid_search(evaluate, lattice, 0.0, false);
+  const OptimizationResult parallel = grid_search(evaluate, lattice, 0.0, true);
+  EXPECT_DOUBLE_EQ(serial.best.energy, parallel.best.energy);
+}
+
+TEST(Optimization, RefineCapDescendsWhileFeasible) {
+  // Energy strictly decreasing in cap, activity fails below 180 W.
+  auto evaluate = [](const ControlVector& cv) {
+    Evaluation e;
+    e.controls = cv;
+    e.energy = cv.power_cap.watts();
+    e.activity = cv.power_cap.watts() >= 180.0 ? 100.0 : 0.0;
+    return e;
+  };
+  ControlVector start;
+  start.power_cap = util::watts(250.0);
+  const OptimizationResult result = refine_cap(evaluate, start, 50.0, util::watts(10.0), 20);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best.controls.power_cap.watts(), 180.0);
+}
+
+TEST(Optimization, DefaultLatticeCoversAllPolicies) {
+  const auto lattice = default_lattice();
+  EXPECT_EQ(lattice.size(), 4u * 5u * 3u);
+  bool saw_carbon = false;
+  for (const ControlVector& cv : lattice)
+    if (cv.policy == PolicyKind::kCarbonAware) saw_carbon = true;
+  EXPECT_TRUE(saw_carbon);
+  EXPECT_NE(lattice.front().label().find("fcfs"), std::string::npos);
+}
+
+TEST(Optimization, MakeSchedulerCoversAllKinds) {
+  for (PolicyKind p : {PolicyKind::kFcfs, PolicyKind::kBackfill, PolicyKind::kCarbonAware,
+                       PolicyKind::kPowerAware}) {
+    const auto sched = make_scheduler(p);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_STREQ(sched->name(), policy_name(p)) << policy_name(p);
+  }
+}
+
+// --- Eq. 2 per-user caps ----------------------------------------------------------------
+
+TEST(Optimization, PerUserCapsRespectActivityFloors) {
+  const power::GpuPowerModel model;
+  std::vector<telemetry::UserFootprint> users(3);
+  users[0].user = 0;
+  users[0].gpu_hours = 1000.0;
+  users[1].user = 1;
+  users[1].gpu_hours = 100.0;
+  users[2].user = 2;
+  users[2].gpu_hours = 10.0;
+
+  // Floor at 95% of current activity: every user gets a cap that keeps
+  // throughput-scaled activity above it.
+  const auto caps = per_user_caps(users, model, [](const telemetry::UserFootprint& u) {
+    return u.gpu_hours * 0.95;
+  });
+  ASSERT_EQ(caps.size(), 3u);
+  for (const UserCapAssignment& a : caps) {
+    EXPECT_GE(a.predicted_activity,
+              users[a.user].gpu_hours * 0.95 - 1e-9);
+    EXPECT_LE(a.cap.watts(), 250.0);
+    EXPECT_LE(a.predicted_energy_ratio, 1.0);
+  }
+  // A 5% slowdown budget admits a real cap (< TDP) with real savings.
+  EXPECT_LT(caps[0].cap.watts(), 250.0);
+  EXPECT_LT(caps[0].predicted_energy_ratio, 0.95);
+}
+
+TEST(Optimization, TighterFloorMeansLooserCap) {
+  const power::GpuPowerModel model;
+  std::vector<telemetry::UserFootprint> users(1);
+  users[0].gpu_hours = 100.0;
+  const auto strict = per_user_caps(users, model, [](const auto& u) { return u.gpu_hours * 0.999; });
+  const auto loose = per_user_caps(users, model, [](const auto& u) { return u.gpu_hours * 0.80; });
+  EXPECT_GE(strict[0].cap.watts(), loose[0].cap.watts());
+}
+
+// --- campaign planner ---------------------------------------------------------------------
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  CampaignFixture() : carbon_(&mix_), price_(grid::PriceConfig{}, &mix_), planner_(&carbon_, &price_) {}
+  grid::FuelMixModel mix_;
+  grid::CarbonIntensityModel carbon_;
+  grid::LmpPriceModel price_;
+  CampaignPlanner planner_;
+};
+
+TEST_F(CampaignFixture, PlansConserveTotalCompute) {
+  CampaignSpec spec;
+  for (const CampaignPlan& plan :
+       {planner_.plan_uniform(spec), planner_.plan_green_oracle(spec),
+        planner_.plan_green_forecast(spec)}) {
+    double total = 0.0;
+    for (const CampaignMonth& m : plan.months) {
+      total += m.planned_gpu_hours;
+      EXPECT_LE(m.planned_gpu_hours, spec.monthly_capacity_gpu_hours + 1e-6);
+    }
+    EXPECT_NEAR(total, spec.total_gpu_hours, 1e-6);
+  }
+}
+
+TEST_F(CampaignFixture, OracleBeatsUniformOnCarbon) {
+  CampaignSpec spec;
+  const CampaignPlan uniform = planner_.plan_uniform(spec);
+  const CampaignPlan oracle = planner_.plan_green_oracle(spec);
+  EXPECT_LT(oracle.carbon.kilograms(), uniform.carbon.kilograms());
+}
+
+TEST_F(CampaignFixture, ForecastRetainsMostOfOracleSaving) {
+  CampaignSpec spec;
+  const CampaignPlan uniform = planner_.plan_uniform(spec);
+  const CampaignPlan oracle = planner_.plan_green_oracle(spec);
+  const CampaignPlan forecast = planner_.plan_green_forecast(spec);
+  const double oracle_saving = uniform.carbon.kilograms() - oracle.carbon.kilograms();
+  const double forecast_saving = uniform.carbon.kilograms() - forecast.carbon.kilograms();
+  EXPECT_GT(forecast_saving, 0.5 * oracle_saving);
+}
+
+TEST_F(CampaignFixture, InfeasibleCampaignThrows) {
+  CampaignSpec spec;
+  spec.total_gpu_hours = 1e9;  // exceeds capacity * months
+  EXPECT_THROW((void)planner_.plan_uniform(spec), std::invalid_argument);
+}
+
+// --- stress tester ----------------------------------------------------------------------
+
+TEST(Stress, HeatWaveCausesThrottlingWithoutInvestment) {
+  StressConfig config;
+  config.replicas = 1;
+  const StressTester tester(config);
+  const StressOutcome raw = tester.run(ScenarioKind::kExtremeHeatWave, 0.0);
+  const StressOutcome invested = tester.run(ScenarioKind::kExtremeHeatWave, 1.0);
+  EXPECT_GT(raw.throttle_hours, 0.0);
+  EXPECT_LT(invested.throttle_hours, raw.throttle_hours);
+}
+
+TEST(Stress, BaselineScenarioIsCalm) {
+  StressConfig config;
+  config.replicas = 1;
+  const StressTester tester(config);
+  const StressOutcome calm = tester.run(ScenarioKind::kBaseline, 0.0);
+  EXPECT_NEAR(calm.extra_cost_usd, 0.0, 1e-6);  // baseline vs baseline
+  EXPECT_NEAR(calm.unserved_gpu_hours, 0.0, 1e-6);
+}
+
+TEST(Stress, PriceSpikeCostsMoneyNotThrottle) {
+  StressConfig config;
+  config.replicas = 1;
+  const StressTester tester(config);
+  const StressOutcome spike = tester.run(ScenarioKind::kPriceSpike, 1.0);
+  EXPECT_GT(spike.extra_cost_usd, 100.0);
+  EXPECT_NEAR(spike.throttle_hours, 0.0, 1.0);
+}
+
+TEST(Stress, ScenarioNamesAreStable) {
+  EXPECT_STREQ(scenario_name(ScenarioKind::kHeatWave), "heat_wave");
+  EXPECT_STREQ(scenario_name(ScenarioKind::kRenewableDrought), "renewable_drought");
+}
+
+// --- challenge ----------------------------------------------------------------------------
+
+TEST(Challenge, BudgetEnforcement) {
+  const GreenAiChallenge challenge({util::kilowatt_hours(100.0), 400.0});
+  const ScoredSubmission ok =
+      challenge.score({"a", 0.8, util::kilowatt_hours(90.0), 300.0});
+  EXPECT_TRUE(ok.within_budget);
+  EXPECT_DOUBLE_EQ(ok.score, 0.8);
+  const ScoredSubmission energy_dq =
+      challenge.score({"b", 0.9, util::kilowatt_hours(150.0), 300.0});
+  EXPECT_FALSE(energy_dq.within_budget);
+  EXPECT_DOUBLE_EQ(energy_dq.score, 0.0);
+  EXPECT_EQ(energy_dq.disqualification, "energy budget exceeded");
+  const ScoredSubmission compute_dq =
+      challenge.score({"c", 0.9, util::kilowatt_hours(50.0), 500.0});
+  EXPECT_EQ(compute_dq.disqualification, "compute budget exceeded");
+}
+
+TEST(Challenge, LeaderboardOrdering) {
+  const GreenAiChallenge challenge({util::kilowatt_hours(100.0), 400.0});
+  const std::vector<Submission> entries = {
+      {"over", 0.95, util::kilowatt_hours(200.0), 100.0},
+      {"good", 0.85, util::kilowatt_hours(80.0), 200.0},
+      {"tied-greener", 0.80, util::kilowatt_hours(40.0), 100.0},
+      {"tied-browner", 0.80, util::kilowatt_hours(90.0), 100.0},
+  };
+  const auto board = challenge.leaderboard(entries);
+  ASSERT_EQ(board.size(), 4u);
+  EXPECT_EQ(board[0].submission.team, "good");
+  EXPECT_EQ(board[1].submission.team, "tied-greener");  // greener wins the tie
+  EXPECT_EQ(board[2].submission.team, "tied-browner");
+  EXPECT_EQ(board[3].submission.team, "over");  // disqualified sinks
+}
+
+TEST(Challenge, EfficiencyLeaderboardExcludesDisqualified) {
+  const GreenAiChallenge challenge({util::kilowatt_hours(100.0), 400.0});
+  const std::vector<Submission> entries = {
+      {"over", 0.95, util::kilowatt_hours(200.0), 100.0},
+      {"lean", 0.70, util::kilowatt_hours(10.0), 50.0},
+      {"heavy", 0.85, util::kilowatt_hours(95.0), 200.0},
+  };
+  const auto board = challenge.efficiency_leaderboard(entries);
+  ASSERT_EQ(board.size(), 2u);
+  EXPECT_EQ(board[0].submission.team, "lean");  // 0.07/kWh beats 0.0089/kWh
+}
+
+TEST(Challenge, Validation) {
+  EXPECT_THROW(GreenAiChallenge({util::kilowatt_hours(0.0), 10.0}), std::invalid_argument);
+  const GreenAiChallenge challenge({util::kilowatt_hours(10.0), 10.0});
+  EXPECT_THROW((void)challenge.score({"x", -0.1, util::kilowatt_hours(1.0), 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::core

@@ -1,0 +1,229 @@
+// Unit tests for greenhpc::forecast — models, metrics, backtesting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "forecast/metrics.hpp"
+#include "forecast/models.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::forecast {
+namespace {
+
+std::vector<double> seasonal_series(std::size_t n, std::size_t period, double trend = 0.0,
+                                    double noise = 0.0, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double season =
+        10.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t % period) /
+                        static_cast<double>(period));
+    out.push_back(50.0 + season + trend * static_cast<double>(t) + noise * rng.normal());
+  }
+  return out;
+}
+
+// --- SeasonalNaive ---------------------------------------------------------------
+
+TEST(SeasonalNaiveTest, RepeatsLastSeason) {
+  SeasonalNaive model(4);
+  const std::vector<double> series = {1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0};
+  model.fit(series);
+  const auto pred = model.predict(6);
+  EXPECT_EQ(pred, (std::vector<double>{10.0, 20.0, 30.0, 40.0, 10.0, 20.0}));
+}
+
+TEST(SeasonalNaiveTest, PerfectOnPurelySeasonalData) {
+  SeasonalNaive model(12);
+  const auto series = seasonal_series(60, 12);
+  model.fit(series);
+  const auto pred = model.predict(12);
+  for (std::size_t h = 0; h < 12; ++h) EXPECT_NEAR(pred[h], series[h % 12], 1e-9);
+}
+
+TEST(SeasonalNaiveTest, Validation) {
+  SeasonalNaive model(12);
+  EXPECT_THROW(model.fit(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)model.predict(3), std::invalid_argument);  // predict before fit
+  EXPECT_THROW(SeasonalNaive(0), std::invalid_argument);
+}
+
+// --- ArModel -----------------------------------------------------------------------
+
+TEST(ArModelTest, RecoversAr1Coefficients) {
+  // x_t = 5 + 0.8 x_{t-1} + noise (noise gives the regressor the variance
+  // OLS needs; a noise-free stationary AR(1) is a constant, i.e. singular).
+  util::Rng rng(7);
+  std::vector<double> series = {25.0};
+  for (int t = 1; t < 4000; ++t)
+    series.push_back(5.0 + 0.8 * series.back() + 1.0 * rng.normal());
+  ArModel model(1);
+  model.fit(series);
+  ASSERT_EQ(model.coefficients().size(), 2u);
+  EXPECT_NEAR(model.coefficients()[1], 0.8, 0.03);  // phi
+  EXPECT_NEAR(model.coefficients()[0], 5.0, 0.8);   // intercept
+}
+
+TEST(ArModelTest, MultiStepConvergesToProcessMean) {
+  // Start far from the mean so the transient gives OLS identifiable data.
+  util::Rng rng(9);
+  std::vector<double> series = {0.0};
+  for (int t = 1; t < 600; ++t)
+    series.push_back(5.0 + 0.8 * series.back() + 0.2 * rng.normal());
+  ArModel model(1);
+  model.fit(series);
+  const auto pred = model.predict(300);
+  EXPECT_NEAR(pred.back(), 25.0, 1.5);  // mean = 5/(1-0.8)
+}
+
+TEST(ArModelTest, CapturesSeasonalityWithEnoughLags) {
+  // Noise breaks the exact collinearity of a pure sinusoid under 24 lags.
+  const auto series = seasonal_series(400, 24, 0.0, /*noise=*/0.3, 13);
+  ArModel model(24);
+  model.fit(series);
+  const auto pred = model.predict(24);
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double truth =
+        50.0 + 10.0 * std::sin(2.0 * std::numbers::pi *
+                               static_cast<double>((400 + h) % 24) / 24.0);
+    EXPECT_NEAR(pred[h], truth, 2.0) << "h=" << h;
+  }
+}
+
+TEST(ArModelTest, Validation) {
+  EXPECT_THROW(ArModel(0), std::invalid_argument);
+  ArModel model(10);
+  EXPECT_THROW(model.fit(std::vector<double>(15, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)model.predict(4), std::invalid_argument);
+}
+
+// --- HoltWinters ---------------------------------------------------------------------
+
+TEST(HoltWintersTest, TracksTrendPlusSeason) {
+  const auto series = seasonal_series(120, 12, /*trend=*/0.5);
+  HoltWinters model(12);
+  model.fit(series);
+  const auto pred = model.predict(12);
+  // Compare against the true continuation.
+  for (std::size_t h = 0; h < 12; ++h) {
+    const double t = 120.0 + static_cast<double>(h);
+    const double truth = 50.0 +
+                         10.0 * std::sin(2.0 * std::numbers::pi *
+                                         std::fmod(t, 12.0) / 12.0) +
+                         0.5 * t;
+    EXPECT_NEAR(pred[h], truth, 2.5) << "h=" << h;
+  }
+  EXPECT_NEAR(model.trend(), 0.5, 0.1);
+}
+
+TEST(HoltWintersTest, SeasonalComponentsSumNearZero) {
+  const auto series = seasonal_series(96, 12);
+  HoltWinters model(12);
+  model.fit(series);
+  double sum = 0.0;
+  for (double s : model.seasonal()) sum += s;
+  EXPECT_NEAR(sum / 12.0, 0.0, 1.0);
+}
+
+TEST(HoltWintersTest, Validation) {
+  EXPECT_THROW(HoltWinters(1), std::invalid_argument);
+  EXPECT_THROW(HoltWinters(12, HoltWinters::Params{.alpha = 1.5}), std::invalid_argument);
+  HoltWinters model(12);
+  EXPECT_THROW(model.fit(std::vector<double>(20, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)model.predict(4), std::invalid_argument);
+}
+
+// --- metrics ------------------------------------------------------------------------
+
+TEST(Metrics, MaeRmseMape) {
+  const std::vector<double> truth = {10.0, 20.0, 30.0};
+  const std::vector<double> pred = {12.0, 18.0, 33.0};
+  EXPECT_NEAR(mae(truth, pred), (2.0 + 2.0 + 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(rmse(truth, pred), std::sqrt((4.0 + 4.0 + 9.0) / 3.0), 1e-12);
+  EXPECT_NEAR(mape(truth, pred), 100.0 * (0.2 + 0.1 + 0.1) / 3.0, 1e-9);
+}
+
+TEST(Metrics, PerfectPredictionScoresZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mae(xs, xs), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(xs, xs), 0.0);
+}
+
+TEST(Metrics, Validation) {
+  EXPECT_THROW((void)mae(std::vector<double>{1.0}, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)mape(std::vector<double>{0.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+// --- backtest ------------------------------------------------------------------------
+
+TEST(Backtest, RollingOriginCountsFolds) {
+  const auto series = seasonal_series(100, 12);
+  SeasonalNaive model(12);
+  const BacktestResult result = backtest(model, series, 48, 12, 12);
+  // Origins: 48, 60, 72, 84 (96+12 > 100 excluded) -> 4 folds.
+  EXPECT_EQ(result.folds, 4u);
+  EXPECT_NEAR(result.rmse, 0.0, 1e-9);  // purely seasonal: naive is perfect
+}
+
+TEST(Backtest, BetterModelGetsPositiveSkill) {
+  // Trending series: seasonal naive lags the trend; Holt-Winters tracks it.
+  const auto series = seasonal_series(144, 12, /*trend=*/1.0, /*noise=*/0.2);
+  SeasonalNaive naive(12);
+  HoltWinters hw(12);
+  const BacktestResult base = backtest(naive, series, 60, 12, 6);
+  const BacktestResult better = with_skill(backtest(hw, series, 60, 12, 6), base);
+  EXPECT_GT(better.skill, 0.3);
+  EXPECT_LT(better.rmse, base.rmse);
+}
+
+TEST(Backtest, Validation) {
+  SeasonalNaive model(12);
+  const std::vector<double> tiny(15, 1.0);
+  EXPECT_THROW((void)backtest(model, tiny, 12, 12), std::invalid_argument);
+  const auto series = seasonal_series(100, 12);
+  EXPECT_THROW((void)backtest(model, series, 48, 0), std::invalid_argument);
+}
+
+// Parameterized: every model beats (or ties) a flat-mean guess on a
+// seasonal+trend series, across horizons.
+class ModelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ModelSweep, BeatsFlatMeanOnStructuredSeries) {
+  const std::size_t horizon = GetParam();
+  const auto series = seasonal_series(150, 12, 0.3, 0.3, 11);
+
+  // Flat-mean baseline RMSE over the same folds.
+  class FlatMean final : public Forecaster {
+   public:
+    const char* name() const override { return "flat"; }
+    void fit(std::span<const double> s) override {
+      double total = 0.0;
+      for (double v : s) total += v;
+      mean_ = total / static_cast<double>(s.size());
+    }
+    std::vector<double> predict(std::size_t h) const override {
+      return std::vector<double>(h, mean_);
+    }
+    std::size_t min_history() const override { return 1; }
+
+   private:
+    double mean_ = 0.0;
+  };
+
+  FlatMean flat;
+  HoltWinters hw(12);
+  const BacktestResult flat_result = backtest(flat, series, 60, horizon, 6);
+  const BacktestResult hw_result = backtest(hw, series, 60, horizon, 6);
+  EXPECT_LT(hw_result.rmse, flat_result.rmse) << "horizon " << horizon;
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, ModelSweep, ::testing::Values(1u, 6u, 12u, 36u));
+
+}  // namespace
+}  // namespace greenhpc::forecast

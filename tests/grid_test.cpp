@@ -1,0 +1,515 @@
+// Unit tests for greenhpc::grid — fuel mix, carbon, prices, metering,
+// battery storage, and the monthly purchase planner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/battery.hpp"
+#include "grid/carbon.hpp"
+#include "grid/connection.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "grid/purchase_planner.hpp"
+#include "grid/wind_farm.hpp"
+
+namespace greenhpc::grid {
+namespace {
+
+using util::CivilDate;
+using util::MonthKey;
+using util::TimePoint;
+
+// --- FuelMix -----------------------------------------------------------------
+
+TEST(FuelMixTest, NormalizedSharesSumToOne) {
+  std::array<double, kFuelCount> weights{};
+  weights[static_cast<std::size_t>(Fuel::kSolar)] = 2.0;
+  weights[static_cast<std::size_t>(Fuel::kNaturalGas)] = 6.0;
+  const FuelMix mix = FuelMix::normalized(weights);
+  EXPECT_DOUBLE_EQ(mix.share(Fuel::kSolar), 0.25);
+  EXPECT_DOUBLE_EQ(mix.share(Fuel::kNaturalGas), 0.75);
+  double total = 0.0;
+  for (double s : mix.shares()) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FuelMixTest, RejectsInvalidWeights) {
+  std::array<double, kFuelCount> zero{};
+  EXPECT_THROW((void)FuelMix::normalized(zero), std::invalid_argument);
+  std::array<double, kFuelCount> neg{};
+  neg[0] = -1.0;
+  neg[1] = 2.0;
+  EXPECT_THROW((void)FuelMix::normalized(neg), std::invalid_argument);
+}
+
+TEST(FuelMixTest, RenewableShareIsSolarPlusWind) {
+  std::array<double, kFuelCount> weights{};
+  weights[static_cast<std::size_t>(Fuel::kSolar)] = 1.0;
+  weights[static_cast<std::size_t>(Fuel::kWind)] = 2.0;
+  weights[static_cast<std::size_t>(Fuel::kNaturalGas)] = 7.0;
+  const FuelMix mix = FuelMix::normalized(weights);
+  EXPECT_NEAR(mix.renewable_share(), 0.3, 1e-12);
+}
+
+TEST(FuelMixModelTest, SharesAlwaysValid) {
+  const FuelMixModel model;
+  for (int h = 0; h < 24 * 40; h += 7) {
+    const FuelMix mix = model.mix_at(TimePoint::from_seconds(h * 3600.0));
+    double total = 0.0;
+    for (double s : mix.shares()) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(FuelMixModelTest, SolarIsZeroAtNight) {
+  const FuelMixModel model;
+  const TimePoint midnight = util::to_timepoint(CivilDate{2020, 6, 15}, 1.0);
+  EXPECT_DOUBLE_EQ(model.mix_at(midnight).share(Fuel::kSolar), 0.0);
+  const TimePoint noon = util::to_timepoint(CivilDate{2020, 6, 15}, 12.5);
+  EXPECT_GT(model.mix_at(noon).share(Fuel::kSolar), 0.02);
+}
+
+TEST(FuelMixModelTest, SpringGreenerThanSummer) {
+  const FuelMixModel model;
+  const double april = model.monthly_renewable_pct(MonthKey{2020, 4});
+  const double august = model.monthly_renewable_pct(MonthKey{2020, 8});
+  EXPECT_GT(april, august);
+  // Calibration band from the paper's Fig. 2: ~5-8.5%.
+  EXPECT_GT(april, 6.5);
+  EXPECT_LT(august, 6.5);
+}
+
+TEST(FuelMixModelTest, DeterministicForSeed) {
+  const FuelMixModel a{FuelMixConfig{}};
+  const FuelMixModel b{FuelMixConfig{}};
+  const TimePoint t = util::to_timepoint(CivilDate{2021, 3, 14}, 9.0);
+  EXPECT_DOUBLE_EQ(a.mix_at(t).share(Fuel::kWind), b.mix_at(t).share(Fuel::kWind));
+}
+
+// --- carbon ---------------------------------------------------------------------
+
+TEST(CarbonTest, IntensityOfPureFuels) {
+  const FuelMixModel mix_model;
+  const CarbonIntensityModel model(&mix_model);
+  std::array<double, kFuelCount> coal{};
+  coal[static_cast<std::size_t>(Fuel::kCoal)] = 1.0;
+  EXPECT_NEAR(model.intensity_of(FuelMix::normalized(coal)).kg_per_kwh(), 0.82, 1e-12);
+  std::array<double, kFuelCount> wind{};
+  wind[static_cast<std::size_t>(Fuel::kWind)] = 1.0;
+  EXPECT_NEAR(model.intensity_of(FuelMix::normalized(wind)).kg_per_kwh(), 0.011, 1e-12);
+}
+
+TEST(CarbonTest, GridIntensityInPlausibleBand) {
+  const FuelMixModel mix_model;
+  const CarbonIntensityModel model(&mix_model);
+  for (int m = 1; m <= 12; ++m) {
+    const double kg = model.monthly_average(MonthKey{2020, m}).kg_per_kwh();
+    EXPECT_GT(kg, 0.15) << "month " << m;
+    EXPECT_LT(kg, 0.45) << "month " << m;
+  }
+}
+
+TEST(CarbonTest, GreenerMixMeansLowerIntensity) {
+  const FuelMixModel mix_model;
+  const CarbonIntensityModel model(&mix_model);
+  // April (renewables peak) must be cleaner than August (renewables trough).
+  EXPECT_LT(model.monthly_average(MonthKey{2020, 4}).kg_per_kwh(),
+            model.monthly_average(MonthKey{2020, 8}).kg_per_kwh());
+}
+
+TEST(CarbonTest, NullModelThrows) {
+  EXPECT_THROW(CarbonIntensityModel(nullptr), std::invalid_argument);
+}
+
+// --- price ----------------------------------------------------------------------
+
+TEST(PriceTest, AlwaysAboveFloor) {
+  const FuelMixModel mix;
+  const LmpPriceModel model(PriceConfig{}, &mix);
+  for (int h = 0; h < 24 * 60; h += 5) {
+    const double p = model.price_at(TimePoint::from_seconds(h * 3600.0)).usd_per_mwh();
+    EXPECT_GE(p, model.config().floor_usd_per_mwh);
+  }
+}
+
+TEST(PriceTest, SpringCheaperThanWinter) {
+  const FuelMixModel mix;
+  const LmpPriceModel model(PriceConfig{}, &mix);
+  const double april = model.monthly_average(MonthKey{2020, 4}).usd_per_mwh();
+  const double january = model.monthly_average(MonthKey{2020, 1}).usd_per_mwh();
+  EXPECT_LT(april, january);
+  // Fig. 3 band: spring $20-25, winter up to ~$50.
+  EXPECT_LT(april, 28.0);
+  EXPECT_GT(january, 35.0);
+}
+
+TEST(PriceTest, EveningPeakAboveOvernight) {
+  const LmpPriceModel model;  // no fuel-mix coupling, isolates diurnal shape
+  const TimePoint evening = util::to_timepoint(CivilDate{2020, 5, 6}, 18.0);  // Wednesday
+  const TimePoint night = util::to_timepoint(CivilDate{2020, 5, 6}, 3.0);
+  EXPECT_GT(model.price_at(evening).usd_per_mwh(), model.price_at(night).usd_per_mwh());
+}
+
+TEST(PriceTest, WeekendDiscount) {
+  const LmpPriceModel model;
+  const TimePoint saturday = util::to_timepoint(CivilDate{2020, 5, 9}, 12.0);
+  const TimePoint wednesday = util::to_timepoint(CivilDate{2020, 5, 6}, 12.0);
+  EXPECT_LT(model.price_at(saturday).usd_per_mwh(), model.price_at(wednesday).usd_per_mwh());
+}
+
+TEST(PriceTest, SpikesRaiseTail) {
+  PriceConfig spiky;
+  spiky.spikes_per_year = 400.0;
+  spiky.spike_multiplier = 5.0;
+  const LmpPriceModel model(spiky);
+  const LmpPriceModel calm;  // default ~10 spikes/year
+  double max_spiky = 0.0, max_calm = 0.0;
+  for (int h = 0; h < 24 * 120; ++h) {
+    const TimePoint t = TimePoint::from_seconds(h * 3600.0);
+    max_spiky = std::max(max_spiky, model.price_at(t).usd_per_mwh());
+    max_calm = std::max(max_calm, calm.price_at(t).usd_per_mwh());
+  }
+  EXPECT_GT(max_spiky, max_calm);
+}
+
+TEST(PriceTest, ConfigValidation) {
+  PriceConfig bad;
+  bad.base_usd_per_mwh[3] = -5.0;
+  EXPECT_THROW(LmpPriceModel{bad}, std::invalid_argument);
+  PriceConfig noisy;
+  noisy.noise_amplitude = 1.5;
+  EXPECT_THROW(LmpPriceModel{noisy}, std::invalid_argument);
+}
+
+// --- connection -------------------------------------------------------------------
+
+TEST(ConnectionTest, MetersEnergyCostCarbonWater) {
+  const FuelMixModel mix;
+  const CarbonIntensityModel carbon(&mix);
+  const LmpPriceModel price(PriceConfig{}, &mix);
+  GridConnection conn(&price, &carbon);
+
+  const TimePoint t = util::to_timepoint(CivilDate{2020, 7, 1}, 12.0);
+  const EnergyLedger delta = conn.draw(t, util::kilowatts(300.0), util::hours(2));
+
+  EXPECT_NEAR(delta.energy.kilowatt_hours(), 600.0, 1e-9);
+  EXPECT_NEAR(delta.cost.dollars(),
+              delta.energy.megawatt_hours() * price.price_at(t).usd_per_mwh(), 1e-9);
+  EXPECT_NEAR(delta.carbon.kilograms(), 600.0 * carbon.intensity_at(t).kg_per_kwh(), 1e-9);
+  EXPECT_NEAR(delta.water.liters(), 600.0 * 1.8, 1e-9);
+  EXPECT_NEAR(conn.totals().energy.kilowatt_hours(), 600.0, 1e-9);
+}
+
+TEST(ConnectionTest, MonthlyPowerLedgerMatchesDraws) {
+  const FuelMixModel mix;
+  const CarbonIntensityModel carbon(&mix);
+  const LmpPriceModel price(PriceConfig{}, &mix);
+  GridConnection conn(&price, &carbon);
+
+  const TimePoint start = util::to_timepoint(CivilDate{2020, 2, 1});
+  for (int h = 0; h < 24; ++h)
+    conn.draw(start + util::hours(h), util::kilowatts(250.0), util::hours(1));
+  const auto feb = conn.monthly_power().month(MonthKey{2020, 2});
+  ASSERT_TRUE(feb.has_value());
+  EXPECT_NEAR(feb->time_weighted_mean, 250.0, 1e-9);
+}
+
+TEST(ConnectionTest, RejectsNegativeInput) {
+  const FuelMixModel mix;
+  const CarbonIntensityModel carbon(&mix);
+  const LmpPriceModel price(PriceConfig{}, &mix);
+  GridConnection conn(&price, &carbon);
+  EXPECT_THROW(conn.draw(TimePoint::from_seconds(0), util::watts(-1.0), util::hours(1)),
+               std::invalid_argument);
+}
+
+// --- battery -----------------------------------------------------------------------
+
+TEST(BatteryTest, ChargeRespectsCapacityAndLosses) {
+  BatteryConfig config;
+  config.capacity = util::kilowatt_hours(100.0);
+  config.max_charge = util::kilowatts(50.0);
+  config.charge_efficiency = 0.9;
+  config.initial_soc_fraction = 0.0;
+  BatteryStorage battery(config);
+
+  // 50 kW for 1 h -> 50 kWh from grid, 45 kWh stored.
+  const util::Energy from_grid = battery.charge(util::kilowatts(50.0), util::hours(1));
+  EXPECT_NEAR(from_grid.kilowatt_hours(), 50.0, 1e-9);
+  EXPECT_NEAR(battery.state_of_charge().kilowatt_hours(), 45.0, 1e-9);
+}
+
+TEST(BatteryTest, ChargeIsRateLimited) {
+  BatteryConfig config;
+  config.capacity = util::kilowatt_hours(1000.0);
+  config.max_charge = util::kilowatts(10.0);
+  config.initial_soc_fraction = 0.0;
+  BatteryStorage battery(config);
+  const util::Energy from_grid = battery.charge(util::kilowatts(100.0), util::hours(1));
+  EXPECT_NEAR(from_grid.kilowatt_hours(), 10.0, 1e-9);
+}
+
+TEST(BatteryTest, ChargeStopsAtFull) {
+  BatteryConfig config;
+  config.capacity = util::kilowatt_hours(10.0);
+  config.max_charge = util::kilowatts(100.0);
+  config.charge_efficiency = 1.0;
+  config.initial_soc_fraction = 0.5;
+  BatteryStorage battery(config);
+  const util::Energy from_grid = battery.charge(util::kilowatts(100.0), util::hours(1));
+  EXPECT_NEAR(from_grid.kilowatt_hours(), 5.0, 1e-9);  // only headroom fits
+  EXPECT_NEAR(battery.soc_fraction(), 1.0, 1e-9);
+}
+
+TEST(BatteryTest, DischargeRespectsSocAndLosses) {
+  BatteryConfig config;
+  config.capacity = util::kilowatt_hours(100.0);
+  config.max_discharge = util::kilowatts(100.0);
+  config.discharge_efficiency = 0.9;
+  config.initial_soc_fraction = 0.1;  // 10 kWh in the cells
+  BatteryStorage battery(config);
+  const util::Energy delivered = battery.discharge(util::kilowatts(100.0), util::hours(1));
+  EXPECT_NEAR(delivered.kilowatt_hours(), 9.0, 1e-9);  // 10 kWh cells * 0.9
+  EXPECT_NEAR(battery.state_of_charge().kilowatt_hours(), 0.0, 1e-9);
+}
+
+TEST(BatteryTest, EnergyConservationOverCycles) {
+  BatteryConfig config;
+  config.capacity = util::kilowatt_hours(50.0);
+  config.initial_soc_fraction = 0.5;
+  BatteryStorage battery(config);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    battery.charge(util::kilowatts(40.0), util::hours(0.5));
+    battery.discharge(util::kilowatts(40.0), util::hours(0.5));
+  }
+  // grid_in + initial == delivered + losses + final SoC.
+  const double lhs = battery.total_grid_energy_in().kilowatt_hours() + 25.0;
+  const double rhs = battery.total_delivered_out().kilowatt_hours() +
+                     battery.total_losses().kilowatt_hours() +
+                     battery.state_of_charge().kilowatt_hours();
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+  EXPECT_GT(battery.total_losses().kilowatt_hours(), 0.0);
+  EXPECT_GT(battery.equivalent_cycles(), 0.0);
+}
+
+TEST(BatteryTest, ThresholdPolicyLogic) {
+  const ThresholdArbitragePolicy policy;
+  MarketView view;
+  view.price = util::usd_per_mwh(20.0);  // below charge_below (25)
+  view.soc_fraction = 0.5;
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kCharge);
+  view.price = util::usd_per_mwh(50.0);  // above discharge_above (40)
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kDischarge);
+  view.price = util::usd_per_mwh(30.0);  // between thresholds
+  view.renewable_share = 0.02;
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kIdle);
+  view.renewable_share = 0.12;  // green surge triggers charge
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kCharge);
+}
+
+TEST(BatteryTest, ThresholdPolicyRespectsSocLimits) {
+  const ThresholdArbitragePolicy policy;
+  MarketView view;
+  view.price = util::usd_per_mwh(20.0);
+  view.soc_fraction = 1.0;  // full: cannot charge
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kIdle);
+  view.price = util::usd_per_mwh(50.0);
+  view.soc_fraction = 0.0;  // empty: cannot discharge
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kIdle);
+}
+
+TEST(BatteryTest, ForecastPolicyUsesQuantiles) {
+  // Forecast: prices 10..33 over the next 24 h.
+  auto forecast = [](TimePoint) {
+    std::vector<double> out;
+    for (int h = 0; h < 24; ++h) out.push_back(10.0 + h);
+    return out;
+  };
+  const ForecastArbitragePolicy policy{forecast};
+  MarketView view;
+  view.soc_fraction = 0.5;
+  view.price = util::usd_per_mwh(11.0);  // bottom quartile
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kCharge);
+  view.price = util::usd_per_mwh(32.0);  // top quartile
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kDischarge);
+  view.price = util::usd_per_mwh(20.0);  // middle
+  EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kIdle);
+}
+
+TEST(BatteryTest, ConfigValidation) {
+  BatteryConfig bad;
+  bad.charge_efficiency = 1.5;
+  EXPECT_THROW(BatteryStorage{bad}, std::invalid_argument);
+  bad = BatteryConfig{};
+  bad.capacity = util::kilowatt_hours(0.0);
+  EXPECT_THROW(BatteryStorage{bad}, std::invalid_argument);
+}
+
+// --- purchase planner ------------------------------------------------------------
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  PlannerFixture() : carbon_(&mix_), price_(PriceConfig{}, &mix_), planner_(&price_, &carbon_, &mix_) {}
+
+  FuelMixModel mix_;
+  CarbonIntensityModel carbon_;
+  LmpPriceModel price_;
+  PurchasePlanner planner_;
+};
+
+TEST_F(PlannerFixture, BaselinePreservesDemand) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  ASSERT_EQ(baseline.size(), 12u);
+  for (const MonthPlan& m : baseline) {
+    EXPECT_DOUBLE_EQ(m.purchased.megawatt_hours(), 100.0);
+    EXPECT_GT(m.price.usd_per_mwh(), 0.0);
+    EXPECT_GT(m.renewable_pct, 0.0);
+  }
+}
+
+TEST_F(PlannerFixture, LoadShiftConservesTotalEnergy) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  const PlanSummary plan = planner_.plan_load_shift(baseline, 0.3, 2, 0.25);
+  double total = 0.0;
+  for (const MonthPlan& m : plan.months) total += m.purchased.megawatt_hours();
+  EXPECT_NEAR(total, 1200.0, 1e-6);
+}
+
+TEST_F(PlannerFixture, LoadShiftReducesCarbon) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  const PlanSummary plan = planner_.plan_load_shift(baseline, 0.3, 2, 0.25);
+  EXPECT_GT(plan.carbon_saving_pct(), 0.0);
+  EXPECT_LE(plan.planned_carbon.kilograms(), plan.baseline_carbon.kilograms());
+}
+
+TEST_F(PlannerFixture, ZeroDeferrableMeansNoChange) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  const PlanSummary plan = planner_.plan_load_shift(baseline, 0.0, 2, 0.25);
+  EXPECT_DOUBLE_EQ(plan.carbon_saving_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(plan.cost_saving_pct(), 0.0);
+}
+
+TEST_F(PlannerFixture, ShiftWindowLimitsMovement) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  const PlanSummary narrow = planner_.plan_load_shift(baseline, 0.3, 1, 0.25);
+  const PlanSummary wide = planner_.plan_load_shift(baseline, 0.3, 4, 0.25);
+  EXPECT_GE(wide.carbon_saving_pct(), narrow.carbon_saving_pct() - 1e-9);
+}
+
+TEST_F(PlannerFixture, StorageOnlyBanksWhenLossesAreWorthIt) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  // At 50% round-trip no month pair on this grid justifies banking.
+  const PlanSummary lossy = planner_.plan_storage(baseline, util::megawatt_hours(50.0), 3, 0.5);
+  EXPECT_DOUBLE_EQ(lossy.carbon_saving_pct(), 0.0);
+  // At 98% some do, and carbon cannot get worse.
+  const PlanSummary good = planner_.plan_storage(baseline, util::megawatt_hours(50.0), 3, 0.98);
+  EXPECT_GE(good.carbon_saving_pct(), 0.0);
+}
+
+TEST_F(PlannerFixture, StorageServesDemandExactly) {
+  const std::vector<util::Energy> demand(6, util::megawatt_hours(80.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 3}, demand);
+  const PlanSummary plan = planner_.plan_storage(baseline, util::megawatt_hours(30.0), 3, 0.95);
+  // Delivered + direct purchases must cover demand in every month.
+  for (const MonthPlan& m : plan.months) {
+    EXPECT_NEAR((m.purchased - m.stored + m.discharged).megawatt_hours(),
+                m.baseline_demand.megawatt_hours(), 1e-6);
+  }
+}
+
+TEST_F(PlannerFixture, InputValidation) {
+  const std::vector<util::Energy> demand(12, util::megawatt_hours(100.0));
+  const auto baseline = planner_.make_baseline(MonthKey{2021, 1}, demand);
+  EXPECT_THROW((void)planner_.plan_load_shift(baseline, 1.5, 2, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)planner_.plan_load_shift(baseline, 0.3, -1, 0.2), std::invalid_argument);
+  EXPECT_THROW((void)planner_.plan_storage(baseline, util::megawatt_hours(10.0), 2, 0.0),
+               std::invalid_argument);
+}
+
+// --- wind farm --------------------------------------------------------------------
+
+TEST(WindFarmTest, PowerCurveRegions) {
+  const TurbineSpec spec;
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 0.0).watts(), 0.0);
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 2.9).watts(), 0.0);   // below cut-in
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 12.0).megawatts(), 2.5);  // rated
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 20.0).megawatts(), 2.5);  // still rated
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 25.0).watts(), 0.0);  // cut-out
+  EXPECT_DOUBLE_EQ(turbine_power(spec, 30.0).watts(), 0.0);
+}
+
+TEST(WindFarmTest, PowerCurveMonotoneInRampRegion) {
+  const TurbineSpec spec;
+  double prev = 0.0;
+  for (double v = 3.0; v <= 12.0; v += 0.25) {
+    const double p = turbine_power(spec, v).watts();
+    EXPECT_GE(p, prev) << "wind " << v;
+    prev = p;
+  }
+}
+
+TEST(WindFarmTest, CubicRampMidpoint) {
+  const TurbineSpec spec;
+  // At v where v^3 is halfway between cut-in^3 and rated^3, power is half
+  // of rated.
+  const double v = std::cbrt((std::pow(3.0, 3) + std::pow(12.0, 3)) / 2.0);
+  EXPECT_NEAR(turbine_power(spec, v).megawatts(), 1.25, 1e-9);
+}
+
+TEST(WindFarmTest, OutputBoundedByCapacity) {
+  const WindFarm farm;
+  for (int h = 0; h < 24 * 90; h += 5) {
+    const util::Power out = farm.output_at(TimePoint::from_seconds(h * 3600.0));
+    EXPECT_GE(out.watts(), 0.0);
+    EXPECT_LE(out.watts(), farm.capacity().watts());
+  }
+}
+
+TEST(WindFarmTest, CapacityFactorRealistic) {
+  // Onshore farms run ~20-40% capacity factor.
+  const WindFarm farm;
+  const double cf = farm.capacity_factor(util::to_timepoint(CivilDate{2021, 1, 1}),
+                                         util::to_timepoint(CivilDate{2021, 4, 1}));
+  EXPECT_GT(cf, 0.15);
+  EXPECT_LT(cf, 0.55);
+}
+
+TEST(WindFarmTest, WinterWindierThanSummer) {
+  const WindFarm farm;
+  const double jan = farm.capacity_factor(util::to_timepoint(CivilDate{2021, 1, 1}),
+                                          util::to_timepoint(CivilDate{2021, 2, 1}));
+  const double jul = farm.capacity_factor(util::to_timepoint(CivilDate{2021, 7, 1}),
+                                          util::to_timepoint(CivilDate{2021, 8, 1}));
+  EXPECT_GT(jan, jul);
+}
+
+TEST(WindFarmTest, HourlySeriesMatchesPointQueries) {
+  const WindFarm farm;
+  const TimePoint start = util::to_timepoint(CivilDate{2021, 3, 1});
+  const auto series = farm.hourly_output_mw(start, 48);
+  ASSERT_EQ(series.size(), 48u);
+  EXPECT_DOUBLE_EQ(series[7], farm.output_at(start + util::hours(7)).megawatts());
+}
+
+TEST(WindFarmTest, Validation) {
+  TurbineSpec bad;
+  bad.rated_ms = 2.0;  // below cut-in
+  EXPECT_THROW((void)turbine_power(bad, 5.0), std::invalid_argument);
+  WindFarmConfig config;
+  config.availability = 0.0;
+  EXPECT_THROW(WindFarm{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::grid

@@ -1,0 +1,252 @@
+// Integration tests: cross-module behaviour of the full digital twin, and
+// the experiment-index shapes from DESIGN.md asserted on (shortened)
+// simulation windows. The full windows run in bench/.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "sched/carbon_aware.hpp"
+#include "stats/correlation.hpp"
+#include "stats/regression.hpp"
+#include "telemetry/report.hpp"
+#include "workload/conferences.hpp"
+#include "workload/training_model.hpp"
+
+namespace greenhpc {
+namespace {
+
+using util::CivilDate;
+using util::MonthKey;
+using util::TimePoint;
+
+/// One simulated 2020 on the reference twin (shared across tests; ~1 s).
+class ReferenceYear : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dc_ = core::make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 42)
+              .release();
+    dc_->run_until(util::to_timepoint(CivilDate{2021, 1, 1}));
+  }
+  static void TearDownTestSuite() {
+    delete dc_;
+    dc_ = nullptr;
+  }
+  static core::Datacenter* dc_;
+};
+
+core::Datacenter* ReferenceYear::dc_ = nullptr;
+
+TEST_F(ReferenceYear, PowerBandMatchesFig2Calibration) {
+  for (const auto& m : dc_->monthly_power().monthly()) {
+    EXPECT_GT(m.time_weighted_mean, 200.0) << m.month.label();
+    EXPECT_LT(m.time_weighted_mean, 450.0) << m.month.label();
+  }
+}
+
+TEST_F(ReferenceYear, Fig2PowerAnticorrelatedWithRenewables) {
+  const auto power = dc_->monthly_power().means();
+  std::vector<double> renew;
+  for (const MonthKey& m : dc_->monthly_power().months())
+    renew.push_back(dc_->fuel_mix().monthly_renewable_pct(m));
+  EXPECT_LT(stats::pearson(power, renew), -0.2);
+}
+
+TEST_F(ReferenceYear, Fig4PowerTracksTemperature) {
+  const auto power = dc_->monthly_power().means();
+  std::vector<double> temp;
+  for (const MonthKey& m : dc_->monthly_power().months())
+    temp.push_back(dc_->weather().monthly_average(m).fahrenheit());
+  EXPECT_GT(stats::spearman(temp, power), 0.75);
+  EXPECT_GT(stats::linear_fit(temp, power).slope, 0.0);
+}
+
+TEST_F(ReferenceYear, SummerPowerExceedsWinter) {
+  const auto monthly = dc_->monthly_power().monthly();
+  double summer = 0.0, winter = 0.0;
+  for (const auto& m : monthly) {
+    if (m.month.month == 7 || m.month.month == 8) summer += m.time_weighted_mean / 2.0;
+    if (m.month.month == 1 || m.month.month == 2) winter += m.time_weighted_mean / 2.0;
+  }
+  EXPECT_GT(summer, winter * 1.1);
+}
+
+TEST_F(ReferenceYear, UtilizationInOperatingBand) {
+  const core::RunSummary s = dc_->summary();
+  EXPECT_GT(s.mean_utilization, 0.4);
+  EXPECT_LT(s.mean_utilization, 0.95);
+}
+
+TEST_F(ReferenceYear, PueSeasonallyPlausible) {
+  const auto pue = dc_->monthly_pue().monthly();
+  double january = 0.0, july = 0.0;
+  for (const auto& m : pue) {
+    if (m.month.month == 1) january = m.time_weighted_mean;
+    if (m.month.month == 7) july = m.time_weighted_mean;
+  }
+  EXPECT_GT(january, 1.1);
+  EXPECT_LT(january, 1.3);
+  EXPECT_GT(july, january + 0.1);
+  EXPECT_LT(july, 1.8);
+}
+
+TEST_F(ReferenceYear, JobAccountingCloses) {
+  const core::RunSummary s = dc_->summary();
+  const auto running = dc_->jobs().in_state(cluster::JobState::kRunning).size();
+  const auto cancelled = dc_->jobs().in_state(cluster::JobState::kCancelled).size();
+  EXPECT_EQ(s.jobs_submitted, s.jobs_completed + s.jobs_pending + running + cancelled);
+  EXPECT_GT(s.jobs_completed, 50000u);  // a year of ~12 jobs/h modulated
+  EXPECT_EQ(cancelled, 0u);
+}
+
+TEST_F(ReferenceYear, PerJobLedgersSumBelowFacilityMeter) {
+  const double job_kwh = dc_->accountant().totals().energy.kilowatt_hours();
+  const double meter_kwh = dc_->grid_meter().totals().energy.kilowatt_hours();
+  EXPECT_GT(job_kwh, 0.2 * meter_kwh);  // GPUs carry a real share
+  EXPECT_LT(job_kwh, meter_kwh);        // but never exceed the meter
+}
+
+TEST_F(ReferenceYear, ReportCardGeneratesForBusiestUser) {
+  const auto users = dc_->accountant().by_user();
+  ASSERT_FALSE(users.empty());
+  const telemetry::ReportCard card(&dc_->accountant());
+  const std::string board = card.user_leaderboard(3);
+  EXPECT_NE(board.find(std::to_string(users[0].user)), std::string::npos);
+  const std::string summary = card.cluster_summary();
+  EXPECT_NE(summary.find("training"), std::string::npos);
+}
+
+TEST_F(ReferenceYear, MonthlySubmissionsTrackDeadlineSeason) {
+  // March-June (pre-NeurIPS/EMNLP season) must out-submit October-December.
+  const auto subs = dc_->monthly_submissions().monthly();
+  double spring = 0.0, autumn = 0.0;
+  for (const auto& m : subs) {
+    if (m.month.month >= 3 && m.month.month <= 6) spring += static_cast<double>(m.samples);
+    if (m.month.month >= 10) autumn += static_cast<double>(m.samples);
+  }
+  EXPECT_GT(spring / 4.0, autumn / 3.0);
+}
+
+// --- cross-module shapes on short windows -------------------------------------------
+
+TEST(Shapes, PowerCapSavesEnergyPerWork) {
+  // Two identical weeks, one capped at the 3%-slowdown optimum.
+  auto run_with_cap = [](double cap_w) {
+    class Fixed final : public sched::Scheduler {
+     public:
+      explicit Fixed(double w) : w_(w) {}
+      const char* name() const override { return "fixed"; }
+      std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+        return inner_.select(ctx);
+      }
+      util::Power choose_cap(const sched::SchedulerContext&) override { return util::watts(w_); }
+
+     private:
+      double w_;
+      sched::EasyBackfillScheduler inner_;
+    };
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, std::make_unique<Fixed>(cap_w));
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(TimePoint::from_seconds(10.0 * 86400.0));
+    const core::RunSummary s = dc.summary();
+    return s.grid_totals.energy.kilowatt_hours() / s.completed_gpu_hours;
+  };
+  const double uncapped = run_with_cap(250.0);
+  const double capped = run_with_cap(200.0);
+  EXPECT_LT(capped, uncapped);
+}
+
+TEST(Shapes, CarbonAwareLowersFlexibleJobIntensity) {
+  auto run_policy = [](core::PolicyKind policy) {
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, core::make_scheduler(policy));
+    workload::ArrivalConfig arrivals;
+    arrivals.base_rate_per_hour = 9.0;
+    dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+    dc.run_until(TimePoint::from_seconds(21.0 * 86400.0));
+    double intensity = 0.0;
+    std::size_t n = 0;
+    for (const telemetry::JobFootprint& fp : dc.accountant().all_jobs()) {
+      const cluster::Job& job = dc.jobs().get(fp.job);
+      if (!job.request().flexible || job.state() != cluster::JobState::kCompleted) continue;
+      intensity += fp.carbon.kilograms() / fp.facility_energy.kilowatt_hours();
+      ++n;
+    }
+    return intensity / static_cast<double>(n);
+  };
+  EXPECT_LT(run_policy(core::PolicyKind::kCarbonAware), run_policy(core::PolicyKind::kFcfs));
+}
+
+TEST(Shapes, BackfillShortensWaitsVsFcfs) {
+  auto run_policy = [](core::PolicyKind policy) {
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, core::make_scheduler(policy));
+    workload::ArrivalConfig arrivals;
+    arrivals.base_rate_per_hour = 17.0;  // push into contention
+    dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+    dc.run_until(TimePoint::from_seconds(14.0 * 86400.0));
+    return dc.summary().mean_queue_wait_hours;
+  };
+  EXPECT_LE(run_policy(core::PolicyKind::kBackfill), run_policy(core::PolicyKind::kFcfs));
+}
+
+TEST(Shapes, Fig1ModernEraIsDramaticallyFaster) {
+  const workload::ComputeTrendModel trend;
+  EXPECT_GT(trend.first_era().doubling_time / trend.modern_era().doubling_time, 4.0);
+}
+
+TEST(Shapes, Fig3SpringPricesLowWhenGreen) {
+  const grid::FuelMixModel mix;
+  const grid::LmpPriceModel prices(grid::PriceConfig{}, &mix);
+  std::vector<double> lmp, renew;
+  for (int m = 1; m <= 12; ++m) {
+    lmp.push_back(prices.monthly_average(MonthKey{2021, m}).usd_per_mwh());
+    renew.push_back(mix.monthly_renewable_pct(MonthKey{2021, m}));
+  }
+  EXPECT_LT(stats::pearson(lmp, renew), -0.3);
+}
+
+TEST(Shapes, EqOneOptimizationOnRealTwin) {
+  // A small real Eq. 1 instance: minimize metered energy over caps subject
+  // to completed GPU-hours >= alpha, on 4-day windows.
+  auto evaluate = [](const core::ControlVector& cv) {
+    class Fixed final : public sched::Scheduler {
+     public:
+      explicit Fixed(util::Power cap) : cap_(cap) {}
+      const char* name() const override { return "fixed"; }
+      std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+        return inner_.select(ctx);
+      }
+      util::Power choose_cap(const sched::SchedulerContext&) override { return cap_; }
+
+     private:
+      util::Power cap_;
+      sched::EasyBackfillScheduler inner_;
+    };
+    core::DatacenterConfig config;
+    core::Datacenter dc(config, std::make_unique<Fixed>(cv.power_cap));
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(TimePoint::from_seconds(4.0 * 86400.0));
+    core::Evaluation e;
+    e.controls = cv;
+    e.energy = dc.summary().grid_totals.energy.kilowatt_hours();
+    e.activity = dc.summary().completed_gpu_hours;
+    return e;
+  };
+  std::vector<core::ControlVector> candidates;
+  for (double w : {250.0, 200.0, 150.0}) {
+    core::ControlVector cv;
+    cv.power_cap = util::watts(w);
+    candidates.push_back(cv);
+  }
+  // Loose activity floor: all feasible; the tightest cap must win on energy.
+  const core::OptimizationResult result = core::grid_search(evaluate, candidates, 1000.0, true);
+  EXPECT_TRUE(result.found_feasible);
+  EXPECT_DOUBLE_EQ(result.best.controls.power_cap.watts(), 150.0);
+}
+
+}  // namespace
+}  // namespace greenhpc

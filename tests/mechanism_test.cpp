@@ -1,0 +1,183 @@
+// Unit tests for greenhpc::mechanism — queue self-selection and the
+// two-part (cap-for-GPUs) mechanism.
+
+#include <gtest/gtest.h>
+
+#include "mechanism/queues.hpp"
+#include "mechanism/two_part.hpp"
+
+namespace greenhpc::mechanism {
+namespace {
+
+workload::UserPopulation make_population(std::size_t n = 300, double strategic = 0.3,
+                                         std::uint64_t seed = 11) {
+  util::Rng rng(seed);
+  workload::PopulationConfig config;
+  config.user_count = n;
+  config.strategic_fraction = strategic;
+  return workload::UserPopulation::generate(config, rng);
+}
+
+std::vector<QueueSpec> standard_queues() {
+  return {{"fast", util::watts(250.0), 0.4, 0.0},
+          {"standard", util::watts(205.0), 0.35, 0.5},
+          {"green", util::watts(165.0), 0.25, 1.0}};
+}
+
+// --- queue choice -------------------------------------------------------------------
+
+TEST(Queues, ConstructionValidatesShares) {
+  auto queues = standard_queues();
+  queues[0].resource_share = 0.9;  // shares no longer sum to 1
+  EXPECT_THROW(QueueChoiceSimulator(queues, power::GpuPowerModel{}), std::invalid_argument);
+  EXPECT_THROW(QueueChoiceSimulator({standard_queues()[0]}, power::GpuPowerModel{}),
+               std::invalid_argument);
+}
+
+TEST(Queues, EquilibriumLoadsFormDistribution) {
+  const QueueChoiceSimulator sim(standard_queues(), power::GpuPowerModel{});
+  util::Rng rng(5);
+  const SelectionResult result = sim.equilibrium(make_population(), rng);
+  double total = 0.0;
+  for (const QueueOutcome& q : result.queues) {
+    EXPECT_GE(q.load_share, 0.0);
+    total += q.load_share;
+    EXPECT_GE(q.expected_wait, 0.0);
+  }
+  EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST(Queues, DeterministicForSameInputs) {
+  const QueueChoiceSimulator sim(standard_queues(), power::GpuPowerModel{});
+  const auto pop = make_population();
+  util::Rng r1(5), r2(5);
+  const SelectionResult a = sim.equilibrium(pop, r1);
+  const SelectionResult b = sim.equilibrium(pop, r2);
+  for (std::size_t q = 0; q < a.queues.size(); ++q)
+    EXPECT_DOUBLE_EQ(a.queues[q].load_share, b.queues[q].load_share);
+}
+
+TEST(Queues, StrategicPopulationClogsFastQueue) {
+  // The paper's adverse selection: strategic users pick the fastest queue,
+  // raising its utilization and the fleet's energy per work.
+  const QueueChoiceSimulator sim(standard_queues(), power::GpuPowerModel{});
+  const auto pop = make_population(400, 0.35, 7);
+  util::Rng rng(5);
+  const SelectionResult honest = sim.equilibrium(pop, rng, /*honesty_override=*/1.0);
+  const SelectionResult strategic = sim.equilibrium(pop, rng, /*honesty_override=*/0.0);
+  EXPECT_GT(strategic.fast_queue_utilization, honest.fast_queue_utilization);
+  EXPECT_GT(strategic.energy_per_work, honest.energy_per_work);
+}
+
+TEST(Queues, GreenScoreRaisesDemandPressureOnGreenQueue) {
+  // Raising the green queue's advertised score pulls truthful demand toward
+  // it. At equilibrium congestion pushes back, so the robust observable is
+  // the queue's wait (demand pressure), not its clamped load share.
+  auto low = standard_queues();
+  low[2].green_score = 0.0;
+  auto high = standard_queues();
+  high[2].green_score = 1.0;
+  const QueueChoiceSimulator sim_low(low, power::GpuPowerModel{});
+  const QueueChoiceSimulator sim_high(high, power::GpuPowerModel{});
+  const auto pop = make_population();
+  util::Rng rng(5);
+  const double wait_low = sim_low.equilibrium(pop, rng, 1.0).queues[2].expected_wait;
+  const double wait_high = sim_high.equilibrium(pop, rng, 1.0).queues[2].expected_wait;
+  EXPECT_GT(wait_high, wait_low);
+}
+
+TEST(Queues, EnergyPerWorkReflectsCapMix) {
+  const QueueChoiceSimulator sim(standard_queues(), power::GpuPowerModel{});
+  util::Rng rng(5);
+  const SelectionResult result = sim.equilibrium(make_population(), rng, 1.0);
+  // Bounded by the best and worst queue energy ratios.
+  const power::GpuPowerModel model;
+  EXPECT_LE(result.energy_per_work, 1.0 + 1e-9);
+  EXPECT_GE(result.energy_per_work, model.relative_energy_per_work(util::watts(165.0)) - 1e-9);
+}
+
+// --- two-part mechanism ----------------------------------------------------------------
+
+TEST(TwoPart, DefaultMenuIsIncentiveCompatible) {
+  const power::GpuPowerModel model;
+  const util::Power base = model.optimal_cap(0.03);
+  const auto menu = TwoPartMechanism::default_menu(model, base);
+  ASSERT_EQ(menu.size(), 3u);
+  for (const CapOption& opt : menu) {
+    EXPECT_LT(opt.cap.watts(), base.watts());
+    // Accepting a deal must not slow the user down.
+    const double speedup = opt.gpu_multiplier * model.throughput_factor(opt.cap) /
+                           model.throughput_factor(base);
+    EXPECT_GE(speedup, 1.0);
+    // And must strictly cut energy per unit of work.
+    EXPECT_LT(model.relative_energy_per_work(opt.cap), model.relative_energy_per_work(base));
+  }
+}
+
+TEST(TwoPart, OutcomeBundleConsistency) {
+  const power::GpuPowerModel model;
+  const util::Power base = model.optimal_cap(0.03);
+  const TwoPartMechanism mech(model, base, TwoPartMechanism::default_menu(model, base), 0.25);
+  util::Rng rng(13);
+  const MechanismOutcome out = mech.run(make_population(), rng);
+  EXPECT_EQ(out.deals.size(), 300u);
+  EXPECT_GE(out.participation_rate, 0.0);
+  EXPECT_LE(out.participation_rate, 1.0);
+  EXPECT_LE(out.headroom_used, 1.0 + 1e-9);
+  EXPECT_GE(out.mean_speedup, 1.0);          // deals never slow users down
+  EXPECT_LE(out.energy_vs_base, 1.0 + 1e-9);  // deals never raise energy
+  EXPECT_LT(out.energy_vs_uncapped, 1.0);     // the fixed component alone wins
+}
+
+TEST(TwoPart, ZeroHeadroomMeansNoDeals) {
+  const power::GpuPowerModel model;
+  const util::Power base = model.optimal_cap(0.03);
+  const TwoPartMechanism mech(model, base, TwoPartMechanism::default_menu(model, base), 0.0);
+  util::Rng rng(13);
+  const MechanismOutcome out = mech.run(make_population(), rng);
+  EXPECT_DOUBLE_EQ(out.participation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(out.energy_vs_base, 1.0);
+}
+
+TEST(TwoPart, MoreHeadroomMoreParticipation) {
+  const power::GpuPowerModel model;
+  const util::Power base = model.optimal_cap(0.03);
+  const auto menu = TwoPartMechanism::default_menu(model, base);
+  util::Rng r1(13), r2(13);
+  const MechanismOutcome small = TwoPartMechanism(model, base, menu, 0.05).run(make_population(), r1);
+  const MechanismOutcome large = TwoPartMechanism(model, base, menu, 0.5).run(make_population(), r2);
+  EXPECT_GE(large.participation_rate, small.participation_rate);
+  EXPECT_LE(large.energy_vs_base, small.energy_vs_base + 1e-9);
+}
+
+TEST(TwoPart, HeadroomIsNeverExceeded) {
+  const power::GpuPowerModel model;
+  const util::Power base = model.optimal_cap(0.03);
+  const auto menu = TwoPartMechanism::default_menu(model, base);
+  const double headroom_fraction = 0.1;
+  const TwoPartMechanism mech(model, base, menu, headroom_fraction);
+  util::Rng rng(17);
+  const auto pop = make_population(500);
+  const MechanismOutcome out = mech.run(pop, rng);
+  double spent = 0.0;
+  for (const DealTaken& deal : out.deals) {
+    if (deal.option >= 0)
+      spent += menu[static_cast<std::size_t>(deal.option)].gpu_multiplier - 1.0;
+  }
+  EXPECT_LE(spent, headroom_fraction * 500.0 + 1e-9);
+}
+
+TEST(TwoPart, Validation) {
+  const power::GpuPowerModel model;
+  // Menu cap above base cap is invalid.
+  EXPECT_THROW(TwoPartMechanism(model, util::watts(200.0),
+                                {{util::watts(210.0), 1.2}}, 0.2),
+               std::invalid_argument);
+  // Multiplier below 1 is invalid.
+  EXPECT_THROW(TwoPartMechanism(model, util::watts(200.0),
+                                {{util::watts(150.0), 0.9}}, 0.2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::mechanism

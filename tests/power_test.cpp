@@ -1,0 +1,254 @@
+// Unit tests for greenhpc::power — GPU power model, meter, NVML facade, DVFS.
+
+#include <gtest/gtest.h>
+
+#include "power/dvfs.hpp"
+#include "power/gpu_power.hpp"
+#include "power/nvml_sim.hpp"
+#include "power/power_meter.hpp"
+
+namespace greenhpc::power {
+namespace {
+
+using util::TimePoint;
+
+// --- GpuPowerModel --------------------------------------------------------------
+
+TEST(GpuPower, NoSlowdownAboveNaturalDraw) {
+  const GpuPowerModel model;
+  EXPECT_DOUBLE_EQ(model.throughput_factor(util::watts(250.0)), 1.0);
+  EXPECT_DOUBLE_EQ(model.throughput_factor(util::watts(230.0)), 1.0);
+  EXPECT_DOUBLE_EQ(model.active_power(util::watts(250.0)).watts(), 230.0);
+}
+
+TEST(GpuPower, FreyEtAlCalibration) {
+  // The paper's mechanism rests on: ~10% energy saved at a 200 W cap with
+  // a small (<5%) slowdown on a V100-class device.
+  const GpuPowerModel model;
+  const double slowdown = 1.0 - model.throughput_factor(util::watts(200.0));
+  const double saving = 1.0 - model.relative_energy_per_work(util::watts(200.0));
+  EXPECT_GT(slowdown, 0.0);
+  EXPECT_LT(slowdown, 0.05);
+  EXPECT_GT(saving, 0.07);
+  EXPECT_LT(saving, 0.15);
+}
+
+TEST(GpuPower, ThroughputMonotoneInCap) {
+  const GpuPowerModel model;
+  double prev = 0.0;
+  for (double w = 100.0; w <= 250.0; w += 5.0) {
+    const double tput = model.throughput_factor(util::watts(w));
+    EXPECT_GE(tput, prev) << "cap " << w;
+    EXPECT_GT(tput, 0.0);
+    EXPECT_LE(tput, 1.0);
+    prev = tput;
+  }
+}
+
+TEST(GpuPower, EnergyPerWorkNeverAboveUncappedInRange) {
+  // Within the settable range the slowdown penalty never overtakes the power
+  // saving for this calibration (energy/work is monotone decreasing in
+  // tightening until the floor).
+  const GpuPowerModel model;
+  for (double w = 100.0; w <= 250.0; w += 5.0) {
+    EXPECT_LE(model.relative_energy_per_work(util::watts(w)), 1.0 + 1e-12) << "cap " << w;
+  }
+}
+
+TEST(GpuPower, PowerAtUtilizationInterpolates) {
+  const GpuPowerModel model;
+  const util::Power idle = model.power_at_utilization(util::watts(250.0), 0.0);
+  const util::Power busy = model.power_at_utilization(util::watts(250.0), 1.0);
+  const util::Power half = model.power_at_utilization(util::watts(250.0), 0.5);
+  EXPECT_DOUBLE_EQ(idle.watts(), 50.0);
+  EXPECT_DOUBLE_EQ(busy.watts(), 230.0);
+  EXPECT_DOUBLE_EQ(half.watts(), 140.0);
+}
+
+TEST(GpuPower, OptimalCapRespectsSlowdownBudget) {
+  const GpuPowerModel model;
+  for (double budget : {0.0, 0.01, 0.03, 0.05, 0.10, 0.20}) {
+    const util::Power cap = model.optimal_cap(budget);
+    EXPECT_LE(1.0 - model.throughput_factor(cap), budget + 1e-9) << "budget " << budget;
+  }
+  // Bigger budgets permit equal-or-stricter caps.
+  EXPECT_LE(model.optimal_cap(0.10).watts(), model.optimal_cap(0.03).watts());
+}
+
+TEST(GpuPower, CapOutsideRangeThrows) {
+  const GpuPowerModel model;
+  EXPECT_THROW((void)model.throughput_factor(util::watts(90.0)), std::invalid_argument);
+  EXPECT_THROW((void)model.active_power(util::watts(260.0)), std::invalid_argument);
+}
+
+TEST(GpuPower, SpecValidation) {
+  GpuSpec bad;
+  bad.idle = util::watts(240.0);  // above natural draw
+  EXPECT_THROW(GpuPowerModel{bad}, std::invalid_argument);
+  bad = GpuSpec{};
+  bad.natural_draw = util::watts(260.0);  // above TDP
+  EXPECT_THROW(GpuPowerModel{bad}, std::invalid_argument);
+}
+
+// --- PowerMeter ---------------------------------------------------------------------
+
+TEST(Meter, PiecewiseConstantIntegration) {
+  PowerMeter meter;
+  meter.record(TimePoint::from_seconds(0), util::hours(2), util::kilowatts(3.0));
+  meter.record(TimePoint::from_seconds(7200), util::hours(1), util::kilowatts(6.0));
+  EXPECT_NEAR(meter.energy().kilowatt_hours(), 12.0, 1e-9);
+  EXPECT_NEAR(meter.average_power().kilowatts(), 4.0, 1e-9);
+  EXPECT_NEAR(meter.peak_power().kilowatts(), 6.0, 1e-9);
+}
+
+TEST(Meter, TrapezoidalSampling) {
+  PowerMeter meter;
+  meter.sample(TimePoint::from_seconds(0), util::watts(100.0));
+  meter.sample(TimePoint::from_seconds(3600), util::watts(300.0));
+  // Trapezoid: mean 200 W over 1 h = 0.2 kWh.
+  EXPECT_NEAR(meter.energy().kilowatt_hours(), 0.2, 1e-9);
+}
+
+TEST(Meter, FirstSampleOnlyEstablishesBaseline) {
+  PowerMeter meter;
+  meter.sample(TimePoint::from_seconds(0), util::watts(500.0));
+  EXPECT_DOUBLE_EQ(meter.energy().joules(), 0.0);
+}
+
+TEST(Meter, NonMonotonicSampleThrows) {
+  PowerMeter meter;
+  meter.sample(TimePoint::from_seconds(100), util::watts(10.0));
+  EXPECT_THROW(meter.sample(TimePoint::from_seconds(50), util::watts(10.0)),
+               std::invalid_argument);
+}
+
+TEST(Meter, ResetClearsState) {
+  PowerMeter meter;
+  meter.record(TimePoint::from_seconds(0), util::hours(1), util::kilowatts(1.0));
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.energy().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.average_power().watts(), 0.0);
+}
+
+// --- NvmlSim -----------------------------------------------------------------------
+
+TEST(Nvml, DeviceLifecycle) {
+  NvmlSim nvml(4);
+  EXPECT_EQ(nvml.device_count(), 4u);
+  std::uint32_t mw = 0;
+  EXPECT_EQ(nvml.get_power_usage_mw(0, mw), NvmlStatus::kSuccess);
+  EXPECT_EQ(mw, 50000u);  // idle draw
+  EXPECT_EQ(nvml.get_power_usage_mw(9, mw), NvmlStatus::kInvalidDevice);
+}
+
+TEST(Nvml, PowerLimitRoundTrip) {
+  NvmlSim nvml(1);
+  EXPECT_EQ(nvml.set_power_limit_mw(0, 200000), NvmlStatus::kSuccess);
+  std::uint32_t mw = 0;
+  EXPECT_EQ(nvml.get_power_limit_mw(0, mw), NvmlStatus::kSuccess);
+  EXPECT_EQ(mw, 200000u);
+}
+
+TEST(Nvml, PowerLimitConstraints) {
+  NvmlSim nvml(1);
+  std::uint32_t lo = 0, hi = 0;
+  EXPECT_EQ(nvml.get_power_limit_constraints_mw(0, lo, hi), NvmlStatus::kSuccess);
+  EXPECT_EQ(lo, 100000u);
+  EXPECT_EQ(hi, 250000u);
+  EXPECT_EQ(nvml.set_power_limit_mw(0, 50000), NvmlStatus::kInvalidArgument);
+  EXPECT_EQ(nvml.set_power_limit_mw(0, 300000), NvmlStatus::kInvalidArgument);
+}
+
+TEST(Nvml, WorkloadDrivesPowerAndUtilization) {
+  NvmlSim nvml(2);
+  nvml.set_workload(0, 1.0);
+  std::uint32_t mw0 = 0, mw1 = 0, pct = 0;
+  (void)nvml.get_power_usage_mw(0, mw0);
+  (void)nvml.get_power_usage_mw(1, mw1);
+  EXPECT_EQ(mw0, 230000u);  // busy at natural draw
+  EXPECT_EQ(mw1, 50000u);   // idle
+  (void)nvml.get_utilization_pct(0, pct);
+  EXPECT_EQ(pct, 100u);
+}
+
+TEST(Nvml, CapReducesPowerAndThroughput) {
+  NvmlSim nvml(1);
+  nvml.set_workload(0, 1.0);
+  (void)nvml.set_power_limit_mw(0, 150000);
+  std::uint32_t mw = 0;
+  (void)nvml.get_power_usage_mw(0, mw);
+  EXPECT_EQ(mw, 150000u);
+  EXPECT_LT(nvml.throughput_factor(0), 1.0);
+  EXPECT_GT(nvml.throughput_factor(0), 0.7);
+}
+
+TEST(Nvml, EnergyAccumulatesWithSteps) {
+  NvmlSim nvml(1);
+  nvml.set_workload(0, 1.0);
+  nvml.step(util::hours(1));
+  std::uint64_t mj = 0;
+  (void)nvml.get_total_energy_mj(0, mj);
+  // 230 W * 3600 s = 828 kJ = 8.28e8 mJ.
+  EXPECT_NEAR(static_cast<double>(mj), 8.28e8, 1e3);
+}
+
+TEST(Nvml, TemperatureRelaxesTowardLoadSteadyState) {
+  NvmlSim nvml(1);
+  std::uint32_t cold = 0, hot = 0;
+  (void)nvml.get_temperature_c(0, cold);
+  nvml.set_workload(0, 1.0);
+  nvml.step(util::minutes(15));  // >> thermal tau
+  (void)nvml.get_temperature_c(0, hot);
+  EXPECT_GT(hot, cold + 20);  // 230 W * 0.22 C/W + ambient ~ 80 C
+  EXPECT_LT(hot, 95u);
+}
+
+// --- DVFS ---------------------------------------------------------------------------
+
+TEST(Dvfs, DefaultLadderShape) {
+  const auto states = default_pstates(1380.0);
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_DOUBLE_EQ(states[0].mhz, 1380.0);
+  EXPECT_DOUBLE_EQ(states[0].throughput, 1.0);
+  // Cubic power law: the 0.6 state draws 21.6% of top dynamic power.
+  EXPECT_NEAR(states[4].dynamic_power, 0.216, 1e-9);
+}
+
+TEST(Dvfs, GovernorPolicies) {
+  const DvfsGovernor perf(default_pstates(), GovernorPolicy::kPerformance);
+  EXPECT_EQ(perf.choose(0.1, 0.9), 0u);
+  const DvfsGovernor save(default_pstates(), GovernorPolicy::kPowersave);
+  EXPECT_EQ(save.choose(1.0, 0.0), 4u);
+  const DvfsGovernor ondemand(default_pstates(), GovernorPolicy::kOndemand);
+  EXPECT_EQ(ondemand.choose(1.0, 0.0), 0u);
+  EXPECT_GT(ondemand.choose(0.1, 0.0), 2u);
+  const DvfsGovernor signal(default_pstates(), GovernorPolicy::kSignal);
+  EXPECT_EQ(signal.choose(0.5, 0.0), 0u);
+  EXPECT_EQ(signal.choose(0.5, 0.99), 4u);
+}
+
+TEST(Dvfs, LowerStatesAreMoreEfficientForComputeBoundWork) {
+  const DvfsGovernor governor(default_pstates(), GovernorPolicy::kSignal);
+  // With a cubic dynamic-power law and modest static power, energy per work
+  // improves as the clock drops.
+  double prev = governor.relative_energy_per_work(0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (std::size_t s = 1; s < governor.states().size(); ++s) {
+    const double e = governor.relative_energy_per_work(s);
+    EXPECT_LT(e, prev) << "state " << s;
+    prev = e;
+  }
+}
+
+TEST(Dvfs, Validation) {
+  EXPECT_THROW(DvfsGovernor({}, GovernorPolicy::kPerformance), std::invalid_argument);
+  auto unordered = default_pstates();
+  std::swap(unordered[0], unordered[3]);
+  EXPECT_THROW(DvfsGovernor(unordered, GovernorPolicy::kPerformance), std::invalid_argument);
+  const DvfsGovernor ok(default_pstates(), GovernorPolicy::kSignal);
+  EXPECT_THROW((void)ok.choose(1.5, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)ok.relative_energy_per_work(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::power

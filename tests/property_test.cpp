@@ -1,0 +1,348 @@
+// Property-based suites: invariants that must hold across randomized seeds,
+// parameter sweeps, and failure injection.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "sched/carbon_aware.hpp"
+#include "sim/recorder.hpp"
+#include "core/optimization.hpp"
+#include "grid/battery.hpp"
+#include "grid/carbon.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "power/gpu_power.hpp"
+#include "thermal/cooling.hpp"
+#include "thermal/weather.hpp"
+
+namespace greenhpc {
+namespace {
+
+using util::CivilDate;
+using util::TimePoint;
+
+// --- grid invariants across seeds ------------------------------------------------
+
+class GridSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GridSeeds, FuelSharesAlwaysNormalized) {
+  grid::FuelMixConfig config;
+  config.seed = GetParam();
+  const grid::FuelMixModel model(config);
+  for (int h = 0; h < 24 * 366; h += 11) {
+    const grid::FuelMix mix = model.mix_at(TimePoint::from_seconds(h * 3600.0));
+    double total = 0.0;
+    for (double s : mix.shares()) {
+      ASSERT_GE(s, 0.0);
+      total += s;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    ASSERT_LE(mix.renewable_share(), mix.low_carbon_share());
+  }
+}
+
+TEST_P(GridSeeds, PricesPositiveAndBounded) {
+  grid::PriceConfig config;
+  config.seed = GetParam();
+  const grid::FuelMixModel mix;
+  const grid::LmpPriceModel model(config, &mix);
+  for (int h = 0; h < 24 * 366; h += 13) {
+    const double p = model.price_at(TimePoint::from_seconds(h * 3600.0)).usd_per_mwh();
+    ASSERT_GE(p, config.floor_usd_per_mwh);
+    ASSERT_LT(p, 1000.0);  // even spiked prices stay sane
+  }
+}
+
+TEST_P(GridSeeds, CarbonIntensityBracketedByFuelExtremes) {
+  grid::FuelMixConfig config;
+  config.seed = GetParam();
+  const grid::FuelMixModel mix(config);
+  const grid::CarbonIntensityModel carbon(&mix);
+  const grid::EmissionFactors factors;
+  double lo = 1e9, hi = 0.0;
+  for (double f : factors.kg_per_kwh) {
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  for (int h = 0; h < 24 * 200; h += 17) {
+    const double kg = carbon.intensity_at(TimePoint::from_seconds(h * 3600.0)).kg_per_kwh();
+    ASSERT_GE(kg, lo);
+    ASSERT_LE(kg, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSeeds, ::testing::Values(1u, 42u, 777u, 31337u));
+
+// --- battery invariants under random action sequences --------------------------------
+
+class BatterySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatterySeeds, SocStaysWithinBoundsAndEnergyConserved) {
+  util::Rng rng(GetParam());
+  grid::BatteryConfig config;
+  config.capacity = util::kilowatt_hours(rng.uniform(50.0, 500.0));
+  config.initial_soc_fraction = rng.uniform01();
+  grid::BatteryStorage battery(config);
+  const util::Energy initial = battery.state_of_charge();
+
+  for (int step = 0; step < 2000; ++step) {
+    const util::Power p = util::kilowatts(rng.uniform(0.0, 300.0));
+    const util::Duration dt = util::minutes(rng.uniform(1.0, 60.0));
+    if (rng.bernoulli(0.5)) {
+      battery.charge(p, dt);
+    } else {
+      battery.discharge(p, dt);
+    }
+    ASSERT_GE(battery.soc_fraction(), -1e-9);
+    ASSERT_LE(battery.soc_fraction(), 1.0 + 1e-9);
+  }
+  // Conservation: input + initial = delivered + losses + final.
+  const double lhs = battery.total_grid_energy_in().kilowatt_hours() + initial.kilowatt_hours();
+  const double rhs = battery.total_delivered_out().kilowatt_hours() +
+                     battery.total_losses().kilowatt_hours() +
+                     battery.state_of_charge().kilowatt_hours();
+  ASSERT_NEAR(lhs, rhs, 1e-6);
+  ASSERT_GE(battery.total_losses().kilowatt_hours(), -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatterySeeds, ::testing::Values(3u, 99u, 4242u));
+
+// --- GPU power-cap curve properties ----------------------------------------------------
+
+class CapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapSweep, EnergySavingDominanceAndMonotonicity) {
+  const power::GpuPowerModel model;
+  const util::Power cap = util::watts(GetParam());
+  const double tput = model.throughput_factor(cap);
+  const double energy = model.relative_energy_per_work(cap);
+  // Fundamental dominance: capping never *increases* energy per work within
+  // the settable range, and throughput never rises above uncapped.
+  EXPECT_LE(energy, 1.0 + 1e-12);
+  EXPECT_LE(tput, 1.0);
+  EXPECT_GT(tput, 0.0);
+  // Power draw respects the cap.
+  EXPECT_LE(model.active_power(cap).watts(), cap.watts() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CapSweep,
+                         ::testing::Values(100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0));
+
+// --- cooling model properties ------------------------------------------------------------
+
+class CoolingTemps : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoolingTemps, PueAtLeastOneAndWaterNonNegative) {
+  const thermal::CoolingModel model;
+  const util::Temperature t = util::celsius(GetParam());
+  const util::Power it = util::kilowatts(220.0);
+  EXPECT_GE(model.pue(it, t), 1.0);
+  EXPECT_GE(model.water_liters_per_hour(model.load(it, t).delivered, t), 0.0);
+  EXPECT_GE(model.throttle_fraction(it, t), 0.0);
+  EXPECT_LE(model.throttle_fraction(it, t), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, CoolingTemps,
+                         ::testing::Values(-20.0, -5.0, 0.0, 10.0, 20.0, 30.0, 38.0, 45.0));
+
+// --- datacenter twin invariants across seeds and policies -------------------------------
+
+struct TwinCase {
+  std::uint64_t seed;
+  core::PolicyKind policy;
+};
+
+class TwinSweep : public ::testing::TestWithParam<TwinCase> {};
+
+TEST_P(TwinSweep, RunInvariantsHold) {
+  const TwinCase param = GetParam();
+  core::DatacenterConfig config;
+  config.seed = param.seed;
+  core::Datacenter dc(config, core::make_scheduler(param.policy));
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.run_until(TimePoint::from_seconds(5.0 * 86400.0));
+
+  const core::RunSummary s = dc.summary();
+  const auto& jobs = dc.jobs();
+
+  // Job conservation.
+  const auto running = jobs.in_state(cluster::JobState::kRunning).size();
+  EXPECT_EQ(s.jobs_submitted, s.jobs_completed + s.jobs_pending + running);
+
+  // No oversubscription at the end state.
+  EXPECT_GE(dc.cluster_state().free_gpus(), 0);
+  EXPECT_LE(dc.cluster_state().busy_gpus(), dc.cluster_state().total_gpus());
+
+  // Completed jobs did all their work and carry energy.
+  for (cluster::JobId id : jobs.in_state(cluster::JobState::kCompleted)) {
+    const cluster::Job& job = jobs.get(id);
+    ASSERT_LE(job.work_remaining(), 1e-3);
+    ASSERT_GT(job.energy().joules(), 0.0);
+    ASSERT_GE(job.finish_time(), job.start_time());
+    ASSERT_GE(job.start_time(), job.submit_time());
+  }
+
+  // Running jobs hold exactly their requested GPUs.
+  for (cluster::JobId id : jobs.in_state(cluster::JobState::kRunning)) {
+    const auto alloc = dc.cluster_state().allocation_of(id);
+    ASSERT_TRUE(alloc.has_value());
+    ASSERT_EQ(alloc->total_gpus(), jobs.get(id).request().gpus);
+  }
+
+  // Ledger sanity.
+  EXPECT_GT(s.grid_totals.energy.joules(), 0.0);
+  EXPECT_GT(s.grid_totals.cost.dollars(), 0.0);
+  EXPECT_GT(s.grid_totals.carbon.kilograms(), 0.0);
+  EXPECT_GE(s.mean_pue, 1.0);
+  EXPECT_LT(dc.accountant().totals().energy.joules(), s.grid_totals.energy.joules());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, TwinSweep,
+    ::testing::Values(TwinCase{1, core::PolicyKind::kFcfs},
+                      TwinCase{2, core::PolicyKind::kBackfill},
+                      TwinCase{3, core::PolicyKind::kCarbonAware},
+                      TwinCase{4, core::PolicyKind::kPowerAware},
+                      TwinCase{99, core::PolicyKind::kBackfill}));
+
+// --- failure injection ---------------------------------------------------------------------
+
+TEST(FailureInjection, CoolingCollapseThrottlesButNeverDeadlocks) {
+  core::DatacenterConfig config;
+  config.cooling.cooling_capacity = util::kilowatts(20.0);  // drastically undersized
+  config.start = util::to_timepoint(CivilDate{2021, 7, 1});
+  core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  dc.run_until(util::to_timepoint(CivilDate{2021, 7, 8}));
+  const core::RunSummary s = dc.summary();
+  EXPECT_GT(s.throttle_hours, 24.0);   // the fault is visible
+  EXPECT_GT(s.jobs_completed, 0u);     // but work still flows
+}
+
+TEST(FailureInjection, ExtremeHeatRaisesJulyPowerVsBaseline) {
+  auto july_power = [](double wave_delta) {
+    core::DatacenterConfig config;
+    config.start = util::to_timepoint(CivilDate{2021, 7, 1});
+    core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    if (wave_delta > 0.0) {
+      dc.mutable_weather().add_heat_wave(
+          {util::to_timepoint(CivilDate{2021, 7, 2}), util::days(6), wave_delta});
+    }
+    dc.run_until(util::to_timepoint(CivilDate{2021, 7, 9}));
+    return dc.monthly_power().monthly().front().time_weighted_mean;
+  };
+  EXPECT_GT(july_power(8.0), july_power(0.0));
+}
+
+TEST(FailureInjection, PriceSpikeStormRaisesCostNotEnergy) {
+  auto run = [](double spikes_per_year) {
+    core::DatacenterConfig config;
+    config.price.spikes_per_year = spikes_per_year;
+    core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    dc.run_until(TimePoint::from_seconds(14.0 * 86400.0));
+    return dc.summary().grid_totals;
+  };
+  const grid::EnergyLedger calm = run(0.0);
+  const grid::EnergyLedger stormy = run(500.0);
+  EXPECT_GT(stormy.cost.dollars(), calm.cost.dollars() * 1.02);
+  EXPECT_NEAR(stormy.energy.joules(), calm.energy.joules(), 0.01 * calm.energy.joules());
+}
+
+// --- monthly aggregation exactness across random sample patterns --------------------
+
+class AggregationSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregationSeeds, RandomSamplesSplitExactlyAcrossMonths) {
+  util::Rng rng(GetParam());
+  sim::MonthlyAccumulator acc;
+  double expected_integral = 0.0;
+  // Random-duration samples (some spanning several month boundaries and the
+  // 2020 leap February) must conserve the total integral exactly.
+  TimePoint t = util::to_timepoint(CivilDate{2020, 1, 15});
+  for (int i = 0; i < 400; ++i) {
+    const util::Duration dt = util::hours(rng.uniform(0.1, 24.0 * 40.0));
+    const double value = rng.uniform(0.0, 500.0);
+    acc.add_sample(t, dt, value);
+    expected_integral += value * dt.seconds();
+    t = t + util::Duration::from_raw(dt.seconds() * rng.uniform(0.2, 1.0));
+  }
+  double total = 0.0;
+  for (const auto& m : acc.monthly()) total += m.integral;
+  ASSERT_NEAR(total, expected_integral, expected_integral * 1e-12 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationSeeds, ::testing::Values(5u, 17u, 23u));
+
+// --- per-job caps: ledger closure and work conservation ------------------------------
+
+TEST(PerJobCaps, MixedCapFleetStillClosesItsLedgers) {
+  core::DatacenterConfig config;
+  core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  // Alternate per-job caps pseudo-randomly by job id.
+  dc.set_job_cap_policy([](const cluster::Job& job) -> std::optional<util::Power> {
+    switch (job.id() % 3) {
+      case 0: return util::watts(150.0);
+      case 1: return util::watts(200.0);
+      default: return std::nullopt;
+    }
+  });
+  dc.run_until(TimePoint::from_seconds(6.0 * 86400.0));
+  const core::RunSummary s = dc.summary();
+  const auto running = dc.jobs().in_state(cluster::JobState::kRunning).size();
+  EXPECT_EQ(s.jobs_submitted, s.jobs_completed + s.jobs_pending + running);
+  // Completed capped jobs did all their work despite slower throughput.
+  for (cluster::JobId id : dc.jobs().in_state(cluster::JobState::kCompleted)) {
+    ASSERT_LE(dc.jobs().get(id).work_remaining(), 1e-3);
+  }
+  EXPECT_LT(dc.accountant().totals().energy.joules(), s.grid_totals.energy.joules());
+}
+
+// --- starvation freedom over a long contended run -------------------------------------
+
+TEST(Starvation, CarbonAwareNeverStrandsFlexibleJobsBeyondMaxHold) {
+  core::DatacenterConfig config;
+  core::Datacenter dc(config, core::make_scheduler(core::PolicyKind::kCarbonAware));
+  workload::ArrivalConfig arrivals;
+  arrivals.base_rate_per_hour = 10.0;
+  dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+  dc.run_until(TimePoint::from_seconds(21.0 * 86400.0));
+  // No completed flexible job may have waited beyond max_hold plus a
+  // capacity allowance (when GPUs are simply full, any policy queues).
+  const sched::CarbonAwareConfig defaults;
+  std::size_t checked = 0;
+  for (cluster::JobId id : dc.jobs().in_state(cluster::JobState::kCompleted)) {
+    const cluster::Job& job = dc.jobs().get(id);
+    if (!job.request().flexible) continue;
+    ++checked;
+    EXPECT_LE(job.queue_wait().hours(), defaults.max_hold.hours() + 24.0)
+        << "job " << id << " starved";
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST(FailureInjection, ForecastErrorDegradesButDoesNotBreakArbitrage) {
+  // A battery with an adversarial (inverted) forecast must still respect its
+  // physical invariants and cannot corrupt the ledger.
+  core::DatacenterConfig config;
+  config.battery = grid::BatteryConfig{};
+  core::Datacenter dc(config, std::make_unique<sched::EasyBackfillScheduler>());
+  dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+  auto inverted = [](TimePoint) {
+    // Claims prices will always be extreme highs: the policy will discharge
+    // whenever possible.
+    return std::vector<double>(24, 1e6);
+  };
+  dc.attach_battery_policy(std::make_unique<grid::ForecastArbitragePolicy>(inverted));
+  dc.run_until(TimePoint::from_seconds(7.0 * 86400.0));
+  ASSERT_NE(dc.battery(), nullptr);
+  EXPECT_GE(dc.battery()->soc_fraction(), -1e-9);
+  EXPECT_GT(dc.summary().grid_totals.energy.joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace greenhpc

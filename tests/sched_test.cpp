@@ -1,0 +1,313 @@
+// Unit tests for greenhpc::sched — FCFS, EASY backfill, carbon- and
+// power-aware schedulers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/carbon_aware.hpp"
+#include "sched/power_aware.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::sched {
+namespace {
+
+using cluster::Job;
+using cluster::JobId;
+using cluster::JobRegistry;
+using cluster::JobRequest;
+using util::TimePoint;
+
+TimePoint at(double s) { return TimePoint::from_seconds(s); }
+
+/// Harness bundling a small cluster, a registry, and a queue.
+struct Harness {
+  Harness() {
+    cluster::ClusterSpec spec;
+    spec.node_count = 4;
+    spec.gpus_per_node = 2;  // 8 GPUs total
+    cluster = std::make_unique<cluster::Cluster>(spec);
+  }
+
+  JobId submit(int gpus, double work_gpu_seconds = 7200.0, bool flexible = false,
+               double estimate_factor = 1.0) {
+    JobRequest req;
+    req.gpus = gpus;
+    req.work_gpu_seconds = work_gpu_seconds;
+    req.flexible = flexible;
+    req.estimate_factor = estimate_factor;
+    const JobId id = jobs.submit(req, now);
+    queue.push_back(id);
+    return id;
+  }
+
+  void start_running(JobId id) {
+    Job& job = jobs.get(id);
+    (void)cluster->allocate(id, job.request().gpus);
+    job.start(now);
+    std::erase(queue, id);
+  }
+
+  SchedulerContext context() {
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.cluster = cluster.get();
+    ctx.jobs = &jobs;
+    ctx.queue = &queue;
+    ctx.signals = signals;
+    return ctx;
+  }
+
+  std::unique_ptr<cluster::Cluster> cluster;
+  JobRegistry jobs;
+  std::vector<JobId> queue;
+  TimePoint now = at(0.0);
+  GridSignals signals{util::usd_per_mwh(30.0), util::kg_per_kwh(0.28), 0.06};
+};
+
+// --- FCFS --------------------------------------------------------------------------
+
+TEST(Fcfs, StartsJobsInOrderWhileTheyFit) {
+  Harness h;
+  const JobId a = h.submit(4);
+  const JobId b = h.submit(4);
+  h.submit(4);  // c does not fit after a+b
+  FcfsScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{a, b}));
+}
+
+TEST(Fcfs, HeadBlocksStrictly) {
+  Harness h;
+  h.submit(16);          // head cannot ever fit 8-GPU cluster... but blocks
+  const JobId b = h.submit(1);
+  (void)b;
+  FcfsScheduler sched;
+  EXPECT_TRUE(sched.select(h.context()).empty());  // no skipping in strict FCFS
+}
+
+TEST(Fcfs, DefaultCapIsTdp) {
+  Harness h;
+  FcfsScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.choose_cap(h.context()).watts(), 250.0);
+}
+
+// --- EASY backfill -------------------------------------------------------------------
+
+TEST(Backfill, SmallJobBackfillsAroundBlockedHead) {
+  Harness h;
+  // 6 GPUs busy for ~2 h (true runtime; estimates padded below).
+  const JobId running = h.submit(6, 6.0 * 7200.0);
+  h.start_running(running);
+  // Head wants 8 GPUs: must wait for the release.
+  h.submit(8, 7200.0 * 8.0);
+  // Short 2-GPU job finishing before the release backfills.
+  const JobId shorty = h.submit(2, 2.0 * 600.0);  // 10 minutes
+  EasyBackfillScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{shorty}));
+}
+
+TEST(Backfill, LongJobMustNotDelayHeadReservation) {
+  Harness h;
+  const JobId running = h.submit(6, 6.0 * 7200.0);  // releases at ~2 h
+  h.start_running(running);
+  h.submit(8, 8.0 * 7200.0);          // head reserves all 8 GPUs at ~2 h
+  h.submit(2, 2.0 * 30.0 * 3600.0);   // 30 h job would straddle the reservation
+  EasyBackfillScheduler sched;
+  EXPECT_TRUE(sched.select(h.context()).empty());
+}
+
+TEST(Backfill, LongJobAllowedOnSpareGpus) {
+  Harness h;
+  const JobId running = h.submit(6, 6.0 * 7200.0);
+  h.start_running(running);
+  h.submit(4, 4.0 * 7200.0);         // head needs 4 at shadow time; 8-4=4 spare... 2 free now
+  const JobId long_small = h.submit(2, 2.0 * 30.0 * 3600.0);  // fits the spare pool
+  EasyBackfillScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{long_small}));
+}
+
+TEST(Backfill, FcfsPhaseStillRuns) {
+  Harness h;
+  const JobId a = h.submit(3);
+  const JobId b = h.submit(3);
+  EasyBackfillScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{a, b}));
+}
+
+TEST(Backfill, ImpossibleHeadDoesNotBackfillForever) {
+  Harness h;
+  h.submit(16);  // larger than the whole cluster: head is permanently stuck
+  h.submit(1);
+  EasyBackfillScheduler sched;
+  // Conservative policy: nothing starts around a permanently impossible head.
+  EXPECT_TRUE(sched.select(h.context()).empty());
+}
+
+// --- carbon-aware ---------------------------------------------------------------------
+
+TEST(CarbonAware, UrgentJobsAlwaysStart) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.40);  // very dirty grid
+  const JobId urgent = h.submit(2, 7200.0, /*flexible=*/false);
+  CarbonAwareScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{urgent}));
+}
+
+TEST(CarbonAware, FlexibleJobsDeferOnDirtyGrid) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.40);
+  h.signals.renewable_share = 0.02;
+  h.submit(2, 7200.0, /*flexible=*/true);
+  CarbonAwareScheduler sched;
+  EXPECT_TRUE(sched.select(h.context()).empty());
+}
+
+TEST(CarbonAware, FlexibleJobsReleaseInGreenWindow) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.20);  // below absolute threshold
+  const JobId flex = h.submit(2, 7200.0, /*flexible=*/true);
+  CarbonAwareScheduler sched;
+  const auto starts = sched.select(h.context());
+  EXPECT_EQ(starts, (std::vector<JobId>{flex}));
+}
+
+TEST(CarbonAware, RenewableSurgeAlsoOpensWindow) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.30);
+  h.signals.renewable_share = 0.15;
+  const JobId flex = h.submit(2, 7200.0, /*flexible=*/true);
+  CarbonAwareScheduler sched;
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{flex}));
+}
+
+TEST(CarbonAware, DeadlineForcesStart) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.40);
+  h.signals.renewable_share = 0.02;
+  JobRequest req;
+  req.gpus = 2;
+  req.work_gpu_seconds = 2.0 * 3600.0;  // 1 h runtime on 2 GPUs
+  req.flexible = true;
+  req.deadline = h.now + util::hours(2);  // runtime 1 h + margin 1 h: must go now
+  const JobId id = h.jobs.submit(req, h.now);
+  h.queue.push_back(id);
+  CarbonAwareScheduler sched;
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{id}));
+}
+
+TEST(CarbonAware, MaxHoldPreventsStarvation) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.40);
+  h.signals.renewable_share = 0.02;
+  const JobId flex = h.submit(2, 7200.0, /*flexible=*/true);
+  CarbonAwareScheduler sched;
+  EXPECT_TRUE(sched.select(h.context()).empty());
+  // Advance past max_hold: the job must be forced through.
+  h.now = h.now + sched.config().max_hold + util::hours(1);
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{flex}));
+}
+
+TEST(CarbonAware, ShortJobsReleasedFirstInGreenWindow) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.20);
+  const JobId long_flex = h.submit(4, 4.0 * 20.0 * 3600.0, /*flexible=*/true);
+  const JobId short_flex = h.submit(4, 4.0 * 600.0, /*flexible=*/true);
+  CarbonAwareScheduler sched;
+  const auto starts = sched.select(h.context());
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0], short_flex);  // shortest-first within the window
+  EXPECT_EQ(starts[1], long_flex);
+}
+
+TEST(CarbonAware, AdaptiveQuantileTracksHistory) {
+  CarbonAwareScheduler sched;
+  GridSignals signals;
+  signals.renewable_share = 0.0;
+  // Feed a week of history: 40% of readings at 0.28, the rest 0.30. The
+  // rolling 30%-quantile is then 0.28, so a 0.275 reading qualifies as green
+  // even though it exceeds the absolute 0.25 threshold.
+  TimePoint t = at(0.0);
+  for (int i = 0; i < 800; ++i) {
+    signals.carbon = util::kg_per_kwh(i % 5 < 2 ? 0.28 : 0.30);
+    (void)sched.green_window(t, signals);
+    t = t + util::minutes(15);
+  }
+  signals.carbon = util::kg_per_kwh(0.275);
+  EXPECT_TRUE(sched.green_window(t, signals));
+  signals.carbon = util::kg_per_kwh(0.31);
+  EXPECT_FALSE(sched.green_window(t + util::minutes(15), signals));
+}
+
+// --- power-aware ----------------------------------------------------------------------
+
+TEST(PowerAware, BaseCapAlwaysApplied) {
+  Harness h;
+  PowerAwareScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.choose_cap(h.context()).watts(), sched.config().base_cap.watts());
+}
+
+TEST(PowerAware, StressCapOnHighPrice) {
+  Harness h;
+  h.signals.price = util::usd_per_mwh(60.0);
+  PowerAwareScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.choose_cap(h.context()).watts(), sched.config().stress_cap.watts());
+}
+
+TEST(PowerAware, StressCapOnDirtyGrid) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.40);
+  PowerAwareScheduler sched;
+  EXPECT_DOUBLE_EQ(sched.choose_cap(h.context()).watts(), sched.config().stress_cap.watts());
+}
+
+TEST(PowerAware, DelegatesSelectionToInner) {
+  Harness h;
+  const JobId a = h.submit(3);
+  PowerAwareScheduler sched;
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{a}));
+}
+
+TEST(PowerAware, ConfigValidation) {
+  PowerAwareConfig bad;
+  bad.stress_cap = util::watts(220.0);
+  bad.base_cap = util::watts(200.0);
+  EXPECT_THROW(PowerAwareScheduler{bad}, std::invalid_argument);
+}
+
+// Capacity contract shared by all schedulers: selections, started in order,
+// never oversubscribe the cluster.
+class CapacityContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(CapacityContract, SelectionsAlwaysFit) {
+  const int scheduler_kind = GetParam();
+  std::unique_ptr<Scheduler> sched;
+  switch (scheduler_kind) {
+    case 0: sched = std::make_unique<FcfsScheduler>(); break;
+    case 1: sched = std::make_unique<EasyBackfillScheduler>(); break;
+    case 2: sched = std::make_unique<CarbonAwareScheduler>(); break;
+    default: sched = std::make_unique<PowerAwareScheduler>(); break;
+  }
+  util::Rng rng(99);
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.20);  // green: everything eligible
+  for (int i = 0; i < 40; ++i) h.submit(static_cast<int>(rng.uniform_int(1, 4)));
+  const auto starts = sched->select(h.context());
+  int used = 0;
+  for (cluster::JobId id : starts) {
+    used += h.jobs.get(id).request().gpus;
+    ASSERT_TRUE(h.cluster->allocate(id, h.jobs.get(id).request().gpus).has_value())
+        << "scheduler " << sched->name() << " oversubscribed";
+  }
+  EXPECT_LE(used, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, CapacityContract, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace greenhpc::sched

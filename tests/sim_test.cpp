@@ -1,0 +1,254 @@
+// Unit tests for greenhpc::sim — the event engine and monthly recorders.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/recorder.hpp"
+
+namespace greenhpc::sim {
+namespace {
+
+using util::CivilDate;
+using util::Duration;
+using util::MonthKey;
+using util::TimePoint;
+
+TimePoint at(double s) { return TimePoint::from_seconds(s); }
+
+// --- engine ------------------------------------------------------------------
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(at(30.0), [&](Simulation&) { order.push_back(3); });
+  sim.schedule_at(at(10.0), [&](Simulation&) { order.push_back(1); });
+  sim.schedule_at(at(20.0), [&](Simulation&) { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Engine, SimultaneousEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(at(10.0), [&order, i](Simulation&) { order.push_back(i); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(at(42.0), [&](Simulation& s) { seen = s.now().seconds_since_epoch(); });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+}
+
+TEST(Engine, RunUntilIsHalfOpen) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(at(10.0), [&](Simulation&) { ++fired; });
+  sim.schedule_at(at(20.0), [&](Simulation&) { ++fired; });
+  sim.run_until(at(20.0));  // event at exactly 20 must NOT run
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().seconds_since_epoch(), 20.0);
+  sim.run_until(at(21.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(at(10.0), [](Simulation&) {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(at(5.0), [](Simulation&) {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_in(util::seconds(-1.0), [](Simulation&) {}), std::invalid_argument);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Simulation sim;
+  double seen = -1.0;
+  sim.schedule_at(at(100.0), [&](Simulation& s) {
+    s.schedule_in(util::seconds(50.0), [&](Simulation& inner) {
+      seen = inner.now().seconds_since_epoch();
+    });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(seen, 150.0);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(at(10.0), [&](Simulation&) { ++fired; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, PeriodicEventsFireUntilCancelled) {
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(at(0.0), util::seconds(10.0), [&](Simulation& s) {
+    ++fired;
+    if (fired == 5) s.cancel(id);
+  });
+  sim.run_until(at(1000.0));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Engine, PeriodicEventCadence) {
+  Simulation sim;
+  std::vector<double> times;
+  const EventId id = sim.schedule_periodic(at(5.0), util::seconds(15.0), [&](Simulation& s) {
+    times.push_back(s.now().seconds_since_epoch());
+  });
+  sim.run_until(at(50.0));
+  sim.cancel(id);
+  EXPECT_EQ(times, (std::vector<double>{5.0, 20.0, 35.0}));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void(Simulation&)> recurse = [&](Simulation& s) {
+    if (++depth < 10) s.schedule_in(util::seconds(1.0), recurse);
+  };
+  sim.schedule_at(at(0.0), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_at(at(1.0), EventFn{}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_periodic(at(1.0), util::seconds(0.0), [](Simulation&) {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, StartsAtConfiguredTime) {
+  Simulation sim(at(5000.0));
+  EXPECT_DOUBLE_EQ(sim.now().seconds_since_epoch(), 5000.0);
+  EXPECT_THROW(sim.schedule_at(at(4000.0), [](Simulation&) {}), std::invalid_argument);
+}
+
+// --- TimeSeries -----------------------------------------------------------------
+
+TEST(TimeSeriesTest, PushAndRead) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.push(at(0.0), 1.0);
+  ts.push(at(10.0), 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.values()[1], 2.0);
+}
+
+TEST(TimeSeriesTest, RejectsNonMonotonicTime) {
+  TimeSeries ts;
+  ts.push(at(10.0), 1.0);
+  EXPECT_THROW(ts.push(at(5.0), 2.0), std::invalid_argument);
+}
+
+// --- MonthlyAccumulator -----------------------------------------------------------
+
+TEST(Monthly, TimeWeightedMeanWithinOneMonth) {
+  MonthlyAccumulator acc;
+  const TimePoint start = util::to_timepoint(CivilDate{2020, 3, 1});
+  // 10 units for 1 day, then 20 units for 3 days: mean = (10 + 60)/4 = 17.5.
+  acc.add_sample(start, util::days(1), 10.0);
+  acc.add_sample(start + util::days(1), util::days(3), 20.0);
+  const auto monthly = acc.monthly();
+  ASSERT_EQ(monthly.size(), 1u);
+  EXPECT_EQ(monthly[0].month, (MonthKey{2020, 3}));
+  EXPECT_DOUBLE_EQ(monthly[0].time_weighted_mean, 17.5);
+  EXPECT_DOUBLE_EQ(monthly[0].min, 10.0);
+  EXPECT_DOUBLE_EQ(monthly[0].max, 20.0);
+}
+
+TEST(Monthly, SampleSplitAcrossMonthBoundaryIsExact) {
+  MonthlyAccumulator acc;
+  // 4 days starting Jan 30, 2021: 2 days in Jan, 2 days in Feb.
+  const TimePoint start = util::to_timepoint(CivilDate{2021, 1, 30});
+  acc.add_sample(start, util::days(4), 100.0);
+  const auto jan = acc.month(MonthKey{2021, 1});
+  const auto feb = acc.month(MonthKey{2021, 2});
+  ASSERT_TRUE(jan.has_value());
+  ASSERT_TRUE(feb.has_value());
+  EXPECT_DOUBLE_EQ(jan->integral, 100.0 * 2.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(feb->integral, 100.0 * 2.0 * 86400.0);
+}
+
+TEST(Monthly, IntegralIsEnergyWhenValueIsPower) {
+  MonthlyAccumulator acc;
+  const TimePoint start = util::to_timepoint(CivilDate{2020, 6, 1});
+  acc.add_sample(start, util::hours(2), 1000.0);  // 1 kW for 2 h
+  EXPECT_DOUBLE_EQ(acc.month(MonthKey{2020, 6})->integral, 1000.0 * 7200.0);  // J
+}
+
+TEST(Monthly, EventCounting) {
+  MonthlyAccumulator acc;
+  acc.add_event(util::to_timepoint(CivilDate{2020, 5, 10}));
+  acc.add_event(util::to_timepoint(CivilDate{2020, 5, 20}), 2.0);
+  acc.add_event(util::to_timepoint(CivilDate{2020, 6, 1}));
+  EXPECT_EQ(acc.month(MonthKey{2020, 5})->samples, 3u);
+  EXPECT_EQ(acc.month(MonthKey{2020, 6})->samples, 1u);
+}
+
+TEST(Monthly, ChronologicalOrderAcrossSparseMonths) {
+  MonthlyAccumulator acc;
+  acc.add_sample(util::to_timepoint(CivilDate{2021, 9, 1}), util::days(1), 1.0);
+  acc.add_sample(util::to_timepoint(CivilDate{2020, 2, 1}), util::days(1), 2.0);
+  const auto months = acc.months();
+  ASSERT_EQ(months.size(), 2u);
+  EXPECT_EQ(months[0], (MonthKey{2020, 2}));
+  EXPECT_EQ(months[1], (MonthKey{2021, 9}));
+}
+
+TEST(Monthly, MissingMonthIsNullopt) {
+  MonthlyAccumulator acc;
+  acc.add_sample(util::to_timepoint(CivilDate{2020, 1, 5}), util::days(1), 1.0);
+  EXPECT_FALSE(acc.month(MonthKey{2020, 2}).has_value());
+}
+
+TEST(Monthly, ZeroDurationIsIgnored) {
+  MonthlyAccumulator acc;
+  acc.add_sample(util::to_timepoint(CivilDate{2020, 1, 5}), util::seconds(0.0), 99.0);
+  EXPECT_TRUE(acc.monthly().empty());
+  EXPECT_THROW(acc.add_sample(util::to_timepoint(CivilDate{2020, 1, 5}), util::seconds(-1.0), 1.0),
+               std::invalid_argument);
+}
+
+TEST(Monthly, MeansAndIntegralsVectorsAlign) {
+  MonthlyAccumulator acc;
+  acc.add_sample(util::to_timepoint(CivilDate{2020, 1, 5}), util::days(1), 10.0);
+  acc.add_sample(util::to_timepoint(CivilDate{2020, 2, 5}), util::days(1), 20.0);
+  const auto means = acc.means();
+  const auto integrals = acc.integrals();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 10.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+  EXPECT_DOUBLE_EQ(integrals[1], 20.0 * 86400.0);
+}
+
+// A year of hourly samples: every monthly mean equals the constant value and
+// the integrals add up exactly (conservation property).
+TEST(Monthly, YearOfHourlySamplesConserved) {
+  MonthlyAccumulator acc;
+  const TimePoint start = util::to_timepoint(CivilDate{2020, 1, 1});
+  const TimePoint end = util::to_timepoint(CivilDate{2021, 1, 1});
+  for (TimePoint t = start; t < end; t += util::hours(1)) acc.add_sample(t, util::hours(1), 5.0);
+  const auto monthly = acc.monthly();
+  ASSERT_EQ(monthly.size(), 12u);
+  double total = 0.0;
+  for (const auto& m : monthly) {
+    EXPECT_NEAR(m.time_weighted_mean, 5.0, 1e-12);
+    total += m.integral;
+  }
+  EXPECT_NEAR(total, 5.0 * 366.0 * 86400.0, 1.0);  // 2020 is a leap year
+}
+
+}  // namespace
+}  // namespace greenhpc::sim

@@ -1,0 +1,297 @@
+// Unit tests for greenhpc::stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+
+namespace greenhpc::stats {
+namespace {
+
+// --- descriptive ----------------------------------------------------------------
+
+TEST(Descriptive, SumMeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(sum(xs), 10.0);
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Descriptive, KahanSummationStaysExact) {
+  // 1e16 + many 1.0s: naive left-to-right summation loses them entirely.
+  std::vector<double> xs = {1e16};
+  for (int i = 0; i < 10000; ++i) xs.push_back(1.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 1e16 + 10000.0);
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.571428, 1e-5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(4.571428), 1e-5);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0, 0.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Descriptive, QuantileInterpolation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  // Unsorted input must still work.
+  const std::vector<double> ys = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(ys), 2.5);
+}
+
+TEST(Descriptive, SummaryBundle) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Descriptive, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)min(empty), std::invalid_argument);
+  EXPECT_THROW((void)quantile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  const std::vector<double> xs = {10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(xs), 0.0);
+  EXPECT_THROW((void)coefficient_of_variation(std::vector<double>{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+// --- correlation ------------------------------------------------------------------
+
+TEST(Correlation, PearsonPerfectLinear) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonRejectsDegenerate) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+  EXPECT_THROW((void)pearson(ys, std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Correlation, RanksWithTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const std::vector<double> r = ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x^3 is monotone but nonlinear: Spearman 1, Pearson < 1.
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::pow(i, 3));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Correlation, CrossCorrelationDetectsKnownLag) {
+  // y is x delayed by 2 steps; x[t] matches y[t+2], so x leads at lag +2.
+  std::vector<double> x(60), y(60, 0.0);
+  for (int t = 0; t < 60; ++t) x[static_cast<std::size_t>(t)] = std::sin(t * 0.4);
+  for (int t = 2; t < 60; ++t) y[static_cast<std::size_t>(t)] = x[static_cast<std::size_t>(t - 2)];
+  const LagCorrelation best = best_lag(x, y, 4);
+  EXPECT_EQ(best.lag, 2);
+  EXPECT_GT(best.correlation, 0.95);
+}
+
+TEST(Correlation, CrossCorrelationWindowShape) {
+  std::vector<double> x, y;
+  for (int t = 0; t < 30; ++t) {
+    x.push_back(std::sin(t * 0.7));
+    y.push_back(std::cos(t * 0.7));
+  }
+  const auto all = cross_correlation(x, y, 3);
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(all.front().lag, -3);
+  EXPECT_EQ(all.back().lag, 3);
+}
+
+TEST(Correlation, CrossCorrelationTooShortThrows) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW((void)cross_correlation(x, x, 3), std::invalid_argument);
+}
+
+TEST(Correlation, Comonotonicity) {
+  const std::vector<double> up = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up2 = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(comonotonicity(up, up2), 1.0);
+  const std::vector<double> down = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(comonotonicity(up, down), 0.0);
+}
+
+// --- regression --------------------------------------------------------------------
+
+TEST(Regression, ExactLineRecovery) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const SimpleFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(20.0), 43.0, 1e-9);
+}
+
+TEST(Regression, NoisyFitHasReasonableDiagnostics) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 + 0.5 * i + ((i % 2 == 0) ? 0.3 : -0.3));
+  }
+  const SimpleFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_GT(fit.residual_stddev, 0.0);
+}
+
+TEST(Regression, SolveLinearSystem) {
+  // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+  const auto x = solve_linear_system({{2.0, 1.0}, {1.0, -1.0}}, {5.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Regression, SolveRequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  const auto x = solve_linear_system({{0.0, 1.0}, {1.0, 0.0}}, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Regression, SolveSingularThrows) {
+  EXPECT_THROW((void)solve_linear_system({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Regression, MultipleFitRecoversPlane) {
+  // y = 1 + 2a - 3b.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> ys;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      rows.push_back({1.0, static_cast<double>(a), static_cast<double>(b)});
+      ys.push_back(1.0 + 2.0 * a - 3.0 * b);
+    }
+  }
+  const MultiFit fit = multiple_fit(rows, ys);
+  ASSERT_EQ(fit.coefficients.size(), 3u);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  const std::vector<double> probe = {1.0, 10.0, 1.0};
+  EXPECT_NEAR(fit.predict(probe), 18.0, 1e-6);
+}
+
+TEST(Regression, MultipleFitValidatesShape) {
+  EXPECT_THROW((void)multiple_fit({}, std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)multiple_fit({{1.0, 2.0}, {1.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Regression, DoublingFitExact) {
+  // y doubles every 2 time units.
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 12; ++i) {
+    ts.push_back(i);
+    ys.push_back(std::exp2(static_cast<double>(i) / 2.0));
+  }
+  const DoublingFit fit = doubling_fit(ts, ys);
+  EXPECT_NEAR(fit.doubling_time, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.predict(4.0), 4.0, 1e-6);
+}
+
+TEST(Regression, DoublingFitRejectsNonPositive) {
+  EXPECT_THROW((void)doubling_fit(std::vector<double>{1.0, 2.0}, std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+}
+
+// Parameterized: doubling fit recovers planted rates across magnitudes
+// (0.28 yr ~ the modern-era Fig. 1 rate; 24 mo ~ the Moore-era rate).
+class DoublingRates : public ::testing::TestWithParam<double> {};
+
+TEST_P(DoublingRates, RecoversPlantedDoublingTime) {
+  const double planted = GetParam();
+  std::vector<double> ts, ys;
+  for (int i = 0; i < 20; ++i) {
+    ts.push_back(i * 0.5);
+    ys.push_back(1e-10 * std::exp2(i * 0.5 / planted));
+  }
+  EXPECT_NEAR(doubling_fit(ts, ys).doubling_time, planted, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DoublingRates, ::testing::Values(0.28, 1.0, 2.0, 24.0));
+
+// --- histogram ----------------------------------------------------------------------
+
+TEST(HistogramTest, BinningAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.0);
+  h.add(9.99);
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, BinRangesAndFractions) {
+  Histogram h(0.0, 1.0, 4);
+  const auto [lo, hi] = h.bin_range(1);
+  EXPECT_DOUBLE_EQ(lo, 0.25);
+  EXPECT_DOUBLE_EQ(hi, 0.5);
+  h.add_all(std::vector<double>{0.1, 0.3, 0.3, 0.9});
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(HistogramTest, RenderProducesBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('%'), std::string::npos);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::stats

@@ -1,0 +1,255 @@
+// Unit tests for greenhpc::telemetry — the energy accountant and report cards.
+
+#include <gtest/gtest.h>
+
+#include "telemetry/accountant.hpp"
+#include "telemetry/lifecycle.hpp"
+#include "telemetry/report.hpp"
+
+namespace greenhpc::telemetry {
+namespace {
+
+using cluster::Job;
+using cluster::JobRequest;
+using util::TimePoint;
+
+Job make_job(cluster::JobId id, cluster::UserId user, cluster::JobClass cls,
+             cluster::DomainTag domain = cluster::kNoDomain) {
+  JobRequest req;
+  req.user = user;
+  req.job_class = cls;
+  req.domain = domain;
+  req.gpus = 2;
+  req.work_gpu_seconds = 7200.0;
+  return Job(id, req, TimePoint::from_seconds(0.0));
+}
+
+TEST(Accountant, ChargeAccumulatesPerJob) {
+  EnergyAccountant acc;
+  const Job job = make_job(1, 10, cluster::JobClass::kTraining);
+  acc.charge(job, util::kilowatt_hours(2.0), 1.3, util::usd_per_mwh(40.0),
+             util::kg_per_kwh(0.3), 5.0, 2.0);
+  acc.charge(job, util::kilowatt_hours(1.0), 1.3, util::usd_per_mwh(40.0),
+             util::kg_per_kwh(0.3), 2.5, 1.0);
+
+  const JobFootprint* fp = acc.job(1);
+  ASSERT_NE(fp, nullptr);
+  EXPECT_NEAR(fp->it_energy.kilowatt_hours(), 3.0, 1e-9);
+  EXPECT_NEAR(fp->facility_energy.kilowatt_hours(), 3.9, 1e-9);
+  EXPECT_NEAR(fp->cost.dollars(), 3.9e-3 * 40.0, 1e-9);
+  EXPECT_NEAR(fp->carbon.kilograms(), 3.9 * 0.3, 1e-9);
+  EXPECT_NEAR(fp->water.liters(), 7.5, 1e-9);
+  EXPECT_NEAR(fp->gpu_hours, 3.0, 1e-9);
+}
+
+TEST(Accountant, Eq2DecompositionSumsToTotal) {
+  // sum_i e_i == E: per-user energies must add up to the cluster ledger.
+  EnergyAccountant acc;
+  util::Rng rng(3);
+  std::vector<Job> jobs;
+  for (cluster::JobId id = 1; id <= 30; ++id) {
+    jobs.push_back(make_job(id, static_cast<cluster::UserId>(id % 5),
+                            id % 2 ? cluster::JobClass::kTraining
+                                   : cluster::JobClass::kInference));
+  }
+  for (const Job& job : jobs) {
+    for (int slice = 0; slice < 3; ++slice) {
+      acc.charge(job, util::kilowatt_hours(rng.uniform(0.1, 2.0)), 1.25,
+                 util::usd_per_mwh(rng.uniform(20.0, 50.0)),
+                 util::kg_per_kwh(rng.uniform(0.2, 0.35)), rng.uniform(0.0, 3.0), 0.5);
+    }
+  }
+  double user_energy = 0.0, user_cost = 0.0, user_carbon = 0.0;
+  std::size_t user_jobs = 0;
+  for (const UserFootprint& u : acc.by_user()) {
+    user_energy += u.facility_energy.kilowatt_hours();
+    user_cost += u.cost.dollars();
+    user_carbon += u.carbon.kilograms();
+    user_jobs += u.jobs;
+  }
+  EXPECT_NEAR(user_energy, acc.totals().energy.kilowatt_hours(), 1e-9);
+  EXPECT_NEAR(user_cost, acc.totals().cost.dollars(), 1e-9);
+  EXPECT_NEAR(user_carbon, acc.totals().carbon.kilograms(), 1e-9);
+  EXPECT_EQ(user_jobs, 30u);
+
+  double class_energy = 0.0;
+  for (const auto& [cls, energy] : acc.by_class()) class_energy += energy.kilowatt_hours();
+  EXPECT_NEAR(class_energy, acc.totals().energy.kilowatt_hours(), 1e-9);
+}
+
+TEST(Accountant, UsersSortedByEnergy) {
+  EnergyAccountant acc;
+  const Job heavy = make_job(1, 7, cluster::JobClass::kTraining);
+  const Job light = make_job(2, 8, cluster::JobClass::kDebug);
+  acc.charge(heavy, util::kilowatt_hours(10.0), 1.2, util::usd_per_mwh(30.0),
+             util::kg_per_kwh(0.3), 0.0, 1.0);
+  acc.charge(light, util::kilowatt_hours(1.0), 1.2, util::usd_per_mwh(30.0),
+             util::kg_per_kwh(0.3), 0.0, 1.0);
+  const auto users = acc.by_user();
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0].user, 7u);
+}
+
+TEST(Accountant, UnknownJobIsNull) {
+  const EnergyAccountant acc;
+  EXPECT_EQ(acc.job(42), nullptr);
+}
+
+TEST(Accountant, DomainRollupSumsToTotal) {
+  EnergyAccountant acc;
+  const Job nlp = make_job(1, 0, cluster::JobClass::kTraining, 0);      // NLP tag
+  const Job vision = make_job(2, 1, cluster::JobClass::kTraining, 1);   // CV tag
+  const Job untagged = make_job(3, 2, cluster::JobClass::kAnalysis);
+  acc.charge(nlp, util::kilowatt_hours(4.0), 1.25, util::usd_per_mwh(30.0),
+             util::kg_per_kwh(0.3), 0.0, 1.0);
+  acc.charge(vision, util::kilowatt_hours(2.0), 1.25, util::usd_per_mwh(30.0),
+             util::kg_per_kwh(0.3), 0.0, 1.0);
+  acc.charge(untagged, util::kilowatt_hours(1.0), 1.25, util::usd_per_mwh(30.0),
+             util::kg_per_kwh(0.3), 0.0, 1.0);
+  const auto by_domain = acc.by_domain();
+  EXPECT_NEAR(by_domain.at(0).kilowatt_hours(), 5.0, 1e-9);
+  EXPECT_NEAR(by_domain.at(1).kilowatt_hours(), 2.5, 1e-9);
+  EXPECT_NEAR(by_domain.at(cluster::kNoDomain).kilowatt_hours(), 1.25, 1e-9);
+  double total = 0.0;
+  for (const auto& [tag, energy] : by_domain) total += energy.kilowatt_hours();
+  EXPECT_NEAR(total, acc.totals().energy.kilowatt_hours(), 1e-9);
+}
+
+TEST(Accountant, Validation) {
+  EnergyAccountant acc;
+  const Job job = make_job(1, 0, cluster::JobClass::kDebug);
+  EXPECT_THROW(acc.charge(job, util::kilowatt_hours(-1.0), 1.2, util::usd_per_mwh(30.0),
+                          util::kg_per_kwh(0.3), 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(acc.charge(job, util::kilowatt_hours(1.0), 0.9, util::usd_per_mwh(30.0),
+                          util::kg_per_kwh(0.3), 0.0, 1.0),
+               std::invalid_argument);
+}
+
+// --- equivalents ------------------------------------------------------------------
+
+TEST(Equivalents, ConversionFactors) {
+  const CarbonEquivalents eq = equivalents(util::kg_co2(40.0), util::kilowatt_hours(29.0));
+  EXPECT_NEAR(eq.car_miles, 100.0, 1e-9);
+  EXPECT_NEAR(eq.household_days_energy, 1.0, 1e-9);
+  // The Strubell benchmark: 57,150 kg is one car lifetime.
+  const CarbonEquivalents big = equivalents(util::kg_co2(57150.0), util::Energy{});
+  EXPECT_NEAR(big.car_lifetimes, 1.0, 1e-9);
+}
+
+// --- report card -------------------------------------------------------------------
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() {
+    const Job a = make_job(1, 3, cluster::JobClass::kTraining);
+    const Job b = make_job(2, 4, cluster::JobClass::kInference);
+    acc_.charge(a, util::kilowatt_hours(5.0), 1.3, util::usd_per_mwh(35.0),
+                util::kg_per_kwh(0.28), 4.0, 10.0);
+    acc_.charge(b, util::kilowatt_hours(2.0), 1.3, util::usd_per_mwh(35.0),
+                util::kg_per_kwh(0.28), 1.0, 2.0);
+  }
+  EnergyAccountant acc_;
+};
+
+TEST_F(ReportFixture, JobReportContainsKeyRows) {
+  const ReportCard card(&acc_);
+  const std::string md = card.job_report(1);
+  EXPECT_NE(md.find("## Energy report — job 1"), std::string::npos);
+  EXPECT_NE(md.find("training"), std::string::npos);
+  EXPECT_NE(md.find("facility energy"), std::string::npos);
+  EXPECT_NE(md.find("car miles"), std::string::npos);
+}
+
+TEST_F(ReportFixture, JobReportForUnknownJobThrows) {
+  const ReportCard card(&acc_);
+  EXPECT_THROW((void)card.job_report(99), std::invalid_argument);
+}
+
+TEST_F(ReportFixture, LeaderboardOrdersByEnergy) {
+  const ReportCard card(&acc_);
+  const std::string md = card.user_leaderboard(10);
+  // User 3 (5 kWh) must appear before user 4 (2 kWh).
+  EXPECT_LT(md.find("| 3 |"), md.find("| 4 |"));
+}
+
+TEST_F(ReportFixture, ClusterSummaryHasClassBreakdown) {
+  const ReportCard card(&acc_);
+  const std::string md = card.cluster_summary();
+  EXPECT_NE(md.find("training"), std::string::npos);
+  EXPECT_NE(md.find("inference"), std::string::npos);
+  EXPECT_NE(md.find("car lifetimes"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CsvHasHeaderAndRows) {
+  const ReportCard card(&acc_);
+  const std::string csv = card.jobs_csv();
+  EXPECT_NE(csv.find("job,user,class"), std::string::npos);
+  // Header + 2 rows = 3 newlines at least.
+  EXPECT_GE(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(ReportCardTest, NullAccountantThrows) {
+  EXPECT_THROW(ReportCard(nullptr), std::invalid_argument);
+}
+
+// --- lifecycle ledger ----------------------------------------------------------------
+
+TEST(Lifecycle, PhasesAccumulateIndependently) {
+  ModelLifecycle model("demo-1.3B");
+  model.book(LifecyclePhase::kDevelopment, util::kilowatt_hours(100.0), util::usd(3.0),
+             util::kg_co2(28.0), 250.0);
+  model.book(LifecyclePhase::kDevelopment, util::kilowatt_hours(50.0), util::usd(1.5),
+             util::kg_co2(14.0), 125.0);
+  model.book(LifecyclePhase::kTraining, util::kilowatt_hours(30.0), util::usd(1.0),
+             util::kg_co2(8.4), 75.0);
+  EXPECT_NEAR(model.phase(LifecyclePhase::kDevelopment).energy.kilowatt_hours(), 150.0, 1e-9);
+  EXPECT_NEAR(model.phase(LifecyclePhase::kTraining).gpu_hours, 75.0, 1e-9);
+  EXPECT_NEAR(model.total().energy.kilowatt_hours(), 180.0, 1e-9);
+}
+
+TEST(Lifecycle, SharesSumToOneAndInferenceShareMatchesPaperScenario) {
+  ModelLifecycle model("prod");
+  model.book(LifecyclePhase::kDevelopment, util::kilowatt_hours(10.0), util::Money{},
+             util::MassCo2{}, 0.0);
+  model.book(LifecyclePhase::kTraining, util::kilowatt_hours(5.0), util::Money{},
+             util::MassCo2{}, 0.0);
+  model.book(LifecyclePhase::kServing, util::kilowatt_hours(85.0), util::Money{},
+             util::MassCo2{}, 0.0);
+  const auto shares = model.energy_shares();
+  double total = 0.0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // "put inference at ... 80%-90% of energy costs": the ledger reports it.
+  EXPECT_NEAR(model.inference_share(), 0.85, 1e-12);
+}
+
+TEST(Lifecycle, EmptyLedgerHasZeroShares) {
+  const ModelLifecycle model("empty");
+  const auto shares = model.energy_shares();
+  for (double s : shares) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(model.inference_share(), 0.0);
+}
+
+TEST(Lifecycle, ReportContainsAllPhases) {
+  ModelLifecycle model("report-model");
+  model.book(LifecyclePhase::kServing, util::kilowatt_hours(1.0), util::usd(0.03),
+             util::kg_co2(0.3), 4.0);
+  const std::string md = model.report();
+  EXPECT_NE(md.find("development"), std::string::npos);
+  EXPECT_NE(md.find("training"), std::string::npos);
+  EXPECT_NE(md.find("serving"), std::string::npos);
+  EXPECT_NE(md.find("report-model"), std::string::npos);
+  EXPECT_NE(md.find("**total**"), std::string::npos);
+}
+
+TEST(Lifecycle, Validation) {
+  EXPECT_THROW(ModelLifecycle(""), std::invalid_argument);
+  ModelLifecycle model("x");
+  EXPECT_THROW(model.book(LifecyclePhase::kTraining, util::kilowatt_hours(-1.0), util::Money{},
+                          util::MassCo2{}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::telemetry

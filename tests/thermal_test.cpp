@@ -1,0 +1,209 @@
+// Unit tests for greenhpc::thermal — weather and cooling models.
+
+#include <gtest/gtest.h>
+
+#include "thermal/cooling.hpp"
+#include "thermal/weather.hpp"
+
+namespace greenhpc::thermal {
+namespace {
+
+using util::CivilDate;
+using util::MonthKey;
+using util::TimePoint;
+
+// --- weather -----------------------------------------------------------------
+
+TEST(Weather, MonthlyAveragesTrackClimateNormals) {
+  const WeatherModel model;
+  for (int m = 1; m <= 12; ++m) {
+    const double avg = model.monthly_average(MonthKey{2020, m}).celsius();
+    const double normal = model.config().normal_celsius[static_cast<std::size_t>(m - 1)];
+    EXPECT_NEAR(avg, normal, 2.5) << "month " << m;
+  }
+}
+
+TEST(Weather, JulyWarmerThanJanuary) {
+  const WeatherModel model;
+  EXPECT_GT(model.monthly_average(MonthKey{2021, 7}).celsius(),
+            model.monthly_average(MonthKey{2021, 1}).celsius() + 15.0);
+}
+
+TEST(Weather, DiurnalCycleAfternoonWarmerThanDawn) {
+  WeatherConfig calm;
+  calm.synoptic_amplitude = 0.0;  // isolate the diurnal term
+  const WeatherModel model(calm);
+  const double dawn = model.temperature_at(util::to_timepoint(CivilDate{2020, 6, 10}, 4.0)).celsius();
+  const double afternoon =
+      model.temperature_at(util::to_timepoint(CivilDate{2020, 6, 10}, 16.0)).celsius();
+  EXPECT_GT(afternoon, dawn + 4.0);
+}
+
+TEST(Weather, HeatWaveAppliesOnlyDuringWindow) {
+  WeatherConfig calm;
+  calm.synoptic_amplitude = 0.0;
+  calm.diurnal_amplitude = 0.0;
+  // Compare a waved model against an untouched twin at identical instants
+  // (the seasonal normal drifts day to day, so same-time comparison is the
+  // exact check).
+  const WeatherModel control(calm);
+  WeatherModel waved(calm);
+  const TimePoint start = util::to_timepoint(CivilDate{2021, 7, 10});
+  waved.add_heat_wave({start, util::days(3), 8.0});
+  auto delta = [&](util::Duration offset) {
+    return waved.temperature_at(start + offset).celsius() -
+           control.temperature_at(start + offset).celsius();
+  };
+  EXPECT_NEAR(delta(util::days(1)), 8.0, 1e-9);   // inside the window
+  EXPECT_NEAR(delta(util::days(4)), 0.0, 1e-9);   // after it
+  EXPECT_NEAR(delta(-util::days(1)), 0.0, 1e-9);  // before it
+}
+
+TEST(Weather, OverlappingHeatWavesStack) {
+  WeatherConfig calm;
+  calm.synoptic_amplitude = 0.0;
+  calm.diurnal_amplitude = 0.0;
+  WeatherModel model(calm);
+  const TimePoint start = util::to_timepoint(CivilDate{2021, 7, 10});
+  const double base = model.temperature_at(start + util::hours(5)).celsius();
+  model.add_heat_wave({start, util::days(2), 5.0});
+  model.add_heat_wave({start, util::days(2), 3.0});
+  EXPECT_NEAR(model.temperature_at(start + util::hours(5)).celsius(), base + 8.0, 1e-9);
+}
+
+TEST(Weather, ClimateOffsetShiftsEverything) {
+  WeatherConfig warmed;
+  warmed.climate_offset = 3.0;
+  const WeatherModel base;
+  const WeatherModel warm(warmed);
+  const TimePoint t = util::to_timepoint(CivilDate{2020, 4, 1}, 10.0);
+  EXPECT_NEAR(warm.temperature_at(t).celsius(), base.temperature_at(t).celsius() + 3.0, 1e-9);
+}
+
+TEST(Weather, DeterministicForSeed) {
+  const WeatherModel a, b;
+  const TimePoint t = util::to_timepoint(CivilDate{2021, 2, 3}, 14.0);
+  EXPECT_DOUBLE_EQ(a.temperature_at(t).celsius(), b.temperature_at(t).celsius());
+}
+
+TEST(Weather, InvalidHeatWaveThrows) {
+  WeatherModel model;
+  EXPECT_THROW(model.add_heat_wave({TimePoint::from_seconds(0), util::days(0), 5.0}),
+               std::invalid_argument);
+}
+
+// --- cooling -----------------------------------------------------------------
+
+TEST(Cooling, FreeCoolingBelowThreshold) {
+  const CoolingModel model;
+  EXPECT_DOUBLE_EQ(model.overhead_fraction(util::celsius(-5.0)), model.config().min_overhead);
+  EXPECT_DOUBLE_EQ(model.overhead_fraction(util::celsius(5.0)), model.config().min_overhead);
+}
+
+TEST(Cooling, OverheadSaturatesAtHighTemperature) {
+  const CoolingModel model;
+  EXPECT_NEAR(model.overhead_fraction(util::celsius(32.0)), model.config().max_overhead, 1e-9);
+  EXPECT_NEAR(model.overhead_fraction(util::celsius(45.0)), model.config().max_overhead, 1e-9);
+}
+
+TEST(Cooling, OverheadMonotoneInTemperature) {
+  const CoolingModel model;
+  double prev = 0.0;
+  for (double t = -10.0; t <= 40.0; t += 0.5) {
+    const double o = model.overhead_fraction(util::celsius(t));
+    EXPECT_GE(o, prev - 1e-12) << "at " << t;
+    prev = o;
+  }
+}
+
+TEST(Cooling, PueComposition) {
+  const CoolingModel model;
+  const util::Power it = util::kilowatts(200.0);
+  // Winter: PUE = 1 + min_overhead + fixed_overhead.
+  EXPECT_NEAR(model.pue(it, util::celsius(0.0)),
+              1.0 + model.config().min_overhead + model.config().fixed_overhead, 1e-9);
+  // PUE grows with temperature.
+  EXPECT_GT(model.pue(it, util::celsius(30.0)), model.pue(it, util::celsius(10.0)));
+}
+
+TEST(Cooling, LoadSaturatesAtCapacity) {
+  CoolingConfig config;
+  config.cooling_capacity = util::kilowatts(50.0);
+  const CoolingModel model(config);
+  const CoolingLoad load = model.load(util::kilowatts(200.0), util::celsius(35.0));
+  EXPECT_TRUE(load.saturated());
+  EXPECT_NEAR(load.delivered.kilowatts(), 50.0, 1e-9);
+  EXPECT_GT(load.deficit.kilowatts(), 0.0);
+  EXPECT_NEAR(load.required.kilowatts(), load.delivered.kilowatts() + load.deficit.kilowatts(),
+              1e-9);
+}
+
+TEST(Cooling, ThrottleFractionZeroWhenUnconstrained) {
+  const CoolingModel model;
+  EXPECT_DOUBLE_EQ(model.throttle_fraction(util::kilowatts(200.0), util::celsius(0.0)), 0.0);
+}
+
+TEST(Cooling, ThrottleFractionGrowsWithDeficit) {
+  CoolingConfig config;
+  config.cooling_capacity = util::kilowatts(40.0);
+  const CoolingModel model(config);
+  const double mild = model.throttle_fraction(util::kilowatts(150.0), util::celsius(30.0));
+  const double severe = model.throttle_fraction(util::kilowatts(300.0), util::celsius(38.0));
+  EXPECT_GT(mild, 0.0);
+  EXPECT_GT(severe, mild);
+  EXPECT_LE(severe, 1.0);
+}
+
+TEST(Cooling, WaterGrowsWithTemperature) {
+  const CoolingModel model;
+  const util::Power cooling = util::kilowatts(60.0);
+  const double cold = model.water_liters_per_hour(cooling, util::celsius(5.0));
+  const double hot = model.water_liters_per_hour(cooling, util::celsius(30.0));
+  EXPECT_GT(hot, cold);
+  EXPECT_NEAR(cold, 60.0 * model.config().base_water_l_per_kwh, 1e-9);
+}
+
+TEST(Cooling, WeatherizationImprovesEverything) {
+  const CoolingConfig base;
+  const CoolingConfig invested = CoolingModel::weatherized(base, 1.0);
+  EXPECT_LT(invested.max_overhead, base.max_overhead);
+  EXPECT_GT(invested.cooling_capacity.watts(), base.cooling_capacity.watts());
+  EXPECT_GT(invested.saturation_celsius, base.saturation_celsius);
+  EXPECT_LT(invested.water_slope_l_per_kwh_per_c, base.water_slope_l_per_kwh_per_c);
+
+  const CoolingModel raw(base);
+  const CoolingModel upgraded(invested);
+  const util::Power it = util::kilowatts(250.0);
+  EXPECT_LT(upgraded.pue(it, util::celsius(35.0)), raw.pue(it, util::celsius(35.0)));
+  EXPECT_LE(upgraded.throttle_fraction(it, util::celsius(38.0)),
+            raw.throttle_fraction(it, util::celsius(38.0)));
+}
+
+// Weatherization level sweep: monotone improvement, no regression anywhere.
+class WeatherizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeatherizationSweep, PueNeverWorseThanUninvested) {
+  const double level = GetParam();
+  const CoolingModel base{CoolingConfig{}};
+  const CoolingModel invested{CoolingModel::weatherized(CoolingConfig{}, level)};
+  for (double t = -5.0; t <= 40.0; t += 5.0) {
+    EXPECT_LE(invested.pue(util::kilowatts(220.0), util::celsius(t)),
+              base.pue(util::kilowatts(220.0), util::celsius(t)) + 1e-9)
+        << "temp " << t << " level " << level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, WeatherizationSweep, ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(Cooling, ConfigValidation) {
+  CoolingConfig bad;
+  bad.max_overhead = 0.05;  // below min
+  EXPECT_THROW(CoolingModel{bad}, std::invalid_argument);
+  bad = CoolingConfig{};
+  bad.saturation_celsius = bad.free_cooling_celsius;
+  EXPECT_THROW(CoolingModel{bad}, std::invalid_argument);
+  EXPECT_THROW((void)CoolingModel::weatherized(CoolingConfig{}, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::thermal

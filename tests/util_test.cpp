@@ -1,0 +1,397 @@
+// Unit tests for greenhpc::util — units, calendar, rng, table, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/calendar.hpp"
+#include "util/error.hpp"
+#include "util/noise.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::util {
+namespace {
+
+// --- units --------------------------------------------------------------------
+
+TEST(Units, PowerTimesDurationIsEnergy) {
+  const Energy e = kilowatts(2.0) * hours(3.0);
+  EXPECT_DOUBLE_EQ(e.kilowatt_hours(), 6.0);
+  EXPECT_DOUBLE_EQ(e.joules(), 2000.0 * 3.0 * 3600.0);
+}
+
+TEST(Units, EnergyDividedByDurationIsPower) {
+  const Power p = kilowatt_hours(6.0) / hours(3.0);
+  EXPECT_DOUBLE_EQ(p.kilowatts(), 2.0);
+}
+
+TEST(Units, EnergyDividedByPowerIsDuration) {
+  const Duration d = kilowatt_hours(6.0) / kilowatts(2.0);
+  EXPECT_DOUBLE_EQ(d.hours(), 3.0);
+}
+
+TEST(Units, EnergyTimesPriceIsMoney) {
+  const Money m = megawatt_hours(2.0) * usd_per_mwh(25.0);
+  EXPECT_DOUBLE_EQ(m.dollars(), 50.0);
+}
+
+TEST(Units, EnergyTimesIntensityIsMass) {
+  const MassCo2 c = kilowatt_hours(100.0) * kg_per_kwh(0.3);
+  EXPECT_DOUBLE_EQ(c.kilograms(), 30.0);
+  EXPECT_NEAR(c.pounds(), 66.14, 0.01);
+}
+
+TEST(Units, EnergyTimesWaterIntensityIsVolume) {
+  const WaterVolume w = kilowatt_hours(10.0) * liters_per_kwh(1.8);
+  EXPECT_DOUBLE_EQ(w.liters(), 18.0);
+  EXPECT_DOUBLE_EQ(w.cubic_meters(), 0.018);
+}
+
+TEST(Units, TemperatureConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(celsius(100.0).fahrenheit(), 212.0);
+  EXPECT_DOUBLE_EQ(fahrenheit(32.0).celsius(), 0.0);
+  EXPECT_DOUBLE_EQ(celsius(0.0).kelvin(), 273.15);
+  EXPECT_NEAR(fahrenheit(celsius(23.5).fahrenheit()).celsius(), 23.5, 1e-12);
+}
+
+TEST(Units, TemperatureDifferenceAndShift) {
+  EXPECT_DOUBLE_EQ(celsius(25.0) - celsius(20.0), 5.0);
+  EXPECT_DOUBLE_EQ(celsius(20.0).shifted(8.0).celsius(), 28.0);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  EXPECT_DOUBLE_EQ(kilowatts(3.0) / kilowatts(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(hours(2.0) / minutes(30.0), 4.0);
+}
+
+TEST(Units, ComparisonOperators) {
+  EXPECT_LT(watts(100.0), watts(200.0));
+  EXPECT_GE(kilowatt_hours(1.0), kilowatt_hours(1.0));
+  EXPECT_EQ(usd(5.0), usd(5.0));
+}
+
+// Additive-group / scalar laws checked over a sweep of magnitudes.
+class UnitsLaws : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnitsLaws, PowerArithmetic) {
+  const double v = GetParam();
+  const Power a = watts(v);
+  const Power b = watts(2.0 * v + 1.0);
+  EXPECT_DOUBLE_EQ((a + b).watts(), a.watts() + b.watts());
+  EXPECT_DOUBLE_EQ((b - a).watts(), b.watts() - a.watts());
+  EXPECT_DOUBLE_EQ((a * 3.0).watts(), 3.0 * v);
+  EXPECT_DOUBLE_EQ((3.0 * a).watts(), (a * 3.0).watts());
+  EXPECT_DOUBLE_EQ((a / 2.0).watts(), v / 2.0);
+  EXPECT_DOUBLE_EQ((-a).watts(), -v);
+  Power acc = a;
+  acc += b;
+  EXPECT_DOUBLE_EQ(acc.watts(), (a + b).watts());
+  acc -= b;
+  EXPECT_NEAR(acc.watts(), a.watts(), 1e-9 * std::abs(v) + 1e-12);
+}
+
+TEST_P(UnitsLaws, EnergyConversionConsistency) {
+  const double kwh = GetParam();
+  EXPECT_NEAR(kilowatt_hours(kwh).joules(), kwh * 3.6e6, 1e-6 * std::abs(kwh) + 1e-9);
+  EXPECT_NEAR(kilowatt_hours(kwh).megawatt_hours(), kwh / 1000.0, 1e-12 * std::abs(kwh) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, UnitsLaws,
+                         ::testing::Values(0.0, 1.0, 0.037, 250.0, 1.0e6, 7.3e-4));
+
+// --- calendar ------------------------------------------------------------------
+
+TEST(Calendar, EpochIsJan2020) {
+  const CivilDate d = civil_of(TimePoint::from_seconds(0.0));
+  EXPECT_EQ(d, (CivilDate{2020, 1, 1}));
+}
+
+TEST(Calendar, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2020));
+  EXPECT_FALSE(is_leap_year(2021));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_EQ(days_in_month(2020, 2), 29);
+  EXPECT_EQ(days_in_month(2021, 2), 28);
+  EXPECT_EQ(days_in_month(2021, 12), 31);
+}
+
+TEST(Calendar, RoundTripThroughTimepoint) {
+  for (int year : {2020, 2021, 2022}) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day : {1, 15, days_in_month(year, month)}) {
+        const CivilDate d{year, month, day};
+        EXPECT_EQ(civil_of(to_timepoint(d)), d) << to_string(d);
+      }
+    }
+  }
+}
+
+TEST(Calendar, HourOfDay) {
+  const TimePoint t = to_timepoint(CivilDate{2020, 3, 5}, 13.5);
+  EXPECT_NEAR(hour_of_day(t), 13.5, 1e-9);
+  EXPECT_EQ(civil_of(t), (CivilDate{2020, 3, 5}));
+}
+
+TEST(Calendar, DayOfWeek) {
+  // 2020-01-01 was a Wednesday (Mon=0 -> 2).
+  EXPECT_EQ(day_of_week(to_timepoint(CivilDate{2020, 1, 1})), 2);
+  // 2021-12-25 was a Saturday.
+  EXPECT_EQ(day_of_week(to_timepoint(CivilDate{2021, 12, 25})), 5);
+}
+
+TEST(Calendar, MonthKeyIndexRoundTrip) {
+  for (int idx = -25; idx <= 40; ++idx) {
+    EXPECT_EQ(MonthKey::from_index(idx).index_from_epoch(), idx);
+  }
+  EXPECT_EQ((MonthKey{2021, 7}).index_from_epoch(), 18);
+  EXPECT_EQ(MonthKey::from_index(18), (MonthKey{2021, 7}));
+}
+
+TEST(Calendar, MonthSpanCoversWholeMonth) {
+  const MonthSpan feb = month_span(MonthKey{2020, 2});
+  EXPECT_DOUBLE_EQ(feb.length().days(), 29.0);  // leap February
+  const MonthSpan feb21 = month_span(MonthKey{2021, 2});
+  EXPECT_DOUBLE_EQ(feb21.length().days(), 28.0);
+  EXPECT_EQ(civil_of(feb.start), (CivilDate{2020, 2, 1}));
+}
+
+TEST(Calendar, YearFraction) {
+  EXPECT_NEAR(year_fraction(to_timepoint(CivilDate{2021, 1, 1})), 0.0, 1e-9);
+  EXPECT_NEAR(year_fraction(to_timepoint(CivilDate{2021, 7, 2})), 0.5, 0.01);
+}
+
+TEST(Calendar, Labels) {
+  EXPECT_EQ((MonthKey{2020, 7}).label(), "2020-07");
+  EXPECT_EQ(to_string(CivilDate{2021, 3, 9}), "2021-03-09");
+  EXPECT_STREQ(month_name(1), "Jan");
+  EXPECT_STREQ(month_name(12), "Dec");
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform01() == b.uniform01()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 60000; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+class PoissonMeans : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeans, MeanMatches) {
+  const double lambda = GetParam();
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+  EXPECT_NEAR(sum / n, lambda, std::max(0.05, lambda * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonMeans, ::testing::Values(0.1, 1.0, 4.0, 25.0, 60.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(29);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0], 10000, 700);
+  EXPECT_NEAR(counts[1], 30000, 1000);
+  EXPECT_NEAR(counts[2], 60000, 1000);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(31);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(child1.uniform01(), child2.uniform01());
+  // Parent and child streams should not track each other.
+  Rng parent(5);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform01() == child.uniform01()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- noise ------------------------------------------------------------------------
+
+TEST(Noise, BoundedAndDeterministic) {
+  const SmoothNoise n(42, hours(24));
+  for (int h = 0; h < 24 * 60; ++h) {
+    const TimePoint t = TimePoint::from_seconds(h * 3600.0);
+    const double v = n.value(t);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+    EXPECT_DOUBLE_EQ(v, SmoothNoise(42, hours(24)).value(t));
+  }
+}
+
+TEST(Noise, ContinuousAcrossKnots) {
+  const SmoothNoise n(7, hours(10));
+  // Sample just before/after a knot boundary.
+  const double knot_s = 10.0 * 3600.0;
+  const double before = n.value(TimePoint::from_seconds(knot_s - 0.5));
+  const double after = n.value(TimePoint::from_seconds(knot_s + 0.5));
+  EXPECT_NEAR(before, after, 0.01);
+}
+
+TEST(Noise, FractalStaysBounded) {
+  const FractalNoise n(1234, hours(48));
+  for (int i = 0; i < 5000; ++i) {
+    const double v = n.value(TimePoint::from_seconds(i * 977.0));
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+// --- table ------------------------------------------------------------------------
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("beta", 22.25);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add("plain", "with,comma");
+  t.add_row({"quote\"inside", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormattingHelpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_sci(123456.0, 3), "1.23e+05");
+}
+
+// --- errors ---------------------------------------------------------------------
+
+TEST(Error, RequireAndEnsure) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad arg"), std::invalid_argument);
+  EXPECT_NO_THROW(ensure(true, "ok"));
+  EXPECT_THROW(ensure(false, "bug"), std::logic_error);
+}
+
+// --- thread pool -----------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversIndexSpaceExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+}  // namespace
+}  // namespace greenhpc::util

@@ -1,0 +1,484 @@
+// Unit tests for greenhpc::workload — conferences, demand, arrivals,
+// training model, users, inference fleet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/arrivals.hpp"
+#include "workload/conferences.hpp"
+#include "workload/demand.hpp"
+#include "workload/inference.hpp"
+#include "workload/redundancy.hpp"
+#include "workload/training_model.hpp"
+#include "workload/users.hpp"
+
+namespace greenhpc::workload {
+namespace {
+
+using util::CivilDate;
+using util::MonthKey;
+using util::TimePoint;
+
+// --- conferences -------------------------------------------------------------------
+
+TEST(Conferences, TableCoversFiveAreas) {
+  const auto& table = conference_table();
+  EXPECT_GE(table.size(), 40u);
+  int areas[5] = {};
+  for (const Conference& c : table) ++areas[static_cast<int>(c.area)];
+  for (int count : areas) EXPECT_GT(count, 0);
+}
+
+TEST(Conferences, AllDeadlinesInObservationWindow) {
+  for (const Conference& c : conference_table()) {
+    for (const CivilDate& d : c.deadlines) {
+      EXPECT_GE(d.year, 2020) << c.name;
+      EXPECT_LE(d.year, 2021) << c.name;
+      EXPECT_GE(d.month, 1) << c.name;
+      EXPECT_LE(d.month, 12) << c.name;
+      EXPECT_LE(d.day, util::days_in_month(d.year, d.month)) << c.name;
+    }
+  }
+}
+
+TEST(Conferences, KeyVenuesPresent) {
+  bool neurips = false, iclr = false, kdd = false;
+  for (const Conference& c : conference_table()) {
+    if (c.name == "NeurIPS") neurips = true;
+    if (c.name == "ICLR") iclr = true;
+    if (c.name == "KDD") kdd = true;
+  }
+  EXPECT_TRUE(neurips && iclr && kdd);
+}
+
+TEST(Calendar, MonthlyCountsAndWeights) {
+  const DeadlineCalendar cal = DeadlineCalendar::standard();
+  int total = 0;
+  for (int y : {2020, 2021})
+    for (int m = 1; m <= 12; ++m) total += cal.monthly_count(MonthKey{y, m});
+  EXPECT_EQ(total, static_cast<int>(cal.deadlines().size()));
+  // Weighted concentration exceeds raw count where big venues cluster (the
+  // spring-2021 NeurIPS/EMNLP/ICCV window).
+  EXPECT_GT(cal.monthly_weight(MonthKey{2021, 5}),
+            static_cast<double>(cal.monthly_count(MonthKey{2021, 5})));
+}
+
+TEST(Calendar, Spring2021ConcentrationExceeds2020) {
+  // The Fig. 5 narrative: "a notable concentration of deadlines" follows the
+  // Jan/Feb-2021 pickup.
+  const DeadlineCalendar cal = DeadlineCalendar::standard();
+  double w20 = 0.0, w21 = 0.0;
+  for (int m = 2; m <= 5; ++m) {
+    w20 += cal.monthly_weight(MonthKey{2020, m});
+    w21 += cal.monthly_weight(MonthKey{2021, m});
+  }
+  EXPECT_GT(w21, w20 + 3.0);
+}
+
+TEST(Calendar, SpanAndEmpty) {
+  const DeadlineCalendar cal = DeadlineCalendar::standard();
+  const auto span = cal.span();
+  ASSERT_TRUE(span.has_value());
+  EXPECT_EQ(span->first.year, 2020);
+  EXPECT_EQ(span->second.year, 2021);
+  EXPECT_FALSE(DeadlineCalendar({}).span().has_value());
+}
+
+TEST(Calendar, UniformSpreadPreservesCountAndWeight) {
+  const DeadlineCalendar cal = DeadlineCalendar::standard();
+  const DeadlineCalendar uniform = cal.spread_uniform();
+  EXPECT_EQ(uniform.deadlines().size(), cal.deadlines().size());
+  double w_orig = 0.0, w_uniform = 0.0;
+  int max_month = 0;
+  for (int y : {2020, 2021}) {
+    for (int m = 1; m <= 12; ++m) {
+      w_orig += cal.monthly_weight(MonthKey{y, m});
+      w_uniform += uniform.monthly_weight(MonthKey{y, m});
+      max_month = std::max(max_month, uniform.monthly_count(MonthKey{y, m}));
+    }
+  }
+  EXPECT_NEAR(w_orig, w_uniform, 1e-9);
+  // Uniform spread: no month holds more than ceil(n/24)+1.
+  EXPECT_LE(max_month, static_cast<int>(cal.deadlines().size()) / 24 + 2);
+}
+
+TEST(Calendar, WinterShiftPutsEverythingInJanApr) {
+  const DeadlineCalendar winter = DeadlineCalendar::standard().concentrate_winter();
+  for (const Deadline& d : winter.deadlines()) {
+    EXPECT_GE(d.date.month, 1);
+    EXPECT_LE(d.date.month, 4);
+  }
+  EXPECT_EQ(winter.deadlines().size(), DeadlineCalendar::standard().deadlines().size());
+}
+
+TEST(Calendar, RollingIsEmpty) {
+  EXPECT_TRUE(DeadlineCalendar::standard().rolling().deadlines().empty());
+}
+
+TEST(Calendar, RejectsNonPositiveWeights) {
+  EXPECT_THROW(DeadlineCalendar({{CivilDate{2020, 5, 1}, 0.0}}), std::invalid_argument);
+}
+
+// --- demand -----------------------------------------------------------------------
+
+TEST(Demand, RampPeaksBeforeDeadline) {
+  const DeadlineCalendar cal({{CivilDate{2021, 6, 1}, 1.0}});
+  const DemandModulator mod(cal);
+  const double far_out = mod.deadline_factor(util::to_timepoint(CivilDate{2021, 1, 1}));
+  const double peak = mod.deadline_factor(util::to_timepoint(CivilDate{2021, 5, 22}));
+  const double after = mod.deadline_factor(util::to_timepoint(CivilDate{2021, 6, 3}));
+  EXPECT_NEAR(far_out, 1.0, 1e-6);
+  EXPECT_GT(peak, 1.05);
+  EXPECT_LT(after, 1.0);  // post-deadline relief dip
+}
+
+TEST(Demand, HeavierVenuesPullMoreDemand) {
+  const DemandModulator light(DeadlineCalendar({{CivilDate{2021, 6, 1}, 0.5}}));
+  const DemandModulator heavy(DeadlineCalendar({{CivilDate{2021, 6, 1}, 3.0}}));
+  const TimePoint probe = util::to_timepoint(CivilDate{2021, 5, 22});
+  EXPECT_GT(heavy.deadline_factor(probe), light.deadline_factor(probe));
+}
+
+TEST(Demand, MultipleDeadlinesStack) {
+  const DeadlineCalendar one({{CivilDate{2021, 6, 1}, 1.0}});
+  const DeadlineCalendar three({{CivilDate{2021, 6, 1}, 1.0},
+                                {CivilDate{2021, 6, 5}, 1.0},
+                                {CivilDate{2021, 6, 10}, 1.0}});
+  const TimePoint probe = util::to_timepoint(CivilDate{2021, 5, 25});
+  EXPECT_GT(DemandModulator(three).deadline_factor(probe),
+            DemandModulator(one).deadline_factor(probe));
+}
+
+TEST(Demand, CalendarFactorDiurnalAndWeekend) {
+  const DemandModulator mod(DeadlineCalendar({}));
+  // Wednesday afternoon vs Wednesday pre-dawn.
+  const double afternoon = mod.calendar_factor(util::to_timepoint(CivilDate{2020, 5, 6}, 15.0));
+  const double predawn = mod.calendar_factor(util::to_timepoint(CivilDate{2020, 5, 6}, 4.0));
+  EXPECT_GT(afternoon, predawn);
+  // Saturday vs Wednesday, same hour.
+  const double saturday = mod.calendar_factor(util::to_timepoint(CivilDate{2020, 5, 9}, 15.0));
+  EXPECT_LT(saturday, afternoon);
+}
+
+TEST(Demand, FactorStaysPositive) {
+  const DemandModulator mod(DeadlineCalendar::standard());
+  for (int d = 0; d < 730; d += 3) {
+    const double f = mod.factor(TimePoint::from_seconds(d * 86400.0 + 7.3));
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 10.0);
+  }
+}
+
+// --- arrivals ----------------------------------------------------------------------
+
+TEST(Arrivals, DefaultMixIsValid) {
+  const auto mix = default_mix();
+  EXPECT_EQ(mix.size(), 5u);
+  double weight = 0.0;
+  for (const ClassProfile& p : mix) weight += p.weight;
+  EXPECT_NEAR(weight, 1.0, 1e-9);
+}
+
+TEST(Arrivals, PoissonRateMatchesExpectation) {
+  const ArrivalProcess process(ArrivalConfig{}, nullptr);
+  util::Rng rng(5);
+  double total = 0.0;
+  const int windows = 500;
+  for (int i = 0; i < windows; ++i)
+    total += static_cast<double>(process.sample(TimePoint::from_seconds(i * 3600.0),
+                                                util::hours(1), rng).size());
+  EXPECT_NEAR(total / windows, 12.0, 0.6);
+}
+
+TEST(Arrivals, ModulatorScalesRate) {
+  const DemandModulator mod(DeadlineCalendar({{CivilDate{2020, 3, 15}, 3.0}}));
+  const ArrivalProcess process(ArrivalConfig{}, &mod);
+  // Near the deadline the rate must exceed the base rate.
+  const TimePoint busy = util::to_timepoint(CivilDate{2020, 3, 8}, 15.0);  // weekday afternoon
+  EXPECT_GT(process.rate_per_hour(busy), 12.0);
+}
+
+TEST(Arrivals, RequestsAreWellFormed) {
+  const ArrivalProcess process(ArrivalConfig{}, nullptr);
+  util::Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const cluster::JobRequest req = process.draw_request(TimePoint::from_seconds(0.0), rng);
+    EXPECT_GE(req.gpus, 1);
+    EXPECT_LE(req.gpus, 32);
+    EXPECT_GE(req.work_gpu_seconds, 60.0);
+    EXPECT_GE(req.estimate_factor, 1.0);
+    if (req.deadline) {
+      EXPECT_TRUE(req.flexible);
+    }
+  }
+}
+
+TEST(Arrivals, ClassMixProportions) {
+  const ArrivalProcess process(ArrivalConfig{}, nullptr);
+  util::Rng rng(23);
+  int debug = 0, training = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto req = process.draw_request(TimePoint::from_seconds(0.0), rng);
+    if (req.job_class == cluster::JobClass::kDebug) ++debug;
+    if (req.job_class == cluster::JobClass::kTraining) ++training;
+  }
+  EXPECT_NEAR(static_cast<double>(debug) / n, 0.38, 0.02);
+  EXPECT_NEAR(static_cast<double>(training) / n, 0.27, 0.02);
+}
+
+TEST(Arrivals, ConfigValidation) {
+  ArrivalConfig bad;
+  bad.base_rate_per_hour = 0.0;
+  EXPECT_THROW(ArrivalProcess(bad, nullptr), std::invalid_argument);
+  bad = ArrivalConfig{};
+  bad.mix[0].gpu_weights.pop_back();
+  EXPECT_THROW(ArrivalProcess(bad, nullptr), std::invalid_argument);
+}
+
+// --- training model ---------------------------------------------------------------
+
+TEST(TrainingModel, KaplanFlopsRule) {
+  EXPECT_DOUBLE_EQ(TrainingRunModel::estimate_flops(1e9, 2e10), 1.2e20);
+  EXPECT_THROW((void)TrainingRunModel::estimate_flops(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(TrainingModel, CostRollupConsistency) {
+  TrainingRunSpec spec;
+  spec.parameters = 1.3e9;
+  spec.tokens = 3.0e10;
+  spec.gpus = 8;
+  const TrainingRunCost cost =
+      TrainingRunModel::cost(spec, util::usd_per_mwh(30.0), util::kg_per_kwh(0.3));
+  EXPECT_NEAR(cost.total_flops, 6.0 * 1.3e9 * 3.0e10, 1e10);
+  EXPECT_NEAR(cost.gpu_hours * 3600.0 * spec.sustained_flops_per_gpu, cost.total_flops, 1e12);
+  EXPECT_NEAR(cost.wall_clock.hours() * spec.gpus, cost.gpu_hours, 1e-6);
+  EXPECT_NEAR(cost.facility_energy.joules(), cost.it_energy.joules() * spec.pue, 1e-3);
+  EXPECT_NEAR(cost.cost.dollars(), cost.facility_energy.megawatt_hours() * 30.0, 1e-9);
+  EXPECT_NEAR(cost.carbon.kilograms(), cost.facility_energy.kilowatt_hours() * 0.3, 1e-9);
+}
+
+TEST(TrendModel, GPT3ScaleSanity) {
+  // GPT-3's 3.14e23 FLOPs should be ~3640 PF/s-days; the landmark list
+  // encodes it directly and the energy converter should give megawatt-hours.
+  const double kwh = ComputeTrendModel::energy_kwh(3640.0, 20.0);
+  EXPECT_GT(kwh, 1.0e6);  // > 1 GWh at facility scale
+  EXPECT_LT(kwh, 1.0e8);
+}
+
+TEST(TrendModel, EraDoublingTimes) {
+  const ComputeTrendModel trend;
+  const auto first = trend.first_era();
+  const auto modern = trend.modern_era();
+  EXPECT_GT(first.doubling_time, 18.0);   // months: ~2-year era
+  EXPECT_LT(first.doubling_time, 30.0);
+  EXPECT_GT(modern.doubling_time, 2.0);   // months: ~3.4-month era
+  EXPECT_LT(modern.doubling_time, 6.0);
+  EXPECT_GT(first.r_squared, 0.85);
+  EXPECT_GT(modern.r_squared, 0.6);
+}
+
+TEST(TrendModel, LandmarksAreChronologicallyPlausible) {
+  for (const LandmarkSystem& s : landmark_systems()) {
+    EXPECT_GT(s.petaflop_s_days, 0.0) << s.name;
+    EXPECT_GE(s.year, 1950.0) << s.name;
+    EXPECT_LE(s.year, 2022.0) << s.name;
+  }
+}
+
+TEST(TrendModel, ProjectionGrowsUnderModernEra) {
+  const ComputeTrendModel trend;
+  const auto modern = trend.modern_era();
+  EXPECT_GT(trend.project(modern, 2020.0), trend.project(modern, 2018.0));
+}
+
+// --- users -------------------------------------------------------------------------
+
+TEST(Users, GenerationRespectsConfig) {
+  util::Rng rng(31);
+  PopulationConfig config;
+  config.user_count = 500;
+  config.strategic_fraction = 0.4;
+  const UserPopulation pop = UserPopulation::generate(config, rng);
+  EXPECT_EQ(pop.size(), 500u);
+  int strategic = 0;
+  for (const UserProfile& u : pop.users()) {
+    EXPECT_GE(u.patience, config.min_patience);
+    EXPECT_LE(u.patience, config.max_patience);
+    EXPECT_GE(u.green_preference, 0.0);
+    EXPECT_LE(u.green_preference, 1.0);
+    if (u.honesty < 0.5) ++strategic;
+  }
+  EXPECT_NEAR(static_cast<double>(strategic) / 500.0, 0.4, 0.07);
+}
+
+TEST(Users, ActivityWeightedSampling) {
+  util::Rng rng(37);
+  PopulationConfig config;
+  config.user_count = 50;
+  const UserPopulation pop = UserPopulation::generate(config, rng);
+  // The most active user should be sampled more often than the least active.
+  std::vector<int> hits(50, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[pop.sample_user(rng)];
+  cluster::UserId most_active = 0, least_active = 0;
+  for (cluster::UserId u = 1; u < 50; ++u) {
+    if (pop.user(u).activity > pop.user(most_active).activity) most_active = u;
+    if (pop.user(u).activity < pop.user(least_active).activity) least_active = u;
+  }
+  EXPECT_GT(hits[most_active], hits[least_active]);
+}
+
+TEST(Users, MeansAndLookup) {
+  util::Rng rng(41);
+  const UserPopulation pop = UserPopulation::generate(PopulationConfig{}, rng);
+  EXPECT_GT(pop.mean_green_preference(), 0.3);
+  EXPECT_LT(pop.mean_green_preference(), 0.7);
+  EXPECT_GT(pop.mean_honesty(), 0.4);
+  EXPECT_THROW((void)pop.user(static_cast<cluster::UserId>(pop.size())), std::invalid_argument);
+}
+
+// --- inference ---------------------------------------------------------------------
+
+TEST(Inference, ProvisionedForPeakWithHeadroom) {
+  const InferenceFleet fleet;
+  const auto& spec = fleet.spec();
+  EXPECT_GE(fleet.provisioned_replicas() * spec.qps_per_replica, spec.peak_qps * spec.headroom);
+}
+
+TEST(Inference, UtilizationInPaperBand) {
+  // Sec. IV-B: "AWS reports p3 GPU instances at only 10%-30% utilization."
+  const InferenceFleet fleet;
+  const auto cost = fleet.serve(util::to_timepoint(CivilDate{2021, 1, 1}),
+                                util::to_timepoint(CivilDate{2021, 2, 1}));
+  EXPECT_GE(cost.average_utilization, 0.10);
+  EXPECT_LE(cost.average_utilization, 0.35);
+}
+
+TEST(Inference, DiurnalDemandShape) {
+  const InferenceFleet fleet;
+  const double peak_hour = fleet.qps_at(util::to_timepoint(CivilDate{2021, 3, 3}, 20.0));
+  const double trough_hour = fleet.qps_at(util::to_timepoint(CivilDate{2021, 3, 3}, 8.0));
+  EXPECT_GT(peak_hour, trough_hour);
+  EXPECT_LE(peak_hour, fleet.spec().peak_qps * 1.001);
+}
+
+TEST(Inference, EnergyScalesWithWindow) {
+  const InferenceFleet fleet;
+  const TimePoint start = util::to_timepoint(CivilDate{2021, 1, 1});
+  const auto week = fleet.serve(start, start + util::days(7));
+  const auto fortnight = fleet.serve(start, start + util::days(14));
+  EXPECT_NEAR(fortnight.it_energy.joules() / week.it_energy.joules(), 2.0, 0.05);
+  EXPECT_GT(week.energy_per_1k_queries.joules(), 0.0);
+}
+
+TEST(Inference, SpecValidation) {
+  InferenceFleetSpec bad;
+  bad.headroom = 0.5;
+  EXPECT_THROW(InferenceFleet{bad}, std::invalid_argument);
+  bad = InferenceFleetSpec{};
+  bad.replica_busy = util::watts(50.0);  // below idle
+  EXPECT_THROW(InferenceFleet{bad}, std::invalid_argument);
+}
+
+// --- domains (the paper's future-work breakdown) ------------------------------------
+
+TEST(Domains, AreaWeightsShiftTowardUpcomingDeadlineArea) {
+  // A single heavyweight NLP deadline: NLP's weight share near the date must
+  // exceed its base share far from any deadline.
+  const DeadlineCalendar cal({{CivilDate{2021, 6, 1}, 3.0, Area::kNlpSpeech}});
+  const DemandModulator mod(cal);
+  const auto near = mod.area_weights(util::to_timepoint(CivilDate{2021, 5, 22}));
+  const auto far = mod.area_weights(util::to_timepoint(CivilDate{2021, 1, 10}));
+  auto share = [](const std::array<double, 5>& w, Area a) {
+    double total = 0.0;
+    for (double v : w) total += v;
+    return w[static_cast<std::size_t>(a)] / total;
+  };
+  EXPECT_GT(share(near, Area::kNlpSpeech), share(far, Area::kNlpSpeech) + 0.05);
+}
+
+TEST(Domains, ArrivalsTagJobsWhenModulated) {
+  const DemandModulator mod(DeadlineCalendar::standard());
+  const ArrivalProcess process(ArrivalConfig{}, &mod);
+  util::Rng rng(51);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 3000; ++i) {
+    const auto req = process.draw_request(util::to_timepoint(CivilDate{2021, 5, 10}), rng);
+    ASSERT_LT(req.domain, 5);  // tagged
+    ++counts[req.domain];
+  }
+  for (int c : counts) EXPECT_GT(c, 0);  // every area appears
+}
+
+TEST(Domains, UnmodulatedArrivalsStayUntagged) {
+  const ArrivalProcess process(ArrivalConfig{}, nullptr);
+  util::Rng rng(53);
+  const auto req = process.draw_request(util::to_timepoint(CivilDate{2021, 5, 10}), rng);
+  EXPECT_EQ(req.domain, cluster::kNoDomain);
+}
+
+// --- redundancy (Sec. IV-A) -----------------------------------------------------------
+
+TEST(Redundancy, PerfectReproducibilityWastesOnlyAvoidableSweep) {
+  RedundancyParams params;
+  params.reproduction_success_rate = 1.0;
+  const ProjectWaste waste = project_waste(params);
+  EXPECT_NEAR(waste.expected_attempts, 1.0, 1e-9);
+  EXPECT_NEAR(waste.expected_failed_runs, 0.0, 1e-9);
+  EXPECT_NEAR(waste.wasted.kilowatt_hours(),
+              params.avoidable_sweep_fraction * params.sweep_size *
+                  params.energy_per_run.kilowatt_hours(),
+              1e-6);
+}
+
+TEST(Redundancy, ExpectedAttemptsMatchesTruncatedGeometric) {
+  RedundancyParams params;
+  params.reproduction_success_rate = 0.5;
+  params.max_attempts = 3;
+  // E = 1*0.5 + 2*0.25 + 3*0.125 + 3*0.125 (give-up) = 1.75.
+  EXPECT_NEAR(project_waste(params).expected_attempts, 1.75, 1e-9);
+}
+
+TEST(Redundancy, WasteMonotoneInReproducibility) {
+  RedundancyParams params;
+  double prev = 1e18;
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    params.reproduction_success_rate = p;
+    const double wasted = project_waste(params).wasted.kilowatt_hours();
+    EXPECT_LT(wasted, prev) << "p=" << p;
+    prev = wasted;
+  }
+}
+
+TEST(Redundancy, CommunityScalesLinearly) {
+  const RedundancyParams params;
+  const CommunityWaste one =
+      community_waste(params, 1.0, util::usd_per_mwh(30.0), util::kg_per_kwh(0.3));
+  const CommunityWaste thousand =
+      community_waste(params, 1000.0, util::usd_per_mwh(30.0), util::kg_per_kwh(0.3));
+  EXPECT_NEAR(thousand.wasted.joules(), 1000.0 * one.wasted.joules(), 1e-3);
+  EXPECT_GT(one.wasted_carbon.kilograms(), 0.0);
+  EXPECT_GT(one.wasted_cost.dollars(), 0.0);
+}
+
+TEST(Redundancy, ReportingDividendPositiveAndBounded) {
+  const RedundancyParams params;
+  const util::Energy dividend = reporting_dividend(params, 0.9);
+  EXPECT_GT(dividend.kilowatt_hours(), 0.0);
+  EXPECT_LE(dividend.joules(), project_waste(params).wasted.joules() + 1e-6);
+}
+
+TEST(Redundancy, Validation) {
+  RedundancyParams bad;
+  bad.reproduction_success_rate = 0.0;
+  EXPECT_THROW((void)project_waste(bad), std::invalid_argument);
+  const RedundancyParams params;
+  EXPECT_THROW((void)reporting_dividend(params, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)community_waste(params, -1.0, util::usd_per_mwh(30.0),
+                                     util::kg_per_kwh(0.3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greenhpc::workload

@@ -1,0 +1,243 @@
+// greenhpc_sim — command-line scenario runner for the datacenter twin.
+//
+// The adoption-grade front door: run a configurable simulation window with a
+// chosen scheduler, power cap, battery, and workload intensity; print the
+// run summary; optionally export the monthly series and per-job footprints
+// as CSV (the shareable dataset Sec. IV-B of the paper asks facilities to
+// provide).
+//
+// Examples:
+//   greenhpc_sim --scheduler carbon_aware --start 2021-01 --months 12
+//   greenhpc_sim --cap 200 --rate 9 --seed 7 --csv out/run1
+//   greenhpc_sim --battery 1000 --scheduler power_aware --months 3
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "telemetry/report.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+struct CliOptions {
+  core::PolicyKind policy = core::PolicyKind::kBackfill;
+  util::MonthKey start{2021, 1};
+  int months = 3;
+  std::uint64_t seed = 42;
+  std::optional<double> cap_w;
+  std::optional<double> battery_kwh;
+  double rate_per_hour = 12.0;
+  std::string csv_prefix;  // empty = no CSV export
+  bool reports = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "greenhpc_sim — energy-aware datacenter twin runner\n\n"
+      "options:\n"
+      "  --scheduler NAME   fcfs | easy_backfill | carbon_aware | power_aware\n"
+      "                     (default easy_backfill)\n"
+      "  --start YYYY-MM    first simulated month (default 2021-01)\n"
+      "  --months N         number of months to simulate (default 3)\n"
+      "  --seed S           RNG seed (default 42)\n"
+      "  --cap W            fixed cluster-wide GPU power cap in watts\n"
+      "  --battery KWH      attach a battery of this capacity with the\n"
+      "                     threshold arbitrage policy\n"
+      "  --rate R           base job submissions per hour (default 12)\n"
+      "  --csv PREFIX       write PREFIX_monthly.csv and PREFIX_jobs.csv\n"
+      "  --reports          print the markdown report cards\n"
+      "  --help             this text\n";
+}
+
+std::optional<CliOptions> parse(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return std::nullopt;
+    }
+    if (arg == "--reports") {
+      opts.reports = true;
+      continue;
+    }
+    const auto value = next();
+    if (!value) {
+      std::cerr << "error: " << arg << " needs a value (see --help)\n";
+      return std::nullopt;
+    }
+    try {
+      if (arg == "--scheduler") {
+        if (*value == "fcfs") opts.policy = core::PolicyKind::kFcfs;
+        else if (*value == "easy_backfill") opts.policy = core::PolicyKind::kBackfill;
+        else if (*value == "carbon_aware") opts.policy = core::PolicyKind::kCarbonAware;
+        else if (*value == "power_aware") opts.policy = core::PolicyKind::kPowerAware;
+        else {
+          std::cerr << "error: unknown scheduler '" << *value << "'\n";
+          return std::nullopt;
+        }
+      } else if (arg == "--start") {
+        if (value->size() != 7 || (*value)[4] != '-') throw std::invalid_argument("format");
+        opts.start.year = std::stoi(value->substr(0, 4));
+        opts.start.month = std::stoi(value->substr(5, 2));
+        if (opts.start.month < 1 || opts.start.month > 12) throw std::invalid_argument("month");
+      } else if (arg == "--months") {
+        opts.months = std::stoi(*value);
+        if (opts.months < 1) throw std::invalid_argument("months");
+      } else if (arg == "--seed") {
+        opts.seed = std::stoull(*value);
+      } else if (arg == "--cap") {
+        opts.cap_w = std::stod(*value);
+      } else if (arg == "--battery") {
+        opts.battery_kwh = std::stod(*value);
+      } else if (arg == "--rate") {
+        opts.rate_per_hour = std::stod(*value);
+        if (opts.rate_per_hour <= 0.0) throw std::invalid_argument("rate");
+      } else if (arg == "--csv") {
+        opts.csv_prefix = *value;
+      } else {
+        std::cerr << "error: unknown option '" << arg << "' (see --help)\n";
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "error: bad value '" << *value << "' for " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+/// Wraps the selected policy with an optional fixed cap ceiling.
+class CappedScheduler final : public sched::Scheduler {
+ public:
+  CappedScheduler(std::unique_ptr<sched::Scheduler> inner, std::optional<util::Power> cap)
+      : inner_(std::move(inner)), cap_(cap) {}
+  const char* name() const override { return inner_->name(); }
+  std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+    return inner_->select(ctx);
+  }
+  util::Power choose_cap(const sched::SchedulerContext& ctx) override {
+    const util::Power inner_cap = inner_->choose_cap(ctx);
+    return cap_ ? std::min(*cap_, inner_cap) : inner_cap;
+  }
+
+ private:
+  std::unique_ptr<sched::Scheduler> inner_;
+  std::optional<util::Power> cap_;
+};
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc, argv);
+  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  const CliOptions& opts = *parsed;
+
+  const util::MonthSpan first = util::month_span(opts.start);
+  const util::MonthKey last_key =
+      util::MonthKey::from_index(opts.start.index_from_epoch() + opts.months - 1);
+  const util::MonthSpan last = util::month_span(last_key);
+
+  core::DatacenterConfig config;
+  config.seed = opts.seed;
+  config.fuel_mix.seed = opts.seed ^ 0x5EEDF00DULL;
+  config.price.seed = opts.seed ^ 0x9E37ULL;
+  config.weather.seed = opts.seed ^ 0xBADCAFEULL;
+  config.start = first.start - util::days(7);  // warm-up week
+  if (opts.battery_kwh) {
+    grid::BatteryConfig battery;
+    battery.capacity = util::kilowatt_hours(*opts.battery_kwh);
+    battery.max_charge = util::kilowatts(*opts.battery_kwh / 4.0);
+    battery.max_discharge = util::kilowatts(*opts.battery_kwh / 4.0);
+    config.battery = battery;
+  }
+
+  std::optional<util::Power> cap;
+  if (opts.cap_w) cap = util::watts(*opts.cap_w);
+  core::Datacenter dc(config,
+                      std::make_unique<CappedScheduler>(core::make_scheduler(opts.policy), cap));
+  workload::ArrivalConfig arrivals;
+  arrivals.base_rate_per_hour = opts.rate_per_hour;
+  dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+  if (opts.battery_kwh) {
+    dc.attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>());
+  }
+
+  std::cout << "greenhpc_sim: " << core::policy_name(opts.policy) << ", "
+            << opts.start.label() << " + " << opts.months << " month(s), seed " << opts.seed;
+  if (opts.cap_w) std::cout << ", cap " << *opts.cap_w << " W";
+  if (opts.battery_kwh) std::cout << ", battery " << *opts.battery_kwh << " kWh";
+  std::cout << "\n";
+
+  dc.run_until(first.start);  // warm-up
+  dc.run_until(last.end);
+
+  // --- summary -------------------------------------------------------------
+  const core::RunSummary s = dc.summary();
+  util::Table summary({"metric", "value"});
+  summary.add("jobs submitted", s.jobs_submitted);
+  summary.add("jobs completed", s.jobs_completed);
+  summary.add("completed GPU-hours", util::fmt_fixed(s.completed_gpu_hours, 0));
+  summary.add("mean utilization %", util::fmt_fixed(100.0 * s.mean_utilization, 1));
+  summary.add("mean queue wait (h)", util::fmt_fixed(s.mean_queue_wait_hours, 2));
+  summary.add("mean PUE", util::fmt_fixed(s.mean_pue, 3));
+  summary.add("facility energy (MWh)", util::fmt_fixed(s.grid_totals.energy.megawatt_hours(), 2));
+  summary.add("electricity cost ($)", util::fmt_fixed(s.grid_totals.cost.dollars(), 0));
+  summary.add("CO2 (t)", util::fmt_fixed(s.grid_totals.carbon.metric_tons(), 2));
+  summary.add("water (m^3)", util::fmt_fixed(s.grid_totals.water.cubic_meters(), 1));
+  summary.add("throttle hours", util::fmt_fixed(s.throttle_hours, 1));
+  std::cout << "\n" << summary;
+
+  // --- monthly table ---------------------------------------------------------
+  util::Table monthly({"month", "avg_power_kw", "utilization", "pue", "renewable_pct",
+                       "avg_lmp_usd_mwh", "avg_temp_f"});
+  const auto power = dc.monthly_power().monthly();
+  for (const auto& m : power) {
+    if (m.month < opts.start || last_key < m.month) continue;  // drop warm-up
+    const auto util_m = dc.monthly_utilization().month(m.month);
+    const auto pue_m = dc.monthly_pue().month(m.month);
+    monthly.add(m.month.label(), util::fmt_fixed(m.time_weighted_mean, 1),
+                util::fmt_fixed(util_m ? util_m->time_weighted_mean : 0.0, 3),
+                util::fmt_fixed(pue_m ? pue_m->time_weighted_mean : 0.0, 3),
+                util::fmt_fixed(dc.fuel_mix().monthly_renewable_pct(m.month), 2),
+                util::fmt_fixed(dc.prices().monthly_average(m.month).usd_per_mwh(), 1),
+                util::fmt_fixed(dc.weather().monthly_average(m.month).fahrenheit(), 1));
+  }
+  std::cout << "\n" << monthly;
+
+  if (opts.reports) {
+    const telemetry::ReportCard card(&dc.accountant());
+    std::cout << "\n" << card.cluster_summary() << "\n" << card.user_leaderboard(10);
+  }
+
+  if (!opts.csv_prefix.empty()) {
+    const telemetry::ReportCard card(&dc.accountant());
+    if (!write_file(opts.csv_prefix + "_monthly.csv", monthly.to_csv())) return 1;
+    if (!write_file(opts.csv_prefix + "_jobs.csv", card.jobs_csv())) return 1;
+    std::cout << "\nwrote " << opts.csv_prefix << "_monthly.csv and " << opts.csv_prefix
+              << "_jobs.csv\n";
+  }
+  return 0;
+}
