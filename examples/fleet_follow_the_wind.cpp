@@ -1,0 +1,61 @@
+// Follow the wind: watching a carbon-greedy fleet chase green power.
+//
+// A walkthrough of the fleet subsystem. We build the four reference regions
+// under a CarbonGreedyRouter, advance the fleet day by day for two weeks,
+// and print where the router sent jobs as each region's wind (and therefore
+// carbon intensity) came and went. The daily trace is the point: placement
+// shares move with the day's grid signals, not with a fixed split — the
+// spatial analogue of the paper's carbon-aware temporal scheduling.
+
+#include <iostream>
+
+#include "fleet/coordinator.hpp"
+#include "telemetry/fleet.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+int main() {
+  const util::TimePoint start = util::to_timepoint(util::CivilDate{2021, 3, 1});
+  constexpr int kDays = 14;
+
+  auto coordinator = fleet::make_reference_fleet_coordinator("carbon_greedy", /*seed=*/7);
+
+  util::print_banner(std::cout, "follow the wind: carbon-greedy routing, daily trace");
+  std::cout << "fleet: ";
+  for (std::size_t i = 0; i < coordinator->region_count(); ++i) {
+    std::cout << (i ? ", " : "") << coordinator->profile(i).name;
+  }
+  std::cout << "\nwindow: " << util::to_string(util::civil_of(start)) << " + " << kDays
+            << " days (after a warm-up spin-up from the epoch start)\n\n";
+
+  coordinator->run_until(start);  // spin up: queues fill, grids reach steady state
+
+  util::Table trace({"day", "region", "co2_g_kwh", "renew_pct", "util_pct", "jobs_today"});
+  std::vector<std::size_t> routed_before(coordinator->region_count(), 0);
+  for (int day = 0; day < kDays; ++day) {
+    routed_before = coordinator->jobs_routed();
+    coordinator->run_until(start + util::days(day + 1));
+    const util::TimePoint noon = start + util::days(day) + util::hours(12);
+    for (std::size_t i = 0; i < coordinator->region_count(); ++i) {
+      const core::Datacenter& dc = coordinator->region(i);
+      const util::TimePoint lt = dc.local_time(noon);
+      const fleet::RegionView view = coordinator->view_of(i);
+      trace.add(i == 0 ? std::to_string(day + 1) : "", coordinator->profile(i).name,
+                util::fmt_fixed(dc.carbon().intensity_at(lt).g_per_kwh(), 0),
+                util::fmt_fixed(100.0 * dc.fuel_mix().mix_at(lt).renewable_share(), 1),
+                util::fmt_fixed(100.0 * view.utilization, 1),
+                coordinator->jobs_routed()[i] - routed_before[i]);
+    }
+  }
+  std::cout << trace;
+
+  std::cout << "\nNote how the plains-wind and ercot columns trade places: on windy\n"
+               "days their intensity drops and the router piles jobs in; when the\n"
+               "wind dies the stream snaps back to hydro and the home region.\n";
+
+  const telemetry::FleetRunSummary summary = coordinator->summary();
+  std::cout << "\nper-region (whole run):\n" << telemetry::fleet_region_table(summary);
+  std::cout << "\nfleet aggregate:\n" << telemetry::fleet_total_table(summary);
+  return 0;
+}

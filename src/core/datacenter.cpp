@@ -14,7 +14,7 @@ Datacenter::Datacenter(DatacenterConfig config, std::unique_ptr<sched::Scheduler
       weather_(config.weather),
       cooling_(config.cooling),
       fuel_mix_(config.fuel_mix),
-      carbon_(&fuel_mix_),
+      carbon_(&fuel_mix_, config.emission_factors),
       price_(config.price, &fuel_mix_),
       cluster_(config.cluster),
       scheduler_(std::move(scheduler)),
@@ -56,11 +56,12 @@ cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
 
 void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
   const util::Duration dt = config_.step;
-  const util::Temperature outdoor = weather_.temperature_at(t);
+  const util::TimePoint lt = local_time(t);  // environment models live in local time
+  const util::Temperature outdoor = weather_.temperature_at(lt);
   const util::Power it_now = cluster_.it_power();
   const double pue = cooling_.pue(it_now, outdoor);
-  const util::EnergyPrice price_now = price_.price_at(t);
-  const util::CarbonIntensity carbon_now = carbon_.intensity_at(t);
+  const util::EnergyPrice price_now = price_.price_at(lt);
+  const util::CarbonIntensity carbon_now = carbon_.intensity_at(lt);
   // Direct cooling water attributed proportionally to IT energy: facility
   // L/h divided by IT kW gives liters per IT-kWh.
   const double water_l_per_it_kwh =
@@ -131,7 +132,8 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
 
 void Datacenter::step(util::TimePoint t) {
   const util::Duration dt = config_.step;
-  const util::Temperature outdoor = weather_.temperature_at(t);
+  const util::TimePoint lt = local_time(t);  // environment models live in local time
+  const util::Temperature outdoor = weather_.temperature_at(lt);
 
   // 1. Workload arrivals land at the step boundary.
   if (arrivals_) {
@@ -147,16 +149,16 @@ void Datacenter::step(util::TimePoint t) {
 
   // 4. Scheduling decisions under current grid signals.
   sched::GridSignals signals;
-  signals.price = price_.price_at(t);
-  signals.carbon = carbon_.intensity_at(t);
-  signals.renewable_share = fuel_mix_.mix_at(t).renewable_share();
+  signals.price = price_.price_at(lt);
+  signals.carbon = carbon_.intensity_at(lt);
+  signals.renewable_share = fuel_mix_.mix_at(lt).renewable_share();
   run_scheduler(t, signals);
 
   // 5. Facility power and grid draw (battery may shift it).
   const util::Power it = cluster_.it_power();
   util::Power facility = cooling_.facility_power(it, outdoor);
   if (battery_ && battery_policy_) {
-    grid::MarketView view{t, signals.price, signals.carbon, signals.renewable_share,
+    grid::MarketView view{lt, signals.price, signals.carbon, signals.renewable_share,
                           battery_->soc_fraction()};
     const grid::BatteryAction action = battery_policy_->decide(view);
     if (action.kind == grid::BatteryAction::Kind::kCharge) {
@@ -168,7 +170,7 @@ void Datacenter::step(util::TimePoint t) {
       facility -= delivered / dt;
     }
   }
-  connection_->draw(t, facility, dt);
+  connection_->draw(lt, facility, dt);  // billed and attributed at local-time conditions
 
   // 6. Monthly instrumentation.
   monthly_util_.add_sample(t, dt, cluster_.utilization());
@@ -210,10 +212,7 @@ const sim::MonthlyAccumulator& Datacenter::monthly_power() const {
 std::unique_ptr<Datacenter> make_reference_datacenter(std::unique_ptr<sched::Scheduler> scheduler,
                                                       std::uint64_t seed) {
   DatacenterConfig config;
-  config.seed = seed;
-  config.fuel_mix.seed = seed ^ 0x5EEDF00DULL;
-  config.price.seed = seed ^ 0x9E37ULL;
-  config.weather.seed = seed ^ 0xBADCAFEULL;
+  config.reseed(seed);
   auto dc = std::make_unique<Datacenter>(config, std::move(scheduler));
   dc->attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
   return dc;

@@ -36,13 +36,32 @@ struct DatacenterConfig {
   thermal::CoolingConfig cooling;
   grid::FuelMixConfig fuel_mix;
   grid::PriceConfig price;
+  /// Life-cycle emission factors applied to the fuel mix; regional grids
+  /// (fleet/) override these together with the mix itself.
+  grid::EmissionFactors emission_factors;
   grid::GridConnectionConfig connection;
   std::optional<grid::BatteryConfig> battery;  ///< nullopt = no storage
+  /// Offset between this site's local time and the fleet-wide simulation
+  /// clock. Environment models (weather diurnal cycle, solar output, LMP
+  /// shapes) are defined in local time, so a twin at +3 h sees its afternoon
+  /// peak three simulated hours earlier than the clock's home region.
+  util::Duration local_time_offset = util::seconds(0.0);
   util::Duration step = util::minutes(15);
   /// Where the twin's clock starts (default: the simulation epoch,
   /// 2020-01-01). Experiments on a later window start just before it.
   util::TimePoint start = util::TimePoint::from_seconds(0.0);
   std::uint64_t seed = 42;
+
+  /// Sets the twin seed and derives the per-subsystem environment seeds
+  /// (fuel mix, prices, weather) from it — the one place that derivation
+  /// lives, so every surface that builds a twin stays bit-reproducible
+  /// against the others.
+  void reseed(std::uint64_t s) {
+    seed = s;
+    fuel_mix.seed = s ^ 0x5EEDF00DULL;
+    price.seed = s ^ 0x9E37ULL;
+    weather.seed = s ^ 0xBADCAFEULL;
+  }
 };
 
 /// Aggregate results of a run (monthly views live on the accessors).
@@ -92,11 +111,17 @@ class Datacenter {
   void run_until(util::TimePoint end);
 
   [[nodiscard]] util::TimePoint now() const { return sim_.now(); }
+  /// This site's local time for a simulation-clock instant.
+  [[nodiscard]] util::TimePoint local_time(util::TimePoint t) const {
+    return t + config_.local_time_offset;
+  }
   [[nodiscard]] RunSummary summary() const;
 
   // --- Component access (read-only) -----------------------------------------
   [[nodiscard]] const cluster::Cluster& cluster_state() const { return cluster_; }
   [[nodiscard]] const cluster::JobRegistry& jobs() const { return jobs_; }
+  /// Pending job ids in submission order (what the scheduler sees each step).
+  [[nodiscard]] const std::vector<cluster::JobId>& queue() const { return queue_; }
   [[nodiscard]] const grid::GridConnection& grid_meter() const { return *connection_; }
   [[nodiscard]] const telemetry::EnergyAccountant& accountant() const { return accountant_; }
   [[nodiscard]] const thermal::WeatherModel& weather() const { return weather_; }

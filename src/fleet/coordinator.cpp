@@ -1,0 +1,172 @@
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::fleet {
+
+using util::require;
+
+namespace {
+
+/// Independent per-region seed stream (so adding a region never perturbs
+/// the others' environments).
+std::uint64_t region_seed(std::uint64_t fleet_seed, std::size_t index) {
+  util::SplitMix64 sm(fleet_seed ^ (0xF1EE7C0DEULL + index));
+  return sm.next();
+}
+
+core::DatacenterConfig region_config(const FleetConfig& fleet, const RegionProfile& profile,
+                                     std::size_t index) {
+  core::DatacenterConfig config;
+  config.cluster = profile.cluster;
+  config.weather = profile.weather;
+  config.cooling = profile.cooling;
+  config.fuel_mix = profile.fuel_mix;
+  config.price = profile.price;
+  config.emission_factors = profile.emissions;
+  config.connection = profile.connection;
+  config.local_time_offset = util::hours(profile.timezone_offset_hours);
+  config.step = fleet.step;
+  config.start = fleet.start;
+  config.reseed(region_seed(fleet.seed, index));
+  return config;
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(FleetConfig config, std::vector<RegionProfile> profiles,
+                                   std::unique_ptr<RoutingPolicy> router,
+                                   SchedulerFactory scheduler_factory)
+    : config_(std::move(config)),
+      profiles_(std::move(profiles)),
+      router_(std::move(router)),
+      rng_(config_.seed ^ 0xF1EE7ULL),
+      clock_(config_.start) {
+  require(!profiles_.empty(), "FleetCoordinator: empty region list");
+  require(router_ != nullptr, "FleetCoordinator: null routing policy");
+  require(config_.home_region < profiles_.size(), "FleetCoordinator: home_region out of range");
+  require(config_.step.seconds() > 0.0, "FleetCoordinator: step must be positive");
+  if (!scheduler_factory) {
+    scheduler_factory = [] { return std::make_unique<sched::EasyBackfillScheduler>(); };
+  }
+  regions_.reserve(profiles_.size());
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    auto scheduler = scheduler_factory();
+    require(scheduler != nullptr, "FleetCoordinator: scheduler factory returned null");
+    regions_.push_back(std::make_unique<core::Datacenter>(
+        region_config(config_, profiles_[i], i), std::move(scheduler)));
+  }
+  jobs_routed_.assign(profiles_.size(), 0);
+  modulator_ = std::make_unique<workload::DemandModulator>(config_.calendar, config_.demand);
+  arrivals_ = std::make_unique<workload::ArrivalProcess>(config_.arrivals, modulator_.get());
+}
+
+RegionView FleetCoordinator::view_of(std::size_t i) const {
+  const core::Datacenter& dc = *regions_.at(i);
+  const cluster::Cluster& cluster = dc.cluster_state();
+  RegionView view;
+  view.index = i;
+  view.name = profiles_[i].name.c_str();
+  view.is_home = i == config_.home_region;
+  view.total_gpus = cluster.total_gpus();
+  view.free_gpus = cluster.free_gpus();
+  view.queue_depth = dc.queue().size();
+  for (const cluster::JobId id : dc.queue()) {
+    view.queued_gpu_demand += dc.jobs().get(id).request().gpus;
+  }
+  view.utilization = cluster.utilization();
+  view.busy_gpu_power = cluster.busy_gpu_power();
+  const util::TimePoint lt = dc.local_time(clock_);
+  view.price = dc.prices().price_at(lt);
+  view.carbon = dc.carbon().intensity_at(lt);
+  view.renewable_share = dc.fuel_mix().mix_at(lt).renewable_share();
+  return view;
+}
+
+void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window) {
+  const std::vector<cluster::JobRequest> requests = arrivals_->sample(t, window, rng_);
+  if (requests.empty()) return;
+
+  std::vector<RegionView> views;
+  views.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) views.push_back(view_of(i));
+
+  RoutingContext ctx;
+  ctx.now = t;
+  ctx.transfer_energy = config_.transfer_energy_per_job;
+  for (const cluster::JobRequest& request : requests) {
+    ctx.regions = views;
+    const std::size_t pick = router_->route(request, ctx);
+    require(pick < regions_.size(), "FleetCoordinator: router returned bad region index");
+    regions_[pick]->submit(request);
+    ++jobs_routed_[pick];
+
+    if (pick != config_.home_region && config_.transfer_energy_per_job.joules() > 0.0) {
+      // The moved bytes burn energy on the path; bill them at the
+      // destination's instantaneous grid conditions.
+      const core::Datacenter& dest = *regions_[pick];
+      const util::TimePoint lt = dest.local_time(t);
+      const util::Energy e = config_.transfer_energy_per_job;
+      transfer_.energy += e;
+      transfer_.cost += e * dest.prices().price_at(lt);
+      transfer_.carbon += e * dest.carbon().intensity_at(lt);
+      transfer_.water += e * profiles_[pick].connection.generation_water;
+    }
+
+    // Keep the snapshot honest within the batch: the job we just placed
+    // consumes capacity (or queue room) the next job can no longer claim.
+    RegionView& placed = views[pick];
+    if (placed.free_gpus >= request.gpus) {
+      placed.free_gpus -= request.gpus;
+    } else {
+      ++placed.queue_depth;
+      placed.queued_gpu_demand += request.gpus;
+    }
+  }
+}
+
+void FleetCoordinator::run_until(util::TimePoint end) {
+  while (clock_ < end) {
+    const util::TimePoint t = clock_;
+    const util::TimePoint next = std::min(t + config_.step, end);
+    route_arrivals(t, next - t);  // sample only the window actually advanced
+    for (const auto& dc : regions_) dc->run_until(next);
+    clock_ = next;
+  }
+}
+
+telemetry::FleetRunSummary FleetCoordinator::summary() const {
+  std::vector<telemetry::RegionRunSummary> regions;
+  regions.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    telemetry::RegionRunSummary r;
+    r.name = profiles_[i].name;
+    r.total_gpus = regions_[i]->cluster_state().total_gpus();
+    r.jobs_routed = jobs_routed_[i];
+    r.run = regions_[i]->summary();
+    regions.push_back(std::move(r));
+  }
+  return telemetry::aggregate_fleet(std::move(regions), transfer_);
+}
+
+std::unique_ptr<FleetCoordinator> make_reference_fleet_coordinator(const std::string& router_name,
+                                                                   std::uint64_t seed,
+                                                                   std::size_t region_count) {
+  std::vector<RegionProfile> profiles = make_reference_fleet();
+  require(region_count >= 1 && region_count <= profiles.size(),
+          "make_reference_fleet_coordinator: region_count must be 1..4");
+  profiles.resize(region_count);
+
+  std::unique_ptr<RoutingPolicy> router = make_router(router_name);
+  require(router != nullptr, "make_reference_fleet_coordinator: unknown router name");
+
+  FleetConfig config;
+  config.seed = seed;
+  config.arrivals.base_rate_per_hour = scaled_fleet_rate(profiles);
+  return std::make_unique<FleetCoordinator>(std::move(config), std::move(profiles),
+                                            std::move(router));
+}
+
+}  // namespace greenhpc::fleet

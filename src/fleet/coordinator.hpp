@@ -1,0 +1,96 @@
+#pragma once
+// FleetCoordinator: N datacenter twins on one clock, one routed workload.
+//
+// The geo-distributed composition the paper's "where should A.I. jobs run"
+// question needs: each region is a full core::Datacenter (its own weather,
+// fuel mix, LMPs, cooling plant, cluster, scheduler), all stepped in
+// lockstep on a shared simulation clock. One fleet-wide arrival process
+// samples the job stream; a RoutingPolicy places every job using a snapshot
+// of all regions' grid signals and queue pressure. Off-home placements pay a
+// configurable network-transfer energy penalty, metered in a separate
+// ledger so spatial shifting is never free by construction.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "telemetry/fleet.hpp"
+#include "workload/arrivals.hpp"
+
+namespace greenhpc::fleet {
+
+struct FleetConfig {
+  /// Shared lockstep cadence (every region's twin steps at this period).
+  util::Duration step = util::minutes(15);
+  util::TimePoint start = util::TimePoint::from_seconds(0.0);
+  std::uint64_t seed = 42;
+  /// Fleet-wide submission stream (routed, not per-region). Size
+  /// base_rate_per_hour to the *fleet's* total GPUs, not one site's.
+  workload::ArrivalConfig arrivals;
+  workload::DemandConfig demand;
+  workload::DeadlineCalendar calendar = workload::DeadlineCalendar::standard();
+  /// Region index the job stream (and its data) originates from.
+  std::size_t home_region = 0;
+  /// Network-transfer penalty: energy burned moving one job's input data to
+  /// a non-home region. Charged at the destination's grid conditions into
+  /// the fleet's transfer ledger and visible to greedy routers.
+  util::Energy transfer_energy_per_job = util::kilowatt_hours(0.0);
+};
+
+class FleetCoordinator {
+ public:
+  /// Builds one scheduler per region (each twin owns its instance).
+  using SchedulerFactory = std::function<std::unique_ptr<sched::Scheduler>()>;
+
+  /// `profiles` must be non-empty, `router` non-null. A null
+  /// `scheduler_factory` defaults every region to EASY backfill.
+  FleetCoordinator(FleetConfig config, std::vector<RegionProfile> profiles,
+                   std::unique_ptr<RoutingPolicy> router,
+                   SchedulerFactory scheduler_factory = nullptr);
+
+  /// Advances every region in lockstep to `end` (multiples of `step`
+  /// beyond the current clock; a partial trailing step still advances the
+  /// member twins' clocks so telemetry windows line up).
+  void run_until(util::TimePoint end);
+
+  [[nodiscard]] util::TimePoint now() const { return clock_; }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] const core::Datacenter& region(std::size_t i) const { return *regions_.at(i); }
+  [[nodiscard]] const RegionProfile& profile(std::size_t i) const { return profiles_.at(i); }
+  [[nodiscard]] const RoutingPolicy& router() const { return *router_; }
+  [[nodiscard]] const std::vector<std::size_t>& jobs_routed() const { return jobs_routed_; }
+  [[nodiscard]] const grid::EnergyLedger& transfer_ledger() const { return transfer_; }
+
+  /// The routing snapshot of one region at the current clock (exposed for
+  /// tests and analysis tools).
+  [[nodiscard]] RegionView view_of(std::size_t i) const;
+
+  /// Per-region roll-up plus fleet aggregate and transfer ledger.
+  [[nodiscard]] telemetry::FleetRunSummary summary() const;
+
+ private:
+  void route_arrivals(util::TimePoint t, util::Duration window);
+
+  FleetConfig config_;
+  std::vector<RegionProfile> profiles_;
+  std::vector<std::unique_ptr<core::Datacenter>> regions_;
+  std::unique_ptr<RoutingPolicy> router_;
+  std::unique_ptr<workload::DemandModulator> modulator_;
+  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  util::Rng rng_;
+  util::TimePoint clock_;
+  std::vector<std::size_t> jobs_routed_;
+  grid::EnergyLedger transfer_;
+};
+
+/// The standard fleet experiment: the make_reference_fleet() regions under
+/// one routed workload sized to the fleet's aggregate capacity (the same
+/// per-GPU pressure as the single-site reference twin). `router_name` is a
+/// make_router() name; throws on unknown names.
+[[nodiscard]] std::unique_ptr<FleetCoordinator> make_reference_fleet_coordinator(
+    const std::string& router_name, std::uint64_t seed = 42, std::size_t region_count = 4);
+
+}  // namespace greenhpc::fleet

@@ -1,0 +1,149 @@
+#include "fleet/region.hpp"
+
+namespace greenhpc::fleet {
+
+namespace {
+
+// Home region: the paper's Boston / ISO-NE calibration — every config block
+// at its defaults, 224 nodes x 2 V100.
+RegionProfile iso_ne() {
+  RegionProfile r;
+  r.name = "iso-ne";
+  r.timezone_offset_hours = 0.0;
+  return r;
+}
+
+// Texas-like grid: hot summers, large wind fleet over a gas/coal base, cheap
+// but scarcity-spiky energy-only market.
+RegionProfile ercot() {
+  RegionProfile r;
+  r.name = "ercot";
+  r.timezone_offset_hours = -1.0;  // Central vs Eastern
+
+  r.cluster.node_count = 192;
+  r.cluster.fixed_infrastructure = util::kilowatts(52.0);
+
+  r.weather.normal_celsius = {10.0, 12.0, 16.0, 20.5, 25.0, 29.0,
+                              31.0, 31.5, 27.5, 21.5, 15.0, 11.0};
+  r.weather.diurnal_amplitude = 6.0;
+  r.weather.synoptic_amplitude = 3.5;
+
+  // Plant engineered for heat: wider envelope, more capacity per GPU.
+  r.cooling.free_cooling_celsius = 8.0;
+  r.cooling.saturation_celsius = 38.0;
+  r.cooling.max_overhead = 0.55;
+  r.cooling.cooling_capacity = util::kilowatts(150.0);
+
+  r.fuel_mix.solar_pct_by_month = {1.8, 2.2, 3.0, 3.6, 4.0, 4.2,
+                                   4.2, 4.0, 3.4, 2.8, 2.0, 1.6};
+  r.fuel_mix.wind_pct_by_month = {26.0, 27.0, 30.0, 29.0, 26.0, 22.0,
+                                  18.0, 17.0, 20.0, 24.0, 27.0, 26.0};
+  r.fuel_mix.hydro_pct = 0.3;
+  r.fuel_mix.nuclear_pct = 10.0;
+  r.fuel_mix.coal_pct = 16.0;
+  r.fuel_mix.oil_pct = 0.2;
+  r.fuel_mix.other_pct = 1.5;
+  r.fuel_mix.wind_noise_amplitude = 0.55;  // wind regimes swing hard in Texas
+
+  r.price.base_usd_per_mwh = {28.0, 26.0, 24.0, 23.0, 26.0, 34.0,
+                              42.0, 44.0, 34.0, 27.0, 26.0, 30.0};
+  r.price.renewable_coupling = 1.2;
+  r.price.mean_renewable_share = 0.27;
+  r.price.noise_amplitude = 0.15;
+  r.price.spikes_per_year = 25.0;   // energy-only market scarcity pricing
+  r.price.spike_multiplier = 12.0;
+  return r;
+}
+
+// Pacific-Northwest site: mild marine climate, hydro-dominated grid, cheap
+// and stable power, lowest carbon of the fleet.
+RegionProfile columbia_hydro() {
+  RegionProfile r;
+  r.name = "columbia-hydro";
+  r.timezone_offset_hours = -3.0;  // Pacific vs Eastern
+
+  r.cluster.node_count = 128;
+  r.cluster.fixed_infrastructure = util::kilowatts(38.0);
+
+  r.weather.normal_celsius = {4.5, 6.0, 8.5, 11.0, 14.5, 17.5,
+                              20.5, 20.5, 17.5, 12.0, 7.5, 4.5};
+  r.weather.diurnal_amplitude = 5.0;
+  r.weather.synoptic_amplitude = 3.0;
+
+  r.cooling.cooling_capacity = util::kilowatts(95.0);
+
+  r.fuel_mix.solar_pct_by_month = {0.4, 0.7, 1.2, 1.6, 1.9, 2.1,
+                                   2.2, 2.0, 1.5, 0.9, 0.5, 0.3};
+  r.fuel_mix.wind_pct_by_month = {7.0, 7.5, 9.0, 10.0, 9.5, 8.5,
+                                  7.0, 6.0, 6.5, 7.5, 8.0, 7.0};
+  r.fuel_mix.hydro_pct = 68.0;  // BPA-scale hydro base (~100-120 gCO2/kWh)
+  r.fuel_mix.nuclear_pct = 4.0;
+  r.fuel_mix.coal_pct = 1.5;
+  r.fuel_mix.oil_pct = 0.1;
+  r.fuel_mix.other_pct = 3.0;
+
+  r.price.base_usd_per_mwh = {22.0, 21.0, 20.0, 18.0, 16.0, 15.0,
+                              17.0, 19.0, 20.0, 21.0, 23.0, 24.0};
+  r.price.renewable_coupling = 1.5;
+  r.price.mean_renewable_share = 0.095;
+  r.price.noise_amplitude = 0.08;
+  r.price.spikes_per_year = 4.0;
+  r.price.spike_multiplier = 3.0;
+  return r;
+}
+
+// Wind-belt plains site: cold winters, very high wind share over a coal
+// base — cheap and often green, but carbon-intensive when the wind dies.
+RegionProfile plains_wind() {
+  RegionProfile r;
+  r.name = "plains-wind";
+  r.timezone_offset_hours = -1.0;  // Central vs Eastern
+
+  r.cluster.node_count = 96;
+  r.cluster.fixed_infrastructure = util::kilowatts(30.0);
+
+  r.weather.normal_celsius = {-8.0, -5.0, 0.5, 7.5, 14.0, 19.5,
+                              22.5, 21.5, 16.0, 8.5, 0.5, -6.0};
+  r.weather.diurnal_amplitude = 7.0;
+  r.weather.synoptic_amplitude = 5.0;
+
+  r.cooling.cooling_capacity = util::kilowatts(75.0);
+
+  r.fuel_mix.solar_pct_by_month = {0.8, 1.2, 1.8, 2.2, 2.5, 2.6,
+                                   2.6, 2.4, 2.0, 1.5, 1.0, 0.7};
+  r.fuel_mix.wind_pct_by_month = {42.0, 44.0, 46.0, 44.0, 38.0, 30.0,
+                                  24.0, 25.0, 30.0, 38.0, 43.0, 42.0};
+  r.fuel_mix.hydro_pct = 6.0;
+  r.fuel_mix.nuclear_pct = 12.0;
+  r.fuel_mix.coal_pct = 12.0;
+  r.fuel_mix.oil_pct = 0.2;
+  r.fuel_mix.other_pct = 2.5;
+  r.fuel_mix.wind_noise_amplitude = 0.5;
+
+  r.price.base_usd_per_mwh = {20.0, 19.0, 18.0, 17.0, 18.0, 22.0,
+                              26.0, 27.0, 22.0, 19.0, 19.0, 21.0};
+  r.price.renewable_coupling = 1.0;
+  r.price.mean_renewable_share = 0.33;
+  r.price.noise_amplitude = 0.12;
+  r.price.spikes_per_year = 8.0;
+  r.price.spike_multiplier = 5.0;
+  return r;
+}
+
+}  // namespace
+
+std::vector<RegionProfile> make_reference_fleet() {
+  return {iso_ne(), ercot(), columbia_hydro(), plains_wind()};
+}
+
+int fleet_total_gpus(const std::vector<RegionProfile>& profiles) {
+  int total = 0;
+  for (const RegionProfile& p : profiles) total += p.cluster.node_count * p.cluster.gpus_per_node;
+  return total;
+}
+
+double scaled_fleet_rate(const std::vector<RegionProfile>& profiles, double per_site_rate) {
+  return per_site_rate * fleet_total_gpus(profiles) / kReferenceSiteGpus;
+}
+
+}  // namespace greenhpc::fleet

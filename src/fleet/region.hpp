@@ -1,0 +1,69 @@
+#pragma once
+// Region profiles: the per-site environment a fleet member runs in.
+//
+// The paper's levers are when and *where* A.I. jobs run: the same GPU-hour
+// costs different dollars, carbon, and water depending on the grid it draws
+// from (Sec. II-A's "implicit environmental opportunity cost"). A
+// RegionProfile bundles everything that varies by site — climate normals,
+// fuel mix, LMP calibration, emission factors, cluster size, timezone — so a
+// FleetCoordinator can compose several core::Datacenter twins across
+// heterogeneous grid regions. make_reference_fleet() ships four stylized
+// regions spanning the realistic spread of US grid carbon intensities.
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "grid/carbon.hpp"
+#include "grid/connection.hpp"
+#include "grid/fuel_mix.hpp"
+#include "grid/price.hpp"
+#include "thermal/cooling.hpp"
+#include "thermal/weather.hpp"
+
+namespace greenhpc::fleet {
+
+/// Everything that distinguishes one fleet site from another.
+struct RegionProfile {
+  std::string name = "region";
+  cluster::ClusterSpec cluster;
+  thermal::WeatherConfig weather;
+  thermal::CoolingConfig cooling;
+  grid::FuelMixConfig fuel_mix;
+  grid::PriceConfig price;
+  grid::EmissionFactors emissions;
+  grid::GridConnectionConfig connection;
+  /// Hours ahead (+) or behind (-) the fleet's home region; shifts the
+  /// site's diurnal weather / solar / price phases on the shared clock.
+  double timezone_offset_hours = 0.0;
+};
+
+/// The built-in reference regions, in order:
+///   0 "iso-ne"        — the paper's Boston/ISO-NE twin (home region)
+///   1 "ercot"         — hot-summer, gas-heavy, volatile-price Texas-like grid
+///   2 "columbia-hydro"— mild Pacific-Northwest site on a hydro-dominated grid
+///   3 "plains-wind"   — cold wind-belt site, high wind share over a coal base
+/// Profiles differ in cluster size, climate, fuel mix, prices, and timezone,
+/// giving routing policies a real spread of $/kWh and gCO2/kWh to exploit.
+[[nodiscard]] std::vector<RegionProfile> make_reference_fleet();
+
+/// Total GPUs across a set of profiles (for sizing fleet-wide arrival rates).
+[[nodiscard]] int fleet_total_gpus(const std::vector<RegionProfile>& profiles);
+
+/// GPU count of the single-site reference twin (224 nodes x 2 V100) — fleet
+/// arrival rates are quoted in jobs/h per this many GPUs.
+inline constexpr int kReferenceSiteGpus = 448;
+
+/// Default fleet submission pressure, jobs/h per reference site's worth of
+/// GPUs. Slightly below the single-site reference rate (12): capacity-blind
+/// baselines like round-robin overload the smallest region when the fleet
+/// runs as hot as one balanced site, which would confound router
+/// comparisons with backlog effects.
+inline constexpr double kDefaultFleetJobsPerHour = 9.0;
+
+/// Fleet-wide arrival rate: `per_site_rate` jobs/h per kReferenceSiteGpus,
+/// scaled to the profiles' aggregate capacity.
+[[nodiscard]] double scaled_fleet_rate(const std::vector<RegionProfile>& profiles,
+                                       double per_site_rate = kDefaultFleetJobsPerHour);
+
+}  // namespace greenhpc::fleet

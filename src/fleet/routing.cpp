@@ -1,0 +1,97 @@
+#include "fleet/routing.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace greenhpc::fleet {
+
+namespace {
+
+using util::require;
+
+/// Fallback when no region can start the job now: the least committed one
+/// (lowest pressure, ties toward more free GPUs, then lower index).
+std::size_t least_pressure(std::span<const RegionView> regions) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    const RegionView& r = regions[i];
+    const RegionView& b = regions[best];
+    if (r.pressure() < b.pressure() ||
+        (r.pressure() == b.pressure() && r.free_gpus > b.free_gpus)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Greedy selection over regions that can start the job now, scored by
+/// `marginal` (lower is better); least-pressure fallback when none fit.
+template <typename ScoreFn>
+std::size_t greedy_route(const cluster::JobRequest& request, const RoutingContext& ctx,
+                         ScoreFn marginal) {
+  std::size_t best = ctx.regions.size();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const RegionView& r : ctx.regions) {
+    if (!r.fits(request.gpus)) continue;
+    const double score = marginal(r);
+    if (score < best_score) {
+      best_score = score;
+      best = r.index;
+    }
+  }
+  if (best == ctx.regions.size()) return least_pressure(ctx.regions);
+  return best;
+}
+
+}  // namespace
+
+util::Energy estimated_job_energy(const cluster::JobRequest& request, const RegionView& region) {
+  return region.busy_gpu_power * util::seconds(request.work_gpu_seconds);
+}
+
+std::size_t RoundRobinRouter::route(const cluster::JobRequest& /*request*/,
+                                    const RoutingContext& ctx) {
+  require(!ctx.regions.empty(), "RoundRobinRouter: empty fleet");
+  const std::size_t pick = next_ % ctx.regions.size();
+  next_ = (pick + 1) % ctx.regions.size();
+  return pick;
+}
+
+std::size_t LeastLoadedRouter::route(const cluster::JobRequest& /*request*/,
+                                     const RoutingContext& ctx) {
+  require(!ctx.regions.empty(), "LeastLoadedRouter: empty fleet");
+  return least_pressure(ctx.regions);
+}
+
+std::size_t CostGreedyRouter::route(const cluster::JobRequest& request,
+                                    const RoutingContext& ctx) {
+  require(!ctx.regions.empty(), "CostGreedyRouter: empty fleet");
+  return greedy_route(request, ctx, [&](const RegionView& r) {
+    util::Money cost = estimated_job_energy(request, r) * r.price;
+    if (!r.is_home) cost += ctx.transfer_energy * r.price;
+    return cost.dollars();
+  });
+}
+
+std::size_t CarbonGreedyRouter::route(const cluster::JobRequest& request,
+                                      const RoutingContext& ctx) {
+  require(!ctx.regions.empty(), "CarbonGreedyRouter: empty fleet");
+  return greedy_route(request, ctx, [&](const RegionView& r) {
+    util::MassCo2 carbon = estimated_job_energy(request, r) * r.carbon;
+    if (!r.is_home) carbon += ctx.transfer_energy * r.carbon;
+    return carbon.kilograms();
+  });
+}
+
+std::unique_ptr<RoutingPolicy> make_router(const std::string& name) {
+  if (name == "round_robin") return std::make_unique<RoundRobinRouter>();
+  if (name == "least_loaded") return std::make_unique<LeastLoadedRouter>();
+  if (name == "cost_greedy") return std::make_unique<CostGreedyRouter>();
+  if (name == "carbon_greedy") return std::make_unique<CarbonGreedyRouter>();
+  return nullptr;
+}
+
+const char* router_names() { return "round_robin | least_loaded | cost_greedy | carbon_greedy"; }
+
+}  // namespace greenhpc::fleet

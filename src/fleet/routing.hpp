@@ -1,0 +1,123 @@
+#pragma once
+// Fleet routing policies: the spatial dimension of Eq. 1.
+//
+// A single datacenter can only shift jobs in *time* (deferring work to green
+// hours); a fleet can also shift them in *space* — "follow the wind" and
+// "follow the price" routing that the Green AI literature highlights as a
+// first-order lever. Each arriving job is shown a snapshot of every region
+// (capacity, queue pressure, instantaneous LMP, carbon intensity) and a
+// RoutingPolicy picks the destination. Greedy cost/carbon routers price the
+// marginal footprint of the job at each site, including a configurable
+// network-transfer penalty for moving the job's data off the home region.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cluster/job.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::fleet {
+
+/// One region's state at routing time.
+struct RegionView {
+  std::size_t index = 0;
+  const char* name = "";
+  bool is_home = false;
+  int total_gpus = 0;
+  int free_gpus = 0;
+  std::size_t queue_depth = 0;   ///< jobs waiting for GPUs
+  int queued_gpu_demand = 0;     ///< sum of queued jobs' GPU requests
+  double utilization = 0.0;      ///< busy / enabled GPUs
+  util::Power busy_gpu_power;    ///< per-GPU draw under the region's cap
+  util::EnergyPrice price;       ///< instantaneous LMP (local time)
+  util::CarbonIntensity carbon;  ///< instantaneous grid intensity (local time)
+  double renewable_share = 0.0;
+
+  /// Can the job start this step without queueing?
+  [[nodiscard]] bool fits(int gpus) const { return free_gpus >= gpus; }
+  /// Committed GPU demand (running + queued) relative to capacity; >1 means
+  /// a backlog. The fallback metric when no region has free GPUs.
+  [[nodiscard]] double pressure() const {
+    const int busy = total_gpus - free_gpus;
+    return total_gpus > 0 ? static_cast<double>(busy + queued_gpu_demand) / total_gpus : 1e9;
+  }
+};
+
+/// Snapshot handed to a router for one job.
+struct RoutingContext {
+  util::TimePoint now;
+  std::span<const RegionView> regions;
+  /// Energy burned moving one job's input data to a non-home region (the
+  /// network-transfer penalty; 0 disables it).
+  util::Energy transfer_energy;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Picks the destination region index for one arriving job. `ctx.regions`
+  /// is never empty; the returned index must be < ctx.regions.size().
+  [[nodiscard]] virtual std::size_t route(const cluster::JobRequest& request,
+                                          const RoutingContext& ctx) = 0;
+};
+
+/// Cycles through regions in order, skipping none — the fairness baseline.
+class RoundRobinRouter final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "round_robin"; }
+  [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
+                                  const RoutingContext& ctx) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Sends each job to the region with the lowest committed-demand pressure
+/// (ties broken toward more free GPUs, then lower index) — the
+/// latency/balance baseline.
+class LeastLoadedRouter final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "least_loaded"; }
+  [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
+                                  const RoutingContext& ctx) override;
+};
+
+/// Routes to the region minimizing the job's marginal electricity cost
+/// (estimated job energy priced at the instantaneous LMP, plus the transfer
+/// penalty priced at the destination) among regions that can start it now;
+/// falls back to least pressure when every region is full.
+class CostGreedyRouter final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "cost_greedy"; }
+  [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
+                                  const RoutingContext& ctx) override;
+};
+
+/// Routes to the region minimizing the job's marginal carbon footprint
+/// (estimated job energy times the instantaneous grid intensity, plus the
+/// transfer penalty attributed at the destination) among regions that can
+/// start it now; falls back to least pressure when every region is full.
+class CarbonGreedyRouter final : public RoutingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "carbon_greedy"; }
+  [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
+                                  const RoutingContext& ctx) override;
+};
+
+/// Estimated IT energy of a job at a region's per-GPU draw (work is measured
+/// in GPU-seconds at full throughput, so this is draw x work).
+[[nodiscard]] util::Energy estimated_job_energy(const cluster::JobRequest& request,
+                                                const RegionView& region);
+
+/// Router factory for CLI surfaces: round_robin | least_loaded | cost_greedy
+/// | carbon_greedy. Returns nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<RoutingPolicy> make_router(const std::string& name);
+
+/// All router names make_router accepts, for --help text.
+[[nodiscard]] const char* router_names();
+
+}  // namespace greenhpc::fleet

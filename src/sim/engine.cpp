@@ -13,6 +13,7 @@ EventId Simulation::schedule_at(util::TimePoint at, EventFn fn) {
   require(static_cast<bool>(fn), "Simulation::schedule_at: null callback");
   const EventId id = next_id_++;
   queue_.push(QueuedEvent{at, next_seq_++, id, std::move(fn), false, util::seconds(0)});
+  live_.insert(id);
   return id;
 }
 
@@ -27,10 +28,23 @@ EventId Simulation::schedule_periodic(util::TimePoint first, util::Duration peri
   require(static_cast<bool>(fn), "Simulation::schedule_periodic: null callback");
   const EventId id = next_id_++;
   queue_.push(QueuedEvent{first, next_seq_++, id, std::move(fn), true, period});
+  live_.insert(id);
   return id;
 }
 
-void Simulation::cancel(EventId id) { cancelled_.insert(id); }
+void Simulation::cancel(EventId id) {
+  // Only mark ids that can still fire: queued events, or the event whose
+  // callback is running right now (a periodic cancelling itself, tracked in
+  // a flag so cancelled_ stays a subset of the queue). Cancelling an
+  // already-fired one-shot — or a bogus id — stays a harmless no-op and no
+  // longer leaks an entry into cancelled_ (which would both grow without
+  // bound and make pending_events() underflow).
+  if (live_.contains(id)) {
+    cancelled_.insert(id);
+  } else if (id == running_) {
+    running_cancelled_ = true;
+  }
+}
 
 void Simulation::run_until(util::TimePoint end) {
   while (!queue_.empty()) {
@@ -39,20 +53,24 @@ void Simulation::run_until(util::TimePoint end) {
 
     QueuedEvent event = top;
     queue_.pop();
-    if (cancelled_.contains(event.id)) {
-      if (!event.periodic) cancelled_.erase(event.id);
-      continue;
-    }
+    live_.erase(event.id);
+    if (cancelled_.erase(event.id) > 0) continue;  // cancelled while queued; marker pruned
 
     now_ = event.at;
     ++processed_;
+    running_ = event.id;
+    running_cancelled_ = false;
     event.fn(*this);
+    running_ = 0;
 
-    // Re-arm periodic events after running (so a callback can cancel itself).
-    if (event.periodic && !cancelled_.contains(event.id)) {
+    // Re-arm periodic events after running unless the callback cancelled
+    // itself (a self-cancelled train simply never re-enters the queue).
+    if (event.periodic && !running_cancelled_) {
+      const EventId id = event.id;
       event.at = event.at + event.period;
       event.seq = next_seq_++;
       queue_.push(std::move(event));
+      live_.insert(id);
     }
   }
   if (end > now_) now_ = end;

@@ -33,6 +33,9 @@ class Simulation {
 
   [[nodiscard]] util::TimePoint now() const { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  /// Scheduled events that will still run (cancelled-but-unpopped ones are
+  /// excluded). Invariant: cancelled_ only ever marks ids currently in the
+  /// queue, so this difference cannot underflow.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
   /// Schedules `fn` at absolute time `at` (must not be in the past).
@@ -76,7 +79,18 @@ class Simulation {
 
   util::TimePoint now_;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, Later> queue_;
+  /// Ids of *queued* events marked for cancellation — strictly a subset of
+  /// live_ at all times (a self-cancelling callback sets running_cancelled_
+  /// instead). Entries are pruned the moment their event is popped, so the
+  /// set cannot grow unboundedly over long runs and pending_events() cannot
+  /// underflow, even when read from inside a callback.
   std::unordered_set<EventId> cancelled_;
+  /// Ids currently in the queue (each id appears at most once: periodic
+  /// events are re-pushed only after being popped). Lets cancel() ignore
+  /// already-fired or bogus ids instead of leaking them into cancelled_.
+  std::unordered_set<EventId> live_;
+  EventId running_ = 0;         ///< id of the event whose callback is executing
+  bool running_cancelled_ = false;  ///< the running event cancelled itself
   EventId next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

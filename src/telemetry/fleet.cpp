@@ -1,0 +1,84 @@
+#include "telemetry/fleet.hpp"
+
+#include <algorithm>
+
+namespace greenhpc::telemetry {
+
+grid::EnergyLedger FleetRunSummary::footprint() const {
+  grid::EnergyLedger all = total.grid_totals;
+  all += transfer;
+  return all;
+}
+
+FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
+                                grid::EnergyLedger transfer) {
+  FleetRunSummary fleet;
+  fleet.transfer = transfer;
+
+  core::RunSummary& t = fleet.total;
+  double gpu_weight = 0.0, util_sum = 0.0;
+  double energy_weight = 0.0, pue_sum = 0.0;
+  double wait_weight = 0.0, wait_sum = 0.0;
+  for (const RegionRunSummary& r : regions) {
+    t.jobs_submitted += r.run.jobs_submitted;
+    t.jobs_completed += r.run.jobs_completed;
+    t.jobs_pending += r.run.jobs_pending;
+    t.completed_gpu_hours += r.run.completed_gpu_hours;
+    t.throttle_hours += r.run.throttle_hours;
+    t.grid_totals += r.run.grid_totals;
+    t.p95_queue_wait_hours = std::max(t.p95_queue_wait_hours, r.run.p95_queue_wait_hours);
+
+    const auto gpus = static_cast<double>(r.total_gpus);
+    gpu_weight += gpus;
+    util_sum += gpus * r.run.mean_utilization;
+    const double kwh = r.run.grid_totals.energy.kilowatt_hours();
+    energy_weight += kwh;
+    pue_sum += kwh * r.run.mean_pue;
+    const auto completed = static_cast<double>(r.run.jobs_completed);
+    wait_weight += completed;
+    wait_sum += completed * r.run.mean_queue_wait_hours;
+  }
+  if (gpu_weight > 0.0) t.mean_utilization = util_sum / gpu_weight;
+  if (energy_weight > 0.0) t.mean_pue = pue_sum / energy_weight;
+  if (wait_weight > 0.0) t.mean_queue_wait_hours = wait_sum / wait_weight;
+
+  fleet.regions = std::move(regions);
+  return fleet;
+}
+
+util::Table fleet_region_table(const FleetRunSummary& summary) {
+  util::Table table({"region", "gpus", "jobs_routed", "jobs_done", "gpu_hours", "util_pct",
+                     "energy_mwh", "cost_usd", "co2_t", "wait_h"});
+  for (const RegionRunSummary& r : summary.regions) {
+    table.add(r.name, r.total_gpus, r.jobs_routed, r.run.jobs_completed,
+              util::fmt_fixed(r.run.completed_gpu_hours, 0),
+              util::fmt_fixed(100.0 * r.run.mean_utilization, 1),
+              util::fmt_fixed(r.run.grid_totals.energy.megawatt_hours(), 2),
+              util::fmt_fixed(r.run.grid_totals.cost.dollars(), 0),
+              util::fmt_fixed(r.run.grid_totals.carbon.metric_tons(), 2),
+              util::fmt_fixed(r.run.mean_queue_wait_hours, 2));
+  }
+  return table;
+}
+
+util::Table fleet_total_table(const FleetRunSummary& summary) {
+  const core::RunSummary& t = summary.total;
+  const grid::EnergyLedger footprint = summary.footprint();
+  util::Table table({"metric", "value"});
+  table.add("jobs submitted", t.jobs_submitted);
+  table.add("jobs completed", t.jobs_completed);
+  table.add("jobs pending", t.jobs_pending);
+  table.add("completed GPU-hours", util::fmt_fixed(t.completed_gpu_hours, 0));
+  table.add("mean utilization %", util::fmt_fixed(100.0 * t.mean_utilization, 1));
+  table.add("mean queue wait (h)", util::fmt_fixed(t.mean_queue_wait_hours, 2));
+  table.add("mean PUE", util::fmt_fixed(t.mean_pue, 3));
+  table.add("facility energy (MWh)", util::fmt_fixed(t.grid_totals.energy.megawatt_hours(), 2));
+  table.add("transfer energy (MWh)", util::fmt_fixed(summary.transfer.energy.megawatt_hours(), 2));
+  table.add("electricity cost ($)", util::fmt_fixed(footprint.cost.dollars(), 0));
+  table.add("CO2 (t)", util::fmt_fixed(footprint.carbon.metric_tons(), 2));
+  table.add("water (m^3)", util::fmt_fixed(footprint.water.cubic_meters(), 1));
+  table.add("throttle hours", util::fmt_fixed(t.throttle_hours, 1));
+  return table;
+}
+
+}  // namespace greenhpc::telemetry

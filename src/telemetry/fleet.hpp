@@ -1,0 +1,49 @@
+#pragma once
+// Fleet-level run summaries: Eq. 1's ledger, summed across regions.
+//
+// A fleet run produces one core::RunSummary per region plus a transfer
+// ledger for the data moved off the home region by routing decisions. This
+// module rolls those up into a single fleet view — totals are exact sums,
+// rate-like metrics are weighted means (utilization by capacity, PUE by
+// energy, queue wait by completions) — and renders the per-region and
+// aggregate tables every fleet surface (bench, example, CLI) prints.
+
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+/// One region's contribution to a fleet run.
+struct RegionRunSummary {
+  std::string name;
+  int total_gpus = 0;          ///< capacity weight for utilization
+  std::size_t jobs_routed = 0; ///< jobs the router sent here
+  core::RunSummary run;
+};
+
+struct FleetRunSummary {
+  std::vector<RegionRunSummary> regions;
+  /// Aggregate: counts/energies are sums; mean_utilization is GPU-weighted,
+  /// mean_pue energy-weighted, queue waits completion-weighted, and
+  /// p95_queue_wait_hours the max across regions (conservative).
+  core::RunSummary total;
+  /// Network-transfer penalty energy/cost/carbon for off-home routing.
+  grid::EnergyLedger transfer;
+  /// Grid totals plus the transfer penalty — the fleet's full footprint.
+  [[nodiscard]] grid::EnergyLedger footprint() const;
+};
+
+/// Rolls region summaries (and the transfer ledger) up into a fleet summary.
+[[nodiscard]] FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
+                                              grid::EnergyLedger transfer = {});
+
+/// Per-region table: routed share, completions, energy, cost, carbon, wait.
+[[nodiscard]] util::Table fleet_region_table(const FleetRunSummary& summary);
+
+/// Two-column aggregate table mirroring the single-site CLI summary.
+[[nodiscard]] util::Table fleet_total_table(const FleetRunSummary& summary);
+
+}  // namespace greenhpc::telemetry

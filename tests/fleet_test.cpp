@@ -1,0 +1,364 @@
+// Unit tests for greenhpc::fleet — region profiles, routing policies, and
+// the multi-datacenter coordinator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fleet/coordinator.hpp"
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "telemetry/fleet.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::fleet {
+namespace {
+
+using util::TimePoint;
+
+cluster::JobRequest job(int gpus, double work_gpu_seconds = 3600.0) {
+  cluster::JobRequest r;
+  r.gpus = gpus;
+  r.work_gpu_seconds = work_gpu_seconds;
+  return r;
+}
+
+RegionView view(std::size_t index, int free_gpus, double carbon_kg_per_kwh,
+                double price_usd_mwh = 30.0, bool is_home = false) {
+  RegionView v;
+  v.index = index;
+  v.is_home = is_home;
+  v.total_gpus = 64;
+  v.free_gpus = free_gpus;
+  v.busy_gpu_power = util::watts(300.0);
+  v.price = util::usd_per_mwh(price_usd_mwh);
+  v.carbon = util::kg_per_kwh(carbon_kg_per_kwh);
+  return v;
+}
+
+RoutingContext context(std::span<const RegionView> regions,
+                       util::Energy transfer = util::Energy{}) {
+  RoutingContext ctx;
+  ctx.now = TimePoint::from_seconds(0.0);
+  ctx.regions = regions;
+  ctx.transfer_energy = transfer;
+  return ctx;
+}
+
+// --- region profiles ---------------------------------------------------------
+
+TEST(ReferenceFleet, HasFourDistinctRegions) {
+  const std::vector<RegionProfile> fleet = make_reference_fleet();
+  ASSERT_EQ(fleet.size(), 4u);
+  EXPECT_EQ(fleet[0].name, "iso-ne");
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    for (std::size_t j = i + 1; j < fleet.size(); ++j) {
+      EXPECT_NE(fleet[i].name, fleet[j].name);
+    }
+  }
+  EXPECT_GT(fleet_total_gpus(fleet), 448);  // more than the single reference site
+}
+
+TEST(ReferenceFleet, HydroRegionIsCleanestErcotHottest) {
+  const std::vector<RegionProfile> fleet = make_reference_fleet();
+  std::vector<double> intensity;  // January monthly mean, g/kWh
+  std::vector<double> july_temp;
+  for (const RegionProfile& p : fleet) {
+    grid::FuelMixModel mix(p.fuel_mix);
+    grid::CarbonIntensityModel carbon(&mix, p.emissions);
+    intensity.push_back(carbon.monthly_average(util::MonthKey{2021, 1}).g_per_kwh());
+    thermal::WeatherModel weather(p.weather);
+    july_temp.push_back(weather.monthly_average(util::MonthKey{2021, 7}).celsius());
+  }
+  // columbia-hydro (index 2) is the least carbon-intensive of the fleet.
+  EXPECT_LT(intensity[2], intensity[0]);
+  EXPECT_LT(intensity[2], intensity[1]);
+  EXPECT_LT(intensity[2], intensity[3]);
+  // ercot (index 1) has the hottest summers.
+  EXPECT_GT(july_temp[1], july_temp[0]);
+  EXPECT_GT(july_temp[1], july_temp[2]);
+  EXPECT_GT(july_temp[1], july_temp[3]);
+}
+
+// --- routers -----------------------------------------------------------------
+
+TEST(Routers, FactoryKnowsAllNamesAndRejectsUnknown) {
+  for (const char* name : {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy"}) {
+    const auto router = make_router(name);
+    ASSERT_NE(router, nullptr) << name;
+    EXPECT_STREQ(router->name(), name);
+  }
+  EXPECT_EQ(make_router("teleport"), nullptr);
+}
+
+TEST(Routers, RoundRobinCycles) {
+  RoundRobinRouter router;
+  const std::vector<RegionView> regions = {view(0, 8, 0.3), view(1, 8, 0.3), view(2, 8, 0.3)};
+  const RoutingContext ctx = context(regions);
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(router.route(job(1), ctx));
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Routers, LeastLoadedPicksLowestPressure) {
+  LeastLoadedRouter router;
+  std::vector<RegionView> regions = {view(0, 8, 0.3), view(1, 40, 0.3), view(2, 20, 0.3)};
+  regions[1].queued_gpu_demand = 0;   // pressure (64-40)/64 = 0.375
+  regions[0].queued_gpu_demand = 10;  // pressure (56+10)/64 ~ 1.03
+  regions[2].queued_gpu_demand = 4;   // pressure (44+4)/64 = 0.75
+  EXPECT_EQ(router.route(job(1), context(regions)), 1u);
+}
+
+TEST(Routers, CostGreedyPicksCheapestThatFits) {
+  CostGreedyRouter router;
+  const std::vector<RegionView> regions = {
+      view(0, 8, 0.3, 40.0), view(1, 0, 0.3, 10.0),  // cheapest but full
+      view(2, 8, 0.3, 20.0)};
+  EXPECT_EQ(router.route(job(4), context(regions)), 2u);
+}
+
+TEST(Routers, CostGreedyTransferPenaltySteersHome) {
+  CostGreedyRouter router;
+  // Remote is slightly cheaper per MWh, but the transfer surcharge flips it.
+  const std::vector<RegionView> regions = {view(0, 8, 0.3, 30.0, /*is_home=*/true),
+                                           view(1, 8, 0.3, 29.0)};
+  EXPECT_EQ(router.route(job(1), context(regions)), 1u);  // no penalty: remote wins
+  EXPECT_EQ(router.route(job(1), context(regions, util::kilowatt_hours(50.0))), 0u);
+}
+
+TEST(Routers, GreedyFallsBackToLeastPressureWhenFull) {
+  CarbonGreedyRouter router;
+  std::vector<RegionView> regions = {view(0, 0, 0.1), view(1, 2, 0.5)};
+  regions[0].queued_gpu_demand = 30;
+  regions[1].queued_gpu_demand = 0;
+  // Job needs 4 GPUs; nobody fits. Region 1 has far less committed demand.
+  EXPECT_EQ(router.route(job(4), context(regions)), 1u);
+}
+
+// Property: with no transfer penalty, CarbonGreedyRouter never routes to a
+// region with strictly higher carbon intensity when an equally-free
+// lower-carbon region exists.
+TEST(Routers, CarbonGreedyNeverPicksDirtierWhenCleanerFits) {
+  CarbonGreedyRouter router;
+  util::Rng rng(20210301);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto region_count = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    std::vector<RegionView> regions;
+    for (std::size_t i = 0; i < region_count; ++i) {
+      RegionView v = view(i, static_cast<int>(rng.uniform_int(0, 16)),
+                          rng.uniform(0.05, 0.9), rng.uniform(10.0, 60.0));
+      v.queued_gpu_demand = static_cast<int>(rng.uniform_int(0, 20));
+      regions.push_back(v);
+    }
+    const cluster::JobRequest request = job(static_cast<int>(rng.uniform_int(1, 8)),
+                                            rng.uniform(600.0, 7.2e4));
+    const std::size_t pick = router.route(request, context(regions));
+    ASSERT_LT(pick, regions.size());
+    if (!regions[pick].fits(request.gpus)) {
+      // Fallback is allowed only when no region fits.
+      for (const RegionView& r : regions) ASSERT_FALSE(r.fits(request.gpus)) << "trial " << trial;
+      continue;
+    }
+    for (const RegionView& r : regions) {
+      if (r.index == pick || !r.fits(request.gpus)) continue;
+      ASSERT_GE(r.carbon.kg_per_kwh(), regions[pick].carbon.kg_per_kwh())
+          << "trial " << trial << ": routed to dirtier region " << pick << " over " << r.index;
+    }
+  }
+}
+
+// --- coordinator -------------------------------------------------------------
+
+std::unique_ptr<FleetCoordinator> small_fleet(std::uint64_t seed, const char* router,
+                                              double transfer_kwh = 0.0,
+                                              std::size_t region_count = 3) {
+  std::vector<RegionProfile> profiles = make_reference_fleet();
+  profiles.resize(region_count);
+  FleetConfig config;
+  config.seed = seed;
+  config.arrivals.base_rate_per_hour = scaled_fleet_rate(profiles);
+  config.transfer_energy_per_job = util::kilowatt_hours(transfer_kwh);
+  return std::make_unique<FleetCoordinator>(std::move(config), std::move(profiles),
+                                            make_router(router));
+}
+
+TEST(Coordinator, RunsInLockstepAndConservesJobs) {
+  auto fleet = small_fleet(11, "least_loaded");
+  fleet->run_until(TimePoint::from_seconds(0.0) + util::days(3));
+  EXPECT_DOUBLE_EQ((fleet->now() - TimePoint::from_seconds(0.0)).days(), 3.0);
+
+  const telemetry::FleetRunSummary summary = fleet->summary();
+  std::size_t submitted = 0, routed = 0;
+  for (std::size_t i = 0; i < fleet->region_count(); ++i) {
+    submitted += fleet->region(i).summary().jobs_submitted;
+    routed += fleet->jobs_routed()[i];
+    EXPECT_DOUBLE_EQ((fleet->region(i).now() - fleet->now()).seconds(), 0.0);
+  }
+  EXPECT_GT(submitted, 0u);
+  EXPECT_EQ(submitted, routed);
+  EXPECT_EQ(summary.total.jobs_submitted, submitted);
+}
+
+// Regression: advancing in partial steps must not over-sample arrivals (the
+// window drawn used to be a full step regardless of how far the clock moved).
+TEST(Coordinator, PartialStepAdvancesDoNotInflateArrivals) {
+  auto whole = small_fleet(21, "round_robin");
+  auto partial = small_fleet(21, "round_robin");
+  const TimePoint end = TimePoint::from_seconds(0.0) + util::days(2);
+  whole->run_until(end);
+  // Same wall-clock coverage, but driven in quarter-step (3.75 min) calls.
+  for (TimePoint t = TimePoint::from_seconds(0.0); t < end; t += util::minutes(3.75)) {
+    partial->run_until(t + util::minutes(3.75));
+  }
+  const double a = static_cast<double>(whole->summary().total.jobs_submitted);
+  const double b = static_cast<double>(partial->summary().total.jobs_submitted);
+  ASSERT_GT(a, 0.0);
+  // Different RNG draws, same rate: counts agree statistically (was ~4x).
+  EXPECT_NEAR(b / a, 1.0, 0.25);
+}
+
+TEST(Coordinator, IdenticalSeedsAreBitIdentical) {
+  auto a = small_fleet(1234, "carbon_greedy");
+  auto b = small_fleet(1234, "carbon_greedy");
+  const TimePoint end = TimePoint::from_seconds(0.0) + util::days(5);
+  a->run_until(end);
+  b->run_until(end);
+  EXPECT_EQ(a->jobs_routed(), b->jobs_routed());
+  const telemetry::FleetRunSummary sa = a->summary();
+  const telemetry::FleetRunSummary sb = b->summary();
+  EXPECT_EQ(sa.total.jobs_submitted, sb.total.jobs_submitted);
+  EXPECT_EQ(sa.total.jobs_completed, sb.total.jobs_completed);
+  EXPECT_DOUBLE_EQ(sa.total.completed_gpu_hours, sb.total.completed_gpu_hours);
+  EXPECT_DOUBLE_EQ(sa.total.grid_totals.energy.joules(), sb.total.grid_totals.energy.joules());
+  EXPECT_DOUBLE_EQ(sa.total.grid_totals.carbon.kilograms(),
+                   sb.total.grid_totals.carbon.kilograms());
+  EXPECT_DOUBLE_EQ(sa.total.grid_totals.cost.dollars(), sb.total.grid_totals.cost.dollars());
+}
+
+TEST(Coordinator, DifferentSeedsDiverge) {
+  auto a = small_fleet(1, "round_robin");
+  auto b = small_fleet(2, "round_robin");
+  const TimePoint end = TimePoint::from_seconds(0.0) + util::days(3);
+  a->run_until(end);
+  b->run_until(end);
+  EXPECT_NE(a->summary().total.grid_totals.energy.joules(),
+            b->summary().total.grid_totals.energy.joules());
+}
+
+TEST(Coordinator, TransferLedgerMetersOffHomePlacements) {
+  auto fleet = small_fleet(5, "round_robin", /*transfer_kwh=*/5.0);
+  fleet->run_until(TimePoint::from_seconds(0.0) + util::days(2));
+  std::size_t off_home = 0;
+  for (std::size_t i = 1; i < fleet->region_count(); ++i) off_home += fleet->jobs_routed()[i];
+  ASSERT_GT(off_home, 0u);
+  const grid::EnergyLedger& transfer = fleet->transfer_ledger();
+  EXPECT_NEAR(transfer.energy.kilowatt_hours(), 5.0 * static_cast<double>(off_home), 1e-6);
+  EXPECT_GT(transfer.cost.dollars(), 0.0);
+  EXPECT_GT(transfer.carbon.kilograms(), 0.0);
+  // And it shows up in the fleet footprint but not the grid totals.
+  const telemetry::FleetRunSummary summary = fleet->summary();
+  EXPECT_NEAR(summary.footprint().energy.joules(),
+              (summary.total.grid_totals.energy + transfer.energy).joules(), 1.0);
+}
+
+TEST(Coordinator, ViewsReflectRegionState) {
+  auto fleet = small_fleet(3, "least_loaded");
+  fleet->run_until(TimePoint::from_seconds(0.0) + util::days(1));
+  for (std::size_t i = 0; i < fleet->region_count(); ++i) {
+    const RegionView v = fleet->view_of(i);
+    EXPECT_EQ(v.index, i);
+    EXPECT_EQ(v.is_home, i == 0u);
+    EXPECT_EQ(v.total_gpus, fleet->region(i).cluster_state().total_gpus());
+    EXPECT_EQ(v.free_gpus, fleet->region(i).cluster_state().free_gpus());
+    EXPECT_GT(v.carbon.kg_per_kwh(), 0.0);
+    EXPECT_GT(v.price.usd_per_mwh(), 0.0);
+  }
+}
+
+TEST(Coordinator, RejectsBadConfigs) {
+  std::vector<RegionProfile> none;
+  EXPECT_THROW(FleetCoordinator(FleetConfig{}, none, std::make_unique<RoundRobinRouter>()),
+               std::invalid_argument);
+  std::vector<RegionProfile> one = {make_reference_fleet()[0]};
+  EXPECT_THROW(FleetCoordinator(FleetConfig{}, one, nullptr), std::invalid_argument);
+  FleetConfig bad_home;
+  bad_home.home_region = 7;
+  EXPECT_THROW(FleetCoordinator(bad_home, one, std::make_unique<RoundRobinRouter>()),
+               std::invalid_argument);
+}
+
+TEST(Coordinator, ReferenceFactoryRunsEndToEnd) {
+  auto fleet = make_reference_fleet_coordinator("cost_greedy", 9, /*region_count=*/2);
+  ASSERT_EQ(fleet->region_count(), 2u);
+  fleet->run_until(TimePoint::from_seconds(0.0) + util::days(2));
+  EXPECT_GT(fleet->summary().total.jobs_submitted, 0u);
+  EXPECT_THROW(make_reference_fleet_coordinator("warp", 9), std::invalid_argument);
+}
+
+// --- aggregation -------------------------------------------------------------
+
+TEST(FleetSummary, AggregatesSumsAndWeightedMeans) {
+  telemetry::RegionRunSummary a;
+  a.name = "a";
+  a.total_gpus = 100;
+  a.run.jobs_submitted = 10;
+  a.run.jobs_completed = 8;
+  a.run.mean_utilization = 0.5;
+  a.run.mean_pue = 1.2;
+  a.run.mean_queue_wait_hours = 1.0;
+  a.run.p95_queue_wait_hours = 2.0;
+  a.run.completed_gpu_hours = 100.0;
+  a.run.grid_totals.energy = util::kilowatt_hours(100.0);
+  a.run.grid_totals.carbon = util::kg_co2(10.0);
+
+  telemetry::RegionRunSummary b = a;
+  b.name = "b";
+  b.total_gpus = 300;
+  b.run.jobs_completed = 24;
+  b.run.mean_utilization = 0.9;
+  b.run.mean_pue = 1.4;
+  b.run.mean_queue_wait_hours = 3.0;
+  b.run.p95_queue_wait_hours = 5.0;
+  b.run.grid_totals.energy = util::kilowatt_hours(300.0);
+
+  const telemetry::FleetRunSummary fleet = telemetry::aggregate_fleet({a, b});
+  EXPECT_EQ(fleet.total.jobs_submitted, 20u);
+  EXPECT_EQ(fleet.total.jobs_completed, 32u);
+  EXPECT_DOUBLE_EQ(fleet.total.completed_gpu_hours, 200.0);
+  EXPECT_DOUBLE_EQ(fleet.total.grid_totals.energy.kilowatt_hours(), 400.0);
+  // GPU-weighted utilization: (100*0.5 + 300*0.9) / 400 = 0.8.
+  EXPECT_DOUBLE_EQ(fleet.total.mean_utilization, 0.8);
+  // Energy-weighted PUE: (100*1.2 + 300*1.4) / 400 = 1.35.
+  EXPECT_DOUBLE_EQ(fleet.total.mean_pue, 1.35);
+  // Completion-weighted wait: (8*1 + 24*3) / 32 = 2.5.
+  EXPECT_DOUBLE_EQ(fleet.total.mean_queue_wait_hours, 2.5);
+  EXPECT_DOUBLE_EQ(fleet.total.p95_queue_wait_hours, 5.0);
+  EXPECT_EQ(fleet_region_table(fleet).row_count(), 2u);
+  EXPECT_GT(fleet_total_table(fleet).row_count(), 5u);
+}
+
+// --- core: local time offsets ------------------------------------------------
+
+TEST(LocalTime, OffsetShiftsEnvironmentPhase) {
+  core::DatacenterConfig config;
+  config.local_time_offset = util::hours(-3.0);
+  core::Datacenter dc(config, std::make_unique<sched::FcfsScheduler>());
+  const TimePoint t = TimePoint::from_seconds(7200.0);
+  EXPECT_DOUBLE_EQ((dc.local_time(t) - t).hours(), -3.0);
+
+  // Same seed, different offsets: the twins see different weather/price
+  // phases, so identical workloads produce different energy totals.
+  core::DatacenterConfig base;
+  auto make = [](core::DatacenterConfig c, double offset_h) {
+    c.local_time_offset = util::hours(offset_h);
+    auto d = std::make_unique<core::Datacenter>(c, std::make_unique<sched::FcfsScheduler>());
+    d->attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
+    d->run_until(TimePoint::from_seconds(0.0) + util::days(2));
+    return d->summary().grid_totals.energy.joules();
+  };
+  EXPECT_NE(make(base, 0.0), make(base, -6.0));
+}
+
+}  // namespace
+}  // namespace greenhpc::fleet

@@ -135,6 +135,72 @@ TEST(Engine, StartsAtConfiguredTime) {
   EXPECT_THROW(sim.schedule_at(at(4000.0), [](Simulation&) {}), std::invalid_argument);
 }
 
+// Regression: cancelling ids that already fired (or never existed) used to
+// park them in the cancelled set forever, making pending_events() — computed
+// as queue size minus cancelled size — underflow to a huge size_t.
+TEST(Engine, CancelAfterFireDoesNotUnderflowPendingEvents) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(sim.schedule_at(at(10.0 + i), [](Simulation&) {}));
+  sim.run_until(at(50.0));
+  for (const EventId id : ids) sim.cancel(id);  // all already fired
+  sim.cancel(9999);                             // bogus id
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.schedule_at(at(100.0), [](Simulation&) {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+// Regression: cancelled entries are pruned when their events are popped, so
+// the set cannot grow unboundedly over a long run of cancellations.
+TEST(Engine, CancelledEntriesArePrunedOnPop) {
+  Simulation sim;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = sim.schedule_at(at(10.0 + i), [](Simulation&) {});
+    if (i % 2 == 0) sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 50u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.events_processed(), 50u);
+}
+
+// Cancelling a periodic train whose current firing already popped (self-
+// cancel) must not leave a stale marker behind.
+TEST(Engine, SelfCancelledPeriodicLeavesNoResidue) {
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(at(0.0), util::seconds(10.0), [&](Simulation& s) {
+    if (++fired == 3) {
+      s.cancel(id);
+      // Readable mid-callback: the popped event is not counted, and the
+      // self-cancel marker must not make this underflow.
+      EXPECT_EQ(s.pending_events(), 0u);
+    }
+  });
+  sim.run_until(at(500.0));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.cancel(id);  // cancelling again is a no-op, not a leak
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A periodic cancelled from outside its own callback (while queued) is
+// removed and its marker pruned at the next pop.
+TEST(Engine, PeriodicCancelledWhileQueuedIsPruned) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_periodic(at(0.0), util::seconds(10.0),
+                                           [&](Simulation&) { ++fired; });
+  sim.run_until(at(25.0));  // fires at 0 and 10 and 20
+  EXPECT_EQ(fired, 3);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(at(100.0));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
 // --- TimeSeries -----------------------------------------------------------------
 
 TEST(TimeSeriesTest, PushAndRead) {

@@ -6,10 +6,15 @@
 // as CSV (the shareable dataset Sec. IV-B of the paper asks facilities to
 // provide).
 //
+// Fleet mode (--fleet N) swaps the single twin for a geo-distributed fleet
+// of N reference regions under one routed workload and prints per-region
+// plus aggregate summaries.
+//
 // Examples:
 //   greenhpc_sim --scheduler carbon_aware --start 2021-01 --months 12
 //   greenhpc_sim --cap 200 --rate 9 --seed 7 --csv out/run1
 //   greenhpc_sim --battery 1000 --scheduler power_aware --months 3
+//   greenhpc_sim --fleet 3 --router carbon_greedy --months 2
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +25,8 @@
 
 #include "core/datacenter.hpp"
 #include "core/optimization.hpp"
+#include "fleet/coordinator.hpp"
+#include "telemetry/fleet.hpp"
 #include "telemetry/report.hpp"
 #include "util/table.hpp"
 
@@ -37,6 +44,11 @@ struct CliOptions {
   double rate_per_hour = 12.0;
   std::string csv_prefix;  // empty = no CSV export
   bool reports = false;
+  // Fleet mode.
+  int fleet_regions = 0;  // 0 = single-site mode
+  std::string router = "carbon_greedy";
+  bool router_set = false;
+  double transfer_kwh = 0.0;
 };
 
 void print_usage() {
@@ -44,7 +56,8 @@ void print_usage() {
       "greenhpc_sim — energy-aware datacenter twin runner\n\n"
       "options:\n"
       "  --scheduler NAME   fcfs | easy_backfill | carbon_aware | power_aware\n"
-      "                     (default easy_backfill)\n"
+      "                     (default easy_backfill; in fleet mode, every\n"
+      "                     region runs this scheduler)\n"
       "  --start YYYY-MM    first simulated month (default 2021-01)\n"
       "  --months N         number of months to simulate (default 3)\n"
       "  --seed S           RNG seed (default 42)\n"
@@ -54,6 +67,13 @@ void print_usage() {
       "  --rate R           base job submissions per hour (default 12)\n"
       "  --csv PREFIX       write PREFIX_monthly.csv and PREFIX_jobs.csv\n"
       "  --reports          print the markdown report cards\n"
+      "  --fleet N          run a geo-distributed fleet of the first N\n"
+      "                     reference regions (1..4) instead of one twin\n"
+      "  --router NAME      fleet routing policy: round_robin | least_loaded\n"
+      "                     | cost_greedy | carbon_greedy (default\n"
+      "                     carbon_greedy; fleet mode only)\n"
+      "  --transfer KWH     network-transfer energy penalty per off-home job\n"
+      "                     (fleet mode only, default 0)\n"
       "  --help             this text\n";
 }
 
@@ -107,6 +127,20 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         if (opts.rate_per_hour <= 0.0) throw std::invalid_argument("rate");
       } else if (arg == "--csv") {
         opts.csv_prefix = *value;
+      } else if (arg == "--fleet") {
+        opts.fleet_regions = std::stoi(*value);
+        if (opts.fleet_regions < 1 || opts.fleet_regions > 4) throw std::invalid_argument("fleet");
+      } else if (arg == "--router") {
+        if (!fleet::make_router(*value)) {
+          std::cerr << "error: unknown router '" << *value << "' (" << fleet::router_names()
+                    << ")\n";
+          return std::nullopt;
+        }
+        opts.router = *value;
+        opts.router_set = true;
+      } else if (arg == "--transfer") {
+        opts.transfer_kwh = std::stod(*value);
+        if (opts.transfer_kwh < 0.0) throw std::invalid_argument("transfer");
       } else {
         std::cerr << "error: unknown option '" << arg << "' (see --help)\n";
         return std::nullopt;
@@ -148,6 +182,62 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Fleet mode: N reference regions, one routed workload, lockstep clock.
+int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan last) {
+  if (opts.cap_w || opts.battery_kwh || !opts.csv_prefix.empty() || opts.reports) {
+    std::cerr << "note: --cap/--battery/--csv/--reports are single-site options; "
+                 "ignored in fleet mode\n";
+  }
+
+  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
+  profiles.resize(static_cast<std::size_t>(opts.fleet_regions));
+
+  fleet::FleetConfig config;
+  config.seed = opts.seed;
+  config.start = first.start - util::days(7);  // warm-up week
+  // --rate is quoted per reference-site's worth of GPUs; scale to capacity.
+  config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, opts.rate_per_hour);
+  config.transfer_energy_per_job = util::kilowatt_hours(opts.transfer_kwh);
+
+  fleet::FleetCoordinator coordinator(
+      config, profiles, fleet::make_router(opts.router),
+      [&] { return core::make_scheduler(opts.policy); });
+
+  std::cout << "greenhpc_sim fleet: " << opts.fleet_regions << " region(s), router "
+            << opts.router << ", scheduler " << core::policy_name(opts.policy) << ", "
+            << opts.start.label() << " + " << opts.months << " month(s), seed " << opts.seed;
+  if (opts.transfer_kwh > 0.0) std::cout << ", transfer " << opts.transfer_kwh << " kWh/job";
+  std::cout << "\n";
+
+  coordinator.run_until(first.start);  // warm-up
+  coordinator.run_until(last.end);
+
+  const telemetry::FleetRunSummary summary = coordinator.summary();
+  std::cout << "\nper-region:\n" << telemetry::fleet_region_table(summary);
+  std::cout << "\nfleet aggregate:\n" << telemetry::fleet_total_table(summary);
+
+  // Where did the energy come from? Per-region grid character over the window.
+  util::Table grids({"region", "tz_h", "renewable_pct", "avg_lmp_usd_mwh", "avg_co2_g_kwh"});
+  for (std::size_t i = 0; i < coordinator.region_count(); ++i) {
+    const core::Datacenter& dc = coordinator.region(i);
+    double renewable = 0.0, lmp = 0.0, carbon = 0.0;
+    int months = 0;
+    for (util::MonthKey m = util::month_of(first.start + util::days(8));
+         !(util::month_of(last.end - util::seconds(1.0)) < m); m = m.next(), ++months) {
+      renewable += dc.fuel_mix().monthly_renewable_pct(m);
+      lmp += dc.prices().monthly_average(m).usd_per_mwh();
+      carbon += dc.carbon().monthly_average(m).g_per_kwh();
+    }
+    if (months == 0) months = 1;
+    grids.add(coordinator.profile(i).name,
+              util::fmt_fixed(coordinator.profile(i).timezone_offset_hours, 1),
+              util::fmt_fixed(renewable / months, 2), util::fmt_fixed(lmp / months, 1),
+              util::fmt_fixed(carbon / months, 0));
+  }
+  std::cout << "\ngrid character (window means):\n" << grids;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,11 +250,13 @@ int main(int argc, char** argv) {
       util::MonthKey::from_index(opts.start.index_from_epoch() + opts.months - 1);
   const util::MonthSpan last = util::month_span(last_key);
 
+  if (opts.fleet_regions > 0) return run_fleet(opts, first, last);
+  if (opts.router_set || opts.transfer_kwh > 0.0) {
+    std::cerr << "note: --router/--transfer only apply with --fleet N; ignored\n";
+  }
+
   core::DatacenterConfig config;
-  config.seed = opts.seed;
-  config.fuel_mix.seed = opts.seed ^ 0x5EEDF00DULL;
-  config.price.seed = opts.seed ^ 0x9E37ULL;
-  config.weather.seed = opts.seed ^ 0xBADCAFEULL;
+  config.reseed(opts.seed);
   config.start = first.start - util::days(7);  // warm-up week
   if (opts.battery_kwh) {
     grid::BatteryConfig battery;
