@@ -6,6 +6,12 @@
 // time-shifting actually moves. Facility base load (idle nodes, cooling)
 // runs regardless of job placement and would dilute the signal.
 //
+// Every number is a Monte-Carlo ensemble over independently-seeded replicas
+// (experiment::replica_seed streams) reported as mean ± 95% CI, and the
+// policy comparisons are seed-paired: the same replica seed produces the
+// same arrival stream under each policy, so the savings column measures the
+// policy effect, not workload luck.
+//
 // Expected shape: flexible jobs scheduled carbon-aware emit measurably less
 // CO2 per GPU-hour than under FCFS/backfill at a bounded queue-wait cost,
 // and the fleet-level saving shrinks toward zero as the flexible fraction
@@ -13,15 +19,22 @@
 
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/datacenter.hpp"
 #include "core/optimization.hpp"
-#include "sched/carbon_aware.hpp"
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
+#include "telemetry/experiment.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace greenhpc;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 42;
+constexpr std::size_t kReplicas = 5;
 
 struct Outcome {
   double co2_per_gpuh_all = 0.0;       // attributed kg/GPU-h, all jobs
@@ -31,24 +44,24 @@ struct Outcome {
   double completed_kgpuh = 0.0;
 };
 
-Outcome run_policy(core::PolicyKind policy, double flexible_scale) {
-  const util::MonthSpan start_span = util::month_span({2021, 4});
-  const util::MonthSpan end_span = util::month_span({2021, 6});
-
-  core::DatacenterConfig config;
-  config.start = start_span.start - util::days(7);
-  core::Datacenter dc(config, core::make_scheduler(policy));
-
+Outcome run_policy(core::PolicyKind policy, double flexible_scale, std::uint64_t seed) {
+  // The experiment harness's single assembly point, so this bench's twins
+  // stay bit-identical to the equivalent ScenarioSpec replicas.
+  experiment::ScenarioSpec spec;
+  spec.name = "abl_carb";
+  spec.scheduler = policy;
+  spec.start = {2021, 4};
+  spec.months = 3;
   // Moderate load: carbon-aware shifting needs capacity headroom to move
   // work in time (Radovanovic et al. likewise shift within spare capacity);
   // at saturation jobs run whenever GPUs free up regardless of policy.
-  workload::ArrivalConfig arrivals;
-  arrivals.base_rate_per_hour = 9.0;
-  for (workload::ClassProfile& p : arrivals.mix) p.flexible_probability *= flexible_scale;
-  dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+  spec.rate_per_hour = 9.0;
+  spec.flexible_scale = flexible_scale;
+  const std::unique_ptr<core::Datacenter> dc_owner = experiment::make_single_site(spec, seed);
+  core::Datacenter& dc = *dc_owner;
 
-  dc.run_until(start_span.start);
-  dc.run_until(end_span.end);
+  dc.run_until(spec.window_start());
+  dc.run_until(spec.window_end());
 
   Outcome out;
   double co2_all = 0.0, gpuh_all = 0.0, intensity_sum = 0.0;
@@ -72,32 +85,72 @@ Outcome run_policy(core::PolicyKind policy, double flexible_scale) {
   return out;
 }
 
+/// kReplicas independently-seeded outcomes, run on the shared pool.
+std::vector<Outcome> run_ensemble(core::PolicyKind policy, double flexible_scale) {
+  std::vector<Outcome> outcomes(kReplicas);
+  util::parallel_for(kReplicas, [&](std::size_t k) {
+    outcomes[k] = run_policy(policy, flexible_scale, experiment::replica_seed(kBaseSeed, k));
+  });
+  return outcomes;
+}
+
+telemetry::MetricStats fold(const char* name, const std::vector<Outcome>& outcomes,
+                            double (Outcome::*field)) {
+  std::vector<double> values;
+  values.reserve(outcomes.size());
+  for (const Outcome& o : outcomes) values.push_back(o.*field);
+  return experiment::Aggregator::fold(name, values);
+}
+
+/// Seed-paired percentage saving of `green` vs `base` on one Outcome field.
+telemetry::MetricStats paired_saving(const char* name, const std::vector<Outcome>& green,
+                                     const std::vector<Outcome>& base,
+                                     double (Outcome::*field)) {
+  std::vector<double> savings;
+  savings.reserve(green.size());
+  for (std::size_t k = 0; k < green.size(); ++k) {
+    savings.push_back(100.0 * (1.0 - green[k].*field / base[k].*field));
+  }
+  return experiment::Aggregator::fold(name, savings);
+}
+
 }  // namespace
 
 int main() {
   util::print_banner(std::cout,
                      "ABL-CARB: carbon-aware scheduling vs FCFS/backfill (Apr-Jun 2021)");
+  std::cout << kReplicas << " seed-paired replicas per cell, mean ± 95% CI\n\n";
 
   std::cout << "Attributed job carbon (Eq. 2 per-job e_i; \"flexible intensity\" = mean\n"
                "kgCO2/kWh experienced by a flexible job over its run):\n\n";
   util::Table table({"policy", "all-jobs kg/GPU-h", "flexible intensity", "deferred %",
                      "mean wait (h)", "completed kGPU-h", "flexible intensity saved %"});
 
-  Outcome fcfs_base;
+  std::vector<Outcome> fcfs_full, carbon_full;
   double flexible_saving = 0.0;
   for (const auto& [policy, label] :
        std::vector<std::pair<core::PolicyKind, const char*>>{
            {core::PolicyKind::kFcfs, "fcfs"},
            {core::PolicyKind::kBackfill, "backfill"},
            {core::PolicyKind::kCarbonAware, "carbon_aware"}}) {
-    const Outcome o = run_policy(policy, 1.0);
-    if (policy == core::PolicyKind::kFcfs) fcfs_base = o;
-    const double saving = 100.0 * (1.0 - o.job_mean_intensity / fcfs_base.job_mean_intensity);
-    if (policy == core::PolicyKind::kCarbonAware) flexible_saving = saving;
-    table.add(label, util::fmt_fixed(o.co2_per_gpuh_all, 4),
-              util::fmt_fixed(o.job_mean_intensity, 4), util::fmt_fixed(o.deferred_pct, 1),
-              util::fmt_fixed(o.wait_h, 2), util::fmt_fixed(o.completed_kgpuh, 1),
-              util::fmt_fixed(saving, 2));
+    const std::vector<Outcome> ensemble = run_ensemble(policy, 1.0);
+    if (policy == core::PolicyKind::kFcfs) fcfs_full = ensemble;
+    if (policy == core::PolicyKind::kCarbonAware) carbon_full = ensemble;
+    const telemetry::MetricStats saving =
+        paired_saving("saved", ensemble, fcfs_full, &Outcome::job_mean_intensity);
+    if (policy == core::PolicyKind::kCarbonAware) flexible_saving = saving.mean;
+    const telemetry::MetricStats co2 = fold("co2", ensemble, &Outcome::co2_per_gpuh_all);
+    const telemetry::MetricStats intensity =
+        fold("intensity", ensemble, &Outcome::job_mean_intensity);
+    const telemetry::MetricStats deferred = fold("deferred", ensemble, &Outcome::deferred_pct);
+    const telemetry::MetricStats wait = fold("wait", ensemble, &Outcome::wait_h);
+    const telemetry::MetricStats kgpuh = fold("kgpuh", ensemble, &Outcome::completed_kgpuh);
+    table.add(label, telemetry::fmt_ci(co2.mean, co2.ci95_half, 4),
+              telemetry::fmt_ci(intensity.mean, intensity.ci95_half, 4),
+              telemetry::fmt_ci(deferred.mean, deferred.ci95_half, 1),
+              telemetry::fmt_ci(wait.mean, wait.ci95_half, 2),
+              telemetry::fmt_ci(kgpuh.mean, kgpuh.ci95_half, 1),
+              telemetry::fmt_ci(saving.mean, saving.ci95_half, 2));
   }
   std::cout << table;
 
@@ -108,13 +161,21 @@ int main() {
                           "saving %"});
   double saving_full = 0.0, saving_none = 0.0;
   for (double scale : {1.0, 0.5, 0.0}) {
-    const Outcome fcfs = run_policy(core::PolicyKind::kFcfs, scale);
-    const Outcome green = run_policy(core::PolicyKind::kCarbonAware, scale);
-    const double saving = 100.0 * (1.0 - green.co2_per_gpuh_all / fcfs.co2_per_gpuh_all);
-    if (scale == 1.0) saving_full = saving;
-    if (scale == 0.0) saving_none = saving;
-    flex_table.add("x" + util::fmt_fixed(scale, 1), util::fmt_fixed(green.co2_per_gpuh_all, 4),
-                   util::fmt_fixed(fcfs.co2_per_gpuh_all, 4), util::fmt_fixed(saving, 2));
+    // The scale-1.0 ensembles are the ones Part 1 already ran — reuse them.
+    const std::vector<Outcome> fcfs =
+        scale == 1.0 ? fcfs_full : run_ensemble(core::PolicyKind::kFcfs, scale);
+    const std::vector<Outcome> green =
+        scale == 1.0 ? carbon_full : run_ensemble(core::PolicyKind::kCarbonAware, scale);
+    const telemetry::MetricStats saving =
+        paired_saving("saving", green, fcfs, &Outcome::co2_per_gpuh_all);
+    if (scale == 1.0) saving_full = saving.mean;
+    if (scale == 0.0) saving_none = saving.mean;
+    const telemetry::MetricStats green_co2 = fold("green", green, &Outcome::co2_per_gpuh_all);
+    const telemetry::MetricStats fcfs_co2 = fold("fcfs", fcfs, &Outcome::co2_per_gpuh_all);
+    flex_table.add("x" + util::fmt_fixed(scale, 1),
+                   telemetry::fmt_ci(green_co2.mean, green_co2.ci95_half, 4),
+                   telemetry::fmt_ci(fcfs_co2.mean, fcfs_co2.ci95_half, 4),
+                   telemetry::fmt_ci(saving.mean, saving.ci95_half, 2));
   }
   std::cout << flex_table;
 

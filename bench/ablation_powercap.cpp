@@ -9,31 +9,43 @@
 // Part 2 validates on the full twin: a month of cluster time under each
 // fixed cap, reporting facility energy, completed work, and queue impact.
 
+// Part 2 reports Monte-Carlo ensembles (mean ± 95% CI over independently
+// seeded replicas of the experiment harness); the energy-saved column is
+// seed-paired against the same replica's uncapped run, so it isolates the
+// cap effect from workload draw.
+
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "core/datacenter.hpp"
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
 #include "power/gpu_power.hpp"
+#include "telemetry/experiment.hpp"
 #include "util/table.hpp"
 
 using namespace greenhpc;
 
 namespace {
 
-/// Backfill scheduling with a fixed cluster-wide cap (the sweep variable).
-class FixedCapScheduler final : public sched::Scheduler {
- public:
-  explicit FixedCapScheduler(util::Power cap) : cap_(cap) {}
-  [[nodiscard]] const char* name() const override { return "fixed_cap"; }
-  [[nodiscard]] std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
-    return inner_.select(ctx);
-  }
-  [[nodiscard]] util::Power choose_cap(const sched::SchedulerContext&) override { return cap_; }
+constexpr std::uint64_t kBaseSeed = 42;
+constexpr std::size_t kReplicas = 6;
 
- private:
-  util::Power cap_;
-  sched::EasyBackfillScheduler inner_;
-};
+/// One cap point of the twin validation: a July-2021 ensemble built from the
+/// experiment harness's powercap scenario axis.
+std::vector<experiment::ReplicaResult> run_cap_ensemble(double cap_w) {
+  experiment::ScenarioSpec spec;
+  spec.name = "powercap_ablation";
+  spec.start = {2021, 7};
+  spec.power_cap_w = cap_w;
+  const experiment::ReplicaRunner runner({kReplicas, kBaseSeed, 0});
+  return runner.run(spec);
+}
+
+double kwh_per_gpuh(const core::RunSummary& s) {
+  return s.grid_totals.energy.kilowatt_hours() / std::max(1.0, s.completed_gpu_hours);
+}
 
 }  // namespace
 
@@ -64,26 +76,36 @@ int main() {
             << util::fmt_fixed(100.0 * (1.0 - model.relative_energy_per_work(opt10)), 1)
             << "% energy saved)\n";
 
-  std::cout << "\nFull-twin validation (July 2021, fixed cluster-wide caps):\n\n";
+  std::cout << "\nFull-twin validation (July 2021, fixed cluster-wide caps, " << kReplicas
+            << " replicas per cap, mean ± 95% CI):\n\n";
   util::Table twin({"cap (W)", "facility MWh", "completed kGPU-h", "mean wait (h)",
                     "kWh per GPU-h", "energy saved %"});
-  double baseline_kwh_per_gpuh = 0.0;
-  const util::MonthSpan july = util::month_span({2021, 7});
+  std::vector<experiment::ReplicaResult> baseline;  // uncapped (250 W = TDP)
   for (double w : {250.0, 225.0, 200.0, 175.0, 150.0}) {
-    core::DatacenterConfig config;
-    config.start = july.start - util::days(7);
-    core::Datacenter dc(config, std::make_unique<FixedCapScheduler>(util::watts(w)));
-    dc.attach_arrivals(workload::ArrivalConfig{}, workload::DeadlineCalendar::standard());
-    dc.run_until(july.start);
-    dc.run_until(july.end);
-    const core::RunSummary s = dc.summary();
-    const double kwh_per_gpuh =
-        s.grid_totals.energy.kilowatt_hours() / std::max(1.0, s.completed_gpu_hours);
-    if (w == 250.0) baseline_kwh_per_gpuh = kwh_per_gpuh;
-    twin.add(util::fmt_fixed(w, 0), util::fmt_fixed(s.grid_totals.energy.megawatt_hours(), 1),
-             util::fmt_fixed(s.completed_gpu_hours / 1000.0, 1),
-             util::fmt_fixed(s.mean_queue_wait_hours, 2), util::fmt_fixed(kwh_per_gpuh, 3),
-             util::fmt_fixed(100.0 * (1.0 - kwh_per_gpuh / baseline_kwh_per_gpuh), 1));
+    const std::vector<experiment::ReplicaResult> ensemble = run_cap_ensemble(w);
+    if (w == 250.0) baseline = ensemble;
+
+    std::vector<double> mwh, kgpuh, wait, intensity, saved;
+    for (std::size_t k = 0; k < ensemble.size(); ++k) {
+      const core::RunSummary& s = ensemble[k].run;
+      mwh.push_back(s.grid_totals.energy.megawatt_hours());
+      kgpuh.push_back(s.completed_gpu_hours / 1000.0);
+      wait.push_back(s.mean_queue_wait_hours);
+      intensity.push_back(kwh_per_gpuh(s));
+      // Seed-paired: replica k under this cap vs replica k uncapped.
+      saved.push_back(100.0 * (1.0 - kwh_per_gpuh(s) / kwh_per_gpuh(baseline[k].run)));
+    }
+    using experiment::Aggregator;
+    const telemetry::MetricStats m_mwh = Aggregator::fold("mwh", mwh);
+    const telemetry::MetricStats m_kgpuh = Aggregator::fold("kgpuh", kgpuh);
+    const telemetry::MetricStats m_wait = Aggregator::fold("wait", wait);
+    const telemetry::MetricStats m_int = Aggregator::fold("intensity", intensity);
+    const telemetry::MetricStats m_saved = Aggregator::fold("saved", saved);
+    twin.add(util::fmt_fixed(w, 0), telemetry::fmt_ci(m_mwh.mean, m_mwh.ci95_half, 1),
+             telemetry::fmt_ci(m_kgpuh.mean, m_kgpuh.ci95_half, 1),
+             telemetry::fmt_ci(m_wait.mean, m_wait.ci95_half, 2),
+             telemetry::fmt_ci(m_int.mean, m_int.ci95_half, 3),
+             telemetry::fmt_ci(m_saved.mean, m_saved.ci95_half, 1));
   }
   std::cout << twin;
 

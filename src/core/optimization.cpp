@@ -23,6 +23,16 @@ const char* policy_name(PolicyKind p) {
   return "unknown";
 }
 
+std::optional<PolicyKind> policy_from_name(const std::string& name) {
+  if (name == "fcfs") return PolicyKind::kFcfs;
+  if (name == "easy_backfill" || name == "backfill") return PolicyKind::kBackfill;
+  if (name == "carbon_aware") return PolicyKind::kCarbonAware;
+  if (name == "power_aware") return PolicyKind::kPowerAware;
+  return std::nullopt;
+}
+
+const char* policy_names() { return "fcfs | easy_backfill | carbon_aware | power_aware"; }
+
 std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p) {
   switch (p) {
     case PolicyKind::kFcfs: return std::make_unique<sched::FcfsScheduler>();

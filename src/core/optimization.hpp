@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ enum class PolicyKind : std::uint8_t {
 };
 
 [[nodiscard]] const char* policy_name(PolicyKind p);
+
+/// Inverse of policy_name() for CLI/scenario surfaces; also accepts
+/// "backfill" as shorthand. Returns nullopt for unknown names.
+[[nodiscard]] std::optional<PolicyKind> policy_from_name(const std::string& name);
+
+/// All names policy_from_name accepts, for --help text.
+[[nodiscard]] const char* policy_names();
 
 /// Instantiates the scheduler a control vector selects.
 [[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p);

@@ -1,0 +1,57 @@
+#include "experiment/aggregator.hpp"
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace greenhpc::experiment {
+
+const std::vector<Aggregator::Metric>& Aggregator::default_metrics() {
+  static const std::vector<Metric> metrics = {
+      {"jobs_submitted",
+       [](const core::RunSummary& s) { return static_cast<double>(s.jobs_submitted); }},
+      {"jobs_completed",
+       [](const core::RunSummary& s) { return static_cast<double>(s.jobs_completed); }},
+      {"completed_gpu_hours", [](const core::RunSummary& s) { return s.completed_gpu_hours; }},
+      {"mean_utilization", [](const core::RunSummary& s) { return s.mean_utilization; }},
+      {"mean_queue_wait_hours",
+       [](const core::RunSummary& s) { return s.mean_queue_wait_hours; }},
+      {"p95_queue_wait_hours",
+       [](const core::RunSummary& s) { return s.p95_queue_wait_hours; }},
+      {"mean_pue", [](const core::RunSummary& s) { return s.mean_pue; }},
+      {"energy_mwh",
+       [](const core::RunSummary& s) { return s.grid_totals.energy.megawatt_hours(); }},
+      {"cost_usd", [](const core::RunSummary& s) { return s.grid_totals.cost.dollars(); }},
+      {"co2_kg", [](const core::RunSummary& s) { return s.grid_totals.carbon.kilograms(); }},
+      {"water_m3", [](const core::RunSummary& s) { return s.grid_totals.water.cubic_meters(); }},
+      {"throttle_hours", [](const core::RunSummary& s) { return s.throttle_hours; }},
+  };
+  return metrics;
+}
+
+telemetry::MetricStats Aggregator::fold(std::string name, std::span<const double> values) {
+  util::require(!values.empty(), "Aggregator::fold: empty value series");
+  telemetry::MetricStats out;
+  out.name = std::move(name);
+  out.replicas = values.size();
+  out.mean = stats::mean(values);
+  out.stddev = values.size() >= 2 ? stats::stddev(values) : 0.0;
+  out.ci95_half = stats::ci95_half_width(values);
+  out.min = stats::min(values);
+  out.max = stats::max(values);
+  return out;
+}
+
+std::vector<telemetry::MetricStats> Aggregator::aggregate(
+    std::span<const ReplicaResult> replicas, const std::vector<Metric>& metrics) {
+  util::require(!replicas.empty(), "Aggregator::aggregate: empty ensemble");
+  std::vector<telemetry::MetricStats> out;
+  out.reserve(metrics.size());
+  std::vector<double> values(replicas.size());
+  for (const Metric& metric : metrics) {
+    for (std::size_t i = 0; i < replicas.size(); ++i) values[i] = metric.get(replicas[i].run);
+    out.push_back(fold(metric.name, values));
+  }
+  return out;
+}
+
+}  // namespace greenhpc::experiment

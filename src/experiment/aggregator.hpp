@@ -1,0 +1,45 @@
+#pragma once
+// Aggregator: replica ensembles -> mean / stddev / 95% CI verdicts.
+//
+// Folds per-replica RunSummarys into per-metric distribution statistics via
+// src/stats (sample stddev, Student-t 95% interval on the mean), producing
+// the telemetry::MetricStats the CI-annotated tables and CSV/JSON exports
+// render. Benches with custom per-replica metrics (e.g. attributed job
+// carbon) use fold() directly on their raw value series.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "experiment/runner.hpp"
+#include "telemetry/experiment.hpp"
+
+namespace greenhpc::experiment {
+
+class Aggregator {
+ public:
+  /// A named scalar extracted from each replica's summary.
+  struct Metric {
+    std::string name;
+    std::function<double(const core::RunSummary&)> get;
+  };
+
+  /// The RunSummary metrics every experiment reports: job counts, activity,
+  /// waits, utilization, PUE, and the full Eq. 1 ledger (energy MWh, cost $,
+  /// CO2 kg, water m^3), plus throttle hours.
+  [[nodiscard]] static const std::vector<Metric>& default_metrics();
+
+  /// One metric's stats over a raw value series (n >= 1; n == 1 reports a
+  /// point estimate with zero spread).
+  [[nodiscard]] static telemetry::MetricStats fold(std::string name,
+                                                   std::span<const double> values);
+
+  /// Folds an ensemble into per-metric stats, one entry per metric, in
+  /// metric order.
+  [[nodiscard]] static std::vector<telemetry::MetricStats> aggregate(
+      std::span<const ReplicaResult> replicas,
+      const std::vector<Metric>& metrics = default_metrics());
+};
+
+}  // namespace greenhpc::experiment

@@ -1,0 +1,34 @@
+#include "experiment/runner.hpp"
+
+#include "util/rng.hpp"
+
+namespace greenhpc::experiment {
+
+std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica) {
+  // Two SplitMix64 steps decorrelate adjacent replicas even for adjacent
+  // base seeds (a single step would leave k and k+1 one increment apart).
+  util::SplitMix64 sm(base_seed ^ (0x9E3779B97F4A7C15ULL * (replica + 1)));
+  sm.next();
+  return sm.next();
+}
+
+ReplicaRunner::ReplicaRunner(RunnerOptions options)
+    : options_(options),
+      pool_(options.jobs > 0 ? std::make_unique<util::ThreadPool>(options.jobs) : nullptr) {}
+
+std::vector<ReplicaResult> ReplicaRunner::run(const ScenarioSpec& spec) const {
+  return run(spec, pool_ ? *pool_ : util::shared_pool());
+}
+
+std::vector<ReplicaResult> ReplicaRunner::run(const ScenarioSpec& spec,
+                                              util::ThreadPool& pool) const {
+  spec.validate();
+  std::vector<ReplicaResult> results(options_.replicas);
+  util::parallel_for(pool, options_.replicas, [&](std::size_t k) {
+    const std::uint64_t seed = replica_seed(options_.base_seed, k);
+    results[k] = ReplicaResult{k, seed, run_scenario(spec, seed)};
+  });
+  return results;
+}
+
+}  // namespace greenhpc::experiment

@@ -1,0 +1,61 @@
+#pragma once
+// ReplicaRunner: N independently-seeded replicas of a scenario, in parallel.
+//
+// The paper's claims are trade-off curves measured on a stochastic simulator,
+// so any single-seed number is a point estimate with unknown variance. The
+// runner turns one ScenarioSpec into a Monte-Carlo ensemble: replica k's seed
+// is derived from the base seed by a SplitMix64 mix that depends only on
+// (base_seed, k) — never on thread count or execution order — so replica k is
+// bit-identical whether the ensemble runs serially, on 2 workers, or on 64.
+// Each replica builds its own twin (core::reseed() derives the per-subsystem
+// environment seeds), so nothing is shared across replicas but the pool.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "experiment/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace greenhpc::experiment {
+
+/// One replica's outcome, tagged with its index and derived seed.
+struct ReplicaResult {
+  std::size_t replica = 0;
+  std::uint64_t seed = 0;
+  core::RunSummary run;
+};
+
+/// Deterministic per-replica seed: a SplitMix64 expansion of (base_seed, k).
+/// Pure function of its arguments — the contract the golden determinism
+/// tests pin down.
+[[nodiscard]] std::uint64_t replica_seed(std::uint64_t base_seed, std::size_t replica);
+
+struct RunnerOptions {
+  std::size_t replicas = 8;
+  std::uint64_t base_seed = 42;
+  /// Worker threads; 0 uses the process-wide shared pool (hardware-sized).
+  std::size_t jobs = 0;
+};
+
+class ReplicaRunner {
+ public:
+  explicit ReplicaRunner(RunnerOptions options);
+
+  [[nodiscard]] const RunnerOptions& options() const { return options_; }
+
+  /// Runs options().replicas replicas of `spec` on this runner's pool.
+  /// results[k] is always replica k (index-addressed writes, no reordering);
+  /// exceptions from any replica propagate.
+  [[nodiscard]] std::vector<ReplicaResult> run(const ScenarioSpec& spec) const;
+
+  /// As above on a caller-supplied pool (the throughput bench's entry).
+  [[nodiscard]] std::vector<ReplicaResult> run(const ScenarioSpec& spec,
+                                               util::ThreadPool& pool) const;
+
+ private:
+  RunnerOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< owned when options_.jobs > 0
+};
+
+}  // namespace greenhpc::experiment

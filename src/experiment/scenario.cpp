@@ -1,0 +1,343 @@
+#include "experiment/scenario.hpp"
+
+#include <algorithm>
+
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "grid/battery.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/conferences.hpp"
+
+namespace greenhpc::experiment {
+
+using util::require;
+
+namespace {
+
+/// Backfill-or-whatever with a fixed cluster-wide ceiling (the power-cap
+/// axis; min-composed so carbon/power-aware policies can still cap lower).
+class CappedScheduler final : public sched::Scheduler {
+ public:
+  CappedScheduler(std::unique_ptr<sched::Scheduler> inner, util::Power cap)
+      : inner_(std::move(inner)), cap_(cap) {}
+  [[nodiscard]] const char* name() const override { return inner_->name(); }
+  [[nodiscard]] std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+    return inner_->select(ctx);
+  }
+  [[nodiscard]] util::Power choose_cap(const sched::SchedulerContext& ctx) override {
+    return std::min(cap_, inner_->choose_cap(ctx));
+  }
+
+ private:
+  std::unique_ptr<sched::Scheduler> inner_;
+  util::Power cap_;
+};
+
+void scale_flexibility(std::vector<workload::ClassProfile>& mix, double scale) {
+  for (workload::ClassProfile& p : mix) p.flexible_probability *= scale;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::label() const {
+  std::string out;
+  if (mode == Mode::kSingleSite) {
+    out = core::policy_name(scheduler);
+    if (power_cap_w) out += "/cap" + util::fmt_fixed(*power_cap_w, 0);
+    if (battery_kwh) out += "/bat" + util::fmt_fixed(*battery_kwh, 0);
+  } else {
+    out = "fleet-" + router + "/r" + std::to_string(region_count);
+    if (transfer_kwh_per_job > 0.0) out += "/xfer" + util::fmt_fixed(transfer_kwh_per_job, 0);
+  }
+  if (flexible_scale != 1.0) out += "/flex" + util::fmt_fixed(flexible_scale, 1);
+  return out;
+}
+
+void ScenarioSpec::validate() const {
+  require(days >= 0, "ScenarioSpec: days must be >= 0");
+  require(days > 0 || months >= 1, "ScenarioSpec: window must cover at least one month or day");
+  require(warmup_days >= 0, "ScenarioSpec: warmup_days must be >= 0");
+  require(start.month >= 1 && start.month <= 12, "ScenarioSpec: start month out of range");
+  require(flexible_scale >= 0.0, "ScenarioSpec: flexible_scale must be >= 0");
+  if (mode == Mode::kSingleSite) {
+    require(!power_cap_w || *power_cap_w > 0.0, "ScenarioSpec: power cap must be positive");
+    require(!battery_kwh || *battery_kwh > 0.0, "ScenarioSpec: battery must be positive");
+  } else {
+    require(region_count >= 1 && region_count <= fleet::make_reference_fleet().size(),
+            "ScenarioSpec: region_count must be 1..4");
+    require(fleet::make_router(router) != nullptr, "ScenarioSpec: unknown router name");
+    require(transfer_kwh_per_job >= 0.0, "ScenarioSpec: transfer penalty must be >= 0");
+  }
+}
+
+util::TimePoint ScenarioSpec::window_start() const { return util::month_span(start).start; }
+
+util::TimePoint ScenarioSpec::window_end() const {
+  if (days > 0) return window_start() + util::days(days);
+  const util::MonthKey last = util::MonthKey::from_index(start.index_from_epoch() + months - 1);
+  return util::month_span(last).end;
+}
+
+std::unique_ptr<core::Datacenter> make_single_site(const ScenarioSpec& spec, std::uint64_t seed) {
+  require(spec.mode == Mode::kSingleSite, "make_single_site: spec is fleet mode");
+  spec.validate();
+
+  core::DatacenterConfig config;
+  config.reseed(seed);
+  config.start = spec.window_start() - util::days(spec.warmup_days);
+  if (spec.battery_kwh) {
+    grid::BatteryConfig battery;
+    battery.capacity = util::kilowatt_hours(*spec.battery_kwh);
+    battery.max_charge = util::kilowatts(*spec.battery_kwh / 4.0);
+    battery.max_discharge = util::kilowatts(*spec.battery_kwh / 4.0);
+    config.battery = battery;
+  }
+
+  std::unique_ptr<sched::Scheduler> scheduler = core::make_scheduler(spec.scheduler);
+  if (spec.power_cap_w) {
+    scheduler = std::make_unique<CappedScheduler>(std::move(scheduler),
+                                                  util::watts(*spec.power_cap_w));
+  }
+  auto dc = std::make_unique<core::Datacenter>(config, std::move(scheduler));
+
+  workload::ArrivalConfig arrivals;
+  if (spec.rate_per_hour > 0.0) arrivals.base_rate_per_hour = spec.rate_per_hour;
+  scale_flexibility(arrivals.mix, spec.flexible_scale);
+  dc->attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
+  if (spec.battery_kwh) {
+    dc->attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>());
+  }
+  return dc;
+}
+
+std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
+                                                    std::uint64_t seed) {
+  require(spec.mode == Mode::kFleet, "make_fleet: spec is single-site mode");
+  spec.validate();
+
+  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
+  profiles.resize(spec.region_count);
+
+  fleet::FleetConfig config;
+  config.seed = seed;
+  config.start = spec.window_start() - util::days(spec.warmup_days);
+  // rate_per_hour is quoted per reference site's worth of GPUs, like the CLI.
+  config.arrivals.base_rate_per_hour =
+      spec.rate_per_hour > 0.0 ? fleet::scaled_fleet_rate(profiles, spec.rate_per_hour)
+                               : fleet::scaled_fleet_rate(profiles);
+  scale_flexibility(config.arrivals.mix, spec.flexible_scale);
+  config.transfer_energy_per_job = util::kilowatt_hours(spec.transfer_kwh_per_job);
+
+  const core::PolicyKind policy = spec.scheduler;
+  return std::make_unique<fleet::FleetCoordinator>(
+      config, std::move(profiles), fleet::make_router(spec.router),
+      [policy] { return core::make_scheduler(policy); });
+}
+
+core::RunSummary run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  if (spec.mode == Mode::kSingleSite) {
+    const std::unique_ptr<core::Datacenter> dc = make_single_site(spec, seed);
+    dc->run_until(spec.window_start());  // warm-up
+    dc->run_until(spec.window_end());
+    return dc->summary();
+  }
+  const std::unique_ptr<fleet::FleetCoordinator> fleet = make_fleet(spec, seed);
+  fleet->run_until(spec.window_start());
+  fleet->run_until(spec.window_end());
+  const telemetry::FleetRunSummary summary = fleet->summary();
+  core::RunSummary total = summary.total;
+  total.grid_totals = summary.footprint();  // transfer penalty is never free
+  return total;
+}
+
+const std::vector<ScenarioSpec>& scenario_library() {
+  static const std::vector<ScenarioSpec> library = [] {
+    std::vector<ScenarioSpec> specs;
+
+    ScenarioSpec reference;
+    reference.name = "reference";
+    reference.months = 3;
+    specs.push_back(reference);
+
+    ScenarioSpec carbon_sched;
+    carbon_sched.name = "carbon_sched";
+    carbon_sched.scheduler = core::PolicyKind::kCarbonAware;
+    carbon_sched.start = {2021, 4};
+    carbon_sched.months = 3;
+    carbon_sched.rate_per_hour = 9.0;  // headroom so time-shifting can act
+    specs.push_back(carbon_sched);
+
+    ScenarioSpec powercap;
+    powercap.name = "powercap200";
+    powercap.start = {2021, 7};
+    powercap.power_cap_w = 200.0;
+    specs.push_back(powercap);
+
+    ScenarioSpec fleet_rr;
+    fleet_rr.name = "fleet_rr";
+    fleet_rr.mode = Mode::kFleet;
+    fleet_rr.router = "round_robin";
+    fleet_rr.months = 2;
+    specs.push_back(fleet_rr);
+
+    ScenarioSpec fleet_carbon = fleet_rr;
+    fleet_carbon.name = "fleet_carbon";
+    fleet_carbon.router = "carbon_greedy";
+    specs.push_back(fleet_carbon);
+
+    ScenarioSpec fleet_quick;
+    fleet_quick.name = "fleet_quick";
+    fleet_quick.mode = Mode::kFleet;
+    fleet_quick.region_count = 3;
+    fleet_quick.days = 14;
+    fleet_quick.warmup_days = 2;
+    specs.push_back(fleet_quick);
+
+    for (const ScenarioSpec& spec : specs) spec.validate();
+    return specs;
+  }();
+  return library;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const ScenarioSpec& spec : scenario_library()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string scenario_names() {
+  std::string out;
+  for (const ScenarioSpec& spec : scenario_library()) {
+    if (!out.empty()) out += " | ";
+    out += spec.name;
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base, const GridAxes& axes) {
+  // Axes the base mode never reads would expand into identical points with
+  // identical labels — reject them instead of silently multiplying the grid.
+  if (base.mode == Mode::kSingleSite) {
+    require(axes.routers.empty() && axes.region_counts.empty() && axes.transfer_kwh.empty(),
+            "expand_grid: router/region/transfer axes need a fleet-mode base");
+  } else {
+    require(axes.power_caps_w.empty(), "expand_grid: power-cap axis needs a single-site base");
+  }
+  // Empty axes pin the base value; the expansion is the cartesian product of
+  // the rest. Axis order fixes point order (outermost = scheduler).
+  const std::vector<core::PolicyKind> schedulers =
+      axes.schedulers.empty() ? std::vector<core::PolicyKind>{base.scheduler} : axes.schedulers;
+  const std::vector<std::string> routers =
+      axes.routers.empty() ? std::vector<std::string>{base.router} : axes.routers;
+  const std::vector<std::size_t> region_counts =
+      axes.region_counts.empty() ? std::vector<std::size_t>{base.region_count}
+                                 : axes.region_counts;
+  std::vector<std::optional<double>> caps;
+  if (axes.power_caps_w.empty()) {
+    caps.push_back(base.power_cap_w);
+  } else {
+    for (double w : axes.power_caps_w) caps.emplace_back(w);
+  }
+  const std::vector<double> transfers =
+      axes.transfer_kwh.empty() ? std::vector<double>{base.transfer_kwh_per_job}
+                                : axes.transfer_kwh;
+
+  std::vector<ScenarioSpec> points;
+  for (const core::PolicyKind scheduler : schedulers) {
+    for (const std::string& router : routers) {
+      for (const std::size_t regions : region_counts) {
+        for (const std::optional<double>& cap : caps) {
+          for (const double transfer : transfers) {
+            ScenarioSpec point = base;
+            point.scheduler = scheduler;
+            point.router = router;
+            point.region_count = regions;
+            point.power_cap_w = cap;
+            point.transfer_kwh_per_job = transfer;
+            point.validate();
+            points.push_back(std::move(point));
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+const std::vector<SweepSpec>& sweep_library() {
+  static const std::vector<SweepSpec> library = [] {
+    std::vector<SweepSpec> sweeps;
+
+    {
+      ScenarioSpec base;
+      base.name = "scheduler";
+      base.start = {2021, 4};
+      base.rate_per_hour = 9.0;
+      GridAxes axes;
+      axes.schedulers = {core::PolicyKind::kFcfs, core::PolicyKind::kBackfill,
+                         core::PolicyKind::kCarbonAware, core::PolicyKind::kPowerAware};
+      sweeps.push_back({"scheduler", "single-site scheduling policies (Apr 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      ScenarioSpec base;
+      base.name = "router";
+      base.mode = Mode::kFleet;
+      GridAxes axes;
+      axes.routers = {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy"};
+      sweeps.push_back({"router", "fleet routing policies, 4 regions (Jan 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      ScenarioSpec base;
+      base.name = "regions";
+      base.mode = Mode::kFleet;
+      GridAxes axes;
+      axes.region_counts = {1, 2, 3, 4};
+      sweeps.push_back({"regions", "carbon_greedy fleet vs region count (Jan 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      ScenarioSpec base;
+      base.name = "powercap";
+      base.start = {2021, 7};
+      GridAxes axes;
+      axes.power_caps_w = {250.0, 225.0, 200.0, 175.0, 150.0};
+      sweeps.push_back({"powercap", "fixed cluster-wide GPU power caps (Jul 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      ScenarioSpec base;
+      base.name = "transfer";
+      base.mode = Mode::kFleet;
+      GridAxes axes;
+      axes.transfer_kwh = {0.0, 5.0, 25.0, 100.0};
+      sweeps.push_back({"transfer",
+                       "carbon_greedy fleet vs network-transfer penalty (Jan 2021)",
+                       expand_grid(base, axes)});
+    }
+    return sweeps;
+  }();
+  return library;
+}
+
+const SweepSpec* find_sweep(const std::string& name) {
+  for (const SweepSpec& sweep : sweep_library()) {
+    if (sweep.name == name) return &sweep;
+  }
+  return nullptr;
+}
+
+std::string sweep_names() {
+  std::string out;
+  for (const SweepSpec& sweep : sweep_library()) {
+    if (!out.empty()) out += " | ";
+    out += sweep.name;
+  }
+  return out;
+}
+
+}  // namespace greenhpc::experiment

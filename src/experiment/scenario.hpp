@@ -1,0 +1,118 @@
+#pragma once
+// ScenarioSpec: one fully-specified simulation an experiment replica runs.
+//
+// Every bench in this repo used to hand-assemble its twin (window, scheduler,
+// cap, fleet, router) inline, which made multi-seed replication ad hoc. A
+// ScenarioSpec names that assembly once: the named library covers the
+// standard configurations, and parameter grids (expand_grid / the sweep
+// library) enumerate the paper's control axes — scheduler, router, region
+// count, power cap, network-transfer penalty — as first-class experiment
+// points. run_scenario(spec, seed) is the single entry every replica, bench,
+// and CLI surface shares, so "same spec + same seed = same bits" holds
+// everywhere by construction.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "fleet/coordinator.hpp"
+
+namespace greenhpc::experiment {
+
+enum class Mode : std::uint8_t { kSingleSite = 0, kFleet };
+
+struct ScenarioSpec {
+  std::string name = "reference";
+  Mode mode = Mode::kSingleSite;
+
+  // --- window ---------------------------------------------------------------
+  util::MonthKey start{2021, 1};
+  int months = 1;       ///< whole simulated months (ignored when days > 0)
+  int days = 0;         ///< >0: run this many days from the 1st of `start`
+  int warmup_days = 7;  ///< spin-up before the measured window
+
+  // --- workload -------------------------------------------------------------
+  /// Submissions per hour; <= 0 selects the mode default (12 for a single
+  /// site, capacity-scaled fleet pressure for a fleet).
+  double rate_per_hour = 0.0;
+  /// Multiplier on every class's flexible_probability (the carbon-aware
+  /// ablation's knob; 1.0 = the default mix).
+  double flexible_scale = 1.0;
+
+  // --- single-site controls -------------------------------------------------
+  core::PolicyKind scheduler = core::PolicyKind::kBackfill;
+  std::optional<double> power_cap_w;   ///< fixed cluster-wide GPU cap
+  std::optional<double> battery_kwh;   ///< attach threshold-arbitrage storage
+
+  // --- fleet controls -------------------------------------------------------
+  std::string router = "carbon_greedy";
+  std::size_t region_count = 4;  ///< first N reference regions (1..4)
+  double transfer_kwh_per_job = 0.0;
+
+  /// Compact identity for tables: "fleet/carbon_greedy/r4" style.
+  [[nodiscard]] std::string label() const;
+
+  /// Throws std::invalid_argument on inconsistent settings (bad router name,
+  /// region_count out of range, non-positive window...).
+  void validate() const;
+
+  /// The measured window on the simulation clock (warm-up excluded).
+  [[nodiscard]] util::TimePoint window_start() const;
+  [[nodiscard]] util::TimePoint window_end() const;
+};
+
+/// Builds the single-site twin for one replica, positioned warmup_days
+/// before the measured window (caller drives run_until). Requires
+/// mode == kSingleSite.
+[[nodiscard]] std::unique_ptr<core::Datacenter> make_single_site(const ScenarioSpec& spec,
+                                                                 std::uint64_t seed);
+
+/// Builds the fleet for one replica (mode == kFleet), same positioning.
+[[nodiscard]] std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
+                                                                  std::uint64_t seed);
+
+/// Runs one replica end to end (warm-up then the measured window) and
+/// returns its summary. Fleet mode returns the aggregate with the
+/// network-transfer penalty folded into grid_totals (the fleet footprint),
+/// so transfer-heavy routing is never free in experiment metrics.
+[[nodiscard]] core::RunSummary run_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Named scenarios every surface can refer to by string.
+[[nodiscard]] const std::vector<ScenarioSpec>& scenario_library();
+[[nodiscard]] const ScenarioSpec* find_scenario(const std::string& name);
+[[nodiscard]] std::string scenario_names();
+
+// --- parameter grids ---------------------------------------------------------
+
+/// Axes of the paper's control space. Empty axes keep the base value; the
+/// expansion is the cartesian product of the non-empty ones.
+struct GridAxes {
+  std::vector<core::PolicyKind> schedulers;
+  std::vector<std::string> routers;          ///< fleet mode only
+  std::vector<std::size_t> region_counts;    ///< fleet mode only
+  std::vector<double> power_caps_w;          ///< single-site only
+  std::vector<double> transfer_kwh;          ///< fleet mode only
+};
+
+/// Cartesian-product expansion of `axes` applied to `base`; every point is
+/// validated and labeled.
+[[nodiscard]] std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                                    const GridAxes& axes);
+
+/// A named sweep: a list of scenario points compared side by side.
+struct SweepSpec {
+  std::string name;
+  std::string description;
+  std::vector<ScenarioSpec> points;
+};
+
+/// Built-in sweeps over the five control axes (scheduler, router, regions,
+/// powercap, transfer).
+[[nodiscard]] const std::vector<SweepSpec>& sweep_library();
+[[nodiscard]] const SweepSpec* find_sweep(const std::string& name);
+[[nodiscard]] std::string sweep_names();
+
+}  // namespace greenhpc::experiment

@@ -68,6 +68,36 @@ double coefficient_of_variation(std::span<const double> xs) {
   return stddev(xs) / m;
 }
 
+double t_critical_975(std::size_t dof) {
+  require(dof >= 1, "t_critical_975: dof must be >= 1");
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof <= 30) return kTable[dof - 1];
+  // Linear interpolation between the standard anchor rows.
+  struct Anchor {
+    double dof, value;
+  };
+  static constexpr Anchor kAnchors[] = {{30.0, 2.042}, {40.0, 2.021}, {60.0, 2.000},
+                                        {120.0, 1.980}};
+  const auto d = static_cast<double>(dof);
+  for (std::size_t i = 0; i + 1 < std::size(kAnchors); ++i) {
+    if (d <= kAnchors[i + 1].dof) {
+      const double frac = (d - kAnchors[i].dof) / (kAnchors[i + 1].dof - kAnchors[i].dof);
+      return kAnchors[i].value + frac * (kAnchors[i + 1].value - kAnchors[i].value);
+    }
+  }
+  return 1.960;
+}
+
+double ci95_half_width(std::span<const double> xs) {
+  require(!xs.empty(), "ci95_half_width: empty series");
+  if (xs.size() == 1) return 0.0;
+  const double s = stddev(xs);
+  return t_critical_975(xs.size() - 1) * s / std::sqrt(static_cast<double>(xs.size()));
+}
+
 Summary summarize(std::span<const double> xs) {
   require(!xs.empty(), "summarize: empty series");
   Summary s;

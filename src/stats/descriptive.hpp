@@ -27,6 +27,16 @@ namespace greenhpc::stats {
 /// Coefficient of variation (stddev / mean); requires nonzero mean.
 [[nodiscard]] double coefficient_of_variation(std::span<const double> xs);
 
+/// Two-sided 95% Student-t critical value for `dof` degrees of freedom
+/// (exact table through dof 30, interpolated anchors to 120, 1.96 beyond).
+/// This is what turns a replica ensemble's spread into a confidence claim.
+[[nodiscard]] double t_critical_975(std::size_t dof);
+
+/// Half-width of the 95% confidence interval on the mean:
+/// t_{0.975, n-1} * s / sqrt(n). A single sample has no spread estimate, so
+/// n == 1 returns 0 (a point estimate; callers should report n alongside).
+[[nodiscard]] double ci95_half_width(std::span<const double> xs);
+
 /// Summary bundle used in reports.
 struct Summary {
   std::size_t count = 0;

@@ -1,0 +1,131 @@
+#include "telemetry/experiment.hpp"
+
+#include <sstream>
+
+namespace greenhpc::telemetry {
+
+namespace {
+
+/// Minimal JSON string escaping (metric/scenario names are plain ASCII, but
+/// quotes/backslashes must never corrupt the document).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact: exports feed regression comparisons
+  os << v;
+  return os.str();
+}
+
+void append_metric_json(std::ostringstream& os, const MetricStats& m) {
+  os << "{\"name\":\"" << json_escape(m.name) << "\",\"replicas\":" << m.replicas
+     << ",\"mean\":" << json_number(m.mean) << ",\"stddev\":" << json_number(m.stddev)
+     << ",\"ci95_half\":" << json_number(m.ci95_half) << ",\"min\":" << json_number(m.min)
+     << ",\"max\":" << json_number(m.max) << "}";
+}
+
+}  // namespace
+
+std::string fmt_ci(double mean, double ci95_half, int precision) {
+  return util::fmt_fixed(mean, precision) + " ± " + util::fmt_fixed(ci95_half, precision);
+}
+
+util::Table experiment_table(const std::vector<MetricStats>& metrics) {
+  util::Table table({"metric", "n", "mean", "stddev", "ci95_half", "min", "max"});
+  for (const MetricStats& m : metrics) {
+    table.add(m.name, m.replicas, util::fmt_sci(m.mean, 4), util::fmt_sci(m.stddev, 3),
+              util::fmt_sci(m.ci95_half, 3), util::fmt_sci(m.min, 4), util::fmt_sci(m.max, 4));
+  }
+  return table;
+}
+
+std::string experiment_csv(const std::vector<MetricStats>& metrics) {
+  util::Table table({"metric", "replicas", "mean", "stddev", "ci95_half", "min", "max"});
+  for (const MetricStats& m : metrics) {
+    table.add(m.name, m.replicas, util::fmt_sci(m.mean, 17), util::fmt_sci(m.stddev, 17),
+              util::fmt_sci(m.ci95_half, 17), util::fmt_sci(m.min, 17), util::fmt_sci(m.max, 17));
+  }
+  return table.to_csv();
+}
+
+std::string experiment_json(const std::string& scenario,
+                            const std::vector<MetricStats>& metrics) {
+  std::ostringstream os;
+  os << "{\"scenario\":\"" << json_escape(scenario) << "\",\"replicas\":"
+     << (metrics.empty() ? 0 : metrics.front().replicas) << ",\"metrics\":[";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) os << ",";
+    append_metric_json(os, metrics[i]);
+  }
+  os << "]}";
+  return os.str();
+}
+
+util::Table sweep_table(const std::vector<SweepPointStats>& points,
+                        const std::vector<std::string>& metric_names) {
+  std::vector<std::string> headers = {"scenario", "n"};
+  for (const std::string& name : metric_names) headers.push_back(name);
+  util::Table table(std::move(headers));
+  for (const SweepPointStats& point : points) {
+    std::vector<std::string> row = {point.label,
+                                    std::to_string(point.metrics.empty()
+                                                       ? std::size_t{0}
+                                                       : point.metrics.front().replicas)};
+    for (const std::string& name : metric_names) {
+      std::string cell = "-";
+      for (const MetricStats& m : point.metrics) {
+        if (m.name == name) {
+          cell = fmt_ci(m.mean, m.ci95_half);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+std::string sweep_csv(const std::vector<SweepPointStats>& points) {
+  util::Table table({"scenario", "metric", "replicas", "mean", "stddev", "ci95_half", "min",
+                     "max"});
+  for (const SweepPointStats& point : points) {
+    for (const MetricStats& m : point.metrics) {
+      table.add(point.label, m.name, m.replicas, util::fmt_sci(m.mean, 17),
+                util::fmt_sci(m.stddev, 17), util::fmt_sci(m.ci95_half, 17),
+                util::fmt_sci(m.min, 17), util::fmt_sci(m.max, 17));
+    }
+  }
+  return table.to_csv();
+}
+
+std::string sweep_json(const std::string& sweep_name, const std::vector<SweepPointStats>& points) {
+  std::ostringstream os;
+  os << "{\"sweep\":\"" << json_escape(sweep_name) << "\",\"points\":[";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    if (p > 0) os << ",";
+    os << "{\"label\":\"" << json_escape(points[p].label) << "\",\"metrics\":[";
+    for (std::size_t i = 0; i < points[p].metrics.size(); ++i) {
+      if (i > 0) os << ",";
+      append_metric_json(os, points[p].metrics[i]);
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace greenhpc::telemetry

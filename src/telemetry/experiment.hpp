@@ -1,0 +1,60 @@
+#pragma once
+// Experiment-ensemble reporting: mean ± 95% CI tables, CSV, and JSON.
+//
+// The paper's Sec. IV-B ask — shareable, analysis-ready reporting — applied
+// to the Monte-Carlo layer: a replica ensemble reduces every RunSummary
+// metric to a distribution, and this module renders those distributions so a
+// bench claim ("carbon_greedy cuts CO2 by X%") always ships with its
+// uncertainty. experiment::Aggregator produces MetricStats; everything here
+// only formats them, so benches with custom metrics can reuse the renderers.
+
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+/// One metric's cross-replica distribution.
+struct MetricStats {
+  std::string name;
+  std::size_t replicas = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half = 0.0;  ///< half-width of the 95% CI on the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// "12.34 ± 0.56" (the ± column every CI-annotated table uses).
+[[nodiscard]] std::string fmt_ci(double mean, double ci95_half, int precision = 2);
+
+/// metric | n | mean | stddev | ci95_half | min | max.
+[[nodiscard]] util::Table experiment_table(const std::vector<MetricStats>& metrics);
+
+/// CSV with the experiment_table columns (one row per metric).
+[[nodiscard]] std::string experiment_csv(const std::vector<MetricStats>& metrics);
+
+/// JSON document: {"scenario": ..., "replicas": N, "metrics": [{...}]}.
+[[nodiscard]] std::string experiment_json(const std::string& scenario,
+                                          const std::vector<MetricStats>& metrics);
+
+/// One sweep point: a scenario label plus its aggregated metrics.
+struct SweepPointStats {
+  std::string label;
+  std::vector<MetricStats> metrics;
+};
+
+/// Comparison table across sweep points: one row per point, one "mean ± ci"
+/// column per name in `metric_names` (names missing from a point render "-").
+[[nodiscard]] util::Table sweep_table(const std::vector<SweepPointStats>& points,
+                                      const std::vector<std::string>& metric_names);
+
+/// Long-format CSV: point,metric,replicas,mean,stddev,ci95_half,min,max.
+[[nodiscard]] std::string sweep_csv(const std::vector<SweepPointStats>& points);
+
+/// JSON document: {"sweep": ..., "points": [{"label": ..., "metrics": [...]}]}.
+[[nodiscard]] std::string sweep_json(const std::string& sweep_name,
+                                     const std::vector<SweepPointStats>& points);
+
+}  // namespace greenhpc::telemetry

@@ -29,16 +29,31 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+namespace {
+
+/// Display columns of a UTF-8 cell: count non-continuation bytes, so
+/// multibyte glyphs like the CI tables' "±" pad correctly.
+std::size_t display_width(const std::string& s) {
+  std::size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;
+  }
+  return width;
+}
+
+}  // namespace
+
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = display_width(headers_[c]);
   for (const auto& row : rows_)
-    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], display_width(row[c]));
 
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       os << "  " << row[c];
-      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      for (std::size_t pad = display_width(row[c]); pad < widths[c]; ++pad) os << ' ';
     }
     os << '\n';
   };

@@ -62,7 +62,18 @@ void parallel_for(ThreadPool& pool, std::size_t count, const std::function<void(
       for (std::size_t i = begin; i < end; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();
+  // Wait for EVERY chunk before propagating: rethrowing on the first failed
+  // future would unwind while later chunks still hold references to `fn`
+  // (and to whatever the caller's lambda captured) — a use-after-free.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {

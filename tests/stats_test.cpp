@@ -21,6 +21,35 @@ TEST(Descriptive, SumMeanBasics) {
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
 }
 
+TEST(Descriptive, StudentTCriticalValues) {
+  EXPECT_DOUBLE_EQ(t_critical_975(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_975(4), 2.776);
+  EXPECT_DOUBLE_EQ(t_critical_975(10), 2.228);
+  EXPECT_DOUBLE_EQ(t_critical_975(30), 2.042);
+  EXPECT_NEAR(t_critical_975(50), 2.0105, 1e-4);  // interpolated 40..60
+  EXPECT_DOUBLE_EQ(t_critical_975(1000), 1.960);
+  EXPECT_THROW((void)t_critical_975(0), std::invalid_argument);
+  // Monotone non-increasing in dof.
+  double prev = t_critical_975(1);
+  for (std::size_t dof = 2; dof <= 200; ++dof) {
+    const double t = t_critical_975(dof);
+    EXPECT_LE(t, prev) << "dof " << dof;
+    prev = t;
+  }
+}
+
+TEST(Descriptive, Ci95HalfWidth) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // s = 1.29099, n = 4, t_{0.975,3} = 3.182.
+  EXPECT_NEAR(ci95_half_width(xs), 3.182 * stddev(xs) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ci95_half_width(std::vector<double>{5.0}), 0.0);  // point estimate
+  EXPECT_THROW((void)ci95_half_width(std::vector<double>{}), std::invalid_argument);
+  // Wider samples, wider interval.
+  const std::vector<double> tight = {10.0, 10.1, 9.9, 10.0};
+  const std::vector<double> loose = {5.0, 15.0, 0.0, 20.0};
+  EXPECT_LT(ci95_half_width(tight), ci95_half_width(loose));
+}
+
 TEST(Descriptive, KahanSummationStaysExact) {
   // 1e16 + many 1.0s: naive left-to-right summation loses them entirely.
   std::vector<double> xs = {1e16};

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/calendar.hpp"
 #include "util/error.hpp"
@@ -341,6 +343,26 @@ TEST(Table, CsvEscaping) {
   EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
 }
 
+TEST(Table, MultibyteCellsPadByDisplayWidth) {
+  // "±" is 2 UTF-8 bytes but 1 display column; padding must use display
+  // columns or every CI-annotated cell drifts one space per "±".
+  Table t({"metric", "value"});
+  t.add("a", "1.0 ± 0.5");
+  t.add("b", "123456789");  // same display width as the ± cell
+  std::ostringstream os;
+  t.print(os);
+  std::string line;
+  std::istringstream in(os.str());
+  std::size_t pm_line_bytes = 0, plain_line_bytes = 0;
+  while (std::getline(in, line)) {
+    if (line.find("±") != std::string::npos) pm_line_bytes = line.size();
+    if (line.find("123456789") != std::string::npos) plain_line_bytes = line.size();
+  }
+  ASSERT_GT(pm_line_bytes, 0u);
+  // The ± line carries one extra byte (the 2-byte glyph) but no extra padding.
+  EXPECT_EQ(pm_line_bytes, plain_line_bytes + 1);
+}
+
 TEST(Table, ArityMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
@@ -391,6 +413,110 @@ TEST(ThreadPool, ParallelForZeroCountIsNoop) {
   bool touched = false;
   parallel_for(pool, 0, [&](std::size_t) { touched = true; });
   EXPECT_FALSE(touched);
+}
+
+// --- thread pool: stress & failure modes -----------------------------------
+
+TEST(ThreadPoolStress, ConcurrentEnqueueFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksEach = 250;
+  std::atomic<int> counter{0};
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  futures.reserve(kProducers * kTasksEach);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        auto future = pool.submit([&counter] { counter.fetch_add(1); });
+        const std::scoped_lock lock(futures_mutex);
+        futures.push_back(std::move(future));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), kProducers * kTasksEach);
+}
+
+TEST(ThreadPoolStress, ThrowingTaskDoesNotLoseSubsequentTasks) {
+  ThreadPool pool(2);
+  auto bomb = pool.submit([] { throw std::runtime_error("boom"); });
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  EXPECT_THROW(bomb.get(), std::runtime_error);
+  for (auto& future : futures) future.get();  // would deadlock if a worker died
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolStress, InterleavedThrowersAndWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> bombs, workers;
+  for (int i = 0; i < 50; ++i) {
+    bombs.push_back(pool.submit([] { throw std::logic_error("bad"); }));
+    workers.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& bomb : bombs) EXPECT_THROW(bomb.get(), std::logic_error);
+  for (auto& worker : workers) worker.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedWork) {
+  // One worker, many queued tasks: shutdown must run everything already
+  // accepted, not drop the backlog.
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 200; ++i) {
+      (void)pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins here
+  EXPECT_EQ(counter.load(), 200);
+}
+
+// Regression: parallel_for used to rethrow on the first failed future while
+// later chunks were still queued, unwinding the caller's fn (and, in
+// ReplicaRunner, the results vector) out from under them — a use-after-free
+// the ASan CI job flagged as flaky. It must wait for every chunk first.
+TEST(ThreadPoolStress, ParallelForWaitsForAllChunksOnException) {
+  // One worker: the throwing first chunk completes long before the queued
+  // slow chunks, so an early rethrow would escape with work still pending.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, 64,
+                            [&](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("early");
+                              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                              ran.fetch_add(1);
+                            }),
+               std::runtime_error);
+  // Every chunk other than the throwing one fully ran before the exception
+  // escaped (48 = 64 minus the aborted 16-item chunk on a 1-thread pool)...
+  const int at_throw = ran.load();
+  EXPECT_GE(at_throw, 48);
+  // ...and nothing is still running against caller state afterwards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(ran.load(), at_throw);
+}
+
+TEST(ThreadPoolStress, ParallelForPropagatesExceptionAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("item 37");
+                            }),
+               std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 64, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 64);
 }
 
 }  // namespace

@@ -10,11 +10,18 @@
 // of N reference regions under one routed workload and prints per-region
 // plus aggregate summaries.
 //
+// Experiment mode (--replicas N, optionally --sweep NAME / --scenario NAME)
+// replaces the single run with a Monte-Carlo ensemble: N independently-seeded
+// replicas execute in parallel (--jobs K worker threads) and every metric is
+// reported as mean ± 95% CI instead of a point estimate.
+//
 // Examples:
 //   greenhpc_sim --scheduler carbon_aware --start 2021-01 --months 12
 //   greenhpc_sim --cap 200 --rate 9 --seed 7 --csv out/run1
 //   greenhpc_sim --battery 1000 --scheduler power_aware --months 3
 //   greenhpc_sim --fleet 3 --router carbon_greedy --months 2
+//   greenhpc_sim --replicas 32 --jobs 8 --months 1
+//   greenhpc_sim --sweep router --replicas 16 --csv out/routers
 
 #include <fstream>
 #include <iostream>
@@ -25,7 +32,11 @@
 
 #include "core/datacenter.hpp"
 #include "core/optimization.hpp"
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
 #include "fleet/coordinator.hpp"
+#include "telemetry/experiment.hpp"
 #include "telemetry/fleet.hpp"
 #include "telemetry/report.hpp"
 #include "util/table.hpp"
@@ -49,6 +60,14 @@ struct CliOptions {
   std::string router = "carbon_greedy";
   bool router_set = false;
   double transfer_kwh = 0.0;
+  // Experiment mode.
+  int replicas = 0;  // 0 = single-run mode
+  int jobs = 0;      // 0 = shared pool (hardware-sized)
+  std::string sweep;     // named sweep from the sweep library
+  std::string scenario;  // named scenario from the scenario library
+  /// Any scenario-shaping flag was passed explicitly (so --sweep/--scenario
+  /// can warn about ignoring it instead of silently dropping it).
+  bool run_flags_set = false;
 };
 
 void print_usage() {
@@ -74,6 +93,14 @@ void print_usage() {
       "                     carbon_greedy; fleet mode only)\n"
       "  --transfer KWH     network-transfer energy penalty per off-home job\n"
       "                     (fleet mode only, default 0)\n"
+      "  --replicas N       run N independently-seeded replicas and report\n"
+      "                     mean ± 95% CI per metric instead of one run\n"
+      "  --jobs K           worker threads for the replica ensemble\n"
+      "                     (default: hardware concurrency)\n"
+      "  --sweep NAME       run every point of a named parameter sweep\n"
+      "                     (" << experiment::sweep_names() << ")\n"
+      "  --scenario NAME    run a named scenario from the library\n"
+      "                     (" << experiment::scenario_names() << ")\n"
       "  --help             this text\n";
 }
 
@@ -100,37 +127,46 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     }
     try {
       if (arg == "--scheduler") {
-        if (*value == "fcfs") opts.policy = core::PolicyKind::kFcfs;
-        else if (*value == "easy_backfill") opts.policy = core::PolicyKind::kBackfill;
-        else if (*value == "carbon_aware") opts.policy = core::PolicyKind::kCarbonAware;
-        else if (*value == "power_aware") opts.policy = core::PolicyKind::kPowerAware;
-        else {
-          std::cerr << "error: unknown scheduler '" << *value << "'\n";
+        opts.run_flags_set = true;
+        const std::optional<core::PolicyKind> policy = core::policy_from_name(*value);
+        if (!policy) {
+          std::cerr << "error: unknown scheduler '" << *value << "' (" << core::policy_names()
+                    << ")\n";
           return std::nullopt;
         }
+        opts.policy = *policy;
       } else if (arg == "--start") {
+        opts.run_flags_set = true;
         if (value->size() != 7 || (*value)[4] != '-') throw std::invalid_argument("format");
         opts.start.year = std::stoi(value->substr(0, 4));
         opts.start.month = std::stoi(value->substr(5, 2));
         if (opts.start.month < 1 || opts.start.month > 12) throw std::invalid_argument("month");
       } else if (arg == "--months") {
+        opts.run_flags_set = true;
         opts.months = std::stoi(*value);
         if (opts.months < 1) throw std::invalid_argument("months");
       } else if (arg == "--seed") {
         opts.seed = std::stoull(*value);
       } else if (arg == "--cap") {
+        opts.run_flags_set = true;
         opts.cap_w = std::stod(*value);
+        if (*opts.cap_w <= 0.0) throw std::invalid_argument("cap");
       } else if (arg == "--battery") {
+        opts.run_flags_set = true;
         opts.battery_kwh = std::stod(*value);
+        if (*opts.battery_kwh <= 0.0) throw std::invalid_argument("battery");
       } else if (arg == "--rate") {
+        opts.run_flags_set = true;
         opts.rate_per_hour = std::stod(*value);
         if (opts.rate_per_hour <= 0.0) throw std::invalid_argument("rate");
       } else if (arg == "--csv") {
         opts.csv_prefix = *value;
       } else if (arg == "--fleet") {
+        opts.run_flags_set = true;
         opts.fleet_regions = std::stoi(*value);
         if (opts.fleet_regions < 1 || opts.fleet_regions > 4) throw std::invalid_argument("fleet");
       } else if (arg == "--router") {
+        opts.run_flags_set = true;
         if (!fleet::make_router(*value)) {
           std::cerr << "error: unknown router '" << *value << "' (" << fleet::router_names()
                     << ")\n";
@@ -139,8 +175,29 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.router = *value;
         opts.router_set = true;
       } else if (arg == "--transfer") {
+        opts.run_flags_set = true;
         opts.transfer_kwh = std::stod(*value);
         if (opts.transfer_kwh < 0.0) throw std::invalid_argument("transfer");
+      } else if (arg == "--replicas") {
+        opts.replicas = std::stoi(*value);
+        if (opts.replicas < 1) throw std::invalid_argument("replicas");
+      } else if (arg == "--jobs") {
+        opts.jobs = std::stoi(*value);
+        if (opts.jobs < 0) throw std::invalid_argument("jobs");
+      } else if (arg == "--sweep") {
+        if (!experiment::find_sweep(*value)) {
+          std::cerr << "error: unknown sweep '" << *value << "' ("
+                    << experiment::sweep_names() << ")\n";
+          return std::nullopt;
+        }
+        opts.sweep = *value;
+      } else if (arg == "--scenario") {
+        if (!experiment::find_scenario(*value)) {
+          std::cerr << "error: unknown scenario '" << *value << "' ("
+                    << experiment::scenario_names() << ")\n";
+          return std::nullopt;
+        }
+        opts.scenario = *value;
       } else {
         std::cerr << "error: unknown option '" << arg << "' (see --help)\n";
         return std::nullopt;
@@ -153,25 +210,6 @@ std::optional<CliOptions> parse(int argc, char** argv) {
   return opts;
 }
 
-/// Wraps the selected policy with an optional fixed cap ceiling.
-class CappedScheduler final : public sched::Scheduler {
- public:
-  CappedScheduler(std::unique_ptr<sched::Scheduler> inner, std::optional<util::Power> cap)
-      : inner_(std::move(inner)), cap_(cap) {}
-  const char* name() const override { return inner_->name(); }
-  std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
-    return inner_->select(ctx);
-  }
-  util::Power choose_cap(const sched::SchedulerContext& ctx) override {
-    const util::Power inner_cap = inner_->choose_cap(ctx);
-    return cap_ ? std::min(*cap_, inner_cap) : inner_cap;
-  }
-
- private:
-  std::unique_ptr<sched::Scheduler> inner_;
-  std::optional<util::Power> cap_;
-};
-
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) {
@@ -180,6 +218,111 @@ bool write_file(const std::string& path, const std::string& content) {
   }
   out << content;
   return true;
+}
+
+/// The scenario the non-experiment flags describe (used when --replicas is
+/// given without --scenario, so `--fleet 4 --replicas 16` just works).
+experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
+  experiment::ScenarioSpec spec;
+  spec.name = "cli";
+  spec.start = opts.start;
+  spec.months = opts.months;
+  spec.scheduler = opts.policy;
+  spec.rate_per_hour = opts.rate_per_hour;
+  if (opts.fleet_regions > 0) {
+    spec.mode = experiment::Mode::kFleet;
+    spec.region_count = static_cast<std::size_t>(opts.fleet_regions);
+    spec.router = opts.router;
+    spec.transfer_kwh_per_job = opts.transfer_kwh;
+    if (opts.cap_w || opts.battery_kwh) {
+      std::cerr << "note: --cap/--battery are single-site options; ignored in fleet mode\n";
+    }
+  } else {
+    spec.power_cap_w = opts.cap_w;
+    spec.battery_kwh = opts.battery_kwh;
+    if (opts.router_set || opts.transfer_kwh > 0.0) {
+      std::cerr << "note: --router/--transfer only apply with --fleet N; ignored\n";
+    }
+  }
+  return spec;
+}
+
+/// The key columns a sweep comparison prints (full detail goes to CSV/JSON).
+const std::vector<std::string> kSweepColumns = {
+    "completed_gpu_hours", "energy_mwh", "cost_usd", "co2_kg", "mean_queue_wait_hours"};
+
+/// Experiment mode: replica ensembles with mean ± 95% CI verdicts.
+int run_experiment(const CliOptions& opts) {
+  experiment::RunnerOptions runner_opts;
+  runner_opts.replicas = static_cast<std::size_t>(opts.replicas > 0 ? opts.replicas : 8);
+  runner_opts.base_seed = opts.seed;
+  runner_opts.jobs = static_cast<std::size_t>(opts.jobs);
+  const experiment::ReplicaRunner runner(runner_opts);
+
+  std::cout << "greenhpc_sim experiment: " << runner_opts.replicas << " replica(s), "
+            << (opts.jobs > 0 ? std::to_string(opts.jobs) : std::string("hardware"))
+            << " worker(s), base seed " << opts.seed << "\n";
+
+  if (opts.reports) std::cerr << "note: --reports is a single-run option; ignored here\n";
+  if (!opts.sweep.empty() && !opts.scenario.empty()) {
+    std::cerr << "note: --sweep overrides --scenario; scenario '" << opts.scenario
+              << "' ignored\n";
+  }
+  if ((!opts.sweep.empty() || !opts.scenario.empty()) && opts.run_flags_set) {
+    // Named points define their own window and controls; only --seed,
+    // --replicas, --jobs, and --csv apply.
+    std::cerr << "note: --sweep/--scenario fix the scenario; the --scheduler/--start/"
+                 "--months/--cap/--battery/--rate/--fleet/--router/--transfer flags are "
+                 "ignored\n";
+  }
+
+  if (!opts.sweep.empty()) {
+    const experiment::SweepSpec& sweep = *experiment::find_sweep(opts.sweep);
+    std::cout << "sweep '" << sweep.name << "': " << sweep.description << ", "
+              << sweep.points.size() << " point(s)\n\n";
+    std::vector<telemetry::SweepPointStats> points;
+    for (const experiment::ScenarioSpec& point : sweep.points) {
+      points.push_back({point.label(), experiment::Aggregator::aggregate(runner.run(point))});
+    }
+    std::cout << telemetry::sweep_table(points, kSweepColumns);
+    if (!opts.csv_prefix.empty()) {
+      if (!write_file(opts.csv_prefix + "_sweep.csv", telemetry::sweep_csv(points))) return 1;
+      if (!write_file(opts.csv_prefix + "_sweep.json",
+                      telemetry::sweep_json(sweep.name, points))) {
+        return 1;
+      }
+      std::cout << "\nwrote " << opts.csv_prefix << "_sweep.csv and " << opts.csv_prefix
+                << "_sweep.json\n";
+    }
+    return 0;
+  }
+
+  const experiment::ScenarioSpec spec = !opts.scenario.empty()
+                                            ? *experiment::find_scenario(opts.scenario)
+                                            : spec_from_options(opts);
+  // Named scenarios report under their library name so exports of two
+  // scenarios sharing default controls stay distinguishable.
+  const std::string label =
+      !opts.scenario.empty() ? spec.name + " (" + spec.label() + ")" : spec.label();
+  std::cout << "scenario " << label << ", window " << spec.start.label() << " + "
+            << (spec.days > 0 ? std::to_string(spec.days) + " day(s)"
+                              : std::to_string(spec.months) + " month(s)")
+            << "\n\n";
+  const std::vector<experiment::ReplicaResult> results = runner.run(spec);
+  const std::vector<telemetry::MetricStats> stats = experiment::Aggregator::aggregate(results);
+  std::cout << telemetry::experiment_table(stats);
+  if (!opts.csv_prefix.empty()) {
+    if (!write_file(opts.csv_prefix + "_experiment.csv", telemetry::experiment_csv(stats))) {
+      return 1;
+    }
+    if (!write_file(opts.csv_prefix + "_experiment.json",
+                    telemetry::experiment_json(label, stats))) {
+      return 1;
+    }
+    std::cout << "\nwrote " << opts.csv_prefix << "_experiment.csv and " << opts.csv_prefix
+              << "_experiment.json\n";
+  }
+  return 0;
 }
 
 /// Fleet mode: N reference regions, one routed workload, lockstep clock.
@@ -240,10 +383,14 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const std::optional<CliOptions> parsed = parse(argc, argv);
-  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
-  const CliOptions& opts = *parsed;
+/// The dispatched run (single, fleet, or experiment) for parsed options.
+int run_cli(const CliOptions& opts) {
+  if (opts.replicas > 0 || !opts.sweep.empty() || !opts.scenario.empty()) {
+    return run_experiment(opts);
+  }
+  if (opts.jobs > 0) {
+    std::cerr << "note: --jobs only applies with --replicas/--sweep/--scenario; ignored\n";
+  }
 
   const util::MonthSpan first = util::month_span(opts.start);
   const util::MonthKey last_key =
@@ -251,31 +398,12 @@ int main(int argc, char** argv) {
   const util::MonthSpan last = util::month_span(last_key);
 
   if (opts.fleet_regions > 0) return run_fleet(opts, first, last);
-  if (opts.router_set || opts.transfer_kwh > 0.0) {
-    std::cerr << "note: --router/--transfer only apply with --fleet N; ignored\n";
-  }
 
-  core::DatacenterConfig config;
-  config.reseed(opts.seed);
-  config.start = first.start - util::days(7);  // warm-up week
-  if (opts.battery_kwh) {
-    grid::BatteryConfig battery;
-    battery.capacity = util::kilowatt_hours(*opts.battery_kwh);
-    battery.max_charge = util::kilowatts(*opts.battery_kwh / 4.0);
-    battery.max_discharge = util::kilowatts(*opts.battery_kwh / 4.0);
-    config.battery = battery;
-  }
-
-  std::optional<util::Power> cap;
-  if (opts.cap_w) cap = util::watts(*opts.cap_w);
-  core::Datacenter dc(config,
-                      std::make_unique<CappedScheduler>(core::make_scheduler(opts.policy), cap));
-  workload::ArrivalConfig arrivals;
-  arrivals.base_rate_per_hour = opts.rate_per_hour;
-  dc.attach_arrivals(arrivals, workload::DeadlineCalendar::standard());
-  if (opts.battery_kwh) {
-    dc.attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>());
-  }
+  // The same twin assembly an experiment replica uses — a `--seed S` single
+  // run is bit-identical to the corresponding replica of an ensemble.
+  const std::unique_ptr<core::Datacenter> dc_owner =
+      experiment::make_single_site(spec_from_options(opts), opts.seed);
+  core::Datacenter& dc = *dc_owner;
 
   std::cout << "greenhpc_sim: " << core::policy_name(opts.policy) << ", "
             << opts.start.label() << " + " << opts.months << " month(s), seed " << opts.seed;
@@ -332,4 +460,17 @@ int main(int argc, char** argv) {
               << "_jobs.csv\n";
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  const std::optional<CliOptions> parsed = parse(argc, argv);
+  if (!parsed) return argc > 1 && std::string(argv[1]) == "--help" ? 0 : 2;
+  try {
+    return run_cli(*parsed);
+  } catch (const std::exception& e) {
+    // Anything the deeper layers reject (scenario validation, file IO...)
+    // surfaces as a CLI error, never an abort.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
 }
