@@ -10,6 +10,7 @@
 // transfer penalty pulling carbon_greedy's placements back toward the home
 // region as moving data gets more expensive.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,13 +25,15 @@ namespace {
 
 constexpr std::uint64_t kSeed = 42;
 const util::MonthKey kStart{2021, 1};
-constexpr int kMonths = 2;
+/// Simulated months per router; `--months N` overrides (the CI bench-smoke
+/// job runs N=1 so this harness cannot silently rot).
+int g_months = 2;
 
 telemetry::FleetRunSummary run_router(const std::string& router, util::Energy transfer,
                                       std::size_t* off_home_jobs = nullptr) {
   const util::MonthSpan first = util::month_span(kStart);
   const util::MonthSpan last =
-      util::month_span(util::MonthKey::from_index(kStart.index_from_epoch() + kMonths - 1));
+      util::month_span(util::MonthKey::from_index(kStart.index_from_epoch() + g_months - 1));
 
   std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
   fleet::FleetConfig config;
@@ -57,9 +60,22 @@ telemetry::FleetRunSummary run_router(const std::string& router, util::Energy tr
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--months" && i + 1 < argc) {
+      g_months = std::atoi(argv[++i]);
+      if (g_months < 1 || g_months > 12) {
+        std::cerr << "error: --months must be 1..12\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: fleet_routing [--months N]\n";
+      return 2;
+    }
+  }
   util::print_banner(std::cout, "FLEET1: routing policies on the reference fleet");
-  std::cout << "window " << kStart.label() << " + " << kMonths << " months, seed " << kSeed
+  std::cout << "window " << kStart.label() << " + " << g_months << " months, seed " << kSeed
             << ", identical arrival stream per router\n\n";
 
   const std::vector<std::string> routers = {"round_robin", "least_loaded", "cost_greedy",

@@ -1,0 +1,203 @@
+// FORECAST1 — Predictive vs reactive green policies, seed-paired.
+//
+// Sec. II-C's claim, quantified end to end: forecasting models turn reactive
+// savings into planned ones. Two comparisons, each a seed-paired Monte-Carlo
+// ensemble (same replica seed => same arrival stream and environment under
+// either policy, so the difference column measures the policy effect):
+//
+//   1. Scheduling (time-shifting): carbon_aware releases flexible jobs when
+//      the grid is green *now*; forecast_carbon defers only while a
+//      meaningfully greener window is still reachable inside each job's
+//      slack.
+//   2. Routing (space-shifting): carbon_greedy prices a job at the arrival
+//      tick's grid intensity; carbon_forecast prices it at the forecast
+//      integrated over the job's expected runtime.
+//
+// The acceptance check mirrors the fleet-routing regression: the predictive
+// policy's mean CO2 must not exceed its reactive counterpart's at equal
+// (within 5%) delivered GPU-hours, reported as mean ± 95% CI via the
+// experiment harness.
+//
+// Flags (for the CI bench-smoke job): --replicas N (default 20), --days D
+// (default 0 = one full month), --skip-fleet.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "forecast/rolling.hpp"
+#include "telemetry/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 42;
+
+struct Options {
+  std::size_t replicas = 20;
+  int days = 0;  // 0 = a full month
+  bool skip_fleet = false;
+  std::string model = "climatology";
+};
+
+struct PairedVerdict {
+  telemetry::MetricStats reactive_co2;
+  telemetry::MetricStats predictive_co2;
+  telemetry::MetricStats saved_pct;  ///< per-seed CO2 saving, predictive vs reactive
+  double hours_ratio = 0.0;
+  std::size_t paired_wins = 0;
+  std::size_t n = 0;
+  bool pass = false;
+};
+
+std::vector<double> extract(const std::vector<experiment::ReplicaResult>& rs,
+                            double (*get)(const core::RunSummary&)) {
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const experiment::ReplicaResult& r : rs) out.push_back(get(r.run));
+  return out;
+}
+
+double co2_of(const core::RunSummary& s) { return s.grid_totals.carbon.kilograms(); }
+double hours_of(const core::RunSummary& s) { return s.completed_gpu_hours; }
+
+PairedVerdict compare(const experiment::ReplicaRunner& runner, experiment::ScenarioSpec reactive,
+                      experiment::ScenarioSpec predictive) {
+  const std::vector<experiment::ReplicaResult> base = runner.run(reactive);
+  const std::vector<experiment::ReplicaResult> pred = runner.run(predictive);
+
+  PairedVerdict v;
+  v.n = base.size();
+  const std::vector<double> base_co2 = extract(base, co2_of);
+  const std::vector<double> pred_co2 = extract(pred, co2_of);
+  v.reactive_co2 = experiment::Aggregator::fold(reactive.label(), base_co2);
+  v.predictive_co2 = experiment::Aggregator::fold(predictive.label(), pred_co2);
+
+  std::vector<double> saved;
+  double base_hours = 0.0, pred_hours = 0.0;
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    saved.push_back(100.0 * (1.0 - pred_co2[k] / base_co2[k]));
+    if (pred_co2[k] <= base_co2[k]) ++v.paired_wins;
+    base_hours += hours_of(base[k].run);
+    pred_hours += hours_of(pred[k].run);
+  }
+  v.saved_pct = experiment::Aggregator::fold("saved_pct", saved);
+  v.hours_ratio = base_hours > 0.0 ? pred_hours / base_hours : 0.0;
+  v.pass = v.predictive_co2.mean <= v.reactive_co2.mean && v.hours_ratio > 0.95 &&
+           v.hours_ratio < 1.05;
+  return v;
+}
+
+void report(const std::string& title, const PairedVerdict& v) {
+  util::Table table({"policy", "co2_kg (mean ± 95% CI)", "saved_pct", "paired_wins",
+                     "gpu_hours_ratio"});
+  table.add(v.reactive_co2.name, telemetry::fmt_ci(v.reactive_co2.mean, v.reactive_co2.ci95_half),
+            "-", "-", "-");
+  table.add(v.predictive_co2.name,
+            telemetry::fmt_ci(v.predictive_co2.mean, v.predictive_co2.ci95_half),
+            telemetry::fmt_ci(v.saved_pct.mean, v.saved_pct.ci95_half),
+            std::to_string(v.paired_wins) + "/" + std::to_string(v.n),
+            util::fmt_fixed(v.hours_ratio, 4));
+  std::cout << title << ":\n" << table
+            << (v.pass ? "PASS" : "FAIL")
+            << ": predictive mean CO2 <= reactive at equal (within 5%) GPU-hours\n\n";
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replicas" && i + 1 < argc) {
+      const int replicas = std::atoi(argv[++i]);
+      if (replicas < 1) {
+        std::cerr << "error: --replicas must be >= 1\n";
+        std::exit(2);
+      }
+      opts.replicas = static_cast<std::size_t>(replicas);
+    } else if (arg == "--days" && i + 1 < argc) {
+      opts.days = std::atoi(argv[++i]);
+      if (opts.days < 0) {
+        std::cerr << "error: --days must be >= 0\n";
+        std::exit(2);
+      }
+    } else if (arg == "--skip-fleet") {
+      opts.skip_fleet = true;
+    } else if (arg == "--model" && i + 1 < argc) {
+      opts.model = argv[++i];
+      if (!forecast::model_known(opts.model)) {
+        std::cerr << "error: unknown forecast model '" << opts.model << "' ("
+                  << forecast::model_names() << ")\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << "usage: forecast_sched [--replicas N] [--days D] [--model NAME] "
+                   "[--skip-fleet]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  util::print_banner(std::cout, "FORECAST1: predictive vs reactive green policies");
+  std::cout << opts.replicas << " seed-paired replicas per policy, base seed " << kBaseSeed
+            << ", mean ± 95% CI\n\n";
+
+  const experiment::ReplicaRunner runner({opts.replicas, kBaseSeed, 0});
+
+  // --- 1. scheduling: carbon_aware vs forecast_carbon ------------------------
+  experiment::ScenarioSpec sched_base;
+  sched_base.name = "forecast_sched_bench";
+  sched_base.start = {2021, 4};
+  sched_base.rate_per_hour = 9.0;  // headroom so time-shifting can act
+  if (opts.days > 0) {
+    sched_base.days = opts.days;
+    sched_base.warmup_days = 2;
+  }
+  experiment::ScenarioSpec sched_pred = sched_base;
+  sched_base.scheduler = core::PolicyKind::kCarbonAware;
+  sched_pred.scheduler = core::PolicyKind::kForecastCarbon;
+  sched_pred.forecast_model = opts.model;
+  const PairedVerdict sched_v = compare(runner, sched_base, sched_pred);
+  report("scheduling: reactive green windows vs forecast-planned deferral", sched_v);
+
+  bool all_pass = sched_v.pass;
+
+  // --- 2. routing: carbon_greedy vs carbon_forecast --------------------------
+  if (!opts.skip_fleet) {
+    experiment::ScenarioSpec route_base;
+    route_base.name = "forecast_router_bench";
+    route_base.mode = experiment::Mode::kFleet;
+    route_base.start = {2021, 7};
+    // Hot fleet (reference-site pressure on every region): with light load
+    // both routers make identical greedy picks, because grid signals are
+    // persistent enough that the arrival tick's intensity is already a
+    // strong estimator. The forecast's edge is *backlog placement* — when no
+    // region can start a job now, carbon_greedy falls back to pure least
+    // pressure while carbon_forecast weighs where the queue will drain
+    // greenest — and that path only exercises under congestion.
+    route_base.rate_per_hour = 16.0;
+    if (opts.days > 0) {
+      route_base.days = opts.days;
+      route_base.warmup_days = 2;
+    }
+    experiment::ScenarioSpec route_pred = route_base;
+    route_base.router = "carbon_greedy";
+    route_pred.router = "carbon_forecast";
+    route_pred.forecast_model = opts.model;
+    const PairedVerdict route_v = compare(runner, route_base, route_pred);
+    report("routing: instantaneous greedy vs forecast-integrated", route_v);
+    all_pass = all_pass && route_v.pass;
+  }
+
+  return all_pass ? 0 : 1;
+}

@@ -152,6 +152,7 @@ void Datacenter::step(util::TimePoint t) {
   signals.price = price_.price_at(lt);
   signals.carbon = carbon_.intensity_at(lt);
   signals.renewable_share = fuel_mix_.mix_at(lt).renewable_share();
+  if (signal_observer_) signal_observer_(t, signals);
   run_scheduler(t, signals);
 
   // 5. Facility power and grid draw (battery may shift it).

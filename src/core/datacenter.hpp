@@ -104,6 +104,13 @@ class Datacenter {
   using JobCapPolicy = std::function<std::optional<util::Power>(const cluster::Job&)>;
   void set_job_cap_policy(JobCapPolicy policy) { job_cap_policy_ = std::move(policy); }
 
+  /// Observer for the per-step grid-signal stream (price, carbon, renewable
+  /// share at this site's local time). External forecasters and telemetry
+  /// taps subscribe here; the attached scheduler already receives the same
+  /// signals through its SchedulerContext.
+  using SignalObserver = std::function<void(util::TimePoint, const sched::GridSignals&)>;
+  void set_signal_observer(SignalObserver observer) { signal_observer_ = std::move(observer); }
+
   /// Submits an external job at the current simulation time.
   cluster::JobId submit(const cluster::JobRequest& request);
 
@@ -129,6 +136,7 @@ class Datacenter {
   [[nodiscard]] const grid::LmpPriceModel& prices() const { return price_; }
   [[nodiscard]] const grid::CarbonIntensityModel& carbon() const { return carbon_; }
   [[nodiscard]] const grid::BatteryStorage* battery() const { return battery_ ? &*battery_ : nullptr; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const { return *scheduler_; }
   [[nodiscard]] thermal::WeatherModel& mutable_weather() { return weather_; }
 
   /// Monthly mean facility power (kW) — Fig. 2/4/5 left axis.
@@ -163,6 +171,7 @@ class Datacenter {
   std::vector<cluster::JobId> queue_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   JobCapPolicy job_cap_policy_;
+  SignalObserver signal_observer_;
 
   // Workload.
   std::unique_ptr<workload::DemandModulator> modulator_;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sched/carbon_aware.hpp"
+#include "sched/forecast_carbon.hpp"
 #include "sched/power_aware.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -19,6 +20,7 @@ const char* policy_name(PolicyKind p) {
     case PolicyKind::kBackfill: return "easy_backfill";
     case PolicyKind::kCarbonAware: return "carbon_aware";
     case PolicyKind::kPowerAware: return "power_aware";
+    case PolicyKind::kForecastCarbon: return "forecast_carbon";
   }
   return "unknown";
 }
@@ -28,17 +30,30 @@ std::optional<PolicyKind> policy_from_name(const std::string& name) {
   if (name == "easy_backfill" || name == "backfill") return PolicyKind::kBackfill;
   if (name == "carbon_aware") return PolicyKind::kCarbonAware;
   if (name == "power_aware") return PolicyKind::kPowerAware;
+  if (name == "forecast_carbon") return PolicyKind::kForecastCarbon;
   return std::nullopt;
 }
 
-const char* policy_names() { return "fcfs | easy_backfill | carbon_aware | power_aware"; }
+const char* policy_names() {
+  return "fcfs | easy_backfill | carbon_aware | power_aware | forecast_carbon";
+}
 
 std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p) {
+  return make_scheduler(p, ForecastControls{});
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p, const ForecastControls& forecast) {
   switch (p) {
     case PolicyKind::kFcfs: return std::make_unique<sched::FcfsScheduler>();
     case PolicyKind::kBackfill: return std::make_unique<sched::EasyBackfillScheduler>();
     case PolicyKind::kCarbonAware: return std::make_unique<sched::CarbonAwareScheduler>();
     case PolicyKind::kPowerAware: return std::make_unique<sched::PowerAwareScheduler>();
+    case PolicyKind::kForecastCarbon: {
+      sched::ForecastCarbonConfig config;
+      config.forecaster.model = forecast.model;
+      config.forecaster.horizon = forecast.horizon;
+      return std::make_unique<sched::ForecastCarbonScheduler>(config);
+    }
   }
   return std::make_unique<sched::FcfsScheduler>();
 }

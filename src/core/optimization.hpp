@@ -34,6 +34,7 @@ enum class PolicyKind : std::uint8_t {
   kBackfill,
   kCarbonAware,
   kPowerAware,
+  kForecastCarbon,
 };
 
 [[nodiscard]] const char* policy_name(PolicyKind p);
@@ -45,8 +46,20 @@ enum class PolicyKind : std::uint8_t {
 /// All names policy_from_name accepts, for --help text.
 [[nodiscard]] const char* policy_names();
 
+/// Forecast controls for the predictive policies (ignored by the reactive
+/// ones): which forecast model drives forecast_carbon, and how far ahead it
+/// looks. Defaults match forecast::RollingForecasterConfig.
+struct ForecastControls {
+  std::string model = "climatology";
+  util::Duration horizon = util::hours(24);
+};
+
 /// Instantiates the scheduler a control vector selects.
 [[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p);
+
+/// As above with explicit forecast controls (forecast_carbon only).
+[[nodiscard]] std::unique_ptr<sched::Scheduler> make_scheduler(PolicyKind p,
+                                                               const ForecastControls& forecast);
 
 /// One point in the Eq. 1 control space.
 struct ControlVector {

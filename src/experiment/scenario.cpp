@@ -4,7 +4,9 @@
 
 #include "fleet/region.hpp"
 #include "fleet/routing.hpp"
+#include "forecast/rolling.hpp"
 #include "grid/battery.hpp"
+#include "sched/forecast_carbon.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "workload/arrivals.hpp"
@@ -29,6 +31,7 @@ class CappedScheduler final : public sched::Scheduler {
   [[nodiscard]] util::Power choose_cap(const sched::SchedulerContext& ctx) override {
     return std::min(cap_, inner_->choose_cap(ctx));
   }
+  [[nodiscard]] const sched::Scheduler& inner() const { return *inner_; }
 
  private:
   std::unique_ptr<sched::Scheduler> inner_;
@@ -52,6 +55,15 @@ std::string ScenarioSpec::label() const {
     if (transfer_kwh_per_job > 0.0) out += "/xfer" + util::fmt_fixed(transfer_kwh_per_job, 0);
   }
   if (flexible_scale != 1.0) out += "/flex" + util::fmt_fixed(flexible_scale, 1);
+  // Forecast controls only shape predictive points; non-default settings
+  // must keep two such points distinguishable in tables.
+  const bool predictive =
+      scheduler == core::PolicyKind::kForecastCarbon ||
+      (mode == Mode::kFleet && router.find("_forecast") != std::string::npos);
+  if (predictive) {
+    if (forecast_model != "climatology") out += "/" + forecast_model;
+    if (forecast_horizon_hours != 24) out += "/h" + std::to_string(forecast_horizon_hours);
+  }
   return out;
 }
 
@@ -61,6 +73,9 @@ void ScenarioSpec::validate() const {
   require(warmup_days >= 0, "ScenarioSpec: warmup_days must be >= 0");
   require(start.month >= 1 && start.month <= 12, "ScenarioSpec: start month out of range");
   require(flexible_scale >= 0.0, "ScenarioSpec: flexible_scale must be >= 0");
+  require(forecast::model_known(forecast_model), "ScenarioSpec: unknown forecast model");
+  require(forecast_horizon_hours >= 1 && forecast_horizon_hours <= 168,
+          "ScenarioSpec: forecast horizon must be 1..168 hours");
   if (mode == Mode::kSingleSite) {
     require(!power_cap_w || *power_cap_w > 0.0, "ScenarioSpec: power cap must be positive");
     require(!battery_kwh || *battery_kwh > 0.0, "ScenarioSpec: battery must be positive");
@@ -95,7 +110,8 @@ std::unique_ptr<core::Datacenter> make_single_site(const ScenarioSpec& spec, std
     config.battery = battery;
   }
 
-  std::unique_ptr<sched::Scheduler> scheduler = core::make_scheduler(spec.scheduler);
+  std::unique_ptr<sched::Scheduler> scheduler = core::make_scheduler(
+      spec.scheduler, {spec.forecast_model, util::hours(spec.forecast_horizon_hours)});
   if (spec.power_cap_w) {
     scheduler = std::make_unique<CappedScheduler>(std::move(scheduler),
                                                   util::watts(*spec.power_cap_w));
@@ -110,6 +126,14 @@ std::unique_ptr<core::Datacenter> make_single_site(const ScenarioSpec& spec, std
     dc->attach_battery_policy(std::make_unique<grid::ThresholdArbitragePolicy>());
   }
   return dc;
+}
+
+const sched::ForecastCarbonScheduler* forecast_scheduler_of(const core::Datacenter& dc) {
+  const sched::Scheduler* scheduler = &dc.scheduler();
+  if (const auto* capped = dynamic_cast<const CappedScheduler*>(scheduler)) {
+    scheduler = &capped->inner();
+  }
+  return dynamic_cast<const sched::ForecastCarbonScheduler*>(scheduler);
 }
 
 std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
@@ -131,9 +155,12 @@ std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
   config.transfer_energy_per_job = util::kilowatt_hours(spec.transfer_kwh_per_job);
 
   const core::PolicyKind policy = spec.scheduler;
+  const core::ForecastControls forecast{spec.forecast_model,
+                                        util::hours(spec.forecast_horizon_hours)};
   return std::make_unique<fleet::FleetCoordinator>(
-      config, std::move(profiles), fleet::make_router(spec.router),
-      [policy] { return core::make_scheduler(policy); });
+      config, std::move(profiles),
+      fleet::make_router(spec.router, spec.forecast_model, forecast.horizon),
+      [policy, forecast] { return core::make_scheduler(policy, forecast); });
 }
 
 core::RunSummary run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
@@ -186,6 +213,16 @@ const std::vector<ScenarioSpec>& scenario_library() {
     fleet_carbon.name = "fleet_carbon";
     fleet_carbon.router = "carbon_greedy";
     specs.push_back(fleet_carbon);
+
+    ScenarioSpec forecast_sched = carbon_sched;
+    forecast_sched.name = "forecast_sched";
+    forecast_sched.scheduler = core::PolicyKind::kForecastCarbon;
+    specs.push_back(forecast_sched);
+
+    ScenarioSpec fleet_forecast = fleet_rr;
+    fleet_forecast.name = "fleet_forecast";
+    fleet_forecast.router = "carbon_forecast";
+    specs.push_back(fleet_forecast);
 
     ScenarioSpec fleet_quick;
     fleet_quick.name = "fleet_quick";
@@ -278,7 +315,8 @@ const std::vector<SweepSpec>& sweep_library() {
       base.rate_per_hour = 9.0;
       GridAxes axes;
       axes.schedulers = {core::PolicyKind::kFcfs, core::PolicyKind::kBackfill,
-                         core::PolicyKind::kCarbonAware, core::PolicyKind::kPowerAware};
+                         core::PolicyKind::kCarbonAware, core::PolicyKind::kPowerAware,
+                         core::PolicyKind::kForecastCarbon};
       sweeps.push_back({"scheduler", "single-site scheduling policies (Apr 2021)",
                        expand_grid(base, axes)});
     }
@@ -287,8 +325,38 @@ const std::vector<SweepSpec>& sweep_library() {
       base.name = "router";
       base.mode = Mode::kFleet;
       GridAxes axes;
-      axes.routers = {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy"};
+      axes.routers = {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy",
+                      "cost_forecast", "carbon_forecast"};
       sweeps.push_back({"router", "fleet routing policies, 4 regions (Jan 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      // The reactive-vs-predictive scheduling comparison: the same window and
+      // load, instantaneous-signal deferral vs forecast-planned deferral.
+      ScenarioSpec base;
+      base.name = "forecast_sched";
+      base.start = {2021, 4};
+      base.rate_per_hour = 9.0;
+      GridAxes axes;
+      axes.schedulers = {core::PolicyKind::kCarbonAware, core::PolicyKind::kForecastCarbon};
+      sweeps.push_back({"forecast_sched",
+                       "reactive vs forecast-driven carbon scheduling (Apr 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      // Same question in space: instantaneous greedy routing vs routing on
+      // the forecast integrated over each job's expected runtime. Run hot
+      // (reference-site pressure on every region) — the forecast's spatial
+      // edge lives in backlog placement, which light load never exercises.
+      ScenarioSpec base;
+      base.name = "forecast_router";
+      base.mode = Mode::kFleet;
+      base.start = {2021, 7};
+      base.rate_per_hour = 16.0;
+      GridAxes axes;
+      axes.routers = {"carbon_greedy", "carbon_forecast", "cost_greedy", "cost_forecast"};
+      sweeps.push_back({"forecast_router",
+                       "reactive vs forecast-integrated fleet routing, hot fleet (Jul 2021)",
                        expand_grid(base, axes)});
     }
     {

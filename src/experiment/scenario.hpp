@@ -20,6 +20,10 @@
 #include "core/optimization.hpp"
 #include "fleet/coordinator.hpp"
 
+namespace greenhpc::sched {
+class ForecastCarbonScheduler;
+}
+
 namespace greenhpc::experiment {
 
 enum class Mode : std::uint8_t { kSingleSite = 0, kFleet };
@@ -52,6 +56,11 @@ struct ScenarioSpec {
   std::size_t region_count = 4;  ///< first N reference regions (1..4)
   double transfer_kwh_per_job = 0.0;
 
+  // --- forecast controls (predictive scheduler/routers only) ----------------
+  /// forecast::make_model name driving forecast_carbon / *_forecast policies.
+  std::string forecast_model = "climatology";
+  int forecast_horizon_hours = 24;
+
   /// Compact identity for tables: "fleet/carbon_greedy/r4" style.
   [[nodiscard]] std::string label() const;
 
@@ -73,6 +82,13 @@ struct ScenarioSpec {
 /// Builds the fleet for one replica (mode == kFleet), same positioning.
 [[nodiscard]] std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
                                                                   std::uint64_t seed);
+
+/// The forecast-carbon scheduler driving `dc`, if any — looks through the
+/// power-cap decorator make_single_site may have wrapped it in. For
+/// telemetry surfaces (realized forecast-skill tables); nullptr when the
+/// twin runs another policy.
+[[nodiscard]] const sched::ForecastCarbonScheduler* forecast_scheduler_of(
+    const core::Datacenter& dc);
 
 /// Runs one replica end to end (warm-up then the measured window) and
 /// returns its summary. Fleet mode returns the aggregate with the

@@ -85,13 +85,17 @@ RegionView FleetCoordinator::view_of(std::size_t i) const {
   return view;
 }
 
-void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window) {
-  const std::vector<cluster::JobRequest> requests = arrivals_->sample(t, window, rng_);
-  if (requests.empty()) return;
-
+std::vector<RegionView> FleetCoordinator::all_views() const {
   std::vector<RegionView> views;
   views.reserve(regions_.size());
   for (std::size_t i = 0; i < regions_.size(); ++i) views.push_back(view_of(i));
+  return views;
+}
+
+void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
+                                      std::vector<RegionView> views) {
+  const std::vector<cluster::JobRequest> requests = arrivals_->sample(t, window, rng_);
+  if (requests.empty()) return;
 
   RoutingContext ctx;
   ctx.now = t;
@@ -131,7 +135,11 @@ void FleetCoordinator::run_until(util::TimePoint end) {
   while (clock_ < end) {
     const util::TimePoint t = clock_;
     const util::TimePoint next = std::min(t + config_.step, end);
-    route_arrivals(t, next - t);  // sample only the window actually advanced
+    std::vector<RegionView> views = all_views();
+    // Every step's grid signals reach the router, not just steps with
+    // arrivals — forecast-driven policies need the gap-free stream.
+    router_->observe(t, views);
+    route_arrivals(t, next - t, std::move(views));  // sample only the window advanced
     for (const auto& dc : regions_) dc->run_until(next);
     clock_ = next;
   }

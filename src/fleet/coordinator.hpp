@@ -72,7 +72,8 @@ class FleetCoordinator {
   [[nodiscard]] telemetry::FleetRunSummary summary() const;
 
  private:
-  void route_arrivals(util::TimePoint t, util::Duration window);
+  [[nodiscard]] std::vector<RegionView> all_views() const;
+  void route_arrivals(util::TimePoint t, util::Duration window, std::vector<RegionView> views);
 
   FleetConfig config_;
   std::vector<RegionProfile> profiles_;

@@ -1,0 +1,128 @@
+#include "fleet/forecast_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace greenhpc::fleet {
+
+using util::require;
+
+ForecastRouter::ForecastRouter(Objective objective, ForecastRouterConfig config)
+    : objective_(objective), config_(std::move(config)) {
+  // Surface config mistakes at construction, not at the first observe():
+  // building a throwaway forecaster runs the full validation.
+  (void)forecast::RollingForecaster(config_.forecaster);
+  require(config_.override_margin >= 0.0 && config_.override_margin < 1.0,
+          "ForecastRouter: override margin must be in [0,1)");
+}
+
+double ForecastRouter::signal_of(const RegionView& region) const {
+  return objective_ == Objective::kCarbon ? region.carbon.kg_per_kwh()
+                                          : region.price.usd_per_mwh();
+}
+
+void ForecastRouter::observe(util::TimePoint now, std::span<const RegionView> regions) {
+  while (forecasters_.size() < regions.size()) {
+    forecasters_.emplace_back(config_.forecaster);
+    region_names_.emplace_back();
+  }
+  for (const RegionView& r : regions) {
+    // RollingForecaster ignores repeated timestamps, so observing here and
+    // again at route() time within the same step never double-counts.
+    forecasters_[r.index].observe(now, signal_of(r));
+    region_names_[r.index] = r.name;
+  }
+}
+
+double ForecastRouter::integrated_signal(std::size_t index, util::Duration runtime,
+                                         double instantaneous) const {
+  if (index >= forecasters_.size()) return instantaneous;
+  const forecast::RollingForecaster& fc = forecasters_[index];
+  if (!fc.reliable()) return instantaneous;
+  const auto steps = static_cast<std::size_t>(
+      std::clamp<double>(std::ceil(runtime / fc.cadence()), 1.0,
+                         static_cast<double>(fc.horizon_steps())));
+  const std::vector<double> predicted = fc.predict(steps);
+  double total = 0.0;
+  for (double v : predicted) total += v;
+  return total / static_cast<double>(predicted.size());
+}
+
+std::size_t ForecastRouter::route(const cluster::JobRequest& request, const RoutingContext& ctx) {
+  require(!ctx.regions.empty(), "ForecastRouter: empty fleet");
+  observe(ctx.now, ctx.regions);
+
+  // Wall-clock the job is expected to occupy a region's grid conditions
+  // (full throughput; the router cannot see destination caps).
+  const util::Duration runtime =
+      util::seconds(request.work_gpu_seconds / std::max(1, request.gpus));
+
+  std::size_t best = ctx.regions.size();       // forecast-integrated argmin
+  std::size_t best_now = ctx.regions.size();   // instantaneous argmin
+  double best_score = std::numeric_limits<double>::infinity();
+  double best_now_score = std::numeric_limits<double>::infinity();
+  double best_score_of_best_now = 0.0;  // integrated score of the instantaneous pick
+  for (const RegionView& r : ctx.regions) {
+    if (!r.fits(request.gpus)) continue;
+    const util::Energy energy = estimated_job_energy(request, r) +
+                                (r.is_home ? util::Energy{} : ctx.transfer_energy);
+    // Same units either way: kWh x kg/kWh = kg, MWh x $/MWh = $.
+    const double per_signal = objective_ == Objective::kCarbon ? energy.kilowatt_hours()
+                                                               : energy.megawatt_hours();
+    const double score = per_signal * integrated_signal(r.index, runtime, signal_of(r));
+    const double now_score = per_signal * signal_of(r);
+    if (score < best_score) {
+      best_score = score;
+      best = r.index;
+    }
+    if (now_score < best_now_score) {
+      best_now_score = now_score;
+      best_now = r.index;
+      best_score_of_best_now = score;
+    }
+  }
+  if (best == ctx.regions.size()) {
+    // Every region is full, so the job will queue wherever it lands. The
+    // reactive greedy routers fall back to pure least pressure; here the
+    // forecast earns its keep — among regions whose backlog is close to the
+    // lightest, take the one whose grid the forecast expects to be greenest
+    // (cheapest) while the job drains and runs.
+    const std::size_t lightest = least_pressure_region(ctx.regions);
+    const double pressure_cap = ctx.regions[lightest].pressure() * 1.1 + 1e-9;
+    std::size_t pick = lightest;
+    double pick_signal = integrated_signal(lightest, runtime,
+                                           signal_of(ctx.regions[lightest]));
+    for (const RegionView& r : ctx.regions) {
+      if (r.index == lightest || r.pressure() > pressure_cap) continue;
+      const double s = integrated_signal(r.index, runtime, signal_of(r));
+      if (s < pick_signal) {
+        pick_signal = s;
+        pick = r.index;
+      }
+    }
+    return pick;
+  }
+  // Override the persistence choice only on a decisive predicted advantage;
+  // a marginal drift flip is more likely forecast noise than signal.
+  if (best != best_now &&
+      best_score >= best_score_of_best_now * (1.0 - config_.override_margin)) {
+    return best_now;
+  }
+  return best;
+}
+
+std::vector<forecast::SkillReport> ForecastRouter::skills() const {
+  std::vector<forecast::SkillReport> out;
+  out.reserve(forecasters_.size());
+  for (std::size_t i = 0; i < forecasters_.size(); ++i) {
+    out.push_back(forecasters_[i].skill(region_names_[i].empty()
+                                            ? "region" + std::to_string(i)
+                                            : region_names_[i]));
+  }
+  return out;
+}
+
+}  // namespace greenhpc::fleet

@@ -1,0 +1,75 @@
+#pragma once
+// Forecast-integrated fleet routing (Sec. II-C's forecasting models applied
+// to the *where* dimension of Eq. 1).
+//
+// The greedy routers price a job at each region's instantaneous LMP / grid
+// intensity — but a multi-hour job does not run at the arrival tick's
+// conditions, it runs through the next several hours of each region's price
+// and fuel-mix cycle. A ForecastRouter keeps one RollingForecaster per
+// region (fed every fleet control step via RoutingPolicy::observe) and
+// scores each candidate region by the forecast *integrated over the job's
+// expected runtime*: mean predicted intensity (or price) across the runtime
+// window times the job's estimated energy, plus the network-transfer
+// penalty at the destination. Regions whose forecaster has not warmed up —
+// or whose realized skill tripped the MAPE gate — are scored at their
+// instantaneous signal, so the router degrades region-by-region to exactly
+// the reactive greedy behavior.
+
+#include <vector>
+
+#include "fleet/routing.hpp"
+#include "forecast/rolling.hpp"
+
+namespace greenhpc::fleet {
+
+struct ForecastRouterConfig {
+  /// Per-region signal forecaster (model, horizon, refit cadence, skill
+  /// gate). The horizon caps how much of a long job's runtime the
+  /// integration can see; the tail beyond it is priced at the last
+  /// predicted value's step.
+  forecast::RollingForecasterConfig forecaster;
+  /// The forecast may only override the instantaneous (persistence) choice
+  /// when it predicts at least this fractional score improvement — grid
+  /// signals are smooth enough that "now" is a strong estimator, so
+  /// low-confidence drift flips are suppressed as noise.
+  double override_margin = 0.02;
+};
+
+class ForecastRouter final : public RoutingPolicy {
+ public:
+  /// What the integrated score minimizes: the job's forecast carbon
+  /// footprint or its forecast electricity cost.
+  enum class Objective : std::uint8_t { kCarbon, kCost };
+
+  explicit ForecastRouter(Objective objective, ForecastRouterConfig config = {});
+
+  [[nodiscard]] const char* name() const override {
+    return objective_ == Objective::kCarbon ? "carbon_forecast" : "cost_forecast";
+  }
+  void observe(util::TimePoint now, std::span<const RegionView> regions) override;
+  [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
+                                  const RoutingContext& ctx) override;
+
+  [[nodiscard]] Objective objective() const { return objective_; }
+  [[nodiscard]] const ForecastRouterConfig& config() const { return config_; }
+  /// Realized per-region forecast skill for telemetry surfaces (one report
+  /// per region observed so far, in region-index order).
+  [[nodiscard]] std::vector<forecast::SkillReport> skills() const;
+
+  /// The forecast-integrated mean signal (kgCO2/kWh or $/MWh) a job running
+  /// `runtime` at region `index` would experience; falls back to
+  /// `instantaneous` when that region's forecast is not reliable. Exposed
+  /// for tests.
+  [[nodiscard]] double integrated_signal(std::size_t index, util::Duration runtime,
+                                         double instantaneous) const;
+
+ private:
+  [[nodiscard]] double signal_of(const RegionView& region) const;
+
+  Objective objective_;
+  ForecastRouterConfig config_;
+  std::vector<forecast::RollingForecaster> forecasters_;  ///< by region index
+  std::vector<std::string> region_names_;                 ///< for skill reports
+};
+
+}  // namespace greenhpc::fleet

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "fleet/forecast_router.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::fleet {
@@ -9,21 +10,6 @@ namespace greenhpc::fleet {
 namespace {
 
 using util::require;
-
-/// Fallback when no region can start the job now: the least committed one
-/// (lowest pressure, ties toward more free GPUs, then lower index).
-std::size_t least_pressure(std::span<const RegionView> regions) {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < regions.size(); ++i) {
-    const RegionView& r = regions[i];
-    const RegionView& b = regions[best];
-    if (r.pressure() < b.pressure() ||
-        (r.pressure() == b.pressure() && r.free_gpus > b.free_gpus)) {
-      best = i;
-    }
-  }
-  return best;
-}
 
 /// Greedy selection over regions that can start the job now, scored by
 /// `marginal` (lower is better); least-pressure fallback when none fit.
@@ -40,11 +26,24 @@ std::size_t greedy_route(const cluster::JobRequest& request, const RoutingContex
       best = r.index;
     }
   }
-  if (best == ctx.regions.size()) return least_pressure(ctx.regions);
+  if (best == ctx.regions.size()) return least_pressure_region(ctx.regions);
   return best;
 }
 
 }  // namespace
+
+std::size_t least_pressure_region(std::span<const RegionView> regions) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    const RegionView& r = regions[i];
+    const RegionView& b = regions[best];
+    if (r.pressure() < b.pressure() ||
+        (r.pressure() == b.pressure() && r.free_gpus > b.free_gpus)) {
+      best = i;
+    }
+  }
+  return best;
+}
 
 util::Energy estimated_job_energy(const cluster::JobRequest& request, const RegionView& region) {
   return region.busy_gpu_power * util::seconds(request.work_gpu_seconds);
@@ -61,7 +60,7 @@ std::size_t RoundRobinRouter::route(const cluster::JobRequest& /*request*/,
 std::size_t LeastLoadedRouter::route(const cluster::JobRequest& /*request*/,
                                      const RoutingContext& ctx) {
   require(!ctx.regions.empty(), "LeastLoadedRouter: empty fleet");
-  return least_pressure(ctx.regions);
+  return least_pressure_region(ctx.regions);
 }
 
 std::size_t CostGreedyRouter::route(const cluster::JobRequest& request,
@@ -85,13 +84,32 @@ std::size_t CarbonGreedyRouter::route(const cluster::JobRequest& request,
 }
 
 std::unique_ptr<RoutingPolicy> make_router(const std::string& name) {
+  return make_router(name, forecast::RollingForecasterConfig{}.model,
+                     forecast::RollingForecasterConfig{}.horizon);
+}
+
+std::unique_ptr<RoutingPolicy> make_router(const std::string& name,
+                                           const std::string& forecast_model,
+                                           util::Duration forecast_horizon) {
   if (name == "round_robin") return std::make_unique<RoundRobinRouter>();
   if (name == "least_loaded") return std::make_unique<LeastLoadedRouter>();
   if (name == "cost_greedy") return std::make_unique<CostGreedyRouter>();
   if (name == "carbon_greedy") return std::make_unique<CarbonGreedyRouter>();
+  if (name == "carbon_forecast" || name == "cost_forecast") {
+    ForecastRouterConfig config;
+    config.forecaster.model = forecast_model;
+    config.forecaster.horizon = forecast_horizon;
+    return std::make_unique<ForecastRouter>(name == "carbon_forecast"
+                                                ? ForecastRouter::Objective::kCarbon
+                                                : ForecastRouter::Objective::kCost,
+                                            config);
+  }
   return nullptr;
 }
 
-const char* router_names() { return "round_robin | least_loaded | cost_greedy | carbon_greedy"; }
+const char* router_names() {
+  return "round_robin | least_loaded | cost_greedy | carbon_greedy | cost_forecast | "
+         "carbon_forecast";
+}
 
 }  // namespace greenhpc::fleet

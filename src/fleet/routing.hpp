@@ -59,6 +59,12 @@ class RoutingPolicy {
 
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// Called once per fleet control step with every region's current signals,
+  /// whether or not a job arrives that step. Forecast-driven policies
+  /// accumulate their per-region signal histories here; stateless policies
+  /// ignore it.
+  virtual void observe(util::TimePoint /*now*/, std::span<const RegionView> /*regions*/) {}
+
   /// Picks the destination region index for one arriving job. `ctx.regions`
   /// is never empty; the returned index must be < ctx.regions.size().
   [[nodiscard]] virtual std::size_t route(const cluster::JobRequest& request,
@@ -113,9 +119,22 @@ class CarbonGreedyRouter final : public RoutingPolicy {
 [[nodiscard]] util::Energy estimated_job_energy(const cluster::JobRequest& request,
                                                 const RegionView& region);
 
+/// The shared when-nothing-fits fallback: the least committed region (lowest
+/// pressure, ties toward more free GPUs, then lower index).
+[[nodiscard]] std::size_t least_pressure_region(std::span<const RegionView> regions);
+
 /// Router factory for CLI surfaces: round_robin | least_loaded | cost_greedy
-/// | carbon_greedy. Returns nullptr for unknown names.
+/// | carbon_greedy | cost_forecast | carbon_forecast. Returns nullptr for
+/// unknown names. The forecast routers take the RollingForecasterConfig
+/// defaults (climatology model, 24 h horizon); make_router(name, model,
+/// horizon) configures them.
 [[nodiscard]] std::unique_ptr<RoutingPolicy> make_router(const std::string& name);
+
+/// As above with explicit forecaster controls for the forecast routers
+/// (ignored by the reactive ones). Throws on unknown forecast models.
+[[nodiscard]] std::unique_ptr<RoutingPolicy> make_router(const std::string& name,
+                                                         const std::string& forecast_model,
+                                                         util::Duration forecast_horizon);
 
 /// All router names make_router accepts, for --help text.
 [[nodiscard]] const char* router_names();

@@ -19,10 +19,70 @@ void SeasonalNaive::fit(std::span<const double> series) {
   last_season_.assign(series.end() - static_cast<std::ptrdiff_t>(period_), series.end());
 }
 
+void SeasonalNaive::update(double value) {
+  require(!last_season_.empty(), "SeasonalNaive: update before fit");
+  last_season_.erase(last_season_.begin());
+  last_season_.push_back(value);
+}
+
 std::vector<double> SeasonalNaive::predict(std::size_t horizon) const {
   require(!last_season_.empty(), "SeasonalNaive: predict before fit");
   std::vector<double> out(horizon);
   for (std::size_t h = 0; h < horizon; ++h) out[h] = last_season_[h % period_];
+  return out;
+}
+
+// --- SeasonalClimatology ----------------------------------------------------
+
+SeasonalClimatology::SeasonalClimatology(std::size_t period) : period_(period) {
+  require(period >= 1, "SeasonalClimatology: period must be >= 1");
+}
+
+void SeasonalClimatology::fit(std::span<const double> series) {
+  require(series.size() >= period_, "SeasonalClimatology: history shorter than one period");
+  slot_means_.assign(period_, 0.0);
+  std::vector<std::size_t> counts(period_, 0);
+  for (std::size_t t = 0; t < series.size(); ++t) {
+    slot_means_[t % period_] += series[t];
+    ++counts[t % period_];
+  }
+  for (std::size_t s = 0; s < period_; ++s)
+    slot_means_[s] /= static_cast<double>(counts[s]);
+
+  // Lag-1 autocorrelation of the anomalies: how fast deviations from the
+  // seasonal mean decay in this history.
+  double num = 0.0, den = 0.0;
+  double prev = series[0] - slot_means_[0];
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    const double a = series[t] - slot_means_[t % period_];
+    num += a * prev;
+    den += prev * prev;
+    prev = a;
+  }
+  rho_ = den > 0.0 ? std::clamp(num / den, 0.0, 0.999) : 0.0;
+  last_anomaly_ = prev;
+  fitted_length_ = series.size();
+}
+
+void SeasonalClimatology::update(double value) {
+  require(fitted_length_ > 0, "SeasonalClimatology: update before fit");
+  // Exponential per-slot mean with roughly a one-week memory, matching the
+  // window the periodic refit averages over.
+  const std::size_t s = fitted_length_ % period_;
+  slot_means_[s] += (value - slot_means_[s]) / 7.0;
+  last_anomaly_ = value - slot_means_[s];
+  ++fitted_length_;
+}
+
+std::vector<double> SeasonalClimatology::predict(std::size_t horizon) const {
+  require(fitted_length_ > 0, "SeasonalClimatology: predict before fit");
+  std::vector<double> out;
+  out.reserve(horizon);
+  double carry = last_anomaly_;
+  for (std::size_t h = 1; h <= horizon; ++h) {
+    carry *= rho_;
+    out.push_back(slot_means_[(fitted_length_ + h - 1) % period_] + carry);
+  }
   return out;
 }
 
@@ -49,6 +109,12 @@ void ArModel::fit(std::span<const double> series) {
   }
   coefficients_ = stats::multiple_fit(rows, targets).coefficients;
   tail_.assign(series.end() - static_cast<std::ptrdiff_t>(order_), series.end());
+}
+
+void ArModel::update(double value) {
+  require(!coefficients_.empty(), "ArModel: update before fit");
+  tail_.erase(tail_.begin());
+  tail_.push_back(value);
 }
 
 std::vector<double> ArModel::predict(std::size_t horizon) const {
@@ -91,15 +157,21 @@ void HoltWinters::fit(std::span<const double> series) {
   for (std::size_t i = 0; i < period_; ++i) seasonal_[i] = series[i] - mean1;
 
   // Smooth through the full history.
-  for (std::size_t t = 0; t < series.size(); ++t) {
-    const std::size_t s = t % period_;
-    const double prev_level = level_;
-    level_ = params_.alpha * (series[t] - seasonal_[s]) +
-             (1.0 - params_.alpha) * (level_ + trend_);
-    trend_ = params_.beta * (level_ - prev_level) + (1.0 - params_.beta) * trend_;
-    seasonal_[s] = params_.gamma * (series[t] - level_) + (1.0 - params_.gamma) * seasonal_[s];
-  }
-  fitted_length_ = series.size();
+  fitted_length_ = 0;
+  for (std::size_t t = 0; t < series.size(); ++t) smooth_step(series[t], t % period_);
+}
+
+void HoltWinters::smooth_step(double value, std::size_t s) {
+  const double prev_level = level_;
+  level_ = params_.alpha * (value - seasonal_[s]) + (1.0 - params_.alpha) * (level_ + trend_);
+  trend_ = params_.beta * (level_ - prev_level) + (1.0 - params_.beta) * trend_;
+  seasonal_[s] = params_.gamma * (value - level_) + (1.0 - params_.gamma) * seasonal_[s];
+  ++fitted_length_;
+}
+
+void HoltWinters::update(double value) {
+  require(fitted_length_ > 0, "HoltWinters: update before fit");
+  smooth_step(value, fitted_length_ % period_);
 }
 
 std::vector<double> HoltWinters::predict(std::size_t horizon) const {

@@ -1,0 +1,149 @@
+#include "forecast/rolling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::forecast {
+
+using util::require;
+
+namespace {
+
+/// Scoring-window length for the realized-MAPE gate: long enough to smooth
+/// single bad folds, short enough that a model drifting off still trips the
+/// gate within a couple of days of 15-minute samples.
+constexpr std::size_t kScoreWindow = 192;
+
+}  // namespace
+
+std::unique_ptr<Forecaster> make_model(const std::string& name, std::size_t period) {
+  if (name == "seasonal_naive") return std::make_unique<SeasonalNaive>(period);
+  if (name == "climatology") return std::make_unique<SeasonalClimatology>(period);
+  if (name == "ar") return std::make_unique<ArModel>(std::max<std::size_t>(1, period));
+  if (name == "holt_winters") return std::make_unique<HoltWinters>(std::max<std::size_t>(2, period));
+  throw std::invalid_argument("make_model: unknown forecast model '" + name + "'");
+}
+
+bool model_known(const std::string& name) {
+  return name == "seasonal_naive" || name == "climatology" || name == "ar" ||
+         name == "holt_winters";
+}
+
+const char* model_names() { return "seasonal_naive | climatology | ar | holt_winters"; }
+
+RollingForecaster::RollingForecaster(RollingForecasterConfig config)
+    : config_(std::move(config)) {
+  require(model_known(config_.model), "RollingForecaster: unknown model name");
+  require(config_.horizon.seconds() > 0.0, "RollingForecaster: horizon must be positive");
+  require(config_.history.seconds() > 0.0, "RollingForecaster: history must be positive");
+  require(config_.refit_every.seconds() > 0.0, "RollingForecaster: refit period must be positive");
+  require(config_.mape_gate_pct > 0.0, "RollingForecaster: MAPE gate must be positive");
+}
+
+std::size_t RollingForecaster::horizon_steps() const {
+  if (cadence_.seconds() <= 0.0) return 0;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                      std::llround(config_.horizon / cadence_)));
+}
+
+void RollingForecaster::observe(util::TimePoint now, double value) {
+  if (have_last_) {
+    if (!(last_time_ < now)) return;  // same control step seen twice (or clock misuse)
+    if (cadence_.seconds() <= 0.0) cadence_ = now - last_time_;
+  }
+  last_time_ = now;
+  have_last_ = true;
+
+  // Score forecasts whose target has arrived (MAPE is undefined at zero
+  // truth, so those folds are skipped rather than scored as infinite).
+  while (!pending_.empty() && pending_.front().first <= next_index_) {
+    if (pending_.front().first == next_index_ && std::abs(value) > 1e-12) {
+      const double err = 100.0 * std::abs(pending_.front().second - value) / std::abs(value);
+      abs_pct_errors_.push_back(err);
+      error_sum_ += err;
+      ++scored_;
+      while (abs_pct_errors_.size() > kScoreWindow) {
+        error_sum_ -= abs_pct_errors_.front();
+        abs_pct_errors_.pop_front();
+      }
+    }
+    pending_.pop_front();
+  }
+
+  values_.push_back(value);
+  ++next_index_;
+  if (cadence_.seconds() > 0.0) {
+    const auto capacity = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(config_.history / cadence_)));
+    while (values_.size() > capacity) values_.pop_front();
+  }
+
+  refit_or_update(value);
+  record_pending_forecast();
+}
+
+void RollingForecaster::refit_or_update(double value) {
+  if (cadence_.seconds() <= 0.0) return;
+  const auto refit_steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(config_.refit_every / cadence_)));
+  ++steps_since_fit_;
+  if (fitted_ && steps_since_fit_ < refit_steps) {
+    // Between refits the parameters stay put, but the forecast origin
+    // advances with the stream so predictions condition on the live state.
+    model_->update(value);
+    return;
+  }
+
+  if (!model_) {
+    // One seasonal cycle = one day of samples at the observed cadence.
+    const auto period = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::llround(util::days(1) / cadence_)));
+    model_ = make_model(config_.model, period);
+  }
+  if (values_.size() < model_->min_history()) return;
+
+  const std::vector<double> series(values_.begin(), values_.end());
+  model_->fit(series);
+  fitted_ = true;
+  steps_since_fit_ = 0;
+}
+
+void RollingForecaster::record_pending_forecast() {
+  if (!fitted_) return;
+  const std::size_t h = horizon_steps();
+  if (h == 0) return;
+  // The skill we report is exactly the skill consumers rely on: the
+  // horizon-ahead prediction, scored when its actual arrives.
+  pending_.emplace_back(next_index_ + h - 1, model_->predict(h).back());
+}
+
+std::vector<double> RollingForecaster::predict(std::size_t steps) const {
+  require(fitted_, "RollingForecaster: predict before enough history accumulated");
+  return model_->predict(std::clamp<std::size_t>(steps, 1, horizon_steps()));
+}
+
+double RollingForecaster::realized_mape_pct() const {
+  if (abs_pct_errors_.empty()) return 0.0;
+  return error_sum_ / static_cast<double>(abs_pct_errors_.size());
+}
+
+bool RollingForecaster::reliable() const {
+  if (!fitted_) return false;
+  if (scored_ < config_.min_scored) return true;
+  return realized_mape_pct() <= config_.mape_gate_pct;
+}
+
+SkillReport RollingForecaster::skill(std::string signal_name) const {
+  SkillReport report;
+  report.signal = std::move(signal_name);
+  report.model = config_.model;
+  report.samples = values_.size();
+  report.scored = scored_;
+  report.mape_pct = realized_mape_pct();
+  report.reliable = reliable();
+  return report;
+}
+
+}  // namespace greenhpc::forecast

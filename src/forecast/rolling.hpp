@@ -1,0 +1,127 @@
+#pragma once
+// RollingForecaster: an online wrapper turning the batch models of
+// forecast/models.hpp into a decision-grade signal feed.
+//
+// Sec. II-C argues that "models that help forecast and relate energy prices,
+// fuel mix, as well as energy expenditure" are what turn reactive savings
+// into planned ones. The schedulers and routers that act on those forecasts
+// see one observation per control step, not a prepared series — so this
+// class maintains a ring-buffer history per signal (carbon intensity, LMP,
+// renewable share), refits the underlying model periodically, and exposes
+// predict(horizon) online. It also scores its own past forecasts against the
+// actuals that later arrive (realized MAPE), so consumers can fall back to
+// reactive behavior when forecast skill is poor — a forecast-driven policy
+// must never be worse than its reactive counterpart just because the model
+// lost the plot.
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/models.hpp"
+#include "util/calendar.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::forecast {
+
+/// Instantiates a named model: seasonal_naive | climatology | ar |
+/// holt_winters. `period` is the seasonal cycle in samples (one day for grid
+/// signals); ar uses it as the lag order so a full cycle of lags is
+/// available. Throws on unknown names.
+[[nodiscard]] std::unique_ptr<Forecaster> make_model(const std::string& name, std::size_t period);
+
+/// True when make_model accepts `name`.
+[[nodiscard]] bool model_known(const std::string& name);
+
+/// All names make_model accepts, for --help text.
+[[nodiscard]] const char* model_names();
+
+struct RollingForecasterConfig {
+  std::string model = "climatology";
+  /// Decision lookahead: how far ahead consumers may ask predict() to see.
+  util::Duration horizon = util::hours(24);
+  /// Ring-buffer span the model refits on.
+  util::Duration history = util::days(7);
+  util::Duration refit_every = util::hours(6);
+  /// Reliability gate: reliable() turns false once the realized MAPE of past
+  /// horizon-ahead forecasts exceeds this (percent).
+  double mape_gate_pct = 25.0;
+  /// Scored forecasts required before the gate can bind (until then the
+  /// forecaster is trusted as soon as it is fitted).
+  std::size_t min_scored = 4;
+};
+
+/// Realized-skill snapshot for telemetry (rendered by telemetry/forecast).
+struct SkillReport {
+  std::string signal;  ///< what was forecast ("carbon", "price", ...)
+  std::string model;
+  std::size_t samples = 0;  ///< observations in the ring buffer
+  std::size_t scored = 0;   ///< past forecasts scored against actuals
+  double mape_pct = 0.0;    ///< realized MAPE of horizon-ahead forecasts
+  bool reliable = true;
+};
+
+class RollingForecaster {
+ public:
+  RollingForecaster() : RollingForecaster(RollingForecasterConfig{}) {}
+  explicit RollingForecaster(RollingForecasterConfig config);
+
+  /// Feeds one observation. The sample cadence is inferred from the first
+  /// two distinct timestamps; repeated timestamps are ignored (several
+  /// consumers may observe the same control step).
+  void observe(util::TimePoint now, double value);
+
+  /// Forecast for the next `steps` samples after the last observation (the
+  /// model's parameters refit periodically, but its origin advances with
+  /// every observation via Forecaster::update, so predictions always
+  /// condition on the live state — a persistent wind surge or price spike is
+  /// carried forward, not averaged away). Requires ready(); `steps` is
+  /// clamped to horizon_steps().
+  [[nodiscard]] std::vector<double> predict(std::size_t steps) const;
+
+  /// Enough history accumulated and a model fitted.
+  [[nodiscard]] bool ready() const { return fitted_; }
+
+  /// ready() and the realized-MAPE gate has not tripped. Consumers should
+  /// fall back to reactive behavior when this is false.
+  [[nodiscard]] bool reliable() const;
+
+  /// Realized MAPE (%) of horizon-ahead forecasts over the recent scoring
+  /// window; 0 until anything has been scored.
+  [[nodiscard]] double realized_mape_pct() const;
+
+  [[nodiscard]] std::size_t scored() const { return scored_; }
+  [[nodiscard]] std::size_t samples() const { return values_.size(); }
+  /// Inferred sample cadence (zero until two distinct timestamps were seen).
+  [[nodiscard]] util::Duration cadence() const { return cadence_; }
+  /// The configured horizon in samples (0 until the cadence is known).
+  [[nodiscard]] std::size_t horizon_steps() const;
+  [[nodiscard]] const RollingForecasterConfig& config() const { return config_; }
+
+  [[nodiscard]] SkillReport skill(std::string signal_name) const;
+
+ private:
+  void refit_or_update(double value);
+  void record_pending_forecast();
+
+  RollingForecasterConfig config_;
+  std::unique_ptr<Forecaster> model_;
+  bool fitted_ = false;
+
+  std::deque<double> values_;  ///< ring buffer, oldest first
+  util::TimePoint last_time_;
+  bool have_last_ = false;
+  util::Duration cadence_;      ///< zero until inferred
+  std::size_t next_index_ = 0;  ///< index of the next observation
+  std::size_t steps_since_fit_ = 0;
+
+  /// Forecasts awaiting their actual: (target observation index, predicted).
+  std::deque<std::pair<std::size_t, double>> pending_;
+  std::deque<double> abs_pct_errors_;  ///< rolling scoring window
+  double error_sum_ = 0.0;
+  std::size_t scored_ = 0;
+};
+
+}  // namespace greenhpc::forecast

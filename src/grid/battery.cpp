@@ -57,6 +57,12 @@ util::Energy BatteryStorage::total_losses() const {
 
 double BatteryStorage::equivalent_cycles() const { return delivered_out_ / config_.capacity; }
 
+ThresholdArbitragePolicy::ThresholdArbitragePolicy(Params params) : params_(params) {
+  require(params_.charge_below < params_.discharge_above,
+          "ThresholdArbitragePolicy: charge price must be below discharge price");
+  require(params_.rate.watts() > 0.0, "ThresholdArbitragePolicy: rate must be positive");
+}
+
 BatteryAction ThresholdArbitragePolicy::decide(const MarketView& view) const {
   if (view.price < params_.charge_below ||
       view.renewable_share > params_.charge_when_renewables_above) {

@@ -92,7 +92,9 @@ class ThresholdArbitragePolicy final : public ArbitragePolicy {
     util::Power rate = util::kilowatts(125.0);
   };
   ThresholdArbitragePolicy() : ThresholdArbitragePolicy(Params{}) {}
-  explicit ThresholdArbitragePolicy(Params params) : params_(params) {}
+  /// Throws if charge_below >= discharge_above (an inverted band would
+  /// charge and discharge on the same price).
+  explicit ThresholdArbitragePolicy(Params params);
 
   [[nodiscard]] BatteryAction decide(const MarketView& view) const override;
   [[nodiscard]] const char* name() const override { return "threshold"; }

@@ -35,13 +35,22 @@ bool CarbonAwareScheduler::green_window(util::TimePoint now, const GridSignals& 
     return true;
   }
   // Adaptive trigger once a day of history exists.
-  if (config_.green_quantile > 0.0 && history_.size() >= 96) {
+  if (config_.green_quantile > 0.0 && history_warmed_up()) {
     std::vector<double> values;
     values.reserve(history_.size());
     for (const auto& [t, v] : history_) values.push_back(v);
     return signals.carbon.kg_per_kwh() <= stats::quantile(values, config_.green_quantile);
   }
   return false;
+}
+
+bool CarbonAwareScheduler::history_warmed_up() const {
+  if (history_.size() < 2) return false;
+  // One day of observed span (or the whole configured window, if shorter) —
+  // derived from the timestamps themselves, so the warm-up is a day of
+  // wall-clock at any sampling cadence rather than a hardcoded sample count.
+  const util::Duration span = history_.back().first - history_.front().first;
+  return span >= std::min(util::days(1), config_.history_window);
 }
 
 bool CarbonAwareScheduler::must_start(const cluster::Job& job, util::TimePoint now,
@@ -56,27 +65,46 @@ bool CarbonAwareScheduler::must_start(const cluster::Job& job, util::TimePoint n
   return false;
 }
 
+CarbonAwareScheduler::MustStartPass CarbonAwareScheduler::must_start_pass(
+    const SchedulerContext& ctx, double throughput) const {
+  MustStartPass pass;
+  pass.free = ctx.cluster->free_gpus();
+  const int total = ctx.cluster->total_gpus();
+  // Everything that must run (urgent or out of slack), FIFO order. A
+  // must-start job too large for the current free pool blocks the queue: its
+  // GPUs stay reserved and nothing starts past it, otherwise smaller jobs
+  // would jump ahead every round and starve it indefinitely. A job larger
+  // than the whole cluster can never start, so it must not wedge the queue —
+  // it is skipped, like strict FCFS cannot afford to.
+  for (cluster::JobId id : *ctx.queue) {
+    const cluster::Job& job = ctx.jobs->get(id);
+    if (!must_start(job, ctx.now, throughput)) continue;
+    if (job.request().gpus > total) continue;  // never satisfiable
+    if (job.request().gpus > pass.free) {
+      pass.blocked = true;
+      break;
+    }
+    pass.starts.push_back(id);
+    pass.free -= job.request().gpus;
+  }
+  return pass;
+}
+
 std::vector<cluster::JobId> CarbonAwareScheduler::select(const SchedulerContext& ctx) {
   require(ctx.cluster != nullptr && ctx.jobs != nullptr && ctx.queue != nullptr,
           "CarbonAwareScheduler: incomplete context");
   const bool green = green_window(ctx.now, ctx.signals);
   const double throughput = ctx.cluster->throughput_factor();
 
-  std::vector<cluster::JobId> starts;
-  int free = ctx.cluster->free_gpus();
+  MustStartPass pass = must_start_pass(ctx, throughput);
+  std::vector<cluster::JobId>& starts = pass.starts;
+  int free = pass.free;
 
-  // Pass 1: everything that must run (urgent or out of slack), FIFO order.
-  for (cluster::JobId id : *ctx.queue) {
-    const cluster::Job& job = ctx.jobs->get(id);
-    if (!must_start(job, ctx.now, throughput)) continue;
-    if (job.request().gpus > free) continue;  // skip over too-large jobs
-    starts.push_back(id);
-    free -= job.request().gpus;
-  }
   // Pass 2: in a green window, release deferred flexible work — shortest
   // first, since a short job completes inside the window while a multi-day
-  // run would mostly execute outside it anyway.
-  if (green) {
+  // run would mostly execute outside it anyway. No backfill past a blocked
+  // must-start job: released flexible work must not delay it either.
+  if (green && !pass.blocked) {
     std::vector<cluster::JobId> deferred;
     for (cluster::JobId id : *ctx.queue) {
       const cluster::Job& job = ctx.jobs->get(id);

@@ -54,6 +54,24 @@ class CarbonAwareScheduler final : public Scheduler {
   [[nodiscard]] bool must_start(const cluster::Job& job, util::TimePoint now,
                                 double throughput) const;
 
+  /// Outcome of the shared must-start pass (pass 1 of select(), also used by
+  /// ForecastCarbonScheduler so the reservation invariant lives once).
+  struct MustStartPass {
+    std::vector<cluster::JobId> starts;  ///< must-start jobs that fit, FIFO
+    int free = 0;                        ///< GPUs left for flexible releases
+    /// A feasible must-start job is waiting for GPUs: its reservation blocks
+    /// the queue (no backfill past it). Jobs larger than the whole cluster
+    /// can never start and are skipped rather than allowed to wedge it.
+    bool blocked = false;
+  };
+  [[nodiscard]] MustStartPass must_start_pass(const SchedulerContext& ctx,
+                                              double throughput) const;
+
+  /// True once the rolling history spans a full day (or the whole configured
+  /// window, if shorter) — the adaptive-quantile warm-up, derived from the
+  /// observed sample cadence rather than a hardcoded sample count.
+  [[nodiscard]] bool history_warmed_up() const;
+
  private:
   void observe(util::TimePoint now, util::CarbonIntensity intensity);
 

@@ -1,0 +1,92 @@
+#include "sched/forecast_carbon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace greenhpc::sched {
+
+using util::require;
+
+ForecastCarbonScheduler::ForecastCarbonScheduler(ForecastCarbonConfig config)
+    : config_(config), reactive_(config.reactive), forecaster_(config.forecaster) {
+  require(config_.improvement_margin >= 0.0 && config_.improvement_margin < 1.0,
+          "ForecastCarbonScheduler: improvement margin must be in [0,1)");
+}
+
+util::Duration ForecastCarbonScheduler::defer_slack(const cluster::Job& job, util::TimePoint now,
+                                                    double throughput) const {
+  util::Duration slack = config_.reactive.max_hold - (now - job.submit_time());
+  if (job.request().deadline) {
+    const util::TimePoint latest_start = *job.request().deadline -
+                                         job.estimated_runtime(throughput) -
+                                         config_.reactive.deadline_margin;
+    slack = std::min(slack, latest_start - now);
+  }
+  return slack;
+}
+
+std::vector<cluster::JobId> ForecastCarbonScheduler::select(const SchedulerContext& ctx) {
+  require(ctx.cluster != nullptr && ctx.jobs != nullptr && ctx.queue != nullptr,
+          "ForecastCarbonScheduler: incomplete context");
+  const double now_intensity = ctx.signals.carbon.kg_per_kwh();
+  forecaster_.observe(ctx.now, now_intensity);
+  // Feeds the reactive rolling history too, and is the fallback release rule.
+  const bool green = reactive_.green_window(ctx.now, ctx.signals);
+  const bool predictive = forecaster_.reliable();
+  const double throughput = ctx.cluster->throughput_factor();
+
+  // Running minimum of the forecast: prefix_min[k] = greenest intensity
+  // within the next k+1 steps. One model call serves every queued job.
+  std::vector<double> prefix_min;
+  if (predictive) {
+    prefix_min = forecaster_.predict(forecaster_.horizon_steps());
+    for (std::size_t i = 1; i < prefix_min.size(); ++i)
+      prefix_min[i] = std::min(prefix_min[i], prefix_min[i - 1]);
+  }
+
+  // Pass 1: must-start work, FIFO, with the blocked-head reservation (no
+  // backfill past a must-start job waiting for GPUs) — shared with the
+  // reactive scheduler so the invariant lives once.
+  CarbonAwareScheduler::MustStartPass pass = reactive_.must_start_pass(ctx, throughput);
+  std::vector<cluster::JobId>& starts = pass.starts;
+  int free = pass.free;
+
+  // Pass 2: deferred flexible work, shortest first. With a reliable
+  // forecast, release a job exactly when no window at least
+  // improvement_margin greener than now is reachable inside its slack;
+  // otherwise fall back to the reactive green-window rule.
+  if (!pass.blocked) {
+    std::vector<cluster::JobId> deferred;
+    for (cluster::JobId id : *ctx.queue) {
+      const cluster::Job& job = ctx.jobs->get(id);
+      if (reactive_.must_start(job, ctx.now, throughput)) continue;  // already considered
+      deferred.push_back(id);
+    }
+    std::sort(deferred.begin(), deferred.end(), [&](cluster::JobId a, cluster::JobId b) {
+      return ctx.jobs->get(a).estimated_runtime(throughput) <
+             ctx.jobs->get(b).estimated_runtime(throughput);
+    });
+    for (cluster::JobId id : deferred) {
+      const cluster::Job& job = ctx.jobs->get(id);
+      if (job.request().gpus > free) continue;
+      bool release = green;
+      if (predictive) {
+        const util::Duration slack = defer_slack(job, ctx.now, throughput);
+        const auto reachable = static_cast<std::size_t>(
+            std::max(0.0, std::floor(slack / forecaster_.cadence())));
+        const std::size_t steps = std::min(reachable, prefix_min.size());
+        release = steps == 0 ||
+                  prefix_min[steps - 1] >= now_intensity * (1.0 - config_.improvement_margin);
+      }
+      if (!release) continue;
+      starts.push_back(id);
+      free -= job.request().gpus;
+    }
+  }
+  return starts;
+}
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,59 @@
+#pragma once
+// Forecast-driven carbon-aware scheduling (Sec. II-C applied to Sec. II-A
+// strategy 1).
+//
+// The reactive CarbonAwareScheduler releases flexible work whenever the grid
+// is green *right now*; the paper argues the bigger win is planning against
+// forecasts (cf. the DeepMind 36-hour wind-commitment example in Sec. IV-C).
+// This scheduler keeps a rolling carbon-intensity forecast and defers a
+// flexible job only when the forecast shows a window at least
+// `improvement_margin` greener than the present fitting inside the job's
+// deadline slack — an approximate optimal-stopping rule: start as soon as no
+// meaningfully better moment is still reachable. When the forecaster has not
+// warmed up, or its realized skill (MAPE vs. actuals) falls past the gate,
+// the scheduler degrades to exactly the reactive green-window behavior, so
+// a broken forecast can never make it worse than its reactive counterpart.
+
+#include "forecast/rolling.hpp"
+#include "sched/carbon_aware.hpp"
+
+namespace greenhpc::sched {
+
+struct ForecastCarbonConfig {
+  /// Reactive fallback behavior and the shared must-start rules (deadline
+  /// slack margin, max hold).
+  CarbonAwareConfig reactive;
+  /// Carbon-intensity forecaster (model, horizon, refit cadence, skill gate).
+  forecast::RollingForecasterConfig forecaster;
+  /// A future window must beat the current intensity by this fraction before
+  /// it is worth deferring for (hysteresis against forecast noise).
+  double improvement_margin = 0.02;
+};
+
+class ForecastCarbonScheduler final : public Scheduler {
+ public:
+  ForecastCarbonScheduler() : ForecastCarbonScheduler(ForecastCarbonConfig{}) {}
+  explicit ForecastCarbonScheduler(ForecastCarbonConfig config);
+
+  [[nodiscard]] const char* name() const override { return "forecast_carbon"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const SchedulerContext& ctx) override;
+
+  [[nodiscard]] const ForecastCarbonConfig& config() const { return config_; }
+  [[nodiscard]] const forecast::RollingForecaster& forecaster() const { return forecaster_; }
+  /// Realized forecast skill for telemetry surfaces.
+  [[nodiscard]] forecast::SkillReport skill() const { return forecaster_.skill("carbon"); }
+
+  /// How much longer a flexible job can be held before must_start fires
+  /// (minimum of remaining max-hold and deadline slack).
+  [[nodiscard]] util::Duration defer_slack(const cluster::Job& job, util::TimePoint now,
+                                           double throughput) const;
+
+ private:
+  ForecastCarbonConfig config_;
+  /// Owns the reactive green-window logic, the rolling intensity history
+  /// behind it, and the shared must-start rules.
+  CarbonAwareScheduler reactive_;
+  forecast::RollingForecaster forecaster_;
+};
+
+}  // namespace greenhpc::sched

@@ -1,0 +1,18 @@
+#include "telemetry/forecast.hpp"
+
+namespace greenhpc::telemetry {
+
+util::Table forecast_skill_table(const std::vector<forecast::SkillReport>& skills) {
+  util::Table table({"signal", "model", "samples", "scored", "mape_pct", "reliable"});
+  for (const forecast::SkillReport& s : skills) {
+    table.add(s.signal, s.model, s.samples, s.scored, util::fmt_fixed(s.mape_pct, 2),
+              s.reliable ? "yes" : "no");
+  }
+  return table;
+}
+
+std::string forecast_skill_csv(const std::vector<forecast::SkillReport>& skills) {
+  return forecast_skill_table(skills).to_csv();
+}
+
+}  // namespace greenhpc::telemetry

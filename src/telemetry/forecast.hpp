@@ -1,0 +1,26 @@
+#pragma once
+// Realized forecast-skill reporting.
+//
+// Predictive policies are only trustworthy while their forecasts track the
+// actuals, so every surface that runs one should ship the realized skill
+// next to the results: which model, how much history, how many past
+// forecasts were scored, and the realized MAPE against the signal that
+// actually arrived. forecast::RollingForecaster produces the SkillReport
+// snapshots; this module only formats them, matching the experiment/fleet
+// telemetry split.
+
+#include <string>
+#include <vector>
+
+#include "forecast/rolling.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+/// signal | model | samples | scored | realized MAPE % | reliable.
+[[nodiscard]] util::Table forecast_skill_table(const std::vector<forecast::SkillReport>& skills);
+
+/// CSV with the forecast_skill_table columns (one row per signal).
+[[nodiscard]] std::string forecast_skill_csv(const std::vector<forecast::SkillReport>& skills);
+
+}  // namespace greenhpc::telemetry

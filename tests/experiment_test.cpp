@@ -149,13 +149,37 @@ TEST(Scenario, GridRejectsAxesTheModeNeverReads) {
 }
 
 TEST(Scenario, SweepLibraryCoversTheControlAxes) {
-  for (const char* name : {"scheduler", "router", "regions", "powercap", "transfer"}) {
+  for (const char* name : {"scheduler", "router", "regions", "powercap", "transfer",
+                           "forecast_sched", "forecast_router"}) {
     const SweepSpec* sweep = find_sweep(name);
     ASSERT_NE(sweep, nullptr) << name;
-    EXPECT_GE(sweep->points.size(), 4u) << name;
+    EXPECT_GE(sweep->points.size(), 2u) << name;
     for (const ScenarioSpec& point : sweep->points) EXPECT_NO_THROW(point.validate());
   }
   EXPECT_EQ(find_sweep("nonexistent"), nullptr);
+}
+
+TEST(Scenario, ForecastControlsAreValidatedAndLabeled) {
+  ScenarioSpec bad;
+  bad.forecast_model = "oracle";
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = ScenarioSpec{};
+  bad.forecast_horizon_hours = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  // Forecast controls only mark predictive points, and non-default settings
+  // keep two predictive points distinguishable.
+  ScenarioSpec reactive;
+  reactive.scheduler = core::PolicyKind::kCarbonAware;
+  reactive.forecast_model = "ar";  // ignored by a reactive scheduler
+  EXPECT_EQ(reactive.label().find("/ar"), std::string::npos);
+  ScenarioSpec predictive;
+  predictive.scheduler = core::PolicyKind::kForecastCarbon;
+  EXPECT_EQ(predictive.label(), "forecast_carbon");
+  predictive.forecast_model = "ar";
+  predictive.forecast_horizon_hours = 48;
+  EXPECT_NE(predictive.label().find("/ar"), std::string::npos);
+  EXPECT_NE(predictive.label().find("/h48"), std::string::npos);
 }
 
 // --- golden determinism ------------------------------------------------------
@@ -329,6 +353,82 @@ TEST(FleetRoutingRegression, CarbonGreedyBeatsRoundRobinOnMeanCo2) {
   // ...and not by luck: carbon_greedy wins the paired comparison on a clear
   // majority of seeds.
   EXPECT_GE(paired_wins, kSeeds * 3 / 4);
+}
+
+// --- the predictive-vs-reactive statistical regressions ----------------------
+//
+// This PR's claim — wiring the forecasters into scheduling and routing beats
+// the reactive counterparts on mean CO2 at equal delivered GPU-hours —
+// pinned seed-paired over a 10-seed ensemble (bench/forecast_sched runs the
+// full 20-replica version with CI-annotated tables).
+
+TEST(ForecastRegression, ForecastCarbonSchedulerBeatsReactiveOnMeanCo2) {
+  constexpr std::size_t kSeeds = 10;
+  ScenarioSpec spec;
+  spec.start = {2021, 4};
+  spec.rate_per_hour = 9.0;  // headroom so time-shifting can act
+  spec.days = 14;
+  spec.warmup_days = 2;
+
+  const ReplicaRunner runner({kSeeds, 42, 0});
+  spec.scheduler = core::PolicyKind::kCarbonAware;
+  const std::vector<ReplicaResult> reactive = runner.run(spec);
+  spec.scheduler = core::PolicyKind::kForecastCarbon;
+  const std::vector<ReplicaResult> predictive = runner.run(spec);
+
+  double reactive_co2 = 0.0, predictive_co2 = 0.0, reactive_gpuh = 0.0, predictive_gpuh = 0.0;
+  std::size_t paired_wins = 0;
+  for (std::size_t k = 0; k < kSeeds; ++k) {
+    reactive_co2 += reactive[k].run.grid_totals.carbon.kilograms();
+    predictive_co2 += predictive[k].run.grid_totals.carbon.kilograms();
+    reactive_gpuh += reactive[k].run.completed_gpu_hours;
+    predictive_gpuh += predictive[k].run.completed_gpu_hours;
+    if (predictive[k].run.grid_totals.carbon.kilograms() <=
+        reactive[k].run.grid_totals.carbon.kilograms()) {
+      ++paired_wins;
+    }
+  }
+  ASSERT_GT(reactive_gpuh, 0.0);
+  const double hours_ratio = predictive_gpuh / reactive_gpuh;
+  EXPECT_GT(hours_ratio, 0.95);
+  EXPECT_LT(hours_ratio, 1.05);
+  EXPECT_LE(predictive_co2, reactive_co2);
+  EXPECT_GE(paired_wins, kSeeds * 7 / 10);
+}
+
+TEST(ForecastRegression, CarbonForecastRouterBeatsGreedyOnMeanCo2) {
+  constexpr std::size_t kSeeds = 10;
+  ScenarioSpec spec;
+  spec.mode = Mode::kFleet;
+  spec.start = {2021, 7};
+  spec.rate_per_hour = 16.0;  // hot fleet: backlog placement is the lever
+  spec.days = 14;
+  spec.warmup_days = 2;
+
+  const ReplicaRunner runner({kSeeds, 42, 0});
+  spec.router = "carbon_greedy";
+  const std::vector<ReplicaResult> reactive = runner.run(spec);
+  spec.router = "carbon_forecast";
+  const std::vector<ReplicaResult> predictive = runner.run(spec);
+
+  double reactive_co2 = 0.0, predictive_co2 = 0.0, reactive_gpuh = 0.0, predictive_gpuh = 0.0;
+  std::size_t paired_wins = 0;
+  for (std::size_t k = 0; k < kSeeds; ++k) {
+    reactive_co2 += reactive[k].run.grid_totals.carbon.kilograms();
+    predictive_co2 += predictive[k].run.grid_totals.carbon.kilograms();
+    reactive_gpuh += reactive[k].run.completed_gpu_hours;
+    predictive_gpuh += predictive[k].run.completed_gpu_hours;
+    if (predictive[k].run.grid_totals.carbon.kilograms() <=
+        reactive[k].run.grid_totals.carbon.kilograms()) {
+      ++paired_wins;
+    }
+  }
+  ASSERT_GT(reactive_gpuh, 0.0);
+  const double hours_ratio = predictive_gpuh / reactive_gpuh;
+  EXPECT_GT(hours_ratio, 0.95);
+  EXPECT_LT(hours_ratio, 1.05);
+  EXPECT_LE(predictive_co2, reactive_co2);
+  EXPECT_GE(paired_wins, kSeeds * 7 / 10);
 }
 
 }  // namespace

@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <numbers>
 #include <vector>
 
 #include "fleet/coordinator.hpp"
+#include "fleet/forecast_router.hpp"
 #include "fleet/region.hpp"
 #include "fleet/routing.hpp"
 #include "telemetry/fleet.hpp"
@@ -84,12 +87,16 @@ TEST(ReferenceFleet, HydroRegionIsCleanestErcotHottest) {
 // --- routers -----------------------------------------------------------------
 
 TEST(Routers, FactoryKnowsAllNamesAndRejectsUnknown) {
-  for (const char* name : {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy"}) {
+  for (const char* name : {"round_robin", "least_loaded", "cost_greedy", "carbon_greedy",
+                           "cost_forecast", "carbon_forecast"}) {
     const auto router = make_router(name);
     ASSERT_NE(router, nullptr) << name;
     EXPECT_STREQ(router->name(), name);
+    EXPECT_NE(std::string(router_names()).find(name), std::string::npos);
   }
   EXPECT_EQ(make_router("teleport"), nullptr);
+  EXPECT_THROW((void)make_router("carbon_forecast", "oracle", util::hours(24)),
+               std::invalid_argument);
 }
 
 TEST(Routers, RoundRobinCycles) {
@@ -181,6 +188,103 @@ std::unique_ptr<FleetCoordinator> small_fleet(std::uint64_t seed, const char* ro
   config.transfer_energy_per_job = util::kilowatt_hours(transfer_kwh);
   return std::make_unique<FleetCoordinator>(std::move(config), std::move(profiles),
                                             make_router(router));
+}
+
+// --- forecast routers --------------------------------------------------------
+
+TEST(ForecastRouter, MatchesInstantaneousGreedyBeforeWarmup) {
+  // With no history the per-region forecasters are not ready, so every
+  // integrated score degrades to the instantaneous signal and the picks
+  // match carbon_greedy exactly.
+  ForecastRouter router(ForecastRouter::Objective::kCarbon);
+  CarbonGreedyRouter greedy;
+  const std::vector<RegionView> regions = {view(0, 8, 0.30), view(1, 8, 0.12),
+                                           view(2, 8, 0.45)};
+  EXPECT_EQ(router.route(job(4), context(regions)), greedy.route(job(4), context(regions)));
+  EXPECT_EQ(router.route(job(4), context(regions)), 1u);
+}
+
+TEST(ForecastRouter, CostObjectiveScoresByPrice) {
+  ForecastRouter router(ForecastRouter::Objective::kCost);
+  const std::vector<RegionView> regions = {view(0, 8, 0.1, 40.0), view(1, 8, 0.5, 15.0)};
+  EXPECT_EQ(router.route(job(2), context(regions)), 1u);
+}
+
+TEST(ForecastRouter, IntegratedSignalFollowsPredictedWindow) {
+  // Feed region 0 a strongly diurnal signal for three days, then ask for the
+  // integrated mean over windows ending in very different phases.
+  ForecastRouter router(ForecastRouter::Objective::kCarbon);
+  std::vector<RegionView> regions = {view(0, 8, 0.30)};
+  TimePoint t = TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 3 * 96; ++i) {
+    const double hours = t.seconds_since_epoch() / 3600.0;
+    regions[0].carbon = util::kg_per_kwh(
+        0.30 + 0.10 * std::sin(2.0 * std::numbers::pi * hours / 24.0));
+    router.observe(t, regions);
+    t = t + util::minutes(15);
+  }
+  // t is now at phase 0 (rising limb): a 6-hour window climbs toward the
+  // peak, so its integrated mean must sit clearly above "now"; a 1-step
+  // window stays near it.
+  const double now_val = 0.30;
+  const double short_mean = router.integrated_signal(0, util::minutes(15), now_val);
+  const double long_mean = router.integrated_signal(0, util::hours(6), now_val);
+  EXPECT_NEAR(short_mean, now_val, 0.02);
+  EXPECT_GT(long_mean, now_val + 0.03);
+  // An unknown region index falls back to the instantaneous value.
+  EXPECT_DOUBLE_EQ(router.integrated_signal(7, util::hours(6), 0.42), 0.42);
+}
+
+TEST(ForecastRouter, FullFleetFallbackPrefersGreenerNearTieBacklog) {
+  // No region fits. Pressures are within 10% of each other, so the forecast
+  // fallback may pick the greener backlog; carbon_greedy's least-pressure
+  // fallback would take region 0.
+  ForecastRouter router(ForecastRouter::Objective::kCarbon);
+  std::vector<RegionView> regions = {view(0, 0, 0.40), view(1, 0, 0.10)};
+  regions[0].queued_gpu_demand = 8;   // pressure (64+8)/64 = 1.125
+  regions[1].queued_gpu_demand = 12;  // pressure (64+12)/64 ~ 1.19 (within 10%)
+  EXPECT_EQ(router.route(job(4), context(regions)), 1u);
+  CarbonGreedyRouter greedy;
+  EXPECT_EQ(greedy.route(job(4), context(regions)), 0u);
+  // Outside the near-tie band the backlog balance wins again.
+  regions[1].queued_gpu_demand = 40;  // pressure ~1.63
+  EXPECT_EQ(router.route(job(4), context(regions)), 0u);
+}
+
+TEST(ForecastRouter, SkillsReportOnePerObservedRegion) {
+  ForecastRouter router(ForecastRouter::Objective::kCarbon);
+  std::vector<RegionView> regions = {view(0, 8, 0.3), view(1, 8, 0.2)};
+  regions[0].name = "alpha";
+  regions[1].name = "beta";
+  TimePoint t = TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 10; ++i) {
+    router.observe(t, regions);
+    t = t + util::minutes(15);
+  }
+  const auto skills = router.skills();
+  ASSERT_EQ(skills.size(), 2u);
+  EXPECT_EQ(skills[0].signal, "alpha");
+  EXPECT_EQ(skills[1].signal, "beta");
+  EXPECT_EQ(skills[0].samples, 10u);
+  EXPECT_FALSE(skills[0].reliable);  // not enough history to fit yet
+}
+
+TEST(ForecastRouter, CoordinatorFeedsSignalsEveryStep) {
+  // The coordinator must observe() the router each control step even when no
+  // job arrives, so the forecasters see a gap-free stream.
+  auto owner = std::make_unique<ForecastRouter>(ForecastRouter::Objective::kCarbon);
+  const ForecastRouter* router = owner.get();
+  std::vector<RegionProfile> profiles = make_reference_fleet();
+  profiles.resize(2);
+  FleetConfig config;
+  config.arrivals.base_rate_per_hour = 1e-4;  // near-silence: observations dominate
+  FleetCoordinator coordinator(config, std::move(profiles), std::move(owner));
+  coordinator.run_until(TimePoint::from_seconds(48.0 * 3600.0));
+  const auto skills = router->skills();
+  ASSERT_EQ(skills.size(), 2u);
+  // 48 h at the 15-minute default step = 192 observations per region.
+  EXPECT_EQ(skills[0].samples, 192u);
+  EXPECT_EQ(skills[1].samples, 192u);
 }
 
 TEST(Coordinator, RunsInLockstepAndConservesJobs) {

@@ -1,4 +1,5 @@
-// Unit tests for greenhpc::forecast — models, metrics, backtesting.
+// Unit tests for greenhpc::forecast — models, metrics, backtesting, and the
+// online RollingForecaster.
 
 #include <gtest/gtest.h>
 
@@ -8,6 +9,7 @@
 
 #include "forecast/metrics.hpp"
 #include "forecast/models.hpp"
+#include "forecast/rolling.hpp"
 #include "util/rng.hpp"
 
 namespace greenhpc::forecast {
@@ -43,6 +45,24 @@ TEST(SeasonalNaiveTest, PerfectOnPurelySeasonalData) {
   model.fit(series);
   const auto pred = model.predict(12);
   for (std::size_t h = 0; h < 12; ++h) EXPECT_NEAR(pred[h], series[h % 12], 1e-9);
+}
+
+TEST(SeasonalNaiveTest, HorizonSpanningSeveralPeriodsWrapsExactly) {
+  SeasonalNaive model(5);
+  const std::vector<double> series = {9.0, 8.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  model.fit(series);
+  const auto pred = model.predict(13);  // 2.6 periods
+  ASSERT_EQ(pred.size(), 13u);
+  for (std::size_t h = 0; h < pred.size(); ++h) {
+    EXPECT_DOUBLE_EQ(pred[h], series[2 + (h % 5)]) << "h=" << h;
+  }
+}
+
+TEST(SeasonalNaiveTest, UpdateSlidesTheSeasonWindow) {
+  SeasonalNaive model(4);
+  model.fit(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  model.update(10.0);
+  EXPECT_EQ(model.predict(4), (std::vector<double>{2.0, 3.0, 4.0, 10.0}));
 }
 
 TEST(SeasonalNaiveTest, Validation) {
@@ -94,6 +114,37 @@ TEST(ArModelTest, CapturesSeasonalityWithEnoughLags) {
   }
 }
 
+TEST(ArModelTest, RecursiveMultiStepMatchesClosedFormOnAr1) {
+  // For a fitted AR(1) with coefficients (c, phi), the recursive multi-step
+  // forecast has the closed form y_hat(h) = c*(1-phi^h)/(1-phi) + phi^h*y_n.
+  util::Rng rng(11);
+  std::vector<double> series = {0.0};
+  for (int t = 1; t < 1000; ++t)
+    series.push_back(3.0 + 0.7 * series.back() + 0.5 * rng.normal());
+  ArModel model(1);
+  model.fit(series);
+  const double c = model.coefficients()[0];
+  const double phi = model.coefficients()[1];
+  const auto pred = model.predict(50);
+  for (std::size_t h = 1; h <= pred.size(); ++h) {
+    const double powh = std::pow(phi, static_cast<double>(h));
+    const double closed = c * (1.0 - powh) / (1.0 - phi) + powh * series.back();
+    EXPECT_NEAR(pred[h - 1], closed, 1e-9) << "h=" << h;
+  }
+}
+
+TEST(ArModelTest, UpdateConditionsForecastOnLatestValue) {
+  util::Rng rng(12);
+  std::vector<double> series = {0.0};
+  for (int t = 1; t < 500; ++t)
+    series.push_back(3.0 + 0.7 * series.back() + 0.5 * rng.normal());
+  ArModel model(1);
+  model.fit(series);
+  model.update(100.0);  // far above the process mean
+  const double phi = model.coefficients()[1];
+  EXPECT_NEAR(model.predict(1)[0], model.coefficients()[0] + phi * 100.0, 1e-9);
+}
+
 TEST(ArModelTest, Validation) {
   EXPECT_THROW(ArModel(0), std::invalid_argument);
   ArModel model(10);
@@ -129,12 +180,172 @@ TEST(HoltWintersTest, SeasonalComponentsSumNearZero) {
   EXPECT_NEAR(sum / 12.0, 0.0, 1.0);
 }
 
+TEST(HoltWintersTest, SeasonalIndexWrapsForHorizonBeyondPeriod) {
+  // Additive HW repeats its seasonal cycle with a per-period trend offset:
+  // pred[h + P] - pred[h] must equal P * trend for every h.
+  const auto series = seasonal_series(120, 12, /*trend=*/0.4, /*noise=*/0.2, 17);
+  HoltWinters model(12);
+  model.fit(series);
+  const auto pred = model.predict(36);  // three full periods
+  ASSERT_EQ(pred.size(), 36u);
+  for (std::size_t h = 0; h + 12 < pred.size(); ++h) {
+    EXPECT_NEAR(pred[h + 12] - pred[h], 12.0 * model.trend(), 1e-9) << "h=" << h;
+  }
+}
+
+TEST(HoltWintersTest, UpdateMatchesRefitOnExtendedSeries) {
+  // Online update must be bit-identical to refitting on the series plus the
+  // new observation (same initialization, same smoothing recursions).
+  auto series = seasonal_series(96, 12, 0.3, 0.5, 19);
+  HoltWinters online(12);
+  online.fit(series);
+  online.update(57.5);
+  series.push_back(57.5);
+  HoltWinters refit(12);
+  refit.fit(series);
+  EXPECT_DOUBLE_EQ(online.level(), refit.level());
+  EXPECT_DOUBLE_EQ(online.trend(), refit.trend());
+  EXPECT_EQ(online.predict(12), refit.predict(12));
+}
+
 TEST(HoltWintersTest, Validation) {
   EXPECT_THROW(HoltWinters(1), std::invalid_argument);
   EXPECT_THROW(HoltWinters(12, HoltWinters::Params{.alpha = 1.5}), std::invalid_argument);
   HoltWinters model(12);
   EXPECT_THROW(model.fit(std::vector<double>(20, 1.0)), std::invalid_argument);
   EXPECT_THROW((void)model.predict(4), std::invalid_argument);
+}
+
+// --- SeasonalClimatology --------------------------------------------------------------
+
+TEST(ClimatologyTest, SlotMeansAverageAcrossSeasons) {
+  SeasonalClimatology model(4);
+  // Two seasons whose anomalies alternate sign sample to sample: the lag-1
+  // autocorrelation is negative (clamped to 0) and the prediction is the
+  // pure per-slot mean.
+  model.fit(std::vector<double>{1.0, 4.0, 3.0, 6.0, 3.0, 2.0, 5.0, 4.0});
+  EXPECT_DOUBLE_EQ(model.anomaly_rho(), 0.0);
+  EXPECT_EQ(model.predict(4), (std::vector<double>{2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(ClimatologyTest, AnomalyPersistenceCarriesTheCurrentDeviation) {
+  // A seasonal signal riding on a slowly-varying offset: anomalies are
+  // strongly autocorrelated, so the fitted rho is high and a positive
+  // current anomaly lifts near-term predictions above the slot means.
+  std::vector<double> series;
+  for (int t = 0; t < 240; ++t) {
+    const double season = 10.0 * std::sin(2.0 * std::numbers::pi * (t % 24) / 24.0);
+    const double offset = 5.0 * std::sin(2.0 * std::numbers::pi * t / 240.0);
+    series.push_back(50.0 + season + offset);
+  }
+  SeasonalClimatology model(24);
+  model.fit(series);
+  EXPECT_GT(model.anomaly_rho(), 0.8);
+  model.update(80.0);  // large positive anomaly
+  const auto pred = model.predict(48);
+  // pred[i] targets slot (fitted_length + i) % period with fitted_length 241.
+  const auto slot_of = [&](std::size_t i) { return model.slot_means()[(241 + i) % 24]; };
+  // Near-term: pulled up by the anomaly. Far end: decayed back toward the
+  // climatology (anomaly contribution shrinks monotonically in rho^h).
+  EXPECT_GT(pred[0], slot_of(0) + 5.0);
+  EXPECT_LT(std::abs(pred[47] - slot_of(47)), std::abs(pred[0] - slot_of(0)));
+}
+
+TEST(ClimatologyTest, Validation) {
+  EXPECT_THROW(SeasonalClimatology(0), std::invalid_argument);
+  SeasonalClimatology model(12);
+  EXPECT_THROW(model.fit(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)model.predict(3), std::invalid_argument);
+  EXPECT_THROW(model.update(1.0), std::invalid_argument);
+}
+
+// --- RollingForecaster ----------------------------------------------------------------
+
+TEST(RollingForecasterTest, WarmsUpInfersCadenceAndTracksADiurnalSignal) {
+  RollingForecaster fc;  // climatology, 24 h horizon
+  EXPECT_FALSE(fc.ready());
+  EXPECT_THROW((void)fc.predict(4), std::invalid_argument);
+
+  auto value_at = [](double hours) {
+    return 0.30 + 0.05 * std::sin(2.0 * std::numbers::pi * hours / 24.0);
+  };
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 3 * 96; ++i) {  // three days at 15-minute cadence
+    fc.observe(t, value_at(t.seconds_since_epoch() / 3600.0));
+    t = t + util::minutes(15);
+  }
+  EXPECT_TRUE(fc.ready());
+  EXPECT_DOUBLE_EQ(fc.cadence().minutes(), 15.0);
+  EXPECT_EQ(fc.horizon_steps(), 96u);
+
+  const auto pred = fc.predict(96);
+  ASSERT_EQ(pred.size(), 96u);
+  for (std::size_t h = 0; h < pred.size(); ++h) {
+    const double hours = (t.seconds_since_epoch() + (h * 900.0)) / 3600.0;
+    EXPECT_NEAR(pred[h], value_at(hours), 0.01) << "h=" << h;
+  }
+}
+
+TEST(RollingForecasterTest, RepeatedTimestampsAreIgnored) {
+  RollingForecaster fc;
+  const util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  fc.observe(t, 1.0);
+  fc.observe(t, 2.0);  // same step observed twice (router + coordinator)
+  EXPECT_EQ(fc.samples(), 1u);
+  fc.observe(t + util::minutes(15), 3.0);
+  EXPECT_EQ(fc.samples(), 2u);
+  EXPECT_DOUBLE_EQ(fc.cadence().minutes(), 15.0);
+}
+
+TEST(RollingForecasterTest, RealizedMapeGateTripsWhenTheSignalTurnsAdversarial) {
+  RollingForecasterConfig config;
+  config.horizon = util::hours(1);  // score quickly (4 steps at 15 min)
+  RollingForecaster fc(config);
+
+  auto diurnal = [](double hours) {
+    return 0.30 + 0.05 * std::sin(2.0 * std::numbers::pi * hours / 24.0);
+  };
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  // Two predictable days: the forecaster earns trust.
+  for (int i = 0; i < 2 * 96; ++i) {
+    fc.observe(t, diurnal(t.seconds_since_epoch() / 3600.0));
+    t = t + util::minutes(15);
+  }
+  ASSERT_TRUE(fc.reliable());
+  EXPECT_LT(fc.realized_mape_pct(), 10.0);
+  // The signal goes adversarial: large alternating jumps no seasonal model
+  // can track. The realized MAPE must climb past the gate.
+  for (int i = 0; i < 2 * 96; ++i) {
+    fc.observe(t, i % 2 == 0 ? 1.2 : 0.05);
+    t = t + util::minutes(15);
+  }
+  EXPECT_TRUE(fc.ready());
+  EXPECT_FALSE(fc.reliable());
+  EXPECT_GT(fc.realized_mape_pct(), fc.config().mape_gate_pct);
+}
+
+TEST(RollingForecasterTest, SkillReportCarriesTheTelemetryFields) {
+  RollingForecaster fc;
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 2 * 96; ++i) {
+    fc.observe(t, 0.3 + 0.01 * (i % 7));
+    t = t + util::minutes(15);
+  }
+  const SkillReport report = fc.skill("carbon");
+  EXPECT_EQ(report.signal, "carbon");
+  EXPECT_EQ(report.model, "climatology");
+  EXPECT_EQ(report.samples, fc.samples());
+  EXPECT_EQ(report.scored, fc.scored());
+  EXPECT_TRUE(report.reliable);
+}
+
+TEST(RollingForecasterTest, ModelFactoryValidation) {
+  EXPECT_TRUE(model_known("climatology"));
+  EXPECT_FALSE(model_known("oracle"));
+  EXPECT_THROW((void)make_model("oracle", 96), std::invalid_argument);
+  RollingForecasterConfig bad;
+  bad.model = "oracle";
+  EXPECT_THROW(RollingForecaster{bad}, std::invalid_argument);
 }
 
 // --- metrics ------------------------------------------------------------------------

@@ -312,6 +312,25 @@ TEST(BatteryTest, ThresholdPolicyLogic) {
   EXPECT_EQ(policy.decide(view).kind, BatteryAction::Kind::kCharge);
 }
 
+// Regression (missing validation): an inverted price band (charge_below >=
+// discharge_above) used to be accepted silently, making the policy charge
+// and discharge on the same price. It must be rejected at construction,
+// mirroring ForecastArbitragePolicy's quantile check.
+TEST(BatteryTest, ThresholdPolicyRejectsInvertedPriceBand) {
+  ThresholdArbitragePolicy::Params inverted;
+  inverted.charge_below = util::usd_per_mwh(40.0);
+  inverted.discharge_above = util::usd_per_mwh(25.0);
+  EXPECT_THROW(ThresholdArbitragePolicy{inverted}, std::invalid_argument);
+  ThresholdArbitragePolicy::Params equal;
+  equal.charge_below = util::usd_per_mwh(30.0);
+  equal.discharge_above = util::usd_per_mwh(30.0);
+  EXPECT_THROW(ThresholdArbitragePolicy{equal}, std::invalid_argument);
+  ThresholdArbitragePolicy::Params bad_rate;
+  bad_rate.rate = util::watts(0.0);
+  EXPECT_THROW(ThresholdArbitragePolicy{bad_rate}, std::invalid_argument);
+  EXPECT_NO_THROW(ThresholdArbitragePolicy{ThresholdArbitragePolicy::Params{}});
+}
+
 TEST(BatteryTest, ThresholdPolicyRespectsSocLimits) {
   const ThresholdArbitragePolicy policy;
   MarketView view;

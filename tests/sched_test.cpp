@@ -1,11 +1,14 @@
-// Unit tests for greenhpc::sched — FCFS, EASY backfill, carbon- and
-// power-aware schedulers.
+// Unit tests for greenhpc::sched — FCFS, EASY backfill, carbon-, power-, and
+// forecast-aware schedulers.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <numbers>
 
 #include "sched/carbon_aware.hpp"
+#include "sched/forecast_carbon.hpp"
 #include "sched/power_aware.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -242,6 +245,169 @@ TEST(CarbonAware, AdaptiveQuantileTracksHistory) {
   EXPECT_TRUE(sched.green_window(t, signals));
   signals.carbon = util::kg_per_kwh(0.31);
   EXPECT_FALSE(sched.green_window(t + util::minutes(15), signals));
+}
+
+// Regression (head-of-line starvation): a must-start job too large for the
+// current free pool used to be skipped while smaller jobs started ahead of
+// it every round, so it could wait forever on a busy cluster. It must now
+// block the queue (its GPUs are reserved) and run as soon as they free up.
+TEST(CarbonAware, LargeUrgentJobIsNotStarvedBySmallerOnes) {
+  Harness h;
+  h.signals.carbon = util::kg_per_kwh(0.20);  // green: flexible work eligible too
+  const JobId running = h.submit(6, 6.0 * 7200.0);
+  h.start_running(running);
+  const JobId big = h.submit(8);             // urgent, needs the whole cluster
+  h.submit(1);                               // urgent, would fit right now
+  h.submit(1, 7200.0, /*flexible=*/true);    // flexible, green window open
+  CarbonAwareScheduler sched;
+  // Nothing may start past the blocked must-start job — neither smaller
+  // urgent work nor released flexible work.
+  EXPECT_TRUE(sched.select(h.context()).empty());
+  // Once the running job releases its GPUs, the big job goes first.
+  h.cluster->release(running);
+  const auto starts = sched.select(h.context());
+  ASSERT_FALSE(starts.empty());
+  EXPECT_EQ(starts[0], big);
+}
+
+TEST(CarbonAware, NeverSatisfiableJobCannotWedgeTheQueue) {
+  // A must-start job larger than the whole cluster can never run; reserving
+  // GPUs for it would block the queue forever, so it is skipped instead.
+  Harness h;
+  h.submit(16);  // urgent, larger than the 8-GPU cluster
+  const JobId small = h.submit(2);
+  CarbonAwareScheduler sched;
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{small}));
+  ForecastCarbonScheduler forecast_sched;
+  EXPECT_EQ(forecast_sched.select(h.context()), (std::vector<JobId>{small}));
+}
+
+// Regression (hardcoded warm-up): the adaptive-quantile trigger used to
+// activate at 96 samples regardless of cadence (an 8-hour warm-up at
+// 5-minute sampling, a 4-day one at hourly sampling). It must activate after
+// one day of observed span at any tick length.
+TEST(CarbonAware, AdaptiveWarmupDerivedFromSampleCadence) {
+  CarbonAwareScheduler sched;
+  GridSignals signals;
+  signals.renewable_share = 0.0;
+  // 5-minute sampling: 12 hours = 145 samples, more than the old hardcoded
+  // 96 but less than a day — the quantile trigger must NOT be live yet.
+  TimePoint t = at(0.0);
+  for (int i = 0; i <= 144; ++i) {
+    signals.carbon = util::kg_per_kwh(i % 5 < 2 ? 0.28 : 0.30);
+    (void)sched.green_window(t, signals);
+    t = t + util::minutes(5);
+  }
+  signals.carbon = util::kg_per_kwh(0.275);  // below the 30% quantile (0.28)
+  EXPECT_FALSE(sched.green_window(t, signals));
+  // Keep feeding to a full day of span: now it must be live.
+  for (int i = 0; i < 150; ++i) {
+    t = t + util::minutes(5);
+    signals.carbon = util::kg_per_kwh(i % 5 < 2 ? 0.28 : 0.30);
+    (void)sched.green_window(t, signals);
+  }
+  t = t + util::minutes(5);
+  signals.carbon = util::kg_per_kwh(0.275);
+  EXPECT_TRUE(sched.green_window(t, signals));
+}
+
+// --- forecast-carbon -----------------------------------------------------------------
+
+/// Sinusoidal daily carbon profile (kg/kWh), peak at 06:00, trough at 18:00.
+double diurnal_carbon(TimePoint t) {
+  return 0.30 + 0.05 * std::sin(2.0 * std::numbers::pi * t.seconds_since_epoch() / 86400.0);
+}
+
+/// Feeds `steps` 15-minute control steps through select() so the scheduler's
+/// forecaster accumulates history (queue state evolves as a side effect).
+void warm_forecaster(ForecastCarbonScheduler& sched, Harness& h, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    h.signals.carbon = util::kg_per_kwh(diurnal_carbon(h.now));
+    h.signals.renewable_share = 0.0;
+    (void)sched.select(h.context());
+    h.now = h.now + util::minutes(15);
+  }
+}
+
+TEST(ForecastCarbon, FallsBackToReactiveBeforeWarmup) {
+  Harness h;
+  ForecastCarbonScheduler sched;
+  EXPECT_FALSE(sched.forecaster().ready());
+  // Reactive rules apply: urgent starts on a dirty grid, flexible defers...
+  h.signals.carbon = util::kg_per_kwh(0.40);
+  h.signals.renewable_share = 0.02;
+  const JobId urgent = h.submit(2);
+  const JobId flex = h.submit(2, 7200.0, /*flexible=*/true);
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{urgent}));
+  std::erase(h.queue, urgent);
+  // ...and flexible work releases in an (absolute-threshold) green window.
+  h.now = h.now + util::minutes(15);
+  h.signals.carbon = util::kg_per_kwh(0.20);
+  EXPECT_EQ(sched.select(h.context()), (std::vector<JobId>{flex}));
+}
+
+TEST(ForecastCarbon, DefersAtPeakReleasesNearTrough) {
+  Harness h;
+  ForecastCarbonScheduler sched;
+  warm_forecaster(sched, h, 30 * 4 + 1);  // 30 h of 15-min samples
+  ASSERT_TRUE(sched.forecaster().reliable());
+
+  // Park the clock at the next carbon peak (06:00) and submit flexible work.
+  while (std::abs(diurnal_carbon(h.now) - 0.35) > 1e-3) h.now = h.now + util::minutes(15);
+  const JobId flex = h.submit(2, 7200.0, /*flexible=*/true);
+  h.signals.carbon = util::kg_per_kwh(diurnal_carbon(h.now));
+  EXPECT_TRUE(sched.select(h.context()).empty())
+      << "deferred: the forecast shows a greener window within slack";
+
+  // Step toward the trough; the job must be released once no meaningfully
+  // greener window remains ahead — i.e. near the bottom of the cycle.
+  double release_intensity = 1.0;
+  for (int i = 0; i < 96 && !h.queue.empty(); ++i) {
+    h.now = h.now + util::minutes(15);
+    h.signals.carbon = util::kg_per_kwh(diurnal_carbon(h.now));
+    const auto starts = sched.select(h.context());
+    if (!starts.empty()) {
+      EXPECT_EQ(starts[0], flex);
+      release_intensity = diurnal_carbon(h.now);
+      std::erase(h.queue, flex);
+    }
+  }
+  EXPECT_TRUE(h.queue.empty()) << "flexible job never released";
+  EXPECT_LT(release_intensity, 0.27) << "released far from the trough";
+}
+
+TEST(ForecastCarbon, BlockedMustStartJobStopsBackfill) {
+  Harness h;
+  ForecastCarbonScheduler sched;
+  const JobId running = h.submit(6, 6.0 * 7200.0);
+  h.start_running(running);
+  const JobId big = h.submit(8);  // urgent, blocked on the running job
+  h.submit(1);
+  EXPECT_TRUE(sched.select(h.context()).empty());
+  h.cluster->release(running);
+  const auto starts = sched.select(h.context());
+  ASSERT_FALSE(starts.empty());
+  EXPECT_EQ(starts[0], big);
+}
+
+TEST(ForecastCarbon, DeferSlackRespectsDeadlineAndMaxHold) {
+  Harness h;
+  ForecastCarbonScheduler sched;
+  JobRequest req;
+  req.gpus = 2;
+  req.work_gpu_seconds = 2.0 * 3600.0;  // 1 h runtime on 2 GPUs
+  req.flexible = true;
+  req.deadline = h.now + util::hours(10);
+  const JobId id = h.jobs.submit(req, h.now);
+  const cluster::Job& job = h.jobs.get(id);
+  // Deadline slack: 10 h - 1 h runtime - 1 h margin = 8 h (below max_hold).
+  EXPECT_NEAR(sched.defer_slack(job, h.now, 1.0).hours(), 8.0, 1e-9);
+  // Without a deadline, the remaining max-hold budget is the slack.
+  JobRequest open = req;
+  open.deadline.reset();
+  const cluster::Job& job2 = h.jobs.get(h.jobs.submit(open, h.now));
+  EXPECT_NEAR(sched.defer_slack(job2, h.now + util::hours(30), 1.0).hours(),
+              sched.config().reactive.max_hold.hours() - 30.0, 1e-9);
 }
 
 // --- power-aware ----------------------------------------------------------------------

@@ -36,8 +36,12 @@
 #include "experiment/runner.hpp"
 #include "experiment/scenario.hpp"
 #include "fleet/coordinator.hpp"
+#include "fleet/forecast_router.hpp"
+#include "forecast/rolling.hpp"
+#include "sched/forecast_carbon.hpp"
 #include "telemetry/experiment.hpp"
 #include "telemetry/fleet.hpp"
+#include "telemetry/forecast.hpp"
 #include "telemetry/report.hpp"
 #include "util/table.hpp"
 
@@ -60,6 +64,9 @@ struct CliOptions {
   std::string router = "carbon_greedy";
   bool router_set = false;
   double transfer_kwh = 0.0;
+  // Forecast controls (forecast_carbon scheduler / *_forecast routers).
+  std::string forecast_model = "climatology";
+  int forecast_horizon_hours = 24;
   // Experiment mode.
   int replicas = 0;  // 0 = single-run mode
   int jobs = 0;      // 0 = shared pool (hardware-sized)
@@ -74,7 +81,7 @@ void print_usage() {
   std::cout <<
       "greenhpc_sim — energy-aware datacenter twin runner\n\n"
       "options:\n"
-      "  --scheduler NAME   fcfs | easy_backfill | carbon_aware | power_aware\n"
+      "  --scheduler NAME   " << core::policy_names() << "\n"
       "                     (default easy_backfill; in fleet mode, every\n"
       "                     region runs this scheduler)\n"
       "  --start YYYY-MM    first simulated month (default 2021-01)\n"
@@ -88,11 +95,15 @@ void print_usage() {
       "  --reports          print the markdown report cards\n"
       "  --fleet N          run a geo-distributed fleet of the first N\n"
       "                     reference regions (1..4) instead of one twin\n"
-      "  --router NAME      fleet routing policy: round_robin | least_loaded\n"
-      "                     | cost_greedy | carbon_greedy (default\n"
-      "                     carbon_greedy; fleet mode only)\n"
+      "  --router NAME      fleet routing policy: " << fleet::router_names() << "\n"
+      "                     (default carbon_greedy; fleet mode only)\n"
       "  --transfer KWH     network-transfer energy penalty per off-home job\n"
       "                     (fleet mode only, default 0)\n"
+      "  --forecast-model NAME\n"
+      "                     model behind the predictive policies:\n"
+      "                     " << forecast::model_names() << " (default climatology)\n"
+      "  --forecast-horizon H\n"
+      "                     forecast lookahead in hours, 1..168 (default 24)\n"
       "  --replicas N       run N independently-seeded replicas and report\n"
       "                     mean ± 95% CI per metric instead of one run\n"
       "  --jobs K           worker threads for the replica ensemble\n"
@@ -178,6 +189,20 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.run_flags_set = true;
         opts.transfer_kwh = std::stod(*value);
         if (opts.transfer_kwh < 0.0) throw std::invalid_argument("transfer");
+      } else if (arg == "--forecast-model") {
+        opts.run_flags_set = true;
+        if (!forecast::model_known(*value)) {
+          std::cerr << "error: unknown forecast model '" << *value << "' ("
+                    << forecast::model_names() << ")\n";
+          return std::nullopt;
+        }
+        opts.forecast_model = *value;
+      } else if (arg == "--forecast-horizon") {
+        opts.run_flags_set = true;
+        opts.forecast_horizon_hours = std::stoi(*value);
+        if (opts.forecast_horizon_hours < 1 || opts.forecast_horizon_hours > 168) {
+          throw std::invalid_argument("forecast-horizon");
+        }
       } else if (arg == "--replicas") {
         opts.replicas = std::stoi(*value);
         if (opts.replicas < 1) throw std::invalid_argument("replicas");
@@ -229,6 +254,8 @@ experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
   spec.months = opts.months;
   spec.scheduler = opts.policy;
   spec.rate_per_hour = opts.rate_per_hour;
+  spec.forecast_model = opts.forecast_model;
+  spec.forecast_horizon_hours = opts.forecast_horizon_hours;
   if (opts.fleet_regions > 0) {
     spec.mode = experiment::Mode::kFleet;
     spec.region_count = static_cast<std::size_t>(opts.fleet_regions);
@@ -272,8 +299,8 @@ int run_experiment(const CliOptions& opts) {
     // Named points define their own window and controls; only --seed,
     // --replicas, --jobs, and --csv apply.
     std::cerr << "note: --sweep/--scenario fix the scenario; the --scheduler/--start/"
-                 "--months/--cap/--battery/--rate/--fleet/--router/--transfer flags are "
-                 "ignored\n";
+                 "--months/--cap/--battery/--rate/--fleet/--router/--transfer/"
+                 "--forecast-* flags are ignored\n";
   }
 
   if (!opts.sweep.empty()) {
@@ -342,9 +369,12 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, opts.rate_per_hour);
   config.transfer_energy_per_job = util::kilowatt_hours(opts.transfer_kwh);
 
+  const core::ForecastControls forecast{opts.forecast_model,
+                                        util::hours(opts.forecast_horizon_hours)};
   fleet::FleetCoordinator coordinator(
-      config, profiles, fleet::make_router(opts.router),
-      [&] { return core::make_scheduler(opts.policy); });
+      config, profiles,
+      fleet::make_router(opts.router, forecast.model, forecast.horizon),
+      [&] { return core::make_scheduler(opts.policy, forecast); });
 
   std::cout << "greenhpc_sim fleet: " << opts.fleet_regions << " region(s), router "
             << opts.router << ", scheduler " << core::policy_name(opts.policy) << ", "
@@ -378,6 +408,11 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
               util::fmt_fixed(carbon / months, 0));
   }
   std::cout << "\ngrid character (window means):\n" << grids;
+
+  if (const auto* fr = dynamic_cast<const fleet::ForecastRouter*>(&coordinator.router())) {
+    std::cout << "\nrouter forecast skill (realized MAPE vs actuals):\n"
+              << telemetry::forecast_skill_table(fr->skills());
+  }
   return 0;
 }
 
@@ -446,6 +481,11 @@ int run_cli(const CliOptions& opts) {
                 util::fmt_fixed(dc.weather().monthly_average(m.month).fahrenheit(), 1));
   }
   std::cout << "\n" << monthly;
+
+  if (const sched::ForecastCarbonScheduler* fs = experiment::forecast_scheduler_of(dc)) {
+    std::cout << "\nforecast skill (realized MAPE vs actuals):\n"
+              << telemetry::forecast_skill_table({fs->skill()});
+  }
 
   if (opts.reports) {
     const telemetry::ReportCard card(&dc.accountant());
