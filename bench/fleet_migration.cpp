@@ -1,0 +1,165 @@
+// MIGRATE1 — Mid-run checkpoint migration vs admission-only routing.
+//
+// The question this PR's subsystem must answer: once jobs are already routed
+// by the strongest admission-time policy (carbon_forecast — placement priced
+// at the forecast integrated over each job's runtime), is there anything
+// left for *mid-run* relocation to win? The paper's answer (Sec. II: defer,
+// pause, and relocate flexible workloads) says yes: a multi-hour training
+// run lives through grid swings its admission decision could not see, and
+// checkpoint-and-migrate is the only lever that can act on them after t=0.
+//
+// Seed-paired Monte-Carlo comparison (same replica seed => same arrival
+// stream and regional environments under either policy):
+//
+//   baseline:   4-region fleet, carbon_forecast admission routing, jobs
+//               pinned to their region for life
+//   treatment:  identical, plus the carbon MigrationPlanner checkpointing
+//               running jobs to greener regions (checkpoint/ship/restore
+//               energy billed into the fleet footprint)
+//
+// Acceptance (the ISSUE 4 bar, pinned by the MigrationRegression ctest):
+//   - mean CO2 (treatment) <= mean CO2 (baseline) at equal (within 5%)
+//     delivered GPU-hours,
+//   - treatment wins the paired comparison on >= 3/4 of seeds,
+//   - the 95% CI of the per-seed saving excludes zero.
+//
+// Flags (for the CI bench-smoke job): --replicas N (default 20), --days D
+// (default 0 = one full month), --checkpoint-cost X, --policy carbon|cost.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "migrate/planner.hpp"
+#include "telemetry/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 42;
+
+struct Options {
+  std::size_t replicas = 20;
+  int days = 0;  // 0 = a full month
+  double checkpoint_cost = 1.0;
+  std::string policy = "carbon";
+};
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replicas" && i + 1 < argc) {
+      const int replicas = std::atoi(argv[++i]);
+      if (replicas < 2) {
+        std::cerr << "error: --replicas must be >= 2\n";
+        std::exit(2);
+      }
+      opts.replicas = static_cast<std::size_t>(replicas);
+    } else if (arg == "--days" && i + 1 < argc) {
+      opts.days = std::atoi(argv[++i]);
+      if (opts.days < 0) {
+        std::cerr << "error: --days must be >= 0\n";
+        std::exit(2);
+      }
+    } else if (arg == "--checkpoint-cost" && i + 1 < argc) {
+      opts.checkpoint_cost = std::atof(argv[++i]);
+      if (opts.checkpoint_cost <= 0.0) {
+        std::cerr << "error: --checkpoint-cost must be positive\n";
+        std::exit(2);
+      }
+    } else if (arg == "--policy" && i + 1 < argc) {
+      opts.policy = argv[++i];
+      if (opts.policy != "carbon" && opts.policy != "cost") {
+        std::cerr << "error: --policy must be carbon or cost\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << "usage: fleet_migration [--replicas N] [--days D] "
+                   "[--checkpoint-cost X] [--policy carbon|cost]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+double objective_of(const core::RunSummary& s, const std::string& policy) {
+  return policy == "cost" ? s.grid_totals.cost.dollars() : s.grid_totals.carbon.kilograms();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  util::print_banner(std::cout, "MIGRATE1: mid-run checkpoint migration vs admission-only");
+  std::cout << opts.replicas << " seed-paired replicas per policy, base seed " << kBaseSeed
+            << ", objective " << opts.policy << ", checkpoint cost x"
+            << util::fmt_fixed(opts.checkpoint_cost, 1) << "\n\n";
+
+  // The migration scenario's window: hot July fleet, pressure high enough
+  // that jobs routinely start on a dirty grid with hours of runtime left.
+  experiment::ScenarioSpec base;
+  base.name = "fleet_migration_bench";
+  base.mode = experiment::Mode::kFleet;
+  base.router = "carbon_forecast";
+  base.start = {2021, 7};
+  base.rate_per_hour = 14.0;
+  base.checkpoint_cost = opts.checkpoint_cost;
+  if (opts.days > 0) {
+    base.days = opts.days;
+    base.warmup_days = 2;
+  }
+  experiment::ScenarioSpec treated = base;
+  base.migration_policy = "off";
+  treated.migration_policy = opts.policy;
+
+  const experiment::ReplicaRunner runner({opts.replicas, kBaseSeed, 0});
+  const std::vector<experiment::ReplicaResult> stay = runner.run(base);
+  const std::vector<experiment::ReplicaResult> move = runner.run(treated);
+
+  std::vector<double> stay_obj, move_obj, saved_pct;
+  double stay_hours = 0.0, move_hours = 0.0;
+  std::size_t paired_wins = 0;
+  for (std::size_t k = 0; k < stay.size(); ++k) {
+    stay_obj.push_back(objective_of(stay[k].run, opts.policy));
+    move_obj.push_back(objective_of(move[k].run, opts.policy));
+    saved_pct.push_back(100.0 * (1.0 - move_obj[k] / stay_obj[k]));
+    if (move_obj[k] <= stay_obj[k]) ++paired_wins;
+    stay_hours += stay[k].run.completed_gpu_hours;
+    move_hours += move[k].run.completed_gpu_hours;
+  }
+  const telemetry::MetricStats stay_stats = experiment::Aggregator::fold(base.label(), stay_obj);
+  const telemetry::MetricStats move_stats =
+      experiment::Aggregator::fold(treated.label(), move_obj);
+  const telemetry::MetricStats saved = experiment::Aggregator::fold("saved_pct", saved_pct);
+  const double hours_ratio = stay_hours > 0.0 ? move_hours / stay_hours : 0.0;
+
+  const char* unit = opts.policy == "cost" ? "cost_usd" : "co2_kg";
+  util::Table table({"policy", std::string(unit) + " (mean ± 95% CI)", "saved_pct",
+                     "paired_wins", "gpu_hours_ratio"});
+  table.add(stay_stats.name, telemetry::fmt_ci(stay_stats.mean, stay_stats.ci95_half), "-", "-",
+            "-");
+  table.add(move_stats.name, telemetry::fmt_ci(move_stats.mean, move_stats.ci95_half),
+            telemetry::fmt_ci(saved.mean, saved.ci95_half, 3),
+            std::to_string(paired_wins) + "/" + std::to_string(stay.size()),
+            util::fmt_fixed(hours_ratio, 4));
+  std::cout << table << "\n";
+
+  const bool equal_hours = hours_ratio > 0.95 && hours_ratio < 1.05;
+  const bool mean_wins = move_stats.mean <= stay_stats.mean;
+  const bool majority = paired_wins * 4 >= stay.size() * 3;
+  const bool ci_excludes_zero = saved.mean - saved.ci95_half > 0.0;
+  const bool pass = equal_hours && mean_wins && majority && ci_excludes_zero;
+  std::cout << (pass ? "PASS" : "FAIL") << ": migration-on mean " << unit
+            << (mean_wins ? " <= " : " > ") << "admission-only at "
+            << (equal_hours ? "equal" : "UNEQUAL") << " GPU-hours; paired wins " << paired_wins
+            << "/" << stay.size() << (majority ? " (majority)" : " (NO majority)")
+            << "; saving CI " << (ci_excludes_zero ? "excludes" : "INCLUDES") << " zero\n";
+  return pass ? 0 : 1;
+}

@@ -1,16 +1,25 @@
-// Follow the wind: watching a carbon-greedy fleet chase green power.
+// Follow the wind: watching a fleet chase green power — including mid-run.
 //
-// A walkthrough of the fleet subsystem. We build the four reference regions
-// under a CarbonGreedyRouter, advance the fleet day by day for two weeks,
-// and print where the router sent jobs as each region's wind (and therefore
-// carbon intensity) came and went. The daily trace is the point: placement
-// shares move with the day's grid signals, not with a fixed split — the
-// spatial analogue of the paper's carbon-aware temporal scheduling.
+// A walkthrough of the fleet + migration subsystems. We build the four
+// reference regions under a carbon_forecast router with the carbon
+// MigrationPlanner enabled, advance the fleet day by day for two weeks, and
+// print where the router sent jobs — and where the planner *moved* already
+// running jobs — as each region's wind (and therefore carbon intensity) came
+// and went. The daily trace is the point: placement shares move with the
+// day's grid signals, and long jobs that started in a dirty hour get
+// checkpointed and shipped to a cleaner grid mid-run instead of staying
+// pinned to their admission-time choice.
 
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "fleet/coordinator.hpp"
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "migrate/planner.hpp"
 #include "telemetry/fleet.hpp"
+#include "telemetry/migration.hpp"
 #include "util/table.hpp"
 
 using namespace greenhpc;
@@ -19,43 +28,70 @@ int main() {
   const util::TimePoint start = util::to_timepoint(util::CivilDate{2021, 3, 1});
   constexpr int kDays = 14;
 
-  auto coordinator = fleet::make_reference_fleet_coordinator("carbon_greedy", /*seed=*/7);
+  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
+  fleet::FleetConfig config;
+  config.seed = 7;
+  // Warm enough that jobs routinely start on a dirty grid, cool enough that
+  // greener regions keep freeing capacity for the planner to move them into.
+  config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, 10.0);
+  config.migration.objective = migrate::MigrationObjective::kCarbon;
+  fleet::FleetCoordinator coordinator(config, profiles,
+                                      fleet::make_router("carbon_forecast"));
 
-  util::print_banner(std::cout, "follow the wind: carbon-greedy routing, daily trace");
+  util::print_banner(std::cout,
+                     "follow the wind: forecast routing + mid-run migration, daily trace");
   std::cout << "fleet: ";
-  for (std::size_t i = 0; i < coordinator->region_count(); ++i) {
-    std::cout << (i ? ", " : "") << coordinator->profile(i).name;
+  for (std::size_t i = 0; i < coordinator.region_count(); ++i) {
+    std::cout << (i ? ", " : "") << coordinator.profile(i).name;
   }
   std::cout << "\nwindow: " << util::to_string(util::civil_of(start)) << " + " << kDays
             << " days (after a warm-up spin-up from the epoch start)\n\n";
 
-  coordinator->run_until(start);  // spin up: queues fill, grids reach steady state
+  coordinator.run_until(start);  // spin up: queues fill, forecasters warm
 
-  util::Table trace({"day", "region", "co2_g_kwh", "renew_pct", "util_pct", "jobs_today"});
-  std::vector<std::size_t> routed_before(coordinator->region_count(), 0);
+  util::Table trace({"day", "region", "co2_g_kwh", "renew_pct", "util_pct", "jobs_today",
+                     "mig_in", "mig_out"});
+  std::vector<std::size_t> routed_before(coordinator.region_count(), 0);
+  std::vector<std::size_t> in_before(coordinator.region_count(), 0);
+  std::vector<std::size_t> out_before(coordinator.region_count(), 0);
+  const auto migration_counts = [&](std::vector<std::size_t>& in, std::vector<std::size_t>& out) {
+    const telemetry::FleetRunSummary s = coordinator.summary();
+    for (std::size_t i = 0; i < s.regions.size(); ++i) {
+      in[i] = s.regions[i].jobs_migrated_in;
+      out[i] = s.regions[i].jobs_migrated_out;
+    }
+  };
+  std::vector<std::size_t> in_now(coordinator.region_count(), 0);
+  std::vector<std::size_t> out_now(coordinator.region_count(), 0);
   for (int day = 0; day < kDays; ++day) {
-    routed_before = coordinator->jobs_routed();
-    coordinator->run_until(start + util::days(day + 1));
+    routed_before = coordinator.jobs_routed();
+    migration_counts(in_before, out_before);
+    coordinator.run_until(start + util::days(day + 1));
+    migration_counts(in_now, out_now);
     const util::TimePoint noon = start + util::days(day) + util::hours(12);
-    for (std::size_t i = 0; i < coordinator->region_count(); ++i) {
-      const core::Datacenter& dc = coordinator->region(i);
+    for (std::size_t i = 0; i < coordinator.region_count(); ++i) {
+      const core::Datacenter& dc = coordinator.region(i);
       const util::TimePoint lt = dc.local_time(noon);
-      const fleet::RegionView view = coordinator->view_of(i);
-      trace.add(i == 0 ? std::to_string(day + 1) : "", coordinator->profile(i).name,
+      const fleet::RegionView view = coordinator.view_of(i);
+      trace.add(i == 0 ? std::to_string(day + 1) : "", coordinator.profile(i).name,
                 util::fmt_fixed(dc.carbon().intensity_at(lt).g_per_kwh(), 0),
                 util::fmt_fixed(100.0 * dc.fuel_mix().mix_at(lt).renewable_share(), 1),
                 util::fmt_fixed(100.0 * view.utilization, 1),
-                coordinator->jobs_routed()[i] - routed_before[i]);
+                coordinator.jobs_routed()[i] - routed_before[i], in_now[i] - in_before[i],
+                out_now[i] - out_before[i]);
     }
   }
   std::cout << trace;
 
   std::cout << "\nNote how the plains-wind and ercot columns trade places: on windy\n"
-               "days their intensity drops and the router piles jobs in; when the\n"
-               "wind dies the stream snaps back to hydro and the home region.\n";
+               "days their intensity drops, the router piles jobs in, and the\n"
+               "mig_in column shows running jobs being checkpointed *into* the\n"
+               "green region mid-run; when the wind dies, mig_out drains them\n"
+               "back toward hydro and the home region.\n";
 
-  const telemetry::FleetRunSummary summary = coordinator->summary();
+  const telemetry::FleetRunSummary summary = coordinator.summary();
   std::cout << "\nper-region (whole run):\n" << telemetry::fleet_region_table(summary);
   std::cout << "\nfleet aggregate:\n" << telemetry::fleet_total_table(summary);
+  std::cout << "\nmigration ledger:\n" << telemetry::migration_table(summary.migration);
   return 0;
 }

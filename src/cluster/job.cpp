@@ -1,5 +1,8 @@
 #include "cluster/job.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "util/error.hpp"
 
 namespace greenhpc::cluster {
@@ -24,18 +27,37 @@ const char* job_state_name(JobState s) {
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
     case JobState::kCancelled: return "cancelled";
+    case JobState::kMigrated: return "migrated";
   }
   return "unknown";
 }
 
+void validate_request(const JobRequest& request, util::TimePoint submit_time) {
+  // Hot path (every submission): build the value-naming messages only on
+  // failure, never on the millions of requests that pass.
+  if (request.gpus < 1) {
+    throw std::invalid_argument("JobRequest: gpus must be >= 1 (got " +
+                                std::to_string(request.gpus) + ")");
+  }
+  if (!(request.work_gpu_seconds > 0.0)) {
+    throw std::invalid_argument("JobRequest: work_gpu_seconds must be positive (got " +
+                                std::to_string(request.work_gpu_seconds) + ")");
+  }
+  if (!(request.estimate_factor >= 1.0)) {
+    throw std::invalid_argument("JobRequest: estimate_factor must be >= 1 (got " +
+                                std::to_string(request.estimate_factor) + ")");
+  }
+  if (request.deadline && !(*request.deadline > submit_time)) {
+    throw std::invalid_argument(
+        "JobRequest: deadline (" + std::to_string(request.deadline->seconds_since_epoch()) +
+        " s) must be after submission (" + std::to_string(submit_time.seconds_since_epoch()) +
+        " s)");
+  }
+}
+
 Job::Job(JobId id, JobRequest request, util::TimePoint submit_time)
     : id_(id), request_(request), submit_time_(submit_time) {
-  require(request_.gpus >= 1, "Job: must request at least one GPU");
-  require(request_.work_gpu_seconds > 0.0, "Job: work must be positive");
-  require(request_.estimate_factor >= 1.0, "Job: estimate factor must be >= 1");
-  if (request_.deadline) {
-    require(*request_.deadline > submit_time, "Job: deadline must be after submission");
-  }
+  validate_request(request_, submit_time);
 }
 
 util::Duration Job::estimated_runtime(double throughput_factor) const {
@@ -88,10 +110,21 @@ void Job::cancel(util::TimePoint now) {
   finish_time_ = now;
 }
 
+void Job::migrate_out(util::TimePoint now) {
+  require(state_ == JobState::kRunning, "Job::migrate_out: job not running");
+  state_ = JobState::kMigrated;
+  finish_time_ = now;
+}
+
 JobId JobRegistry::submit(JobRequest request, util::TimePoint now) {
-  const JobId id = next_id_++;
-  index_[id] = jobs_.size();
+  // The Job constructor validates; emplace it first (deque::emplace_back has
+  // no effect when the element constructor throws), so a rejected request
+  // leaves the registry exactly as it was — no burned id, no dangling index
+  // entry — without validating twice.
+  const JobId id = next_id_;
   jobs_.emplace_back(id, request, now);
+  ++next_id_;
+  index_[id] = jobs_.size() - 1;
   order_.push_back(id);
   return id;
 }

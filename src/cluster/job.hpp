@@ -60,9 +60,19 @@ struct JobRequest {
   double estimate_factor = 1.0;
 };
 
-enum class JobState : std::uint8_t { kQueued = 0, kRunning, kCompleted, kCancelled };
+/// kMigrated is terminal *at this site*: the job was checkpointed and handed
+/// to another region's twin, which resumes the remaining work as a fresh
+/// submission (progress preserved in GPU-seconds by the migrate:: layer).
+enum class JobState : std::uint8_t { kQueued = 0, kRunning, kCompleted, kCancelled, kMigrated };
 
 [[nodiscard]] const char* job_state_name(JobState s);
+
+/// Submission-time validation shared by every intake surface (registry,
+/// sweep configs, migration resumes): rejects non-positive gpus /
+/// work_gpu_seconds, estimate_factor below 1, and deadlines at or before
+/// `submit_time`, with errors that name the offending value so a malformed
+/// sweep config fails fast instead of corrupting ledgers downstream.
+void validate_request(const JobRequest& request, util::TimePoint submit_time);
 
 class Job {
  public:
@@ -93,6 +103,10 @@ class Job {
   void progress(double gpu_seconds_equivalent, util::Energy energy);
   void complete(util::TimePoint now);
   void cancel(util::TimePoint now);
+  /// Checkpoint-and-leave: the running job's state was snapshotted for
+  /// migration to another site. Terminal here; the destination twin resumes
+  /// the remaining work as its own submission.
+  void migrate_out(util::TimePoint now);
 
  private:
   JobId id_;

@@ -54,6 +54,57 @@ cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
   return id;
 }
 
+std::vector<cluster::JobId> Datacenter::running_jobs() const {
+  std::vector<cluster::JobId> out;
+  out.reserve(cluster_.allocations().size());
+  for (const cluster::Allocation& alloc : cluster_.allocations()) out.push_back(alloc.job);
+  return out;
+}
+
+Datacenter::PreemptedJob Datacenter::preempt(cluster::JobId id) {
+  cluster::Job& job = jobs_.get(id);
+  require(job.state() == cluster::JobState::kRunning, "Datacenter::preempt: job not running");
+  PreemptedJob snapshot;
+  snapshot.request = job.request();
+  // Carried credit rides along: if this job was itself migrated in, its
+  // snapshot represents the whole lineage's progress, not just this site's.
+  snapshot.work_done_gpu_seconds = job.work_done() + take_migration_credit(id);
+  snapshot.work_remaining_gpu_seconds = job.work_remaining();
+  cluster_.release(id);
+  job.migrate_out(sim_.now());
+  return snapshot;
+}
+
+cluster::JobId Datacenter::resume(const PreemptedJob& snapshot) {
+  require(snapshot.work_remaining_gpu_seconds > 0.0,
+          "Datacenter::resume: snapshot has no work remaining");
+  cluster::JobRequest request = snapshot.request;
+  request.work_gpu_seconds = snapshot.work_remaining_gpu_seconds;
+  if (request.deadline && !(*request.deadline > sim_.now())) {
+    // The deadline expired while the checkpoint was in transit: the job
+    // already missed it, so the remainder runs best-effort rather than
+    // crashing intake (Job requires deadlines after submission).
+    request.deadline.reset();
+  }
+  const cluster::JobId id = submit(request);
+  // The lineage's prior progress is credited when (and only when) the
+  // lineage actually finishes — mirroring how an unmigrated job credits
+  // nothing until completion, so migration-on and migration-off runs count
+  // delivered GPU-hours symmetrically.
+  if (snapshot.work_done_gpu_seconds > 0.0) {
+    migration_credit_[id] = snapshot.work_done_gpu_seconds;
+  }
+  return id;
+}
+
+double Datacenter::take_migration_credit(cluster::JobId id) {
+  const auto it = migration_credit_.find(id);
+  if (it == migration_credit_.end()) return 0.0;
+  const double credit = it->second;
+  migration_credit_.erase(it);
+  return credit;
+}
+
 void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
   const util::Duration dt = config_.step;
   const util::TimePoint lt = local_time(t);  // environment models live in local time
@@ -96,7 +147,10 @@ void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
     if (job.work_remaining() <= 1e-6) {
       const util::TimePoint finish = t + util::Duration::from_raw(dt.seconds() * fraction);
       job.complete(finish);
-      completed_gpu_hours_ += job.request().work_gpu_seconds / 3600.0;
+      // A migrated-in job completes its whole lineage: the work checkpointed
+      // at previous sites is delivered now, together with the remainder.
+      completed_gpu_hours_ +=
+          (job.request().work_gpu_seconds + take_migration_credit(job.id())) / 3600.0;
       cluster_.release(job.id());
     }
   }
@@ -192,6 +246,7 @@ RunSummary Datacenter::summary() const {
   s.jobs_submitted = jobs_.size();
   s.jobs_completed = jobs_.in_state(cluster::JobState::kCompleted).size();
   s.jobs_pending = queue_.size();
+  s.jobs_migrated = jobs_.in_state(cluster::JobState::kMigrated).size();
   if (!queue_waits_hours_.empty()) {
     s.mean_queue_wait_hours = stats::mean(queue_waits_hours_);
     s.p95_queue_wait_hours = stats::quantile(queue_waits_hours_, 0.95);

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -69,6 +70,10 @@ struct RunSummary {
   std::size_t jobs_submitted = 0;
   std::size_t jobs_completed = 0;
   std::size_t jobs_pending = 0;
+  /// Jobs checkpointed away to another site (terminal here; the destination
+  /// re-submits the remainder, so fleet-wide submitted = arrivals +
+  /// deliveries and submitted == completed + pending + running + migrated).
+  std::size_t jobs_migrated = 0;
   double mean_queue_wait_hours = 0.0;
   double p95_queue_wait_hours = 0.0;
   double mean_utilization = 0.0;
@@ -114,6 +119,35 @@ class Datacenter {
   /// Submits an external job at the current simulation time.
   cluster::JobId submit(const cluster::JobRequest& request);
 
+  // --- checkpoint/migration hooks (driven by fleet::FleetCoordinator) -------
+
+  /// Running job ids in allocation order (deterministic: the order jobs
+  /// started), for migration planners scanning the site.
+  [[nodiscard]] std::vector<cluster::JobId> running_jobs() const;
+
+  /// Everything a destination twin needs to resume a checkpointed job.
+  struct PreemptedJob {
+    cluster::JobRequest request;  ///< the original submission
+    /// The lineage's total progress so far (this site plus any earlier
+    /// sites it already migrated through).
+    double work_done_gpu_seconds = 0.0;
+    double work_remaining_gpu_seconds = 0.0;
+  };
+
+  /// Checkpoint-and-release: frees the job's GPUs, marks it migrated
+  /// (terminal at this site; its energy ledger stays here), and returns the
+  /// snapshot the destination resumes from. Throws if the job is not running.
+  PreemptedJob preempt(cluster::JobId id);
+
+  /// Resume hook: submits the snapshot's remaining work as a fresh job at
+  /// this site (flexibility, user, and class preserved; a deadline that
+  /// expired in transit is dropped — the job already missed it). Progress is
+  /// preserved in GPU-seconds: only work_remaining is resubmitted, and the
+  /// checkpointed progress is credited to completed GPU-hours when the
+  /// lineage finishes — never before, so migration-on and migration-off runs
+  /// count delivered work symmetrically.
+  cluster::JobId resume(const PreemptedJob& snapshot);
+
   /// Runs the twin from its current time to `end`.
   void run_until(util::TimePoint end);
 
@@ -152,6 +186,8 @@ class Datacenter {
   void step(util::TimePoint t);
   void progress_running_jobs(util::TimePoint t, double throttle);
   void run_scheduler(util::TimePoint t, const sched::GridSignals& signals);
+  /// Pops the lineage progress carried by a migrated-in job (0 for others).
+  double take_migration_credit(cluster::JobId id);
 
   DatacenterConfig config_;
 
@@ -168,6 +204,8 @@ class Datacenter {
   // Plant.
   cluster::Cluster cluster_;
   cluster::JobRegistry jobs_;
+  /// Lineage progress carried by migrated-in jobs, credited at completion.
+  std::unordered_map<cluster::JobId, double> migration_credit_;
   std::vector<cluster::JobId> queue_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   JobCapPolicy job_cap_policy_;

@@ -6,6 +6,7 @@
 #include "fleet/routing.hpp"
 #include "forecast/rolling.hpp"
 #include "grid/battery.hpp"
+#include "migrate/planner.hpp"
 #include "sched/forecast_carbon.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -53,13 +54,20 @@ std::string ScenarioSpec::label() const {
   } else {
     out = "fleet-" + router + "/r" + std::to_string(region_count);
     if (transfer_kwh_per_job > 0.0) out += "/xfer" + util::fmt_fixed(transfer_kwh_per_job, 0);
+    if (migration_policy != "off") {
+      out += "/mig-" + migration_policy;
+      if (checkpoint_cost != 1.0) out += "/ckpt" + util::fmt_fixed(checkpoint_cost, 1);
+    }
   }
   if (flexible_scale != 1.0) out += "/flex" + util::fmt_fixed(flexible_scale, 1);
-  // Forecast controls only shape predictive points; non-default settings
-  // must keep two such points distinguishable in tables.
+  // Forecast controls only shape predictive points (forecast scheduler,
+  // forecast routers, or a migration planner — its stay-vs-move scoring runs
+  // on the same forecasters); non-default settings must keep two such points
+  // distinguishable in tables.
   const bool predictive =
       scheduler == core::PolicyKind::kForecastCarbon ||
-      (mode == Mode::kFleet && router.find("_forecast") != std::string::npos);
+      (mode == Mode::kFleet &&
+       (router.find("_forecast") != std::string::npos || migration_policy != "off"));
   if (predictive) {
     if (forecast_model != "climatology") out += "/" + forecast_model;
     if (forecast_horizon_hours != 24) out += "/h" + std::to_string(forecast_horizon_hours);
@@ -76,9 +84,15 @@ void ScenarioSpec::validate() const {
   require(forecast::model_known(forecast_model), "ScenarioSpec: unknown forecast model");
   require(forecast_horizon_hours >= 1 && forecast_horizon_hours <= 168,
           "ScenarioSpec: forecast horizon must be 1..168 hours");
+  require(migrate::migration_objective_from_name(migration_policy).has_value(),
+          "ScenarioSpec: unknown migration policy (" +
+              std::string(migrate::migration_policy_names()) + ")");
+  require(checkpoint_cost > 0.0, "ScenarioSpec: checkpoint_cost must be positive");
   if (mode == Mode::kSingleSite) {
     require(!power_cap_w || *power_cap_w > 0.0, "ScenarioSpec: power cap must be positive");
     require(!battery_kwh || *battery_kwh > 0.0, "ScenarioSpec: battery must be positive");
+    require(migration_policy == "off",
+            "ScenarioSpec: migration needs a fleet (single-site jobs have nowhere to go)");
   } else {
     require(region_count >= 1 && region_count <= fleet::make_reference_fleet().size(),
             "ScenarioSpec: region_count must be 1..4");
@@ -153,6 +167,10 @@ std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
                                : fleet::scaled_fleet_rate(profiles);
   scale_flexibility(config.arrivals.mix, spec.flexible_scale);
   config.transfer_energy_per_job = util::kilowatt_hours(spec.transfer_kwh_per_job);
+  config.migration.objective = *migrate::migration_objective_from_name(spec.migration_policy);
+  config.migration.checkpoint.cost_scale = spec.checkpoint_cost;
+  config.migration.forecaster.model = spec.forecast_model;
+  config.migration.forecaster.horizon = util::hours(spec.forecast_horizon_hours);
 
   const core::PolicyKind policy = spec.scheduler;
   const core::ForecastControls forecast{spec.forecast_model,
@@ -224,6 +242,19 @@ const std::vector<ScenarioSpec>& scenario_library() {
     fleet_forecast.router = "carbon_forecast";
     specs.push_back(fleet_forecast);
 
+    // Mid-run relocation on top of the strongest admission router: hot
+    // summer fleet so jobs routinely start on a dirty grid and have hours of
+    // runtime left when cleaner capacity frees up.
+    ScenarioSpec migration;
+    migration.name = "migration";
+    migration.mode = Mode::kFleet;
+    migration.router = "carbon_forecast";
+    migration.migration_policy = "carbon";
+    migration.start = {2021, 7};
+    migration.rate_per_hour = 14.0;
+    migration.months = 2;
+    specs.push_back(migration);
+
     ScenarioSpec fleet_quick;
     fleet_quick.name = "fleet_quick";
     fleet_quick.mode = Mode::kFleet;
@@ -258,8 +289,9 @@ std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base, const GridAxes& 
   // Axes the base mode never reads would expand into identical points with
   // identical labels — reject them instead of silently multiplying the grid.
   if (base.mode == Mode::kSingleSite) {
-    require(axes.routers.empty() && axes.region_counts.empty() && axes.transfer_kwh.empty(),
-            "expand_grid: router/region/transfer axes need a fleet-mode base");
+    require(axes.routers.empty() && axes.region_counts.empty() && axes.transfer_kwh.empty() &&
+                axes.migration_policies.empty(),
+            "expand_grid: router/region/transfer/migration axes need a fleet-mode base");
   } else {
     require(axes.power_caps_w.empty(), "expand_grid: power-cap axis needs a single-site base");
   }
@@ -281,6 +313,9 @@ std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base, const GridAxes& 
   const std::vector<double> transfers =
       axes.transfer_kwh.empty() ? std::vector<double>{base.transfer_kwh_per_job}
                                 : axes.transfer_kwh;
+  const std::vector<std::string> migrations =
+      axes.migration_policies.empty() ? std::vector<std::string>{base.migration_policy}
+                                      : axes.migration_policies;
 
   std::vector<ScenarioSpec> points;
   for (const core::PolicyKind scheduler : schedulers) {
@@ -288,14 +323,17 @@ std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base, const GridAxes& 
       for (const std::size_t regions : region_counts) {
         for (const std::optional<double>& cap : caps) {
           for (const double transfer : transfers) {
-            ScenarioSpec point = base;
-            point.scheduler = scheduler;
-            point.router = router;
-            point.region_count = regions;
-            point.power_cap_w = cap;
-            point.transfer_kwh_per_job = transfer;
-            point.validate();
-            points.push_back(std::move(point));
+            for (const std::string& migration : migrations) {
+              ScenarioSpec point = base;
+              point.scheduler = scheduler;
+              point.router = router;
+              point.region_count = regions;
+              point.power_cap_w = cap;
+              point.transfer_kwh_per_job = transfer;
+              point.migration_policy = migration;
+              point.validate();
+              points.push_back(std::move(point));
+            }
           }
         }
       }
@@ -357,6 +395,22 @@ const std::vector<SweepSpec>& sweep_library() {
       axes.routers = {"carbon_greedy", "carbon_forecast", "cost_greedy", "cost_forecast"};
       sweeps.push_back({"forecast_router",
                        "reactive vs forecast-integrated fleet routing, hot fleet (Jul 2021)",
+                       expand_grid(base, axes)});
+    }
+    {
+      // Admission-only vs mid-run relocation, on the same hot-summer window
+      // the migration scenario uses: does following the wind after placement
+      // still pay once checkpoints cost real energy?
+      ScenarioSpec base;
+      base.name = "migration";
+      base.mode = Mode::kFleet;
+      base.router = "carbon_forecast";
+      base.start = {2021, 7};
+      base.rate_per_hour = 14.0;
+      GridAxes axes;
+      axes.migration_policies = {"off", "carbon", "cost"};
+      sweeps.push_back({"migration",
+                       "admission-only vs mid-run checkpoint migration, hot fleet (Jul 2021)",
                        expand_grid(base, axes)});
     }
     {

@@ -56,6 +56,13 @@ struct ScenarioSpec {
   std::size_t region_count = 4;  ///< first N reference regions (1..4)
   double transfer_kwh_per_job = 0.0;
 
+  // --- migration controls (fleet mode only) ---------------------------------
+  /// Mid-run checkpoint-and-migrate policy: off | carbon | cost.
+  std::string migration_policy = "off";
+  /// Multiplier on the checkpoint size (and thus every snapshot/ship/restore
+  /// time and energy cost); 1.0 = the reference 12 GB/GPU model.
+  double checkpoint_cost = 1.0;
+
   // --- forecast controls (predictive scheduler/routers only) ----------------
   /// forecast::make_model name driving forecast_carbon / *_forecast policies.
   std::string forecast_model = "climatology";
@@ -107,10 +114,11 @@ struct ScenarioSpec {
 /// expansion is the cartesian product of the non-empty ones.
 struct GridAxes {
   std::vector<core::PolicyKind> schedulers;
-  std::vector<std::string> routers;          ///< fleet mode only
-  std::vector<std::size_t> region_counts;    ///< fleet mode only
-  std::vector<double> power_caps_w;          ///< single-site only
-  std::vector<double> transfer_kwh;          ///< fleet mode only
+  std::vector<std::string> routers;             ///< fleet mode only
+  std::vector<std::size_t> region_counts;       ///< fleet mode only
+  std::vector<double> power_caps_w;             ///< single-site only
+  std::vector<double> transfer_kwh;             ///< fleet mode only
+  std::vector<std::string> migration_policies;  ///< fleet mode only
 };
 
 /// Cartesian-product expansion of `axes` applied to `base`; every point is

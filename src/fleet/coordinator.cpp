@@ -59,6 +59,14 @@ FleetCoordinator::FleetCoordinator(FleetConfig config, std::vector<RegionProfile
         region_config(config_, profiles_[i], i), std::move(scheduler)));
   }
   jobs_routed_.assign(profiles_.size(), 0);
+  transfer_by_region_.assign(profiles_.size(), grid::EnergyLedger{});
+  lineage_.resize(profiles_.size());
+  migrated_in_.assign(profiles_.size(), 0);
+  migrated_out_.assign(profiles_.size(), 0);
+  if (config_.migration.objective != migrate::MigrationObjective::kOff) {
+    planner_ = std::make_unique<migrate::MigrationPlanner>(config_.migration);
+  }
+  migration_.policy = migrate::migration_objective_name(config_.migration.objective);
   modulator_ = std::make_unique<workload::DemandModulator>(config_.calendar, config_.demand);
   arrivals_ = std::make_unique<workload::ArrivalProcess>(config_.arrivals, modulator_.get());
 }
@@ -92,8 +100,28 @@ std::vector<RegionView> FleetCoordinator::all_views() const {
   return views;
 }
 
+grid::EnergyLedger FleetCoordinator::transfer_ledger() const {
+  grid::EnergyLedger total;
+  for (const grid::EnergyLedger& r : transfer_by_region_) total += r;
+  return total;
+}
+
+grid::EnergyLedger FleetCoordinator::charge_transfer(std::size_t i, util::Energy energy,
+                                                     util::TimePoint t) {
+  grid::EnergyLedger increment;
+  if (energy.joules() <= 0.0) return increment;
+  const core::Datacenter& dc = *regions_[i];
+  const util::TimePoint lt = dc.local_time(t);
+  increment.energy = energy;
+  increment.cost = energy * dc.prices().price_at(lt);
+  increment.carbon = energy * dc.carbon().intensity_at(lt);
+  increment.water = energy * profiles_[i].connection.generation_water;
+  transfer_by_region_[i] += increment;
+  return increment;
+}
+
 void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
-                                      std::vector<RegionView> views) {
+                                      std::vector<RegionView>& views) {
   const std::vector<cluster::JobRequest> requests = arrivals_->sample(t, window, rng_);
   if (requests.empty()) return;
 
@@ -107,16 +135,10 @@ void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
     regions_[pick]->submit(request);
     ++jobs_routed_[pick];
 
-    if (pick != config_.home_region && config_.transfer_energy_per_job.joules() > 0.0) {
+    if (pick != config_.home_region) {
       // The moved bytes burn energy on the path; bill them at the
-      // destination's instantaneous grid conditions.
-      const core::Datacenter& dest = *regions_[pick];
-      const util::TimePoint lt = dest.local_time(t);
-      const util::Energy e = config_.transfer_energy_per_job;
-      transfer_.energy += e;
-      transfer_.cost += e * dest.prices().price_at(lt);
-      transfer_.carbon += e * dest.carbon().intensity_at(lt);
-      transfer_.water += e * profiles_[pick].connection.generation_water;
+      // destination's instantaneous grid conditions, into its ledger.
+      charge_transfer(pick, config_.transfer_energy_per_job, t);
     }
 
     // Keep the snapshot honest within the batch: the job we just placed
@@ -131,15 +153,112 @@ void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
   }
 }
 
+void FleetCoordinator::deliver_migrations(util::TimePoint t, std::vector<RegionView>& views) {
+  // Launch order is not arrival order (a small checkpoint overtakes a fat
+  // one on the pipe), so scan the whole deque, delivering in launch order.
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (t < it->arrival) {
+      ++it;
+      continue;
+    }
+    const InFlightMigration m = *it;
+    it = in_flight_.erase(it);
+    // Ship + restore energy burns at the destination on arrival.
+    migration_.overhead += charge_transfer(
+        m.dest, planner_->checkpoint().delivery_energy(m.snapshot.request.gpus), t);
+
+    const cluster::JobId id = regions_[m.dest]->resume(m.snapshot);
+    lineage_[m.dest][id] = {m.migrations, t};
+    ++migrated_in_[m.dest];
+    ++migration_.delivered;
+
+    RegionView& dest = views[m.dest];
+    ++dest.queue_depth;
+    dest.queued_gpu_demand += m.snapshot.request.gpus;
+  }
+}
+
+void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView>& views) {
+  if (in_flight_.size() >= config_.migration.max_in_flight) return;
+  const std::size_t slots = config_.migration.max_in_flight - in_flight_.size();
+
+  // Candidates: every running job, in (region, allocation) order — a fixed,
+  // replica-independent scan order, so planning is deterministic. The same
+  // pass prunes lineage entries whose job finished (completed or cancelled)
+  // so the thrash bookkeeping cannot grow without bound over long runs;
+  // queued entries stay — a migrated-in job's budget applies when it runs.
+  std::vector<migrate::MigrationCandidate> candidates;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    std::erase_if(lineage_[i], [&](const auto& entry) {
+      const cluster::JobState state = regions_[i]->jobs().get(entry.first).state();
+      return state == cluster::JobState::kCompleted || state == cluster::JobState::kCancelled;
+    });
+    for (const cluster::JobId id : regions_[i]->running_jobs()) {
+      const cluster::Job& job = regions_[i]->jobs().get(id);
+      migrate::MigrationCandidate c;
+      c.region = i;
+      c.job = id;
+      c.gpus = job.request().gpus;
+      c.work_remaining_gpu_seconds = job.work_remaining();
+      c.deadline = job.request().deadline;
+      const auto it = lineage_[i].find(id);
+      if (it != lineage_[i].end()) {
+        c.migrations_so_far = it->second.migrations;
+        c.last_migration = it->second.last;
+      }
+      candidates.push_back(c);
+    }
+  }
+  if (candidates.empty()) return;
+
+  // GPUs already claimed by checkpoints still on the pipe: a multi-step
+  // outage must not let two rounds of planning commit the same capacity.
+  std::vector<int> inbound_gpus(regions_.size(), 0);
+  for (const InFlightMigration& m : in_flight_) {
+    inbound_gpus[m.dest] += m.snapshot.request.gpus;
+  }
+
+  const std::vector<migrate::MigrationDecision> decisions =
+      planner_->plan(t, views, candidates, slots, inbound_gpus);
+  for (const migrate::MigrationDecision& d : decisions) {
+    const core::Datacenter::PreemptedJob snapshot = regions_[d.source]->preempt(d.job);
+    const int gpus = snapshot.request.gpus;
+
+    // The snapshot write burns at the source, now.
+    migration_.overhead += charge_transfer(d.source, planner_->checkpoint().snapshot_energy(gpus), t);
+
+    InFlightMigration m;
+    m.source = d.source;
+    m.dest = d.dest;
+    m.snapshot = snapshot;
+    m.arrival = t + planner_->checkpoint().outage(gpus);
+    const auto it = lineage_[d.source].find(d.job);
+    m.migrations = (it != lineage_[d.source].end() ? it->second.migrations : 0) + 1;
+    if (it != lineage_[d.source].end()) lineage_[d.source].erase(it);
+    in_flight_.push_back(std::move(m));
+
+    ++migrated_out_[d.source];
+    ++migration_.started;
+    migration_.gpu_hours_moved += snapshot.work_remaining_gpu_seconds / 3600.0;
+    migration_.predicted_saving += d.predicted_saving;
+  }
+}
+
 void FleetCoordinator::run_until(util::TimePoint end) {
   while (clock_ < end) {
     const util::TimePoint t = clock_;
     const util::TimePoint next = std::min(t + config_.step, end);
     std::vector<RegionView> views = all_views();
-    // Every step's grid signals reach the router, not just steps with
-    // arrivals — forecast-driven policies need the gap-free stream.
+    // Every step's grid signals reach the router and the migration planner,
+    // not just steps with arrivals — forecast-driven policies need the
+    // gap-free stream.
     router_->observe(t, views);
-    route_arrivals(t, next - t, std::move(views));  // sample only the window advanced
+    if (planner_) {
+      planner_->observe(t, views);
+      deliver_migrations(t, views);
+    }
+    route_arrivals(t, next - t, views);  // sample only the window advanced
+    if (planner_) plan_migrations(t, views);
     for (const auto& dc : regions_) dc->run_until(next);
     clock_ = next;
   }
@@ -153,10 +272,15 @@ telemetry::FleetRunSummary FleetCoordinator::summary() const {
     r.name = profiles_[i].name;
     r.total_gpus = regions_[i]->cluster_state().total_gpus();
     r.jobs_routed = jobs_routed_[i];
+    r.jobs_migrated_in = migrated_in_[i];
+    r.jobs_migrated_out = migrated_out_[i];
+    r.transfer = transfer_by_region_[i];
     r.run = regions_[i]->summary();
     regions.push_back(std::move(r));
   }
-  return telemetry::aggregate_fleet(std::move(regions), transfer_);
+  telemetry::MigrationStats migration = migration_;
+  migration.in_flight = in_flight_.size();
+  return telemetry::aggregate_fleet(std::move(regions), std::move(migration));
 }
 
 std::unique_ptr<FleetCoordinator> make_reference_fleet_coordinator(const std::string& router_name,

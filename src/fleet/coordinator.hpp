@@ -7,16 +7,30 @@
 // lockstep on a shared simulation clock. One fleet-wide arrival process
 // samples the job stream; a RoutingPolicy places every job using a snapshot
 // of all regions' grid signals and queue pressure. Off-home placements pay a
-// configurable network-transfer energy penalty, metered in a separate
-// ledger so spatial shifting is never free by construction.
+// configurable network-transfer energy penalty, billed at the destination
+// region into that region's transfer ledger, so spatial shifting is never
+// free by construction.
+//
+// With a MigrationConfig enabled the coordinator also runs the mid-run
+// relocation loop: each step the migrate::MigrationPlanner scores running
+// jobs against every other region's forecast, the winners are checkpointed
+// (preempted at the source, progress preserved in GPU-seconds), their
+// snapshots occupy the fleet's transfer pipe for the checkpoint/ship/restore
+// outage, and on arrival the destination twin resumes the remaining work.
+// All checkpoint overhead energy is billed into the per-region transfer
+// ledgers, and the migration ledger in telemetry/ records what moved, what
+// it cost, and the planner's predicted saving vs. staying put.
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/datacenter.hpp"
 #include "fleet/region.hpp"
 #include "fleet/routing.hpp"
+#include "migrate/planner.hpp"
 #include "telemetry/fleet.hpp"
 #include "workload/arrivals.hpp"
 
@@ -36,8 +50,10 @@ struct FleetConfig {
   std::size_t home_region = 0;
   /// Network-transfer penalty: energy burned moving one job's input data to
   /// a non-home region. Charged at the destination's grid conditions into
-  /// the fleet's transfer ledger and visible to greedy routers.
+  /// that region's transfer ledger and visible to greedy routers.
   util::Energy transfer_energy_per_job = util::kilowatt_hours(0.0);
+  /// Mid-run checkpoint-and-migrate policy (objective kOff disables it).
+  migrate::MigrationConfig migration;
 };
 
 class FleetCoordinator {
@@ -62,29 +78,74 @@ class FleetCoordinator {
   [[nodiscard]] const RegionProfile& profile(std::size_t i) const { return profiles_.at(i); }
   [[nodiscard]] const RoutingPolicy& router() const { return *router_; }
   [[nodiscard]] const std::vector<std::size_t>& jobs_routed() const { return jobs_routed_; }
-  [[nodiscard]] const grid::EnergyLedger& transfer_ledger() const { return transfer_; }
+
+  /// Fleet-wide transfer ledger: the sum of the per-region ledgers.
+  [[nodiscard]] grid::EnergyLedger transfer_ledger() const;
+  /// Network/checkpoint energy billed at one region (admission transfers at
+  /// the destination; migration snapshot at the source, delivery at the
+  /// destination).
+  [[nodiscard]] const grid::EnergyLedger& region_transfer(std::size_t i) const {
+    return transfer_by_region_.at(i);
+  }
+
+  /// The migration planner, when enabled (nullptr otherwise).
+  [[nodiscard]] const migrate::MigrationPlanner* planner() const { return planner_.get(); }
+  /// Mid-run relocation ledger so far (policy "off" when disabled).
+  [[nodiscard]] const telemetry::MigrationStats& migration_stats() const { return migration_; }
+  /// Checkpoints currently occupying the transfer pipe.
+  [[nodiscard]] std::size_t migrations_in_flight() const { return in_flight_.size(); }
 
   /// The routing snapshot of one region at the current clock (exposed for
   /// tests and analysis tools).
   [[nodiscard]] RegionView view_of(std::size_t i) const;
 
-  /// Per-region roll-up plus fleet aggregate and transfer ledger.
+  /// Per-region roll-up plus fleet aggregate, transfer, and migration
+  /// ledgers.
   [[nodiscard]] telemetry::FleetRunSummary summary() const;
 
  private:
+  /// One checkpoint in the transfer pipe.
+  struct InFlightMigration {
+    std::size_t source = 0;
+    std::size_t dest = 0;
+    core::Datacenter::PreemptedJob snapshot;
+    util::TimePoint arrival;  ///< when the restore completes at dest
+    int migrations = 0;       ///< lineage count after this move
+  };
+  /// Per-lineage thrash bookkeeping (only jobs that have moved are tracked).
+  struct Lineage {
+    int migrations = 0;
+    util::TimePoint last;
+  };
+
   [[nodiscard]] std::vector<RegionView> all_views() const;
-  void route_arrivals(util::TimePoint t, util::Duration window, std::vector<RegionView> views);
+  void route_arrivals(util::TimePoint t, util::Duration window, std::vector<RegionView>& views);
+  /// Bills `energy` into region `i`'s transfer ledger at its current
+  /// local-time grid conditions; returns the billed increment.
+  grid::EnergyLedger charge_transfer(std::size_t i, util::Energy energy, util::TimePoint t);
+  /// Restores checkpoints whose transfer completed by `t` at their
+  /// destination (keeps `views` honest about the new queue pressure).
+  void deliver_migrations(util::TimePoint t, std::vector<RegionView>& views);
+  /// Runs the planner over all running jobs and launches the winning
+  /// checkpoints into the transfer pipe.
+  void plan_migrations(util::TimePoint t, std::vector<RegionView>& views);
 
   FleetConfig config_;
   std::vector<RegionProfile> profiles_;
   std::vector<std::unique_ptr<core::Datacenter>> regions_;
   std::unique_ptr<RoutingPolicy> router_;
+  std::unique_ptr<migrate::MigrationPlanner> planner_;  ///< null when off
   std::unique_ptr<workload::DemandModulator> modulator_;
   std::unique_ptr<workload::ArrivalProcess> arrivals_;
   util::Rng rng_;
   util::TimePoint clock_;
   std::vector<std::size_t> jobs_routed_;
-  grid::EnergyLedger transfer_;
+  std::vector<grid::EnergyLedger> transfer_by_region_;
+  std::deque<InFlightMigration> in_flight_;
+  std::vector<std::unordered_map<cluster::JobId, Lineage>> lineage_;  ///< by region
+  std::vector<std::size_t> migrated_in_;
+  std::vector<std::size_t> migrated_out_;
+  telemetry::MigrationStats migration_;
 };
 
 /// The standard fleet experiment: the make_reference_fleet() regions under

@@ -1,7 +1,5 @@
 #include "fleet/forecast_router.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "util/error.hpp"
@@ -11,10 +9,7 @@ namespace greenhpc::fleet {
 using util::require;
 
 ForecastRouter::ForecastRouter(Objective objective, ForecastRouterConfig config)
-    : objective_(objective), config_(std::move(config)) {
-  // Surface config mistakes at construction, not at the first observe():
-  // building a throwaway forecaster runs the full validation.
-  (void)forecast::RollingForecaster(config_.forecaster);
+    : objective_(objective), config_(std::move(config)), bank_(config_.forecaster) {
   require(config_.override_margin >= 0.0 && config_.override_margin < 1.0,
           "ForecastRouter: override margin must be in [0,1)");
 }
@@ -25,30 +20,16 @@ double ForecastRouter::signal_of(const RegionView& region) const {
 }
 
 void ForecastRouter::observe(util::TimePoint now, std::span<const RegionView> regions) {
-  while (forecasters_.size() < regions.size()) {
-    forecasters_.emplace_back(config_.forecaster);
-    region_names_.emplace_back();
-  }
   for (const RegionView& r : regions) {
     // RollingForecaster ignores repeated timestamps, so observing here and
     // again at route() time within the same step never double-counts.
-    forecasters_[r.index].observe(now, signal_of(r));
-    region_names_[r.index] = r.name;
+    bank_.observe(now, r.index, signal_of(r), r.name);
   }
 }
 
 double ForecastRouter::integrated_signal(std::size_t index, util::Duration runtime,
                                          double instantaneous) const {
-  if (index >= forecasters_.size()) return instantaneous;
-  const forecast::RollingForecaster& fc = forecasters_[index];
-  if (!fc.reliable()) return instantaneous;
-  const auto steps = static_cast<std::size_t>(
-      std::clamp<double>(std::ceil(runtime / fc.cadence()), 1.0,
-                         static_cast<double>(fc.horizon_steps())));
-  const std::vector<double> predicted = fc.predict(steps);
-  double total = 0.0;
-  for (double v : predicted) total += v;
-  return total / static_cast<double>(predicted.size());
+  return bank_.integrated_signal(index, runtime, instantaneous);
 }
 
 std::size_t ForecastRouter::route(const cluster::JobRequest& request, const RoutingContext& ctx) {
@@ -114,15 +95,6 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
   return best;
 }
 
-std::vector<forecast::SkillReport> ForecastRouter::skills() const {
-  std::vector<forecast::SkillReport> out;
-  out.reserve(forecasters_.size());
-  for (std::size_t i = 0; i < forecasters_.size(); ++i) {
-    out.push_back(forecasters_[i].skill(region_names_[i].empty()
-                                            ? "region" + std::to_string(i)
-                                            : region_names_[i]));
-  }
-  return out;
-}
+std::vector<forecast::SkillReport> ForecastRouter::skills() const { return bank_.skills(); }
 
 }  // namespace greenhpc::fleet

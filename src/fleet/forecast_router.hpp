@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "fleet/routing.hpp"
-#include "forecast/rolling.hpp"
+#include "forecast/bank.hpp"
 
 namespace greenhpc::fleet {
 
@@ -68,8 +68,7 @@ class ForecastRouter final : public RoutingPolicy {
 
   Objective objective_;
   ForecastRouterConfig config_;
-  std::vector<forecast::RollingForecaster> forecasters_;  ///< by region index
-  std::vector<std::string> region_names_;                 ///< for skill reports
+  forecast::ForecasterBank bank_;  ///< one forecaster per region
 };
 
 }  // namespace greenhpc::fleet

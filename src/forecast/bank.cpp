@@ -1,0 +1,46 @@
+#include "forecast/bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greenhpc::forecast {
+
+ForecasterBank::ForecasterBank(RollingForecasterConfig config) : config_(std::move(config)) {
+  (void)RollingForecaster(config_);  // surface config mistakes now
+}
+
+void ForecasterBank::observe(util::TimePoint now, std::size_t index, double value,
+                             std::string_view name) {
+  while (forecasters_.size() <= index) {
+    forecasters_.emplace_back(config_);
+    names_.emplace_back();
+  }
+  forecasters_[index].observe(now, value);
+  if (!name.empty()) names_[index] = name;
+}
+
+double ForecasterBank::integrated_signal(std::size_t index, util::Duration runtime,
+                                         double instantaneous) const {
+  if (index >= forecasters_.size()) return instantaneous;
+  const RollingForecaster& fc = forecasters_[index];
+  if (!fc.reliable()) return instantaneous;
+  const auto steps = static_cast<std::size_t>(
+      std::clamp<double>(std::ceil(runtime / fc.cadence()), 1.0,
+                         static_cast<double>(fc.horizon_steps())));
+  const std::vector<double> predicted = fc.predict(steps);
+  double total = 0.0;
+  for (double v : predicted) total += v;
+  return total / static_cast<double>(predicted.size());
+}
+
+std::vector<SkillReport> ForecasterBank::skills() const {
+  std::vector<SkillReport> out;
+  out.reserve(forecasters_.size());
+  for (std::size_t i = 0; i < forecasters_.size(); ++i) {
+    out.push_back(forecasters_[i].skill(names_[i].empty() ? "region" + std::to_string(i)
+                                                          : names_[i]));
+  }
+  return out;
+}
+
+}  // namespace greenhpc::forecast

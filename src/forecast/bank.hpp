@@ -1,0 +1,53 @@
+#pragma once
+// ForecasterBank: one RollingForecaster per signal source, grown on demand.
+//
+// Both decision layers that forecast per-region grid signals — the fleet's
+// forecast routers and the migration planner — need the same machinery: a
+// bank of forecasters indexed by region, fed one observation per control
+// step, queried for the mean predicted signal over a job's runtime window,
+// and reporting realized skill per region. This class is that machinery,
+// extracted so the two consumers cannot drift apart in how they score the
+// same forecast (and so a third consumer never copies it again). It is
+// signal-agnostic: callers pass the index and the value; nothing here knows
+// what a region is.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "forecast/rolling.hpp"
+
+namespace greenhpc::forecast {
+
+class ForecasterBank {
+ public:
+  ForecasterBank() : ForecasterBank(RollingForecasterConfig{}) {}
+  /// Validates the config eagerly (a throwaway forecaster is constructed),
+  /// so a bad model name fails at construction, not at the first observe.
+  explicit ForecasterBank(RollingForecasterConfig config);
+
+  [[nodiscard]] const RollingForecasterConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t size() const { return forecasters_.size(); }
+
+  /// Feeds one observation for source `index` (the bank grows to fit).
+  /// Repeated timestamps are deduplicated by the underlying forecaster, so
+  /// several consumers may observe the same control step.
+  void observe(util::TimePoint now, std::size_t index, double value, std::string_view name);
+
+  /// Mean predicted signal over the next `runtime` for source `index`;
+  /// falls back to `instantaneous` while that source is unknown, unfitted,
+  /// or has tripped its realized-MAPE reliability gate.
+  [[nodiscard]] double integrated_signal(std::size_t index, util::Duration runtime,
+                                         double instantaneous) const;
+
+  /// Realized skill per source observed so far, in index order. Sources
+  /// that never reported a name fall back to "region<index>".
+  [[nodiscard]] std::vector<SkillReport> skills() const;
+
+ private:
+  RollingForecasterConfig config_;
+  std::vector<RollingForecaster> forecasters_;  ///< by source index
+  std::vector<std::string> names_;              ///< for skill reports
+};
+
+}  // namespace greenhpc::forecast

@@ -1,0 +1,52 @@
+#include "migrate/checkpoint.hpp"
+
+#include "util/error.hpp"
+
+namespace greenhpc::migrate {
+
+using util::require;
+
+CheckpointModel::CheckpointModel(CheckpointConfig config) : config_(config) {
+  require(config_.gb_per_gpu > 0.0, "CheckpointModel: gb_per_gpu must be positive");
+  require(config_.snapshot_gb_per_s > 0.0, "CheckpointModel: snapshot bandwidth must be positive");
+  require(config_.ship_gb_per_s > 0.0, "CheckpointModel: ship bandwidth must be positive");
+  require(config_.restore_gb_per_s > 0.0, "CheckpointModel: restore bandwidth must be positive");
+  require(config_.energy_kwh_per_gb >= 0.0, "CheckpointModel: energy per GB must be >= 0");
+  require(config_.cost_scale > 0.0, "CheckpointModel: cost scale must be positive");
+}
+
+double CheckpointModel::size_gb(int gpus) const {
+  require(gpus >= 1, "CheckpointModel: gpus must be >= 1");
+  return config_.gb_per_gpu * static_cast<double>(gpus) * config_.cost_scale;
+}
+
+util::Duration CheckpointModel::snapshot_time(int gpus) const {
+  return util::seconds(size_gb(gpus) / config_.snapshot_gb_per_s);
+}
+
+util::Duration CheckpointModel::ship_time(int gpus) const {
+  return util::seconds(size_gb(gpus) / config_.ship_gb_per_s);
+}
+
+util::Duration CheckpointModel::restore_time(int gpus) const {
+  return util::seconds(size_gb(gpus) / config_.restore_gb_per_s);
+}
+
+util::Duration CheckpointModel::outage(int gpus) const {
+  return snapshot_time(gpus) + ship_time(gpus) + restore_time(gpus);
+}
+
+util::Energy CheckpointModel::snapshot_energy(int gpus) const {
+  return util::kilowatt_hours(size_gb(gpus) * config_.energy_kwh_per_gb);
+}
+
+util::Energy CheckpointModel::delivery_energy(int gpus) const {
+  // Ship and restore each touch every byte once.
+  return util::kilowatt_hours(2.0 * size_gb(gpus) * config_.energy_kwh_per_gb);
+}
+
+util::Energy CheckpointModel::total_energy(int gpus) const {
+  return snapshot_energy(gpus) + delivery_energy(gpus);
+}
+
+}  // namespace greenhpc::migrate

@@ -1,0 +1,66 @@
+#pragma once
+// CheckpointModel: what it costs to suspend, ship, and resume a running job.
+//
+// The paper's relocation lever ("run A.I. workloads where the power is
+// green") is only honest when moving a job is not free: a training run
+// carries model + optimizer state that must be snapshotted to storage,
+// shipped over the WAN, and restored on the destination's GPUs. This model
+// prices that pipeline. Checkpoint size grows with the job's GPU footprint
+// (distributed training shards state across ranks, so aggregate state scales
+// with the allocation); each stage has a bandwidth (wall-clock cost — the
+// job makes no progress during the outage) and an energy toll per gigabyte
+// moved (storage I/O plus network transceivers). The MigrationPlanner
+// subtracts these overheads from any forecast advantage, so a move must pay
+// for its own checkpoint before it counts as green.
+
+#include "cluster/job.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::migrate {
+
+struct CheckpointConfig {
+  /// Aggregate model + optimizer state per allocated GPU (V100-class runs
+  /// checkpoint roughly their HBM footprint).
+  double gb_per_gpu = 12.0;
+  /// Stage bandwidths, GB/s: parallel snapshot to local storage, WAN ship to
+  /// the destination, parallel restore from the destination's storage.
+  double snapshot_gb_per_s = 2.0;
+  double ship_gb_per_s = 1.25;  ///< ~10 Gb/s inter-site pipe
+  double restore_gb_per_s = 4.0;
+  /// Energy toll per gigabyte per stage (storage I/O + network transceivers).
+  double energy_kwh_per_gb = 0.005;
+  /// One-knob scale on the checkpoint size (the CLI's --checkpoint-cost):
+  /// 0.5 halves every time and energy cost, 4.0 models a fatter job.
+  double cost_scale = 1.0;
+};
+
+class CheckpointModel {
+ public:
+  CheckpointModel() : CheckpointModel(CheckpointConfig{}) {}
+  explicit CheckpointModel(CheckpointConfig config);
+
+  [[nodiscard]] const CheckpointConfig& config() const { return config_; }
+
+  /// Scaled state size for a job holding `gpus` GPUs.
+  [[nodiscard]] double size_gb(int gpus) const;
+
+  // --- wall-clock costs (the job runs nowhere during these) ----------------
+  [[nodiscard]] util::Duration snapshot_time(int gpus) const;
+  [[nodiscard]] util::Duration ship_time(int gpus) const;
+  [[nodiscard]] util::Duration restore_time(int gpus) const;
+  /// Full outage: snapshot + ship + restore, end to end.
+  [[nodiscard]] util::Duration outage(int gpus) const;
+
+  // --- energy costs (billed into the fleet's transfer ledgers) -------------
+  /// Snapshot stage, burned at the *source* site.
+  [[nodiscard]] util::Energy snapshot_energy(int gpus) const;
+  /// Ship + restore stages, burned at the *destination* site.
+  [[nodiscard]] util::Energy delivery_energy(int gpus) const;
+  /// All three stages together (what the planner charges against a move).
+  [[nodiscard]] util::Energy total_energy(int gpus) const;
+
+ private:
+  CheckpointConfig config_;
+};
+
+}  // namespace greenhpc::migrate

@@ -1,0 +1,172 @@
+#include "migrate/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace greenhpc::migrate {
+
+using util::require;
+
+const char* migration_objective_name(MigrationObjective o) {
+  switch (o) {
+    case MigrationObjective::kOff: return "off";
+    case MigrationObjective::kCarbon: return "carbon";
+    case MigrationObjective::kCost: return "cost";
+  }
+  return "unknown";
+}
+
+std::optional<MigrationObjective> migration_objective_from_name(const std::string& name) {
+  if (name == "off") return MigrationObjective::kOff;
+  if (name == "carbon") return MigrationObjective::kCarbon;
+  if (name == "cost") return MigrationObjective::kCost;
+  return std::nullopt;
+}
+
+const char* migration_policy_names() { return "carbon | cost | off"; }
+
+MigrationPlanner::MigrationPlanner(MigrationConfig config)
+    : config_(std::move(config)),
+      checkpoint_(config_.checkpoint),
+      bank_(config_.forecaster) {
+  require(config_.hysteresis >= 0.0 && config_.hysteresis < 1.0,
+          "MigrationPlanner: hysteresis must be in [0,1)");
+  require(config_.budget_per_job >= 0, "MigrationPlanner: budget must be >= 0");
+  require(config_.cooldown.seconds() >= 0.0, "MigrationPlanner: cooldown must be >= 0");
+  require(config_.min_remaining.seconds() >= 0.0,
+          "MigrationPlanner: min_remaining must be >= 0");
+  require(config_.max_in_flight >= 1, "MigrationPlanner: transfer pipe needs >= 1 slot");
+  require(config_.deadline_margin > 0.0 && config_.deadline_margin <= 1.0,
+          "MigrationPlanner: deadline margin must be in (0,1]");
+}
+
+double MigrationPlanner::signal_of(const fleet::RegionView& region) const {
+  return config_.objective == MigrationObjective::kCost ? region.price.usd_per_mwh()
+                                                        : region.carbon.kg_per_kwh();
+}
+
+double MigrationPlanner::per_signal(util::Energy energy) const {
+  return config_.objective == MigrationObjective::kCost ? energy.megawatt_hours()
+                                                        : energy.kilowatt_hours();
+}
+
+void MigrationPlanner::observe(util::TimePoint now, std::span<const fleet::RegionView> regions) {
+  for (const fleet::RegionView& r : regions) bank_.observe(now, r.index, signal_of(r), r.name);
+}
+
+double MigrationPlanner::integrated_signal(std::size_t index, util::Duration runtime,
+                                           double instantaneous) const {
+  return bank_.integrated_signal(index, runtime, instantaneous);
+}
+
+std::vector<MigrationDecision> MigrationPlanner::plan(
+    util::TimePoint now, std::span<const fleet::RegionView> regions,
+    std::span<const MigrationCandidate> candidates, std::size_t available_slots,
+    std::span<const int> inbound_gpus) {
+  std::vector<MigrationDecision> decisions;
+  if (!enabled() || available_slots == 0 || regions.size() < 2) return decisions;
+  const auto inbound = [&](std::size_t region) {
+    return region < inbound_gpus.size() ? inbound_gpus[region] : 0;
+  };
+
+  // Score every candidate's best destination first, then commit the strongest
+  // savings while reserving destination capacity so picks never conflict.
+  struct Scored {
+    MigrationDecision decision;
+    int gpus = 0;
+  };
+  std::vector<Scored> scored;
+
+  for (const MigrationCandidate& c : candidates) {
+    if (c.migrations_so_far >= config_.budget_per_job) continue;
+    if (c.migrations_so_far > 0 && now - c.last_migration < config_.cooldown) continue;
+    require(c.gpus >= 1, "MigrationPlanner: candidate with no GPUs");
+    require(c.region < regions.size(), "MigrationPlanner: candidate region out of range");
+
+    const util::Duration remaining =
+        util::seconds(c.work_remaining_gpu_seconds / static_cast<double>(c.gpus));
+    if (remaining < config_.min_remaining) continue;
+
+    const util::Duration outage = checkpoint_.outage(c.gpus);
+    if (c.deadline) {
+      // The move only happens when the outage plus the remaining runtime
+      // still fits the deadline with margin to spare for queueing/throttle.
+      const util::Duration slack = *c.deadline - now;
+      if ((outage + remaining).seconds() > slack.seconds() * config_.deadline_margin) continue;
+    }
+
+    const fleet::RegionView& src = regions[c.region];
+    const util::Energy run_energy_src =
+        src.busy_gpu_power * util::seconds(c.work_remaining_gpu_seconds);
+    const double stay =
+        per_signal(run_energy_src) * integrated_signal(c.region, remaining, signal_of(src));
+    if (stay <= 0.0) continue;
+
+    // Checkpoint overheads are billed at today's conditions: the snapshot
+    // burns at the source now, ship+restore at the destination on arrival.
+    const double snapshot_cost =
+        per_signal(checkpoint_.snapshot_energy(c.gpus)) * signal_of(src);
+
+    MigrationDecision best;
+    double best_move = std::numeric_limits<double>::infinity();
+    for (const fleet::RegionView& d : regions) {
+      // Capacity net of the destination's backlog *and* of checkpoints
+      // already in flight there: free GPUs a queued job or an inbound
+      // snapshot has dibs on are not capacity — landing behind them would
+      // trade grid intensity for queueing delay and lost throughput.
+      if (d.index == c.region ||
+          d.free_gpus - d.queued_gpu_demand - inbound(d.index) < c.gpus) {
+        continue;
+      }
+      const util::Energy run_energy_dst =
+          d.busy_gpu_power * util::seconds(c.work_remaining_gpu_seconds);
+      const double move =
+          per_signal(run_energy_dst) * integrated_signal(d.index, remaining, signal_of(d)) +
+          snapshot_cost + per_signal(checkpoint_.delivery_energy(c.gpus)) * signal_of(d);
+      if (move < best_move) {
+        best_move = move;
+        best.dest = d.index;
+      }
+    }
+    if (!std::isfinite(best_move)) continue;
+
+    const double saving = stay - best_move;
+    if (saving < config_.hysteresis * stay) continue;  // not decisive enough
+
+    best.source = c.region;
+    best.job = c.job;
+    best.predicted_saving = saving;
+    best.relative_saving = saving / stay;
+    scored.push_back({best, c.gpus});
+  }
+
+  // Strongest savings first; deterministic tie-break on (source, job id).
+  std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.decision.predicted_saving != b.decision.predicted_saving) {
+      return a.decision.predicted_saving > b.decision.predicted_saving;
+    }
+    if (a.decision.source != b.decision.source) return a.decision.source < b.decision.source;
+    return a.decision.job < b.decision.job;
+  });
+
+  // Commit while destination capacity and pipe slots hold out (same
+  // net-of-backlog-and-inbound capacity the scoring pass used).
+  std::vector<int> free_gpus(regions.size(), 0);
+  for (const fleet::RegionView& r : regions) {
+    free_gpus[r.index] = r.free_gpus - r.queued_gpu_demand - inbound(r.index);
+  }
+  for (const Scored& s : scored) {
+    if (decisions.size() >= available_slots) break;
+    if (free_gpus[s.decision.dest] < s.gpus) continue;  // a stronger move took the room
+    free_gpus[s.decision.dest] -= s.gpus;
+    decisions.push_back(s.decision);
+  }
+  return decisions;
+}
+
+std::vector<forecast::SkillReport> MigrationPlanner::skills() const { return bank_.skills(); }
+
+}  // namespace greenhpc::migrate

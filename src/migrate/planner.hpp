@@ -1,0 +1,137 @@
+#pragma once
+// MigrationPlanner: mid-run relocation decisions that follow green power.
+//
+// Admission-time routing pins a job to the region that looked best when it
+// arrived — but a multi-hour training run lives through many turns of every
+// region's wind and price cycle, and the paper's relocation lever (Zhao et
+// al., Sec. II) is only fully pulled when running jobs can *keep chasing*
+// the cleanest grid. Each fleet control step the planner scores every
+// (running job, destination) pair: the forecast-integrated carbon (or cost)
+// of finishing the job where it is, versus checkpointing it, shipping the
+// snapshot, and finishing on the destination's grid — checkpoint and
+// transfer overheads charged against the move. A move must clear a
+// hysteresis margin of the stay-put footprint, each job has a migration
+// budget and a cooldown so the fleet never thrashes, and deadline jobs only
+// move when the outage plus remaining runtime still fits their deadline.
+// Per-region forecasters (the same RollingForecaster stack the routers use)
+// integrate the signal over the job's remaining runtime; unreliable
+// forecasts degrade region-by-region to the instantaneous signal.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "fleet/routing.hpp"
+#include "forecast/bank.hpp"
+#include "migrate/checkpoint.hpp"
+
+namespace greenhpc::migrate {
+
+/// What a migration minimizes: the remaining run's carbon or its cost.
+/// kOff disables the planner entirely.
+enum class MigrationObjective : std::uint8_t { kOff = 0, kCarbon, kCost };
+
+[[nodiscard]] const char* migration_objective_name(MigrationObjective o);
+/// Inverse of migration_objective_name for CLI/scenario surfaces ("off" |
+/// "carbon" | "cost"); nullopt for unknown names.
+[[nodiscard]] std::optional<MigrationObjective> migration_objective_from_name(
+    const std::string& name);
+/// All names migration_objective_from_name accepts, for --help text.
+[[nodiscard]] const char* migration_policy_names();
+
+struct MigrationConfig {
+  MigrationObjective objective = MigrationObjective::kOff;
+  CheckpointConfig checkpoint;
+  /// Per-region signal forecaster (same defaults as the forecast routers).
+  forecast::RollingForecasterConfig forecaster;
+  /// A move must save at least this fraction of the stay-put footprint
+  /// (after checkpoint overheads) — small drifts are forecast noise, and
+  /// re-migrating on them is how fleets thrash.
+  double hysteresis = 0.15;
+  /// Lifetime migration budget per job lineage (a job that already moved
+  /// this many times is pinned for good).
+  int budget_per_job = 2;
+  /// Minimum time between migrations of the same lineage.
+  util::Duration cooldown = util::hours(6);
+  /// Jobs with less remaining runtime than this are not worth moving.
+  util::Duration min_remaining = util::hours(2);
+  /// Transfer-pipe width: checkpoints in flight at once, fleet-wide.
+  std::size_t max_in_flight = 4;
+  /// Deadline safety factor: the outage + remaining runtime must fit inside
+  /// (deadline - now) * this fraction.
+  double deadline_margin = 0.9;
+};
+
+/// One running job offered to the planner (assembled by the coordinator).
+struct MigrationCandidate {
+  std::size_t region = 0;  ///< where the job is running now
+  cluster::JobId job = 0;
+  int gpus = 0;
+  double work_remaining_gpu_seconds = 0.0;
+  std::optional<util::TimePoint> deadline;
+  int migrations_so_far = 0;
+  /// When this lineage last migrated (ignored while migrations_so_far == 0).
+  util::TimePoint last_migration;
+};
+
+/// One planned move, strongest predicted saving first.
+struct MigrationDecision {
+  std::size_t source = 0;
+  std::size_t dest = 0;
+  cluster::JobId job = 0;
+  /// Stay-put minus move footprint over the remaining runtime, in the
+  /// objective's unit (kg CO2 or $), checkpoint overhead already deducted.
+  double predicted_saving = 0.0;
+  /// predicted_saving / stay-put footprint (the hysteresis test value).
+  double relative_saving = 0.0;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(MigrationConfig config = {});
+
+  [[nodiscard]] const MigrationConfig& config() const { return config_; }
+  [[nodiscard]] const CheckpointModel& checkpoint() const { return checkpoint_; }
+  [[nodiscard]] bool enabled() const {
+    return config_.objective != MigrationObjective::kOff;
+  }
+
+  /// Feed every control step's region signals (same cadence contract as
+  /// RoutingPolicy::observe; repeated timestamps are deduplicated).
+  void observe(util::TimePoint now, std::span<const fleet::RegionView> regions);
+
+  /// Scores all candidates against all destinations and returns up to
+  /// `available_slots` non-conflicting moves (destination capacity is
+  /// reserved move-by-move), ordered by predicted saving. `inbound_gpus`
+  /// (when provided, indexed by region) counts GPUs already claimed by
+  /// checkpoints in flight to each region, so a multi-step outage cannot
+  /// over-commit a destination across planning rounds. Deterministic: ties
+  /// break toward lower (source, job) and the scan order is fixed.
+  [[nodiscard]] std::vector<MigrationDecision> plan(
+      util::TimePoint now, std::span<const fleet::RegionView> regions,
+      std::span<const MigrationCandidate> candidates, std::size_t available_slots,
+      std::span<const int> inbound_gpus = {});
+
+  /// Forecast-integrated mean signal (kg/kWh or $/MWh) for a job running
+  /// `runtime` at region `index`; falls back to `instantaneous` while that
+  /// region's forecast is missing or unreliable. Exposed for tests.
+  [[nodiscard]] double integrated_signal(std::size_t index, util::Duration runtime,
+                                         double instantaneous) const;
+
+  /// Realized per-region forecast skill for telemetry surfaces.
+  [[nodiscard]] std::vector<forecast::SkillReport> skills() const;
+
+ private:
+  [[nodiscard]] double signal_of(const fleet::RegionView& region) const;
+  /// Job energy in the objective's signal denominator (kWh for carbon,
+  /// MWh for cost).
+  [[nodiscard]] double per_signal(util::Energy energy) const;
+
+  MigrationConfig config_;
+  CheckpointModel checkpoint_;
+  forecast::ForecasterBank bank_;  ///< one forecaster per region
+};
+
+}  // namespace greenhpc::migrate

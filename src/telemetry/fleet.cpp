@@ -11,9 +11,10 @@ grid::EnergyLedger FleetRunSummary::footprint() const {
 }
 
 FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
-                                grid::EnergyLedger transfer) {
+                                MigrationStats migration) {
   FleetRunSummary fleet;
-  fleet.transfer = transfer;
+  fleet.migration = std::move(migration);
+  for (const RegionRunSummary& r : regions) fleet.transfer += r.transfer;
 
   core::RunSummary& t = fleet.total;
   double gpu_weight = 0.0, util_sum = 0.0;
@@ -23,6 +24,7 @@ FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
     t.jobs_submitted += r.run.jobs_submitted;
     t.jobs_completed += r.run.jobs_completed;
     t.jobs_pending += r.run.jobs_pending;
+    t.jobs_migrated += r.run.jobs_migrated;
     t.completed_gpu_hours += r.run.completed_gpu_hours;
     t.throttle_hours += r.run.throttle_hours;
     t.grid_totals += r.run.grid_totals;
@@ -47,13 +49,15 @@ FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
 }
 
 util::Table fleet_region_table(const FleetRunSummary& summary) {
-  util::Table table({"region", "gpus", "jobs_routed", "jobs_done", "gpu_hours", "util_pct",
-                     "energy_mwh", "cost_usd", "co2_t", "wait_h"});
+  util::Table table({"region", "gpus", "jobs_routed", "mig_in", "mig_out", "jobs_done",
+                     "gpu_hours", "util_pct", "energy_mwh", "xfer_mwh", "cost_usd", "co2_t",
+                     "wait_h"});
   for (const RegionRunSummary& r : summary.regions) {
-    table.add(r.name, r.total_gpus, r.jobs_routed, r.run.jobs_completed,
-              util::fmt_fixed(r.run.completed_gpu_hours, 0),
+    table.add(r.name, r.total_gpus, r.jobs_routed, r.jobs_migrated_in, r.jobs_migrated_out,
+              r.run.jobs_completed, util::fmt_fixed(r.run.completed_gpu_hours, 0),
               util::fmt_fixed(100.0 * r.run.mean_utilization, 1),
               util::fmt_fixed(r.run.grid_totals.energy.megawatt_hours(), 2),
+              util::fmt_fixed(r.transfer.energy.megawatt_hours(), 2),
               util::fmt_fixed(r.run.grid_totals.cost.dollars(), 0),
               util::fmt_fixed(r.run.grid_totals.carbon.metric_tons(), 2),
               util::fmt_fixed(r.run.mean_queue_wait_hours, 2));
@@ -68,6 +72,12 @@ util::Table fleet_total_table(const FleetRunSummary& summary) {
   table.add("jobs submitted", t.jobs_submitted);
   table.add("jobs completed", t.jobs_completed);
   table.add("jobs pending", t.jobs_pending);
+  if (t.jobs_migrated > 0) {
+    // Reconciles the count ledger: each migrated job is terminal at its
+    // source and re-submitted at its destination, so submissions exceed
+    // unique arrivals by exactly the delivered-checkpoint count.
+    table.add("jobs migrated (re-submitted at dest)", t.jobs_migrated);
+  }
   table.add("completed GPU-hours", util::fmt_fixed(t.completed_gpu_hours, 0));
   table.add("mean utilization %", util::fmt_fixed(100.0 * t.mean_utilization, 1));
   table.add("mean queue wait (h)", util::fmt_fixed(t.mean_queue_wait_hours, 2));

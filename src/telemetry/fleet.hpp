@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/datacenter.hpp"
+#include "telemetry/migration.hpp"
 #include "util/table.hpp"
 
 namespace greenhpc::telemetry {
@@ -19,8 +20,15 @@ namespace greenhpc::telemetry {
 /// One region's contribution to a fleet run.
 struct RegionRunSummary {
   std::string name;
-  int total_gpus = 0;          ///< capacity weight for utilization
-  std::size_t jobs_routed = 0; ///< jobs the router sent here
+  int total_gpus = 0;           ///< capacity weight for utilization
+  std::size_t jobs_routed = 0;  ///< jobs the router sent here
+  std::size_t jobs_migrated_in = 0;   ///< checkpoints restored here
+  std::size_t jobs_migrated_out = 0;  ///< checkpoints taken here
+  /// Network/checkpoint energy burned *at this region*: admission transfers
+  /// billed at the destination, plus migration snapshot (source) and
+  /// ship+restore (destination) overheads. Attribution invariant: the fleet
+  /// footprint equals the sum over regions of grid_totals + this ledger.
+  grid::EnergyLedger transfer;
   core::RunSummary run;
 };
 
@@ -30,15 +38,21 @@ struct FleetRunSummary {
   /// mean_pue energy-weighted, queue waits completion-weighted, and
   /// p95_queue_wait_hours the max across regions (conservative).
   core::RunSummary total;
-  /// Network-transfer penalty energy/cost/carbon for off-home routing.
+  /// Network-transfer + checkpoint penalty fleet-wide: the exact sum of the
+  /// per-region transfer ledgers.
   grid::EnergyLedger transfer;
+  /// Mid-run relocation ledger (policy "off" when migration is disabled).
+  MigrationStats migration;
   /// Grid totals plus the transfer penalty — the fleet's full footprint.
+  /// (migration.overhead is part of `transfer`; it is not added twice.)
   [[nodiscard]] grid::EnergyLedger footprint() const;
 };
 
-/// Rolls region summaries (and the transfer ledger) up into a fleet summary.
+/// Rolls region summaries up into a fleet summary; the fleet transfer ledger
+/// is the sum of the regions' ledgers, so per-region attribution and the
+/// fleet footprint can never drift apart.
 [[nodiscard]] FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
-                                              grid::EnergyLedger transfer = {});
+                                              MigrationStats migration = {});
 
 /// Per-region table: routed share, completions, energy, cost, carbon, wait.
 [[nodiscard]] util::Table fleet_region_table(const FleetRunSummary& summary);

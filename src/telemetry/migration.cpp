@@ -1,0 +1,21 @@
+#include "telemetry/migration.hpp"
+
+namespace greenhpc::telemetry {
+
+util::Table migration_table(const MigrationStats& stats) {
+  util::Table table({"metric", "value"});
+  table.add("migration policy", stats.policy);
+  table.add("checkpoints taken", stats.started);
+  table.add("checkpoints delivered", stats.delivered);
+  table.add("in flight at run end", stats.in_flight);
+  table.add("GPU-hours relocated", util::fmt_fixed(stats.gpu_hours_moved, 0));
+  table.add("overhead energy (kWh)", util::fmt_fixed(stats.overhead.energy.kilowatt_hours(), 1));
+  table.add("overhead cost ($)", util::fmt_fixed(stats.overhead.cost.dollars(), 2));
+  table.add("overhead CO2 (kg)", util::fmt_fixed(stats.overhead.carbon.kilograms(), 1));
+  table.add(stats.policy == "cost" ? "predicted saving ($, est)"
+                                   : "predicted saving (kg CO2, est)",
+            util::fmt_fixed(stats.predicted_saving, 1));
+  return table;
+}
+
+}  // namespace greenhpc::telemetry

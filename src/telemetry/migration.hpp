@@ -1,0 +1,37 @@
+#pragma once
+// Migration ledger: what mid-run relocation did, what it cost, what it saved.
+//
+// Every migration the fleet executes is metered here: how many checkpoints
+// moved, the GPU-hours of work they carried, the checkpoint/ship/restore
+// overhead energy (billed into the per-region transfer ledgers, so it is
+// already part of the fleet footprint — this struct keeps a copy for
+// attribution, it is not added again), and the planner's predicted saving
+// versus the stay-put counterfactual. The counterfactual is an estimate by
+// construction (the stay-put world was never run); the seed-paired
+// bench/fleet_migration comparison is the measured version of the same claim.
+
+#include <string>
+
+#include "grid/connection.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+struct MigrationStats {
+  std::string policy = "off";   ///< migrate::migration_objective_name
+  std::size_t started = 0;      ///< checkpoints taken (jobs preempted)
+  std::size_t delivered = 0;    ///< checkpoints restored at their destination
+  std::size_t in_flight = 0;    ///< still occupying the transfer pipe at run end
+  double gpu_hours_moved = 0.0; ///< remaining work relocated, in GPU-hours
+  /// Checkpoint + ship + restore overhead, priced/attributed at the regions
+  /// that burned it. Already included in the fleet transfer ledgers.
+  grid::EnergyLedger overhead;
+  /// Planner-predicted saving vs. stay-put over the moved jobs' remaining
+  /// runtimes, in the objective's unit (kg CO2 for carbon, $ for cost).
+  double predicted_saving = 0.0;
+};
+
+/// Two-column ledger table for CLI/example surfaces.
+[[nodiscard]] util::Table migration_table(const MigrationStats& stats);
+
+}  // namespace greenhpc::telemetry

@@ -81,6 +81,69 @@ TEST(JobTest, RequestValidation) {
   EXPECT_THROW(Job(1, bad, at(0.0)), std::invalid_argument);
 }
 
+// Malformed sweep configs must fail fast at submission with an error that
+// names the offending value — not corrupt ledgers three subsystems later.
+TEST(JobTest, SubmissionRejectsMalformedRequestsWithClearErrors) {
+  const auto message_of = [](const JobRequest& request, TimePoint now) -> std::string {
+    try {
+      validate_request(request, now);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  JobRequest bad = small_request(-3);
+  EXPECT_NE(message_of(bad, at(0.0)).find("gpus"), std::string::npos);
+  EXPECT_NE(message_of(bad, at(0.0)).find("-3"), std::string::npos);
+
+  bad = small_request();
+  bad.work_gpu_seconds = -60.0;
+  EXPECT_NE(message_of(bad, at(0.0)).find("work_gpu_seconds"), std::string::npos);
+
+  bad = small_request();
+  bad.estimate_factor = 0.0;
+  EXPECT_NE(message_of(bad, at(0.0)).find("estimate_factor"), std::string::npos);
+  bad.estimate_factor = -2.0;
+  EXPECT_NE(message_of(bad, at(0.0)).find("estimate_factor"), std::string::npos);
+
+  bad = small_request();
+  bad.deadline = at(50.0);  // before the submit time
+  EXPECT_NE(message_of(bad, at(100.0)).find("deadline"), std::string::npos);
+
+  // A clean request passes, and the registry enforces the same gate.
+  EXPECT_NO_THROW(validate_request(small_request(), at(0.0)));
+  JobRegistry registry;
+  EXPECT_THROW((void)registry.submit(small_request(0), at(0.0)), std::invalid_argument);
+  EXPECT_THROW(
+      [&] {
+        JobRequest late = small_request();
+        late.deadline = at(5.0);
+        (void)registry.submit(late, at(10.0));
+      }(),
+      std::invalid_argument);
+  EXPECT_EQ(registry.size(), 0u);  // nothing half-submitted survives
+  // Rejected submissions burned no ids and left no dangling index entries.
+  EXPECT_EQ(registry.submit(small_request(), at(0.0)), 1u);
+}
+
+// --- migration state --------------------------------------------------------------
+
+TEST(JobTest, MigrateOutIsTerminalAndRunningOnly) {
+  Job job(1, small_request(), at(0.0));
+  EXPECT_THROW(job.migrate_out(at(1.0)), std::invalid_argument);  // queued: no
+  job.start(at(1.0));
+  job.progress(3600.0, util::kilowatt_hours(1.0));
+  job.migrate_out(at(2.0));
+  EXPECT_EQ(job.state(), JobState::kMigrated);
+  EXPECT_STREQ(job_state_name(JobState::kMigrated), "migrated");
+  EXPECT_DOUBLE_EQ(job.work_done(), 3600.0);  // progress preserved
+  // Terminal: no further transitions.
+  EXPECT_THROW(job.migrate_out(at(3.0)), std::invalid_argument);
+  EXPECT_THROW(job.complete(at(3.0)), std::invalid_argument);
+  EXPECT_THROW(job.cancel(at(3.0)), std::invalid_argument);
+}
+
 TEST(JobTest, ClassAndStateNames) {
   EXPECT_STREQ(job_class_name(JobClass::kTraining), "training");
   EXPECT_STREQ(job_class_name(JobClass::kHyperparamSweep), "hp_sweep");

@@ -356,7 +356,7 @@ TEST(Coordinator, TransferLedgerMetersOffHomePlacements) {
   std::size_t off_home = 0;
   for (std::size_t i = 1; i < fleet->region_count(); ++i) off_home += fleet->jobs_routed()[i];
   ASSERT_GT(off_home, 0u);
-  const grid::EnergyLedger& transfer = fleet->transfer_ledger();
+  const grid::EnergyLedger transfer = fleet->transfer_ledger();
   EXPECT_NEAR(transfer.energy.kilowatt_hours(), 5.0 * static_cast<double>(off_home), 1e-6);
   EXPECT_GT(transfer.cost.dollars(), 0.0);
   EXPECT_GT(transfer.carbon.kilograms(), 0.0);
@@ -364,6 +364,17 @@ TEST(Coordinator, TransferLedgerMetersOffHomePlacements) {
   const telemetry::FleetRunSummary summary = fleet->summary();
   EXPECT_NEAR(summary.footprint().energy.joules(),
               (summary.total.grid_totals.energy + transfer.energy).joules(), 1.0);
+  // Attribution: every transfer was billed at its destination (off-home)
+  // region, never at the home region, and the per-region ledgers sum to the
+  // fleet ledger exactly.
+  EXPECT_DOUBLE_EQ(fleet->region_transfer(0).energy.joules(), 0.0);
+  grid::EnergyLedger per_region;
+  for (std::size_t i = 0; i < fleet->region_count(); ++i) {
+    per_region += fleet->region_transfer(i);
+  }
+  EXPECT_DOUBLE_EQ(per_region.energy.joules(), transfer.energy.joules());
+  EXPECT_DOUBLE_EQ(per_region.cost.dollars(), transfer.cost.dollars());
+  EXPECT_DOUBLE_EQ(per_region.carbon.kilograms(), transfer.carbon.kilograms());
 }
 
 TEST(Coordinator, ViewsReflectRegionState) {
@@ -426,7 +437,13 @@ TEST(FleetSummary, AggregatesSumsAndWeightedMeans) {
   b.run.p95_queue_wait_hours = 5.0;
   b.run.grid_totals.energy = util::kilowatt_hours(300.0);
 
+  // Per-region transfer ledgers roll up into the fleet transfer ledger.
+  a.transfer.energy = util::kilowatt_hours(10.0);
+  b.transfer.energy = util::kilowatt_hours(30.0);
+
   const telemetry::FleetRunSummary fleet = telemetry::aggregate_fleet({a, b});
+  EXPECT_DOUBLE_EQ(fleet.transfer.energy.kilowatt_hours(), 40.0);
+  EXPECT_DOUBLE_EQ(fleet.footprint().energy.kilowatt_hours(), 440.0);
   EXPECT_EQ(fleet.total.jobs_submitted, 20u);
   EXPECT_EQ(fleet.total.jobs_completed, 32u);
   EXPECT_DOUBLE_EQ(fleet.total.completed_gpu_hours, 200.0);

@@ -38,9 +38,11 @@
 #include "fleet/coordinator.hpp"
 #include "fleet/forecast_router.hpp"
 #include "forecast/rolling.hpp"
+#include "migrate/planner.hpp"
 #include "sched/forecast_carbon.hpp"
 #include "telemetry/experiment.hpp"
 #include "telemetry/fleet.hpp"
+#include "telemetry/migration.hpp"
 #include "telemetry/forecast.hpp"
 #include "telemetry/report.hpp"
 #include "util/table.hpp"
@@ -64,6 +66,10 @@ struct CliOptions {
   std::string router = "carbon_greedy";
   bool router_set = false;
   double transfer_kwh = 0.0;
+  // Mid-run checkpoint-and-migrate controls (fleet mode only).
+  std::string migration_policy = "off";
+  bool migration_set = false;
+  double checkpoint_cost = 1.0;
   // Forecast controls (forecast_carbon scheduler / *_forecast routers).
   std::string forecast_model = "climatology";
   int forecast_horizon_hours = 24;
@@ -99,6 +105,14 @@ void print_usage() {
       "                     (default carbon_greedy; fleet mode only)\n"
       "  --transfer KWH     network-transfer energy penalty per off-home job\n"
       "                     (fleet mode only, default 0)\n"
+      "  --migrate          enable mid-run checkpoint migration with the\n"
+      "                     carbon policy (fleet mode only)\n"
+      "  --migration-policy NAME\n"
+      "                     " << migrate::migration_policy_names() << " (default off);\n"
+      "                     running jobs are checkpointed and moved to the\n"
+      "                     region whose forecast minimizes the objective\n"
+      "  --checkpoint-cost X\n"
+      "                     scale on checkpoint size/time/energy (default 1)\n"
       "  --forecast-model NAME\n"
       "                     model behind the predictive policies:\n"
       "                     " << forecast::model_names() << " (default climatology)\n"
@@ -129,6 +143,12 @@ std::optional<CliOptions> parse(int argc, char** argv) {
     }
     if (arg == "--reports") {
       opts.reports = true;
+      continue;
+    }
+    if (arg == "--migrate") {
+      opts.run_flags_set = true;
+      if (opts.migration_policy == "off") opts.migration_policy = "carbon";
+      opts.migration_set = true;
       continue;
     }
     const auto value = next();
@@ -189,6 +209,19 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.run_flags_set = true;
         opts.transfer_kwh = std::stod(*value);
         if (opts.transfer_kwh < 0.0) throw std::invalid_argument("transfer");
+      } else if (arg == "--migration-policy") {
+        opts.run_flags_set = true;
+        if (!migrate::migration_objective_from_name(*value)) {
+          std::cerr << "error: unknown migration policy '" << *value << "' ("
+                    << migrate::migration_policy_names() << ")\n";
+          return std::nullopt;
+        }
+        opts.migration_policy = *value;
+        opts.migration_set = true;
+      } else if (arg == "--checkpoint-cost") {
+        opts.run_flags_set = true;
+        opts.checkpoint_cost = std::stod(*value);
+        if (opts.checkpoint_cost <= 0.0) throw std::invalid_argument("checkpoint-cost");
       } else if (arg == "--forecast-model") {
         opts.run_flags_set = true;
         if (!forecast::model_known(*value)) {
@@ -261,14 +294,18 @@ experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
     spec.region_count = static_cast<std::size_t>(opts.fleet_regions);
     spec.router = opts.router;
     spec.transfer_kwh_per_job = opts.transfer_kwh;
+    spec.migration_policy = opts.migration_policy;
+    spec.checkpoint_cost = opts.checkpoint_cost;
     if (opts.cap_w || opts.battery_kwh) {
       std::cerr << "note: --cap/--battery are single-site options; ignored in fleet mode\n";
     }
   } else {
     spec.power_cap_w = opts.cap_w;
     spec.battery_kwh = opts.battery_kwh;
-    if (opts.router_set || opts.transfer_kwh > 0.0) {
-      std::cerr << "note: --router/--transfer only apply with --fleet N; ignored\n";
+    if (opts.router_set || opts.transfer_kwh > 0.0 || opts.migration_set ||
+        opts.checkpoint_cost != 1.0) {
+      std::cerr << "note: --router/--transfer/--migrate/--checkpoint-cost only apply with "
+                   "--fleet N; ignored\n";
     }
   }
   return spec;
@@ -300,6 +337,7 @@ int run_experiment(const CliOptions& opts) {
     // --replicas, --jobs, and --csv apply.
     std::cerr << "note: --sweep/--scenario fix the scenario; the --scheduler/--start/"
                  "--months/--cap/--battery/--rate/--fleet/--router/--transfer/"
+                 "--migrate/--migration-policy/--checkpoint-cost/"
                  "--forecast-* flags are ignored\n";
   }
 
@@ -368,6 +406,10 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   // --rate is quoted per reference-site's worth of GPUs; scale to capacity.
   config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, opts.rate_per_hour);
   config.transfer_energy_per_job = util::kilowatt_hours(opts.transfer_kwh);
+  config.migration.objective = *migrate::migration_objective_from_name(opts.migration_policy);
+  config.migration.checkpoint.cost_scale = opts.checkpoint_cost;
+  config.migration.forecaster.model = opts.forecast_model;
+  config.migration.forecaster.horizon = util::hours(opts.forecast_horizon_hours);
 
   const core::ForecastControls forecast{opts.forecast_model,
                                         util::hours(opts.forecast_horizon_hours)};
@@ -380,6 +422,9 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
             << opts.router << ", scheduler " << core::policy_name(opts.policy) << ", "
             << opts.start.label() << " + " << opts.months << " month(s), seed " << opts.seed;
   if (opts.transfer_kwh > 0.0) std::cout << ", transfer " << opts.transfer_kwh << " kWh/job";
+  if (opts.migration_policy != "off") {
+    std::cout << ", migration " << opts.migration_policy;
+  }
   std::cout << "\n";
 
   coordinator.run_until(first.start);  // warm-up
@@ -388,6 +433,9 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   const telemetry::FleetRunSummary summary = coordinator.summary();
   std::cout << "\nper-region:\n" << telemetry::fleet_region_table(summary);
   std::cout << "\nfleet aggregate:\n" << telemetry::fleet_total_table(summary);
+  if (coordinator.planner() != nullptr) {
+    std::cout << "\nmigration ledger:\n" << telemetry::migration_table(summary.migration);
+  }
 
   // Where did the energy come from? Per-region grid character over the window.
   util::Table grids({"region", "tz_h", "renewable_pct", "avg_lmp_usd_mwh", "avg_co2_g_kwh"});
