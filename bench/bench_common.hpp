@@ -1,10 +1,17 @@
 #pragma once
 // Shared helpers for the figure benches: the paper's observation window
 // (Jan 2020 - Dec 2021) run on the reference twin, plus month-of-year
-// averaging (Figs. 2-4 plot one seasonal cycle averaged over 2020-21).
+// averaging (Figs. 2-4 plot one seasonal cycle averaged over 2020-21), and
+// the BENCH_PERF.json read/merge/write helpers the perf benches share.
 
 #include <array>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/datacenter.hpp"
@@ -39,6 +46,60 @@ inline std::array<double, 12> month_of_year_means(const std::vector<util::MonthK
   for (std::size_t m = 0; m < 12; ++m)
     means[m] = counts[m] > 0 ? sums[m] / counts[m] : 0.0;
   return means;
+}
+
+// --- BENCH_PERF.json ---------------------------------------------------------
+//
+// The machine-readable perf trajectory: a flat {"metric": number} object that
+// perf_simulator and experiment_throughput both merge their measurements
+// into, so one artifact carries the whole picture (steps/sec single-site,
+// fleet steps/sec with forecast+migration on, replicas/sec). Numbers are
+// machine-dependent; compare within one machine (or one CI runner class).
+
+/// Parses a flat {"key": number, ...} JSON object. Tolerant of whitespace and
+/// ordering; anything unparseable yields an empty map (the benches then start
+/// a fresh file rather than failing).
+inline std::map<std::string, double> read_perf_json(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    std::size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) break;
+    ++colon;
+    while (colon < text.size() && std::isspace(static_cast<unsigned char>(text[colon]))) ++colon;
+    const char* start = text.c_str() + colon;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end != start) out[key] = value;
+    pos = key_end + 1;
+  }
+  return out;
+}
+
+/// Merges `updates` into the flat JSON at `path` (existing keys the caller
+/// does not measure are preserved, so the two perf binaries can share one
+/// artifact) and rewrites it with sorted keys.
+inline void merge_perf_json(const std::string& path,
+                            const std::map<std::string, double>& updates) {
+  std::map<std::string, double> merged = read_perf_json(path);
+  for (const auto& [key, value] : updates) merged[key] = value;
+  std::ofstream out(path);
+  out << "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : merged) {
+    out << "  \"" << key << "\": " << value;
+    if (++i < merged.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
 }
 
 }  // namespace greenhpc::bench

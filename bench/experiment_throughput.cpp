@@ -13,9 +13,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "experiment/aggregator.hpp"
 #include "experiment/runner.hpp"
 #include "util/table.hpp"
@@ -53,7 +55,21 @@ bool identical(const core::RunSummary& a, const core::RunSummary& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json PATH merges replicas/sec into the shared BENCH_PERF.json (see
+  // bench_common.hpp) so the perf trajectory artifact carries the parallel
+  // harness alongside perf_simulator's step rates.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: experiment_throughput [--json PATH]\n";
+      return 2;
+    }
+  }
+
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   util::print_banner(std::cout, "EXP-THRU: replica throughput vs worker threads");
   std::cout << "hardware concurrency: " << cores << " core(s)\n\n";
@@ -68,6 +84,8 @@ int main() {
   std::vector<experiment::ReplicaResult> baseline;
   double baseline_s = 0.0;
   double speedup_at_8 = 0.0;
+  double replicas_per_s_1 = 0.0;
+  double replicas_per_s_best = 0.0;
   bool deterministic = true;
 
   for (const std::size_t workers : worker_counts) {
@@ -94,6 +112,9 @@ int main() {
     }
     const double speedup = baseline_s / seconds;
     if (workers == 8) speedup_at_8 = speedup;
+    const double replicas_per_s = static_cast<double>(kReplicas) / seconds;
+    if (workers == 1) replicas_per_s_1 = replicas_per_s;
+    replicas_per_s_best = std::max(replicas_per_s_best, replicas_per_s);
     table.add(workers, util::fmt_fixed(seconds, 2),
               util::fmt_fixed(static_cast<double>(kReplicas) / seconds, 2),
               util::fmt_fixed(speedup, 2),
@@ -106,6 +127,12 @@ int main() {
   std::cout << "\nensemble verdicts (" << kReplicas << " replicas):\n"
             << telemetry::experiment_table(
                    experiment::Aggregator::aggregate(agg_runner.run(spec)));
+
+  if (!json_path.empty()) {
+    bench::merge_perf_json(json_path, {{"replicas_per_s_1worker", replicas_per_s_1},
+                                       {"replicas_per_s_best", replicas_per_s_best}});
+    std::cout << "\nmerged replicas/sec into " << json_path << "\n";
+  }
 
   bool ok = deterministic;
   std::cout << "\n[determinism] " << (deterministic ? "OK" : "FAIL")

@@ -26,11 +26,7 @@ Cluster::Cluster(ClusterSpec spec)
 
 int Cluster::total_gpus() const { return enabled_nodes_ * spec_.gpus_per_node; }
 
-int Cluster::busy_gpus() const {
-  int busy = 0;
-  for (const auto& n : nodes_) busy += n.busy;
-  return busy;
-}
+int Cluster::busy_gpus() const { return busy_total_; }
 
 int Cluster::free_gpus() const { return total_gpus() - busy_gpus(); }
 
@@ -58,11 +54,13 @@ std::optional<Allocation> Cluster::allocate(JobId job, int gpus) {
   }
   ensure(remaining == 0, "Cluster::allocate: accounting error");
   allocations_.push_back(alloc);
+  busy_total_ += gpus;
+  touch_power();
   return alloc;
 }
 
 void Cluster::release(JobId job) {
-  job_caps_.erase(job);
+  if (job_caps_.erase(job) > 0) touch_power();
   const auto it = std::find_if(allocations_.begin(), allocations_.end(),
                                [&](const Allocation& a) { return a.job == job; });
   if (it == allocations_.end()) return;
@@ -70,8 +68,10 @@ void Cluster::release(JobId job) {
     auto& node = nodes_[static_cast<std::size_t>(slice.node)];
     ensure(node.busy >= slice.gpus, "Cluster::release: accounting error");
     node.busy -= slice.gpus;
+    busy_total_ -= slice.gpus;
   }
   allocations_.erase(it);
+  touch_power();
 }
 
 std::optional<Allocation> Cluster::allocation_of(JobId job) const {
@@ -81,11 +81,14 @@ std::optional<Allocation> Cluster::allocation_of(JobId job) const {
 }
 
 void Cluster::set_power_cap(util::Power cap) {
-  power_cap_ = std::clamp(cap, spec_.gpu.min_cap, spec_.gpu.tdp);
+  const util::Power clamped = std::clamp(cap, spec_.gpu.min_cap, spec_.gpu.tdp);
+  if (clamped.watts() != power_cap_.watts()) touch_power();
+  power_cap_ = clamped;
 }
 
 void Cluster::set_job_cap(JobId job, util::Power cap) {
   job_caps_[job] = std::clamp(cap, spec_.gpu.min_cap, spec_.gpu.tdp);
+  touch_power();
 }
 
 util::Power Cluster::effective_cap(JobId job) const {
@@ -110,9 +113,11 @@ void Cluster::set_enabled_nodes(int count) {
             "Cluster::set_enabled_nodes: node still holds allocations");
   }
   enabled_nodes_ = count;
+  touch_power();
 }
 
 util::Power Cluster::it_power() const {
+  if (it_power_valid_) return it_power_cache_;
   const int idle = free_gpus();
   util::Power p = spec_.fixed_infrastructure;
   p += spec_.node_base * static_cast<double>(enabled_nodes_);
@@ -120,6 +125,8 @@ util::Power Cluster::it_power() const {
   for (const Allocation& alloc : allocations_)
     p += job_gpu_power(alloc.job) * static_cast<double>(alloc.total_gpus());
   p += spec_.gpu.idle * static_cast<double>(idle);
+  it_power_cache_ = p;
+  it_power_valid_ = true;
   return p;
 }
 

@@ -105,9 +105,21 @@ class Cluster {
     int busy = 0;  ///< GPUs in use on this node
   };
 
+  /// Invalidates the cached it_power() (any mutation that can change draw).
+  void touch_power() const { it_power_valid_ = false; }
+
   ClusterSpec spec_;
   power::GpuPowerModel gpu_model_;
   std::vector<Node> nodes_;
+  int busy_total_ = 0;  ///< sum of nodes_[i].busy, maintained incrementally
+
+  // it_power() is queried several times per simulation step between
+  // mutations; the recompute is O(running jobs), so cache the last value
+  // and invalidate on every state change that can move it (allocate,
+  // release, cap changes, node enablement). Purely a recompute-avoidance
+  // cache: the cached value is the loop's own output, bit for bit.
+  mutable bool it_power_valid_ = false;
+  mutable util::Power it_power_cache_;
   std::vector<Allocation> allocations_;
   std::unordered_map<JobId, util::Power> job_caps_;
   util::Power power_cap_;

@@ -50,6 +50,7 @@ void Datacenter::attach_battery_policy(std::unique_ptr<grid::ArbitragePolicy> po
 cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
   const cluster::JobId id = jobs_.submit(request, sim_.now());
   queue_.push_back(id);
+  queued_gpu_demand_ += request.gpus;
   monthly_subs_.add_event(sim_.now());
   return id;
 }
@@ -119,14 +120,19 @@ void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
       cooling_.water_liters_per_hour(cooling_.load(it_now, outdoor).delivered, outdoor) /
       std::max(1.0, it_now.kilowatts());
 
-  // Copy: completions mutate the allocation list.
-  const std::vector<cluster::Allocation> allocations = cluster_.allocations();
-  for (const cluster::Allocation& alloc : allocations) {
-    cluster::Job& job = jobs_.get(alloc.job);
-    const auto gpus = static_cast<double>(alloc.total_gpus());
+  // Snapshot (job, gpus) first: completions mutate the allocation list. A
+  // reused flat buffer, not a copy of the allocations — their slice vectors
+  // would reallocate every step.
+  progress_scratch_.clear();
+  for (const cluster::Allocation& alloc : cluster_.allocations()) {
+    progress_scratch_.emplace_back(alloc.job, alloc.total_gpus());
+  }
+  for (const auto& [alloc_job, alloc_gpus] : progress_scratch_) {
+    cluster::Job& job = jobs_.get(alloc_job);
+    const auto gpus = static_cast<double>(alloc_gpus);
     // Per-job effective cap (Eq. 2 tailoring composes with the cluster knob).
-    const double throughput = cluster_.job_throughput_factor(alloc.job) * (1.0 - throttle);
-    const util::Power busy_power = cluster_.job_gpu_power(alloc.job);
+    const double throughput = cluster_.job_throughput_factor(alloc_job) * (1.0 - throttle);
+    const util::Power busy_power = cluster_.job_gpu_power(alloc_job);
     // Duty-cycled draw under throttle: GPUs fall back toward idle.
     const util::Power effective_power =
         config_.cluster.gpu.idle + (busy_power - config_.cluster.gpu.idle) * (1.0 - throttle);
@@ -181,6 +187,7 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
     const auto it = std::find(queue_.begin(), queue_.end(), id);
     require(it != queue_.end(), "Datacenter: scheduler returned a job not in the queue");
     queue_.erase(it);
+    queued_gpu_demand_ -= job.request().gpus;
   }
 }
 

@@ -163,6 +163,9 @@ class Datacenter {
   [[nodiscard]] const cluster::JobRegistry& jobs() const { return jobs_; }
   /// Pending job ids in submission order (what the scheduler sees each step).
   [[nodiscard]] const std::vector<cluster::JobId>& queue() const { return queue_; }
+  /// Sum of the queued jobs' GPU requests, maintained incrementally so
+  /// per-step snapshots (fleet routing views) never rescan the queue.
+  [[nodiscard]] int queued_gpu_demand() const { return queued_gpu_demand_; }
   [[nodiscard]] const grid::GridConnection& grid_meter() const { return *connection_; }
   [[nodiscard]] const telemetry::EnergyAccountant& accountant() const { return accountant_; }
   [[nodiscard]] const thermal::WeatherModel& weather() const { return weather_; }
@@ -207,6 +210,7 @@ class Datacenter {
   /// Lineage progress carried by migrated-in jobs, credited at completion.
   std::unordered_map<cluster::JobId, double> migration_credit_;
   std::vector<cluster::JobId> queue_;
+  int queued_gpu_demand_ = 0;  ///< sum of queue_ jobs' GPU requests
   std::unique_ptr<sched::Scheduler> scheduler_;
   JobCapPolicy job_cap_policy_;
   SignalObserver signal_observer_;
@@ -218,6 +222,8 @@ class Datacenter {
 
   // Measurement.
   telemetry::EnergyAccountant accountant_;
+  /// Reused per-step (job, gpus) snapshot for progress_running_jobs.
+  std::vector<std::pair<cluster::JobId, int>> progress_scratch_;
   sim::MonthlyAccumulator monthly_util_;
   sim::MonthlyAccumulator monthly_pue_;
   sim::MonthlyAccumulator monthly_subs_;

@@ -191,6 +191,10 @@ core::RunSummary run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
   const std::unique_ptr<fleet::FleetCoordinator> fleet = make_fleet(spec, seed);
   fleet->run_until(spec.window_start());
   fleet->run_until(spec.window_end());
+  // Checkpoints still on the pipe when the window shuts would strand their
+  // lineage's banked progress; drain them so delivered work is conserved
+  // (no-op whenever migration is off).
+  fleet->drain_migrations();
   const telemetry::FleetRunSummary summary = fleet->summary();
   core::RunSummary total = summary.total;
   total.grid_totals = summary.footprint();  // transfer penalty is never free

@@ -69,6 +69,23 @@ FleetCoordinator::FleetCoordinator(FleetConfig config, std::vector<RegionProfile
   migration_.policy = migrate::migration_objective_name(config_.migration.objective);
   modulator_ = std::make_unique<workload::DemandModulator>(config_.calendar, config_.demand);
   arrivals_ = std::make_unique<workload::ArrivalProcess>(config_.arrivals, modulator_.get());
+
+  // One forecaster hub for every forecast consumer: the router's config
+  // seeds it when the router forecasts, the migration config otherwise, and
+  // each consumer adopts the shared per-region bank for its signal (a
+  // consumer whose config differs keeps its private bank — the hub never
+  // silently overrides an intentionally divergent setup).
+  if (config_.share_forecasters) {
+    const forecast::RollingForecasterConfig* seed_config = router_->forecaster_config();
+    if (seed_config == nullptr && planner_) seed_config = &config_.migration.forecaster;
+    if (seed_config != nullptr) {
+      hub_ = std::make_shared<forecast::ForecasterHub>(*seed_config);
+      router_->attach_forecasts(*hub_);
+      if (planner_) planner_->attach_forecasts(*hub_);
+    }
+  }
+  views_.reserve(profiles_.size());
+  inbound_gpus_.reserve(profiles_.size());
 }
 
 RegionView FleetCoordinator::view_of(std::size_t i) const {
@@ -81,9 +98,7 @@ RegionView FleetCoordinator::view_of(std::size_t i) const {
   view.total_gpus = cluster.total_gpus();
   view.free_gpus = cluster.free_gpus();
   view.queue_depth = dc.queue().size();
-  for (const cluster::JobId id : dc.queue()) {
-    view.queued_gpu_demand += dc.jobs().get(id).request().gpus;
-  }
+  view.queued_gpu_demand = dc.queued_gpu_demand();
   view.utilization = cluster.utilization();
   view.busy_gpu_power = cluster.busy_gpu_power();
   const util::TimePoint lt = dc.local_time(clock_);
@@ -93,11 +108,9 @@ RegionView FleetCoordinator::view_of(std::size_t i) const {
   return view;
 }
 
-std::vector<RegionView> FleetCoordinator::all_views() const {
-  std::vector<RegionView> views;
-  views.reserve(regions_.size());
-  for (std::size_t i = 0; i < regions_.size(); ++i) views.push_back(view_of(i));
-  return views;
+void FleetCoordinator::refresh_views() {
+  views_.clear();  // capacity reserved once; no per-step allocation
+  for (std::size_t i = 0; i < regions_.size(); ++i) views_.push_back(view_of(i));
 }
 
 grid::EnergyLedger FleetCoordinator::transfer_ledger() const {
@@ -187,13 +200,17 @@ void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView
   // pass prunes lineage entries whose job finished (completed or cancelled)
   // so the thrash bookkeeping cannot grow without bound over long runs;
   // queued entries stay — a migrated-in job's budget applies when it runs.
-  std::vector<migrate::MigrationCandidate> candidates;
+  std::vector<migrate::MigrationCandidate>& candidates = candidates_;  // reused scratch
+  candidates.clear();
   for (std::size_t i = 0; i < regions_.size(); ++i) {
     std::erase_if(lineage_[i], [&](const auto& entry) {
       const cluster::JobState state = regions_[i]->jobs().get(entry.first).state();
       return state == cluster::JobState::kCompleted || state == cluster::JobState::kCancelled;
     });
-    for (const cluster::JobId id : regions_[i]->running_jobs()) {
+    // Allocation order == running_jobs() order; iterating the allocation
+    // list directly spares a per-region id-vector per step.
+    for (const cluster::Allocation& alloc : regions_[i]->cluster_state().allocations()) {
+      const cluster::JobId id = alloc.job;
       const cluster::Job& job = regions_[i]->jobs().get(id);
       migrate::MigrationCandidate c;
       c.region = i;
@@ -213,7 +230,8 @@ void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView
 
   // GPUs already claimed by checkpoints still on the pipe: a multi-step
   // outage must not let two rounds of planning commit the same capacity.
-  std::vector<int> inbound_gpus(regions_.size(), 0);
+  std::vector<int>& inbound_gpus = inbound_gpus_;
+  inbound_gpus.assign(regions_.size(), 0);
   for (const InFlightMigration& m : in_flight_) {
     inbound_gpus[m.dest] += m.snapshot.request.gpus;
   }
@@ -248,17 +266,32 @@ void FleetCoordinator::run_until(util::TimePoint end) {
   while (clock_ < end) {
     const util::TimePoint t = clock_;
     const util::TimePoint next = std::min(t + config_.step, end);
-    std::vector<RegionView> views = all_views();
+    refresh_views();  // one snapshot per step, into the reused buffer
     // Every step's grid signals reach the router and the migration planner,
     // not just steps with arrivals — forecast-driven policies need the
     // gap-free stream.
-    router_->observe(t, views);
+    router_->observe(t, views_);
     if (planner_) {
-      planner_->observe(t, views);
-      deliver_migrations(t, views);
+      planner_->observe(t, views_);
+      deliver_migrations(t, views_);
     }
-    route_arrivals(t, next - t, views);  // sample only the window advanced
-    if (planner_) plan_migrations(t, views);
+    route_arrivals(t, next - t, views_);  // sample only the window advanced
+    if (planner_) plan_migrations(t, views_);
+    for (const auto& dc : regions_) dc->run_until(next);
+    clock_ = next;
+  }
+}
+
+void FleetCoordinator::drain_migrations() {
+  while (!in_flight_.empty()) {
+    refresh_views();
+    deliver_migrations(clock_, views_);
+    if (in_flight_.empty()) break;
+    // Something is still on the pipe: advance one lockstep step (arrivals
+    // and planning stay suspended — the window is closed) so the remaining
+    // checkpoints reach their arrival times and the destinations keep
+    // progressing the work already resumed.
+    const util::TimePoint next = clock_ + config_.step;
     for (const auto& dc : regions_) dc->run_until(next);
     clock_ = next;
   }

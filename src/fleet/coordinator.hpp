@@ -30,6 +30,7 @@
 #include "core/datacenter.hpp"
 #include "fleet/region.hpp"
 #include "fleet/routing.hpp"
+#include "forecast/hub.hpp"
 #include "migrate/planner.hpp"
 #include "telemetry/fleet.hpp"
 #include "workload/arrivals.hpp"
@@ -54,6 +55,11 @@ struct FleetConfig {
   util::Energy transfer_energy_per_job = util::kilowatt_hours(0.0);
   /// Mid-run checkpoint-and-migrate policy (objective kOff disables it).
   migrate::MigrationConfig migration;
+  /// Share one per-region forecaster hub between the forecast router and
+  /// the migration planner (one observe/refit/skill pass per region-signal
+  /// per step; decisions are bit-identical either way). Off is a test seam
+  /// that restores the private-bank wiring.
+  bool share_forecasters = true;
 };
 
 class FleetCoordinator {
@@ -71,6 +77,19 @@ class FleetCoordinator {
   /// beyond the current clock; a partial trailing step still advances the
   /// member twins' clocks so telemetry windows line up).
   void run_until(util::TimePoint end);
+
+  /// Closes the run window: with arrivals and new planning suspended, keeps
+  /// stepping the regions until every checkpoint on the transfer pipe has
+  /// been delivered and resumed at its destination — a lineage's banked
+  /// progress is never stranded mid-pipe when the window shuts. No-op when
+  /// the pipe is empty (always, when migration is off). Call before
+  /// summary() on runs that must conserve delivered work. Note the drain
+  /// steps extend the summarized window for the whole fleet (every region
+  /// keeps burning energy and completing work while the pipe empties), so
+  /// migration-on runs cover a slightly longer window than a migration-off
+  /// pair — a few steps against multi-week windows, inside the 5% equal-work
+  /// band the seed-paired benches enforce.
+  void drain_migrations();
 
   [[nodiscard]] util::TimePoint now() const { return clock_; }
   [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
@@ -90,6 +109,9 @@ class FleetCoordinator {
 
   /// The migration planner, when enabled (nullptr otherwise).
   [[nodiscard]] const migrate::MigrationPlanner* planner() const { return planner_.get(); }
+  /// The shared forecaster hub, when any forecast consumer exists and
+  /// sharing is on (nullptr otherwise).
+  [[nodiscard]] const forecast::ForecasterHub* forecaster_hub() const { return hub_.get(); }
   /// Mid-run relocation ledger so far (policy "off" when disabled).
   [[nodiscard]] const telemetry::MigrationStats& migration_stats() const { return migration_; }
   /// Checkpoints currently occupying the transfer pipe.
@@ -118,7 +140,8 @@ class FleetCoordinator {
     util::TimePoint last;
   };
 
-  [[nodiscard]] std::vector<RegionView> all_views() const;
+  /// Rebuilds the per-step region snapshot into the reused views_ buffer.
+  void refresh_views();
   void route_arrivals(util::TimePoint t, util::Duration window, std::vector<RegionView>& views);
   /// Bills `energy` into region `i`'s transfer ledger at its current
   /// local-time grid conditions; returns the billed increment.
@@ -135,6 +158,7 @@ class FleetCoordinator {
   std::vector<std::unique_ptr<core::Datacenter>> regions_;
   std::unique_ptr<RoutingPolicy> router_;
   std::unique_ptr<migrate::MigrationPlanner> planner_;  ///< null when off
+  std::shared_ptr<forecast::ForecasterHub> hub_;        ///< null when unshared
   std::unique_ptr<workload::DemandModulator> modulator_;
   std::unique_ptr<workload::ArrivalProcess> arrivals_;
   util::Rng rng_;
@@ -142,6 +166,10 @@ class FleetCoordinator {
   std::vector<std::size_t> jobs_routed_;
   std::vector<grid::EnergyLedger> transfer_by_region_;
   std::deque<InFlightMigration> in_flight_;
+  // Per-step scratch, reused across the hottest loop in the codebase.
+  std::vector<RegionView> views_;
+  std::vector<migrate::MigrationCandidate> candidates_;
+  std::vector<int> inbound_gpus_;
   std::vector<std::unordered_map<cluster::JobId, Lineage>> lineage_;  ///< by region
   std::vector<std::size_t> migrated_in_;
   std::vector<std::size_t> migrated_out_;

@@ -9,9 +9,18 @@ namespace greenhpc::fleet {
 using util::require;
 
 ForecastRouter::ForecastRouter(Objective objective, ForecastRouterConfig config)
-    : objective_(objective), config_(std::move(config)), bank_(config_.forecaster) {
+    : objective_(objective),
+      config_(std::move(config)),
+      bank_(std::make_shared<forecast::ForecasterBank>(config_.forecaster)) {
   require(config_.override_margin >= 0.0 && config_.override_margin < 1.0,
           "ForecastRouter: override margin must be in [0,1)");
+}
+
+void ForecastRouter::attach_forecasts(forecast::ForecasterHub& hub) {
+  const forecast::SignalKind signal = objective_ == Objective::kCarbon
+                                          ? forecast::SignalKind::kCarbon
+                                          : forecast::SignalKind::kPrice;
+  if (auto shared = hub.attach(signal, config_.forecaster)) bank_ = std::move(shared);
 }
 
 double ForecastRouter::signal_of(const RegionView& region) const {
@@ -22,14 +31,15 @@ double ForecastRouter::signal_of(const RegionView& region) const {
 void ForecastRouter::observe(util::TimePoint now, std::span<const RegionView> regions) {
   for (const RegionView& r : regions) {
     // RollingForecaster ignores repeated timestamps, so observing here and
-    // again at route() time within the same step never double-counts.
-    bank_.observe(now, r.index, signal_of(r), r.name);
+    // again at route() time within the same step never double-counts — the
+    // same dedup makes a hub-shared bank safe to feed from two consumers.
+    bank_->observe(now, r.index, signal_of(r), r.name);
   }
 }
 
 double ForecastRouter::integrated_signal(std::size_t index, util::Duration runtime,
                                          double instantaneous) const {
-  return bank_.integrated_signal(index, runtime, instantaneous);
+  return bank_->integrated_signal(index, runtime, instantaneous);
 }
 
 std::size_t ForecastRouter::route(const cluster::JobRequest& request, const RoutingContext& ctx) {
@@ -95,6 +105,6 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
   return best;
 }
 
-std::vector<forecast::SkillReport> ForecastRouter::skills() const { return bank_.skills(); }
+std::vector<forecast::SkillReport> ForecastRouter::skills() const { return bank_->skills(); }
 
 }  // namespace greenhpc::fleet

@@ -14,11 +14,17 @@
 // or whose realized skill tripped the MAPE gate — are scored at their
 // instantaneous signal, so the router degrades region-by-region to exactly
 // the reactive greedy behavior.
+//
+// Standalone the router owns a private bank; under a FleetCoordinator it
+// adopts the coordinator's ForecasterHub bank for its signal, sharing the
+// per-region forecasters with the migration planner (attach_forecasts).
 
+#include <memory>
 #include <vector>
 
 #include "fleet/routing.hpp"
 #include "forecast/bank.hpp"
+#include "forecast/hub.hpp"
 
 namespace greenhpc::fleet {
 
@@ -47,6 +53,10 @@ class ForecastRouter final : public RoutingPolicy {
     return objective_ == Objective::kCarbon ? "carbon_forecast" : "cost_forecast";
   }
   void observe(util::TimePoint now, std::span<const RegionView> regions) override;
+  void attach_forecasts(forecast::ForecasterHub& hub) override;
+  [[nodiscard]] const forecast::RollingForecasterConfig* forecaster_config() const override {
+    return &config_.forecaster;
+  }
   [[nodiscard]] std::size_t route(const cluster::JobRequest& request,
                                   const RoutingContext& ctx) override;
 
@@ -68,7 +78,9 @@ class ForecastRouter final : public RoutingPolicy {
 
   Objective objective_;
   ForecastRouterConfig config_;
-  forecast::ForecasterBank bank_;  ///< one forecaster per region
+  /// One forecaster per region — private by default, the hub's shared bank
+  /// after attach_forecasts.
+  std::shared_ptr<forecast::ForecasterBank> bank_;
 };
 
 }  // namespace greenhpc::fleet

@@ -17,6 +17,11 @@
 #include "cluster/job.hpp"
 #include "util/units.hpp"
 
+namespace greenhpc::forecast {
+class ForecasterHub;
+struct RollingForecasterConfig;
+}  // namespace greenhpc::forecast
+
 namespace greenhpc::fleet {
 
 /// One region's state at routing time.
@@ -64,6 +69,18 @@ class RoutingPolicy {
   /// accumulate their per-region signal histories here; stateless policies
   /// ignore it.
   virtual void observe(util::TimePoint /*now*/, std::span<const RegionView> /*regions*/) {}
+
+  /// Offers a coordinator-owned forecaster hub. Forecast-driven policies
+  /// adopt the hub's shared per-region bank for their signal (so the router
+  /// and the migration planner do the observe/refit/skill work once per
+  /// step); reactive policies ignore it.
+  virtual void attach_forecasts(forecast::ForecasterHub& /*hub*/) {}
+
+  /// The forecaster config a forecast-driven policy runs (nullptr for
+  /// reactive policies) — the coordinator seeds its hub from this.
+  [[nodiscard]] virtual const forecast::RollingForecasterConfig* forecaster_config() const {
+    return nullptr;
+  }
 
   /// Picks the destination region index for one arriving job. `ctx.regions`
   /// is never empty; the returned index must be < ctx.regions.size().

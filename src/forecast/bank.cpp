@@ -14,6 +14,7 @@ void ForecasterBank::observe(util::TimePoint now, std::size_t index, double valu
   while (forecasters_.size() <= index) {
     forecasters_.emplace_back(config_);
     names_.emplace_back();
+    cache_.emplace_back();
   }
   forecasters_[index].observe(now, value);
   if (!name.empty()) names_[index] = name;
@@ -24,13 +25,29 @@ double ForecasterBank::integrated_signal(std::size_t index, util::Duration runti
   if (index >= forecasters_.size()) return instantaneous;
   const RollingForecaster& fc = forecasters_[index];
   if (!fc.reliable()) return instantaneous;
+  const std::size_t horizon = fc.horizon_steps();
   const auto steps = static_cast<std::size_t>(
       std::clamp<double>(std::ceil(runtime / fc.cadence()), 1.0,
-                         static_cast<double>(fc.horizon_steps())));
-  const std::vector<double> predicted = fc.predict(steps);
-  double total = 0.0;
-  for (double v : predicted) total += v;
-  return total / static_cast<double>(predicted.size());
+                         static_cast<double>(horizon)));
+
+  IntegralCache& cache = cache_[index];
+  if (!cache.valid || cache.revision != fc.observations()) {
+    // One full-horizon forecast per source per step answers every window
+    // this step asks about; the running total below is the same
+    // left-to-right sum the per-query loop used to compute.
+    fc.predict_into(horizon, cache.prediction);
+    cache.prefix.resize(cache.prediction.size() + 1);
+    cache.prefix[0] = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < cache.prediction.size(); ++i) {
+      total += cache.prediction[i];
+      cache.prefix[i + 1] = total;
+    }
+    cache.revision = fc.observations();
+    cache.valid = true;
+  }
+  const std::size_t k = std::min(steps, cache.prefix.size() - 1);
+  return cache.prefix[k] / static_cast<double>(k);
 }
 
 std::vector<SkillReport> ForecasterBank::skills() const {

@@ -9,8 +9,18 @@
 // extracted so the two consumers cannot drift apart in how they score the
 // same forecast (and so a third consumer never copies it again). It is
 // signal-agnostic: callers pass the index and the value; nothing here knows
-// what a region is.
+// what a region is. ForecasterHub (hub.hpp) shares one instance between
+// consumers of the same signal.
+//
+// integrated_signal answers any [now, now + runtime] window in O(1): the
+// first query after an observation materializes one full-horizon forecast
+// per source and its cumulative prefix sums (into reused buffers), and every
+// further query that step — the routers and the migration planner ask once
+// per job per candidate region — is a prefix-sum lookup. The answers are
+// bit-identical to predicting and averaging per query, because a prefix sum
+// carries exactly the left-to-right partial sums the direct loop computes.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,7 +46,8 @@ class ForecasterBank {
 
   /// Mean predicted signal over the next `runtime` for source `index`;
   /// falls back to `instantaneous` while that source is unknown, unfitted,
-  /// or has tripped its realized-MAPE reliability gate.
+  /// or has tripped its realized-MAPE reliability gate. O(1) after the
+  /// first query per source per observation.
   [[nodiscard]] double integrated_signal(std::size_t index, util::Duration runtime,
                                          double instantaneous) const;
 
@@ -45,9 +56,19 @@ class ForecasterBank {
   [[nodiscard]] std::vector<SkillReport> skills() const;
 
  private:
+  /// Per-source forecast curve + prefix sums, rebuilt lazily when the
+  /// source's observation count moves past the cached revision.
+  struct IntegralCache {
+    std::uint64_t revision = 0;  ///< observations() the cache was built at
+    bool valid = false;
+    std::vector<double> prediction;  ///< full-horizon forecast (reused)
+    std::vector<double> prefix;      ///< prefix[k] = sum of first k values
+  };
+
   RollingForecasterConfig config_;
   std::vector<RollingForecaster> forecasters_;  ///< by source index
   std::vector<std::string> names_;              ///< for skill reports
+  mutable std::vector<IntegralCache> cache_;    ///< by source index
 };
 
 }  // namespace greenhpc::forecast

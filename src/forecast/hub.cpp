@@ -1,0 +1,23 @@
+#include "forecast/hub.hpp"
+
+namespace greenhpc::forecast {
+
+ForecasterHub::ForecasterHub(RollingForecasterConfig config) : config_(std::move(config)) {
+  (void)RollingForecaster(config_);  // surface config mistakes at construction
+}
+
+std::shared_ptr<ForecasterBank> ForecasterHub::attach(SignalKind signal,
+                                                      const RollingForecasterConfig& config) {
+  if (!(config == config_)) return nullptr;
+  std::shared_ptr<ForecasterBank>& bank = banks_[static_cast<std::size_t>(signal)];
+  if (!bank) bank = std::make_shared<ForecasterBank>(config_);
+  return bank;
+}
+
+std::size_t ForecasterHub::banks_created() const {
+  std::size_t count = 0;
+  for (const auto& bank : banks_) count += bank != nullptr;
+  return count;
+}
+
+}  // namespace greenhpc::forecast

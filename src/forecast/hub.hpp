@@ -1,0 +1,57 @@
+#pragma once
+// ForecasterHub: the coordinator-owned home of the per-region forecasters.
+//
+// In the flagship configuration the forecast router and the migration
+// planner both forecast the same per-region signal stream — historically
+// with two private RollingForecaster stacks, doing the observe/refit/MAPE
+// work twice per step and carrying two configs that could silently drift.
+// The hub closes that: the fleet coordinator owns one hub, each consumer
+// attaches for the signal it forecasts (carbon intensity or LMP price), and
+// consumers of the same signal share one ForecasterBank — one observe, one
+// refit, one skill score per region per step, and one config by
+// construction. Sharing is refused (attach returns nullptr and the consumer
+// keeps its private bank) when a consumer's forecaster config differs from
+// the hub's, so an intentionally divergent setup degrades to the old
+// behavior instead of silently adopting the wrong model.
+//
+// Shared state never changes a decision: RollingForecaster deduplicates
+// repeated timestamps, so the second consumer's observe of the same control
+// step is a no-op, and two private banks fed the identical stream hold
+// bit-identical state anyway (pinned by the hub-equivalence test).
+
+#include <array>
+#include <memory>
+
+#include "forecast/bank.hpp"
+
+namespace greenhpc::forecast {
+
+/// The grid signals the decision layers forecast per region.
+enum class SignalKind : std::uint8_t { kCarbon = 0, kPrice = 1 };
+inline constexpr std::size_t kSignalKindCount = 2;
+
+class ForecasterHub {
+ public:
+  explicit ForecasterHub(RollingForecasterConfig config);
+
+  [[nodiscard]] const RollingForecasterConfig& config() const { return config_; }
+
+  /// The shared per-region bank for `signal`, created on first attach —
+  /// nullptr when `config` differs from the hub's (the consumer must then
+  /// keep its private bank rather than adopt a drifted configuration).
+  [[nodiscard]] std::shared_ptr<ForecasterBank> attach(SignalKind signal,
+                                                       const RollingForecasterConfig& config);
+
+  /// Banks created so far (telemetry/tests: 1 means every consumer shares).
+  [[nodiscard]] std::size_t banks_created() const;
+  /// The bank for `signal` if any consumer attached for it.
+  [[nodiscard]] const ForecasterBank* bank(SignalKind signal) const {
+    return banks_[static_cast<std::size_t>(signal)].get();
+  }
+
+ private:
+  RollingForecasterConfig config_;
+  std::array<std::shared_ptr<ForecasterBank>, kSignalKindCount> banks_;
+};
+
+}  // namespace greenhpc::forecast

@@ -15,8 +15,14 @@ SeasonalNaive::SeasonalNaive(std::size_t period) : period_(period) {
 }
 
 void SeasonalNaive::fit(std::span<const double> series) {
-  require(series.size() >= period_, "SeasonalNaive: history shorter than one period");
-  last_season_.assign(series.end() - static_cast<std::ptrdiff_t>(period_), series.end());
+  fit(SeriesView{series, {}});
+}
+
+void SeasonalNaive::fit(const SeriesView& view) {
+  require(view.size() >= period_, "SeasonalNaive: history shorter than one period");
+  last_season_.resize(period_);
+  const std::size_t start = view.size() - period_;
+  for (std::size_t i = 0; i < period_; ++i) last_season_[i] = view[start + i];
 }
 
 void SeasonalNaive::update(double value) {
@@ -25,11 +31,28 @@ void SeasonalNaive::update(double value) {
   last_season_.push_back(value);
 }
 
+bool SeasonalNaive::refit(const SeriesView& window) {
+  if (window.size() < period_) return false;
+  fit(window);  // the whole fit is an O(period) tail copy
+  return true;
+}
+
 std::vector<double> SeasonalNaive::predict(std::size_t horizon) const {
-  require(!last_season_.empty(), "SeasonalNaive: predict before fit");
-  std::vector<double> out(horizon);
-  for (std::size_t h = 0; h < horizon; ++h) out[h] = last_season_[h % period_];
+  std::vector<double> out;
+  predict_into(horizon, out);
   return out;
+}
+
+void SeasonalNaive::predict_into(std::size_t horizon, std::vector<double>& out) const {
+  require(!last_season_.empty(), "SeasonalNaive: predict before fit");
+  out.resize(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) out[h] = last_season_[h % period_];
+}
+
+double SeasonalNaive::predict_point(std::size_t horizon) const {
+  require(!last_season_.empty(), "SeasonalNaive: predict before fit");
+  require(horizon >= 1, "SeasonalNaive: horizon must be >= 1");
+  return last_season_[(horizon - 1) % period_];
 }
 
 // --- SeasonalClimatology ----------------------------------------------------
@@ -39,29 +62,46 @@ SeasonalClimatology::SeasonalClimatology(std::size_t period) : period_(period) {
 }
 
 void SeasonalClimatology::fit(std::span<const double> series) {
-  require(series.size() >= period_, "SeasonalClimatology: history shorter than one period");
+  fit(SeriesView{series, {}});
+}
+
+void SeasonalClimatology::fit(const SeriesView& view) {
+  require(view.size() >= period_, "SeasonalClimatology: history shorter than one period");
+  const std::size_t n = view.size();
+
+  // Rebuild the per-slot sufficient statistics alongside the means: slot s
+  // collects the window values at indices congruent to s, in order, and the
+  // running sum below is exactly the left-to-right sum refit() re-derives.
+  slot_values_.assign(period_, {});
+  slot_sums_.assign(period_, 0.0);
+  slot_dirty_.assign(period_, 0);
+  first_abs_ = 0;
+  next_abs_ = n;
+
   slot_means_.assign(period_, 0.0);
-  std::vector<std::size_t> counts(period_, 0);
-  for (std::size_t t = 0; t < series.size(); ++t) {
-    slot_means_[t % period_] += series[t];
-    ++counts[t % period_];
+  for (std::size_t t = 0; t < n; ++t) {
+    const double v = view[t];
+    slot_means_[t % period_] += v;
+    slot_values_[t % period_].push_back(v);
   }
-  for (std::size_t s = 0; s < period_; ++s)
-    slot_means_[s] /= static_cast<double>(counts[s]);
+  for (std::size_t s = 0; s < period_; ++s) {
+    slot_sums_[s] = slot_means_[s];
+    slot_means_[s] /= static_cast<double>(slot_values_[s].size());
+  }
 
   // Lag-1 autocorrelation of the anomalies: how fast deviations from the
   // seasonal mean decay in this history.
   double num = 0.0, den = 0.0;
-  double prev = series[0] - slot_means_[0];
-  for (std::size_t t = 1; t < series.size(); ++t) {
-    const double a = series[t] - slot_means_[t % period_];
+  double prev = view[0] - slot_means_[0];
+  for (std::size_t t = 1; t < n; ++t) {
+    const double a = view[t] - slot_means_[t % period_];
     num += a * prev;
     den += prev * prev;
     prev = a;
   }
   rho_ = den > 0.0 ? std::clamp(num / den, 0.0, 0.999) : 0.0;
   last_anomaly_ = prev;
-  fitted_length_ = series.size();
+  fitted_length_ = n;
 }
 
 void SeasonalClimatology::update(double value) {
@@ -74,41 +114,147 @@ void SeasonalClimatology::update(double value) {
   ++fitted_length_;
 }
 
+void SeasonalClimatology::track(double value, const double* evicted) {
+  if (slot_values_.empty()) return;  // statistics start at the first fit
+  if (evicted != nullptr) {
+    std::deque<double>& slot = slot_values_[first_abs_ % period_];
+    if (slot.empty() || slot.front() != *evicted) {
+      // Statistics fell out of sync with the caller's window (e.g. a fit on
+      // a foreign series in between); refit() will detect the size mismatch
+      // and fall back to the batch path.
+      slot_values_.clear();
+      return;
+    }
+    slot.pop_front();
+    slot_dirty_[first_abs_ % period_] = 1;
+    ++first_abs_;
+  }
+  slot_values_[next_abs_ % period_].push_back(value);
+  slot_dirty_[next_abs_ % period_] = 1;
+  ++next_abs_;
+}
+
+void SeasonalClimatology::means_from_stats(std::size_t window_start) {
+  slot_means_.assign(period_, 0.0);
+  for (std::size_t q = 0; q < period_; ++q) {
+    if (slot_dirty_[q]) {
+      // Left-to-right over the slot's values, the same association the
+      // batch pass produces (it adds each slot's values in window order).
+      double sum = 0.0;
+      for (const double v : slot_values_[q]) sum += v;
+      slot_sums_[q] = sum;
+      slot_dirty_[q] = 0;
+    }
+  }
+  // Window-relative slot s holds the values whose absolute slot is
+  // (window_start + s) mod period.
+  for (std::size_t s = 0; s < period_; ++s) {
+    const std::size_t q = (window_start + s) % period_;
+    slot_means_[s] = slot_sums_[q] / static_cast<double>(slot_values_[q].size());
+  }
+}
+
+bool SeasonalClimatology::refit(const SeriesView& window) {
+  const std::size_t n = window.size();
+  if (n < period_ || slot_values_.size() != period_) return false;
+  if (next_abs_ - first_abs_ != n) return false;  // statistics drifted; batch-fit
+  for (std::size_t q = 0; q < period_; ++q) {
+    if (slot_values_[q].empty()) return false;
+  }
+
+  means_from_stats(first_abs_);
+
+  // The anomaly pass is identical arithmetic to fit()'s second loop.
+  double num = 0.0, den = 0.0;
+  double prev = window[0] - slot_means_[0];
+  for (std::size_t t = 1; t < n; ++t) {
+    const double a = window[t] - slot_means_[t % period_];
+    num += a * prev;
+    den += prev * prev;
+    prev = a;
+  }
+  rho_ = den > 0.0 ? std::clamp(num / den, 0.0, 0.999) : 0.0;
+  last_anomaly_ = prev;
+  fitted_length_ = n;
+  return true;
+}
+
 std::vector<double> SeasonalClimatology::predict(std::size_t horizon) const {
-  require(fitted_length_ > 0, "SeasonalClimatology: predict before fit");
   std::vector<double> out;
+  predict_into(horizon, out);
+  return out;
+}
+
+void SeasonalClimatology::predict_into(std::size_t horizon, std::vector<double>& out) const {
+  require(fitted_length_ > 0, "SeasonalClimatology: predict before fit");
+  out.clear();
   out.reserve(horizon);
   double carry = last_anomaly_;
   for (std::size_t h = 1; h <= horizon; ++h) {
     carry *= rho_;
     out.push_back(slot_means_[(fitted_length_ + h - 1) % period_] + carry);
   }
-  return out;
 }
 
-// --- ArModel ------------------------------------------------------------------
+double SeasonalClimatology::predict_point(std::size_t horizon) const {
+  require(fitted_length_ > 0, "SeasonalClimatology: predict before fit");
+  require(horizon >= 1, "SeasonalClimatology: horizon must be >= 1");
+  double carry = last_anomaly_;
+  for (std::size_t h = 1; h <= horizon; ++h) carry *= rho_;
+  return slot_means_[(fitted_length_ + horizon - 1) % period_] + carry;
+}
+
+// --- ArModel ----------------------------------------------------------------
 
 ArModel::ArModel(std::size_t order) : order_(order) {
   require(order >= 1, "ArModel: order must be >= 1");
 }
 
 void ArModel::fit(std::span<const double> series) {
-  require(series.size() >= min_history(), "ArModel: history too short for order");
-  const std::size_t n = series.size();
+  fit(SeriesView{series, {}});
+}
 
-  std::vector<std::vector<double>> rows;
-  std::vector<double> targets;
-  rows.reserve(n - order_);
-  for (std::size_t t = order_; t < n; ++t) {
-    std::vector<double> row;
-    row.reserve(order_ + 1);
-    row.push_back(1.0);  // intercept
-    for (std::size_t lag = 1; lag <= order_; ++lag) row.push_back(series[t - lag]);
-    rows.push_back(std::move(row));
-    targets.push_back(series[t]);
+void ArModel::fit(const SeriesView& view) {
+  require(view.size() >= min_history(), "ArModel: history too short for order");
+  const std::size_t n = view.size();
+  const std::size_t p = order_ + 1;  // intercept + lags
+
+  // Normal equations (X'X) beta = X'y accumulated row by row in the same
+  // i,j order stats::multiple_fit uses, without materializing the design
+  // matrix — the accumulated sums (and hence the coefficients) are
+  // bit-identical to the rows-then-multiple_fit path this replaces. The
+  // accumulators double as the sufficient statistics track() maintains.
+  xtx_.assign(p * p, 0.0);
+  xty_.assign(p, 0.0);
+  window_.assign(view.first.begin(), view.first.end());
+  window_.insert(window_.end(), view.second.begin(), view.second.end());
+  for (std::size_t t = order_; t < n; ++t) accumulate_row(window_, t, 1.0);
+  stats_valid_ = true;
+
+  std::vector<std::vector<double>> a(p, std::vector<double>(p));
+  std::vector<double> b(xty_);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) a[i][j] = xtx_[i * p + j];
+    for (std::size_t j = 0; j < i; ++j) a[i][j] = xtx_[j * p + i];
   }
-  coefficients_ = stats::multiple_fit(rows, targets).coefficients;
-  tail_.assign(series.end() - static_cast<std::ptrdiff_t>(order_), series.end());
+  coefficients_ = stats::solve_linear_system(std::move(a), std::move(b));
+
+  tail_.resize(order_);
+  for (std::size_t i = 0; i < order_; ++i) tail_[i] = view[n - order_ + i];
+}
+
+void ArModel::accumulate_row(const std::deque<double>& window, std::size_t t, double sign) {
+  // Row for target window[t]: [1, window[t-1], ..., window[t-order]].
+  const std::size_t p = order_ + 1;
+  const double y = window[t];
+  for (std::size_t i = 0; i < p; ++i) {
+    const double xi = i == 0 ? 1.0 : window[t - i];
+    xty_[i] += sign * xi * y;
+    for (std::size_t j = i; j < p; ++j) {
+      const double xj = j == 0 ? 1.0 : window[t - j];
+      xtx_[i * p + j] += sign * xi * xj;
+    }
+  }
 }
 
 void ArModel::update(double value) {
@@ -117,10 +263,54 @@ void ArModel::update(double value) {
   tail_.push_back(value);
 }
 
+void ArModel::track(double value, const double* evicted) {
+  if (!stats_valid_) return;
+  if (evicted != nullptr) {
+    if (window_.empty() || window_.front() != *evicted) {
+      stats_valid_ = false;  // window drifted from the caller's; batch-fit next
+      return;
+    }
+    // The row leaving the window is the oldest one: target window_[order_]
+    // with lags window_[order_-1 .. 0].
+    if (window_.size() > order_) accumulate_row(window_, order_, -1.0);
+    window_.pop_front();
+  }
+  window_.push_back(value);
+  if (window_.size() > order_) accumulate_row(window_, window_.size() - 1, 1.0);
+}
+
+bool ArModel::refit(const SeriesView& window) {
+  const std::size_t n = window.size();
+  if (!stats_valid_ || n < min_history() || window_.size() != n) return false;
+  const std::size_t p = order_ + 1;
+
+  std::vector<std::vector<double>> a(p, std::vector<double>(p));
+  std::vector<double> b(xty_);
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i; j < p; ++j) a[i][j] = xtx_[i * p + j];
+    for (std::size_t j = 0; j < i; ++j) a[i][j] = xtx_[j * p + i];
+  }
+  try {
+    coefficients_ = stats::solve_linear_system(std::move(a), std::move(b));
+  } catch (const std::exception&) {
+    return false;  // singular under this window; let the batch path decide
+  }
+  tail_.resize(order_);
+  for (std::size_t i = 0; i < order_; ++i) tail_[i] = window[n - order_ + i];
+  return true;
+}
+
 std::vector<double> ArModel::predict(std::size_t horizon) const {
+  std::vector<double> out;
+  predict_into(horizon, out);
+  return out;
+}
+
+void ArModel::predict_into(std::size_t horizon, std::vector<double>& out) const {
   require(!coefficients_.empty(), "ArModel: predict before fit");
   std::vector<double> window = tail_;  // oldest-first
-  std::vector<double> out;
+  window.reserve(window.size() + horizon);
+  out.clear();
   out.reserve(horizon);
   for (std::size_t h = 0; h < horizon; ++h) {
     double y = coefficients_[0];
@@ -129,10 +319,26 @@ std::vector<double> ArModel::predict(std::size_t horizon) const {
     out.push_back(y);
     window.push_back(y);
   }
-  return out;
 }
 
-// --- HoltWinters ---------------------------------------------------------------
+double ArModel::predict_point(std::size_t horizon) const {
+  require(!coefficients_.empty(), "ArModel: predict before fit");
+  require(horizon >= 1, "ArModel: horizon must be >= 1");
+  std::vector<double>& window = point_scratch_;
+  window.clear();
+  window.reserve(tail_.size() + horizon);
+  window.insert(window.end(), tail_.begin(), tail_.end());
+  double y = 0.0;
+  for (std::size_t h = 0; h < horizon; ++h) {
+    y = coefficients_[0];
+    for (std::size_t lag = 1; lag <= order_; ++lag)
+      y += coefficients_[lag] * window[window.size() - lag];
+    window.push_back(y);
+  }
+  return y;
+}
+
+// --- HoltWinters -------------------------------------------------------------
 
 HoltWinters::HoltWinters(std::size_t period, Params params) : period_(period), params_(params) {
   require(period >= 2, "HoltWinters: period must be >= 2");
@@ -141,24 +347,28 @@ HoltWinters::HoltWinters(std::size_t period, Params params) : period_(period), p
 }
 
 void HoltWinters::fit(std::span<const double> series) {
-  require(series.size() >= min_history(), "HoltWinters: need at least two full seasons");
+  fit(SeriesView{series, {}});
+}
+
+void HoltWinters::fit(const SeriesView& view) {
+  require(view.size() >= min_history(), "HoltWinters: need at least two full seasons");
 
   // Classical initialization from the first two seasons.
   double mean1 = 0.0, mean2 = 0.0;
   for (std::size_t i = 0; i < period_; ++i) {
-    mean1 += series[i];
-    mean2 += series[period_ + i];
+    mean1 += view[i];
+    mean2 += view[period_ + i];
   }
   mean1 /= static_cast<double>(period_);
   mean2 /= static_cast<double>(period_);
   level_ = mean1;
   trend_ = (mean2 - mean1) / static_cast<double>(period_);
   seasonal_.assign(period_, 0.0);
-  for (std::size_t i = 0; i < period_; ++i) seasonal_[i] = series[i] - mean1;
+  for (std::size_t i = 0; i < period_; ++i) seasonal_[i] = view[i] - mean1;
 
   // Smooth through the full history.
   fitted_length_ = 0;
-  for (std::size_t t = 0; t < series.size(); ++t) smooth_step(series[t], t % period_);
+  for (std::size_t t = 0; t < view.size(); ++t) smooth_step(view[t], t % period_);
 }
 
 void HoltWinters::smooth_step(double value, std::size_t s) {
@@ -175,14 +385,26 @@ void HoltWinters::update(double value) {
 }
 
 std::vector<double> HoltWinters::predict(std::size_t horizon) const {
-  require(fitted_length_ > 0, "HoltWinters: predict before fit");
   std::vector<double> out;
+  predict_into(horizon, out);
+  return out;
+}
+
+void HoltWinters::predict_into(std::size_t horizon, std::vector<double>& out) const {
+  require(fitted_length_ > 0, "HoltWinters: predict before fit");
+  out.clear();
   out.reserve(horizon);
   for (std::size_t h = 1; h <= horizon; ++h) {
     const std::size_t s = (fitted_length_ + h - 1) % period_;
     out.push_back(level_ + static_cast<double>(h) * trend_ + seasonal_[s]);
   }
-  return out;
+}
+
+double HoltWinters::predict_point(std::size_t horizon) const {
+  require(fitted_length_ > 0, "HoltWinters: predict before fit");
+  require(horizon >= 1, "HoltWinters: horizon must be >= 1");
+  const std::size_t s = (fitted_length_ + horizon - 1) % period_;
+  return level_ + static_cast<double>(horizon) * trend_ + seasonal_[s];
 }
 
 }  // namespace greenhpc::forecast

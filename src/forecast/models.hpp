@@ -9,7 +9,18 @@
 // (level/trend/seasonality). Sec. IV-C's wind-forecasting example (DeepMind's
 // 36-hour-ahead wind commitment) is reproduced with these in
 // examples/wind_forecast.cpp.
+//
+// Rolling-window consumers (forecast/rolling.hpp) refit these models every
+// few hours on a sliding history. Two extensions keep that loop cheap
+// without changing a single predicted bit:
+//   - fit(SeriesView) fits straight off a ring buffer's two chunks (no
+//     window copy);
+//   - track()/refit() maintain per-model sufficient statistics online (the
+//     seasonal tail, per-slot climatology sums, AR normal equations) so a
+//     refit costs O(period) instead of O(window) where an exact incremental
+//     path exists.
 
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -17,6 +28,29 @@
 #include "stats/regression.hpp"
 
 namespace greenhpc::forecast {
+
+/// A chronological series stored in up to two contiguous chunks — the view a
+/// ring buffer exposes without copying. `first` holds the older samples.
+struct SeriesView {
+  std::span<const double> first;
+  std::span<const double> second;
+
+  [[nodiscard]] std::size_t size() const { return first.size() + second.size(); }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] double operator[](std::size_t i) const {
+    return i < first.size() ? first[i] : second[i - first.size()];
+  }
+  [[nodiscard]] double back() const {
+    return second.empty() ? first.back() : second.back();
+  }
+  [[nodiscard]] std::vector<double> materialize() const {
+    std::vector<double> out;
+    out.reserve(size());
+    out.insert(out.end(), first.begin(), first.end());
+    out.insert(out.end(), second.begin(), second.end());
+    return out;
+  }
+};
 
 class Forecaster {
  public:
@@ -26,6 +60,10 @@ class Forecaster {
   /// Fits on a history (chronological). Throws if the series is too short.
   virtual void fit(std::span<const double> series) = 0;
 
+  /// Zero-copy fit over a ring-buffer view; arithmetic is identical to
+  /// fit(span) on the materialized series. Default: materializes.
+  virtual void fit(const SeriesView& view) { fit(std::span<const double>(view.materialize())); }
+
   /// Advances the forecast origin by one observation WITHOUT refitting
   /// model parameters — online state tracking between periodic refits
   /// (rolling the AR lag window, one Holt-Winters smoothing step, sliding
@@ -33,9 +71,33 @@ class Forecaster {
   /// the last fit). Only meaningful after fit().
   virtual void update(double /*value*/) {}
 
+  /// Maintains rolling-window sufficient statistics for refit(): `value`
+  /// entered the window and, when `evicted` is non-null, `*evicted` left it.
+  /// Called once per observation after the first fit — including on refit
+  /// steps, where update() is not (the refit replaces the origin advance).
+  /// Default: no statistics kept.
+  virtual void track(double /*value*/, const double* /*evicted*/) {}
+
+  /// Incremental refit: brings the parameters to what fit(window) would
+  /// produce, from the statistics maintained by track(). Returns false when
+  /// the model has no incremental path or its statistics do not cover
+  /// `window` (the caller then falls back to the batch fit).
+  virtual bool refit(const SeriesView& /*window*/) { return false; }
+
   /// Forecasts the next `horizon` values after the fitted history (plus any
   /// update() observations since).
   [[nodiscard]] virtual std::vector<double> predict(std::size_t horizon) const = 0;
+
+  /// Writes predict(horizon) into `out` (reused capacity; no fresh vector).
+  virtual void predict_into(std::size_t horizon, std::vector<double>& out) const {
+    out = predict(horizon);
+  }
+
+  /// The single value predict(horizon).back() would produce, bit for bit,
+  /// without materializing the curve. Default: materializes.
+  [[nodiscard]] virtual double predict_point(std::size_t horizon) const {
+    return predict(horizon).back();
+  }
 
   /// Minimum history length fit() accepts.
   [[nodiscard]] virtual std::size_t min_history() const = 0;
@@ -48,8 +110,13 @@ class SeasonalNaive final : public Forecaster {
 
   [[nodiscard]] const char* name() const override { return "seasonal_naive"; }
   void fit(std::span<const double> series) override;
+  void fit(const SeriesView& view) override;
   void update(double value) override;
+  /// The refit of a naive model is just the window tail — O(period), exact.
+  bool refit(const SeriesView& window) override;
   [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  void predict_into(std::size_t horizon, std::vector<double>& out) const override;
+  [[nodiscard]] double predict_point(std::size_t horizon) const override;
   [[nodiscard]] std::size_t min_history() const override { return period_; }
 
  private:
@@ -73,19 +140,43 @@ class SeasonalClimatology final : public Forecaster {
 
   [[nodiscard]] const char* name() const override { return "climatology"; }
   void fit(std::span<const double> series) override;
+  void fit(const SeriesView& view) override;
   void update(double value) override;
+  void track(double value, const double* evicted) override;
+  /// Exact incremental refit from per-slot sufficient statistics: each slot
+  /// keeps its window values and their left-to-right sum, re-summed only
+  /// when that slot's membership changed, so the means cost O(period)
+  /// instead of O(window). The anomaly-autocorrelation pass stays O(window)
+  /// — rho is defined against the *new* means, so it cannot be carried
+  /// across refits without changing the fitted bits — but runs zero-copy
+  /// and zero-allocation over the ring view.
+  bool refit(const SeriesView& window) override;
   [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  void predict_into(std::size_t horizon, std::vector<double>& out) const override;
+  [[nodiscard]] double predict_point(std::size_t horizon) const override;
   [[nodiscard]] std::size_t min_history() const override { return period_; }
 
   [[nodiscard]] double anomaly_rho() const { return rho_; }
   [[nodiscard]] const std::vector<double>& slot_means() const { return slot_means_; }
 
  private:
+  /// Recomputes dirty slot sums and derives slot_means_ for a window whose
+  /// oldest element has absolute index `window_start`.
+  void means_from_stats(std::size_t window_start);
+
   std::size_t period_;
   std::vector<double> slot_means_;
   double rho_ = 0.0;
   double last_anomaly_ = 0.0;
   std::size_t fitted_length_ = 0;
+
+  // Sufficient statistics, keyed by absolute slot (observation index mod
+  // period, counted from the last batch fit's window start).
+  std::vector<std::deque<double>> slot_values_;  ///< per-slot window values
+  std::vector<double> slot_sums_;                ///< left-assoc sums of slot_values_
+  std::vector<char> slot_dirty_;                 ///< sums needing a re-sum
+  std::size_t first_abs_ = 0;                    ///< abs index of the oldest element
+  std::size_t next_abs_ = 0;                     ///< abs index of the next element
 };
 
 /// AR(p) with intercept, fit by OLS on the lag design matrix; multi-step
@@ -96,8 +187,22 @@ class ArModel final : public Forecaster {
 
   [[nodiscard]] const char* name() const override { return "ar"; }
   void fit(std::span<const double> series) override;
+  void fit(const SeriesView& view) override;
   void update(double value) override;
+  void track(double value, const double* evicted) override;
+  /// Incremental refit from online normal equations: track() rank-1 updates
+  /// X'X and X'y as rows enter and leave the window, so a refit solves the
+  /// (p+1)-dim system directly instead of rebuilding the O(window x p^2)
+  /// design-matrix products. Near-exact rather than bit-exact: evicting a
+  /// row subtracts from the accumulated sums, which reassociates the
+  /// floating-point reduction (agreement with the batch fit is at the
+  /// 1e-9-relative level, pinned by the equivalence tests).
+  bool refit(const SeriesView& window) override;
   [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  void predict_into(std::size_t horizon, std::vector<double>& out) const override;
+  /// The multi-step recursion into a reused scratch, returning only its
+  /// last value — same bits as predict(horizon).back(), no fresh vectors.
+  [[nodiscard]] double predict_point(std::size_t horizon) const override;
   [[nodiscard]] std::size_t min_history() const override { return order_ * 3 + 1; }
 
   [[nodiscard]] std::size_t order() const { return order_; }
@@ -105,12 +210,29 @@ class ArModel final : public Forecaster {
   [[nodiscard]] const std::vector<double>& coefficients() const { return coefficients_; }
 
  private:
+  /// Adds (sign=+1) or removes (sign=-1) one design row whose target is
+  /// `window[t]` (lags window[t-1..t-p]) from the normal equations.
+  void accumulate_row(const std::deque<double>& window, std::size_t t, double sign);
+  void rebuild_stats(const SeriesView& view);
+
   std::size_t order_;
   std::vector<double> coefficients_;
   std::vector<double> tail_;  ///< last `order_` observations, oldest first
+
+  // Sufficient statistics for the incremental refit.
+  std::deque<double> window_;    ///< the model's own copy of the fit window
+  std::vector<double> xtx_;      ///< (p+1)^2 row-major, symmetric
+  std::vector<double> xty_;      ///< p+1
+  bool stats_valid_ = false;
+
+  mutable std::vector<double> point_scratch_;  ///< predict_point recursion buffer
 };
 
-/// Additive Holt-Winters (triple exponential smoothing).
+/// Additive Holt-Winters (triple exponential smoothing). Its smoothing state
+/// (level/trend/seasonal) is already maintained online by update(); the
+/// periodic batch refit deliberately re-anchors that state to the current
+/// window's head, which no sufficient statistic can reproduce — so the model
+/// has no refit() path and the rolling wrapper batch-fits it zero-copy.
 class HoltWinters final : public Forecaster {
  public:
   struct Params {
@@ -123,8 +245,11 @@ class HoltWinters final : public Forecaster {
 
   [[nodiscard]] const char* name() const override { return "holt_winters"; }
   void fit(std::span<const double> series) override;
+  void fit(const SeriesView& view) override;
   void update(double value) override;
   [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
+  void predict_into(std::size_t horizon, std::vector<double>& out) const override;
+  [[nodiscard]] double predict_point(std::size_t horizon) const override;
   [[nodiscard]] std::size_t min_history() const override { return period_ * 2; }
 
   [[nodiscard]] double level() const { return level_; }

@@ -48,10 +48,34 @@ std::size_t RollingForecaster::horizon_steps() const {
                                       std::llround(config_.horizon / cadence_)));
 }
 
+SeriesView RollingForecaster::window_view() const {
+  if (ring_.size() < capacity_ || ring_head_ == 0 || capacity_ == 0) {
+    return SeriesView{std::span<const double>(ring_), {}};
+  }
+  return SeriesView{std::span<const double>(ring_.data() + ring_head_, ring_.size() - ring_head_),
+                    std::span<const double>(ring_.data(), ring_head_)};
+}
+
+bool RollingForecaster::ring_push(double value, double* evicted) {
+  if (capacity_ == 0 || ring_.size() < capacity_) {
+    ring_.push_back(value);
+    return false;
+  }
+  *evicted = ring_[ring_head_];
+  ring_[ring_head_] = value;
+  ring_head_ = (ring_head_ + 1) % capacity_;
+  return true;
+}
+
 void RollingForecaster::observe(util::TimePoint now, double value) {
   if (have_last_) {
     if (!(last_time_ < now)) return;  // same control step seen twice (or clock misuse)
-    if (cadence_.seconds() <= 0.0) cadence_ = now - last_time_;
+    if (cadence_.seconds() <= 0.0) {
+      cadence_ = now - last_time_;
+      capacity_ = std::max<std::size_t>(
+          2, static_cast<std::size_t>(std::llround(config_.history / cadence_)));
+      ring_.reserve(capacity_);
+    }
   }
   last_time_ = now;
   have_last_ = true;
@@ -72,23 +96,22 @@ void RollingForecaster::observe(util::TimePoint now, double value) {
     pending_.pop_front();
   }
 
-  values_.push_back(value);
+  double evicted_value = 0.0;
+  const bool evicted = ring_push(value, &evicted_value);
   ++next_index_;
-  if (cadence_.seconds() > 0.0) {
-    const auto capacity = std::max<std::size_t>(
-        2, static_cast<std::size_t>(std::llround(config_.history / cadence_)));
-    while (values_.size() > capacity) values_.pop_front();
-  }
 
-  refit_or_update(value);
+  refit_or_update(value, evicted ? &evicted_value : nullptr);
   record_pending_forecast();
 }
 
-void RollingForecaster::refit_or_update(double value) {
+void RollingForecaster::refit_or_update(double value, const double* evicted) {
   if (cadence_.seconds() <= 0.0) return;
   const auto refit_steps = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::llround(config_.refit_every / cadence_)));
   ++steps_since_fit_;
+  // Sufficient statistics advance with every sample once a model is fitted,
+  // refit steps included — that is what makes the incremental refit cheap.
+  if (fitted_) model_->track(value, evicted);
   if (fitted_ && steps_since_fit_ < refit_steps) {
     // Between refits the parameters stay put, but the forecast origin
     // advances with the stream so predictions condition on the live state.
@@ -102,10 +125,12 @@ void RollingForecaster::refit_or_update(double value) {
         2, static_cast<std::size_t>(std::llround(util::days(1) / cadence_)));
     model_ = make_model(config_.model, period);
   }
-  if (values_.size() < model_->min_history()) return;
+  if (ring_.size() < model_->min_history()) return;
 
-  const std::vector<double> series(values_.begin(), values_.end());
-  model_->fit(series);
+  // Incremental path first (exactly reproduces the batch parameters, see
+  // the per-model notes in models.hpp); zero-copy batch fit otherwise.
+  const SeriesView view = window_view();
+  if (!(fitted_ && model_->refit(view))) model_->fit(view);
   fitted_ = true;
   steps_since_fit_ = 0;
 }
@@ -116,12 +141,17 @@ void RollingForecaster::record_pending_forecast() {
   if (h == 0) return;
   // The skill we report is exactly the skill consumers rely on: the
   // horizon-ahead prediction, scored when its actual arrives.
-  pending_.emplace_back(next_index_ + h - 1, model_->predict(h).back());
+  pending_.emplace_back(next_index_ + h - 1, model_->predict_point(h));
 }
 
 std::vector<double> RollingForecaster::predict(std::size_t steps) const {
   require(fitted_, "RollingForecaster: predict before enough history accumulated");
   return model_->predict(std::clamp<std::size_t>(steps, 1, horizon_steps()));
+}
+
+void RollingForecaster::predict_into(std::size_t steps, std::vector<double>& out) const {
+  require(fitted_, "RollingForecaster: predict before enough history accumulated");
+  model_->predict_into(std::clamp<std::size_t>(steps, 1, horizon_steps()), out);
 }
 
 double RollingForecaster::realized_mape_pct() const {
@@ -139,7 +169,7 @@ SkillReport RollingForecaster::skill(std::string signal_name) const {
   SkillReport report;
   report.signal = std::move(signal_name);
   report.model = config_.model;
-  report.samples = values_.size();
+  report.samples = samples();
   report.scored = scored_;
   report.mape_pct = realized_mape_pct();
   report.reliable = reliable();

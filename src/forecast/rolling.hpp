@@ -13,6 +13,11 @@
 // reactive behavior when forecast skill is poor — a forecast-driven policy
 // must never be worse than its reactive counterpart just because the model
 // lost the plot.
+//
+// The history lives in a fixed-capacity ring (not a deque), so a refit fits
+// straight off the buffer's two chunks via Forecaster::fit(SeriesView) —
+// no per-refit window copy — and models with an incremental path
+// (Forecaster::track/refit) skip the batch pass entirely.
 
 #include <cstddef>
 #include <deque>
@@ -53,6 +58,17 @@ struct RollingForecasterConfig {
   std::size_t min_scored = 4;
 };
 
+/// Full-config equality — the forecaster hub refuses to share a bank between
+/// consumers whose configs differ (silent drift is the failure mode the hub
+/// exists to close).
+[[nodiscard]] inline bool operator==(const RollingForecasterConfig& a,
+                                     const RollingForecasterConfig& b) {
+  return a.model == b.model && a.horizon.seconds() == b.horizon.seconds() &&
+         a.history.seconds() == b.history.seconds() &&
+         a.refit_every.seconds() == b.refit_every.seconds() &&
+         a.mape_gate_pct == b.mape_gate_pct && a.min_scored == b.min_scored;
+}
+
 /// Realized-skill snapshot for telemetry (rendered by telemetry/forecast).
 struct SkillReport {
   std::string signal;  ///< what was forecast ("carbon", "price", ...)
@@ -81,6 +97,10 @@ class RollingForecaster {
   /// clamped to horizon_steps().
   [[nodiscard]] std::vector<double> predict(std::size_t steps) const;
 
+  /// predict(steps) into a reused buffer (no fresh allocation on the hot
+  /// per-step path).
+  void predict_into(std::size_t steps, std::vector<double>& out) const;
+
   /// Enough history accumulated and a model fitted.
   [[nodiscard]] bool ready() const { return fitted_; }
 
@@ -93,24 +113,41 @@ class RollingForecaster {
   [[nodiscard]] double realized_mape_pct() const;
 
   [[nodiscard]] std::size_t scored() const { return scored_; }
-  [[nodiscard]] std::size_t samples() const { return values_.size(); }
+  [[nodiscard]] std::size_t samples() const { return ring_.size(); }
+  /// Total observations accepted so far (monotonic; the ring saturates but
+  /// this does not) — consumers key prediction caches on it.
+  [[nodiscard]] std::uint64_t observations() const { return next_index_; }
   /// Inferred sample cadence (zero until two distinct timestamps were seen).
   [[nodiscard]] util::Duration cadence() const { return cadence_; }
   /// The configured horizon in samples (0 until the cadence is known).
   [[nodiscard]] std::size_t horizon_steps() const;
   [[nodiscard]] const RollingForecasterConfig& config() const { return config_; }
+  /// The fitted model (nullptr before enough history) — for equivalence
+  /// tests that compare parameters against a fresh batch fit.
+  [[nodiscard]] const Forecaster* model() const { return model_.get(); }
+  /// The current history window, oldest first (materialized; test surface).
+  [[nodiscard]] std::vector<double> window() const { return window_view().materialize(); }
 
   [[nodiscard]] SkillReport skill(std::string signal_name) const;
 
  private:
-  void refit_or_update(double value);
+  void refit_or_update(double value, const double* evicted);
   void record_pending_forecast();
+  [[nodiscard]] SeriesView window_view() const;
+  /// Appends to the ring; returns true and sets `evicted` when a sample
+  /// left the window.
+  bool ring_push(double value, double* evicted);
 
   RollingForecasterConfig config_;
   std::unique_ptr<Forecaster> model_;
   bool fitted_ = false;
 
-  std::deque<double> values_;  ///< ring buffer, oldest first
+  // Fixed-capacity ring once the cadence is known (at most two elements
+  // before that); oldest element at ring_head_ when saturated.
+  std::vector<double> ring_;
+  std::size_t ring_head_ = 0;
+  std::size_t capacity_ = 0;  ///< 0 until the cadence is inferred
+
   util::TimePoint last_time_;
   bool have_last_ = false;
   util::Duration cadence_;      ///< zero until inferred

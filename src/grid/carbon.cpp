@@ -19,7 +19,14 @@ util::CarbonIntensity CarbonIntensityModel::intensity_of(const FuelMix& mix) con
 }
 
 util::CarbonIntensity CarbonIntensityModel::intensity_at(util::TimePoint t) const {
-  return intensity_of(mix_model_->mix_at(t));
+  if (memo_valid_ && memo_t_.seconds_since_epoch() == t.seconds_since_epoch()) {
+    return memo_value_;
+  }
+  const util::CarbonIntensity value = intensity_of(mix_model_->mix_at(t));
+  memo_t_ = t;
+  memo_value_ = value;
+  memo_valid_ = true;
+  return value;
 }
 
 util::CarbonIntensity CarbonIntensityModel::monthly_average(util::MonthKey month) const {

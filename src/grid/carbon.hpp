@@ -42,6 +42,12 @@ class CarbonIntensityModel {
  private:
   const FuelMixModel* mix_model_;  // non-owning; outlives this model
   EmissionFactors factors_;
+
+  // Single-entry memo (see LmpPriceModel): pure recompute avoidance for the
+  // several same-instant queries one simulation step issues.
+  mutable bool memo_valid_ = false;
+  mutable util::TimePoint memo_t_;
+  mutable util::CarbonIntensity memo_value_;
 };
 
 }  // namespace greenhpc::grid

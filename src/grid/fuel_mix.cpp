@@ -85,6 +85,17 @@ double FuelMixModel::solar_diurnal_factor(util::TimePoint t) const {
 }
 
 FuelMix FuelMixModel::mix_at(util::TimePoint t) const {
+  if (memo_valid_ && memo_t_.seconds_since_epoch() == t.seconds_since_epoch()) {
+    return memo_value_;
+  }
+  const FuelMix value = compute_mix(t);
+  memo_t_ = t;
+  memo_value_ = value;
+  memo_valid_ = true;
+  return value;
+}
+
+FuelMix FuelMixModel::compute_mix(util::TimePoint t) const {
   const double solar_pct = seasonal_value(config_.solar_pct_by_month, t) * solar_diurnal_factor(t);
   double wind_pct = seasonal_value(config_.wind_pct_by_month, t) *
                     (1.0 + config_.wind_noise_amplitude * wind_noise_.value(t));

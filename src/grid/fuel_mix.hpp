@@ -101,9 +101,17 @@ class FuelMixModel {
   /// Smoothly interpolated month-of-year value (piecewise-linear on mid-months).
   [[nodiscard]] static double seasonal_value(const std::array<double, 12>& by_month,
                                              util::TimePoint t);
+  [[nodiscard]] FuelMix compute_mix(util::TimePoint t) const;
 
   FuelMixConfig config_;
   util::FractalNoise wind_noise_;
+
+  // Single-entry memo: the carbon model, the price coupling, and the
+  // scheduler signals each ask for the same instant within one step. Pure
+  // recompute avoidance.
+  mutable bool memo_valid_ = false;
+  mutable util::TimePoint memo_t_;
+  mutable FuelMix memo_value_;
 };
 
 }  // namespace greenhpc::grid

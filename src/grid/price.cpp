@@ -44,6 +44,17 @@ double LmpPriceModel::spike_factor(util::TimePoint t) const {
 }
 
 util::EnergyPrice LmpPriceModel::price_at(util::TimePoint t) const {
+  if (memo_valid_ && memo_t_.seconds_since_epoch() == t.seconds_since_epoch()) {
+    return memo_value_;
+  }
+  const util::EnergyPrice value = compute_price(t);
+  memo_t_ = t;
+  memo_value_ = value;
+  memo_valid_ = true;
+  return value;
+}
+
+util::EnergyPrice LmpPriceModel::compute_price(util::TimePoint t) const {
   const util::MonthKey mk = util::month_of(t);
   const double base = config_.base_usd_per_mwh[static_cast<std::size_t>(mk.month - 1)];
   double price = base * diurnal_factor(t);

@@ -53,10 +53,17 @@ class LmpPriceModel {
  private:
   [[nodiscard]] double diurnal_factor(util::TimePoint t) const;
   [[nodiscard]] double spike_factor(util::TimePoint t) const;
+  [[nodiscard]] util::EnergyPrice compute_price(util::TimePoint t) const;
 
   PriceConfig config_;
   const FuelMixModel* mix_model_;  // non-owning, may be null
   util::SmoothNoise noise_;
+
+  // Single-entry memo: billing, scheduling signals, and routing snapshots
+  // all ask for the same instant within one step. Pure recompute avoidance.
+  mutable bool memo_valid_ = false;
+  mutable util::TimePoint memo_t_;
+  mutable util::EnergyPrice memo_value_;
 };
 
 }  // namespace greenhpc::grid

@@ -31,7 +31,7 @@ const char* migration_policy_names() { return "carbon | cost | off"; }
 MigrationPlanner::MigrationPlanner(MigrationConfig config)
     : config_(std::move(config)),
       checkpoint_(config_.checkpoint),
-      bank_(config_.forecaster) {
+      bank_(std::make_shared<forecast::ForecasterBank>(config_.forecaster)) {
   require(config_.hysteresis >= 0.0 && config_.hysteresis < 1.0,
           "MigrationPlanner: hysteresis must be in [0,1)");
   require(config_.budget_per_job >= 0, "MigrationPlanner: budget must be >= 0");
@@ -54,12 +54,19 @@ double MigrationPlanner::per_signal(util::Energy energy) const {
 }
 
 void MigrationPlanner::observe(util::TimePoint now, std::span<const fleet::RegionView> regions) {
-  for (const fleet::RegionView& r : regions) bank_.observe(now, r.index, signal_of(r), r.name);
+  for (const fleet::RegionView& r : regions) bank_->observe(now, r.index, signal_of(r), r.name);
+}
+
+void MigrationPlanner::attach_forecasts(forecast::ForecasterHub& hub) {
+  const forecast::SignalKind signal = config_.objective == MigrationObjective::kCost
+                                          ? forecast::SignalKind::kPrice
+                                          : forecast::SignalKind::kCarbon;
+  if (auto shared = hub.attach(signal, config_.forecaster)) bank_ = std::move(shared);
 }
 
 double MigrationPlanner::integrated_signal(std::size_t index, util::Duration runtime,
                                            double instantaneous) const {
-  return bank_.integrated_signal(index, runtime, instantaneous);
+  return bank_->integrated_signal(index, runtime, instantaneous);
 }
 
 std::vector<MigrationDecision> MigrationPlanner::plan(
@@ -74,11 +81,8 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
 
   // Score every candidate's best destination first, then commit the strongest
   // savings while reserving destination capacity so picks never conflict.
-  struct Scored {
-    MigrationDecision decision;
-    int gpus = 0;
-  };
-  std::vector<Scored> scored;
+  std::vector<Scored>& scored = scored_;  // reused scratch; plan() runs every step
+  scored.clear();
 
   for (const MigrationCandidate& c : candidates) {
     if (c.migrations_so_far >= config_.budget_per_job) continue;
@@ -109,6 +113,7 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
     // burns at the source now, ship+restore at the destination on arrival.
     const double snapshot_cost =
         per_signal(checkpoint_.snapshot_energy(c.gpus)) * signal_of(src);
+    const double delivery_per_signal = per_signal(checkpoint_.delivery_energy(c.gpus));
 
     MigrationDecision best;
     double best_move = std::numeric_limits<double>::infinity();
@@ -125,7 +130,7 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
           d.busy_gpu_power * util::seconds(c.work_remaining_gpu_seconds);
       const double move =
           per_signal(run_energy_dst) * integrated_signal(d.index, remaining, signal_of(d)) +
-          snapshot_cost + per_signal(checkpoint_.delivery_energy(c.gpus)) * signal_of(d);
+          snapshot_cost + delivery_per_signal * signal_of(d);
       if (move < best_move) {
         best_move = move;
         best.dest = d.index;
@@ -154,7 +159,8 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
 
   // Commit while destination capacity and pipe slots hold out (same
   // net-of-backlog-and-inbound capacity the scoring pass used).
-  std::vector<int> free_gpus(regions.size(), 0);
+  std::vector<int>& free_gpus = free_gpus_;
+  free_gpus.assign(regions.size(), 0);
   for (const fleet::RegionView& r : regions) {
     free_gpus[r.index] = r.free_gpus - r.queued_gpu_demand - inbound(r.index);
   }
@@ -167,6 +173,6 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
   return decisions;
 }
 
-std::vector<forecast::SkillReport> MigrationPlanner::skills() const { return bank_.skills(); }
+std::vector<forecast::SkillReport> MigrationPlanner::skills() const { return bank_->skills(); }
 
 }  // namespace greenhpc::migrate

@@ -25,6 +25,7 @@
 #include "cluster/job.hpp"
 #include "fleet/routing.hpp"
 #include "forecast/bank.hpp"
+#include "forecast/hub.hpp"
 #include "migrate/checkpoint.hpp"
 
 namespace greenhpc::migrate {
@@ -102,6 +103,12 @@ class MigrationPlanner {
   /// RoutingPolicy::observe; repeated timestamps are deduplicated).
   void observe(util::TimePoint now, std::span<const fleet::RegionView> regions);
 
+  /// Adopts the coordinator's shared per-region bank for this planner's
+  /// signal when the forecaster configs match — one observe/refit/skill
+  /// pass per region per step shared with the forecast router instead of a
+  /// duplicate private stack.
+  void attach_forecasts(forecast::ForecasterHub& hub);
+
   /// Scores all candidates against all destinations and returns up to
   /// `available_slots` non-conflicting moves (destination capacity is
   /// reserved move-by-move), ordered by predicted saving. `inbound_gpus`
@@ -131,7 +138,17 @@ class MigrationPlanner {
 
   MigrationConfig config_;
   CheckpointModel checkpoint_;
-  forecast::ForecasterBank bank_;  ///< one forecaster per region
+  /// One forecaster per region — private by default, the hub's shared bank
+  /// after attach_forecasts.
+  std::shared_ptr<forecast::ForecasterBank> bank_;
+
+  /// Per-plan scratch (reused; plan() runs every fleet step).
+  struct Scored {
+    MigrationDecision decision;
+    int gpus = 0;
+  };
+  std::vector<Scored> scored_;
+  std::vector<int> free_gpus_;
 };
 
 }  // namespace greenhpc::migrate

@@ -41,6 +41,17 @@ double WeatherModel::seasonal_celsius(util::TimePoint t) const {
 }
 
 util::Temperature WeatherModel::temperature_at(util::TimePoint t) const {
+  if (memo_valid_ && memo_t_.seconds_since_epoch() == t.seconds_since_epoch()) {
+    return memo_value_;
+  }
+  const util::Temperature value = compute_temperature(t);
+  memo_t_ = t;
+  memo_value_ = value;
+  memo_valid_ = true;
+  return value;
+}
+
+util::Temperature WeatherModel::compute_temperature(util::TimePoint t) const {
   double celsius = seasonal_celsius(t) + config_.climate_offset;
   // Diurnal cycle: coldest ~05:00, warmest ~15:00.
   const double h = util::hour_of_day(t);
@@ -66,6 +77,7 @@ util::Temperature WeatherModel::monthly_average(util::MonthKey month) const {
 void WeatherModel::add_heat_wave(const HeatWave& wave) {
   require(wave.length.seconds() > 0.0, "WeatherModel: heat wave must have positive length");
   heat_waves_.push_back(wave);
+  memo_valid_ = false;
 }
 
 }  // namespace greenhpc::thermal

@@ -57,10 +57,18 @@ class WeatherModel {
 
  private:
   [[nodiscard]] double seasonal_celsius(util::TimePoint t) const;
+  [[nodiscard]] util::Temperature compute_temperature(util::TimePoint t) const;
 
   WeatherConfig config_;
   util::FractalNoise synoptic_;
   std::vector<HeatWave> heat_waves_;
+
+  // Single-entry memo: the simulation queries the same local-time instant
+  // several times per step (throttle, PUE, cooling water, signals). Pure
+  // recompute avoidance — invalidated when a heat wave is added.
+  mutable bool memo_valid_ = false;
+  mutable util::TimePoint memo_t_;
+  mutable util::Temperature memo_value_;
 };
 
 }  // namespace greenhpc::thermal

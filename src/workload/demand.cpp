@@ -52,6 +52,9 @@ double DemandModulator::factor(util::TimePoint t) const {
 }
 
 std::array<double, 5> DemandModulator::area_weights(util::TimePoint t) const {
+  if (memo_valid_ && memo_t_.seconds_since_epoch() == t.seconds_since_epoch()) {
+    return memo_weights_;
+  }
   // Base popularity of each area on a shared ML cluster (general ML and
   // vision dominate, mirroring the Table-I venue weighting).
   std::array<double, 5> weights = {/*NLP*/ 0.22, /*CV*/ 0.26, /*Robotics*/ 0.10,
@@ -64,6 +67,9 @@ std::array<double, 5> DemandModulator::area_weights(util::TimePoint t) const {
     weights[static_cast<std::size_t>(d.area)] +=
         config_.deadline_boost * d.weight * std::exp(-0.5 * z * z);
   }
+  memo_t_ = t;
+  memo_weights_ = weights;
+  memo_valid_ = true;
   return weights;
 }
 

@@ -61,6 +61,13 @@ class DemandModulator {
  private:
   DeadlineCalendar calendar_;
   DemandConfig config_;
+
+  // Single-entry memo: every job sampled in one arrival step draws its area
+  // from the same instant's weights, and the weight computation walks the
+  // whole deadline calendar. Pure recompute avoidance.
+  mutable bool memo_valid_ = false;
+  mutable util::TimePoint memo_t_;
+  mutable std::array<double, 5> memo_weights_{};
 };
 
 }  // namespace greenhpc::workload

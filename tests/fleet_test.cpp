@@ -287,6 +287,72 @@ TEST(ForecastRouter, CoordinatorFeedsSignalsEveryStep) {
   EXPECT_EQ(skills[1].samples, 192u);
 }
 
+TEST(Coordinator, SharedForecasterHubMatchesPrivateBanksBitForBit) {
+  // The tentpole equivalence: the coordinator-owned forecaster hub (one
+  // observe/refit/skill pass per region-signal per step, shared by the
+  // forecast router and the migration planner) must produce the exact run
+  // the old private-bank wiring produced — same routing, same migrations,
+  // same bits — over a 90-day flagship window.
+  const auto run = [](bool share) {
+    std::vector<RegionProfile> profiles = make_reference_fleet();
+    FleetConfig config;
+    config.seed = 99;
+    config.share_forecasters = share;
+    config.arrivals.base_rate_per_hour = scaled_fleet_rate(profiles, 14.0);
+    config.migration.objective = migrate::MigrationObjective::kCarbon;
+    FleetCoordinator fleet(config, std::move(profiles), make_router("carbon_forecast"));
+    EXPECT_EQ(fleet.forecaster_hub() != nullptr, share);
+    if (share) {
+      // Router and planner both forecast carbon with one config: one bank.
+      EXPECT_EQ(fleet.forecaster_hub()->banks_created(), 1u);
+    }
+    fleet.run_until(TimePoint::from_seconds(0.0) + util::days(90));
+    return fleet.summary();
+  };
+  const telemetry::FleetRunSummary shared = run(true);
+  const telemetry::FleetRunSummary isolated = run(false);
+
+  ASSERT_GT(shared.migration.started, 0u) << "flagship window moved nothing";
+  EXPECT_EQ(shared.total.jobs_submitted, isolated.total.jobs_submitted);
+  EXPECT_EQ(shared.total.jobs_completed, isolated.total.jobs_completed);
+  EXPECT_EQ(shared.total.jobs_migrated, isolated.total.jobs_migrated);
+  EXPECT_EQ(shared.total.completed_gpu_hours, isolated.total.completed_gpu_hours);
+  EXPECT_EQ(shared.total.mean_queue_wait_hours, isolated.total.mean_queue_wait_hours);
+  EXPECT_EQ(shared.total.grid_totals.energy.joules(), isolated.total.grid_totals.energy.joules());
+  EXPECT_EQ(shared.total.grid_totals.carbon.kilograms(),
+            isolated.total.grid_totals.carbon.kilograms());
+  EXPECT_EQ(shared.total.grid_totals.cost.dollars(), isolated.total.grid_totals.cost.dollars());
+  EXPECT_EQ(shared.migration.started, isolated.migration.started);
+  EXPECT_EQ(shared.migration.delivered, isolated.migration.delivered);
+  EXPECT_EQ(shared.migration.gpu_hours_moved, isolated.migration.gpu_hours_moved);
+  EXPECT_EQ(shared.migration.predicted_saving, isolated.migration.predicted_saving);
+  EXPECT_EQ(shared.transfer.energy.joules(), isolated.transfer.energy.joules());
+  for (std::size_t i = 0; i < shared.regions.size(); ++i) {
+    EXPECT_EQ(shared.regions[i].jobs_routed, isolated.regions[i].jobs_routed) << i;
+    EXPECT_EQ(shared.regions[i].jobs_migrated_in, isolated.regions[i].jobs_migrated_in) << i;
+    EXPECT_EQ(shared.regions[i].jobs_migrated_out, isolated.regions[i].jobs_migrated_out) << i;
+  }
+}
+
+TEST(Coordinator, HubSeedsFromMigrationConfigUnderReactiveRouter) {
+  // Migration-only forecasting: a reactive router ignores the hub, but the
+  // planner still adopts the shared bank (seeded from the migration config).
+  std::vector<RegionProfile> profiles = make_reference_fleet();
+  profiles.resize(2);
+  FleetConfig config;
+  config.arrivals.base_rate_per_hour = 1.0;
+  config.migration.objective = migrate::MigrationObjective::kCarbon;
+  FleetCoordinator fleet(config, std::move(profiles), make_router("carbon_greedy"));
+  ASSERT_NE(fleet.forecaster_hub(), nullptr);
+  EXPECT_EQ(fleet.forecaster_hub()->banks_created(), 1u);
+  // And a fully reactive fleet needs no hub at all.
+  std::vector<RegionProfile> reactive_profiles = make_reference_fleet();
+  reactive_profiles.resize(2);
+  FleetCoordinator reactive(FleetConfig{}, std::move(reactive_profiles),
+                            make_router("round_robin"));
+  EXPECT_EQ(reactive.forecaster_hub(), nullptr);
+}
+
 TEST(Coordinator, RunsInLockstepAndConservesJobs) {
   auto fleet = small_fleet(11, "least_loaded");
   fleet->run_until(TimePoint::from_seconds(0.0) + util::days(3));

@@ -7,6 +7,8 @@
 #include <numbers>
 #include <vector>
 
+#include "forecast/bank.hpp"
+#include "forecast/hub.hpp"
 #include "forecast/metrics.hpp"
 #include "forecast/models.hpp"
 #include "forecast/rolling.hpp"
@@ -346,6 +348,212 @@ TEST(RollingForecasterTest, ModelFactoryValidation) {
   RollingForecasterConfig bad;
   bad.model = "oracle";
   EXPECT_THROW(RollingForecaster{bad}, std::invalid_argument);
+}
+
+// --- incremental refits vs batch fits --------------------------------------
+//
+// The rolling wrapper's incremental refit path (Forecaster::track/refit)
+// must be indistinguishable from batch-fitting the same window: bit-exact
+// for seasonal_naive and climatology (their sufficient statistics reproduce
+// the batch arithmetic operation for operation), near-exact for ar (evicting
+// a design row from the online normal equations reassociates the
+// floating-point sums), and trivially exact for holt_winters (it has no
+// incremental path; its refit IS the zero-copy batch fit).
+
+/// Streams `total` quarter-hour samples of a noisy diurnal signal.
+RollingForecaster streamed(const std::string& model, std::size_t total, double noise,
+                           std::uint64_t seed) {
+  RollingForecasterConfig config;
+  config.model = model;
+  RollingForecaster fc(config);
+  util::Rng rng(seed);
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double hours = t.seconds_since_epoch() / 3600.0;
+    const double value = 0.30 + 0.10 * std::sin(2.0 * std::numbers::pi * hours / 24.0) +
+                         noise * rng.normal();
+    fc.observe(t, value);
+    t = t + util::minutes(15);
+  }
+  return fc;
+}
+
+/// Observations that land the stream exactly on a refit step: the first fit
+/// happens when the history reaches min_history, and a refit every 6 h of
+/// 15-minute samples thereafter (24 steps).
+std::size_t refit_aligned_total(const std::string& model, std::size_t refits) {
+  return make_model(model, 96)->min_history() + 24 * refits;
+}
+
+TEST(IncrementalRefit, ExactModelsMatchBatchBitForBit) {
+  for (const std::string model : {"seasonal_naive", "climatology", "holt_winters"}) {
+    // Long enough that the 7-day ring saturates and slides through many
+    // window positions before the final refit.
+    const RollingForecaster fc = streamed(model, refit_aligned_total(model, 40), 0.02, 5);
+    ASSERT_TRUE(fc.ready()) << model;
+    const std::vector<double> window = fc.window();
+    const std::unique_ptr<Forecaster> batch = make_model(model, 96);
+    batch->fit(window);
+    EXPECT_EQ(fc.predict(96), batch->predict(96)) << model;
+  }
+}
+
+TEST(IncrementalRefit, ClimatologyParametersMatchBatch) {
+  const RollingForecaster fc = streamed("climatology", refit_aligned_total("climatology", 40),
+                                        0.02, 7);
+  const auto* online = dynamic_cast<const SeasonalClimatology*>(fc.model());
+  ASSERT_NE(online, nullptr);
+  SeasonalClimatology batch(96);
+  batch.fit(fc.window());
+  EXPECT_EQ(online->slot_means(), batch.slot_means());  // exact, every slot
+  EXPECT_EQ(online->anomaly_rho(), batch.anomaly_rho());
+}
+
+TEST(IncrementalRefit, ArNormalEquationsMatchBatchToTolerance) {
+  // More noise than the exact-model test: OLS over 96 near-collinear lags of
+  // a clean sinusoid would be ill-conditioned, which tests the solver, not
+  // the statistics.
+  const RollingForecaster fc = streamed("ar", refit_aligned_total("ar", 40), 0.05, 11);
+  const auto* online = dynamic_cast<const ArModel*>(fc.model());
+  ASSERT_NE(online, nullptr);
+  ArModel batch(96);
+  batch.fit(fc.window());
+  ASSERT_EQ(online->coefficients().size(), batch.coefficients().size());
+  for (std::size_t i = 0; i < batch.coefficients().size(); ++i) {
+    EXPECT_NEAR(online->coefficients()[i], batch.coefficients()[i],
+                1e-6 * std::max(1.0, std::abs(batch.coefficients()[i])))
+        << "coefficient " << i;
+  }
+  const std::vector<double> got = fc.predict(96);
+  const std::vector<double> want = batch.predict(96);
+  for (std::size_t h = 0; h < want.size(); ++h) {
+    EXPECT_NEAR(got[h], want[h], 1e-7 * std::max(1.0, std::abs(want[h]))) << "h=" << h;
+  }
+}
+
+TEST(IncrementalRefit, SeriesViewFitMatchesSpanFit) {
+  // The zero-copy two-chunk fit is the same arithmetic as the contiguous
+  // one, for every model.
+  const auto series = seasonal_series(300, 24, 0.2, 0.3, 23);
+  for (const std::string name : {"seasonal_naive", "climatology", "ar", "holt_winters"}) {
+    const std::unique_ptr<Forecaster> whole = make_model(name, 24);
+    whole->fit(series);
+    const std::unique_ptr<Forecaster> split = make_model(name, 24);
+    const std::size_t cut = 131;  // deliberately unaligned with the period
+    split->fit(SeriesView{std::span(series).subspan(0, cut), std::span(series).subspan(cut)});
+    EXPECT_EQ(whole->predict(48), split->predict(48)) << name;
+  }
+}
+
+TEST(IncrementalRefit, PredictPointMatchesPredictBack) {
+  for (const std::string name : {"seasonal_naive", "climatology", "ar", "holt_winters"}) {
+    const std::unique_ptr<Forecaster> model = make_model(name, 24);
+    model->fit(seasonal_series(200, 24, 0.1, 0.4, 29));
+    for (const std::size_t h : {1u, 7u, 24u, 60u}) {
+      EXPECT_EQ(model->predict_point(h), model->predict(h).back()) << name << " h=" << h;
+    }
+  }
+}
+
+// --- the bank's prefix-sum integral cache ------------------------------------
+
+TEST(ForecasterBank, PrefixSumIntegralMatchesDirectAverageBitForBit) {
+  const RollingForecasterConfig config;
+  ForecasterBank bank(config);
+  RollingForecaster shadow(config);  // same stream, queried the pre-cache way
+
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 4 * 96; ++i) {
+    const double hours = t.seconds_since_epoch() / 3600.0;
+    const double value = 0.30 + 0.05 * std::sin(2.0 * std::numbers::pi * hours / 24.0);
+    bank.observe(t, 0, value, "carbon");
+    shadow.observe(t, value);
+    t = t + util::minutes(15);
+  }
+  ASSERT_TRUE(shadow.reliable());
+
+  const auto direct = [&](util::Duration runtime) {
+    const auto steps = static_cast<std::size_t>(
+        std::clamp<double>(std::ceil(runtime / shadow.cadence()), 1.0,
+                           static_cast<double>(shadow.horizon_steps())));
+    const std::vector<double> predicted = shadow.predict(steps);
+    double total = 0.0;
+    for (double v : predicted) total += v;
+    return total / static_cast<double>(predicted.size());
+  };
+  for (const double hours : {0.25, 1.0, 3.7, 11.0, 24.0, 500.0}) {
+    const util::Duration runtime = util::hours(hours);
+    EXPECT_EQ(bank.integrated_signal(0, runtime, 9.9), direct(runtime)) << hours << " h";
+    // Second query the same step hits the cache; must stay identical.
+    EXPECT_EQ(bank.integrated_signal(0, runtime, 9.9), direct(runtime)) << hours << " h";
+  }
+
+  // A new observation invalidates the cache: the answers follow the stream.
+  bank.observe(t, 0, 0.42, "carbon");
+  shadow.observe(t, 0.42);
+  EXPECT_EQ(bank.integrated_signal(0, util::hours(6.0), 9.9), direct(util::hours(6.0)));
+
+  // Unknown sources fall back to the instantaneous signal.
+  EXPECT_EQ(bank.integrated_signal(7, util::hours(6.0), 0.42), 0.42);
+}
+
+// --- the shared forecaster hub -----------------------------------------------
+
+TEST(ForecasterHub, SharesOneBankPerSignalAndRefusesDriftedConfigs) {
+  const RollingForecasterConfig config;
+  ForecasterHub hub(config);
+  const std::shared_ptr<ForecasterBank> a = hub.attach(SignalKind::kCarbon, config);
+  const std::shared_ptr<ForecasterBank> b = hub.attach(SignalKind::kCarbon, config);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // same signal, same config -> one bank
+
+  const std::shared_ptr<ForecasterBank> p = hub.attach(SignalKind::kPrice, config);
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(a.get(), p.get());  // different signals never share state
+  EXPECT_EQ(hub.banks_created(), 2u);
+
+  RollingForecasterConfig drifted;
+  drifted.horizon = util::hours(48);
+  EXPECT_EQ(hub.attach(SignalKind::kCarbon, drifted), nullptr);  // keep private
+  EXPECT_EQ(hub.banks_created(), 2u);
+}
+
+TEST(ForecasterHub, SharedBankMatchesTwoPrivateBanksBitForBit) {
+  // The hub's core claim at the bank level: one shared bank observed by two
+  // consumers (second observe per step deduplicated) carries exactly the
+  // state two private banks fed the same stream would.
+  const RollingForecasterConfig config;
+  ForecasterHub hub(config);
+  const std::shared_ptr<ForecasterBank> shared = hub.attach(SignalKind::kCarbon, config);
+  ForecasterBank router_private(config);
+  ForecasterBank planner_private(config);
+
+  util::Rng rng(31);
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 6 * 96; ++i) {
+    for (std::size_t region = 0; region < 3; ++region) {
+      const double hours = t.seconds_since_epoch() / 3600.0;
+      const double value = 0.3 + 0.05 * std::sin(2.0 * std::numbers::pi * hours / 24.0) +
+                           0.01 * static_cast<double>(region) + 0.005 * rng.normal();
+      shared->observe(t, region, value, "carbon");  // consumer 1
+      shared->observe(t, region, value, "carbon");  // consumer 2 (deduplicated)
+      router_private.observe(t, region, value, "carbon");
+      planner_private.observe(t, region, value, "carbon");
+    }
+    t = t + util::minutes(15);
+  }
+  for (std::size_t region = 0; region < 3; ++region) {
+    for (const double hours : {0.5, 4.0, 24.0}) {
+      const double a = shared->integrated_signal(region, util::hours(hours), 1.0);
+      EXPECT_EQ(a, router_private.integrated_signal(region, util::hours(hours), 1.0));
+      EXPECT_EQ(a, planner_private.integrated_signal(region, util::hours(hours), 1.0));
+    }
+    const SkillReport s = shared->skills()[region];
+    const SkillReport r = router_private.skills()[region];
+    EXPECT_EQ(s.mape_pct, r.mape_pct);
+    EXPECT_EQ(s.scored, r.scored);
+    EXPECT_EQ(s.reliable, r.reliable);
+  }
 }
 
 // --- metrics ------------------------------------------------------------------------

@@ -414,6 +414,58 @@ TEST(Coordinator, MigrationConservesWorkAndFillsLedgers) {
   EXPECT_EQ(summary.total.jobs_migrated, summary.migration.started);
 }
 
+TEST(Coordinator, DrainMigrationsStrandsNoCheckpointAndConservesDeliveredWork) {
+  // Closing the window with checkpoints still on the pipe used to drop the
+  // snapshots — the lineage's banked GPU-hours vanished from every ledger.
+  // drain_migrations() steps the closed fleet forward (arrivals and new
+  // planning suspended) until every in-flight checkpoint is delivered.
+  auto fleet = migrating_fleet(11);
+
+  // Advance step by step until the window "closes" with work on the pipe.
+  util::TimePoint t = util::TimePoint::from_seconds(0.0);
+  const util::TimePoint give_up = t + util::days(10);
+  while (fleet->migrations_in_flight() == 0 && fleet->now() < give_up) {
+    t = t + util::minutes(15);
+    fleet->run_until(t);
+  }
+  ASSERT_GT(fleet->migrations_in_flight(), 0u) << "no checkpoint in flight in 10 hot days";
+  const telemetry::FleetRunSummary stranded = fleet->summary();
+  EXPECT_LT(stranded.migration.delivered, stranded.migration.started);
+
+  fleet->drain_migrations();
+  EXPECT_EQ(fleet->migrations_in_flight(), 0u);
+  const telemetry::FleetRunSummary drained = fleet->summary();
+  // Every checkpoint taken was restored somewhere: the relocated GPU-hours
+  // are conserved in the fleet's job ledger instead of evaporating.
+  EXPECT_EQ(drained.migration.delivered, drained.migration.started);
+  EXPECT_EQ(drained.migration.in_flight, 0u);
+  std::size_t submitted = 0, routed = 0;
+  for (std::size_t i = 0; i < fleet->region_count(); ++i) {
+    submitted += fleet->region(i).summary().jobs_submitted;
+    routed += fleet->jobs_routed()[i];
+  }
+  // The accounting identity a stranded pipe breaks: every submission is an
+  // arrival or a delivered checkpoint, fleet-wide.
+  EXPECT_EQ(submitted, routed + drained.migration.delivered);
+
+  // Draining an empty pipe is a no-op: the clock must not move again.
+  const util::TimePoint after = fleet->now();
+  fleet->drain_migrations();
+  EXPECT_EQ(fleet->now().seconds_since_epoch(), after.seconds_since_epoch());
+}
+
+TEST(Coordinator, DrainMigrationsIsANoOpWithMigrationOff) {
+  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
+  fleet::FleetConfig config;
+  config.seed = 3;
+  fleet::FleetCoordinator off(std::move(config), std::move(profiles),
+                              fleet::make_router("carbon_greedy"));
+  off.run_until(util::TimePoint::from_seconds(0.0) + util::days(2));
+  const util::TimePoint before = off.now();
+  off.drain_migrations();
+  EXPECT_EQ(off.now().seconds_since_epoch(), before.seconds_since_epoch());
+}
+
 TEST(Coordinator, TransferLedgerSumsPerRegionAttribution) {
   // The satellite invariant: the fleet footprint equals the sum of the
   // per-region grid ledgers plus the per-region transfer ledgers — nothing

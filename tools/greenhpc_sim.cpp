@@ -429,6 +429,7 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
 
   coordinator.run_until(first.start);  // warm-up
   coordinator.run_until(last.end);
+  coordinator.drain_migrations();  // never strand a checkpoint mid-pipe
 
   const telemetry::FleetRunSummary summary = coordinator.summary();
   std::cout << "\nper-region:\n" << telemetry::fleet_region_table(summary);
