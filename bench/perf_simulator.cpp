@@ -25,6 +25,8 @@
 
 #include "bench_common.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
 
@@ -93,6 +95,39 @@ double best_of(int repeat, Fn&& fn) {
   return best;
 }
 
+/// Where does a flagship step spend its time? One instrumented run of the
+/// forecast+migration fleet with the flight recorder's phase profiler on
+/// (trace and metrics off — profiling alone is the cheapest configuration),
+/// reported as per-phase shares so future perf PRs cite an in-tree
+/// breakdown instead of external ad-hoc profiling.
+void bench_phase_breakdown(int days, std::map<std::string, double>& results) {
+  experiment::ScenarioSpec spec;
+  spec.name = "perf_phases";
+  spec.mode = experiment::Mode::kFleet;
+  spec.region_count = 4;
+  spec.router = "carbon_forecast";
+  spec.migration_policy = "carbon";
+  spec.start = {2021, 7};
+  spec.rate_per_hour = 14.0;
+  spec.days = days;
+  spec.warmup_days = 0;
+  const auto fleet = experiment::make_fleet(spec, 42);
+  obs::FlightRecorder recorder({/*metrics=*/false, /*trace=*/false, /*profile=*/true});
+  fleet->set_recorder(&recorder);
+  fleet->run_until(spec.window_end());
+
+  const obs::PhaseProfiler& profiler = recorder.profiler();
+  const double total = profiler.total_seconds();
+  std::cout << "\nflagship step-phase breakdown (" << days << " day(s), profiled run):\n"
+            << profiler.render();
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const obs::Phase phase = static_cast<obs::Phase>(p);
+    const double share =
+        total > 0.0 ? 100.0 * profiler.stats(phase).wall_seconds / total : 0.0;
+    results[std::string("flagship_phase_") + obs::phase_name(phase) + "_pct"] = share;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,6 +173,8 @@ int main(int argc, char** argv) {
   util::Table table({"metric", "per_second"});
   for (const auto& [key, value] : results) table.add(key, util::fmt_fixed(value, 1));
   std::cout << table;
+
+  bench_phase_breakdown(days, results);
 
   bench::merge_perf_json(json_path, results);
   std::cout << "\nwrote " << json_path << "\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::cluster {
@@ -133,5 +134,15 @@ util::Power Cluster::it_power() const {
 util::Power Cluster::busy_gpu_power() const { return gpu_model_.active_power(power_cap_); }
 
 double Cluster::throughput_factor() const { return gpu_model_.throughput_factor(power_cap_); }
+
+void Cluster::register_metrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
+  registry.gauge(prefix + "free_gpus", [this] { return static_cast<double>(free_gpus()); });
+  registry.gauge(prefix + "busy_gpus", [this] { return static_cast<double>(busy_gpus()); });
+  registry.gauge(prefix + "running_jobs",
+                 [this] { return static_cast<double>(allocations_.size()); });
+  registry.gauge(prefix + "utilization", [this] { return utilization(); });
+  registry.gauge(prefix + "it_power_kw", [this] { return it_power().kilowatts(); });
+  registry.gauge(prefix + "power_cap_w", [this] { return power_cap_.watts(); });
+}
 
 }  // namespace greenhpc::cluster

@@ -12,9 +12,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <string>
+
 #include "cluster/job.hpp"
 #include "power/gpu_power.hpp"
 #include "util/units.hpp"
+
+namespace greenhpc::obs {
+class MetricsRegistry;
+}
 
 namespace greenhpc::cluster {
 
@@ -99,6 +105,13 @@ class Cluster {
 
   /// Effective throughput factor under the current cap.
   [[nodiscard]] double throughput_factor() const;
+
+  // --- Observability --------------------------------------------------------
+
+  /// Registers pull-model gauges (free/busy GPUs, utilization, IT power,
+  /// power cap) under `prefix` (e.g. "r0.cluster."). The cluster must
+  /// outlive sampling; gauges only read state.
+  void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix) const;
 
  private:
   struct Node {

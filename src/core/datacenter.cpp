@@ -1,7 +1,9 @@
 #include "core/datacenter.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/recorder.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 
@@ -47,11 +49,51 @@ void Datacenter::attach_battery_policy(std::unique_ptr<grid::ArbitragePolicy> po
   battery_policy_ = std::move(policy);
 }
 
+bool Datacenter::tracing() const { return recorder_ != nullptr && recorder_->tracing(); }
+
+void Datacenter::set_recorder(obs::FlightRecorder* recorder, std::size_t region, bool root) {
+  recorder_ = recorder;
+  obs_region_ = region;
+  obs_root_ = root;
+  if (recorder_ == nullptr) return;
+  const std::string prefix = "r" + std::to_string(region) + ".";
+  if (recorder_->metrics_on()) {
+    obs::MetricsRegistry& reg = recorder_->registry();
+    ctr_submitted_ = reg.counter(prefix + "jobs_submitted");
+    ctr_started_ = reg.counter(prefix + "jobs_started");
+    ctr_completed_ = reg.counter(prefix + "jobs_completed");
+    ctr_migrated_out_ = reg.counter(prefix + "jobs_migrated_out");
+    hist_queue_wait_ = reg.histogram(prefix + "queue_wait_hours", 0.0, 168.0, 56);
+    reg.gauge(prefix + "queue_depth", [this] { return static_cast<double>(queue_.size()); });
+    reg.gauge(prefix + "queued_gpu_demand",
+              [this] { return static_cast<double>(queued_gpu_demand_); });
+    reg.gauge(prefix + "carbon_g_per_kwh",
+              [this] { return carbon_.intensity_at(local_time(sim_.now())).g_per_kwh(); });
+    reg.gauge(prefix + "price_usd_per_mwh",
+              [this] { return price_.price_at(local_time(sim_.now())).usd_per_mwh(); });
+    reg.gauge(prefix + "renewable_share",
+              [this] { return fuel_mix_.mix_at(local_time(sim_.now())).renewable_share(); });
+    cluster_.register_metrics(reg, prefix + "cluster.");
+  }
+  if (recorder_->tracing()) {
+    recorder_->trace().process_name(trace_pid(), "region " + std::to_string(region));
+    recorder_->trace().thread_name(trace_pid(), 0, "scheduler");
+  }
+}
+
 cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
   const cluster::JobId id = jobs_.submit(request, sim_.now());
   queue_.push_back(id);
   queued_gpu_demand_ += request.gpus;
   monthly_subs_.add_event(sim_.now());
+  if (ctr_submitted_ != nullptr) ctr_submitted_->add();
+  if (tracing()) {
+    recorder_->trace().async_begin(
+        "queued", "job.queue", trace_pid(), span_id(id), obs::FlightRecorder::sim_us(sim_.now()),
+        {obs::arg("gpus", static_cast<double>(request.gpus)),
+         obs::arg("work_gpu_hours", request.work_gpu_seconds / 3600.0),
+         obs::arg("flexible", request.flexible ? 1.0 : 0.0)});
+  }
   return id;
 }
 
@@ -73,6 +115,12 @@ Datacenter::PreemptedJob Datacenter::preempt(cluster::JobId id) {
   snapshot.work_remaining_gpu_seconds = job.work_remaining();
   cluster_.release(id);
   job.migrate_out(sim_.now());
+  if (ctr_migrated_out_ != nullptr) ctr_migrated_out_->add();
+  if (tracing()) {
+    recorder_->trace().async_end("running", "job.run", trace_pid(), span_id(id),
+                                 obs::FlightRecorder::sim_us(sim_.now()),
+                                 {obs::arg("outcome", "migrated")});
+  }
   return snapshot;
 }
 
@@ -153,6 +201,12 @@ void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
     if (job.work_remaining() <= 1e-6) {
       const util::TimePoint finish = t + util::Duration::from_raw(dt.seconds() * fraction);
       job.complete(finish);
+      if (ctr_completed_ != nullptr) ctr_completed_->add();
+      if (tracing()) {
+        recorder_->trace().async_end("running", "job.run", trace_pid(), span_id(job.id()),
+                                     obs::FlightRecorder::sim_us(finish),
+                                     {obs::arg("outcome", "completed")});
+      }
       // A migrated-in job completes its whole lineage: the work checkpointed
       // at previous sites is delivered now, together with the remainder.
       completed_gpu_hours_ +=
@@ -169,10 +223,16 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
   ctx.jobs = &jobs_;
   ctx.queue = &queue_;
   ctx.signals = signals;
+  const bool explain = tracing();
+  if (explain) {
+    sched_explain_.clear();
+    ctx.explain = &sched_explain_;
+  }
 
   cluster_.set_power_cap(scheduler_->choose_cap(ctx));
 
   const std::vector<cluster::JobId> starts = scheduler_->select(ctx);
+  started_scratch_.clear();
   for (cluster::JobId id : starts) {
     cluster::Job& job = jobs_.get(id);
     const auto alloc = cluster_.allocate(id, job.request().gpus);
@@ -183,11 +243,41 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
         cluster_.set_job_cap(id, *cap);
       }
     }
-    queue_waits_hours_.push_back((t - job.submit_time()).hours());
-    const auto it = std::find(queue_.begin(), queue_.end(), id);
-    require(it != queue_.end(), "Datacenter: scheduler returned a job not in the queue");
-    queue_.erase(it);
+    const double wait_hours = (t - job.submit_time()).hours();
+    queue_waits_hours_.push_back(wait_hours);
+    started_scratch_.insert(id);
     queued_gpu_demand_ -= job.request().gpus;
+    if (ctr_started_ != nullptr) ctr_started_->add();
+    if (hist_queue_wait_ != nullptr) hist_queue_wait_->add(wait_hours);
+    if (tracing()) {
+      const double ts = obs::FlightRecorder::sim_us(t);
+      recorder_->trace().async_end("queued", "job.queue", trace_pid(), span_id(id), ts,
+                                   {obs::arg("wait_hours", wait_hours)});
+      recorder_->trace().async_begin("running", "job.run", trace_pid(), span_id(id), ts,
+                                     {obs::arg("gpus",
+                                               static_cast<double>(job.request().gpus))});
+    }
+  }
+  // One pass over the queue for the whole dispatch batch (the old
+  // erase-by-find rescanned the queue per started job), preserving FIFO
+  // order of the survivors.
+  if (!started_scratch_.empty()) {
+    const std::size_t erased = std::erase_if(
+        queue_, [this](cluster::JobId id) { return started_scratch_.contains(id); });
+    require(erased == started_scratch_.size(),
+            "Datacenter: scheduler returned a job not in the queue");
+  }
+  if (explain) {
+    for (const obs::SchedDecision& d : sched_explain_.decisions) {
+      recorder_->trace().instant(
+          "sched.decision", "sched", trace_pid(), 0, obs::FlightRecorder::sim_us(t),
+          {obs::arg("job", static_cast<double>(d.job)),
+           obs::arg("action", d.started ? "start" : "defer"), obs::arg("reason", d.reason),
+           obs::arg("now_signal", d.now_signal),
+           obs::arg("best_window_signal", d.best_window_signal),
+           obs::arg("slack_hours", d.slack_hours),
+           obs::arg("forecast_reliable", d.forecast_reliable ? 1.0 : 0.0)});
+    }
   }
 }
 
@@ -196,47 +286,62 @@ void Datacenter::step(util::TimePoint t) {
   const util::TimePoint lt = local_time(t);  // environment models live in local time
   const util::Temperature outdoor = weather_.temperature_at(lt);
 
-  // 1. Workload arrivals land at the step boundary.
-  if (arrivals_) {
-    for (const cluster::JobRequest& req : arrivals_->sample(t, dt, rng_)) submit(req);
-  }
-
-  // 2. Thermal state: throttle fraction from the *current* IT load.
-  const double throttle = cooling_.throttle_fraction(cluster_.it_power(), outdoor);
-  if (throttle > 0.0) throttle_seconds_ += dt.seconds();
-
-  // 3. Advance running jobs (progress, energy, completions).
-  progress_running_jobs(t, throttle);
-
-  // 4. Scheduling decisions under current grid signals.
   sched::GridSignals signals;
-  signals.price = price_.price_at(lt);
-  signals.carbon = carbon_.intensity_at(lt);
-  signals.renewable_share = fuel_mix_.mix_at(lt).renewable_share();
-  if (signal_observer_) signal_observer_(t, signals);
-  run_scheduler(t, signals);
+  {
+    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting);
 
-  // 5. Facility power and grid draw (battery may shift it).
-  const util::Power it = cluster_.it_power();
-  util::Power facility = cooling_.facility_power(it, outdoor);
-  if (battery_ && battery_policy_) {
-    grid::MarketView view{lt, signals.price, signals.carbon, signals.renewable_share,
-                          battery_->soc_fraction()};
-    const grid::BatteryAction action = battery_policy_->decide(view);
-    if (action.kind == grid::BatteryAction::Kind::kCharge) {
-      const util::Energy from_grid = battery_->charge(action.power, dt);
-      facility += from_grid / dt;
-    } else if (action.kind == grid::BatteryAction::Kind::kDischarge) {
-      const util::Energy delivered = battery_->discharge(
-          std::min(action.power, facility * 0.9), dt);
-      facility -= delivered / dt;
+    // 1. Workload arrivals land at the step boundary.
+    if (arrivals_) {
+      for (const cluster::JobRequest& req : arrivals_->sample(t, dt, rng_)) submit(req);
     }
-  }
-  connection_->draw(lt, facility, dt);  // billed and attributed at local-time conditions
 
-  // 6. Monthly instrumentation.
-  monthly_util_.add_sample(t, dt, cluster_.utilization());
-  monthly_pue_.add_sample(t, dt, cooling_.pue(it, outdoor));
+    // 2. Thermal state: throttle fraction from the *current* IT load.
+    const double throttle = cooling_.throttle_fraction(cluster_.it_power(), outdoor);
+    if (throttle > 0.0) throttle_seconds_ += dt.seconds();
+
+    // 3. Advance running jobs (progress, energy, completions).
+    progress_running_jobs(t, throttle);
+  }
+
+  {
+    obs::PhaseScope phase(recorder_, obs::Phase::kScheduling);
+
+    // 4. Scheduling decisions under current grid signals.
+    signals.price = price_.price_at(lt);
+    signals.carbon = carbon_.intensity_at(lt);
+    signals.renewable_share = fuel_mix_.mix_at(lt).renewable_share();
+    if (signal_observer_) signal_observer_(t, signals);
+    run_scheduler(t, signals);
+  }
+
+  {
+    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting);
+
+    // 5. Facility power and grid draw (battery may shift it).
+    const util::Power it = cluster_.it_power();
+    util::Power facility = cooling_.facility_power(it, outdoor);
+    if (battery_ && battery_policy_) {
+      grid::MarketView view{lt, signals.price, signals.carbon, signals.renewable_share,
+                            battery_->soc_fraction()};
+      const grid::BatteryAction action = battery_policy_->decide(view);
+      if (action.kind == grid::BatteryAction::Kind::kCharge) {
+        const util::Energy from_grid = battery_->charge(action.power, dt);
+        facility += from_grid / dt;
+      } else if (action.kind == grid::BatteryAction::Kind::kDischarge) {
+        const util::Energy delivered = battery_->discharge(
+            std::min(action.power, facility * 0.9), dt);
+        facility -= delivered / dt;
+      }
+    }
+    connection_->draw(lt, facility, dt);  // billed and attributed at local-time conditions
+
+    // 6. Monthly instrumentation.
+    monthly_util_.add_sample(t, dt, cluster_.utilization());
+    monthly_pue_.add_sample(t, dt, cooling_.pue(it, outdoor));
+  }
+
+  // 7. Metrics sample (single-site runs; fleet runs sample per fleet step).
+  if (obs_root_ && recorder_ != nullptr) recorder_->sample(t);
 }
 
 void Datacenter::run_until(util::TimePoint end) {

@@ -11,10 +11,12 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/job.hpp"
+#include "obs/decision.hpp"
 #include "grid/battery.hpp"
 #include "grid/carbon.hpp"
 #include "grid/connection.hpp"
@@ -28,6 +30,12 @@
 #include "thermal/weather.hpp"
 #include "util/rng.hpp"
 #include "workload/arrivals.hpp"
+
+namespace greenhpc::obs {
+class Counter;
+class FlightRecorder;
+class MetricHistogram;
+}
 
 namespace greenhpc::core {
 
@@ -116,6 +124,13 @@ class Datacenter {
   using SignalObserver = std::function<void(util::TimePoint, const sched::GridSignals&)>;
   void set_signal_observer(SignalObserver observer) { signal_observer_ = std::move(observer); }
 
+  /// Attaches the flight recorder (borrowed; must outlive the run).
+  /// `region` picks the trace lane (pid 1 + region) and metric prefix;
+  /// `root` makes this twin drive the per-step metrics sampling — true for
+  /// single-site runs, false under a FleetCoordinator (which samples once
+  /// per fleet step itself). Registers this site's counters and gauges.
+  void set_recorder(obs::FlightRecorder* recorder, std::size_t region = 0, bool root = true);
+
   /// Submits an external job at the current simulation time.
   cluster::JobId submit(const cluster::JobRequest& request);
 
@@ -192,6 +207,15 @@ class Datacenter {
   /// Pops the lineage progress carried by a migrated-in job (0 for others).
   double take_migration_credit(cluster::JobId id);
 
+  // --- observability helpers (all no-ops without a recorder) ----------------
+  [[nodiscard]] bool tracing() const;
+  /// Trace lane for this site (pid 1 + region).
+  [[nodiscard]] int trace_pid() const { return 1 + static_cast<int>(obs_region_); }
+  /// Fleet-unique async-span id for a job at this site.
+  [[nodiscard]] std::uint64_t span_id(cluster::JobId id) const {
+    return (static_cast<std::uint64_t>(obs_region_) << 40) | id;
+  }
+
   DatacenterConfig config_;
 
   // Environment models.
@@ -224,12 +248,26 @@ class Datacenter {
   telemetry::EnergyAccountant accountant_;
   /// Reused per-step (job, gpus) snapshot for progress_running_jobs.
   std::vector<std::pair<cluster::JobId, int>> progress_scratch_;
+  /// Reused per-step set of dispatched jobs (run_scheduler's queue erase).
+  std::unordered_set<cluster::JobId> started_scratch_;
   sim::MonthlyAccumulator monthly_util_;
   sim::MonthlyAccumulator monthly_pue_;
   sim::MonthlyAccumulator monthly_subs_;
   std::vector<double> queue_waits_hours_;
   double throttle_seconds_ = 0.0;
   double completed_gpu_hours_ = 0.0;
+
+  // Observability (null/empty when no recorder is attached; everything
+  // behind it is observational — reads state, never mutates it).
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::size_t obs_region_ = 0;
+  bool obs_root_ = false;  ///< this twin drives the per-step metrics sample
+  obs::Counter* ctr_submitted_ = nullptr;
+  obs::Counter* ctr_started_ = nullptr;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_migrated_out_ = nullptr;
+  obs::MetricHistogram* hist_queue_wait_ = nullptr;
+  obs::SchedExplain sched_explain_;  ///< reused per-step scratch when tracing
 
   sim::Simulation sim_;
   bool step_scheduled_ = false;

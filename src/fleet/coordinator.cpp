@@ -1,7 +1,9 @@
 #include "fleet/coordinator.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/recorder.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::fleet {
@@ -88,6 +90,33 @@ FleetCoordinator::FleetCoordinator(FleetConfig config, std::vector<RegionProfile
   inbound_gpus_.reserve(profiles_.size());
 }
 
+bool FleetCoordinator::tracing() const { return recorder_ != nullptr && recorder_->tracing(); }
+
+void FleetCoordinator::set_recorder(obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  // Regions attach on lanes pid 1 + i; the coordinator owns the per-step
+  // metrics sample, so no region is the sampling root.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    regions_[i]->set_recorder(recorder, i, /*root=*/false);
+  }
+  if (recorder_ == nullptr) return;
+  if (recorder_->metrics_on()) {
+    obs::MetricsRegistry& reg = recorder_->registry();
+    ctr_migrations_started_ = reg.counter("fleet.migrations_started");
+    ctr_migrations_delivered_ = reg.counter("fleet.migrations_delivered");
+    reg.gauge("fleet.migrations_in_flight",
+              [this] { return static_cast<double>(in_flight_.size()); });
+    reg.gauge("fleet.transfer_energy_kwh",
+              [this] { return transfer_ledger().energy.kilowatt_hours(); });
+    if (hub_) hub_->register_metrics(reg, "forecast.", regions_.size());
+  }
+  if (recorder_->tracing()) {
+    recorder_->trace().process_name(0, "fleet coordinator");
+    recorder_->trace().thread_name(0, 0, "routing");
+    recorder_->trace().thread_name(0, 1, "migration");
+  }
+}
+
 RegionView FleetCoordinator::view_of(std::size_t i) const {
   const core::Datacenter& dc = *regions_.at(i);
   const cluster::Cluster& cluster = dc.cluster_state();
@@ -141,10 +170,34 @@ void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
   RoutingContext ctx;
   ctx.now = t;
   ctx.transfer_energy = config_.transfer_energy_per_job;
+  const bool explain = tracing();
   for (const cluster::JobRequest& request : requests) {
     ctx.regions = views;
+    if (explain) {
+      route_explain_.clear();
+      ctx.explain = &route_explain_;
+    }
     const std::size_t pick = router_->route(request, ctx);
     require(pick < regions_.size(), "FleetCoordinator: router returned bad region index");
+    if (explain) {
+      obs::TraceWriter::Args args;
+      args.push_back(obs::arg("picked", static_cast<double>(pick)));
+      args.push_back(obs::arg("gpus", static_cast<double>(request.gpus)));
+      args.push_back(
+          obs::arg("instantaneous_pick", static_cast<double>(route_explain_.instantaneous_pick)));
+      args.push_back(
+          obs::arg("forecast_override", route_explain_.forecast_override ? 1.0 : 0.0));
+      args.push_back(
+          obs::arg("fallback_pressure", route_explain_.fallback_pressure ? 1.0 : 0.0));
+      if (route_explain_.note[0] != '\0') args.push_back(obs::arg("note", route_explain_.note));
+      for (const obs::RegionScore& s : route_explain_.scores) {
+        const std::string suffix = "_r" + std::to_string(s.region);
+        args.push_back(obs::arg("integrated" + suffix, s.integrated));
+        args.push_back(obs::arg("instantaneous" + suffix, s.instantaneous));
+      }
+      recorder_->trace().instant("route.decision", "route", 0, 0,
+                                 obs::FlightRecorder::sim_us(t), std::move(args));
+    }
     regions_[pick]->submit(request);
     ++jobs_routed_[pick];
 
@@ -184,6 +237,12 @@ void FleetCoordinator::deliver_migrations(util::TimePoint t, std::vector<RegionV
     lineage_[m.dest][id] = {m.migrations, t};
     ++migrated_in_[m.dest];
     ++migration_.delivered;
+    if (ctr_migrations_delivered_ != nullptr) ctr_migrations_delivered_->add();
+    if (tracing() && m.trace_id != 0) {
+      recorder_->trace().async_end("migration", "migration", 0, m.trace_id,
+                                   obs::FlightRecorder::sim_us(t),
+                                   {obs::arg("resumed_job", static_cast<double>(id))});
+    }
 
     RegionView& dest = views[m.dest];
     ++dest.queue_depth;
@@ -253,7 +312,34 @@ void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView
     const auto it = lineage_[d.source].find(d.job);
     m.migrations = (it != lineage_[d.source].end() ? it->second.migrations : 0) + 1;
     if (it != lineage_[d.source].end()) lineage_[d.source].erase(it);
+    if (tracing()) {
+      m.trace_id = ++migration_seq_;
+      const migrate::CheckpointModel& ckpt = planner_->checkpoint();
+      const double ts = obs::FlightRecorder::sim_us(t);
+      const double snap_us = ckpt.snapshot_time(gpus).seconds() * 1e6;
+      const double ship_us = ckpt.ship_time(gpus).seconds() * 1e6;
+      const double arrive_us = obs::FlightRecorder::sim_us(m.arrival);
+      obs::TraceWriter& trace = recorder_->trace();
+      // The whole pipeline as one async span, with the planner's *why*...
+      trace.async_begin("migration", "migration", 0, m.trace_id, ts,
+                        {obs::arg("job", static_cast<double>(d.job)),
+                         obs::arg("source", static_cast<double>(d.source)),
+                         obs::arg("dest", static_cast<double>(d.dest)),
+                         obs::arg("gpus", static_cast<double>(gpus)),
+                         obs::arg("predicted_saving", d.predicted_saving),
+                         obs::arg("relative_saving", d.relative_saving),
+                         obs::arg("migrations_so_far", static_cast<double>(m.migrations))});
+      // ...and the checkpoint model's stage schedule as nested sub-spans
+      // (all three are known at launch, so emit them now).
+      trace.async_begin("snapshot", "migration.snapshot", 0, m.trace_id, ts);
+      trace.async_end("snapshot", "migration.snapshot", 0, m.trace_id, ts + snap_us);
+      trace.async_begin("ship", "migration.ship", 0, m.trace_id, ts + snap_us);
+      trace.async_end("ship", "migration.ship", 0, m.trace_id, ts + snap_us + ship_us);
+      trace.async_begin("restore", "migration.restore", 0, m.trace_id, ts + snap_us + ship_us);
+      trace.async_end("restore", "migration.restore", 0, m.trace_id, arrive_us);
+    }
     in_flight_.push_back(std::move(m));
+    if (ctr_migrations_started_ != nullptr) ctr_migrations_started_->add();
 
     ++migrated_out_[d.source];
     ++migration_.started;
@@ -266,18 +352,29 @@ void FleetCoordinator::run_until(util::TimePoint end) {
   while (clock_ < end) {
     const util::TimePoint t = clock_;
     const util::TimePoint next = std::min(t + config_.step, end);
-    refresh_views();  // one snapshot per step, into the reused buffer
-    // Every step's grid signals reach the router and the migration planner,
-    // not just steps with arrivals — forecast-driven policies need the
-    // gap-free stream.
-    router_->observe(t, views_);
+    {
+      obs::PhaseScope phase(recorder_, obs::Phase::kObserveRefit);
+      refresh_views();  // one snapshot per step, into the reused buffer
+      // Every step's grid signals reach the router and the migration
+      // planner, not just steps with arrivals — forecast-driven policies
+      // need the gap-free stream.
+      router_->observe(t, views_);
+      if (planner_) planner_->observe(t, views_);
+    }
     if (planner_) {
-      planner_->observe(t, views_);
+      obs::PhaseScope phase(recorder_, obs::Phase::kMigration);
       deliver_migrations(t, views_);
     }
-    route_arrivals(t, next - t, views_);  // sample only the window advanced
-    if (planner_) plan_migrations(t, views_);
+    {
+      obs::PhaseScope phase(recorder_, obs::Phase::kRouting);
+      route_arrivals(t, next - t, views_);  // sample only the window advanced
+    }
+    if (planner_) {
+      obs::PhaseScope phase(recorder_, obs::Phase::kMigration);
+      plan_migrations(t, views_);
+    }
     for (const auto& dc : regions_) dc->run_until(next);
+    if (recorder_ != nullptr) recorder_->sample(t);
     clock_ = next;
   }
 }

@@ -32,8 +32,14 @@
 #include "fleet/routing.hpp"
 #include "forecast/hub.hpp"
 #include "migrate/planner.hpp"
+#include "obs/decision.hpp"
 #include "telemetry/fleet.hpp"
 #include "workload/arrivals.hpp"
+
+namespace greenhpc::obs {
+class Counter;
+class FlightRecorder;
+}
 
 namespace greenhpc::fleet {
 
@@ -72,6 +78,12 @@ class FleetCoordinator {
   FleetCoordinator(FleetConfig config, std::vector<RegionProfile> profiles,
                    std::unique_ptr<RoutingPolicy> router,
                    SchedulerFactory scheduler_factory = nullptr);
+
+  /// Attaches the flight recorder (borrowed; must outlive the run): fleet
+  /// counters/gauges and the shared hub's skill gauges register here, every
+  /// region twin attaches on its own trace lane (pid 1 + index), and the
+  /// coordinator drives one metrics sample per lockstep step.
+  void set_recorder(obs::FlightRecorder* recorder);
 
   /// Advances every region in lockstep to `end` (multiples of `step`
   /// beyond the current clock; a partial trailing step still advances the
@@ -133,6 +145,7 @@ class FleetCoordinator {
     core::Datacenter::PreemptedJob snapshot;
     util::TimePoint arrival;  ///< when the restore completes at dest
     int migrations = 0;       ///< lineage count after this move
+    std::uint64_t trace_id = 0;  ///< async-span id when tracing (0 = none)
   };
   /// Per-lineage thrash bookkeeping (only jobs that have moved are tracked).
   struct Lineage {
@@ -174,6 +187,14 @@ class FleetCoordinator {
   std::vector<std::size_t> migrated_in_;
   std::vector<std::size_t> migrated_out_;
   telemetry::MigrationStats migration_;
+
+  // Observability (null/zero when no recorder is attached).
+  [[nodiscard]] bool tracing() const;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::Counter* ctr_migrations_started_ = nullptr;
+  obs::Counter* ctr_migrations_delivered_ = nullptr;
+  std::uint64_t migration_seq_ = 0;      ///< allocates migration trace ids
+  obs::RouteExplain route_explain_;      ///< reused per-arrival scratch
 };
 
 /// The standard fleet experiment: the make_reference_fleet() regions under

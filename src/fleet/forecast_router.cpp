@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/decision.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::fleet {
@@ -57,7 +58,12 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
   double best_now_score = std::numeric_limits<double>::infinity();
   double best_score_of_best_now = 0.0;  // integrated score of the instantaneous pick
   for (const RegionView& r : ctx.regions) {
-    if (!r.fits(request.gpus)) continue;
+    if (!r.fits(request.gpus)) {
+      if (ctx.explain != nullptr) {
+        ctx.explain->scores.push_back({r.index, 0.0, 0.0, false});
+      }
+      continue;
+    }
     const util::Energy energy = estimated_job_energy(request, r) +
                                 (r.is_home ? util::Energy{} : ctx.transfer_energy);
     // Same units either way: kWh x kg/kWh = kg, MWh x $/MWh = $.
@@ -65,6 +71,9 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
                                                                : energy.megawatt_hours();
     const double score = per_signal * integrated_signal(r.index, runtime, signal_of(r));
     const double now_score = per_signal * signal_of(r);
+    if (ctx.explain != nullptr) {
+      ctx.explain->scores.push_back({r.index, score, now_score, true});
+    }
     if (score < best_score) {
       best_score = score;
       best = r.index;
@@ -94,15 +103,26 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
         pick = r.index;
       }
     }
+    if (ctx.explain != nullptr) {
+      ctx.explain->picked = pick;
+      ctx.explain->instantaneous_pick = lightest;
+      ctx.explain->fallback_pressure = true;
+      ctx.explain->note = "all_regions_full";
+    }
     return pick;
   }
   // Override the persistence choice only on a decisive predicted advantage;
   // a marginal drift flip is more likely forecast noise than signal.
-  if (best != best_now &&
-      best_score >= best_score_of_best_now * (1.0 - config_.override_margin)) {
-    return best_now;
+  const bool suppressed =
+      best != best_now && best_score >= best_score_of_best_now * (1.0 - config_.override_margin);
+  const std::size_t picked = suppressed ? best_now : best;
+  if (ctx.explain != nullptr) {
+    ctx.explain->picked = picked;
+    ctx.explain->instantaneous_pick = best_now;
+    ctx.explain->forecast_override = picked != best_now;
+    if (suppressed) ctx.explain->note = "override_margin_suppressed";
   }
-  return best;
+  return picked;
 }
 
 std::vector<forecast::SkillReport> ForecastRouter::skills() const { return bank_->skills(); }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "fleet/forecast_router.hpp"
+#include "obs/decision.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::fleet {
@@ -13,20 +14,39 @@ using util::require;
 
 /// Greedy selection over regions that can start the job now, scored by
 /// `marginal` (lower is better); least-pressure fallback when none fit.
+/// Reactive routers score on instantaneous signals only, so the decision
+/// record's integrated and instantaneous columns coincide.
 template <typename ScoreFn>
 std::size_t greedy_route(const cluster::JobRequest& request, const RoutingContext& ctx,
                          ScoreFn marginal) {
   std::size_t best = ctx.regions.size();
   double best_score = std::numeric_limits<double>::infinity();
   for (const RegionView& r : ctx.regions) {
-    if (!r.fits(request.gpus)) continue;
+    if (!r.fits(request.gpus)) {
+      if (ctx.explain != nullptr) ctx.explain->scores.push_back({r.index, 0.0, 0.0, false});
+      continue;
+    }
     const double score = marginal(r);
+    if (ctx.explain != nullptr) ctx.explain->scores.push_back({r.index, score, score, true});
     if (score < best_score) {
       best_score = score;
       best = r.index;
     }
   }
-  if (best == ctx.regions.size()) return least_pressure_region(ctx.regions);
+  if (best == ctx.regions.size()) {
+    const std::size_t pick = least_pressure_region(ctx.regions);
+    if (ctx.explain != nullptr) {
+      ctx.explain->picked = pick;
+      ctx.explain->instantaneous_pick = pick;
+      ctx.explain->fallback_pressure = true;
+      ctx.explain->note = "all_regions_full";
+    }
+    return pick;
+  }
+  if (ctx.explain != nullptr) {
+    ctx.explain->picked = best;
+    ctx.explain->instantaneous_pick = best;
+  }
   return best;
 }
 
@@ -54,13 +74,24 @@ std::size_t RoundRobinRouter::route(const cluster::JobRequest& /*request*/,
   require(!ctx.regions.empty(), "RoundRobinRouter: empty fleet");
   const std::size_t pick = next_ % ctx.regions.size();
   next_ = (pick + 1) % ctx.regions.size();
+  if (ctx.explain != nullptr) {
+    ctx.explain->picked = pick;
+    ctx.explain->instantaneous_pick = pick;
+    ctx.explain->note = "round_robin";
+  }
   return pick;
 }
 
 std::size_t LeastLoadedRouter::route(const cluster::JobRequest& /*request*/,
                                      const RoutingContext& ctx) {
   require(!ctx.regions.empty(), "LeastLoadedRouter: empty fleet");
-  return least_pressure_region(ctx.regions);
+  const std::size_t pick = least_pressure_region(ctx.regions);
+  if (ctx.explain != nullptr) {
+    ctx.explain->picked = pick;
+    ctx.explain->instantaneous_pick = pick;
+    ctx.explain->note = "least_pressure";
+  }
+  return pick;
 }
 
 std::size_t CostGreedyRouter::route(const cluster::JobRequest& request,

@@ -22,6 +22,10 @@ class ForecasterHub;
 struct RollingForecasterConfig;
 }  // namespace greenhpc::forecast
 
+namespace greenhpc::obs {
+struct RouteExplain;
+}
+
 namespace greenhpc::fleet {
 
 /// One region's state at routing time.
@@ -56,6 +60,11 @@ struct RoutingContext {
   /// Energy burned moving one job's input data to a non-home region (the
   /// network-transfer penalty; 0 disables it).
   util::Energy transfer_energy;
+  /// When non-null the router should record its decision rationale (scores
+  /// compared, overrides, fallbacks) into it — the flight recorder's
+  /// decision trace. Null on every uninstrumented run; ignoring it is
+  /// always correct.
+  obs::RouteExplain* explain = nullptr;
 };
 
 class RoutingPolicy {

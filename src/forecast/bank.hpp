@@ -55,6 +55,13 @@ class ForecasterBank {
   /// that never reported a name fall back to "region<index>".
   [[nodiscard]] std::vector<SkillReport> skills() const;
 
+  /// One source's forecaster (nullptr until the bank has grown to `index`).
+  /// Cheap state reads for per-sample metric gauges — skills() builds a
+  /// full report vector, far too heavy for every sampling tick.
+  [[nodiscard]] const RollingForecaster* forecaster(std::size_t index) const {
+    return index < forecasters_.size() ? &forecasters_[index] : nullptr;
+  }
+
  private:
   /// Per-source forecast curve + prefix sums, rebuilt lazily when the
   /// source's observation count moves past the cached revision.

@@ -1,6 +1,18 @@
 #include "forecast/hub.hpp"
 
+#include <string>
+
+#include "obs/metrics.hpp"
+
 namespace greenhpc::forecast {
+
+namespace {
+
+const char* signal_name(SignalKind signal) {
+  return signal == SignalKind::kCarbon ? "carbon" : "price";
+}
+
+}  // namespace
 
 ForecasterHub::ForecasterHub(RollingForecasterConfig config) : config_(std::move(config)) {
   (void)RollingForecaster(config_);  // surface config mistakes at construction
@@ -18,6 +30,29 @@ std::size_t ForecasterHub::banks_created() const {
   std::size_t count = 0;
   for (const auto& bank : banks_) count += bank != nullptr;
   return count;
+}
+
+void ForecasterHub::register_metrics(obs::MetricsRegistry& registry, const std::string& prefix,
+                                     std::size_t region_count) const {
+  for (std::size_t s = 0; s < kSignalKindCount; ++s) {
+    const auto kind = static_cast<SignalKind>(s);
+    for (std::size_t r = 0; r < region_count; ++r) {
+      const std::string base =
+          prefix + signal_name(kind) + ".r" + std::to_string(r) + ".";
+      // Capture `this`, not the bank: banks are created lazily on attach,
+      // possibly after registration.
+      registry.gauge(base + "mape_pct", [this, kind, r] {
+        const ForecasterBank* bank = this->bank(kind);
+        const RollingForecaster* f = bank != nullptr ? bank->forecaster(r) : nullptr;
+        return f != nullptr ? f->realized_mape_pct() : 0.0;
+      });
+      registry.gauge(base + "reliable", [this, kind, r] {
+        const ForecasterBank* bank = this->bank(kind);
+        const RollingForecaster* f = bank != nullptr ? bank->forecaster(r) : nullptr;
+        return f != nullptr && f->reliable() ? 1.0 : 0.0;
+      });
+    }
+  }
 }
 
 }  // namespace greenhpc::forecast

@@ -24,6 +24,10 @@
 
 #include "forecast/bank.hpp"
 
+namespace greenhpc::obs {
+class MetricsRegistry;
+}
+
 namespace greenhpc::forecast {
 
 /// The grid signals the decision layers forecast per region.
@@ -44,6 +48,13 @@ class ForecasterHub {
 
   /// Banks created so far (telemetry/tests: 1 means every consumer shares).
   [[nodiscard]] std::size_t banks_created() const;
+
+  /// Registers per-signal, per-region forecaster-skill gauges (realized
+  /// MAPE %, reliability gate) under `prefix` for `region_count` regions.
+  /// Gauges read through forecaster() — a bank that has not grown to a
+  /// region yet (or a signal nobody attached) samples as 0/1 defaults.
+  void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix,
+                        std::size_t region_count) const;
   /// The bank for `signal` if any consumer attached for it.
   [[nodiscard]] const ForecasterBank* bank(SignalKind signal) const {
     return banks_[static_cast<std::size_t>(signal)].get();

@@ -1,0 +1,79 @@
+#pragma once
+// Decision-record scratch structs: the *why* behind router and scheduler
+// choices, filled by the policy at decision time and emitted into the trace
+// by whoever owns the recorder (the coordinator / the datacenter).
+//
+// Policies receive a pointer to one of these through their context structs
+// (RoutingContext::explain, SchedulerContext::explain). A null pointer —
+// the always case when no recorder is attached or tracing is off — costs a
+// single branch; a non-null pointer asks the policy to record what it
+// compared, not just what it picked: forecast-integrated vs instantaneous
+// scores per region, override-margin and skill-gate outcomes, deferral
+// slack. The structs are reused scratch (cleared per decision), never
+// retained by the policy.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+
+namespace greenhpc::obs {
+
+/// One candidate region's score in a routing decision.
+struct RegionScore {
+  std::size_t region = 0;
+  /// Forecast-integrated score over the job's expected runtime (equals
+  /// `instantaneous` for reactive routers).
+  double integrated = 0.0;
+  /// Score at the arrival tick's signals.
+  double instantaneous = 0.0;
+  bool fits = false;  ///< could the region start the job this step?
+};
+
+/// Filled by RoutingPolicy::route when requested.
+struct RouteExplain {
+  std::vector<RegionScore> scores;
+  std::size_t picked = 0;
+  /// The instantaneous (persistence) argmin — differs from `picked` only
+  /// when the forecast overrode it.
+  std::size_t instantaneous_pick = 0;
+  /// The forecast pick beat the persistence pick by more than the override
+  /// margin (forecast routers only).
+  bool forecast_override = false;
+  /// No region could start the job; it was placed by backlog pressure.
+  bool fallback_pressure = false;
+  const char* note = "";
+
+  void clear() {
+    scores.clear();
+    picked = 0;
+    instantaneous_pick = 0;
+    forecast_override = false;
+    fallback_pressure = false;
+    note = "";
+  }
+};
+
+/// One per-job scheduling decision (start or defer) with its reason.
+struct SchedDecision {
+  cluster::JobId job = 0;
+  bool started = false;
+  /// Current signal (carbon intensity for the carbon schedulers).
+  double now_signal = 0.0;
+  /// Greenest forecast value reachable inside the job's slack (0 if n/a).
+  double best_window_signal = 0.0;
+  double slack_hours = 0.0;
+  bool forecast_reliable = false;
+  /// "must_start" | "green_now" | "no_better_window" | "greener_window_ahead"
+  /// | "reactive_hold" ...
+  const char* reason = "";
+};
+
+/// Filled by Scheduler::select when requested (per step, reused).
+struct SchedExplain {
+  std::vector<SchedDecision> decisions;
+
+  void clear() { decisions.clear(); }
+};
+
+}  // namespace greenhpc::obs

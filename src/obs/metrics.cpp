@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace greenhpc::obs {
+
+using util::require;
+
+// --- MetricHistogram ---------------------------------------------------------
+
+MetricHistogram::MetricHistogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bin_count)) {
+  require(hi > lo, "MetricHistogram: hi must exceed lo");
+  require(bin_count > 0, "MetricHistogram: bin_count must be positive");
+  counts_.assign(bin_count, 0);
+}
+
+void MetricHistogram::add(double value) {
+  if (value < lo_) {
+    ++underflow_;
+  } else if (value >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // FP edge at hi
+    ++counts_[bin];
+  }
+  ++total_;
+  sum_ += value;
+}
+
+void MetricHistogram::merge(const MetricHistogram& other) {
+  require(other.lo_ == lo_ && other.hi_ == hi_ && other.counts_.size() == counts_.size(),
+          "MetricHistogram::merge: bin layouts differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double MetricHistogram::mean() const {
+  return total_ > 0 ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+double MetricHistogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "MetricHistogram::quantile: q must be in [0,1]");
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double within = (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo_ + bin_width_ * (static_cast<double>(i) + within);
+    }
+    cumulative = next;
+  }
+  return hi_;  // target lands in the overflow mass
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  for (const Entry& e : order_) {
+    if (e.name != name) continue;
+    require(e.kind == Kind::kCounter, "MetricsRegistry: '" + name + "' is not a counter");
+    return counters_[e.index].get();
+  }
+  counters_.push_back(std::make_unique<Counter>());
+  order_.push_back({Kind::kCounter, name, counters_.size() - 1});
+  return counters_.back().get();
+}
+
+void MetricsRegistry::gauge(const std::string& name, GaugeFn fn) {
+  require(fn != nullptr, "MetricsRegistry: null gauge callback");
+  for (const Entry& e : order_) {
+    require(e.name != name, "MetricsRegistry: duplicate gauge '" + name + "'");
+  }
+  gauges_.push_back(std::move(fn));
+  order_.push_back({Kind::kGauge, name, gauges_.size() - 1});
+}
+
+MetricHistogram* MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                            std::size_t bin_count) {
+  for (const Entry& e : order_) {
+    if (e.name != name) continue;
+    require(e.kind == Kind::kHistogram, "MetricsRegistry: '" + name + "' is not a histogram");
+    MetricHistogram* h = histograms_[e.index].get();
+    require(h->lo() == lo && h->hi() == hi && h->bin_count() == bin_count,
+            "MetricsRegistry: histogram '" + name + "' re-registered with a different layout");
+    return h;
+  }
+  histograms_.push_back(std::make_unique<MetricHistogram>(lo, hi, bin_count));
+  order_.push_back({Kind::kHistogram, name, histograms_.size() - 1});
+  return histograms_.back().get();
+}
+
+std::vector<std::string> MetricsRegistry::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(order_.size());
+  for (const Entry& e : order_) {
+    if (e.kind == Kind::kHistogram) {
+      names.push_back(e.name + ".count");
+      names.push_back(e.name + ".mean");
+      names.push_back(e.name + ".p50");
+      names.push_back(e.name + ".p95");
+    } else {
+      names.push_back(e.name);
+    }
+  }
+  return names;
+}
+
+void MetricsRegistry::sample_into(std::vector<double>& row) const {
+  row.clear();
+  for (const Entry& e : order_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        row.push_back(counters_[e.index]->value());
+        break;
+      case Kind::kGauge:
+        row.push_back(gauges_[e.index]());
+        break;
+      case Kind::kHistogram: {
+        const MetricHistogram& h = *histograms_[e.index];
+        row.push_back(static_cast<double>(h.total()));
+        row.push_back(h.mean());
+        row.push_back(h.quantile(0.50));
+        row.push_back(h.quantile(0.95));
+        break;
+      }
+    }
+  }
+}
+
+// --- TimeSeriesStore ---------------------------------------------------------
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig config)
+    : config_(config), effective_interval_(std::max<std::size_t>(1, config.interval_steps)) {
+  require(config_.capacity >= 2, "TimeSeriesStore: capacity must be at least 2");
+}
+
+void TimeSeriesStore::sample(util::TimePoint t, const MetricsRegistry& registry) {
+  const std::size_t step = step_counter_++;
+  if (step % effective_interval_ != 0) return;
+
+  registry.sample_into(row_scratch_);
+  if (columns_ == 0) columns_ = row_scratch_.size();
+  // A registry that grows columns after the first retained sample would skew
+  // the table; instruments must register before sampling starts.
+  require(row_scratch_.size() == columns_,
+          "TimeSeriesStore: instrument registered after sampling started");
+
+  times_.push_back(t);
+  values_.insert(values_.end(), row_scratch_.begin(), row_scratch_.end());
+  if (times_.size() >= config_.capacity) downsample();
+}
+
+void TimeSeriesStore::downsample() {
+  // Keep every other retained row (the even-indexed ones, so the oldest
+  // sample survives) and double the keep interval going forward.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < times_.size(); i += 2, ++kept) {
+    times_[kept] = times_[i];
+    if (kept != i) {
+      std::copy_n(values_.begin() + static_cast<std::ptrdiff_t>(i * columns_), columns_,
+                  values_.begin() + static_cast<std::ptrdiff_t>(kept * columns_));
+    }
+  }
+  times_.resize(kept);
+  values_.resize(kept * columns_);
+  effective_interval_ *= 2;
+}
+
+namespace {
+
+void append_number(std::ostringstream& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+std::string TimeSeriesStore::to_csv(const MetricsRegistry& registry) const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "t_seconds";
+  for (const std::string& name : registry.column_names()) out << ',' << name;
+  out << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    append_number(out, times_[r].seconds_since_epoch());
+    for (std::size_t c = 0; c < columns_; ++c) {
+      out << ',';
+      append_number(out, value(r, c));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string TimeSeriesStore::to_jsonl(const MetricsRegistry& registry) const {
+  const std::vector<std::string> names = registry.column_names();
+  std::ostringstream out;
+  out.precision(12);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out << "{\"t_seconds\": ";
+    append_number(out, times_[r].seconds_since_epoch());
+    for (std::size_t c = 0; c < columns_; ++c) {
+      out << ", \"" << names[c] << "\": ";
+      const double v = value(r, c);
+      if (std::isfinite(v)) {
+        append_number(out, v);
+      } else {
+        out << "null";  // JSON has no NaN/Inf; keep the line parseable
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,174 @@
+#pragma once
+// Metrics pipeline: the per-step quantitative half of the flight recorder.
+//
+// Sec. IV-B of the paper asks facilities to ship "analytical tools /
+// instrumentation / logging" so reporting is a byproduct of running, not an
+// afterthought; Green AI makes the same ask from the measurement side
+// (efficiency claims need continuously reported cost curves, not one summary
+// number). The MetricsRegistry is where every subsystem — Datacenter,
+// Cluster, schedulers, routers, the MigrationPlanner, the ForecasterHub —
+// registers named instruments once at attach time:
+//
+//   counters    push-model monotonic accumulators (jobs started, checkpoints
+//               shipped), bumped on the event path only when a recorder is
+//               attached;
+//   gauges      pull-model callbacks evaluated at sample time (queue depth,
+//               free GPUs, instantaneous carbon intensity) — registration
+//               costs one closure, sampling costs one call;
+//   histograms  fixed-bin distributions (queue waits, job runtimes) with
+//               exact running mean and bin-approximate quantiles, mergeable
+//               across instances with identical layouts.
+//
+// A TimeSeriesStore samples every instrument each coordinator step (at a
+// configurable step interval) into a bounded ring: when the retained rows
+// hit capacity the store halves its resolution — drops every other retained
+// row and doubles the keep interval — so an arbitrarily long run fits a
+// fixed budget while the retained rows stay evenly spaced. Export is CSV
+// (one row per retained sample) or JSONL (one object per sample, the format
+// the CI schema check validates).
+//
+// Everything here is observational: instruments read simulator state and
+// never mutate it, so an instrumented run's simulated output is bit-identical
+// to an uninstrumented one (pinned by the obs tests).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/calendar.hpp"
+
+namespace greenhpc::obs {
+
+/// Push-model monotonic accumulator. Stable address once registered.
+class Counter {
+ public:
+  void add(double delta = 1.0) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bin histogram with exact running mean and bin-approximate
+/// quantiles. Two instances with identical [lo, hi) x bin_count layouts can
+/// be merged (per-region distributions folding into a fleet view).
+class MetricHistogram {
+ public:
+  MetricHistogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double value);
+  /// Folds `other` into this histogram; throws on a layout mismatch.
+  void merge(const MetricHistogram& other);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Exact mean of every added value (0 when empty).
+  [[nodiscard]] double mean() const;
+  /// Bin-approximate quantile (linear within the landing bin; underflow
+  /// maps to lo, overflow to hi; 0 when empty). q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Named instruments, registered once, sampled every step. Registration
+/// order fixes the export column order (deterministic output).
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  /// Registers (or re-fetches — counters may be shared by name) a counter.
+  Counter* counter(const std::string& name);
+  /// Registers a gauge callback; duplicate names throw (two subsystems
+  /// silently fighting over one column is a bug).
+  void gauge(const std::string& name, GaugeFn fn);
+  /// Registers (or re-fetches, layouts must match) a histogram. Histograms
+  /// expand to four sampled columns: .count, .mean, .p50, .p95.
+  MetricHistogram* histogram(const std::string& name, double lo, double hi,
+                             std::size_t bin_count);
+
+  [[nodiscard]] std::size_t instrument_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Sampled column names, in registration order.
+  [[nodiscard]] std::vector<std::string> column_names() const;
+  /// Evaluates every instrument into `row` (resized to the column count).
+  void sample_into(std::vector<double>& row) const;
+
+ private:
+  /// One registered instrument in registration order (indexes into the
+  /// per-kind stores; deques would also work but the stores are
+  /// pointer-stable unique_ptrs for the handle-returning API).
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::size_t index;
+  };
+
+  std::vector<Entry> order_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<GaugeFn> gauges_;
+  std::vector<std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+/// Bounded per-step time series of every registered instrument.
+struct TimeSeriesConfig {
+  /// Sample every Nth step (the CLI's --metrics-interval).
+  std::size_t interval_steps = 1;
+  /// Retained-row budget; on overflow the store drops every other row and
+  /// doubles its effective interval (downsampling, oldest spacing preserved).
+  std::size_t capacity = 4096;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig config = {});
+
+  /// Offers one step's sample; the store keeps it when the step counter
+  /// lands on the current effective interval.
+  void sample(util::TimePoint t, const MetricsRegistry& registry);
+
+  [[nodiscard]] std::size_t rows() const { return times_.size(); }
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+  /// Effective sampling interval in steps (grows by doubling on overflow).
+  [[nodiscard]] std::size_t effective_interval() const { return effective_interval_; }
+  [[nodiscard]] util::TimePoint time(std::size_t row) const { return times_.at(row); }
+  [[nodiscard]] double value(std::size_t row, std::size_t col) const {
+    return values_.at(row * columns_ + col);
+  }
+
+  /// CSV: "t_seconds,<col>,..." header then one row per retained sample.
+  [[nodiscard]] std::string to_csv(const MetricsRegistry& registry) const;
+  /// JSONL: one {"t_seconds": ..., "<col>": ...} object per line.
+  [[nodiscard]] std::string to_jsonl(const MetricsRegistry& registry) const;
+
+ private:
+  void downsample();
+
+  TimeSeriesConfig config_;
+  std::size_t columns_ = 0;
+  std::size_t step_counter_ = 0;
+  std::size_t effective_interval_;
+  std::vector<util::TimePoint> times_;
+  std::vector<double> values_;  ///< row-major, rows() x columns()
+  std::vector<double> row_scratch_;
+};
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,37 @@
+#include "obs/profiler.hpp"
+
+#include <sstream>
+
+namespace greenhpc::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kObserveRefit: return "observe_refit";
+    case Phase::kRouting: return "routing";
+    case Phase::kMigration: return "migration";
+    case Phase::kScheduling: return "scheduling";
+    case Phase::kProgressAccounting: return "progress_accounting";
+  }
+  return "unknown";
+}
+
+double PhaseProfiler::total_seconds() const {
+  double total = 0.0;
+  for (const PhaseStats& s : stats_) total += s.wall_seconds;
+  return total;
+}
+
+std::string PhaseProfiler::render() const {
+  const double total = total_seconds();
+  std::ostringstream out;
+  out.precision(4);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const PhaseStats& s = stats_[i];
+    out << phase_name(static_cast<Phase>(i)) << ": " << s.wall_seconds << " s ("
+        << (total > 0.0 ? 100.0 * s.wall_seconds / total : 0.0) << "%, " << s.calls
+        << " scopes)\n";
+  }
+  return out.str();
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,63 @@
+#pragma once
+// Step-loop phase profiler: scoped wall-clock timers around the coordinator
+// step's phases, so perf work cites an in-tree breakdown instead of ad-hoc
+// external profiling (the gap PR 5 had to work around).
+//
+// The five phases partition one coordinator step:
+//   observe_refit        region snapshot + forecaster observe/refit/skill
+//   routing              admission routing of the step's arrivals
+//   migration            checkpoint delivery + migration planning
+//   scheduling           per-region scheduler select/dispatch
+//   progress_accounting  arrivals sampling, job progress, energy accounting,
+//                        grid/battery draw, monthly instrumentation
+//
+// Wall time only: phase durations never feed simulated state, so the
+// profiler cannot perturb determinism (the obs tests pin instrumented ==
+// uninstrumented bits). When no recorder is attached the scoped timer
+// compiles down to two null checks — no clock reads.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace greenhpc::obs {
+
+enum class Phase : std::uint8_t {
+  kObserveRefit = 0,
+  kRouting,
+  kMigration,
+  kScheduling,
+  kProgressAccounting,
+};
+inline constexpr std::size_t kPhaseCount = 5;
+
+[[nodiscard]] const char* phase_name(Phase p);
+
+class PhaseProfiler {
+ public:
+  struct PhaseStats {
+    double wall_seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+
+  void record(Phase p, double seconds) {
+    PhaseStats& s = stats_[static_cast<std::size_t>(p)];
+    s.wall_seconds += seconds;
+    s.calls += 1;
+  }
+
+  [[nodiscard]] const PhaseStats& stats(Phase p) const {
+    return stats_[static_cast<std::size_t>(p)];
+  }
+  /// Sum of all phases' wall seconds.
+  [[nodiscard]] double total_seconds() const;
+
+  /// Two-column text rendering (phase, seconds, share) for CLI surfaces.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::array<PhaseStats, kPhaseCount> stats_{};
+};
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,37 @@
+#include "obs/recorder.hpp"
+
+namespace greenhpc::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config),
+      series_(TimeSeriesConfig{config.metrics_interval == 0 ? 1 : config.metrics_interval,
+                               config.metrics_capacity}),
+      wall_start_(std::chrono::steady_clock::now()) {
+  if (profiling()) {
+    trace_.process_name(TraceWriter::kProfilerPid, "step-loop profiler (wall clock)");
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      trace_.thread_name(TraceWriter::kProfilerPid, static_cast<int>(i),
+                         phase_name(static_cast<Phase>(i)));
+    }
+  }
+}
+
+void FlightRecorder::sample(util::TimePoint t) {
+  if (config_.metrics) series_.sample(t, registry_);
+}
+
+double FlightRecorder::wall_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   wall_start_)
+      .count();
+}
+
+void FlightRecorder::record_phase(Phase p, double start_wall_us, double end_wall_us) {
+  profiler_.record(p, (end_wall_us - start_wall_us) * 1e-6);
+  if (config_.trace) {
+    trace_.complete(phase_name(p), "phase", TraceWriter::kProfilerPid,
+                    static_cast<int>(p), start_wall_us, end_wall_us - start_wall_us);
+  }
+}
+
+}  // namespace greenhpc::obs

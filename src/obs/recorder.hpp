@@ -1,0 +1,99 @@
+#pragma once
+// FlightRecorder: the single attach point for simulator-wide observability.
+//
+// One recorder per run owns the three instruments the PR's tentpole asks
+// for — the metrics pipeline (MetricsRegistry + TimeSeriesStore), the
+// decision trace (TraceWriter), and the step-phase profiler (PhaseProfiler).
+// Subsystems receive a `FlightRecorder*` (nullable) and guard every touch
+// with the cheap `tracing()` / `metrics_on()` predicates, so an unattached
+// or disabled recorder costs one pointer/flag check on the hot path and the
+// simulated output stays bit-identical (pinned by the obs tests).
+//
+// Timestamp policy (see trace.hpp): everything that describes simulated
+// behaviour uses sim_us(t) — simulated microseconds, deterministic. Only the
+// phase-profiler lane (pid TraceWriter::kProfilerPid) uses wall_us(), and
+// nothing downstream of it feeds a decision.
+
+#include <cstdint>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "util/calendar.hpp"
+
+namespace greenhpc::obs {
+
+struct FlightRecorderConfig {
+  bool metrics = false;      ///< sample the registry into the time series
+  bool trace = false;        ///< buffer trace events
+  bool profile = false;      ///< time step-loop phases (implied by trace)
+  std::size_t metrics_interval = 1;   ///< sample every Nth coordinator step
+  std::size_t metrics_capacity = 4096;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  [[nodiscard]] bool metrics_on() const { return config_.metrics; }
+  [[nodiscard]] bool tracing() const { return config_.trace; }
+  [[nodiscard]] bool profiling() const { return config_.profile || config_.trace; }
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] TraceWriter& trace() { return trace_; }
+  [[nodiscard]] const TraceWriter& trace() const { return trace_; }
+  [[nodiscard]] PhaseProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const { return profiler_; }
+  [[nodiscard]] const TimeSeriesStore& series() const { return series_; }
+
+  /// Offers one coordinator step's metrics sample (no-op when metrics off).
+  void sample(util::TimePoint t);
+
+  /// Simulated microseconds — the deterministic trace timestamp domain.
+  [[nodiscard]] static double sim_us(util::TimePoint t) {
+    return t.seconds_since_epoch() * 1e6;
+  }
+  /// Host microseconds since this recorder was constructed (profiler lane).
+  [[nodiscard]] double wall_us() const;
+
+  /// Records one finished phase scope: always into the profiler, and onto
+  /// the wall-clock trace lane when tracing.
+  void record_phase(Phase p, double start_wall_us, double end_wall_us);
+
+  [[nodiscard]] std::string metrics_csv() const { return series_.to_csv(registry_); }
+  [[nodiscard]] std::string metrics_jsonl() const { return series_.to_jsonl(registry_); }
+
+ private:
+  FlightRecorderConfig config_;
+  MetricsRegistry registry_;
+  TimeSeriesStore series_;
+  TraceWriter trace_;
+  PhaseProfiler profiler_;
+  std::chrono::steady_clock::time_point wall_start_;
+};
+
+/// RAII scope timing one step-loop phase. Null-safe: with no recorder (or
+/// profiling off) construction and destruction are a pointer check each.
+class PhaseScope {
+ public:
+  PhaseScope(FlightRecorder* recorder, Phase phase)
+      : recorder_((recorder != nullptr && recorder->profiling()) ? recorder : nullptr),
+        phase_(phase) {
+    if (recorder_ != nullptr) start_us_ = recorder_->wall_us();
+  }
+  ~PhaseScope() {
+    if (recorder_ != nullptr) recorder_->record_phase(phase_, start_us_, recorder_->wall_us());
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  FlightRecorder* recorder_;
+  Phase phase_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace greenhpc::obs

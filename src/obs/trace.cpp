@@ -1,0 +1,162 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace greenhpc::obs {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceWriter::complete(std::string name, std::string cat, int pid, int tid, double ts_us,
+                           double dur_us, Args args) {
+  Event e;
+  e.ph = 'X';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::instant(std::string name, std::string cat, int pid, int tid, double ts_us,
+                          Args args) {
+  Event e;
+  e.ph = 'i';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::async_begin(std::string name, std::string cat, int pid, std::uint64_t id,
+                              double ts_us, Args args) {
+  Event e;
+  e.ph = 'b';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.id = id;
+  e.has_id = true;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::async_end(std::string name, std::string cat, int pid, std::uint64_t id,
+                            double ts_us, Args args) {
+  Event e;
+  e.ph = 'e';
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = pid;
+  e.id = id;
+  e.has_id = true;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::process_name(int pid, std::string name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "process_name";
+  e.pid = pid;
+  e.args.push_back(arg("name", std::move(name)));
+  events_.push_back(std::move(e));
+}
+
+void TraceWriter::thread_name(int pid, int tid, std::string name) {
+  Event e;
+  e.ph = 'M';
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.args.push_back(arg("name", std::move(name)));
+  events_.push_back(std::move(e));
+}
+
+namespace {
+
+void write_number(std::ostream& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    out << static_cast<long long>(v);
+  } else {
+    out << v;
+  }
+}
+
+}  // namespace
+
+void TraceWriter::write(std::ostream& out) const {
+  out.precision(12);
+  out << "[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    out << "{\"name\": \"" << json_escape(e.name) << "\", \"ph\": \"" << e.ph << "\"";
+    if (!e.cat.empty()) out << ", \"cat\": \"" << json_escape(e.cat) << "\"";
+    out << ", \"pid\": " << e.pid << ", \"tid\": " << e.tid;
+    if (e.ph != 'M') {
+      out << ", \"ts\": ";
+      write_number(out, e.ts_us);
+    }
+    if (e.ph == 'X') {
+      out << ", \"dur\": ";
+      write_number(out, e.dur_us);
+    }
+    if (e.has_id) out << ", \"id\": \"" << e.id << "\"";
+    if (e.ph == 'i') out << ", \"s\": \"t\"";
+    if (!e.args.empty()) {
+      out << ", \"args\": {";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) out << ", ";
+        const TraceArg& ta = e.args[a];
+        out << "\"" << json_escape(ta.key) << "\": ";
+        if (ta.is_num) {
+          if (std::isfinite(ta.num)) {
+            write_number(out, ta.num);
+          } else {
+            out << "null";
+          }
+        } else {
+          out << "\"" << json_escape(ta.str) << "\"";
+        }
+      }
+      out << "}";
+    }
+    out << "}";
+    if (i + 1 < events_.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,96 @@
+#pragma once
+// Chrome trace-event writer: the qualitative half of the flight recorder.
+//
+// Decision traces and lifecycle spans are emitted in the Chrome trace-event
+// format so a run opens directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing — no custom viewer to maintain. The writer buffers typed
+// events in memory (the simulator is single-threaded per run and events are
+// appended in simulation order) and serializes them as a JSON array with one
+// event object per line: line-oriented enough for `tools/trace_report` and
+// grep, and strictly valid JSON for the standard viewers.
+//
+// Two timestamp domains share one file, kept apart by process id:
+//   pid 0..N   simulation-time lanes (ts = simulated microseconds): job
+//              lifecycle spans, router/scheduler/migration decision records.
+//              Deterministic — two same-seed runs emit identical events.
+//   kProfilerPid  wall-clock lane (ts = host microseconds since recording
+//              started): the step-loop phase profile. Never feeds decisions,
+//              so its nondeterminism cannot leak into simulated state.
+//
+// Event vocabulary used here (Chrome "ph" values): "X" complete spans,
+// "i" instants, "b"/"e" async span begin/end (tolerate overlapping spans —
+// the job-lifecycle and migration-pipeline tracks), "M" metadata (process
+// and thread names).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// One event argument: a key with either a numeric or a string value.
+struct TraceArg {
+  std::string key;
+  std::string str;
+  double num = 0.0;
+  bool is_num = false;
+};
+
+[[nodiscard]] inline TraceArg arg(std::string key, double value) {
+  return {std::move(key), {}, value, true};
+}
+[[nodiscard]] inline TraceArg arg(std::string key, std::string value) {
+  return {std::move(key), std::move(value), 0.0, false};
+}
+
+class TraceWriter {
+ public:
+  /// The wall-clock profiler lane (see header comment).
+  static constexpr int kProfilerPid = 99;
+
+  using Args = std::vector<TraceArg>;
+
+  /// Complete span ("X"): [ts_us, ts_us + dur_us] on one pid/tid lane.
+  void complete(std::string name, std::string cat, int pid, int tid, double ts_us,
+                double dur_us, Args args = {});
+  /// Instant event ("i", thread scope).
+  void instant(std::string name, std::string cat, int pid, int tid, double ts_us,
+               Args args = {});
+  /// Async span begin/end ("b"/"e"): spans that may overlap on one lane,
+  /// matched by (cat, id). Nested pairs with the same (cat, id) render as
+  /// nested slices in Perfetto.
+  void async_begin(std::string name, std::string cat, int pid, std::uint64_t id, double ts_us,
+                   Args args = {});
+  void async_end(std::string name, std::string cat, int pid, std::uint64_t id, double ts_us,
+                 Args args = {});
+  /// Metadata: human names for the pid/tid lanes.
+  void process_name(int pid, std::string name);
+  void thread_name(int pid, int tid, std::string name);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Serializes every buffered event: a JSON array, one event per line.
+  void write(std::ostream& out) const;
+
+ private:
+  struct Event {
+    char ph = 'i';
+    std::string name;
+    std::string cat;
+    int pid = 0;
+    int tid = 0;
+    std::uint64_t id = 0;
+    bool has_id = false;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    Args args;
+  };
+
+  std::vector<Event> events_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace greenhpc::obs

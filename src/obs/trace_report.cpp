@@ -1,0 +1,418 @@
+#include "obs/trace_report.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+namespace greenhpc::obs {
+
+namespace {
+
+/// Minimal scanner over one JSON object line. Understands strings, numbers,
+/// null/true/false, and skips nested objects/arrays; enough for the flat
+/// events TraceWriter emits.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line) : s_(line) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool at(char c) {
+    skip_ws();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  /// Parses a quoted string (with escapes) into `out`.
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail();
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail();
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return fail();
+            // Flat events never need non-ASCII round-tripping; decode the
+            // low byte and move on.
+            out += static_cast<char>(std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          default: return fail();
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail();
+  }
+
+  bool parse_number(double& out) {
+    skip_ws();
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out = std::strtod(start, &end);
+    if (end == start) return fail();
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  /// Skips one value of any kind (for args objects and unknown fields).
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail();
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string dump;
+      return parse_string(dump);
+    }
+    if (c == '{' || c == '[') {
+      const char close = (c == '{') ? '}' : ']';
+      ++pos_;
+      int depth = 1;
+      while (pos_ < s_.size() && depth > 0) {
+        const char k = s_[pos_];
+        if (k == '"') {
+          std::string dump;
+          if (!parse_string(dump)) return false;
+          continue;
+        }
+        if (k == '{' || k == '[') ++depth;
+        if (k == '}' || k == ']') --depth;
+        ++pos_;
+      }
+      return depth == 0 ? true : fail();
+      (void)close;
+    }
+    if (s_.compare(pos_, 4, "null") == 0 || s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return true;
+    }
+    double num = 0.0;
+    return parse_number(num);
+  }
+
+ private:
+  bool fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Parses one event-object line into `event`; returns false (with a
+/// message) on malformed input.
+bool parse_event_line(const std::string& line, ParsedEvent& event, std::string& error) {
+  LineScanner scan(line);
+  if (!scan.consume('{')) {
+    error = "line does not start a JSON object";
+    return false;
+  }
+  bool have_name = false;
+  bool have_ph = false;
+  if (!scan.at('}')) {
+    do {
+      std::string key;
+      if (!scan.parse_string(key) || !scan.consume(':')) {
+        error = "malformed key";
+        return false;
+      }
+      if (key == "name") {
+        have_name = scan.parse_string(event.name);
+        if (!have_name) {
+          error = "\"name\" is not a string";
+          return false;
+        }
+      } else if (key == "ph") {
+        std::string ph;
+        if (!scan.parse_string(ph) || ph.size() != 1) {
+          error = "\"ph\" is not a one-character string";
+          return false;
+        }
+        event.ph = ph[0];
+        have_ph = true;
+      } else if (key == "cat") {
+        if (!scan.parse_string(event.cat)) {
+          error = "\"cat\" is not a string";
+          return false;
+        }
+      } else if (key == "id") {
+        if (!scan.parse_string(event.id)) {
+          error = "\"id\" is not a string";
+          return false;
+        }
+      } else if (key == "pid" || key == "tid" || key == "ts" || key == "dur") {
+        double num = 0.0;
+        if (!scan.parse_number(num)) {
+          error = "\"" + key + "\" is not a number";
+          return false;
+        }
+        if (key == "pid") event.pid = static_cast<int>(num);
+        if (key == "tid") event.tid = static_cast<int>(num);
+        if (key == "ts") event.ts_us = num;
+        if (key == "dur") event.dur_us = num;
+      } else {
+        if (!scan.skip_value()) {
+          error = "malformed value for \"" + key + "\"";
+          return false;
+        }
+      }
+    } while (scan.consume(','));
+  }
+  if (!scan.consume('}')) {
+    error = "object not closed";
+    return false;
+  }
+  if (!have_name || !have_ph) {
+    error = "missing required field (name, ph)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceParseResult summarize_trace(std::istream& in) {
+  TraceParseResult result;
+  // Open async spans keyed by cat + '\0' + id -> begin ts.
+  std::unordered_map<std::string, double> open_async;
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_open_bracket = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Trim whitespace and the inter-event comma TraceWriter emits.
+    std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    std::size_t end = line.find_last_not_of(" \t\r");
+    std::string trimmed = line.substr(begin, end - begin + 1);
+    if (!trimmed.empty() && trimmed.back() == ',') trimmed.pop_back();
+    if (trimmed.empty()) continue;
+    if (trimmed == "[") {
+      saw_open_bracket = true;
+      continue;
+    }
+    if (trimmed == "]") continue;
+    if (trimmed.front() == '[') {
+      // Whole-array-on-one-line input is out of scope for the line parser.
+      result.errors.push_back("line " + std::to_string(line_no) +
+                              ": expected one event object per line");
+      continue;
+    }
+
+    ParsedEvent event;
+    std::string error;
+    if (!parse_event_line(trimmed, event, error)) {
+      result.errors.push_back("line " + std::to_string(line_no) + ": " + error);
+      continue;
+    }
+
+    result.count_by_ph[event.ph] += 1;
+    if (!event.cat.empty()) result.count_by_cat[event.cat] += 1;
+
+    switch (event.ph) {
+      case 'X': {
+        if (event.dur_us < 0.0) {
+          result.errors.push_back("line " + std::to_string(line_no) + ": negative duration on \"" +
+                                  event.name + "\"");
+          break;
+        }
+        SpanStats& stats = result.complete_spans[event.name];
+        stats.count += 1;
+        stats.total_us += event.dur_us;
+        if (event.dur_us > stats.max_us) stats.max_us = event.dur_us;
+        break;
+      }
+      case 'b': {
+        const std::string key = event.cat + '\0' + event.id;
+        if (open_async.count(key) > 0) {
+          result.errors.push_back("line " + std::to_string(line_no) +
+                                  ": async begin with an already-open (cat, id) in \"" +
+                                  event.cat + "\"");
+        }
+        open_async[key] = event.ts_us;
+        break;
+      }
+      case 'e': {
+        const std::string key = event.cat + '\0' + event.id;
+        const auto it = open_async.find(key);
+        if (it == open_async.end()) {
+          result.errors.push_back("line " + std::to_string(line_no) +
+                                  ": async end with no matching begin in \"" + event.cat + "\"");
+          break;
+        }
+        const double dur = event.ts_us - it->second;
+        open_async.erase(it);
+        if (dur < 0.0) {
+          result.errors.push_back("line " + std::to_string(line_no) +
+                                  ": async span ends before it begins in \"" + event.cat + "\"");
+          break;
+        }
+        SpanStats& stats = result.async_spans[event.cat];
+        stats.count += 1;
+        stats.total_us += dur;
+        if (dur > stats.max_us) stats.max_us = dur;
+        break;
+      }
+      case 'i':
+      case 'M':
+        break;
+      default:
+        result.errors.push_back("line " + std::to_string(line_no) + ": unknown ph '" +
+                                std::string(1, event.ph) + "'");
+        break;
+    }
+
+    result.events.push_back(std::move(event));
+  }
+
+  if (!result.events.empty() && !saw_open_bracket) {
+    result.errors.push_back("file never opened a JSON array");
+  }
+  for (const auto& [key, ts] : open_async) {
+    const std::string cat = key.substr(0, key.find('\0'));
+    result.unmatched_async[cat] += 1;
+    (void)ts;
+  }
+  return result;
+}
+
+std::string render_trace_report(const TraceParseResult& result) {
+  std::ostringstream out;
+  out.precision(6);
+  out << "events: " << result.events.size() << "\n";
+  out << "by phase:";
+  for (const auto& [ph, count] : result.count_by_ph) out << " " << ph << "=" << count;
+  out << "\n";
+  if (!result.count_by_cat.empty()) {
+    out << "by category:\n";
+    for (const auto& [cat, count] : result.count_by_cat) {
+      out << "  " << cat << ": " << count << "\n";
+    }
+  }
+  if (!result.complete_spans.empty()) {
+    out << "complete spans (wall-clock lane):\n";
+    for (const auto& [name, stats] : result.complete_spans) {
+      out << "  " << name << ": n=" << stats.count << " total=" << stats.total_us / 1e6
+          << "s mean=" << stats.mean_us() << "us max=" << stats.max_us << "us\n";
+    }
+  }
+  if (!result.async_spans.empty()) {
+    out << "async spans (sim-time lanes):\n";
+    for (const auto& [cat, stats] : result.async_spans) {
+      out << "  " << cat << ": n=" << stats.count
+          << " mean=" << stats.mean_us() / 3.6e9 << "h max=" << stats.max_us / 3.6e9 << "h\n";
+    }
+  }
+  for (const auto& [cat, count] : result.unmatched_async) {
+    out << "open at end-of-trace: " << cat << " x" << count
+        << " (jobs still queued/running when the run stopped)\n";
+  }
+  if (!result.errors.empty()) {
+    out << "schema errors (" << result.errors.size() << "):\n";
+    for (const std::string& error : result.errors) out << "  " << error << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> validate_metrics_jsonl(std::istream& in) {
+  std::vector<std::string> errors;
+  std::vector<std::string> first_keys;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    LineScanner scan(line);
+    if (!scan.consume('{')) {
+      errors.push_back("line " + std::to_string(line_no) + ": not a JSON object");
+      continue;
+    }
+    std::vector<std::string> keys;
+    bool bad = false;
+    if (!scan.at('}')) {
+      do {
+        std::string key;
+        if (!scan.parse_string(key) || !scan.consume(':')) {
+          errors.push_back("line " + std::to_string(line_no) + ": malformed key");
+          bad = true;
+          break;
+        }
+        // Values must be numbers or null (the store never emits strings).
+        if (scan.at('n')) {
+          if (!scan.skip_value()) {
+            errors.push_back("line " + std::to_string(line_no) + ": malformed value");
+            bad = true;
+            break;
+          }
+        } else {
+          double num = 0.0;
+          if (!scan.parse_number(num)) {
+            errors.push_back("line " + std::to_string(line_no) + ": value for \"" + key +
+                             "\" is not a number or null");
+            bad = true;
+            break;
+          }
+        }
+        keys.push_back(std::move(key));
+      } while (scan.consume(','));
+    }
+    if (bad) continue;
+    if (!scan.consume('}')) {
+      errors.push_back("line " + std::to_string(line_no) + ": object not closed");
+      continue;
+    }
+    ++rows;
+    if (first_keys.empty()) {
+      first_keys = keys;
+      bool has_time = false;
+      for (const std::string& key : first_keys) {
+        if (key == "t_seconds") has_time = true;
+      }
+      if (!has_time) {
+        errors.push_back("line " + std::to_string(line_no) + ": missing \"t_seconds\" column");
+      }
+    } else if (keys != first_keys) {
+      errors.push_back("line " + std::to_string(line_no) +
+                       ": key set differs from the first row");
+    }
+  }
+  if (rows == 0) errors.push_back("no metric rows found");
+  return errors;
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,70 @@
+#pragma once
+// Trace-report library: parses and summarizes the flight recorder's output
+// files, shared by the `tools/trace_report` CLI and the obs round-trip
+// tests.
+//
+// The parser is deliberately minimal: one tolerant JSON-object-per-line
+// reader that understands the flat fields TraceWriter emits (name, ph, cat,
+// pid, tid, ts, dur, id) and skips the nested args object. It is not a
+// general JSON parser — it only needs to round-trip this repo's own writer
+// and to flag schema violations in CI.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// One parsed trace event (flat fields only; args are not retained).
+struct ParsedEvent {
+  char ph = '?';
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  int tid = 0;
+  std::string id;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Aggregated duration statistics for one event name.
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+  double mean_us() const { return count > 0 ? total_us / static_cast<double>(count) : 0.0; }
+};
+
+struct TraceParseResult {
+  std::vector<ParsedEvent> events;
+  std::map<char, std::uint64_t> count_by_ph;
+  std::map<std::string, std::uint64_t> count_by_cat;
+  /// Complete-span ("X") stats keyed by event name.
+  std::map<std::string, SpanStats> complete_spans;
+  /// Async ("b"/"e") span stats keyed by category; only matched pairs count.
+  std::map<std::string, SpanStats> async_spans;
+  /// Async begins that never saw a matching end, per category.
+  std::map<std::string, std::uint64_t> unmatched_async;
+  /// Schema violations (bad JSON line, missing required field, async end
+  /// with no begin, negative duration...), one message per problem.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parses a trace file (the JSON-array-one-event-per-line format
+/// TraceWriter emits) and aggregates it. Never throws on malformed input —
+/// problems land in `errors`.
+[[nodiscard]] TraceParseResult summarize_trace(std::istream& in);
+
+/// Human-readable multi-line report of a parse result.
+[[nodiscard]] std::string render_trace_report(const TraceParseResult& result);
+
+/// Validates a metrics JSONL file: every line a flat JSON object, all lines
+/// sharing the first line's key set, every value a number or null, and a
+/// "t_seconds" key present. Returns problems (empty == valid).
+[[nodiscard]] std::vector<std::string> validate_metrics_jsonl(std::istream& in);
+
+}  // namespace greenhpc::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/decision.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::sched {
@@ -53,6 +54,12 @@ std::vector<cluster::JobId> ForecastCarbonScheduler::select(const SchedulerConte
   CarbonAwareScheduler::MustStartPass pass = reactive_.must_start_pass(ctx, throughput);
   std::vector<cluster::JobId>& starts = pass.starts;
   int free = pass.free;
+  if (ctx.explain != nullptr) {
+    for (cluster::JobId id : starts) {
+      ctx.explain->decisions.push_back(
+          {id, true, now_intensity, 0.0, 0.0, predictive, "must_start"});
+    }
+  }
 
   // Pass 2: deferred flexible work, shortest first. With a reliable
   // forecast, release a job exactly when no window at least
@@ -71,8 +78,17 @@ std::vector<cluster::JobId> ForecastCarbonScheduler::select(const SchedulerConte
     });
     for (cluster::JobId id : deferred) {
       const cluster::Job& job = ctx.jobs->get(id);
-      if (job.request().gpus > free) continue;
+      if (job.request().gpus > free) {
+        if (ctx.explain != nullptr) {
+          ctx.explain->decisions.push_back(
+              {id, false, now_intensity, 0.0, 0.0, predictive, "no_capacity"});
+        }
+        continue;
+      }
       bool release = green;
+      const char* reason = green ? "green_now" : "reactive_hold";
+      double best_window = 0.0;
+      double slack_hours = 0.0;
       if (predictive) {
         const util::Duration slack = defer_slack(job, ctx.now, throughput);
         const auto reachable = static_cast<std::size_t>(
@@ -80,6 +96,14 @@ std::vector<cluster::JobId> ForecastCarbonScheduler::select(const SchedulerConte
         const std::size_t steps = std::min(reachable, prefix_min.size());
         release = steps == 0 ||
                   prefix_min[steps - 1] >= now_intensity * (1.0 - config_.improvement_margin);
+        slack_hours = slack.hours();
+        if (steps > 0) best_window = prefix_min[steps - 1];
+        reason = steps == 0 ? "slack_exhausted"
+                            : (release ? "no_better_window" : "greener_window_ahead");
+      }
+      if (ctx.explain != nullptr) {
+        ctx.explain->decisions.push_back(
+            {id, release, now_intensity, best_window, slack_hours, predictive, reason});
       }
       if (!release) continue;
       starts.push_back(id);

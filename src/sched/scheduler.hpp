@@ -14,6 +14,10 @@
 #include "cluster/job.hpp"
 #include "util/units.hpp"
 
+namespace greenhpc::obs {
+struct SchedExplain;
+}
+
 namespace greenhpc::sched {
 
 /// Grid-side signals a green policy may react to.
@@ -31,6 +35,10 @@ struct SchedulerContext {
   /// Pending job ids in submission (FIFO) order.
   const std::vector<cluster::JobId>* queue = nullptr;
   GridSignals signals;
+  /// When non-null the scheduler should record per-job decision rationale
+  /// (started/deferred and why) into it — the flight recorder's decision
+  /// trace. Null on every uninstrumented run; ignoring it is always correct.
+  obs::SchedExplain* explain = nullptr;
 };
 
 class Scheduler {

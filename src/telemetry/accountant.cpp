@@ -16,15 +16,22 @@ void EnergyAccountant::charge(const cluster::Job& job, util::Energy it_energy, d
   require(water_l >= 0.0, "EnergyAccountant: negative water");
   require(gpu_hours >= 0.0, "EnergyAccountant: negative gpu-hours");
 
-  auto [it, inserted] = jobs_.try_emplace(job.id());
-  JobFootprint& fp = it->second;
-  if (inserted) {
-    fp.job = job.id();
-    fp.user = job.request().user;
-    fp.job_class = job.request().job_class;
-    fp.domain = job.request().domain;
-    order_.push_back(job.id());
+  const cluster::JobId id = job.id();
+  if (id >= slot_by_id_.size()) {
+    slot_by_id_.resize(std::max<std::size_t>(id + 1, slot_by_id_.size() * 2), 0);
   }
+  std::uint32_t slot = slot_by_id_[id];
+  if (slot == 0) {
+    footprints_.emplace_back();
+    slot = static_cast<std::uint32_t>(footprints_.size());
+    slot_by_id_[id] = slot;
+    JobFootprint& fresh = footprints_.back();
+    fresh.job = id;
+    fresh.user = job.request().user;
+    fresh.job_class = job.request().job_class;
+    fresh.domain = job.request().domain;
+  }
+  JobFootprint& fp = footprints_[slot - 1];
   const util::Energy facility = it_energy * pue;
   fp.it_energy += it_energy;
   fp.facility_energy += facility;
@@ -40,20 +47,21 @@ void EnergyAccountant::charge(const cluster::Job& job, util::Energy it_energy, d
 }
 
 const JobFootprint* EnergyAccountant::job(cluster::JobId id) const {
-  const auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : &it->second;
+  if (id >= slot_by_id_.size()) return nullptr;
+  const std::uint32_t slot = slot_by_id_[id];
+  return slot == 0 ? nullptr : &footprints_[slot - 1];
 }
 
 std::vector<JobFootprint> EnergyAccountant::all_jobs() const {
   std::vector<JobFootprint> out;
-  out.reserve(order_.size());
-  for (cluster::JobId id : order_) out.push_back(jobs_.at(id));
+  out.reserve(footprints_.size());
+  for (const JobFootprint& fp : footprints_) out.push_back(fp);
   return out;
 }
 
 std::vector<UserFootprint> EnergyAccountant::by_user() const {
   std::unordered_map<cluster::UserId, UserFootprint> users;
-  for (const auto& [id, fp] : jobs_) {
+  for (const JobFootprint& fp : footprints_) {
     UserFootprint& u = users[fp.user];
     u.user = fp.user;
     u.facility_energy += fp.facility_energy;
@@ -73,13 +81,13 @@ std::vector<UserFootprint> EnergyAccountant::by_user() const {
 
 std::unordered_map<cluster::JobClass, util::Energy> EnergyAccountant::by_class() const {
   std::unordered_map<cluster::JobClass, util::Energy> out;
-  for (const auto& [id, fp] : jobs_) out[fp.job_class] += fp.facility_energy;
+  for (const JobFootprint& fp : footprints_) out[fp.job_class] += fp.facility_energy;
   return out;
 }
 
 std::unordered_map<cluster::DomainTag, util::Energy> EnergyAccountant::by_domain() const {
   std::unordered_map<cluster::DomainTag, util::Energy> out;
-  for (const auto& [id, fp] : jobs_) out[fp.domain] += fp.facility_energy;
+  for (const JobFootprint& fp : footprints_) out[fp.domain] += fp.facility_energy;
   return out;
 }
 

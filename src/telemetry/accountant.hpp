@@ -7,6 +7,8 @@
 // rolls up to per-user and per-class ledgers, and the invariant
 // sum(per-user) == cluster total is enforced by tests.
 
+#include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -63,8 +65,15 @@ class EnergyAccountant {
   [[nodiscard]] const grid::EnergyLedger& totals() const { return totals_; }
 
  private:
-  std::unordered_map<cluster::JobId, JobFootprint> jobs_;
-  std::vector<cluster::JobId> order_;
+  // charge() runs once per running job per simulation step — the hottest
+  // telemetry path in the simulator. JobIds are dense sequential (the
+  // registry hands them out from 1), so a direct-indexed slot vector
+  // replaces the hash lookup the old map needed on every charge: one bounds
+  // check + one vector index. Footprints live in a deque (stable addresses,
+  // insertion order = charge order, which keeps every roll-up deterministic).
+  std::deque<JobFootprint> footprints_;
+  /// JobId -> slot + 1 into footprints_ (0 = no footprint yet).
+  std::vector<std::uint32_t> slot_by_id_;
   grid::EnergyLedger totals_;
 };
 

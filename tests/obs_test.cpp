@@ -1,0 +1,425 @@
+// Unit tests for greenhpc::obs — the flight recorder (metrics pipeline,
+// decision trace, phase profiler) and the two hot-path fixes that rode
+// along with it (accountant slot lookup, scheduler dispatch erase).
+//
+// The load-bearing guarantee is at the bottom: attaching a fully enabled
+// recorder must leave the simulated run bit-identical to an uninstrumented
+// one, for both the single twin and a migrating fleet.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "core/optimization.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "migrate/planner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_report.hpp"
+#include "sched/scheduler.hpp"
+#include "telemetry/fleet.hpp"
+
+namespace greenhpc::obs {
+namespace {
+
+using util::TimePoint;
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(Metrics, RegistrySamplesInRegistrationOrder) {
+  MetricsRegistry reg;
+  Counter* jobs = reg.counter("jobs");
+  double depth = 3.0;
+  reg.gauge("depth", [&] { return depth; });
+  MetricHistogram* waits = reg.histogram("wait", 0.0, 10.0, 10);
+  jobs->add(2.0);
+  waits->add(1.0);
+  waits->add(3.0);
+
+  const std::vector<std::string> cols = reg.column_names();
+  const std::vector<std::string> expected = {"jobs",      "depth",    "wait.count",
+                                             "wait.mean", "wait.p50", "wait.p95"};
+  EXPECT_EQ(cols, expected);
+
+  std::vector<double> row;
+  reg.sample_into(row);
+  ASSERT_EQ(row.size(), cols.size());
+  EXPECT_DOUBLE_EQ(row[0], 2.0);
+  EXPECT_DOUBLE_EQ(row[1], 3.0);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);  // wait.count
+  EXPECT_DOUBLE_EQ(row[3], 2.0);  // exact mean of {1, 3}
+}
+
+TEST(Metrics, RegistryDedupesByNameAndRejectsConflicts) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("shared");
+  EXPECT_EQ(reg.counter("shared"), a);  // counters share by name
+  MetricHistogram* h = reg.histogram("h", 0.0, 1.0, 4);
+  EXPECT_EQ(reg.histogram("h", 0.0, 1.0, 4), h);  // same layout re-fetches
+  EXPECT_THROW((void)reg.histogram("h", 0.0, 2.0, 4), std::exception);
+  reg.gauge("g", [] { return 0.0; });
+  EXPECT_THROW(reg.gauge("g", [] { return 1.0; }), std::exception);
+  EXPECT_EQ(reg.instrument_count(), 3u);
+}
+
+TEST(Metrics, HistogramMergeMatchesAddingEverySample) {
+  MetricHistogram a(0.0, 100.0, 20);
+  MetricHistogram b(0.0, 100.0, 20);
+  MetricHistogram all(0.0, 100.0, 20);
+  for (int i = 0; i < 200; ++i) {
+    const double v = (i * 37 % 140) - 20.0;  // exercises under/overflow too
+    ((i % 2 == 0) ? a : b).add(v);
+    all.add(v);
+  }
+  MetricHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.total(), all.total());
+  EXPECT_EQ(merged.underflow(), all.underflow());
+  EXPECT_EQ(merged.overflow(), all.overflow());
+  for (std::size_t bin = 0; bin < all.bin_count(); ++bin) {
+    EXPECT_EQ(merged.count(bin), all.count(bin)) << "bin " << bin;
+  }
+  EXPECT_DOUBLE_EQ(merged.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(merged.quantile(0.95), all.quantile(0.95));
+
+  MetricHistogram other_layout(0.0, 100.0, 10);
+  EXPECT_THROW(merged.merge(other_layout), std::exception);
+}
+
+TEST(Metrics, TimeSeriesDownsamplesToStayWithinCapacity) {
+  MetricsRegistry reg;
+  Counter* steps = reg.counter("steps");
+  TimeSeriesStore store({/*interval_steps=*/1, /*capacity=*/8});
+  for (int i = 0; i < 64; ++i) {
+    steps->add();
+    store.sample(TimePoint::from_seconds(i * 900.0), reg);
+  }
+  EXPECT_LE(store.rows(), 8u);
+  EXPECT_GT(store.rows(), 2u);
+  EXPECT_GT(store.effective_interval(), 1u);
+  // Retained rows stay evenly spaced after halving.
+  const double spacing =
+      store.time(1).seconds_since_epoch() - store.time(0).seconds_since_epoch();
+  for (std::size_t r = 2; r < store.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(
+        store.time(r).seconds_since_epoch() - store.time(r - 1).seconds_since_epoch(), spacing)
+        << "row " << r;
+  }
+}
+
+TEST(Metrics, TimeSeriesHonorsSampleInterval) {
+  MetricsRegistry reg;
+  reg.gauge("g", [] { return 1.0; });
+  TimeSeriesStore store({/*interval_steps=*/4, /*capacity=*/64});
+  for (int i = 0; i < 16; ++i) store.sample(TimePoint::from_seconds(i * 1.0), reg);
+  EXPECT_EQ(store.rows(), 4u);
+}
+
+TEST(Metrics, JsonlExportPassesTheSchemaValidator) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("events");
+  reg.gauge("level", [] { return 0.5; });
+  TimeSeriesStore store({1, 16});
+  for (int i = 0; i < 5; ++i) {
+    c->add();
+    store.sample(TimePoint::from_seconds(i * 60.0), reg);
+  }
+  std::istringstream in(store.to_jsonl(reg));
+  EXPECT_TRUE(validate_metrics_jsonl(in).empty());
+  const std::string csv = store.to_csv(reg);
+  EXPECT_EQ(csv.rfind("t_seconds,events,level", 0), 0u);
+}
+
+TEST(Metrics, ValidatorFlagsSchemaViolations) {
+  const auto errors_of = [](const std::string& text) {
+    std::istringstream in(text);
+    return validate_metrics_jsonl(in);
+  };
+  EXPECT_FALSE(errors_of("").empty());  // no rows at all
+  EXPECT_FALSE(errors_of("{\"x\": 1}\n").empty());  // missing t_seconds
+  // Key set must repeat on every line.
+  EXPECT_FALSE(
+      errors_of("{\"t_seconds\": 0, \"a\": 1}\n{\"t_seconds\": 1, \"b\": 1}\n").empty());
+  // Values must be numbers (or null).
+  EXPECT_FALSE(errors_of("{\"t_seconds\": 0, \"a\": \"one\"}\n").empty());
+  EXPECT_TRUE(errors_of("{\"t_seconds\": 0, \"a\": 1}\n{\"t_seconds\": 1, \"a\": 2}\n").empty());
+}
+
+// --- trace writer round-trip -------------------------------------------------
+
+TEST(Trace, WriterRoundTripsThroughTheSummarizer) {
+  TraceWriter trace;
+  trace.process_name(1, "region \"one\"");  // exercises escaping
+  trace.thread_name(1, 0, "lane");
+  trace.complete("phase_a", "phase", TraceWriter::kProfilerPid, 0, 10.0, 5.0,
+                 {arg("n", 3.0)});
+  trace.complete("phase_a", "phase", TraceWriter::kProfilerPid, 0, 20.0, 15.0);
+  trace.instant("decision", "route", 0, 0, 30.0, {arg("why", std::string("cheapest"))});
+  trace.async_begin("queued", "job.queue", 1, 42, 0.0);
+  trace.async_end("queued", "job.queue", 1, 42, 3'600'000'000.0);
+  trace.async_begin("queued", "job.queue", 1, 43, 10.0);  // open at end of trace
+  EXPECT_EQ(trace.size(), 8u);
+
+  std::stringstream file;
+  trace.write(file);
+  const TraceParseResult result = summarize_trace(file);
+  EXPECT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors.front());
+  EXPECT_EQ(result.events.size(), 8u);
+  EXPECT_EQ(result.count_by_ph.at('X'), 2u);
+  EXPECT_EQ(result.count_by_ph.at('i'), 1u);
+  EXPECT_EQ(result.count_by_ph.at('M'), 2u);
+
+  const SpanStats& phase = result.complete_spans.at("phase_a");
+  EXPECT_EQ(phase.count, 2u);
+  EXPECT_DOUBLE_EQ(phase.total_us, 20.0);
+  EXPECT_DOUBLE_EQ(phase.max_us, 15.0);
+
+  const SpanStats& queue = result.async_spans.at("job.queue");
+  EXPECT_EQ(queue.count, 1u);  // only the matched pair
+  EXPECT_DOUBLE_EQ(queue.total_us, 3'600'000'000.0);
+  EXPECT_EQ(result.unmatched_async.at("job.queue"), 1u);
+}
+
+TEST(Trace, SummarizerFlagsMalformedInput) {
+  std::istringstream in(
+      "[\n"
+      "{\"name\": \"ok\", \"ph\": \"i\", \"ts\": 1},\n"
+      "{\"ph\": \"i\", \"ts\": 2},\n"                                  // missing name
+      "not json at all,\n"                                             // parse failure
+      "{\"name\": \"neg\", \"ph\": \"X\", \"ts\": 3, \"dur\": -1},\n"  // negative duration
+      "{\"name\": \"end\", \"ph\": \"e\", \"cat\": \"c\", \"id\": \"7\", \"ts\": 4}\n"
+      "]\n");
+  const TraceParseResult result = summarize_trace(in);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.errors.size(), 4u);  // one per bad line above
+}
+
+// --- phase profiler ----------------------------------------------------------
+
+TEST(Profiler, PhaseScopeIsNullSafeAndAccumulates) {
+  { PhaseScope no_recorder(nullptr, Phase::kRouting); }  // must not crash
+
+  FlightRecorder recorder({/*metrics=*/false, /*trace=*/false, /*profile=*/true});
+  {
+    PhaseScope scope(&recorder, Phase::kScheduling);
+  }
+  {
+    PhaseScope scope(&recorder, Phase::kScheduling);
+  }
+  EXPECT_EQ(recorder.profiler().stats(Phase::kScheduling).calls, 2u);
+  EXPECT_EQ(recorder.profiler().stats(Phase::kRouting).calls, 0u);
+  EXPECT_GE(recorder.profiler().total_seconds(), 0.0);
+
+  FlightRecorder off({/*metrics=*/true, /*trace=*/false, /*profile=*/false});
+  { PhaseScope scope(&off, Phase::kScheduling); }
+  EXPECT_EQ(off.profiler().stats(Phase::kScheduling).calls, 0u);
+}
+
+TEST(Profiler, PhaseTotalsStayWithinWallTime) {
+  FlightRecorder recorder({/*metrics=*/false, /*trace=*/false, /*profile=*/true});
+  auto dc = core::make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 3);
+  dc->set_recorder(&recorder);
+  const auto wall_start = std::chrono::steady_clock::now();
+  dc->run_until(TimePoint::from_seconds(2.0 * 86400.0));
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // 2 days at the 15-minute step: the scheduling scope runs once per step,
+  // the progress/accounting scope twice (before and after the scheduler).
+  const std::size_t steps = 192;
+  EXPECT_EQ(recorder.profiler().stats(Phase::kScheduling).calls, steps);
+  EXPECT_EQ(recorder.profiler().stats(Phase::kProgressAccounting).calls, 2 * steps);
+  EXPECT_GT(recorder.profiler().total_seconds(), 0.0);
+  // Scoped phases are a partition of (part of) the step loop, so their sum
+  // can never exceed the wall clock around the run (generous slack for
+  // timer granularity).
+  EXPECT_LE(recorder.profiler().total_seconds(), wall_seconds + 0.5);
+}
+
+// --- accountant slot lookup (hot-path satellite) -----------------------------
+
+TEST(Accountant, SlotIndexedLedgerStaysConsistent) {
+  auto dc = core::make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 9);
+  dc->run_until(TimePoint::from_seconds(3.0 * 86400.0));
+  const telemetry::EnergyAccountant& acc = dc->accountant();
+
+  const std::vector<telemetry::JobFootprint> jobs = acc.all_jobs();
+  ASSERT_GT(jobs.size(), 50u);
+  double job_energy_sum = 0.0;
+  for (const telemetry::JobFootprint& fp : jobs) {
+    const telemetry::JobFootprint* direct = acc.job(fp.job);
+    ASSERT_NE(direct, nullptr) << "job " << fp.job;
+    EXPECT_EQ(direct->facility_energy.joules(), fp.facility_energy.joules());
+    EXPECT_EQ(direct->gpu_hours, fp.gpu_hours);
+    job_energy_sum += fp.facility_energy.joules();
+  }
+  // Eq. 2: the per-job decomposition must cover the charged total.
+  EXPECT_NEAR(job_energy_sum, acc.totals().energy.joules(),
+              1e-6 * acc.totals().energy.joules());
+
+  double user_energy_sum = 0.0;
+  for (const telemetry::UserFootprint& u : acc.by_user()) {
+    user_energy_sum += u.facility_energy.joules();
+  }
+  EXPECT_NEAR(user_energy_sum, acc.totals().energy.joules(),
+              1e-6 * acc.totals().energy.joules());
+
+  // Never-charged ids resolve to null, not a crash or a phantom record.
+  EXPECT_EQ(acc.job(0), nullptr);
+  EXPECT_EQ(acc.job(1u << 30), nullptr);
+}
+
+// --- scheduler dispatch erase (hot-path satellite) ---------------------------
+
+/// Starts every other queued job — a worst case for the dispatch erase,
+/// which must drop a scattered subset while preserving FIFO order.
+class EveryOtherScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "every_other"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+    std::vector<cluster::JobId> starts;
+    for (std::size_t i = 0; i < ctx.queue->size(); i += 2) starts.push_back((*ctx.queue)[i]);
+    return starts;
+  }
+};
+
+/// Returns a job id that was never queued — the contract violation the
+/// dispatch erase must keep rejecting.
+class RogueScheduler final : public sched::Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "rogue"; }
+  [[nodiscard]] std::vector<cluster::JobId> select(const sched::SchedulerContext& ctx) override {
+    if (ctx.queue->empty()) return {};
+    return {cluster::JobId{999999}};
+  }
+};
+
+TEST(Scheduler, DispatchErasePreservesFifoOrderOfSurvivors) {
+  core::DatacenterConfig config;
+  core::Datacenter dc(config, std::make_unique<EveryOtherScheduler>());
+  std::vector<cluster::JobId> ids;
+  for (int i = 0; i < 7; ++i) {
+    cluster::JobRequest req;
+    req.gpus = 1;
+    req.work_gpu_seconds = 100.0 * 3600.0;  // long enough to stay running
+    ids.push_back(dc.submit(req));
+  }
+  ASSERT_EQ(dc.queue(), ids);
+  dc.run_until(dc.now() + util::minutes(1));  // exactly one scheduling step
+  // Started ids[0], ids[2], ids[4], ids[6]; survivors keep submission order.
+  const std::vector<cluster::JobId> expect = {ids[1], ids[3], ids[5]};
+  EXPECT_EQ(dc.queue(), expect);
+  for (cluster::JobId id : {ids[0], ids[2], ids[4], ids[6]}) {
+    EXPECT_EQ(dc.jobs().get(id).state(), cluster::JobState::kRunning) << id;
+  }
+}
+
+TEST(Scheduler, DispatchRejectsJobsNotInTheQueue) {
+  core::DatacenterConfig config;
+  core::Datacenter dc(config, std::make_unique<RogueScheduler>());
+  cluster::JobRequest req;
+  req.gpus = 1;
+  req.work_gpu_seconds = 3600.0;
+  dc.submit(req);
+  EXPECT_THROW(dc.run_until(dc.now() + util::minutes(16)), std::exception);
+}
+
+// --- the bit-identity guarantee ----------------------------------------------
+
+TEST(Recorder, SingleSiteRunIsBitIdenticalUnderInstrumentation) {
+  const auto run = [](FlightRecorder* recorder) {
+    auto dc =
+        core::make_reference_datacenter(std::make_unique<sched::EasyBackfillScheduler>(), 7);
+    if (recorder != nullptr) dc->set_recorder(recorder);
+    dc->run_until(TimePoint::from_seconds(4.0 * 86400.0));
+    return dc->summary();
+  };
+  const core::RunSummary plain = run(nullptr);
+  FlightRecorder recorder({/*metrics=*/true, /*trace=*/true, /*profile=*/true});
+  const core::RunSummary instrumented = run(&recorder);
+
+  EXPECT_EQ(plain.jobs_submitted, instrumented.jobs_submitted);
+  EXPECT_EQ(plain.jobs_completed, instrumented.jobs_completed);
+  EXPECT_EQ(plain.completed_gpu_hours, instrumented.completed_gpu_hours);
+  EXPECT_EQ(plain.mean_queue_wait_hours, instrumented.mean_queue_wait_hours);
+  EXPECT_EQ(plain.mean_utilization, instrumented.mean_utilization);
+  EXPECT_EQ(plain.grid_totals.energy.joules(), instrumented.grid_totals.energy.joules());
+  EXPECT_EQ(plain.grid_totals.cost.dollars(), instrumented.grid_totals.cost.dollars());
+  EXPECT_EQ(plain.grid_totals.carbon.kilograms(), instrumented.grid_totals.carbon.kilograms());
+
+  // And the recorder actually recorded: trace events, metric rows, phases.
+  EXPECT_GT(recorder.trace().size(), 100u);
+  EXPECT_GT(recorder.series().rows(), 0u);
+  EXPECT_GT(recorder.profiler().total_seconds(), 0.0);
+  std::istringstream metrics(recorder.metrics_jsonl());
+  EXPECT_TRUE(validate_metrics_jsonl(metrics).empty());
+}
+
+TEST(Recorder, FleetRunIsBitIdenticalUnderInstrumentation) {
+  // The flagship wiring: forecast router + carbon migration, two regions.
+  const auto run = [](FlightRecorder* recorder) {
+    std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
+    profiles.resize(2);
+    fleet::FleetConfig config;
+    config.seed = 17;
+    config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, 14.0);
+    config.migration.objective = migrate::MigrationObjective::kCarbon;
+    fleet::FleetCoordinator fleet(
+        config, std::move(profiles), fleet::make_router("carbon_forecast"),
+        [] { return core::make_scheduler(core::PolicyKind::kForecastCarbon); });
+    if (recorder != nullptr) fleet.set_recorder(recorder);
+    fleet.run_until(TimePoint::from_seconds(0.0) + util::days(30));
+    fleet.drain_migrations();
+    return fleet.summary();
+  };
+  const telemetry::FleetRunSummary plain = run(nullptr);
+  FlightRecorder recorder({/*metrics=*/true, /*trace=*/true, /*profile=*/true});
+  const telemetry::FleetRunSummary instrumented = run(&recorder);
+
+  EXPECT_EQ(plain.total.jobs_submitted, instrumented.total.jobs_submitted);
+  EXPECT_EQ(plain.total.jobs_completed, instrumented.total.jobs_completed);
+  EXPECT_EQ(plain.total.jobs_migrated, instrumented.total.jobs_migrated);
+  EXPECT_EQ(plain.total.completed_gpu_hours, instrumented.total.completed_gpu_hours);
+  EXPECT_EQ(plain.total.mean_queue_wait_hours, instrumented.total.mean_queue_wait_hours);
+  EXPECT_EQ(plain.total.grid_totals.energy.joules(),
+            instrumented.total.grid_totals.energy.joules());
+  EXPECT_EQ(plain.total.grid_totals.carbon.kilograms(),
+            instrumented.total.grid_totals.carbon.kilograms());
+  EXPECT_EQ(plain.migration.started, instrumented.migration.started);
+  EXPECT_EQ(plain.migration.delivered, instrumented.migration.delivered);
+  for (std::size_t i = 0; i < plain.regions.size(); ++i) {
+    EXPECT_EQ(plain.regions[i].jobs_routed, instrumented.regions[i].jobs_routed) << i;
+    EXPECT_EQ(plain.regions[i].jobs_migrated_out, instrumented.regions[i].jobs_migrated_out)
+        << i;
+  }
+
+  // The trace must hold every decision family and parse cleanly end to end.
+  std::stringstream file;
+  recorder.trace().write(file);
+  const TraceParseResult parsed = summarize_trace(file);
+  EXPECT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors.front());
+  EXPECT_GT(parsed.count_by_cat.at("route"), 0u);
+  EXPECT_GT(parsed.count_by_cat.at("sched"), 0u);
+  EXPECT_GT(parsed.count_by_cat.at("job.queue"), 0u);
+  EXPECT_GT(parsed.count_by_cat.at("job.run"), 0u);
+  EXPECT_GT(parsed.count_by_cat.at("phase"), 0u);
+  if (instrumented.migration.started > 0) {
+    EXPECT_GT(parsed.async_spans.at("migration").count, 0u);
+  }
+  // Sim-time lanes are deterministic; the counters agree with the summary.
+  EXPECT_EQ(recorder.registry().counter("fleet.migrations_started")->value(),
+            static_cast<double>(instrumented.migration.started));
+}
+
+}  // namespace
+}  // namespace greenhpc::obs

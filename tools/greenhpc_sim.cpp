@@ -39,6 +39,7 @@
 #include "fleet/forecast_router.hpp"
 #include "forecast/rolling.hpp"
 #include "migrate/planner.hpp"
+#include "obs/recorder.hpp"
 #include "sched/forecast_carbon.hpp"
 #include "telemetry/experiment.hpp"
 #include "telemetry/fleet.hpp"
@@ -73,6 +74,10 @@ struct CliOptions {
   // Forecast controls (forecast_carbon scheduler / *_forecast routers).
   std::string forecast_model = "climatology";
   int forecast_horizon_hours = 24;
+  // Observability (single-run and fleet modes).
+  std::string trace_file;    // empty = no decision/phase trace
+  std::string metrics_file;  // empty = no per-step metrics export
+  int metrics_interval = 1;  // sample every Nth coordinator step
   // Experiment mode.
   int replicas = 0;  // 0 = single-run mode
   int jobs = 0;      // 0 = shared pool (hardware-sized)
@@ -118,6 +123,14 @@ void print_usage() {
       "                     " << forecast::model_names() << " (default climatology)\n"
       "  --forecast-horizon H\n"
       "                     forecast lookahead in hours, 1..168 (default 24)\n"
+      "  --trace FILE       write a Chrome-trace-event JSONL decision trace\n"
+      "                     (job/migration spans, router and scheduler\n"
+      "                     rationale, step-phase profile); load in Perfetto\n"
+      "                     or summarize with trace_report\n"
+      "  --metrics FILE     write per-step fleet/region metrics; .csv gets\n"
+      "                     CSV, anything else JSONL\n"
+      "  --metrics-interval N\n"
+      "                     sample metrics every Nth step (default 1)\n"
       "  --replicas N       run N independently-seeded replicas and report\n"
       "                     mean ± 95% CI per metric instead of one run\n"
       "  --jobs K           worker threads for the replica ensemble\n"
@@ -236,6 +249,13 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         if (opts.forecast_horizon_hours < 1 || opts.forecast_horizon_hours > 168) {
           throw std::invalid_argument("forecast-horizon");
         }
+      } else if (arg == "--trace") {
+        opts.trace_file = *value;
+      } else if (arg == "--metrics") {
+        opts.metrics_file = *value;
+      } else if (arg == "--metrics-interval") {
+        opts.metrics_interval = std::stoi(*value);
+        if (opts.metrics_interval < 1) throw std::invalid_argument("metrics-interval");
       } else if (arg == "--replicas") {
         opts.replicas = std::stoi(*value);
         if (opts.replicas < 1) throw std::invalid_argument("replicas");
@@ -275,6 +295,42 @@ bool write_file(const std::string& path, const std::string& content) {
     return false;
   }
   out << content;
+  return true;
+}
+
+/// The flight recorder the --trace/--metrics flags describe, or nullptr when
+/// neither was given (the uninstrumented path: subsystems see a null
+/// recorder and skip every observability touch).
+std::unique_ptr<obs::FlightRecorder> make_recorder(const CliOptions& opts) {
+  if (opts.trace_file.empty() && opts.metrics_file.empty()) return nullptr;
+  obs::FlightRecorderConfig config;
+  config.trace = !opts.trace_file.empty();
+  config.metrics = !opts.metrics_file.empty();
+  config.metrics_interval = static_cast<std::size_t>(opts.metrics_interval);
+  return std::make_unique<obs::FlightRecorder>(config);
+}
+
+/// Writes whichever observability outputs the run collected. The metrics
+/// format follows the filename: `.csv` gets CSV, everything else JSONL.
+bool flush_recorder(const obs::FlightRecorder& recorder, const CliOptions& opts) {
+  if (!opts.trace_file.empty()) {
+    std::ofstream out(opts.trace_file);
+    if (!out) {
+      std::cerr << "error: cannot write " << opts.trace_file << "\n";
+      return false;
+    }
+    recorder.trace().write(out);
+    std::cout << "wrote trace " << opts.trace_file << " (" << recorder.trace().size()
+              << " events)\n";
+  }
+  if (!opts.metrics_file.empty()) {
+    const bool csv = opts.metrics_file.size() >= 4 &&
+                     opts.metrics_file.compare(opts.metrics_file.size() - 4, 4, ".csv") == 0;
+    if (!write_file(opts.metrics_file, csv ? recorder.metrics_csv() : recorder.metrics_jsonl())) {
+      return false;
+    }
+    std::cout << "wrote metrics " << opts.metrics_file << "\n";
+  }
   return true;
 }
 
@@ -328,6 +384,10 @@ int run_experiment(const CliOptions& opts) {
             << " worker(s), base seed " << opts.seed << "\n";
 
   if (opts.reports) std::cerr << "note: --reports is a single-run option; ignored here\n";
+  if (!opts.trace_file.empty() || !opts.metrics_file.empty()) {
+    std::cerr << "note: --trace/--metrics instrument a single run; ignored in "
+                 "experiment mode\n";
+  }
   if (!opts.sweep.empty() && !opts.scenario.empty()) {
     std::cerr << "note: --sweep overrides --scenario; scenario '" << opts.scenario
               << "' ignored\n";
@@ -427,9 +487,13 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   }
   std::cout << "\n";
 
+  const std::unique_ptr<obs::FlightRecorder> recorder = make_recorder(opts);
+  if (recorder) coordinator.set_recorder(recorder.get());
+
   coordinator.run_until(first.start);  // warm-up
   coordinator.run_until(last.end);
   coordinator.drain_migrations();  // never strand a checkpoint mid-pipe
+  if (recorder && !flush_recorder(*recorder, opts)) return 1;
 
   const telemetry::FleetRunSummary summary = coordinator.summary();
   std::cout << "\nper-region:\n" << telemetry::fleet_region_table(summary);
@@ -495,8 +559,12 @@ int run_cli(const CliOptions& opts) {
   if (opts.battery_kwh) std::cout << ", battery " << *opts.battery_kwh << " kWh";
   std::cout << "\n";
 
+  const std::unique_ptr<obs::FlightRecorder> recorder = make_recorder(opts);
+  if (recorder) dc.set_recorder(recorder.get());
+
   dc.run_until(first.start);  // warm-up
   dc.run_until(last.end);
+  if (recorder && !flush_recorder(*recorder, opts)) return 1;
 
   // --- summary -------------------------------------------------------------
   const core::RunSummary s = dc.summary();

@@ -1,0 +1,86 @@
+// trace_report — summarizer/validator for the flight recorder's outputs.
+//
+// Modes:
+//   trace_report TRACE.json             parse + human-readable summary
+//   trace_report --validate TRACE.json  parse only; exit 1 on schema errors
+//   trace_report --metrics FILE.jsonl   validate a metrics JSONL export;
+//                                       exit 1 on schema errors
+//
+// The summary groups complete spans by name (the step-phase profile),
+// matched async spans by category (job.queue / job.run / migration pipes),
+// and counts every event kind — enough to sanity-check a run from a
+// terminal without loading Perfetto. CI's bench-smoke job runs the
+// --validate and --metrics modes against the flagship scenario's exports.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/trace_report.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout << "trace_report — flight-recorder trace/metrics summarizer\n\n"
+               "usage:\n"
+               "  trace_report TRACE.json             summarize a trace file\n"
+               "  trace_report --validate TRACE.json  schema check only (exit 1 on errors)\n"
+               "  trace_report --metrics FILE         validate a metrics JSONL export\n"
+               "  trace_report --help                 this text\n";
+}
+
+int open_or_fail(const std::string& path, std::ifstream& in) {
+  in.open(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    print_usage();
+    return argc < 2 ? 2 : 0;
+  }
+
+  const std::string first = argv[1];
+  if (first == "--metrics") {
+    if (argc < 3) {
+      std::cerr << "error: --metrics needs a file (see --help)\n";
+      return 2;
+    }
+    std::ifstream in;
+    if (const int rc = open_or_fail(argv[2], in)) return rc;
+    const std::vector<std::string> errors = greenhpc::obs::validate_metrics_jsonl(in);
+    if (errors.empty()) {
+      std::cout << "metrics ok: " << argv[2] << "\n";
+      return 0;
+    }
+    for (const std::string& e : errors) std::cerr << "metrics error: " << e << "\n";
+    return 1;
+  }
+
+  const bool validate_only = first == "--validate";
+  if (validate_only && argc < 3) {
+    std::cerr << "error: --validate needs a file (see --help)\n";
+    return 2;
+  }
+  const std::string path = validate_only ? argv[2] : first;
+
+  std::ifstream in;
+  if (const int rc = open_or_fail(path, in)) return rc;
+  const greenhpc::obs::TraceParseResult result = greenhpc::obs::summarize_trace(in);
+  if (validate_only) {
+    if (result.ok()) {
+      std::cout << "trace ok: " << path << " (" << result.events.size() << " events)\n";
+      return 0;
+    }
+    for (const std::string& e : result.errors) std::cerr << "trace error: " << e << "\n";
+    return 1;
+  }
+  std::cout << greenhpc::obs::render_trace_report(result);
+  return result.ok() ? 0 : 1;
+}
