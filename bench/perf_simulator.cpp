@@ -19,8 +19,10 @@
 //       configuration the repo ships — one step runs 4 twins, the forecaster
 //       hub, admission routing, and the migration planner)
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "bench_common.hpp"
@@ -29,6 +31,7 @@
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace greenhpc;
 
@@ -68,24 +71,56 @@ double bench_single_site(int days) {
   return static_cast<double>(days) * kStepsPerDay / seconds_since(t0);
 }
 
-double bench_fleet(int days, const std::string& router, const std::string& migration) {
+/// Every load-bearing summary double in hexfloat: two runs whose digests
+/// match produced bit-identical simulated results.
+std::string fleet_digest(const telemetry::FleetRunSummary& s) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  const auto ledger = [&out](const grid::EnergyLedger& l) {
+    out << ' ' << l.energy.joules() << ' ' << l.cost.dollars() << ' ' << l.carbon.kilograms()
+        << ' ' << l.water.liters();
+  };
+  const auto run = [&](const core::RunSummary& r) {
+    out << ' ' << r.jobs_submitted << ' ' << r.jobs_completed << ' ' << r.jobs_pending << ' '
+        << r.jobs_migrated << ' ' << r.mean_queue_wait_hours << ' ' << r.completed_gpu_hours
+        << ' ' << r.mean_utilization << ' ' << r.mean_pue;
+    ledger(r.grid_totals);
+  };
+  run(s.total);
+  ledger(s.transfer);
+  out << ' ' << s.migration.started << ' ' << s.migration.delivered;
+  for (const telemetry::RegionRunSummary& r : s.regions) {
+    out << ' ' << r.name << ' ' << r.jobs_routed << ' ' << r.jobs_migrated_in << ' '
+        << r.jobs_migrated_out;
+    run(r.run);
+    ledger(r.transfer);
+  }
+  return out.str();
+}
+
+double bench_fleet(int days, const std::string& router, const std::string& migration,
+                   std::size_t regions = 4, std::size_t step_jobs = 1,
+                   std::string* digest = nullptr) {
   // The flagship fleet configuration: the migration scenario's hot-summer
   // window (jobs routinely start on a dirty grid) at a shorter horizon.
   experiment::ScenarioSpec spec;
   spec.name = "perf_fleet";
   spec.mode = experiment::Mode::kFleet;
-  spec.region_count = 4;
+  spec.region_count = regions;
   spec.router = router;
   spec.migration_policy = migration;
   spec.start = {2021, 7};
   spec.rate_per_hour = 14.0;
   spec.days = days;
   spec.warmup_days = 0;
+  spec.step_jobs = step_jobs;
   const std::uint64_t seed = 42;
   const auto fleet = experiment::make_fleet(spec, seed);
   const auto t0 = std::chrono::steady_clock::now();
   fleet->run_until(spec.window_end());
-  return static_cast<double>(days) * kStepsPerDay / seconds_since(t0);
+  const double rate = static_cast<double>(days) * kStepsPerDay / seconds_since(t0);
+  if (digest != nullptr) *digest = fleet_digest(fleet->summary());
+  return rate;
 }
 
 template <typename Fn>
@@ -170,6 +205,41 @@ int main(int argc, char** argv) {
   results["fleet_forecast_migration_steps_per_s"] =
       best_of(repeat, [&] { return bench_fleet(days, "carbon_forecast", "carbon"); });
 
+  // --- region-parallel scaling (the 100+-region configurations) -------------
+  // The flagship config at 32 and 128 regions, serial vs pool-sharded
+  // stepping. The digests must match bit-for-bit — step_jobs is a wall-clock
+  // knob only — so this section is also a correctness gate, not just a
+  // throughput curve. Short windows keep it affordable: the metric is
+  // steps/s, which is window-independent.
+  bool identity_ok = true;
+  const std::size_t pool_threads = util::shared_pool().thread_count();
+  for (const std::size_t regions : {std::size_t{32}, std::size_t{128}}) {
+    const int scale_days = std::max(1, days / static_cast<int>(regions / 8));
+    std::string serial_digest, parallel_digest;
+    const double serial = best_of(std::min(repeat, 2), [&] {
+      return bench_fleet(scale_days, "carbon_forecast", "carbon", regions, 1, &serial_digest);
+    });
+    const double parallel = best_of(std::min(repeat, 2), [&] {
+      return bench_fleet(scale_days, "carbon_forecast", "carbon", regions, 0, &parallel_digest);
+    });
+    const std::string prefix = "fleet_" + std::to_string(regions) + "region_";
+    results[prefix + "serial_steps_per_s"] = serial;
+    results[prefix + "parallel_steps_per_s"] = parallel;
+    std::cout << "[scaling] " << regions << " regions (" << scale_days << " day(s)): serial "
+              << util::fmt_fixed(serial, 1) << " steps/s, parallel (" << pool_threads
+              << " pool thread(s)) " << util::fmt_fixed(parallel, 1) << " steps/s, speedup "
+              << util::fmt_fixed(parallel / serial, 2) << "x\n";
+    if (serial_digest == parallel_digest) {
+      std::cout << "[scaling] OK: " << regions
+                << "-region parallel summary bit-identical to serial\n";
+    } else {
+      std::cout << "[scaling] FAIL: " << regions
+                << "-region parallel summary diverged from serial (bit-identity broken)\n";
+      identity_ok = false;
+    }
+  }
+  std::cout << "\n";
+
   util::Table table({"metric", "per_second"});
   for (const auto& [key, value] : results) table.add(key, util::fmt_fixed(value, 1));
   std::cout << table;
@@ -208,5 +278,5 @@ int main(int argc, char** argv) {
       ok = ok && pass;
     }
   }
-  return ok ? 0 : 1;
+  return ok && identity_ok ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "core/datacenter.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "obs/recorder.hpp"
@@ -51,6 +52,14 @@ void Datacenter::attach_battery_policy(std::unique_ptr<grid::ArbitragePolicy> po
 
 bool Datacenter::tracing() const { return recorder_ != nullptr && recorder_->tracing(); }
 
+obs::TraceWriter& Datacenter::trace_sink() const {
+  return recorder_->region_trace(obs_region_);
+}
+
+obs::TraceWriter* Datacenter::phase_sink() const {
+  return recorder_ != nullptr ? &recorder_->region_trace(obs_region_) : nullptr;
+}
+
 void Datacenter::set_recorder(obs::FlightRecorder* recorder, std::size_t region, bool root) {
   recorder_ = recorder;
   obs_region_ = region;
@@ -84,11 +93,12 @@ void Datacenter::set_recorder(obs::FlightRecorder* recorder, std::size_t region,
 cluster::JobId Datacenter::submit(const cluster::JobRequest& request) {
   const cluster::JobId id = jobs_.submit(request, sim_.now());
   queue_.push_back(id);
+  pending_index_.push(id, request.gpus);
   queued_gpu_demand_ += request.gpus;
   monthly_subs_.add_event(sim_.now());
   if (ctr_submitted_ != nullptr) ctr_submitted_->add();
   if (tracing()) {
-    recorder_->trace().async_begin(
+    trace_sink().async_begin(
         "queued", "job.queue", trace_pid(), span_id(id), obs::FlightRecorder::sim_us(sim_.now()),
         {obs::arg("gpus", static_cast<double>(request.gpus)),
          obs::arg("work_gpu_hours", request.work_gpu_seconds / 3600.0),
@@ -117,9 +127,9 @@ Datacenter::PreemptedJob Datacenter::preempt(cluster::JobId id) {
   job.migrate_out(sim_.now());
   if (ctr_migrated_out_ != nullptr) ctr_migrated_out_->add();
   if (tracing()) {
-    recorder_->trace().async_end("running", "job.run", trace_pid(), span_id(id),
-                                 obs::FlightRecorder::sim_us(sim_.now()),
-                                 {obs::arg("outcome", "migrated")});
+    trace_sink().async_end("running", "job.run", trace_pid(), span_id(id),
+                           obs::FlightRecorder::sim_us(sim_.now()),
+                           {obs::arg("outcome", "migrated")});
   }
   return snapshot;
 }
@@ -203,9 +213,9 @@ void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
       job.complete(finish);
       if (ctr_completed_ != nullptr) ctr_completed_->add();
       if (tracing()) {
-        recorder_->trace().async_end("running", "job.run", trace_pid(), span_id(job.id()),
-                                     obs::FlightRecorder::sim_us(finish),
-                                     {obs::arg("outcome", "completed")});
+        trace_sink().async_end("running", "job.run", trace_pid(), span_id(job.id()),
+                               obs::FlightRecorder::sim_us(finish),
+                               {obs::arg("outcome", "completed")});
       }
       // A migrated-in job completes its whole lineage: the work checkpointed
       // at previous sites is delivered now, together with the remainder.
@@ -222,6 +232,7 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
   ctx.cluster = &cluster_;
   ctx.jobs = &jobs_;
   ctx.queue = &queue_;
+  ctx.pending = &pending_index_;
   ctx.signals = signals;
   const bool explain = tracing();
   if (explain) {
@@ -251,11 +262,10 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
     if (hist_queue_wait_ != nullptr) hist_queue_wait_->add(wait_hours);
     if (tracing()) {
       const double ts = obs::FlightRecorder::sim_us(t);
-      recorder_->trace().async_end("queued", "job.queue", trace_pid(), span_id(id), ts,
-                                   {obs::arg("wait_hours", wait_hours)});
-      recorder_->trace().async_begin("running", "job.run", trace_pid(), span_id(id), ts,
-                                     {obs::arg("gpus",
-                                               static_cast<double>(job.request().gpus))});
+      trace_sink().async_end("queued", "job.queue", trace_pid(), span_id(id), ts,
+                             {obs::arg("wait_hours", wait_hours)});
+      trace_sink().async_begin("running", "job.run", trace_pid(), span_id(id), ts,
+                               {obs::arg("gpus", static_cast<double>(job.request().gpus))});
     }
   }
   // One pass over the queue for the whole dispatch batch (the old
@@ -266,10 +276,25 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
         queue_, [this](cluster::JobId id) { return started_scratch_.contains(id); });
     require(erased == started_scratch_.size(),
             "Datacenter: scheduler returned a job not in the queue");
+    for (const cluster::JobId id : started_scratch_) {
+      pending_index_.erase(id, jobs_.get(id).request().gpus);
+    }
   }
   if (explain) {
+    const bool dedup = recorder_->trace_detail() == obs::TraceDetail::kChanges;
     for (const obs::SchedDecision& d : sched_explain_.decisions) {
-      recorder_->trace().instant(
+      if (dedup) {
+        if (d.started) {
+          last_reason_.erase(d.job);  // starts always emit
+        } else {
+          const auto [it, inserted] = last_reason_.try_emplace(d.job, d.reason);
+          if (!inserted) {
+            if (std::strcmp(it->second, d.reason) == 0) continue;  // unchanged
+            it->second = d.reason;
+          }
+        }
+      }
+      trace_sink().instant(
           "sched.decision", "sched", trace_pid(), 0, obs::FlightRecorder::sim_us(t),
           {obs::arg("job", static_cast<double>(d.job)),
            obs::arg("action", d.started ? "start" : "defer"), obs::arg("reason", d.reason),
@@ -288,7 +313,7 @@ void Datacenter::step(util::TimePoint t) {
 
   sched::GridSignals signals;
   {
-    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting);
+    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting, phase_sink());
 
     // 1. Workload arrivals land at the step boundary.
     if (arrivals_) {
@@ -304,7 +329,7 @@ void Datacenter::step(util::TimePoint t) {
   }
 
   {
-    obs::PhaseScope phase(recorder_, obs::Phase::kScheduling);
+    obs::PhaseScope phase(recorder_, obs::Phase::kScheduling, phase_sink());
 
     // 4. Scheduling decisions under current grid signals.
     signals.price = price_.price_at(lt);
@@ -315,7 +340,7 @@ void Datacenter::step(util::TimePoint t) {
   }
 
   {
-    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting);
+    obs::PhaseScope phase(recorder_, obs::Phase::kProgressAccounting, phase_sink());
 
     // 5. Facility power and grid draw (battery may shift it).
     const util::Power it = cluster_.it_power();

@@ -22,6 +22,7 @@
 #include "grid/connection.hpp"
 #include "grid/fuel_mix.hpp"
 #include "grid/price.hpp"
+#include "sched/pending_index.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "sim/recorder.hpp"
@@ -35,6 +36,7 @@ namespace greenhpc::obs {
 class Counter;
 class FlightRecorder;
 class MetricHistogram;
+class TraceWriter;
 }
 
 namespace greenhpc::core {
@@ -163,6 +165,14 @@ class Datacenter {
   /// count delivered work symmetrically.
   cluster::JobId resume(const PreemptedJob& snapshot);
 
+  /// Migrated-in lineages whose banked progress has not been delivered yet
+  /// (each entry is a resumed job that has neither completed nor been
+  /// checkpointed onward). Zero means every migration through this site is
+  /// fully settled — the fleet drain's work-conservation condition.
+  [[nodiscard]] std::size_t pending_migration_credits() const {
+    return migration_credit_.size();
+  }
+
   /// Runs the twin from its current time to `end`.
   void run_until(util::TimePoint end);
 
@@ -209,6 +219,13 @@ class Datacenter {
 
   // --- observability helpers (all no-ops without a recorder) ----------------
   [[nodiscard]] bool tracing() const;
+  /// The trace writer this site's sim-domain events append to: its region
+  /// shard when the recorder has shards enabled (fleet runs — required for
+  /// race-free region-parallel stepping and merged deterministically at each
+  /// step barrier), else the main trace (single-site runs).
+  [[nodiscard]] obs::TraceWriter& trace_sink() const;
+  /// Shard pointer for PhaseScope sinks (null without a recorder).
+  [[nodiscard]] obs::TraceWriter* phase_sink() const;
   /// Trace lane for this site (pid 1 + region).
   [[nodiscard]] int trace_pid() const { return 1 + static_cast<int>(obs_region_); }
   /// Fleet-unique async-span id for a job at this site.
@@ -235,6 +252,10 @@ class Datacenter {
   std::unordered_map<cluster::JobId, double> migration_credit_;
   std::vector<cluster::JobId> queue_;
   int queued_gpu_demand_ = 0;  ///< sum of queue_ jobs' GPU requests
+  /// Per-GPU-class index over queue_, maintained on submit/dispatch so
+  /// EASY-style schedulers skip whole too-big classes instead of rescanning
+  /// the queue (handed to them via SchedulerContext::pending).
+  sched::PendingIndex pending_index_;
   std::unique_ptr<sched::Scheduler> scheduler_;
   JobCapPolicy job_cap_policy_;
   SignalObserver signal_observer_;
@@ -268,6 +289,10 @@ class Datacenter {
   obs::Counter* ctr_migrated_out_ = nullptr;
   obs::MetricHistogram* hist_queue_wait_ = nullptr;
   obs::SchedExplain sched_explain_;  ///< reused per-step scratch when tracing
+  /// Last traced deferral reason per queued job — the sched.decision dedup
+  /// (TraceDetail::kChanges): a job's instant is re-emitted only when its
+  /// reason changes; entries are dropped when the job starts.
+  std::unordered_map<cluster::JobId, const char*> last_reason_;
 
   sim::Simulation sim_;
   bool step_scheduled_ = false;

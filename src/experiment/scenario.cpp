@@ -94,8 +94,8 @@ void ScenarioSpec::validate() const {
     require(migration_policy == "off",
             "ScenarioSpec: migration needs a fleet (single-site jobs have nowhere to go)");
   } else {
-    require(region_count >= 1 && region_count <= fleet::make_reference_fleet().size(),
-            "ScenarioSpec: region_count must be 1..4");
+    require(region_count >= 1 && region_count <= 512,
+            "ScenarioSpec: region_count must be 1..512");
     require(fleet::make_router(router) != nullptr, "ScenarioSpec: unknown router name");
     require(transfer_kwh_per_job >= 0.0, "ScenarioSpec: transfer penalty must be >= 0");
   }
@@ -155,12 +155,12 @@ std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
   require(spec.mode == Mode::kFleet, "make_fleet: spec is single-site mode");
   spec.validate();
 
-  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
-  profiles.resize(spec.region_count);
+  std::vector<fleet::RegionProfile> profiles = fleet::make_synthetic_fleet(spec.region_count);
 
   fleet::FleetConfig config;
   config.seed = seed;
   config.start = spec.window_start() - util::days(spec.warmup_days);
+  config.step_jobs = spec.step_jobs;
   // rate_per_hour is quoted per reference site's worth of GPUs, like the CLI.
   config.arrivals.base_rate_per_hour =
       spec.rate_per_hour > 0.0 ? fleet::scaled_fleet_rate(profiles, spec.rate_per_hour)

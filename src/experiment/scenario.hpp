@@ -53,8 +53,14 @@ struct ScenarioSpec {
 
   // --- fleet controls -------------------------------------------------------
   std::string router = "carbon_greedy";
-  std::size_t region_count = 4;  ///< first N reference regions (1..4)
+  /// Fleet size (1..512). The first four regions are the exact reference
+  /// profiles; beyond four the fleet pads with deterministic synthetic
+  /// variants (fleet::make_synthetic_fleet).
+  std::size_t region_count = 4;
   double transfer_kwh_per_job = 0.0;
+  /// Region-parallel stepping width (FleetConfig::step_jobs): 0 = auto,
+  /// 1 = serial. Bit-identical output at any value — a wall-clock knob only.
+  std::size_t step_jobs = 0;
 
   // --- migration controls (fleet mode only) ---------------------------------
   /// Mid-run checkpoint-and-migrate policy: off | carbon | cost.

@@ -1,10 +1,13 @@
 #include "fleet/coordinator.hpp"
 
 #include <algorithm>
+#include <future>
 #include <string>
 
+#include "fleet/shard.hpp"
 #include "obs/recorder.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace greenhpc::fleet {
 
@@ -114,6 +117,10 @@ void FleetCoordinator::set_recorder(obs::FlightRecorder* recorder) {
     recorder_->trace().process_name(0, "fleet coordinator");
     recorder_->trace().thread_name(0, 0, "routing");
     recorder_->trace().thread_name(0, 1, "migration");
+    // Region events land on per-region shards in BOTH serial and parallel
+    // stepping (merged in region-index order after every step), so the trace
+    // byte stream never depends on the stepping width.
+    recorder_->enable_trace_shards(regions_.size());
   }
 }
 
@@ -373,25 +380,105 @@ void FleetCoordinator::run_until(util::TimePoint end) {
       obs::PhaseScope phase(recorder_, obs::Phase::kMigration);
       plan_migrations(t, views_);
     }
-    for (const auto& dc : regions_) dc->run_until(next);
+    step_regions(next);
     if (recorder_ != nullptr) recorder_->sample(t);
     clock_ = next;
   }
 }
 
-void FleetCoordinator::drain_migrations() {
-  while (!in_flight_.empty()) {
+std::size_t FleetCoordinator::resolve_step_jobs() const {
+  if (config_.step_jobs == 1) return 1;
+  // Inside a pool worker already (replica-parallel experiment): submitting
+  // region shards to the same pool could deadlock, and a second pool would
+  // oversubscribe the cores — fall back to serial stepping.
+  if (util::ThreadPool::current() != nullptr) return 1;
+  const util::ThreadPool& pool =
+      config_.step_pool != nullptr ? *config_.step_pool : util::shared_pool();
+  const std::size_t want = config_.step_jobs == 0 ? pool.thread_count() : config_.step_jobs;
+  return std::min(want, regions_.size());
+}
+
+const std::vector<std::vector<std::size_t>>& FleetCoordinator::plan_shards(
+    std::size_t shard_count) {
+  if (shards_for_ != shard_count) {
+    std::vector<double> weights;
+    weights.reserve(regions_.size());
+    // Total GPUs is the best static proxy for a region's step cost (event
+    // volume scales with cluster size); the partition is deterministic, so
+    // which thread steps which region never varies run to run.
+    for (const auto& dc : regions_) {
+      weights.push_back(static_cast<double>(dc->cluster_state().total_gpus()));
+    }
+    shards_ = shard_by_weight(weights, shard_count);
+    shards_for_ = shard_count;
+  }
+  return shards_;
+}
+
+void FleetCoordinator::step_regions(util::TimePoint next) {
+  const std::size_t jobs = resolve_step_jobs();
+  if (jobs <= 1) {
+    for (const auto& dc : regions_) dc->run_until(next);
+    if (tracing()) recorder_->merge_trace_shards();
+    return;
+  }
+  // Regions share no mutable state between the coordinator's barriers (the
+  // hub is only touched by the router/planner in the serial phases, traces
+  // go to per-region shards, metrics objects are per-region), so each shard
+  // advances its regions independently. Wait for every shard before
+  // propagating the first failure, so no task outlives this frame.
+  util::ThreadPool& pool =
+      config_.step_pool != nullptr ? *config_.step_pool : util::shared_pool();
+  const std::vector<std::vector<std::size_t>>& shards = plan_shards(jobs);
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards.size());
+  for (const std::vector<std::size_t>& shard : shards) {
+    futures.push_back(pool.submit([this, &shard, next] {
+      for (const std::size_t i : shard) regions_[i]->run_until(next);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  // Post-barrier: fold the per-region shards into the main trace in region
+  // order — the same order the serial path produces.
+  if (tracing()) recorder_->merge_trace_shards();
+}
+
+void FleetCoordinator::drain_migrations(DrainMode mode) {
+  const auto lineages_pending = [this] {
+    for (const auto& dc : regions_) {
+      if (dc->pending_migration_credits() != 0) return true;
+    }
+    return false;
+  };
+  std::size_t steps = 0;
+  for (;;) {
     refresh_views();
     deliver_migrations(clock_, views_);
-    if (in_flight_.empty()) break;
-    // Something is still on the pipe: advance one lockstep step (arrivals
-    // and planning stay suspended — the window is closed) so the remaining
-    // checkpoints reach their arrival times and the destinations keep
-    // progressing the work already resumed.
+    if (in_flight_.empty() &&
+        (mode == DrainMode::kDeliverOnly || !lineages_pending())) {
+      break;
+    }
+    // Something is still on the pipe (or, in kFinishLineages, a migrated
+    // lineage has uncredited banked progress): advance one lockstep step
+    // (arrivals and planning stay suspended — the window is closed) so the
+    // remaining checkpoints reach their arrival times and the destinations
+    // keep progressing the work already resumed.
+    require(++steps <= 100000, "drain_migrations: lineages failed to finish (runaway drain)");
     const util::TimePoint next = clock_ + config_.step;
-    for (const auto& dc : regions_) dc->run_until(next);
+    step_regions(next);
     clock_ = next;
   }
+  // The final deliver_migrations above may have resumed jobs (shard events)
+  // after the last step's merge.
+  if (tracing()) recorder_->merge_trace_shards();
 }
 
 telemetry::FleetRunSummary FleetCoordinator::summary() const {
@@ -416,10 +503,11 @@ telemetry::FleetRunSummary FleetCoordinator::summary() const {
 std::unique_ptr<FleetCoordinator> make_reference_fleet_coordinator(const std::string& router_name,
                                                                    std::uint64_t seed,
                                                                    std::size_t region_count) {
-  std::vector<RegionProfile> profiles = make_reference_fleet();
-  require(region_count >= 1 && region_count <= profiles.size(),
-          "make_reference_fleet_coordinator: region_count must be 1..4");
-  profiles.resize(region_count);
+  require(region_count >= 1 && region_count <= 512,
+          "make_reference_fleet_coordinator: region_count must be 1..512");
+  // The first four regions are the exact reference profiles; beyond four the
+  // fleet is padded with deterministic synthetic variants.
+  std::vector<RegionProfile> profiles = make_synthetic_fleet(region_count);
 
   std::unique_ptr<RoutingPolicy> router = make_router(router_name);
   require(router != nullptr, "make_reference_fleet_coordinator: unknown router name");

@@ -41,6 +41,10 @@ class Counter;
 class FlightRecorder;
 }
 
+namespace greenhpc::util {
+class ThreadPool;
+}
+
 namespace greenhpc::fleet {
 
 struct FleetConfig {
@@ -66,6 +70,31 @@ struct FleetConfig {
   /// per step; decisions are bit-identical either way). Off is a test seam
   /// that restores the private-bank wiring.
   bool share_forecasters = true;
+  /// Region-parallel stepping width: how many pool workers advance regions
+  /// between the coordinator's routing/migration barriers. 0 = auto
+  /// (min(pool threads, regions)); 1 = serial. Any value produces
+  /// bit-identical simulated output — regions are independent between
+  /// barriers and every merge is in region-index order — so this is purely
+  /// a wall-clock knob. Forced serial inside a pool worker (nested
+  /// replica-parallel experiments share one pool without oversubscription).
+  std::size_t step_jobs = 0;
+  /// Pool to shard stepping across (borrowed; must outlive the coordinator).
+  /// Null = the process-wide util::shared_pool(). A test seam on single-core
+  /// machines, where the shared pool has one thread.
+  util::ThreadPool* step_pool = nullptr;
+};
+
+/// What drain_migrations() must leave behind.
+enum class DrainMode : std::uint8_t {
+  /// Deliver every checkpoint still on the transfer pipe, then stop:
+  /// lineages resume at their destinations but may still be queued or
+  /// running when the summary is taken.
+  kDeliverOnly,
+  /// Deliver the pipe AND keep stepping (arrivals and new planning stay
+  /// suspended) until every migrated lineage has completed — its banked
+  /// progress credited — so short-window migration experiments are exactly
+  /// work-conserving.
+  kFinishLineages,
 };
 
 class FleetCoordinator {
@@ -100,8 +129,10 @@ class FleetCoordinator {
   /// keeps burning energy and completing work while the pipe empties), so
   /// migration-on runs cover a slightly longer window than a migration-off
   /// pair — a few steps against multi-week windows, inside the 5% equal-work
-  /// band the seed-paired benches enforce.
-  void drain_migrations();
+  /// band the seed-paired benches enforce. DrainMode::kFinishLineages keeps
+  /// stepping past pipe-empty until every migrated lineage has completed and
+  /// credited its banked progress (see DrainMode).
+  void drain_migrations(DrainMode mode = DrainMode::kDeliverOnly);
 
   [[nodiscard]] util::TimePoint now() const { return clock_; }
   [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
@@ -166,6 +197,17 @@ class FleetCoordinator {
   /// checkpoints into the transfer pipe.
   void plan_migrations(util::TimePoint t, std::vector<RegionView>& views);
 
+  /// Advances every region to `next` — serially, or sharded across the
+  /// thread pool (see FleetConfig::step_jobs). Regions are independent
+  /// between the coordinator's barriers, so both paths produce identical
+  /// simulated state; per-region trace events land on the recorder's region
+  /// shards and are merged in region-index order by the caller.
+  void step_regions(util::TimePoint next);
+  /// The stepping width actually used this step (nested-pool guard applied).
+  [[nodiscard]] std::size_t resolve_step_jobs() const;
+  /// The cached GPU-weight-balanced shard partition for `shard_count`.
+  const std::vector<std::vector<std::size_t>>& plan_shards(std::size_t shard_count);
+
   FleetConfig config_;
   std::vector<RegionProfile> profiles_;
   std::vector<std::unique_ptr<core::Datacenter>> regions_;
@@ -187,6 +229,10 @@ class FleetCoordinator {
   std::vector<std::size_t> migrated_in_;
   std::vector<std::size_t> migrated_out_;
   telemetry::MigrationStats migration_;
+  // Shard partition cache (recomputed only when the shard count changes —
+  // region weights are fixed at construction).
+  std::vector<std::vector<std::size_t>> shards_;
+  std::size_t shards_for_ = 0;
 
   // Observability (null/zero when no recorder is attached).
   [[nodiscard]] bool tracing() const;

@@ -1,5 +1,11 @@
 #include "fleet/region.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/rng.hpp"
+
 namespace greenhpc::fleet {
 
 namespace {
@@ -134,6 +140,48 @@ RegionProfile plains_wind() {
 
 std::vector<RegionProfile> make_reference_fleet() {
   return {iso_ne(), ercot(), columbia_hydro(), plains_wind()};
+}
+
+std::vector<RegionProfile> make_synthetic_fleet(std::size_t count) {
+  const std::vector<RegionProfile> reference = make_reference_fleet();
+  std::vector<RegionProfile> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count && i < reference.size(); ++i) fleet.push_back(reference[i]);
+  for (std::size_t i = fleet.size(); i < count; ++i) {
+    RegionProfile r = reference[i % reference.size()];
+    // Pure function of the region index: the same index always yields the
+    // same site, independent of fleet size or call order.
+    util::SplitMix64 seeder(0x5EED00000000ULL + i);
+    const auto uniform = [&seeder](double lo, double hi) {
+      const double u = static_cast<double>(seeder.next() >> 11) * 0x1.0p-53;
+      return lo + (hi - lo) * u;
+    };
+
+    r.name += "-s" + std::to_string(i);
+    const int base_nodes = r.cluster.node_count;
+    r.cluster.node_count = std::max(16, static_cast<int>(std::floor(base_nodes * uniform(0.5, 1.5))));
+    const double node_ratio = static_cast<double>(r.cluster.node_count) / base_nodes;
+    r.cluster.fixed_infrastructure =
+        util::watts(r.cluster.fixed_infrastructure.watts() * node_ratio);
+    r.cooling.cooling_capacity = util::watts(r.cooling.cooling_capacity.watts() * node_ratio);
+
+    const double climate_shift = uniform(-3.0, 3.0);
+    for (double& c : r.weather.normal_celsius) c += climate_shift;
+    r.timezone_offset_hours = std::floor(uniform(-8.0, 5.0));
+
+    const double price_scale = uniform(0.8, 1.2);
+    for (double& p : r.price.base_usd_per_mwh) p *= price_scale;
+
+    // FuelMix normalizes shares at construction, so scaling the renewable
+    // columns lets the dispatchable remainder absorb the slack.
+    const double solar_scale = uniform(0.7, 1.3);
+    const double wind_scale = uniform(0.7, 1.3);
+    for (double& s : r.fuel_mix.solar_pct_by_month) s *= solar_scale;
+    for (double& w : r.fuel_mix.wind_pct_by_month) w *= wind_scale;
+
+    fleet.push_back(std::move(r));
+  }
+  return fleet;
 }
 
 int fleet_total_gpus(const std::vector<RegionProfile>& profiles) {

@@ -47,6 +47,15 @@ struct RegionProfile {
 /// giving routing policies a real spread of $/kWh and gCO2/kWh to exploit.
 [[nodiscard]] std::vector<RegionProfile> make_reference_fleet();
 
+/// A fleet of `count` regions for continental-scale runs. The first
+/// min(count, 4) entries are the reference profiles unchanged (so small
+/// fleets stay comparable to published results); beyond that, each region i
+/// is a deterministic perturbation of reference profile i % 4 — cluster size
+/// x [0.5, 1.5), scaled infrastructure/cooling, shifted climate normals,
+/// timezone in [-8, +4] h, price base x [0.8, 1.2), solar/wind x [0.7, 1.3)
+/// — derived from SplitMix64(i), so profile i is a pure function of i.
+[[nodiscard]] std::vector<RegionProfile> make_synthetic_fleet(std::size_t count);
+
 /// Total GPUs across a set of profiles (for sizing fleet-wide arrival rates).
 [[nodiscard]] int fleet_total_gpus(const std::vector<RegionProfile>& profiles);
 

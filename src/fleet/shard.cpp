@@ -1,0 +1,38 @@
+#include "fleet/shard.hpp"
+
+#include <algorithm>
+
+namespace greenhpc::fleet {
+
+std::vector<std::vector<std::size_t>> shard_by_weight(const std::vector<double>& weights,
+                                                      std::size_t shard_count) {
+  const std::size_t n = weights.size();
+  if (n == 0 || shard_count == 0) return {};
+  shard_count = std::min(shard_count, n);
+
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+
+  std::vector<std::vector<std::size_t>> shards(shard_count);
+  std::vector<double> load(shard_count, 0.0);
+  for (const std::size_t item : order) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    shards[best].push_back(item);
+    load[best] += weights[item];
+  }
+
+  for (auto& shard : shards) std::sort(shard.begin(), shard.end());
+  shards.erase(std::remove_if(shards.begin(), shards.end(),
+                              [](const std::vector<std::size_t>& s) { return s.empty(); }),
+               shards.end());
+  return shards;
+}
+
+}  // namespace greenhpc::fleet

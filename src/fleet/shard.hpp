@@ -1,0 +1,25 @@
+#pragma once
+// Deterministic workload sharding for region-parallel fleet stepping.
+//
+// Regions are uneven (reference profiles range from 96 to 224 nodes), so a
+// naive round-robin split leaves one worker stepping the two biggest sites
+// while the others idle at the barrier. shard_by_weight() is a greedy
+// longest-processing-time partition with fully deterministic tie-breaking:
+// the same weights and shard count always produce the same partition, which
+// keeps parallel runs reproducible across machines and pool sizes.
+
+#include <cstddef>
+#include <vector>
+
+namespace greenhpc::fleet {
+
+/// Partitions indices [0, weights.size()) into at most `shard_count`
+/// shards, balancing total weight per shard (greedy LPT: heaviest item
+/// first, assigned to the currently lightest shard). Deterministic: weight
+/// ties break on lower index, shard-load ties on lower shard index, and the
+/// indices inside each shard are sorted ascending. Every index appears in
+/// exactly one shard; empty shards are dropped.
+std::vector<std::vector<std::size_t>> shard_by_weight(const std::vector<double>& weights,
+                                                      std::size_t shard_count);
+
+}  // namespace greenhpc::fleet

@@ -230,6 +230,11 @@ void ArModel::fit(const SeriesView& view) {
   window_.insert(window_.end(), view.second.begin(), view.second.end());
   for (std::size_t t = order_; t < n; ++t) accumulate_row(window_, t, 1.0);
   stats_valid_ = true;
+  // Prime the maintained Cholesky factor from the exact accumulated normal
+  // equations; the batch solve below stays on the Gaussian path so fit()'s
+  // coefficients keep their historical bits.
+  chol_valid_ = chol_.factor(xtx_, p);
+  refits_since_factor_ = 0;
 
   std::vector<std::vector<double>> a(p, std::vector<double>(p));
   std::vector<double> b(xty_);
@@ -263,20 +268,40 @@ void ArModel::update(double value) {
   tail_.push_back(value);
 }
 
+void ArModel::build_row(const std::deque<double>& window, std::size_t t) {
+  const std::size_t p = order_ + 1;
+  row_scratch_.resize(p);
+  row_scratch_[0] = 1.0;
+  for (std::size_t i = 1; i < p; ++i) row_scratch_[i] = window[t - i];
+}
+
 void ArModel::track(double value, const double* evicted) {
   if (!stats_valid_) return;
   if (evicted != nullptr) {
     if (window_.empty() || window_.front() != *evicted) {
       stats_valid_ = false;  // window drifted from the caller's; batch-fit next
+      chol_valid_ = false;
       return;
     }
     // The row leaving the window is the oldest one: target window_[order_]
     // with lags window_[order_-1 .. 0].
-    if (window_.size() > order_) accumulate_row(window_, order_, -1.0);
+    if (window_.size() > order_) {
+      if (chol_valid_) {
+        build_row(window_, order_);
+        chol_valid_ = chol_.downdate(row_scratch_);  // refactored on next refit
+      }
+      accumulate_row(window_, order_, -1.0);
+    }
     window_.pop_front();
   }
   window_.push_back(value);
-  if (window_.size() > order_) accumulate_row(window_, window_.size() - 1, 1.0);
+  if (window_.size() > order_) {
+    accumulate_row(window_, window_.size() - 1, 1.0);
+    if (chol_valid_) {
+      build_row(window_, window_.size() - 1);
+      chol_.update(row_scratch_);
+    }
+  }
 }
 
 bool ArModel::refit(const SeriesView& window) {
@@ -284,6 +309,39 @@ bool ArModel::refit(const SeriesView& window) {
   if (!stats_valid_ || n < min_history() || window_.size() != n) return false;
   const std::size_t p = order_ + 1;
 
+  // Fast path: back-substitute through the maintained Cholesky factor —
+  // O(p^2), versus the O(p^3) elimination this refit used to run. The factor
+  // is re-derived from the exact accumulated X'X periodically so rank-1
+  // drift stays far below the documented ~1e-9-relative batch agreement.
+  if (chol_valid_ && refits_since_factor_ >= kRefactorInterval) chol_valid_ = false;
+  if (!chol_valid_) {
+    chol_valid_ = chol_.factor(xtx_, p);
+    refits_since_factor_ = 0;
+  }
+  if (chol_valid_) {
+    chol_.solve_into(xty_, coefficients_);
+    ++refits_since_factor_;
+    if (debug_cross_check_) {
+      std::vector<std::vector<double>> a(p, std::vector<double>(p));
+      std::vector<double> b(xty_);
+      for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = i; j < p; ++j) a[i][j] = xtx_[i * p + j];
+        for (std::size_t j = 0; j < i; ++j) a[i][j] = xtx_[j * p + i];
+      }
+      const std::vector<double> gauss = stats::solve_linear_system(std::move(a), std::move(b));
+      for (std::size_t i = 0; i < p; ++i) {
+        require(std::abs(coefficients_[i] - gauss[i]) <=
+                    1e-6 * std::max(1.0, std::abs(gauss[i])),
+                "ArModel: Cholesky refit diverged from the batch Gaussian solve");
+      }
+    }
+    tail_.resize(order_);
+    for (std::size_t i = 0; i < order_; ++i) tail_[i] = window[n - order_ + i];
+    return true;
+  }
+
+  // Fallback: the original Gaussian elimination on the accumulated normal
+  // equations (also the debug reference above).
   std::vector<std::vector<double>> a(p, std::vector<double>(p));
   std::vector<double> b(xty_);
   for (std::size_t i = 0; i < p; ++i) {

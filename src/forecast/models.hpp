@@ -191,13 +191,22 @@ class ArModel final : public Forecaster {
   void update(double value) override;
   void track(double value, const double* evicted) override;
   /// Incremental refit from online normal equations: track() rank-1 updates
-  /// X'X and X'y as rows enter and leave the window, so a refit solves the
-  /// (p+1)-dim system directly instead of rebuilding the O(window x p^2)
-  /// design-matrix products. Near-exact rather than bit-exact: evicting a
-  /// row subtracts from the accumulated sums, which reassociates the
+  /// X'X and X'y — and a maintained Cholesky factor of X'X — as rows enter
+  /// and leave the window, so a refit back-substitutes the (p+1)-dim system
+  /// in O(p^2) instead of re-eliminating it in O(p^3) (the profiler-found
+  /// hot spot at p = 97). The factor is re-derived from the exact
+  /// accumulated X'X every kRefactorInterval refits (and whenever a
+  /// downdate loses positive definiteness), bounding rank-1 drift; the
+  /// original Gaussian solve remains as the fallback and as an optional
+  /// debug cross-check. Near-exact rather than bit-exact: evicting a row
+  /// subtracts from the accumulated sums, which reassociates the
   /// floating-point reduction (agreement with the batch fit is at the
   /// 1e-9-relative level, pinned by the equivalence tests).
   bool refit(const SeriesView& window) override;
+
+  /// Debug: every Cholesky-solved refit also runs the batch Gaussian solve
+  /// and throws if the two disagree beyond 1e-6 relative.
+  void set_debug_cross_check(bool on) { debug_cross_check_ = on; }
   [[nodiscard]] std::vector<double> predict(std::size_t horizon) const override;
   void predict_into(std::size_t horizon, std::vector<double>& out) const override;
   /// The multi-step recursion into a reused scratch, returning only its
@@ -224,6 +233,17 @@ class ArModel final : public Forecaster {
   std::vector<double> xtx_;      ///< (p+1)^2 row-major, symmetric
   std::vector<double> xty_;      ///< p+1
   bool stats_valid_ = false;
+
+  /// Refits between exact refactorizations of chol_ from xtx_ — bounds how
+  /// far rank-1 update/downdate drift can accumulate in the factor.
+  static constexpr std::size_t kRefactorInterval = 16;
+  /// Builds the design row [1, window[t-1..t-order]] into row_scratch_.
+  void build_row(const std::deque<double>& window, std::size_t t);
+  stats::CholeskySolver chol_;  ///< maintained factor of xtx_
+  bool chol_valid_ = false;
+  std::size_t refits_since_factor_ = 0;
+  bool debug_cross_check_ = false;
+  std::vector<double> row_scratch_;  ///< one design row for rank-1 chol ops
 
   mutable std::vector<double> point_scratch_;  ///< predict_point recursion buffer
 };

@@ -19,6 +19,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace greenhpc::obs {
@@ -41,7 +42,12 @@ class PhaseProfiler {
     std::uint64_t calls = 0;
   };
 
+  // Locked: region-parallel stepping records the scheduling and progress
+  // phases from pool workers concurrently. This is the wall-clock lane —
+  // aggregate timings are inherently nondeterministic, only the accumulation
+  // itself must be race-free.
   void record(Phase p, double seconds) {
+    const std::scoped_lock lock(mutex_);
     PhaseStats& s = stats_[static_cast<std::size_t>(p)];
     s.wall_seconds += seconds;
     s.calls += 1;
@@ -57,6 +63,7 @@ class PhaseProfiler {
   [[nodiscard]] std::string render() const;
 
  private:
+  mutable std::mutex mutex_;
   std::array<PhaseStats, kPhaseCount> stats_{};
 };
 

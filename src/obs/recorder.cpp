@@ -26,12 +26,29 @@ double FlightRecorder::wall_us() const {
       .count();
 }
 
-void FlightRecorder::record_phase(Phase p, double start_wall_us, double end_wall_us) {
+void FlightRecorder::record_phase(Phase p, double start_wall_us, double end_wall_us,
+                                  TraceWriter* sink) {
   profiler_.record(p, (end_wall_us - start_wall_us) * 1e-6);
   if (config_.trace) {
-    trace_.complete(phase_name(p), "phase", TraceWriter::kProfilerPid,
-                    static_cast<int>(p), start_wall_us, end_wall_us - start_wall_us);
+    TraceWriter& out = sink != nullptr ? *sink : trace_;
+    out.complete(phase_name(p), "phase", TraceWriter::kProfilerPid,
+                 static_cast<int>(p), start_wall_us, end_wall_us - start_wall_us);
   }
+}
+
+void FlightRecorder::enable_trace_shards(std::size_t count) {
+  while (trace_shards_.size() < count) {
+    trace_shards_.push_back(std::make_unique<TraceWriter>());
+  }
+}
+
+TraceWriter& FlightRecorder::region_trace(std::size_t region) {
+  if (region < trace_shards_.size()) return *trace_shards_[region];
+  return trace_;
+}
+
+void FlightRecorder::merge_trace_shards() {
+  for (auto& shard : trace_shards_) shard->drain_into(trace_);
 }
 
 }  // namespace greenhpc::obs

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <chrono>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -25,12 +27,21 @@
 
 namespace greenhpc::obs {
 
+/// How much of the per-step scheduler rationale lands in the trace.
+///   kFull     every queued job's sched.decision instant, every step (the
+///             pre-PR-7 behaviour; ~63% of flagship trace events).
+///   kChanges  a job's deferral instant is re-emitted only when its reason
+///             changes (starts always emit) — month-scale traces shrink an
+///             order of magnitude with no information loss.
+enum class TraceDetail : std::uint8_t { kFull, kChanges };
+
 struct FlightRecorderConfig {
   bool metrics = false;      ///< sample the registry into the time series
   bool trace = false;        ///< buffer trace events
   bool profile = false;      ///< time step-loop phases (implied by trace)
   std::size_t metrics_interval = 1;   ///< sample every Nth coordinator step
   std::size_t metrics_capacity = 4096;
+  TraceDetail trace_detail = TraceDetail::kChanges;
 };
 
 class FlightRecorder {
@@ -40,6 +51,7 @@ class FlightRecorder {
   [[nodiscard]] bool metrics_on() const { return config_.metrics; }
   [[nodiscard]] bool tracing() const { return config_.trace; }
   [[nodiscard]] bool profiling() const { return config_.profile || config_.trace; }
+  [[nodiscard]] TraceDetail trace_detail() const { return config_.trace_detail; }
 
   [[nodiscard]] MetricsRegistry& registry() { return registry_; }
   [[nodiscard]] TraceWriter& trace() { return trace_; }
@@ -59,8 +71,23 @@ class FlightRecorder {
   [[nodiscard]] double wall_us() const;
 
   /// Records one finished phase scope: always into the profiler, and onto
-  /// the wall-clock trace lane when tracing.
-  void record_phase(Phase p, double start_wall_us, double end_wall_us);
+  /// the wall-clock trace lane when tracing. `sink` overrides which writer
+  /// receives the trace event (a region shard during parallel stepping);
+  /// null means the main trace.
+  void record_phase(Phase p, double start_wall_us, double end_wall_us,
+                    TraceWriter* sink = nullptr);
+
+  /// Allocates `count` per-region trace shards (idempotent; grows only).
+  /// Sharding is enabled in serial AND parallel fleet runs, so the merged
+  /// event stream — shards drained in region-index order at each step
+  /// barrier — is byte-identical across stepping modes.
+  void enable_trace_shards(std::size_t count);
+  /// The shard writer for `region`, or the main trace when shards are not
+  /// enabled (single-site runs) or the index is out of range.
+  [[nodiscard]] TraceWriter& region_trace(std::size_t region);
+  /// Drains every shard into the main trace in region-index order.
+  void merge_trace_shards();
+  [[nodiscard]] bool trace_shards_enabled() const { return !trace_shards_.empty(); }
 
   [[nodiscard]] std::string metrics_csv() const { return series_.to_csv(registry_); }
   [[nodiscard]] std::string metrics_jsonl() const { return series_.to_jsonl(registry_); }
@@ -70,6 +97,7 @@ class FlightRecorder {
   MetricsRegistry registry_;
   TimeSeriesStore series_;
   TraceWriter trace_;
+  std::vector<std::unique_ptr<TraceWriter>> trace_shards_;
   PhaseProfiler profiler_;
   std::chrono::steady_clock::time_point wall_start_;
 };
@@ -78,13 +106,18 @@ class FlightRecorder {
 /// profiling off) construction and destruction are a pointer check each.
 class PhaseScope {
  public:
-  PhaseScope(FlightRecorder* recorder, Phase phase)
+  /// `sink` routes the phase's trace event to a specific writer (a region
+  /// shard during parallel stepping); null keeps the main trace.
+  PhaseScope(FlightRecorder* recorder, Phase phase, TraceWriter* sink = nullptr)
       : recorder_((recorder != nullptr && recorder->profiling()) ? recorder : nullptr),
+        sink_(sink),
         phase_(phase) {
     if (recorder_ != nullptr) start_us_ = recorder_->wall_us();
   }
   ~PhaseScope() {
-    if (recorder_ != nullptr) recorder_->record_phase(phase_, start_us_, recorder_->wall_us());
+    if (recorder_ != nullptr) {
+      recorder_->record_phase(phase_, start_us_, recorder_->wall_us(), sink_);
+    }
   }
 
   PhaseScope(const PhaseScope&) = delete;
@@ -92,6 +125,7 @@ class PhaseScope {
 
  private:
   FlightRecorder* recorder_;
+  TraceWriter* sink_;
   Phase phase_;
   double start_us_ = 0.0;
 };

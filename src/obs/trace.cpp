@@ -116,6 +116,17 @@ void write_number(std::ostream& out, double v) {
 
 }  // namespace
 
+void TraceWriter::drain_into(TraceWriter& dst) {
+  if (events_.empty()) return;
+  if (dst.events_.empty()) {
+    dst.events_ = std::move(events_);
+  } else {
+    dst.events_.reserve(dst.events_.size() + events_.size());
+    for (Event& e : events_) dst.events_.push_back(std::move(e));
+  }
+  events_.clear();
+}
+
 void TraceWriter::write(std::ostream& out) const {
   out.precision(12);
   out << "[\n";

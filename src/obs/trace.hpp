@@ -70,6 +70,13 @@ class TraceWriter {
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
+  /// Moves every buffered event onto the end of `dst`'s buffer and clears
+  /// this writer. The region-parallel merge: each pool worker appends to its
+  /// own shard writer race-free, then the coordinator drains the shards into
+  /// the main trace in region-index order at the step barrier, so the merged
+  /// event stream is identical to a serial run's.
+  void drain_into(TraceWriter& dst);
+
   /// Serializes every buffered event: a JSON array, one event per line.
   void write(std::ostream& out) const;
 

@@ -1,0 +1,64 @@
+#pragma once
+// Indexed pending queue: per-GPU-class buckets over the FIFO queue.
+//
+// EASY backfill's phase 3 scans every pending job every step, but most of
+// the queue is skipped wholesale once free GPUs drop below a job's request.
+// Job ids are strictly monotonic in submission order and the datacenter's
+// queue is FIFO, so bucketing pending ids by GPU request keeps each bucket
+// sorted ascending by construction — a k-way merge over the buckets visits
+// pending jobs in exactly FIFO order while entire too-big GPU classes drop
+// out in O(1). The owning Datacenter maintains the index alongside queue_
+// (push on submit, erase on dispatch); schedulers receive it read-only via
+// SchedulerContext::pending and must treat it as an accelerator only: the
+// linear queue walk stays the semantic reference (and the fallback when the
+// index is absent or stale).
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+
+#include "cluster/job.hpp"
+
+namespace greenhpc::sched {
+
+class PendingIndex {
+ public:
+  /// Appends `id` to its GPU-class bucket. Ids must arrive in increasing
+  /// order (submission order) for the buckets to stay sorted.
+  void push(cluster::JobId id, int gpus) {
+    buckets_[gpus].push_back(id);
+    ++size_;
+  }
+
+  /// Removes `id` from the `gpus` bucket (no-op when absent).
+  void erase(cluster::JobId id, int gpus) {
+    const auto bucket = buckets_.find(gpus);
+    if (bucket == buckets_.end()) return;
+    auto& ids = bucket->second;
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    if (it == ids.end() || *it != id) return;
+    ids.erase(it);
+    --size_;
+    if (ids.empty()) buckets_.erase(bucket);
+  }
+
+  void clear() {
+    buckets_.clear();
+    size_ = 0;
+  }
+
+  /// Total pending ids across all buckets — the staleness check: a scheduler
+  /// only trusts the index when this matches the queue it was handed.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] const std::map<int, std::deque<cluster::JobId>>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<int, std::deque<cluster::JobId>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace greenhpc::sched

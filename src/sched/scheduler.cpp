@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sched/pending_index.hpp"
 #include "util/error.hpp"
 
 namespace greenhpc::sched {
@@ -80,20 +81,58 @@ std::vector<cluster::JobId> EasyBackfillScheduler::select(const SchedulerContext
   // finishing before shadow_time can use anything free now.
   int extra_at_shadow = available - head_job.request().gpus;
 
-  // Phase 3: backfill later queued jobs.
-  for (std::size_t i = head + 1; i < queue.size(); ++i) {
-    const cluster::Job& job = ctx.jobs->get(queue[i]);
-    const int need = job.request().gpus;
-    if (need > free) continue;
+  // Phase 3: backfill later queued jobs — identical start/defer conditions
+  // via either walk. Job ids are monotonic in submission order and the queue
+  // is FIFO, so ascending-id order IS queue order; the indexed walk merges
+  // the per-GPU-class buckets by min id and drops a whole class the moment
+  // its request exceeds the free GPUs (free only ever decreases below), while
+  // the linear walk remains the semantic reference and the fallback when no
+  // current index was handed in.
+  const auto consider = [&](cluster::JobId id, int need) {
+    const cluster::Job& job = ctx.jobs->get(id);
     const util::TimePoint est_finish = ctx.now + job.user_estimate(throughput);
     if (est_finish <= shadow_time) {
-      starts.push_back(queue[i]);
+      starts.push_back(id);
       free -= need;
     } else if (need <= extra_at_shadow) {
-      starts.push_back(queue[i]);
+      starts.push_back(id);
       free -= need;
       extra_at_shadow -= need;
     }
+  };
+
+  if (ctx.pending != nullptr && ctx.pending->size() == queue.size()) {
+    // Cursors begin past the head id, which also skips the phase-1 prefix
+    // (those ids precede the head in submission order).
+    const cluster::JobId head_id = queue[head];
+    struct Cursor {
+      int gpus;
+      std::deque<cluster::JobId>::const_iterator it, end;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(ctx.pending->buckets().size());
+    for (const auto& [gpus, ids] : ctx.pending->buckets()) {
+      const auto it = std::upper_bound(ids.begin(), ids.end(), head_id);
+      if (it != ids.end()) cursors.push_back({gpus, it, ids.end()});
+    }
+    while (!cursors.empty()) {
+      std::erase_if(cursors, [&](const Cursor& c) { return c.gpus > free; });
+      std::size_t best = cursors.size();
+      for (std::size_t c = 0; c < cursors.size(); ++c) {
+        if (best == cursors.size() || *cursors[c].it < *cursors[best].it) best = c;
+      }
+      if (best == cursors.size()) break;
+      Cursor& cur = cursors[best];
+      consider(*cur.it, cur.gpus);
+      if (++cur.it == cur.end) cursors.erase(cursors.begin() + best);
+    }
+    return starts;
+  }
+
+  for (std::size_t i = head + 1; i < queue.size(); ++i) {
+    const int need = ctx.jobs->get(queue[i]).request().gpus;
+    if (need > free) continue;
+    consider(queue[i], need);
   }
   return starts;
 }

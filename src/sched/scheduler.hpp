@@ -20,6 +20,8 @@ struct SchedExplain;
 
 namespace greenhpc::sched {
 
+class PendingIndex;
+
 /// Grid-side signals a green policy may react to.
 struct GridSignals {
   util::EnergyPrice price;
@@ -39,6 +41,11 @@ struct SchedulerContext {
   /// (started/deferred and why) into it — the flight recorder's decision
   /// trace. Null on every uninstrumented run; ignoring it is always correct.
   obs::SchedExplain* explain = nullptr;
+  /// Optional per-GPU-class index over `queue` (see pending_index.hpp).
+  /// Purely an accelerator: schedulers must produce identical selections
+  /// with or without it, and must ignore it unless its size matches the
+  /// queue's.
+  const PendingIndex* pending = nullptr;
 };
 
 class Scheduler {

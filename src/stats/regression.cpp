@@ -130,4 +130,88 @@ DoublingFit doubling_fit(std::span<const double> ts, std::span<const double> ys)
   return DoublingFit{1.0 / fit.slope, fit.intercept, fit.r_squared};
 }
 
+bool CholeskySolver::factor(const std::vector<double>& a, std::size_t n) {
+  require(a.size() >= n * n, "CholeskySolver::factor: matrix smaller than n x n");
+  n_ = n;
+  l_.assign(n * n, 0.0);
+  valid_ = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      // Symmetric input with only the upper triangle filled: A(i,j) lives at
+      // a[min*n + max].
+      double sum = a[j * n + i];
+      for (std::size_t k = 0; k < j; ++k) sum -= l_[i * n + k] * l_[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return false;
+        l_[i * n + i] = std::sqrt(sum);
+      } else {
+        l_[i * n + j] = sum / l_[j * n + j];
+      }
+    }
+  }
+  valid_ = true;
+  return true;
+}
+
+void CholeskySolver::update(std::span<const double> x) {
+  require(valid_ && x.size() == n_, "CholeskySolver::update: invalid state or size");
+  scratch_.assign(x.begin(), x.end());
+  // Classic Givens-style rank-1 update (Golub & Van Loan): each column k
+  // rotates x into L, O(n^2) total.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double lkk = l_[k * n_ + k];
+    const double xk = scratch_[k];
+    const double r = std::sqrt(lkk * lkk + xk * xk);
+    const double c = r / lkk;
+    const double s = xk / lkk;
+    l_[k * n_ + k] = r;
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      l_[i * n_ + k] = (l_[i * n_ + k] + s * scratch_[i]) / c;
+      scratch_[i] = c * scratch_[i] - s * l_[i * n_ + k];
+    }
+  }
+}
+
+bool CholeskySolver::downdate(std::span<const double> x) {
+  require(valid_ && x.size() == n_, "CholeskySolver::downdate: invalid state or size");
+  scratch_.assign(x.begin(), x.end());
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double lkk = l_[k * n_ + k];
+    const double xk = scratch_[k];
+    const double r2 = lkk * lkk - xk * xk;
+    if (r2 <= 0.0 || !std::isfinite(r2)) {
+      // The downdated matrix is no longer (numerically) positive definite;
+      // the caller refactors from the exact normal equations instead.
+      valid_ = false;
+      return false;
+    }
+    const double r = std::sqrt(r2);
+    const double c = r / lkk;
+    const double s = xk / lkk;
+    l_[k * n_ + k] = r;
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      l_[i * n_ + k] = (l_[i * n_ + k] - s * scratch_[i]) / c;
+      scratch_[i] = c * scratch_[i] - s * l_[i * n_ + k];
+    }
+  }
+  return true;
+}
+
+void CholeskySolver::solve_into(std::span<const double> b, std::vector<double>& out) const {
+  require(valid_ && b.size() == n_, "CholeskySolver::solve_into: invalid state or size");
+  out.assign(b.begin(), b.end());
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = out[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_[i * n_ + k] * out[k];
+    out[i] = sum / l_[i * n_ + i];
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t i = n_; i-- > 0;) {
+    double sum = out[i];
+    for (std::size_t k = i + 1; k < n_; ++k) sum -= l_[k * n_ + i] * out[k];
+    out[i] = sum / l_[i * n_ + i];
+  }
+}
+
 }  // namespace greenhpc::stats

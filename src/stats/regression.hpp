@@ -59,4 +59,38 @@ struct DoublingFit {
 [[nodiscard]] std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
                                                       std::vector<double> b);
 
+/// Maintained Cholesky factor of a symmetric positive-definite matrix, with
+/// O(n^2) rank-1 update/downdate — the solver behind AR(p) incremental
+/// refits, where the normal equations change by a handful of rank-1 terms
+/// per window slide but were previously re-solved by O(n^3) elimination.
+///
+/// Storage is a flat row-major lower triangle L with A = L L^T. factor()
+/// reads the upper-triangle-filled symmetric input the AR accumulator keeps
+/// (A(i,j) at a[min*n + max]).
+class CholeskySolver {
+ public:
+  /// Factors `a` (n x n, symmetric, upper triangle filled). Returns false —
+  /// and invalidates the solver — when the matrix is not positive definite.
+  bool factor(const std::vector<double>& a, std::size_t n);
+
+  /// Rank-1 update: A <- A + x x^T in O(n^2).
+  void update(std::span<const double> x);
+
+  /// Rank-1 downdate: A <- A - x x^T. Returns false — and invalidates the
+  /// solver — when the downdate would lose positive definiteness.
+  bool downdate(std::span<const double> x);
+
+  /// Solves A out = b by forward/back substitution. Requires valid().
+  void solve_into(std::span<const double> b, std::vector<double>& out) const;
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] std::size_t dim() const { return n_; }
+
+ private:
+  std::vector<double> l_;        ///< row-major lower triangle, n_ x n_
+  std::vector<double> scratch_;  ///< mutable copy of x for update/downdate
+  std::size_t n_ = 0;
+  bool valid_ = false;
+};
+
 }  // namespace greenhpc::stats

@@ -33,7 +33,14 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+namespace {
+thread_local ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+ThreadPool* ThreadPool::current() { return t_current_pool; }
+
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

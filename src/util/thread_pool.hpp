@@ -32,6 +32,13 @@ class ThreadPool {
   /// Enqueues a task; the future reports completion and propagates exceptions.
   std::future<void> submit(std::function<void()> task);
 
+  /// The pool whose worker thread is running the caller, or nullptr when the
+  /// caller is not a pool worker. Lets nested layers (e.g. region-parallel
+  /// fleet stepping inside replica-parallel experiments) detect that they are
+  /// already inside a pool and fall back to serial execution instead of
+  /// submitting to the same pool (deadlock risk) or oversubscribing cores.
+  static ThreadPool* current();
+
  private:
   void worker_loop();
 

@@ -107,7 +107,7 @@ TEST(Scenario, ValidateRejectsBadSpecs) {
   EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad = ScenarioSpec{};
   bad.mode = Mode::kFleet;
-  bad.region_count = 9;
+  bad.region_count = 513;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
   bad = ScenarioSpec{};
   bad.mode = Mode::kFleet;

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <span>
 #include <vector>
 
 #include "forecast/bank.hpp"
@@ -428,6 +429,31 @@ TEST(IncrementalRefit, ArNormalEquationsMatchBatchToTolerance) {
   const std::vector<double> want = batch.predict(96);
   for (std::size_t h = 0; h < want.size(); ++h) {
     EXPECT_NEAR(got[h], want[h], 1e-7 * std::max(1.0, std::abs(want[h]))) << "h=" << h;
+  }
+}
+
+TEST(IncrementalRefit, ArDebugCrossCheckHoldsOverManyRefits) {
+  // With the cross-check armed, every Cholesky-solved refit also runs the
+  // batch Gaussian solve and throws beyond 1e-6 relative disagreement.
+  // Streaming 40 refits (crossing two forced refactorizations of the
+  // maintained factor) must stay silent.
+  constexpr std::size_t kOrder = 24;
+  constexpr std::size_t kWindow = 24 * 8;
+  constexpr std::size_t kSlide = 4;
+  constexpr std::size_t kRefits = 40;
+  const auto series = seasonal_series(kWindow + kSlide * kRefits, 24, 0.0, 0.5, 29);
+  const std::span<const double> all(series);
+
+  ArModel model(kOrder);
+  model.set_debug_cross_check(true);
+  model.fit(all.subspan(0, kWindow));
+  for (std::size_t t = kWindow; t < series.size(); ++t) {
+    const double evicted = series[t - kWindow];
+    model.track(series[t], &evicted);
+    if ((t - kWindow + 1) % kSlide == 0) {
+      const SeriesView window{all.subspan(t + 1 - kWindow, kWindow), {}};
+      EXPECT_TRUE(model.refit(window));
+    }
   }
 }
 

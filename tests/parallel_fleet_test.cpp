@@ -1,0 +1,288 @@
+// Region-parallel fleet stepping: the stepping width (and the pool behind
+// it) is a wall-clock knob only — every simulated output must be
+// bit-identical to the serial path. These tests pin that contract for
+// summaries, traces, and metrics, plus the deterministic shard planner, the
+// nested-parallelism guard, and the finish-lineages drain mode.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/optimization.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/region.hpp"
+#include "fleet/routing.hpp"
+#include "fleet/shard.hpp"
+#include "migrate/planner.hpp"
+#include "obs/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace greenhpc::fleet {
+namespace {
+
+/// Every load-bearing summary double in hexfloat: equal digests mean
+/// bit-identical simulated results.
+std::string digest(const telemetry::FleetRunSummary& s) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  const auto run = [&out](const core::RunSummary& r) {
+    out << ' ' << r.jobs_submitted << ' ' << r.jobs_completed << ' ' << r.jobs_pending << ' '
+        << r.jobs_migrated << ' ' << r.mean_queue_wait_hours << ' ' << r.completed_gpu_hours
+        << ' ' << r.mean_utilization << ' ' << r.mean_pue << ' '
+        << r.grid_totals.energy.joules() << ' ' << r.grid_totals.cost.dollars() << ' '
+        << r.grid_totals.carbon.kilograms() << ' ' << r.grid_totals.water.liters();
+  };
+  run(s.total);
+  out << ' ' << s.transfer.energy.joules() << ' ' << s.migration.started << ' '
+      << s.migration.delivered;
+  for (const telemetry::RegionRunSummary& r : s.regions) {
+    out << ' ' << r.name << ' ' << r.jobs_routed << ' ' << r.jobs_migrated_in << ' '
+        << r.jobs_migrated_out;
+    run(r.run);
+  }
+  return out.str();
+}
+
+std::unique_ptr<FleetCoordinator> build_fleet(std::size_t regions, std::size_t step_jobs,
+                                              util::ThreadPool* pool, bool migration) {
+  std::vector<RegionProfile> profiles = make_synthetic_fleet(regions);
+  FleetConfig config;
+  config.seed = 42;
+  config.arrivals.base_rate_per_hour = scaled_fleet_rate(profiles, 14.0);
+  config.step_jobs = step_jobs;
+  config.step_pool = pool;
+  if (migration) {
+    config.migration.objective = *migrate::migration_objective_from_name("carbon");
+  }
+  return std::make_unique<FleetCoordinator>(std::move(config), std::move(profiles),
+                                            make_router("carbon_forecast"));
+}
+
+std::string run_digest(std::size_t regions, std::size_t step_jobs, util::ThreadPool* pool,
+                       int days, bool migration = true) {
+  const auto fleet = build_fleet(regions, step_jobs, pool, migration);
+  fleet->run_until(fleet->now() + util::days(days));
+  fleet->drain_migrations();
+  return digest(fleet->summary());
+}
+
+// --- bit-identity across stepping widths ------------------------------------
+
+TEST(ParallelFleet, BitIdenticalAcrossPoolSizesSmallFleet) {
+  const std::string serial = run_digest(2, 1, nullptr, 3);
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool3(3);  // more shards than a 1-thread pool can run at once
+  EXPECT_EQ(run_digest(2, 2, &pool1, 3), serial);   // 2 shards on 1 thread
+  EXPECT_EQ(run_digest(2, 0, &pool3, 3), serial);   // auto width, pool > regions
+}
+
+TEST(ParallelFleet, BitIdentical32Regions) {
+  const std::string serial = run_digest(32, 1, nullptr, 2);
+  util::ThreadPool pool(3);
+  EXPECT_EQ(run_digest(32, 3, &pool, 2), serial);
+  EXPECT_EQ(run_digest(32, 7, &pool, 2), serial);  // width != pool size
+}
+
+TEST(ParallelFleet, BitIdentical128Regions) {
+  const std::string serial = run_digest(128, 1, nullptr, 1);
+  util::ThreadPool pool(4);
+  EXPECT_EQ(run_digest(128, 4, &pool, 1), serial);
+}
+
+// --- trace and metrics identity ----------------------------------------------
+
+/// The phase profiler's wall-clock spans (pid 99) are nondeterministic by
+/// nature; everything else must match byte for byte.
+std::string sim_trace_lines(const obs::FlightRecorder& recorder) {
+  std::ostringstream raw;
+  recorder.trace().write(raw);
+  std::istringstream in(raw.str());
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("\"pid\": 99") == std::string::npos) out += line + '\n';
+  }
+  return out;
+}
+
+TEST(ParallelFleet, TraceAndMetricsBitIdentical) {
+  const auto instrumented_run = [](std::size_t step_jobs, util::ThreadPool* pool,
+                                   std::string* trace, std::string* metrics) {
+    obs::FlightRecorderConfig rc;
+    rc.trace = true;
+    rc.metrics = true;
+    obs::FlightRecorder recorder(rc);
+    const auto fleet = build_fleet(4, step_jobs, pool, /*migration=*/true);
+    fleet->set_recorder(&recorder);
+    fleet->run_until(fleet->now() + util::days(3));
+    fleet->drain_migrations();
+    *trace = sim_trace_lines(recorder);
+    *metrics = recorder.metrics_csv();
+    return digest(fleet->summary());
+  };
+
+  std::string serial_trace, serial_metrics, par_trace, par_metrics;
+  const std::string serial = instrumented_run(1, nullptr, &serial_trace, &serial_metrics);
+  util::ThreadPool pool(3);
+  const std::string parallel = instrumented_run(3, &pool, &par_trace, &par_metrics);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(par_trace, serial_trace);
+  EXPECT_FALSE(serial_trace.empty());
+  EXPECT_EQ(par_metrics, serial_metrics);
+}
+
+// --- shard planner -----------------------------------------------------------
+
+TEST(ShardByWeight, CoversEveryIndexExactlyOnce) {
+  const std::vector<double> weights{5.0, 1.0, 3.0, 3.0, 2.0, 8.0, 1.0};
+  const auto shards = shard_by_weight(weights, 3);
+  std::vector<int> seen(weights.size(), 0);
+  for (const auto& shard : shards) {
+    for (const std::size_t i : shard) {
+      ASSERT_LT(i, weights.size());
+      ++seen[i];
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(ShardByWeight, DeterministicAndSortedWithinShard) {
+  const std::vector<double> weights{4.0, 4.0, 4.0, 1.0, 9.0};
+  const auto a = shard_by_weight(weights, 2);
+  const auto b = shard_by_weight(weights, 2);
+  EXPECT_EQ(a, b);
+  for (const auto& shard : a) {
+    EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+  }
+}
+
+TEST(ShardByWeight, BalancesEqualWeights) {
+  const std::vector<double> weights(10, 1.0);
+  const auto shards = shard_by_weight(weights, 5);
+  ASSERT_EQ(shards.size(), 5u);
+  for (const auto& shard : shards) EXPECT_EQ(shard.size(), 2u);
+}
+
+TEST(ShardByWeight, DropsEmptyShards) {
+  const std::vector<double> weights{1.0, 2.0};
+  const auto shards = shard_by_weight(weights, 8);
+  EXPECT_EQ(shards.size(), 2u);  // never more shards than items
+}
+
+// --- nested-parallelism guard ------------------------------------------------
+
+TEST(ThreadPoolCurrent, NullOnMainThreadSetInsideWorker) {
+  EXPECT_EQ(util::ThreadPool::current(), nullptr);
+  util::ThreadPool pool(2);
+  util::ThreadPool* seen = nullptr;
+  pool.submit([&seen] { seen = util::ThreadPool::current(); }).get();
+  EXPECT_EQ(seen, &pool);
+  EXPECT_EQ(util::ThreadPool::current(), nullptr);
+}
+
+TEST(ParallelFleet, NestedReplicasTimesRegionsDeterministic) {
+  // Fleet replicas on a replica pool: region stepping must detect the nested
+  // context and fall back to serial (same-pool submission would deadlock),
+  // and every replica must stay bit-identical to its standalone run.
+  experiment::ScenarioSpec spec;
+  spec.name = "nested";
+  spec.mode = experiment::Mode::kFleet;
+  spec.region_count = 3;
+  spec.days = 3;
+  spec.warmup_days = 0;
+  spec.step_jobs = 0;  // auto — would go parallel outside a pool worker
+
+  experiment::RunnerOptions opts;
+  opts.replicas = 3;
+  opts.jobs = 2;
+  const auto ensemble = experiment::ReplicaRunner(opts).run(spec);
+  ASSERT_EQ(ensemble.size(), 3u);
+  for (const experiment::ReplicaResult& r : ensemble) {
+    const core::RunSummary solo = experiment::run_scenario(spec, r.seed);
+    EXPECT_EQ(r.run.jobs_completed, solo.jobs_completed) << "replica " << r.replica;
+    EXPECT_EQ(r.run.completed_gpu_hours, solo.completed_gpu_hours) << "replica " << r.replica;
+    EXPECT_EQ(r.run.grid_totals.energy.joules(), solo.grid_totals.energy.joules())
+        << "replica " << r.replica;
+  }
+}
+
+// --- drain modes -------------------------------------------------------------
+
+TEST(DrainMigrations, FinishLineagesCreditsEveryLineage) {
+  const auto fleet = build_fleet(4, 1, nullptr, /*migration=*/true);
+  fleet->run_until(fleet->now() + util::days(6));
+  fleet->drain_migrations(DrainMode::kFinishLineages);
+
+  EXPECT_EQ(fleet->migrations_in_flight(), 0u);
+  const telemetry::FleetRunSummary s = fleet->summary();
+  ASSERT_GT(s.migration.started, 0u) << "window too calm to exercise migration";
+  EXPECT_EQ(s.migration.delivered, s.migration.started);
+  // No lineage may still hold banked progress: finished means credited.
+  for (std::size_t i = 0; i < fleet->region_count(); ++i) {
+    EXPECT_EQ(fleet->region(i).pending_migration_credits(), 0u) << "region " << i;
+  }
+  // Conservation identity: every submission at a region is either a routed
+  // arrival or a delivered checkpoint.
+  std::size_t submitted = 0, routed = 0;
+  for (const telemetry::RegionRunSummary& r : s.regions) {
+    submitted += r.run.jobs_submitted;
+    routed += r.jobs_routed;
+  }
+  EXPECT_EQ(submitted, routed + s.migration.delivered);
+}
+
+TEST(DrainMigrations, DeliverOnlyStillEmptiesThePipe) {
+  const auto fleet = build_fleet(4, 1, nullptr, /*migration=*/true);
+  fleet->run_until(fleet->now() + util::days(6));
+  fleet->drain_migrations(DrainMode::kDeliverOnly);
+  EXPECT_EQ(fleet->migrations_in_flight(), 0u);
+}
+
+// --- sched.decision dedup ----------------------------------------------------
+
+std::size_t count_decisions(obs::TraceDetail detail) {
+  obs::FlightRecorderConfig rc;
+  rc.trace = true;
+  rc.trace_detail = detail;
+  obs::FlightRecorder recorder(rc);
+  // forecast_carbon is the scheduler that records per-job defer rationale —
+  // the event class the dedup targets.
+  std::vector<RegionProfile> profiles = make_synthetic_fleet(2);
+  FleetConfig config;
+  config.seed = 42;
+  config.arrivals.base_rate_per_hour = scaled_fleet_rate(profiles, 14.0);
+  const auto fleet = std::make_unique<FleetCoordinator>(
+      std::move(config), std::move(profiles), make_router("carbon_forecast"), [] {
+        return core::make_scheduler(core::PolicyKind::kForecastCarbon,
+                                    {"climatology", util::hours(24)});
+      });
+  fleet->set_recorder(&recorder);
+  fleet->run_until(fleet->now() + util::days(4));
+
+  std::ostringstream out;
+  recorder.trace().write(out);
+  const std::string text = out.str();
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("sched.decision"); pos != std::string::npos;
+       pos = text.find("sched.decision", pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceDetail, ChangesModeDropsUnchangedDecisionRecords) {
+  const std::size_t full = count_decisions(obs::TraceDetail::kFull);
+  const std::size_t changes = count_decisions(obs::TraceDetail::kChanges);
+  EXPECT_GT(changes, 0u);
+  // Re-recording every queued job every step dominates full traces; dedup
+  // must remove a substantial share, not a rounding error.
+  EXPECT_LT(changes, full / 2);
+}
+
+}  // namespace
+}  // namespace greenhpc::fleet

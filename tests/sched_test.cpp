@@ -9,6 +9,7 @@
 
 #include "sched/carbon_aware.hpp"
 #include "sched/forecast_carbon.hpp"
+#include "sched/pending_index.hpp"
 #include "sched/power_aware.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -149,6 +150,39 @@ TEST(Backfill, ImpossibleHeadDoesNotBackfillForever) {
   EasyBackfillScheduler sched;
   // Conservative policy: nothing starts around a permanently impossible head.
   EXPECT_TRUE(sched.select(h.context()).empty());
+}
+
+TEST(Backfill, IndexedBackfillMatchesLinearScan) {
+  // The per-GPU-class pending index is a pure accelerator: for any queue and
+  // running mix the indexed phase-3 walk must pick exactly the jobs — in
+  // exactly the order — the linear rescan picks.
+  util::SplitMix64 rng(123);
+  const auto uniform = [&rng](std::size_t n) { return rng.next() % n; };
+  for (int trial = 0; trial < 50; ++trial) {
+    Harness h;
+    // Random running load so the shadow-time reservation varies per trial.
+    const int busy = static_cast<int>(uniform(7));
+    if (busy > 0) {
+      const JobId running =
+          h.submit(busy, busy * (1800.0 + static_cast<double>(uniform(20000))));
+      h.start_running(running);
+    }
+    const std::size_t queued = 4 + uniform(12);
+    for (std::size_t i = 0; i < queued; ++i) {
+      const int gpus = 1 + static_cast<int>(uniform(8));
+      h.submit(gpus, gpus * (600.0 + static_cast<double>(uniform(100000))));
+    }
+
+    PendingIndex index;
+    for (const JobId id : h.queue) index.push(id, h.jobs.get(id).request().gpus);
+
+    EasyBackfillScheduler sched;
+    const auto linear = sched.select(h.context());
+    SchedulerContext indexed_ctx = h.context();
+    indexed_ctx.pending = &index;
+    const auto indexed = sched.select(indexed_ctx);
+    EXPECT_EQ(indexed, linear) << "trial " << trial;
+  }
 }
 
 // --- carbon-aware ---------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 #include "stats/regression.hpp"
+#include "util/rng.hpp"
 
 namespace greenhpc::stats {
 namespace {
@@ -320,6 +322,105 @@ TEST(HistogramTest, RenderProducesBars) {
 TEST(HistogramTest, InvalidConstructionThrows) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --- CholeskySolver ----------------------------------------------------------
+
+namespace {
+
+/// A well-conditioned SPD matrix in the upper-triangle-filled flat layout
+/// CholeskySolver::factor reads (A(i,j) at a[min*n + max]).
+std::vector<double> spd_from_rows(const std::vector<std::vector<double>>& rows, std::size_t n) {
+  std::vector<double> a(n * n, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) a[i * n + j] += row[i] * row[j];
+    }
+  }
+  return a;
+}
+
+std::vector<std::vector<double>> test_rows(std::size_t count, std::size_t n) {
+  util::SplitMix64 rng(7);
+  std::vector<std::vector<double>> rows(count, std::vector<double>(n));
+  for (auto& row : rows) {
+    for (double& v : row) v = static_cast<double>(rng.next() >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+  }
+  return rows;
+}
+
+}  // namespace
+
+TEST(CholeskySolver, SolveMatchesGaussianElimination) {
+  constexpr std::size_t n = 6;
+  const auto rows = test_rows(40, n);
+  const std::vector<double> a = spd_from_rows(rows, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<double>(i) - 2.5;
+
+  CholeskySolver chol;
+  ASSERT_TRUE(chol.factor(a, n));
+  std::vector<double> x;
+  chol.solve_into(b, x);
+
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dense[i][j] = a[std::min(i, j) * n + std::max(i, j)];
+    }
+  }
+  const std::vector<double> want = solve_linear_system(dense, b);
+  ASSERT_EQ(x.size(), want.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], want[i], 1e-9);
+}
+
+TEST(CholeskySolver, UpdateDowndateRoundTrips) {
+  constexpr std::size_t n = 5;
+  auto rows = test_rows(30, n);
+  const std::vector<double> extra{0.4, -0.7, 1.1, 0.2, -0.3};
+
+  // Factor A, rank-1 update with `extra`, then downdate it away: the solve
+  // must return to the original solution (within rotation round-off).
+  CholeskySolver chol;
+  ASSERT_TRUE(chol.factor(spd_from_rows(rows, n), n));
+  std::vector<double> b(n, 1.0), before, mid, after;
+  chol.solve_into(b, before);
+  chol.update(extra);
+  chol.solve_into(b, mid);
+  ASSERT_TRUE(chol.downdate(extra));
+  chol.solve_into(b, after);
+
+  // The update must actually change the system, and the downdate undo it.
+  double moved = 0.0;
+  for (std::size_t i = 0; i < n; ++i) moved += std::abs(mid[i] - before[i]);
+  EXPECT_GT(moved, 1e-12);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(after[i], before[i], 1e-9);
+
+  // Cross-check against factoring the updated matrix directly.
+  rows.push_back(extra);
+  CholeskySolver direct;
+  ASSERT_TRUE(direct.factor(spd_from_rows(rows, n), n));
+  std::vector<double> want;
+  direct.solve_into(b, want);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(mid[i], want[i], 1e-9);
+}
+
+TEST(CholeskySolver, DowndateLosingDefinitenessInvalidates) {
+  constexpr std::size_t n = 3;
+  const auto rows = test_rows(10, n);
+  CholeskySolver chol;
+  ASSERT_TRUE(chol.factor(spd_from_rows(rows, n), n));
+  // Removing a row that was never accumulated drives the matrix indefinite.
+  const std::vector<double> huge{100.0, -50.0, 75.0};
+  EXPECT_FALSE(chol.downdate(huge));
+  EXPECT_FALSE(chol.valid());
+}
+
+TEST(CholeskySolver, RejectsNonPositiveDefinite) {
+  const std::vector<double> a{1.0, 2.0, 2.0, 1.0};  // eigenvalues 3, -1
+  CholeskySolver chol;
+  EXPECT_FALSE(chol.factor(a, 2));
+  EXPECT_FALSE(chol.valid());
 }
 
 }  // namespace

@@ -71,6 +71,9 @@ struct CliOptions {
   std::string migration_policy = "off";
   bool migration_set = false;
   double checkpoint_cost = 1.0;
+  // End-of-window drain policy (fleet mode only).
+  fleet::DrainMode drain_mode = fleet::DrainMode::kDeliverOnly;
+  bool drain_set = false;
   // Forecast controls (forecast_carbon scheduler / *_forecast routers).
   std::string forecast_model = "climatology";
   int forecast_horizon_hours = 24;
@@ -78,6 +81,7 @@ struct CliOptions {
   std::string trace_file;    // empty = no decision/phase trace
   std::string metrics_file;  // empty = no per-step metrics export
   int metrics_interval = 1;  // sample every Nth coordinator step
+  obs::TraceDetail trace_detail = obs::TraceDetail::kChanges;
   // Experiment mode.
   int replicas = 0;  // 0 = single-run mode
   int jobs = 0;      // 0 = shared pool (hardware-sized)
@@ -104,8 +108,10 @@ void print_usage() {
       "  --rate R           base job submissions per hour (default 12)\n"
       "  --csv PREFIX       write PREFIX_monthly.csv and PREFIX_jobs.csv\n"
       "  --reports          print the markdown report cards\n"
-      "  --fleet N          run a geo-distributed fleet of the first N\n"
-      "                     reference regions (1..4) instead of one twin\n"
+      "  --fleet N          run a geo-distributed fleet of N regions (1..512)\n"
+      "                     instead of one twin; the first 4 are the exact\n"
+      "                     reference regions, beyond that deterministic\n"
+      "                     synthetic variants pad the fleet\n"
       "  --router NAME      fleet routing policy: " << fleet::router_names() << "\n"
       "                     (default carbon_greedy; fleet mode only)\n"
       "  --transfer KWH     network-transfer energy penalty per off-home job\n"
@@ -118,6 +124,9 @@ void print_usage() {
       "                     region whose forecast minimizes the objective\n"
       "  --checkpoint-cost X\n"
       "                     scale on checkpoint size/time/energy (default 1)\n"
+      "  --drain MODE       end-of-window drain: deliver (empty the transfer\n"
+      "                     pipe, default) | finish (keep stepping until every\n"
+      "                     migrated lineage completes; fleet mode only)\n"
       "  --forecast-model NAME\n"
       "                     model behind the predictive policies:\n"
       "                     " << forecast::model_names() << " (default climatology)\n"
@@ -131,10 +140,15 @@ void print_usage() {
       "                     CSV, anything else JSONL\n"
       "  --metrics-interval N\n"
       "                     sample metrics every Nth step (default 1)\n"
+      "  --trace-detail D   changes (default: re-record a queued job's\n"
+      "                     sched.decision only when its reason changes) |\n"
+      "                     full (every queued job, every step)\n"
       "  --replicas N       run N independently-seeded replicas and report\n"
       "                     mean ± 95% CI per metric instead of one run\n"
-      "  --jobs K           worker threads for the replica ensemble\n"
-      "                     (default: hardware concurrency)\n"
+      "  --jobs K           worker threads: replica ensemble workers in\n"
+      "                     experiment mode, region-stepping shards in fleet\n"
+      "                     mode (default: hardware concurrency; fleet output\n"
+      "                     is bit-identical at any K)\n"
       "  --sweep NAME       run every point of a named parameter sweep\n"
       "                     (" << experiment::sweep_names() << ")\n"
       "  --scenario NAME    run a named scenario from the library\n"
@@ -208,7 +222,9 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       } else if (arg == "--fleet") {
         opts.run_flags_set = true;
         opts.fleet_regions = std::stoi(*value);
-        if (opts.fleet_regions < 1 || opts.fleet_regions > 4) throw std::invalid_argument("fleet");
+        if (opts.fleet_regions < 1 || opts.fleet_regions > 512) {
+          throw std::invalid_argument("fleet");
+        }
       } else if (arg == "--router") {
         opts.run_flags_set = true;
         if (!fleet::make_router(*value)) {
@@ -235,6 +251,17 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.run_flags_set = true;
         opts.checkpoint_cost = std::stod(*value);
         if (opts.checkpoint_cost <= 0.0) throw std::invalid_argument("checkpoint-cost");
+      } else if (arg == "--drain") {
+        opts.run_flags_set = true;
+        if (*value == "deliver") {
+          opts.drain_mode = fleet::DrainMode::kDeliverOnly;
+        } else if (*value == "finish") {
+          opts.drain_mode = fleet::DrainMode::kFinishLineages;
+        } else {
+          std::cerr << "error: unknown drain mode '" << *value << "' (deliver | finish)\n";
+          return std::nullopt;
+        }
+        opts.drain_set = true;
       } else if (arg == "--forecast-model") {
         opts.run_flags_set = true;
         if (!forecast::model_known(*value)) {
@@ -256,6 +283,15 @@ std::optional<CliOptions> parse(int argc, char** argv) {
       } else if (arg == "--metrics-interval") {
         opts.metrics_interval = std::stoi(*value);
         if (opts.metrics_interval < 1) throw std::invalid_argument("metrics-interval");
+      } else if (arg == "--trace-detail") {
+        if (*value == "full") {
+          opts.trace_detail = obs::TraceDetail::kFull;
+        } else if (*value == "changes") {
+          opts.trace_detail = obs::TraceDetail::kChanges;
+        } else {
+          std::cerr << "error: unknown trace detail '" << *value << "' (full | changes)\n";
+          return std::nullopt;
+        }
       } else if (arg == "--replicas") {
         opts.replicas = std::stoi(*value);
         if (opts.replicas < 1) throw std::invalid_argument("replicas");
@@ -307,6 +343,7 @@ std::unique_ptr<obs::FlightRecorder> make_recorder(const CliOptions& opts) {
   config.trace = !opts.trace_file.empty();
   config.metrics = !opts.metrics_file.empty();
   config.metrics_interval = static_cast<std::size_t>(opts.metrics_interval);
+  config.trace_detail = opts.trace_detail;
   return std::make_unique<obs::FlightRecorder>(config);
 }
 
@@ -359,9 +396,9 @@ experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
     spec.power_cap_w = opts.cap_w;
     spec.battery_kwh = opts.battery_kwh;
     if (opts.router_set || opts.transfer_kwh > 0.0 || opts.migration_set ||
-        opts.checkpoint_cost != 1.0) {
-      std::cerr << "note: --router/--transfer/--migrate/--checkpoint-cost only apply with "
-                   "--fleet N; ignored\n";
+        opts.checkpoint_cost != 1.0 || opts.drain_set) {
+      std::cerr << "note: --router/--transfer/--migrate/--checkpoint-cost/--drain only apply "
+                   "with --fleet N; ignored\n";
     }
   }
   return spec;
@@ -457,12 +494,14 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
                  "ignored in fleet mode\n";
   }
 
-  std::vector<fleet::RegionProfile> profiles = fleet::make_reference_fleet();
-  profiles.resize(static_cast<std::size_t>(opts.fleet_regions));
+  std::vector<fleet::RegionProfile> profiles =
+      fleet::make_synthetic_fleet(static_cast<std::size_t>(opts.fleet_regions));
 
   fleet::FleetConfig config;
   config.seed = opts.seed;
   config.start = first.start - util::days(7);  // warm-up week
+  // --jobs drives region-parallel stepping here (bit-identical at any width).
+  config.step_jobs = static_cast<std::size_t>(opts.jobs);
   // --rate is quoted per reference-site's worth of GPUs; scale to capacity.
   config.arrivals.base_rate_per_hour = fleet::scaled_fleet_rate(profiles, opts.rate_per_hour);
   config.transfer_energy_per_job = util::kilowatt_hours(opts.transfer_kwh);
@@ -492,7 +531,7 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
 
   coordinator.run_until(first.start);  // warm-up
   coordinator.run_until(last.end);
-  coordinator.drain_migrations();  // never strand a checkpoint mid-pipe
+  coordinator.drain_migrations(opts.drain_mode);  // never strand a checkpoint mid-pipe
   if (recorder && !flush_recorder(*recorder, opts)) return 1;
 
   const telemetry::FleetRunSummary summary = coordinator.summary();
@@ -536,8 +575,8 @@ int run_cli(const CliOptions& opts) {
   if (opts.replicas > 0 || !opts.sweep.empty() || !opts.scenario.empty()) {
     return run_experiment(opts);
   }
-  if (opts.jobs > 0) {
-    std::cerr << "note: --jobs only applies with --replicas/--sweep/--scenario; ignored\n";
+  if (opts.jobs > 0 && opts.fleet_regions == 0) {
+    std::cerr << "note: --jobs applies with --replicas/--sweep/--scenario or --fleet; ignored\n";
   }
 
   const util::MonthSpan first = util::month_span(opts.start);
