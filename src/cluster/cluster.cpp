@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/invariants.hpp"
 
 namespace greenhpc::cluster {
 
@@ -134,6 +135,30 @@ util::Power Cluster::it_power() const {
 util::Power Cluster::busy_gpu_power() const { return gpu_model_.active_power(power_cap_); }
 
 double Cluster::throughput_factor() const { return gpu_model_.throughput_factor(power_cap_); }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+void Cluster::check_invariants() const {
+  int node_busy = 0;
+  for (const Node& node : nodes_) node_busy += node.busy;
+  int alloc_busy = 0;
+  for (const Allocation& alloc : allocations_) alloc_busy += alloc.total_gpus();
+  util::check_invariant(
+      busy_total_ == node_busy && busy_total_ == alloc_busy, "cluster.busy_recount",
+      "busy counter " + std::to_string(busy_total_) + ", node recount " +
+          std::to_string(node_busy) + ", allocation recount " + std::to_string(alloc_busy));
+  util::check_invariant(free_gpus() + busy_gpus() == total_gpus(), "cluster.free_busy_total",
+                        "free " + std::to_string(free_gpus()) + " + busy " +
+                            std::to_string(busy_gpus()) + " != total " +
+                            std::to_string(total_gpus()));
+  for (int n = enabled_nodes_; n < spec_.node_count; ++n) {
+    util::check_invariant(nodes_[static_cast<std::size_t>(n)].busy == 0,
+                          "cluster.disabled_idle",
+                          "disabled node " + std::to_string(n) + " holds " +
+                              std::to_string(nodes_[static_cast<std::size_t>(n)].busy) +
+                              " GPUs");
+  }
+}
+#endif
 
 void Cluster::register_metrics(obs::MetricsRegistry& registry, const std::string& prefix) const {
   registry.gauge(prefix + "free_gpus", [this] { return static_cast<double>(free_gpus()); });

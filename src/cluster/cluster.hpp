@@ -113,6 +113,21 @@ class Cluster {
   /// outlive sampling; gauges only read state.
   void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix) const;
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  // --- Debug invariant layer (compiled out of release builds) ---------------
+
+  /// Deep accounting checks, throwing util::InvariantViolation on failure:
+  ///   cluster.busy_recount     busy_total_ == per-node recount == sum of
+  ///                            allocation slices
+  ///   cluster.free_busy_total  free + busy == total among enabled nodes
+  ///   cluster.disabled_idle    disabled nodes hold no GPUs
+  void check_invariants() const;
+
+  /// Test seam: skews the incremental busy counter so cluster.busy_recount
+  /// trips on the next check (the exact bug class the mirror guards).
+  void debug_corrupt_busy_total(int delta) { busy_total_ += delta; }
+#endif
+
  private:
   struct Node {
     int busy = 0;  ///< GPUs in use on this node

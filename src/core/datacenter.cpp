@@ -7,6 +7,7 @@
 #include "obs/recorder.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
+#include "util/invariants.hpp"
 
 namespace greenhpc::core {
 
@@ -85,8 +86,12 @@ void Datacenter::set_recorder(obs::FlightRecorder* recorder, std::size_t region,
     cluster_.register_metrics(reg, prefix + "cluster.");
   }
   if (recorder_->tracing()) {
+    // Attach-time metadata, emitted once on the serial attach path before any
+    // region thread exists — not a sim-domain event, so the main trace (not
+    // the region shard) is the right sink.
+    // det_lint: allow(raw-trace)
     recorder_->trace().process_name(trace_pid(), "region " + std::to_string(region));
-    recorder_->trace().thread_name(trace_pid(), 0, "scheduler");
+    recorder_->trace().thread_name(trace_pid(), 0, "scheduler");  // det_lint: allow(raw-trace)
   }
 }
 
@@ -276,6 +281,10 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
         queue_, [this](cluster::JobId id) { return started_scratch_.contains(id); });
     require(erased == started_scratch_.size(),
             "Datacenter: scheduler returned a job not in the queue");
+    // Order-independent: each erase removes a distinct (id, gpus) entry from
+    // its own PendingIndex bucket, so visiting the set in any order leaves
+    // the index in the same state.
+    // det_lint: allow(unordered-iter)
     for (const cluster::JobId id : started_scratch_) {
       pending_index_.erase(id, jobs_.get(id).request().gpus);
     }
@@ -367,7 +376,38 @@ void Datacenter::step(util::TimePoint t) {
 
   // 7. Metrics sample (single-site runs; fleet runs sample per fleet step).
   if (obs_root_ && recorder_ != nullptr) recorder_->sample(t);
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+  if (++invariant_step_ % util::kInvariantPeriod == 0) check_invariants();
+#endif
 }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+void Datacenter::check_invariants() const {
+  int queued_gpus = 0;
+  for (const cluster::JobId id : queue_) queued_gpus += jobs_.get(id).request().gpus;
+  util::check_invariant(queued_gpus == queued_gpu_demand_, "datacenter.queued_demand",
+                        "incremental counter " + std::to_string(queued_gpu_demand_) +
+                            ", queue recount " + std::to_string(queued_gpus));
+  util::check_invariant(pending_index_.size() == queue_.size(), "datacenter.pending_index",
+                        "index holds " + std::to_string(pending_index_.size()) +
+                            " ids, queue holds " + std::to_string(queue_.size()));
+  // Sizes equal + every queued id indexed under its GPU class => bijection.
+  for (const cluster::JobId id : queue_) {
+    const int gpus = jobs_.get(id).request().gpus;
+    const auto& buckets = pending_index_.buckets();
+    const auto bucket = buckets.find(gpus);
+    const bool indexed =
+        bucket != buckets.end() &&
+        std::binary_search(bucket->second.begin(), bucket->second.end(), id);
+    util::check_invariant(indexed, "datacenter.pending_index",
+                          "queued job " + std::to_string(id) + " (gpus " +
+                              std::to_string(gpus) + ") missing from the index");
+  }
+  cluster_.check_invariants();
+  accountant_.check_invariants();
+}
+#endif
 
 void Datacenter::run_until(util::TimePoint end) {
   if (!step_scheduled_) {

@@ -201,6 +201,29 @@ class Datacenter {
   [[nodiscard]] const sched::Scheduler& scheduler() const { return *scheduler_; }
   [[nodiscard]] thermal::WeatherModel& mutable_weather() { return weather_; }
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  // --- Debug invariant layer (compiled out of release builds) ---------------
+
+  /// Deep checks run every util::kInvariantPeriod steps inside step(); also
+  /// callable directly. Throws util::InvariantViolation naming the check:
+  ///   datacenter.queued_demand  queued_gpu_demand_ == recount over queue_
+  ///   datacenter.pending_index  PendingIndex and queue_ agree (size and
+  ///                             membership)
+  /// plus the nested cluster.* and accountant.* checks.
+  void check_invariants() const;
+
+  /// Test seams: corrupt the real incremental state each check guards.
+  void debug_corrupt_queued_gpu_demand(int delta) { queued_gpu_demand_ += delta; }
+  /// Drops the oldest queued job from the pending index only (queue_ keeps
+  /// it) — the index/queue divergence datacenter.pending_index guards.
+  void debug_unindex_queued_job() {
+    if (queue_.empty()) return;
+    pending_index_.erase(queue_.front(), jobs_.get(queue_.front()).request().gpus);
+  }
+  [[nodiscard]] cluster::Cluster& debug_cluster() { return cluster_; }
+  [[nodiscard]] telemetry::EnergyAccountant& debug_accountant() { return accountant_; }
+#endif
+
   /// Monthly mean facility power (kW) — Fig. 2/4/5 left axis.
   [[nodiscard]] const sim::MonthlyAccumulator& monthly_power() const;
   /// Monthly mean GPU utilization (0..1).
@@ -296,6 +319,9 @@ class Datacenter {
 
   sim::Simulation sim_;
   bool step_scheduled_ = false;
+#ifdef GREENHPC_CHECK_INVARIANTS
+  std::size_t invariant_step_ = 0;  ///< steps since the last deep check
+#endif
 };
 
 /// The standard experiment twin: SuperCloud-E1-scale cluster, Boston

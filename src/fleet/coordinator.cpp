@@ -7,6 +7,7 @@
 #include "fleet/shard.hpp"
 #include "obs/recorder.hpp"
 #include "util/error.hpp"
+#include "util/invariants.hpp"
 #include "util/thread_pool.hpp"
 
 namespace greenhpc::fleet {
@@ -166,6 +167,9 @@ grid::EnergyLedger FleetCoordinator::charge_transfer(std::size_t i, util::Energy
   increment.carbon = energy * dc.carbon().intensity_at(lt);
   increment.water = energy * profiles_[i].connection.generation_water;
   transfer_by_region_[i] += increment;
+#ifdef GREENHPC_CHECK_INVARIANTS
+  transfer_mirror_ += increment;
+#endif
   return increment;
 }
 
@@ -383,8 +387,62 @@ void FleetCoordinator::run_until(util::TimePoint end) {
     step_regions(next);
     if (recorder_ != nullptr) recorder_->sample(t);
     clock_ = next;
+#ifdef GREENHPC_CHECK_INVARIANTS
+    if (++invariant_step_ % util::kInvariantPeriod == 0) check_invariants();
+#endif
   }
 }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+void FleetCoordinator::check_invariants() const {
+  const grid::EnergyLedger recomputed = transfer_ledger();
+  util::check_invariant_close(transfer_mirror_.energy.joules(), recomputed.energy.joules(),
+                              "fleet.transfer_mirror", "transfer energy (J)");
+  util::check_invariant_close(transfer_mirror_.cost.dollars(), recomputed.cost.dollars(),
+                              "fleet.transfer_mirror", "transfer cost (USD)");
+  util::check_invariant_close(transfer_mirror_.carbon.kilograms(),
+                              recomputed.carbon.kilograms(), "fleet.transfer_mirror",
+                              "transfer carbon (kg)");
+
+  // Work conservation: every job in any region's registry either came
+  // through the router or was delivered off the migration pipe.
+  std::size_t submitted = 0;
+  for (const auto& dc : regions_) submitted += dc->jobs().size();
+  std::size_t routed = 0;
+  for (const std::size_t n : jobs_routed_) routed += n;
+  util::check_invariant(submitted == routed + migration_.delivered,
+                        "fleet.migration_accounting",
+                        std::to_string(submitted) + " submitted vs " + std::to_string(routed) +
+                            " routed + " + std::to_string(migration_.delivered) +
+                            " delivered");
+
+  // The aggregated fleet footprint must equal the direct per-region sum of
+  // grid totals + transfer ledgers (telemetry aggregation cannot drift).
+  const telemetry::FleetRunSummary fleet = summary();
+  grid::EnergyLedger direct;
+  for (const telemetry::RegionRunSummary& r : fleet.regions) {
+    direct += r.run.grid_totals;
+    direct += r.transfer;
+  }
+  const grid::EnergyLedger footprint = fleet.footprint();
+  util::check_invariant_close(footprint.energy.joules(), direct.energy.joules(),
+                              "fleet.footprint_identity", "footprint energy (J)");
+  util::check_invariant_close(footprint.cost.dollars(), direct.cost.dollars(),
+                              "fleet.footprint_identity", "footprint cost (USD)");
+  util::check_invariant_close(footprint.carbon.kilograms(), direct.carbon.kilograms(),
+                              "fleet.footprint_identity", "footprint carbon (kg)");
+
+  if (hub_) {
+    for (std::size_t s = 0; s < forecast::kSignalKindCount; ++s) {
+      const forecast::ForecasterBank* bank =
+          hub_->bank(static_cast<forecast::SignalKind>(s));
+      if (bank != nullptr) bank->check_invariants();
+    }
+  }
+  // Region twins self-check inside Datacenter::step on their own cadence —
+  // no need to re-run their checks here.
+}
+#endif
 
 std::size_t FleetCoordinator::resolve_step_jobs() const {
   if (config_.step_jobs == 1) return 1;

@@ -168,6 +168,30 @@ class FleetCoordinator {
   /// ledgers.
   [[nodiscard]] telemetry::FleetRunSummary summary() const;
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  // --- Debug invariant layer (compiled out of release builds) ---------------
+
+  /// Deep fleet checks run every util::kInvariantPeriod lockstep steps inside
+  /// run_until(); also callable directly. Throws util::InvariantViolation:
+  ///   fleet.transfer_mirror       incremental transfer grand total ==
+  ///                               recomputed sum of per-region ledgers
+  ///   fleet.migration_accounting  submitted == routed + delivered across
+  ///                               the fleet (work conservation)
+  ///   fleet.footprint_identity    aggregated fleet footprint == sum over
+  ///                               regions of grid totals + transfer ledger
+  /// plus the shared hub's forecaster_bank.prefix_integral spot checks (the
+  /// region twins' datacenter.* checks run inside their own step loops).
+  void check_invariants() const;
+
+  /// Test seams: corrupt the real state each named check guards.
+  void debug_corrupt_transfer_mirror() { transfer_mirror_.energy += util::kilowatt_hours(1.0); }
+  /// Books a routed job that was never submitted anywhere, so
+  /// fleet.migration_accounting trips.
+  void debug_count_phantom_routed() { ++jobs_routed_[0]; }
+  [[nodiscard]] core::Datacenter& debug_region(std::size_t i) { return *regions_.at(i); }
+  [[nodiscard]] forecast::ForecasterHub* debug_hub() { return hub_.get(); }
+#endif
+
  private:
   /// One checkpoint in the transfer pipe.
   struct InFlightMigration {
@@ -233,6 +257,12 @@ class FleetCoordinator {
   // region weights are fixed at construction).
   std::vector<std::vector<std::size_t>> shards_;
   std::size_t shards_for_ = 0;
+#ifdef GREENHPC_CHECK_INVARIANTS
+  /// Redundant incremental mirror of every charge_transfer increment; the
+  /// fleet.transfer_mirror check compares it against the per-region recompute.
+  grid::EnergyLedger transfer_mirror_;
+  std::size_t invariant_step_ = 0;  ///< lockstep steps since the last check
+#endif
 
   // Observability (null/zero when no recorder is attached).
   [[nodiscard]] bool tracing() const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/invariants.hpp"
+
 namespace greenhpc::forecast {
 
 ForecasterBank::ForecasterBank(RollingForecasterConfig config) : config_(std::move(config)) {
@@ -49,6 +51,31 @@ double ForecasterBank::integrated_signal(std::size_t index, util::Duration runti
   const std::size_t k = std::min(steps, cache.prefix.size() - 1);
   return cache.prefix[k] / static_cast<double>(k);
 }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+void ForecasterBank::check_invariants() const {
+  std::vector<double> fresh;
+  for (std::size_t i = 0; i < forecasters_.size(); ++i) {
+    const IntegralCache& cache = cache_[i];
+    const RollingForecaster& fc = forecasters_[i];
+    // Only live caches are checked: a stale cache is rebuilt (not served) on
+    // the next integrated_signal call, so it cannot feed a decision.
+    if (!cache.valid || cache.revision != fc.observations()) continue;
+    fc.predict_into(cache.prediction.size(), fresh);
+    util::check_invariant(fresh == cache.prediction, "forecaster_bank.prefix_integral",
+                          "cached prediction for source " + std::to_string(i) +
+                              " diverged from a fresh forecast");
+    double total = 0.0;
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      total += fresh[k];
+      util::check_invariant(cache.prefix[k + 1] == total, "forecaster_bank.prefix_integral",
+                            "prefix sum for source " + std::to_string(i) + " at step " +
+                                std::to_string(k + 1) +
+                                " diverged from the direct running total");
+    }
+  }
+}
+#endif
 
 std::vector<SkillReport> ForecasterBank::skills() const {
   std::vector<SkillReport> out;

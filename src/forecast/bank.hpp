@@ -62,6 +62,26 @@ class ForecasterBank {
     return index < forecasters_.size() ? &forecasters_[index] : nullptr;
   }
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  // --- Debug invariant layer (compiled out of release builds) ---------------
+
+  /// Spot-checks every source whose integral cache is live at the current
+  /// observation revision: the cached full-horizon prediction must equal a
+  /// fresh predict_into bit for bit, and the cached prefix sums must equal
+  /// the direct left-to-right running totals bit for bit (the PR 5 O(1)
+  /// integral contract). Throws util::InvariantViolation
+  /// ("forecaster_bank.prefix_integral") on any mismatch.
+  void check_invariants() const;
+
+  /// Test seam: skews source `index`'s served prefix sums (the real state
+  /// integrated_signal answers from) so the check trips.
+  void debug_corrupt_prefix(std::size_t index) {
+    if (index < cache_.size() && !cache_[index].prefix.empty()) {
+      cache_[index].prefix.back() += 1.0;
+    }
+  }
+#endif
+
  private:
   /// Per-source forecast curve + prefix sums, rebuilt lazily when the
   /// source's observation count moves past the cached revision.

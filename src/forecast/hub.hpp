@@ -60,6 +60,14 @@ class ForecasterHub {
     return banks_[static_cast<std::size_t>(signal)].get();
   }
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  /// Test seam: mutable bank access so the invariants suite can corrupt a
+  /// served prefix-sum cache (ForecasterBank::debug_corrupt_prefix).
+  [[nodiscard]] ForecasterBank* debug_bank(SignalKind signal) {
+    return banks_[static_cast<std::size_t>(signal)].get();
+  }
+#endif
+
  private:
   RollingForecasterConfig config_;
   std::array<std::shared_ptr<ForecasterBank>, kSignalKindCount> banks_;

@@ -6,6 +6,8 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
     : config_(config),
       series_(TimeSeriesConfig{config.metrics_interval == 0 ? 1 : config.metrics_interval,
                                config.metrics_capacity}),
+      // Wall clock by design: the phase profiler (pid 99) measures host
+      // execution time, never sim time.  det_lint: allow(wall-clock)
       wall_start_(std::chrono::steady_clock::now()) {
   if (profiling()) {
     trace_.process_name(TraceWriter::kProfilerPid, "step-loop profiler (wall clock)");
@@ -21,6 +23,8 @@ void FlightRecorder::sample(util::TimePoint t) {
 }
 
 double FlightRecorder::wall_us() const {
+  // Wall clock by design: feeds only the pid-99 profiler track.
+  // det_lint: allow(wall-clock)
   return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
                                                    wall_start_)
       .count();

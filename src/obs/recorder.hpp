@@ -99,7 +99,7 @@ class FlightRecorder {
   TraceWriter trace_;
   std::vector<std::unique_ptr<TraceWriter>> trace_shards_;
   PhaseProfiler profiler_;
-  std::chrono::steady_clock::time_point wall_start_;
+  std::chrono::steady_clock::time_point wall_start_;  // det_lint: allow(wall-clock)
 };
 
 /// RAII scope timing one step-loop phase. Null-safe: with no recorder (or

@@ -302,6 +302,8 @@ TraceParseResult summarize_trace(std::istream& in) {
   if (!result.events.empty() && !saw_open_bracket) {
     result.errors.push_back("file never opened a JSON array");
   }
+  // Order-independent: per-category counts commute under addition.
+  // det_lint: allow(unordered-iter)
   for (const auto& [key, ts] : open_async) {
     const std::string cat = key.substr(0, key.find('\0'));
     result.unmatched_async[cat] += 1;

@@ -1,8 +1,10 @@
 #include "telemetry/accountant.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "util/error.hpp"
+#include "util/invariants.hpp"
 
 namespace greenhpc::telemetry {
 
@@ -72,9 +74,12 @@ std::vector<UserFootprint> EnergyAccountant::by_user() const {
   }
   std::vector<UserFootprint> out;
   out.reserve(users.size());
+  // Order-independent: the sort below totally orders the rows (user id breaks
+  // energy ties), erasing the hash-map visit order.
+  // det_lint: allow(unordered-iter)
   for (auto& [id, u] : users) out.push_back(u);
   std::sort(out.begin(), out.end(), [](const UserFootprint& a, const UserFootprint& b) {
-    return a.facility_energy > b.facility_energy;
+    return std::tie(b.facility_energy, a.user) < std::tie(a.facility_energy, b.user);
   });
   return out;
 }
@@ -90,5 +95,39 @@ std::unordered_map<cluster::DomainTag, util::Energy> EnergyAccountant::by_domain
   for (const JobFootprint& fp : footprints_) out[fp.domain] += fp.facility_energy;
   return out;
 }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+void EnergyAccountant::check_invariants() const {
+  grid::EnergyLedger sum;
+  for (const JobFootprint& fp : footprints_) {
+    sum.energy += fp.facility_energy;
+    sum.cost += fp.cost;
+    sum.carbon += fp.carbon;
+    sum.water += fp.water;
+  }
+  util::check_invariant_close(sum.energy.joules(), totals_.energy.joules(),
+                              "accountant.ledger_identity", "facility energy (J)");
+  util::check_invariant_close(sum.cost.dollars(), totals_.cost.dollars(),
+                              "accountant.ledger_identity", "cost (USD)");
+  util::check_invariant_close(sum.carbon.kilograms(), totals_.carbon.kilograms(),
+                              "accountant.ledger_identity", "carbon (kg)");
+  util::check_invariant_close(sum.water.liters(), totals_.water.liters(),
+                              "accountant.ledger_identity", "water (L)");
+  std::size_t mapped = 0;
+  for (cluster::JobId id = 0; id < slot_by_id_.size(); ++id) {
+    const std::uint32_t slot = slot_by_id_[id];
+    if (slot == 0) continue;
+    ++mapped;
+    util::check_invariant(slot <= footprints_.size() && footprints_[slot - 1].job == id,
+                          "accountant.slot_map",
+                          "job " + std::to_string(id) + " maps to slot " +
+                              std::to_string(slot) + " of " +
+                              std::to_string(footprints_.size()));
+  }
+  util::check_invariant(mapped == footprints_.size(), "accountant.slot_map",
+                        std::to_string(mapped) + " mapped ids vs " +
+                            std::to_string(footprints_.size()) + " footprints");
+}
+#endif
 
 }  // namespace greenhpc::telemetry

@@ -64,6 +64,22 @@ class EnergyAccountant {
 
   [[nodiscard]] const grid::EnergyLedger& totals() const { return totals_; }
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+  // --- Debug invariant layer (compiled out of release builds) ---------------
+
+  /// Deep checks, throwing util::InvariantViolation on failure:
+  ///   accountant.ledger_identity  Eq. 2's identity: the incrementally
+  ///                               maintained totals_ equal the sum over
+  ///                               per-job footprints (energy/cost/carbon/
+  ///                               water), within reordering rounding
+  ///   accountant.slot_map         slot_by_id_ and footprints_ agree
+  void check_invariants() const;
+
+  /// Test seam: skews the incremental grand total so
+  /// accountant.ledger_identity trips on the next check.
+  void debug_corrupt_totals(util::Energy skew) { totals_.energy += skew; }
+#endif
+
  private:
   // charge() runs once per running job per simulation step — the hottest
   // telemetry path in the simulator. JobIds are dense sequential (the

@@ -10,11 +10,26 @@ grid::EnergyLedger FleetRunSummary::footprint() const {
   return all;
 }
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+namespace {
+// Fault-injection seam for the fleet.footprint_identity invariant test: when
+// armed, aggregate_fleet skews the rolled-up transfer ledger away from the
+// sum of the per-region ledgers — exactly the aggregation-drift bug class
+// the check guards.
+bool g_debug_skew_fleet_transfer = false;
+}  // namespace
+
+void debug_skew_fleet_transfer(bool on) { g_debug_skew_fleet_transfer = on; }
+#endif
+
 FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
                                 MigrationStats migration) {
   FleetRunSummary fleet;
   fleet.migration = std::move(migration);
   for (const RegionRunSummary& r : regions) fleet.transfer += r.transfer;
+#ifdef GREENHPC_CHECK_INVARIANTS
+  if (g_debug_skew_fleet_transfer) fleet.transfer.energy += util::kilowatt_hours(1.0);
+#endif
 
   core::RunSummary& t = fleet.total;
   double gpu_weight = 0.0, util_sum = 0.0;

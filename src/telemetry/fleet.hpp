@@ -54,6 +54,13 @@ struct FleetRunSummary {
 [[nodiscard]] FleetRunSummary aggregate_fleet(std::vector<RegionRunSummary> regions,
                                               MigrationStats migration = {});
 
+#ifdef GREENHPC_CHECK_INVARIANTS
+/// Test seam (invariants suite only): while armed, aggregate_fleet skews the
+/// rolled-up transfer ledger away from the sum of the per-region ledgers, so
+/// the coordinator's fleet.footprint_identity check must trip.
+void debug_skew_fleet_transfer(bool on);
+#endif
+
 /// Per-region table: routed share, completions, energy, cost, carbon, wait.
 [[nodiscard]] util::Table fleet_region_table(const FleetRunSummary& summary);
 

@@ -1,0 +1,72 @@
+#pragma once
+// Debug invariant layer: deep accounting checks, compiled out of release.
+//
+// The repo's headline guarantee — parallel == serial bit-identity of every
+// simulated quantity — is enforced end to end by digest tests, which tell
+// you *that* a run diverged, not *where*. This layer puts the first-principles
+// identities (ledger sums, counter == recount, index == queue agreement,
+// prefix-sum == direct integral) inside the step loop itself, so a broken
+// invariant fails at the violating step with a named check instead of at a
+// downstream digest.
+//
+// Everything is gated on the GREENHPC_CHECK_INVARIANTS compile definition
+// (CMake option of the same name): release builds compile the checks — and
+// the redundant mirror state some of them need — out entirely. The sanitizer
+// CI jobs build with the gate on, so every PR's fleet smokes run with deep
+// checks armed.
+//
+// A violated check throws InvariantViolation (never aborts): the step-loop
+// callers propagate it like any other error, and the invariants test suite
+// corrupts each guarded identity through a debug seam and asserts the named
+// check fires.
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace greenhpc::util {
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+inline constexpr bool kInvariantsEnabled = true;
+#else
+inline constexpr bool kInvariantsEnabled = false;
+#endif
+
+/// Step-loop hooks run their deep checks every Nth step: frequent enough to
+/// land within a step or two of the corruption, cheap enough that debug
+/// builds stay usable at fleet scale.
+inline constexpr std::size_t kInvariantPeriod = 16;
+
+/// A named invariant failed. `check()` is the stable machine-readable name
+/// (e.g. "cluster.busy_recount"); what() carries the name plus detail.
+class InvariantViolation : public std::logic_error {
+ public:
+  InvariantViolation(std::string check, const std::string& detail)
+      : std::logic_error("invariant '" + check + "' violated: " + detail),
+        check_(std::move(check)) {}
+
+  [[nodiscard]] const std::string& check() const { return check_; }
+
+ private:
+  std::string check_;
+};
+
+/// Asserts an exact condition (integer identities, membership checks).
+inline void check_invariant(bool ok, const char* check, const std::string& detail) {
+  if (!ok) throw InvariantViolation(check, detail);
+}
+
+/// Asserts two floating-point accumulations agree. The redundant sums this
+/// layer compares are accumulated in different orders (incremental mirror vs
+/// recompute, per-region vs aggregate), so they differ by rounding — a real
+/// accounting bug moves them by whole charges, far outside this band.
+inline void check_invariant_close(double a, double b, const char* check,
+                                  const std::string& detail) {
+  const double tolerance = 1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+  if (std::fabs(a - b) > tolerance) {
+    throw InvariantViolation(check, detail + " (" + std::to_string(a) +
+                                        " vs " + std::to_string(b) + ")");
+  }
+}
+
+}  // namespace greenhpc::util

@@ -1,0 +1,179 @@
+// Debug invariant layer (src/util/invariants.hpp): every guarded identity
+// must (a) hold on clean runs and (b) actually fire when its state is
+// corrupted. Each trip test uses a debug seam that skews the *real* served
+// state the check guards — the incremental busy counter, the accountant's
+// running totals, the forecaster's prefix-sum cache, the coordinator's
+// transfer mirror — so a check that silently stopped comparing anything
+// fails here, not in production triage.
+//
+// The whole suite is a skip in release builds: the layer is compiled out
+// with GREENHPC_CHECK_INVARIANTS=OFF, and that absence is itself asserted
+// (kInvariantsEnabled).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numbers>
+#include <string>
+
+#include "util/invariants.hpp"
+
+#ifndef GREENHPC_CHECK_INVARIANTS
+
+TEST(Invariants, CompiledOutInReleaseBuilds) {
+  static_assert(!greenhpc::util::kInvariantsEnabled);
+  GTEST_SKIP() << "built with GREENHPC_CHECK_INVARIANTS=OFF — invariant layer compiled out";
+}
+
+#else  // GREENHPC_CHECK_INVARIANTS
+
+#include <cmath>
+
+#include "cluster/job.hpp"
+#include "core/datacenter.hpp"
+#include "fleet/coordinator.hpp"
+#include "forecast/bank.hpp"
+#include "sched/scheduler.hpp"
+#include "telemetry/fleet.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc {
+namespace {
+
+static_assert(util::kInvariantsEnabled);
+
+/// Runs `fn` and asserts it throws InvariantViolation naming exactly `check`.
+template <typename Fn>
+void expect_violation(Fn&& fn, const std::string& check) {
+  try {
+    fn();
+    FAIL() << "expected InvariantViolation '" << check << "', nothing thrown";
+  } catch (const util::InvariantViolation& e) {
+    EXPECT_EQ(e.check(), check) << e.what();
+  }
+}
+
+std::unique_ptr<core::Datacenter> reference_twin(std::uint64_t seed = 42) {
+  return core::make_reference_datacenter(std::make_unique<sched::FcfsScheduler>(), seed);
+}
+
+// --- clean runs --------------------------------------------------------------
+
+TEST(Invariants, CleanSingleSiteRunPassesEveryCheck) {
+  auto dc = reference_twin();
+  // The periodic in-step hook already ran every kInvariantPeriod steps; a
+  // direct call at the end re-validates the final state.
+  dc->run_until(util::TimePoint::from_seconds(2.0 * 86400.0));
+  EXPECT_NO_THROW(dc->check_invariants());
+}
+
+TEST(Invariants, CleanFleetRunPassesEveryCheck) {
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->run_until(fleet->now() + util::days(1));
+  EXPECT_NO_THROW(fleet->check_invariants());
+}
+
+// --- cluster -----------------------------------------------------------------
+
+TEST(Invariants, ClusterBusyRecountTrips) {
+  auto dc = reference_twin();
+  dc->run_until(util::TimePoint::from_seconds(86400.0));
+  dc->debug_cluster().debug_corrupt_busy_total(2);
+  expect_violation([&] { dc->check_invariants(); }, "cluster.busy_recount");
+}
+
+// --- accountant --------------------------------------------------------------
+
+TEST(Invariants, AccountantLedgerIdentityTrips) {
+  auto dc = reference_twin();
+  dc->run_until(util::TimePoint::from_seconds(86400.0));
+  dc->debug_accountant().debug_corrupt_totals(util::kilowatt_hours(1.0));
+  expect_violation([&] { dc->check_invariants(); }, "accountant.ledger_identity");
+}
+
+// --- datacenter --------------------------------------------------------------
+
+TEST(Invariants, QueuedGpuDemandTrips) {
+  auto dc = reference_twin();
+  dc->debug_corrupt_queued_gpu_demand(3);
+  expect_violation([&] { dc->check_invariants(); }, "datacenter.queued_demand");
+}
+
+TEST(Invariants, PendingIndexAgreementTrips) {
+  auto dc = reference_twin();
+  cluster::JobRequest req;
+  req.gpus = 2;
+  dc->submit(req);  // queued until the next step, so the index holds it now
+  EXPECT_NO_THROW(dc->check_invariants());
+  dc->debug_unindex_queued_job();
+  expect_violation([&] { dc->check_invariants(); }, "datacenter.pending_index");
+}
+
+TEST(Invariants, PeriodicHookFiresInsideStep) {
+  auto dc = reference_twin();
+  dc->debug_corrupt_queued_gpu_demand(5);
+  // No direct call: the corruption must surface from the every-N-steps hook
+  // inside Datacenter::step.
+  EXPECT_THROW(dc->run_until(util::TimePoint::from_seconds(86400.0)),
+               util::InvariantViolation);
+}
+
+// --- forecaster bank ---------------------------------------------------------
+
+TEST(Invariants, ForecasterPrefixIntegralTrips) {
+  forecast::RollingForecasterConfig config;
+  config.horizon = util::hours(1);
+  forecast::ForecasterBank bank(config);
+  // Two days of a clean diurnal at 15-minute cadence: fits, passes the
+  // reliability gate, and the first integral query builds the prefix cache.
+  auto t = util::TimePoint::from_seconds(0.0);
+  for (int i = 0; i < 2 * 96; ++i) {
+    const double hours = t.seconds_since_epoch() / 3600.0;
+    bank.observe(t, 0, 0.30 + 0.05 * std::sin(2.0 * std::numbers::pi * hours / 24.0), "r0");
+    t = t + util::minutes(15);
+  }
+  ASSERT_NE(bank.forecaster(0), nullptr);
+  ASSERT_TRUE(bank.forecaster(0)->reliable());
+  (void)bank.integrated_signal(0, util::hours(1), 0.0);  // prime the cache
+  EXPECT_NO_THROW(bank.check_invariants());
+  bank.debug_corrupt_prefix(0);
+  expect_violation([&] { bank.check_invariants(); }, "forecaster_bank.prefix_integral");
+}
+
+// --- fleet coordinator -------------------------------------------------------
+
+TEST(Invariants, FleetTransferMirrorTrips) {
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->run_until(fleet->now() + util::hours(6));
+  fleet->debug_corrupt_transfer_mirror();
+  expect_violation([&] { fleet->check_invariants(); }, "fleet.transfer_mirror");
+}
+
+TEST(Invariants, FleetMigrationAccountingTrips) {
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->debug_count_phantom_routed();
+  expect_violation([&] { fleet->check_invariants(); }, "fleet.migration_accounting");
+}
+
+TEST(Invariants, FleetFootprintIdentityTrips) {
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->run_until(fleet->now() + util::days(1));
+  EXPECT_NO_THROW(fleet->check_invariants());
+
+  struct Disarm {
+    ~Disarm() { telemetry::debug_skew_fleet_transfer(false); }
+  } disarm;  // process-global seam: never leak into other tests
+  telemetry::debug_skew_fleet_transfer(true);
+  expect_violation([&] { fleet->check_invariants(); }, "fleet.footprint_identity");
+}
+
+TEST(Invariants, FleetPeriodicHookFiresInsideRunUntil) {
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->debug_corrupt_transfer_mirror();
+  EXPECT_THROW(fleet->run_until(fleet->now() + util::days(1)), util::InvariantViolation);
+}
+
+}  // namespace
+}  // namespace greenhpc
+
+#endif  // GREENHPC_CHECK_INVARIANTS

@@ -1,0 +1,675 @@
+// det_lint — determinism lint for the simulator sources.
+//
+// The repo's headline guarantee is bit-identical runs: same seed, same
+// binary, same digests — serial or region-parallel. Every class of bug that
+// has threatened that guarantee so far is lexically visible in the source,
+// so this tool gates them in CI instead of relying on review memory:
+//
+//   unordered-iter  range-for over a std::unordered_map/unordered_set
+//                   variable. Iteration order is implementation-defined, so
+//                   anything order-sensitive downstream (float accumulation,
+//                   output rows, decision scans) can drift between
+//                   standard-library versions.
+//   wall-clock      wall-clock reads (system_clock, steady_clock,
+//                   gettimeofday, std::time, ...) — sim-domain code must
+//                   derive every timestamp from the simulation clock. The
+//                   flight recorder's wall-time profile (pid 99) is the one
+//                   sanctioned exception and carries allow comments.
+//   rng             rand()/srand()/random_device/... — all randomness must
+//                   flow from the run's seeded mt19937_64 streams.
+//   pointer-key     std::map/std::set keyed on a pointer type. Pointer
+//                   order is allocation order, which varies run to run; key
+//                   by a stable id instead.
+//   raw-trace       .trace()/->trace() emission outside src/obs/ and the
+//                   coordinator's serial phases. Region-domain events must
+//                   go through the per-region trace shards or the
+//                   parallel==serial trace-merge guarantee breaks.
+//
+// Escape hatch: a `// det_lint: allow(rule)` comment on the flagged line or
+// the line above suppresses that rule there (comma-separate to allow
+// several). Allows are for sites that are *reviewed* order-independent or
+// deliberately wall-clock (profiling), and they double as documentation.
+//
+// Modes:
+//   det_lint PATH...     scan files / directories (recurses into
+//                        .hpp/.cpp/.h/.cc); exit 1 on any violation
+//   det_lint --self-test run the embedded rule fixtures; exit 1 on mismatch
+//
+// Implementation note: this is a lexical linter in the spirit of
+// trace_report's hand-rolled JSON scanner — comments and string literals are
+// blanked first, then the rules run over cleaned lines. It neither parses
+// C++ nor chases types, so it can be fooled (an `auto` alias of an
+// unordered map, an iterator loop); the gtest determinism pins remain the
+// ground truth. The lint exists to catch the obvious regression cheaply, at
+// review time, with a file:line message.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// --- pass 1: blank comments + literals, harvest allow() directives ----------
+
+struct CleanFile {
+  std::vector<std::string> code;              ///< literals/comments → spaces
+  std::vector<std::set<std::string>> allows;  ///< per line, rules allowed
+};
+
+void harvest_allows(const std::string& comment, std::set<std::string>& allows) {
+  static const std::string kTag = "det_lint: allow(";
+  std::size_t at = comment.find(kTag);
+  while (at != std::string::npos) {
+    const std::size_t open = at + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    std::string rule;
+    for (std::size_t i = open; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        if (!rule.empty()) allows.insert(rule);
+        rule.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        rule.push_back(c);
+      }
+    }
+    at = comment.find(kTag, close);
+  }
+}
+
+CleanFile clean_lines(const std::vector<std::string>& raw) {
+  CleanFile out;
+  out.code.reserve(raw.size());
+  out.allows.resize(raw.size());
+  bool in_block = false;
+  for (std::size_t li = 0; li < raw.size(); ++li) {
+    const std::string& line = raw[li];
+    std::string code(line.size(), ' ');
+    std::string comment;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_block) {
+        comment.push_back(c);
+        if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          ++i;
+          in_block = false;
+        }
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        comment.append(line.substr(i));
+        break;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        ++i;
+        in_block = true;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            ++i;
+          } else if (line[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        continue;  // literal contents stay blank
+      }
+      code[i] = c;
+    }
+    harvest_allows(comment, out.allows[li]);
+    out.code.push_back(std::move(code));
+  }
+  return out;
+}
+
+// --- token helpers -----------------------------------------------------------
+
+/// First position >= from where `tok` appears as a whole identifier.
+std::size_t find_token(const std::string& s, const std::string& tok, std::size_t from = 0) {
+  std::size_t at = s.find(tok, from);
+  while (at != std::string::npos) {
+    const bool left_ok = at == 0 || !ident_char(s[at - 1]);
+    const std::size_t end = at + tok.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return at;
+    at = s.find(tok, at + 1);
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])) != 0) ++i;
+  return i;
+}
+
+/// Last non-space character strictly before position `i`, or '\0'.
+char prev_nonspace(const std::string& s, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(s[i])) == 0) return s[i];
+  }
+  return '\0';
+}
+
+/// Identifier ending immediately before `i` (used to resolve `std::time`).
+std::string ident_before(const std::string& s, std::size_t i) {
+  std::size_t end = i;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) --end;
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin);
+}
+
+/// Position just past the `>` matching the `<` at `open` (npos if unmatched).
+std::size_t match_angle(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Joins lines [i, i+extra] so declarations/for-headers can span lines.
+std::string join_lines(const std::vector<std::string>& code, std::size_t i, std::size_t extra) {
+  std::string joined = code[i];
+  for (std::size_t j = i + 1; j < code.size() && j <= i + extra; ++j) {
+    joined.push_back(' ');
+    joined.append(code[j]);
+  }
+  return joined;
+}
+
+// --- rule: unordered-iter ----------------------------------------------------
+
+/// Names of variables (members, locals, parameters) whose declared type
+/// mentions unordered_map/unordered_set on the declaration line. Heuristic:
+/// identifier after the template argument list (and any outer `>`s), skipping
+/// cv/ref tokens; a name followed by `(` is a function and is skipped.
+std::set<std::string> collect_unordered_names(const std::vector<std::string>& code) {
+  std::set<std::string> names;
+  for (std::size_t li = 0; li < code.size(); ++li) {
+    for (const char* kw : {"unordered_map", "unordered_set"}) {
+      std::size_t at = find_token(code[li], kw);
+      while (at != std::string::npos) {
+        const std::string joined = join_lines(code, li, 3);
+        std::size_t i = skip_spaces(joined, at + std::string(kw).size());
+        if (i < joined.size() && joined[i] == '<') {
+          std::size_t past = match_angle(joined, i);
+          if (past != std::string::npos) {
+            // Skip outer template closers, refs, cv — land on the name.
+            past = skip_spaces(joined, past);
+            while (past < joined.size() && (joined[past] == '>' || joined[past] == '&' ||
+                                            joined[past] == '*')) {
+              past = skip_spaces(joined, past + 1);
+            }
+            if (joined.compare(past, 5, "const") == 0 && !ident_char(joined[past + 5])) {
+              past = skip_spaces(joined, past + 5);
+            }
+            std::size_t end = past;
+            while (end < joined.size() && ident_char(joined[end])) ++end;
+            if (end > past) {
+              const std::size_t next = skip_spaces(joined, end);
+              const bool is_function = next < joined.size() && joined[next] == '(';
+              if (!is_function) names.insert(joined.substr(past, end - past));
+            }
+          }
+        }
+        at = find_token(code[li], kw, at + 1);
+      }
+    }
+  }
+  return names;
+}
+
+void check_unordered_iter(const std::string& path, const CleanFile& file,
+                          const std::set<std::string>& names, std::vector<Violation>& out) {
+  if (names.empty()) return;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    std::size_t at = find_token(file.code[li], "for");
+    while (at != std::string::npos) {
+      const std::string joined = join_lines(file.code, li, 2);
+      const std::size_t open = skip_spaces(joined, at + 3);
+      if (open < joined.size() && joined[open] == '(') {
+        // Find the range-for ':' at paren depth 1 (skipping '::').
+        int depth = 0;
+        std::size_t colon = std::string::npos, close = std::string::npos;
+        for (std::size_t i = open; i < joined.size(); ++i) {
+          if (joined[i] == '(' || joined[i] == '[') ++depth;
+          if (joined[i] == ')' || joined[i] == ']') {
+            if (--depth == 0) {
+              close = i;
+              break;
+            }
+          }
+          if (joined[i] == ':' && depth == 1) {
+            const bool dbl = (i > 0 && joined[i - 1] == ':') ||
+                             (i + 1 < joined.size() && joined[i + 1] == ':');
+            if (!dbl && colon == std::string::npos) colon = i;
+          }
+        }
+        if (colon != std::string::npos && close != std::string::npos && colon < close) {
+          const std::string range = joined.substr(colon + 1, close - colon - 1);
+          for (const std::string& name : names) {
+            if (find_token(range, name) != std::string::npos) {
+              out.push_back({path, li + 1, "unordered-iter",
+                             "range-for over unordered container '" + name +
+                                 "' — iteration order is implementation-defined; iterate a "
+                                 "sorted view or prove order-independence and allow"});
+              break;
+            }
+          }
+        }
+      }
+      at = find_token(file.code[li], "for", at + 1);
+    }
+  }
+}
+
+// --- rule: wall-clock --------------------------------------------------------
+
+void check_wall_clock(const std::string& path, const CleanFile& file,
+                      std::vector<Violation>& out) {
+  static const char* kTokens[] = {"system_clock",  "steady_clock", "high_resolution_clock",
+                                  "gettimeofday",  "clock_gettime", "localtime",
+                                  "gmtime",        "mktime"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    for (const char* tok : kTokens) {
+      if (find_token(line, tok) != std::string::npos) {
+        out.push_back({path, li + 1, "wall-clock",
+                       std::string("wall-clock source '") + tok +
+                           "' — sim-domain timestamps must come from the simulation clock"});
+      }
+    }
+    // `time(` only as std::time / ::time or the classic time(nullptr|NULL|0)
+    // forms — a member or method named time() is fine.
+    std::size_t at = find_token(line, "time");
+    while (at != std::string::npos) {
+      const std::size_t after = skip_spaces(line, at + 4);
+      if (after < line.size() && line[after] == '(') {
+        const char before = prev_nonspace(line, at);
+        const bool qualified = before == ':' && (at < 2 || ident_before(line, at - 2) == "std" ||
+                                                 ident_before(line, at - 2).empty());
+        const std::size_t arg = skip_spaces(line, after + 1);
+        const bool classic_arg = line.compare(arg, 7, "nullptr") == 0 ||
+                                 line.compare(arg, 4, "NULL") == 0 ||
+                                 line.compare(arg, 2, "0)") == 0;
+        if (qualified || classic_arg) {
+          out.push_back({path, li + 1, "wall-clock",
+                         "wall-clock source 'time()' — sim-domain timestamps must come from "
+                         "the simulation clock"});
+        }
+      }
+      at = find_token(line, "time", at + 4);
+    }
+  }
+}
+
+// --- rule: rng ---------------------------------------------------------------
+
+void check_rng(const std::string& path, const CleanFile& file, std::vector<Violation>& out) {
+  static const char* kCalls[] = {"rand", "srand", "drand48", "lrand48", "random_shuffle"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    if (find_token(line, "random_device") != std::string::npos) {
+      out.push_back({path, li + 1, "rng",
+                     "'random_device' — all randomness must flow from the run's seeded "
+                     "mt19937_64 streams"});
+    }
+    for (const char* call : kCalls) {
+      std::size_t at = find_token(line, call);
+      while (at != std::string::npos) {
+        const std::size_t after = skip_spaces(line, at + std::string(call).size());
+        const char before = prev_nonspace(line, at);
+        const bool member = before == '.' || before == '>';
+        if (after < line.size() && line[after] == '(' && !member) {
+          out.push_back({path, li + 1, "rng",
+                         std::string("'") + call +
+                             "()' — all randomness must flow from the run's seeded "
+                             "mt19937_64 streams"});
+        }
+        at = find_token(line, call, at + 1);
+      }
+    }
+  }
+}
+
+// --- rule: pointer-key -------------------------------------------------------
+
+void check_pointer_key(const std::string& path, const CleanFile& file,
+                       std::vector<Violation>& out) {
+  static const char* kContainers[] = {"map", "multimap", "set", "multiset", "unordered_map",
+                                      "unordered_set"};
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    for (const char* kw : kContainers) {
+      std::size_t at = find_token(file.code[li], kw);
+      while (at != std::string::npos) {
+        const std::string joined = join_lines(file.code, li, 2);
+        const std::size_t open = skip_spaces(joined, at + std::string(kw).size());
+        if (open < joined.size() && joined[open] == '<') {
+          // First template argument: up to the first ',' or '>' at depth 1.
+          int depth = 0;
+          std::string key;
+          for (std::size_t i = open; i < joined.size(); ++i) {
+            if (joined[i] == '<') {
+              if (++depth == 1) continue;
+            }
+            if (joined[i] == '>' && --depth == 0) break;
+            if (joined[i] == ',' && depth == 1) break;
+            key.push_back(joined[i]);
+          }
+          if (key.find('*') != std::string::npos) {
+            out.push_back({path, li + 1, "pointer-key",
+                           "container keyed on a pointer — pointer order is allocation "
+                           "order and varies run to run; key by a stable id"});
+          }
+        }
+        at = find_token(file.code[li], kw, at + 1);
+      }
+    }
+  }
+}
+
+// --- rule: raw-trace ---------------------------------------------------------
+
+bool raw_trace_exempt(const std::string& path) {
+  // The recorder itself, and the coordinator's serial phases (routing /
+  // migration planning run on the main thread and own the pid-0 track).
+  return path.find("/obs/") != std::string::npos ||
+         (path.size() >= 21 &&
+          path.compare(path.size() - 21, 21, "fleet/coordinator.cpp") == 0);
+}
+
+void check_raw_trace(const std::string& path, const CleanFile& file,
+                     std::vector<Violation>& out) {
+  if (raw_trace_exempt(path)) return;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& line = file.code[li];
+    if (line.find("->trace()") != std::string::npos ||
+        line.find(".trace()") != std::string::npos) {
+      out.push_back({path, li + 1, "raw-trace",
+                     "direct trace() emission — region-domain events must go through the "
+                     "per-region trace shards (trace_sink) to keep the parallel==serial "
+                     "trace merge exact"});
+    }
+  }
+}
+
+// --- driver ------------------------------------------------------------------
+
+std::vector<Violation> scan_lines(const std::string& path, const std::vector<std::string>& raw,
+                                  const std::set<std::string>& extra_names) {
+  const CleanFile file = clean_lines(raw);
+  std::set<std::string> names = collect_unordered_names(file.code);
+  names.insert(extra_names.begin(), extra_names.end());
+
+  std::vector<Violation> found;
+  check_unordered_iter(path, file, names, found);
+  check_wall_clock(path, file, found);
+  check_rng(path, file, found);
+  check_pointer_key(path, file, found);
+  check_raw_trace(path, file, found);
+
+  std::vector<Violation> kept;
+  for (Violation& v : found) {
+    const std::size_t li = v.line - 1;
+    const bool allowed = file.allows[li].count(v.rule) > 0 ||
+                         (li > 0 && file.allows[li - 1].count(v.rule) > 0);
+    if (!allowed) kept.push_back(std::move(v));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<std::string> read_lines(const std::string& path, bool& ok) {
+  std::ifstream in(path);
+  ok = static_cast<bool>(in);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// A .cpp's members are usually declared in the sibling header, so the
+/// unordered-variable names harvested there extend the .cpp scan.
+std::set<std::string> sibling_header_names(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  if (p.extension() != ".cpp" && p.extension() != ".cc") return {};
+  for (const char* ext : {".hpp", ".h"}) {
+    fs::path header = p;
+    header.replace_extension(ext);
+    std::error_code ec;
+    if (fs::exists(header, ec)) {
+      bool ok = false;
+      const std::vector<std::string> raw = read_lines(header.string(), ok);
+      if (ok) return collect_unordered_names(clean_lines(raw).code);
+    }
+  }
+  return {};
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int scan_paths(const std::vector<std::string>& args) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.push_back(arg);
+    } else {
+      std::cerr << "error: no such file or directory: " << arg << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const std::string& path : files) {
+    bool ok = false;
+    const std::vector<std::string> raw = read_lines(path, ok);
+    if (!ok) {
+      std::cerr << "error: cannot read " << path << "\n";
+      return 2;
+    }
+    for (const Violation& v : scan_lines(path, raw, sibling_header_names(path))) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message << "\n";
+      ++total;
+    }
+  }
+  std::cout << "det_lint: " << files.size() << " file(s), " << total << " violation(s)\n";
+  return total == 0 ? 0 : 1;
+}
+
+// --- self-test ---------------------------------------------------------------
+
+struct Fixture {
+  const char* name;
+  const char* path;  ///< virtual path (exercises path-based exemptions)
+  const char* content;
+  std::vector<std::pair<std::size_t, const char*>> expected;  ///< (line, rule)
+};
+
+const std::vector<Fixture>& fixtures() {
+  static const std::vector<Fixture> kFixtures = {
+      {"unordered-iter fires on range-for over an unordered local",
+       "fixture/core/a.cpp",
+       "#include <unordered_map>\n"
+       "void f() {\n"
+       "  std::unordered_map<int, double> credit;\n"
+       "  double sum = 0.0;\n"
+       "  for (const auto& [id, c] : credit) sum += c;\n"
+       "}\n",
+       {{5, "unordered-iter"}}},
+      {"unordered-iter respects an allow comment on the line above",
+       "fixture/core/b.cpp",
+       "void f() {\n"
+       "  std::unordered_set<int> seen;\n"
+       "  // Order-independent: results feed a commutative count.\n"
+       "  // det_lint: allow(unordered-iter)\n"
+       "  for (int id : seen) use(id);\n"
+       "}\n",
+       {}},
+      {"unordered-iter ignores ordered containers and lookups",
+       "fixture/core/c.cpp",
+       "void f() {\n"
+       "  std::vector<int> jobs;\n"
+       "  std::unordered_map<int, int> index;\n"
+       "  for (int j : jobs) touch(index[j]);\n"
+       "}\n",
+       {}},
+      {"unordered-iter sees members declared across a two-line header decl",
+       "fixture/core/d.hpp",
+       "class State {\n"
+       "  void walk() {\n"
+       "    for (const auto& [k, v] : lineage_) use(v);\n"
+       "  }\n"
+       "  std::vector<std::unordered_map<int, int>>\n"
+       "      lineage_;\n"
+       "};\n",
+       {{3, "unordered-iter"}}},
+      {"wall-clock fires on clocks and classic time() forms only",
+       "fixture/core/e.cpp",
+       "void f(Metrics& m) {\n"
+       "  auto a = std::chrono::system_clock::now();\n"
+       "  auto b = std::time(nullptr);\n"
+       "  auto c = time(0);\n"
+       "  auto d = m.time(3);\n"
+       "  auto e = snapshot_time(3);\n"
+       "}\n",
+       {{2, "wall-clock"}, {3, "wall-clock"}, {4, "wall-clock"}}},
+      {"wall-clock allows the profiler's steady_clock when annotated",
+       "fixture/core/f.cpp",
+       "// Wall-time profile, pid 99.  det_lint: allow(wall-clock)\n"
+       "auto t0 = std::chrono::steady_clock::now();\n",
+       {}},
+      {"rng fires on rand()/random_device but not members named rand",
+       "fixture/core/g.cpp",
+       "void f(Stream& s) {\n"
+       "  int a = rand();\n"
+       "  std::random_device rd;\n"
+       "  int b = s.rand();\n"
+       "}\n",
+       {{2, "rng"}, {3, "rng"}}},
+      {"pointer-key fires on pointer keys, not pointer values",
+       "fixture/core/h.hpp",
+       "struct S {\n"
+       "  std::map<const Node*, int> order_;\n"
+       "  std::map<int, Node*> owner_;\n"
+       "  std::set<int> ids_;\n"
+       "};\n",
+       {{2, "pointer-key"}}},
+      {"raw-trace fires outside obs/ and honors the path exemptions",
+       "fixture/core/i.cpp",
+       "void f(Recorder* r) {\n"
+       "  r->trace().instant(\"x\");\n"
+       "}\n",
+       {{2, "raw-trace"}}},
+      {"raw-trace is exempt inside src/obs/",
+       "fixture/src/obs/j.cpp",
+       "void f(Recorder* r) {\n"
+       "  r->trace().instant(\"x\");\n"
+       "}\n",
+       {}},
+      {"rules ignore comments and string literals",
+       "fixture/core/k.cpp",
+       "void f() {\n"
+       "  // rand() and system_clock in prose are fine\n"
+       "  log(\"rand() via system_clock\");\n"
+       "}\n",
+       {}},
+  };
+  return kFixtures;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+int self_test() {
+  std::size_t failed = 0;
+  for (const Fixture& fx : fixtures()) {
+    const std::vector<Violation> got = scan_lines(fx.path, split_lines(fx.content), {});
+    bool ok = got.size() == fx.expected.size();
+    if (ok) {
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ok = ok && got[i].line == fx.expected[i].first && got[i].rule == fx.expected[i].second;
+      }
+    }
+    std::cout << (ok ? "PASS" : "FAIL") << ": " << fx.name << "\n";
+    if (!ok) {
+      ++failed;
+      std::cout << "  expected:";
+      for (const auto& [line, rule] : fx.expected) std::cout << " " << line << ":" << rule;
+      std::cout << "\n  got:     ";
+      for (const Violation& v : got) std::cout << " " << v.line << ":" << v.rule;
+      std::cout << "\n";
+    }
+  }
+  std::cout << "det_lint self-test: " << (fixtures().size() - failed) << "/" << fixtures().size()
+            << " fixtures passed\n";
+  return failed == 0 ? 0 : 1;
+}
+
+void print_usage() {
+  std::cout << "det_lint — determinism lint for simulator sources\n\n"
+               "usage:\n"
+               "  det_lint PATH...     scan files/directories; exit 1 on violations\n"
+               "  det_lint --self-test run embedded rule fixtures\n"
+               "  det_lint --help      this text\n\n"
+               "rules: unordered-iter, wall-clock, rng, pointer-key, raw-trace\n"
+               "suppress with `// det_lint: allow(rule)` on or above the line\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") {
+    print_usage();
+    return 0;
+  }
+  if (first == "--self-test") return self_test();
+  return scan_paths({argv + 1, argv + argc});
+}
