@@ -58,7 +58,9 @@ inline std::array<double, 12> month_of_year_means(const std::vector<util::MonthK
 
 /// Parses a flat {"key": number, ...} JSON object. Tolerant of whitespace and
 /// ordering; anything unparseable yields an empty map (the benches then start
-/// a fresh file rather than failing).
+/// a fresh file rather than failing). Non-number values — the nested
+/// "manifest" provenance object and its strings — are skipped wholesale, so
+/// manifest keys never leak into the metric map.
 inline std::map<std::string, double> read_perf_json(const std::string& path) {
   std::map<std::string, double> out;
   std::ifstream in(path);
@@ -71,10 +73,34 @@ inline std::map<std::string, double> read_perf_json(const std::string& path) {
     const std::size_t key_end = text.find('"', pos + 1);
     if (key_end == std::string::npos) break;
     const std::string key = text.substr(pos + 1, key_end - pos - 1);
-    std::size_t colon = text.find(':', key_end);
-    if (colon == std::string::npos) break;
+    std::size_t colon = key_end + 1;
+    while (colon < text.size() && std::isspace(static_cast<unsigned char>(text[colon]))) ++colon;
+    if (colon >= text.size() || text[colon] != ':') {
+      // Not a key (a string value, or inside a skipped object): move on.
+      pos = key_end + 1;
+      continue;
+    }
     ++colon;
     while (colon < text.size() && std::isspace(static_cast<unsigned char>(text[colon]))) ++colon;
+    if (colon < text.size() && (text[colon] == '{' || text[colon] == '[')) {
+      // Nested value (the manifest object): skip it bracket-balanced,
+      // string-aware, so its members never read as top-level metrics.
+      int depth = 0;
+      bool in_string = false;
+      while (colon < text.size()) {
+        const char c = text[colon++];
+        if (in_string) {
+          if (c == '\\') ++colon;
+          else if (c == '"') in_string = false;
+          continue;
+        }
+        if (c == '"') in_string = true;
+        if (c == '{' || c == '[') ++depth;
+        if ((c == '}' || c == ']') && --depth == 0) break;
+      }
+      pos = colon;
+      continue;
+    }
     const char* start = text.c_str() + colon;
     char* end = nullptr;
     const double value = std::strtod(start, &end);
@@ -86,13 +112,22 @@ inline std::map<std::string, double> read_perf_json(const std::string& path) {
 
 /// Merges `updates` into the flat JSON at `path` (existing keys the caller
 /// does not measure are preserved, so the two perf binaries can share one
-/// artifact) and rewrites it with sorted keys.
+/// artifact) and rewrites it with sorted keys. `manifest_json`, when
+/// non-empty, must be a rendered JSON object (obs::RunManifest::to_json())
+/// and is embedded as a leading "manifest" key; a manifest already in the
+/// file is replaced (read_perf_json drops it), never duplicated.
 inline void merge_perf_json(const std::string& path,
-                            const std::map<std::string, double>& updates) {
+                            const std::map<std::string, double>& updates,
+                            const std::string& manifest_json = {}) {
   std::map<std::string, double> merged = read_perf_json(path);
   for (const auto& [key, value] : updates) merged[key] = value;
   std::ofstream out(path);
   out << "{\n";
+  if (!manifest_json.empty()) {
+    out << "  \"manifest\": " << manifest_json;
+    if (!merged.empty()) out << ",";
+    out << "\n";
+  }
   std::size_t i = 0;
   for (const auto& [key, value] : merged) {
     out << "  \"" << key << "\": " << value;

@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "experiment/aggregator.hpp"
 #include "experiment/runner.hpp"
+#include "obs/manifest.hpp"
 #include "util/table.hpp"
 
 using namespace greenhpc;
@@ -129,8 +130,13 @@ int main(int argc, char** argv) {
                    experiment::Aggregator::aggregate(agg_runner.run(spec)));
 
   if (!json_path.empty()) {
-    bench::merge_perf_json(json_path, {{"replicas_per_s_1worker", replicas_per_s_1},
-                                       {"replicas_per_s_best", replicas_per_s_best}});
+    obs::RunManifest manifest = obs::make_manifest("experiment_throughput");
+    manifest.scenario = spec.label();
+    manifest.seed = 42;
+    bench::merge_perf_json(json_path,
+                           {{"replicas_per_s_1worker", replicas_per_s_1},
+                            {"replicas_per_s_best", replicas_per_s_best}},
+                           manifest.to_json());
     std::cout << "\nmerged replicas/sec into " << json_path << "\n";
   }
 

@@ -27,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "experiment/scenario.hpp"
+#include "obs/manifest.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
@@ -166,6 +167,7 @@ void bench_phase_breakdown(int days, std::map<std::string, double>& results) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto bench_start = std::chrono::steady_clock::now();
   int days = 30;
   int repeat = 3;
   std::string json_path = "BENCH_PERF.json";
@@ -246,7 +248,11 @@ int main(int argc, char** argv) {
 
   bench_phase_breakdown(days, results);
 
-  bench::merge_perf_json(json_path, results);
+  obs::RunManifest manifest = obs::make_manifest("perf_simulator");
+  manifest.scenario = "perf/" + std::to_string(days) + "d";
+  manifest.seed = 42;
+  manifest.wall_seconds = seconds_since(bench_start);
+  bench::merge_perf_json(json_path, results, manifest.to_json());
   std::cout << "\nwrote " << json_path << "\n";
 
   // CI regression gate: each floored metric must hold >= 75% of its

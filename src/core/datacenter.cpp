@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/attribution.hpp"
 #include "obs/recorder.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
@@ -65,7 +66,12 @@ void Datacenter::set_recorder(obs::FlightRecorder* recorder, std::size_t region,
   recorder_ = recorder;
   obs_region_ = region;
   obs_root_ = root;
+  attrib_ = nullptr;
   if (recorder_ == nullptr) return;
+  if (recorder_->attribution_on()) {
+    recorder_->attribution().ensure_sinks(region + 1);
+    attrib_ = recorder_->attribution().sink(region);
+  }
   const std::string prefix = "r" + std::to_string(region) + ".";
   if (recorder_->metrics_on()) {
     obs::MetricsRegistry& reg = recorder_->registry();
@@ -170,6 +176,7 @@ double Datacenter::take_migration_credit(cluster::JobId id) {
 }
 
 void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
+  if (attrib_ != nullptr) attrib_->begin_step();  // opens the amortization window
   const util::Duration dt = config_.step;
   const util::TimePoint lt = local_time(t);  // environment models live in local time
   const util::Temperature outdoor = weather_.temperature_at(lt);
@@ -212,6 +219,12 @@ void Datacenter::progress_running_jobs(util::TimePoint t, double throttle) {
     job.progress(work_delta, it_energy);
     accountant_.charge(job, it_energy, pue, price_now, carbon_now, water_l,
                        gpus * dt.hours() * fraction);
+    if (attrib_ != nullptr) {
+      // Mirror of the accountant charge, argument-for-argument, so the
+      // attribution direct totals equal the accountant totals bit-for-bit.
+      attrib_->charge(job, it_energy, pue, price_now, carbon_now, water_l,
+                      gpus * dt.hours() * fraction);
+    }
 
     if (job.work_remaining() <= 1e-6) {
       const util::TimePoint finish = t + util::Duration::from_raw(dt.seconds() * fraction);
@@ -367,7 +380,11 @@ void Datacenter::step(util::TimePoint t) {
         facility -= delivered / dt;
       }
     }
-    connection_->draw(lt, facility, dt);  // billed and attributed at local-time conditions
+    // Billed and attributed at local-time conditions; the increment closes
+    // this step's attribution window (residual = draw minus the step's
+    // per-job facility charges, amortized over the jobs that ran).
+    const grid::EnergyLedger drawn = connection_->draw(lt, facility, dt);
+    if (attrib_ != nullptr) attrib_->settle_step(drawn);
 
     // 6. Monthly instrumentation.
     monthly_util_.add_sample(t, dt, cluster_.utilization());
@@ -406,6 +423,29 @@ void Datacenter::check_invariants() const {
   }
   cluster_.check_invariants();
   accountant_.check_invariants();
+  if (attrib_ != nullptr) {
+    // Direct identity: the sink mirrors every accountant charge with the
+    // same doubles in the same order, so the totals must agree.
+    const grid::EnergyLedger& direct = attrib_->direct_total();
+    const grid::EnergyLedger& booked = accountant_.totals();
+    util::check_invariant_close(direct.energy.joules(), booked.energy.joules(),
+                                "attribution.direct_identity", "facility energy (J)");
+    util::check_invariant_close(direct.cost.dollars(), booked.cost.dollars(),
+                                "attribution.direct_identity", "cost (USD)");
+    util::check_invariant_close(direct.carbon.kilograms(), booked.carbon.kilograms(),
+                                "attribution.direct_identity", "carbon (kg)");
+    // Residual identity: every metered joule the accountant did not book is
+    // either amortized over that step's jobs or parked unattributed.
+    const grid::EnergyLedger& grid_totals = connection_->totals();
+    const grid::EnergyLedger& amortized = attrib_->amortized_total();
+    const grid::EnergyLedger& idle = attrib_->unattributed();
+    util::check_invariant_close(amortized.energy.joules() + idle.energy.joules(),
+                                grid_totals.energy.joules() - booked.energy.joules(),
+                                "attribution.residual_identity", "residual energy (J)");
+    util::check_invariant_close(amortized.carbon.kilograms() + idle.carbon.kilograms(),
+                                grid_totals.carbon.kilograms() - booked.carbon.kilograms(),
+                                "attribution.residual_identity", "residual carbon (kg)");
+  }
 }
 #endif
 

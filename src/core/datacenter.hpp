@@ -36,6 +36,7 @@ namespace greenhpc::obs {
 class Counter;
 class FlightRecorder;
 class MetricHistogram;
+class RegionAttributionSink;
 class TraceWriter;
 }
 
@@ -311,6 +312,11 @@ class Datacenter {
   obs::Counter* ctr_completed_ = nullptr;
   obs::Counter* ctr_migrated_out_ = nullptr;
   obs::MetricHistogram* hist_queue_wait_ = nullptr;
+  /// This region's attribution sink (cached at attach, like the counters):
+  /// mirrors every accountant charge and settles each step's residual grid
+  /// draw. Null without a recorder or with attribution off — the hot path
+  /// pays one pointer check.
+  obs::RegionAttributionSink* attrib_ = nullptr;
   obs::SchedExplain sched_explain_;  ///< reused per-step scratch when tracing
   /// Last traced deferral reason per queued job — the sched.decision dedup
   /// (TraceDetail::kChanges): a job's instant is re-emitted only when its

@@ -38,6 +38,8 @@ telemetry::MetricStats Aggregator::fold(std::string name, std::span<const double
   out.ci95_half = stats::ci95_half_width(values);
   out.min = stats::min(values);
   out.max = stats::max(values);
+  // Retain the raw seed-ordered series so exports can feed paired diffs.
+  out.values.assign(values.begin(), values.end());
   return out;
 }
 

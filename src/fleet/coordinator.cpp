@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fleet/shard.hpp"
+#include "obs/attribution.hpp"
 #include "obs/recorder.hpp"
 #include "util/error.hpp"
 #include "util/invariants.hpp"
@@ -98,6 +99,13 @@ bool FleetCoordinator::tracing() const { return recorder_ != nullptr && recorder
 
 void FleetCoordinator::set_recorder(obs::FlightRecorder* recorder) {
   recorder_ = recorder;
+  attrib_ = nullptr;
+  if (recorder_ != nullptr && recorder_->attribution_on()) {
+    // Allocate every region's sink up front (before the regions cache their
+    // pointers) so lineage/overhead billing never races sink growth.
+    recorder_->attribution().ensure_sinks(regions_.size());
+    attrib_ = &recorder_->attribution();
+  }
   // Regions attach on lanes pid 1 + i; the coordinator owns the per-step
   // metrics sample, so no region is the sampling root.
   for (std::size_t i = 0; i < regions_.size(); ++i) {
@@ -209,13 +217,19 @@ void FleetCoordinator::route_arrivals(util::TimePoint t, util::Duration window,
       recorder_->trace().instant("route.decision", "route", 0, 0,
                                  obs::FlightRecorder::sim_us(t), std::move(args));
     }
-    regions_[pick]->submit(request);
+    const cluster::JobId placed_id = regions_[pick]->submit(request);
     ++jobs_routed_[pick];
 
     if (pick != config_.home_region) {
       // The moved bytes burn energy on the path; bill them at the
-      // destination's instantaneous grid conditions, into its ledger.
-      charge_transfer(pick, config_.transfer_energy_per_job, t);
+      // destination's instantaneous grid conditions, into its ledger — and
+      // attribute them to the job whose data moved.
+      const grid::EnergyLedger increment =
+          charge_transfer(pick, config_.transfer_energy_per_job, t);
+      if (attrib_ != nullptr) {
+        attrib_->bill_admission(obs::attribution_key(pick, placed_id), pick, request.user,
+                                increment);
+      }
     }
 
     // Keep the snapshot honest within the batch: the job we just placed
@@ -240,11 +254,17 @@ void FleetCoordinator::deliver_migrations(util::TimePoint t, std::vector<RegionV
     }
     const InFlightMigration m = *it;
     it = in_flight_.erase(it);
-    // Ship + restore energy burns at the destination on arrival.
-    migration_.overhead += charge_transfer(
+    // Ship + restore energy burns at the destination on arrival, billed to
+    // the owning lineage so the footprint survives the move.
+    const grid::EnergyLedger delivery = charge_transfer(
         m.dest, planner_->checkpoint().delivery_energy(m.snapshot.request.gpus), t);
+    migration_.overhead += delivery;
 
     const cluster::JobId id = regions_[m.dest]->resume(m.snapshot);
+    if (attrib_ != nullptr) {
+      attrib_->bill_delivery(m.lineage_key, m.dest, m.snapshot.request.user, delivery);
+      attrib_->link(obs::attribution_key(m.dest, id), m.lineage_key);
+    }
     lineage_[m.dest][id] = {m.migrations, t};
     ++migrated_in_[m.dest];
     ++migration_.delivered;
@@ -312,14 +332,21 @@ void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView
     const core::Datacenter::PreemptedJob snapshot = regions_[d.source]->preempt(d.job);
     const int gpus = snapshot.request.gpus;
 
-    // The snapshot write burns at the source, now.
-    migration_.overhead += charge_transfer(d.source, planner_->checkpoint().snapshot_energy(gpus), t);
+    // The snapshot write burns at the source, now — billed to the lineage
+    // root (the origin job, however many hops back that is).
+    const grid::EnergyLedger snap = charge_transfer(
+        d.source, planner_->checkpoint().snapshot_energy(gpus), t);
+    migration_.overhead += snap;
 
     InFlightMigration m;
     m.source = d.source;
     m.dest = d.dest;
     m.snapshot = snapshot;
     m.arrival = t + planner_->checkpoint().outage(gpus);
+    if (attrib_ != nullptr) {
+      m.lineage_key = attrib_->resolve(obs::attribution_key(d.source, d.job));
+      attrib_->bill_snapshot(m.lineage_key, d.source, snapshot.request.user, snap);
+    }
     const auto it = lineage_[d.source].find(d.job);
     m.migrations = (it != lineage_[d.source].end() ? it->second.migrations : 0) + 1;
     if (it != lineage_[d.source].end()) lineage_[d.source].erase(it);
@@ -403,6 +430,36 @@ void FleetCoordinator::check_invariants() const {
   util::check_invariant_close(transfer_mirror_.carbon.kilograms(),
                               recomputed.carbon.kilograms(), "fleet.transfer_mirror",
                               "transfer carbon (kg)");
+
+  if (attrib_ != nullptr) {
+    // The overhead ledger mirrors charge_transfer increment-for-increment,
+    // so it must match the recomputed transfer ledger bit-for-bit (same
+    // tolerance guard as the mirror above).
+    const grid::EnergyLedger overhead = attrib_->overhead_total();
+    util::check_invariant_close(overhead.energy.joules(), recomputed.energy.joules(),
+                                "attribution.overhead_identity", "overhead energy (J)");
+    util::check_invariant_close(overhead.cost.dollars(), recomputed.cost.dollars(),
+                                "attribution.overhead_identity", "overhead cost (USD)");
+    util::check_invariant_close(overhead.carbon.kilograms(), recomputed.carbon.kilograms(),
+                                "attribution.overhead_identity", "overhead carbon (kg)");
+
+    // Conservation: everything the ledger attributed to jobs (direct +
+    // overhead) equals everything the fleet billed (accountant + transfer).
+    grid::EnergyLedger attributed = overhead;
+    grid::EnergyLedger billed = recomputed;
+    for (std::size_t r = 0; r < regions_.size(); ++r) {
+      if (const obs::RegionAttributionSink* sink = attrib_->sink(r); sink != nullptr) {
+        attributed += sink->direct_total();
+      }
+      billed += regions_[r]->accountant().totals();
+    }
+    util::check_invariant_close(attributed.energy.joules(), billed.energy.joules(),
+                                "attribution.conservation", "attributed energy (J)");
+    util::check_invariant_close(attributed.cost.dollars(), billed.cost.dollars(),
+                                "attribution.conservation", "attributed cost (USD)");
+    util::check_invariant_close(attributed.carbon.kilograms(), billed.carbon.kilograms(),
+                                "attribution.conservation", "attributed carbon (kg)");
+  }
 
   // Work conservation: every job in any region's registry either came
   // through the router or was delivered off the migration pipe.

@@ -37,6 +37,7 @@
 #include "workload/arrivals.hpp"
 
 namespace greenhpc::obs {
+class AttributionLedger;
 class Counter;
 class FlightRecorder;
 }
@@ -201,6 +202,9 @@ class FleetCoordinator {
     util::TimePoint arrival;  ///< when the restore completes at dest
     int migrations = 0;       ///< lineage count after this move
     std::uint64_t trace_id = 0;  ///< async-span id when tracing (0 = none)
+    /// Attribution lineage root the delivery overhead bills to, resolved at
+    /// launch (0 and unused when attribution is off).
+    std::uint64_t lineage_key = 0;
   };
   /// Per-lineage thrash bookkeeping (only jobs that have moved are tracked).
   struct Lineage {
@@ -267,6 +271,10 @@ class FleetCoordinator {
   // Observability (null/zero when no recorder is attached).
   [[nodiscard]] bool tracing() const;
   obs::FlightRecorder* recorder_ = nullptr;
+  /// The recorder's attribution ledger (null when detached or attribution
+  /// off). Touched only in the coordinator's serial phases; region sinks are
+  /// written by the region twins between barriers.
+  obs::AttributionLedger* attrib_ = nullptr;
   obs::Counter* ctr_migrations_started_ = nullptr;
   obs::Counter* ctr_migrations_delivered_ = nullptr;
   std::uint64_t migration_seq_ = 0;      ///< allocates migration trace ids

@@ -1,0 +1,328 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/manifest.hpp"
+
+namespace greenhpc::obs {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact: artifacts feed byte-equality pins
+  os << v;
+  return os.str();
+}
+
+void append_ledger_fields(std::ostringstream& os, const std::string& prefix,
+                          const grid::EnergyLedger& l) {
+  os << "\"" << prefix << "energy_j\": " << num(l.energy.joules()) << ", \"" << prefix
+     << "cost_usd\": " << num(l.cost.dollars()) << ", \"" << prefix
+     << "co2_kg\": " << num(l.carbon.kilograms()) << ", \"" << prefix
+     << "water_l\": " << num(l.water.liters());
+}
+
+void append_ledger_csv(std::ostringstream& os, const grid::EnergyLedger& l) {
+  os << num(l.energy.joules()) << "," << num(l.cost.dollars()) << ","
+     << num(l.carbon.kilograms()) << "," << num(l.water.liters());
+}
+
+}  // namespace
+
+// --- RegionAttributionSink ---------------------------------------------------
+
+void RegionAttributionSink::begin_step() {
+  step_slots_.clear();
+  step_direct_ = grid::EnergyLedger{};
+}
+
+void RegionAttributionSink::charge(const cluster::Job& job, util::Energy it_energy, double pue,
+                                   util::EnergyPrice price, util::CarbonIntensity intensity,
+                                   double water_l, double gpu_hours) {
+  const cluster::JobId id = job.id();
+  if (id >= slot_by_id_.size()) {
+    slot_by_id_.resize(std::max<std::size_t>(id + 1, slot_by_id_.size() * 2), 0);
+  }
+  std::uint32_t slot = slot_by_id_[id];
+  if (slot == 0) {
+    records_.emplace_back();
+    slot = static_cast<std::uint32_t>(records_.size());
+    slot_by_id_[id] = slot;
+    AttributionRecord& fresh = records_.back();
+    fresh.key = attribution_key(region_, id);
+    fresh.user = job.request().user;
+    fresh.job_class = job.request().job_class;
+  }
+  AttributionRecord& rec = records_[slot - 1];
+  // The exact accountant arithmetic, so the per-region direct totals equal
+  // the accountants' totals bit-for-bit (same products, same addition order).
+  const util::Energy facility = it_energy * pue;
+  const util::Money cost = facility * price;
+  const util::MassCo2 carbon = facility * intensity;
+  const util::WaterVolume water = util::liters(water_l);
+  rec.it_energy += it_energy;
+  rec.direct.energy += facility;
+  rec.direct.cost += cost;
+  rec.direct.carbon += carbon;
+  rec.direct.water += water;
+  rec.gpu_hours += gpu_hours;
+  direct_total_.energy += facility;
+  direct_total_.cost += cost;
+  direct_total_.carbon += carbon;
+  direct_total_.water += water;
+  step_direct_.energy += facility;
+  step_direct_.cost += cost;
+  step_direct_.carbon += carbon;
+  step_direct_.water += water;
+  step_slots_.emplace_back(slot - 1, facility.joules());
+}
+
+void RegionAttributionSink::settle_step(const grid::EnergyLedger& draw) {
+  grid::EnergyLedger residual;
+  residual.energy = draw.energy - step_direct_.energy;
+  residual.cost = draw.cost - step_direct_.cost;
+  residual.carbon = draw.carbon - step_direct_.carbon;
+  residual.water = draw.water - step_direct_.water;
+  const double total_j = step_direct_.energy.joules();
+  if (step_slots_.empty() || total_j <= 0.0) {
+    unattributed_ += residual;
+  } else {
+    for (const auto& [slot, facility_j] : step_slots_) {
+      const double share = facility_j / total_j;
+      AttributionRecord& rec = records_[slot];
+      const util::Energy e = residual.energy * share;
+      const util::Money c = residual.cost * share;
+      const util::MassCo2 co2 = residual.carbon * share;
+      const util::WaterVolume w = residual.water * share;
+      rec.amortized.energy += e;
+      rec.amortized.cost += c;
+      rec.amortized.carbon += co2;
+      rec.amortized.water += w;
+      amortized_total_.energy += e;
+      amortized_total_.cost += c;
+      amortized_total_.carbon += co2;
+      amortized_total_.water += w;
+    }
+  }
+  step_slots_.clear();
+  step_direct_ = grid::EnergyLedger{};
+}
+
+// --- AttributionLedger -------------------------------------------------------
+
+void AttributionLedger::ensure_sinks(std::size_t count) {
+  while (sinks_.size() < count) {
+    sinks_.push_back(std::make_unique<RegionAttributionSink>(sinks_.size()));
+    overhead_by_region_.emplace_back();
+  }
+}
+
+std::uint64_t AttributionLedger::resolve(std::uint64_t key) const {
+  const auto it = alias_.find(key);
+  return it == alias_.end() ? key : it->second;
+}
+
+void AttributionLedger::bill(std::uint64_t key, std::size_t region, cluster::UserId user,
+                             const grid::EnergyLedger& increment, int migration_delta) {
+  // A zero increment with nothing to count (e.g. admission transfers when
+  // transfer_energy_per_job is zero) would only mint empty report rows.
+  if (migration_delta == 0 && increment.energy.joules() == 0.0 &&
+      increment.cost.dollars() == 0.0 && increment.carbon.kilograms() == 0.0 &&
+      increment.water.liters() == 0.0) {
+    return;
+  }
+  if (region >= overhead_by_region_.size()) ensure_sinks(region + 1);
+  OverheadEntry& entry = overhead_[key];
+  entry.user = user;
+  entry.migrations += migration_delta;
+  entry.ledger += increment;
+  overhead_by_region_[region] += increment;
+  overhead_total_ += increment;
+}
+
+void AttributionLedger::bill_admission(std::uint64_t key, std::size_t region,
+                                       cluster::UserId user,
+                                       const grid::EnergyLedger& increment) {
+  bill(key, region, user, increment, 0);
+}
+
+void AttributionLedger::bill_snapshot(std::uint64_t root, std::size_t region,
+                                      cluster::UserId user,
+                                      const grid::EnergyLedger& increment) {
+  bill(root, region, user, increment, 1);
+}
+
+void AttributionLedger::bill_delivery(std::uint64_t root, std::size_t region,
+                                      cluster::UserId user,
+                                      const grid::EnergyLedger& increment) {
+  bill(root, region, user, increment, 0);
+}
+
+AttributionReport AttributionLedger::report() const {
+  AttributionReport out;
+  std::map<std::uint64_t, AttributionJobRow> rows;
+  for (const auto& sink : sinks_) {
+    AttributionRegionRow region_row;
+    region_row.region = sink->region();
+    region_row.direct = sink->direct_total();
+    region_row.amortized = sink->amortized_total();
+    region_row.unattributed = sink->unattributed();
+    region_row.overhead = overhead_by_region_[sink->region()];
+    out.regions.push_back(region_row);
+    for (const AttributionRecord& rec : sink->records()) {
+      const std::uint64_t root = resolve(rec.key);
+      AttributionJobRow& row = rows[root];
+      if (row.segments == 0) {
+        row.key = root;
+        row.region = static_cast<std::size_t>(root >> 40);
+        row.user = rec.user;
+        row.job_class = rec.job_class;
+      }
+      ++row.segments;
+      row.it_energy += rec.it_energy;
+      row.direct += rec.direct;
+      row.amortized += rec.amortized;
+      row.gpu_hours += rec.gpu_hours;
+    }
+  }
+  for (const auto& [root, entry] : overhead_) {
+    AttributionJobRow& row = rows[root];
+    if (row.segments == 0) {
+      // Billed but never charged at any site (e.g. still queued at run end,
+      // or a checkpoint still on the pipe).
+      row.key = root;
+      row.region = static_cast<std::size_t>(root >> 40);
+      row.user = entry.user;
+    }
+    row.migrations += entry.migrations;
+    row.overhead += entry.ledger;
+  }
+  out.jobs.reserve(rows.size());
+  std::map<cluster::UserId, AttributionUserRow> users;
+  for (const auto& [key, row] : rows) {
+    out.jobs.push_back(row);
+    AttributionUserRow& u = users[row.user];
+    u.user = row.user;
+    ++u.jobs;
+    u.gpu_hours += row.gpu_hours;
+    u.direct += row.direct;
+    u.overhead += row.overhead;
+    u.amortized += row.amortized;
+  }
+  out.users.reserve(users.size());
+  for (const auto& [id, u] : users) out.users.push_back(u);
+  for (const AttributionRegionRow& r : out.regions) {
+    out.direct_total += r.direct;
+    out.overhead_total += r.overhead;
+    out.amortized_total += r.amortized;
+    out.unattributed_total += r.unattributed;
+  }
+  return out;
+}
+
+// --- exports -----------------------------------------------------------------
+
+std::string attribution_csv(const AttributionReport& report, const RunManifest* manifest) {
+  std::ostringstream os;
+  if (manifest != nullptr) os << "# manifest: " << manifest->to_json() << "\n";
+  os << "key,region,user,job_class,segments,migrations,it_energy_j,gpu_hours,"
+        "direct_energy_j,direct_cost_usd,direct_co2_kg,direct_water_l,"
+        "overhead_energy_j,overhead_cost_usd,overhead_co2_kg,overhead_water_l,"
+        "amortized_energy_j,amortized_cost_usd,amortized_co2_kg,amortized_water_l\n";
+  for (const AttributionJobRow& row : report.jobs) {
+    os << row.key << "," << row.region << "," << row.user << ","
+       << static_cast<int>(row.job_class) << "," << row.segments << "," << row.migrations
+       << "," << num(row.it_energy.joules()) << "," << num(row.gpu_hours) << ",";
+    append_ledger_csv(os, row.direct);
+    os << ",";
+    append_ledger_csv(os, row.overhead);
+    os << ",";
+    append_ledger_csv(os, row.amortized);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string attribution_json(const AttributionReport& report,
+                             const AttributionReference& reference,
+                             const RunManifest* manifest, std::size_t top_jobs) {
+  std::ostringstream os;
+  if (manifest != nullptr) os << "{\"manifest\": " << manifest->to_json() << "}\n";
+  const std::size_t top = std::min(top_jobs, report.jobs.size());
+  os << "{\"kind\": \"attribution\", \"schema_version\": " << kSchemaVersion
+     << ", \"lineages\": " << report.jobs.size() << ", \"users\": " << report.users.size()
+     << ", \"regions\": " << report.regions.size() << ", \"top_jobs\": " << top << "}\n";
+
+  const auto reference_line = [&os](const char* name, const grid::EnergyLedger& l) {
+    os << "{\"reference\": \"" << name << "\", ";
+    append_ledger_fields(os, "", l);
+    os << "}\n";
+  };
+  reference_line("accountant", reference.accountant);
+  reference_line("transfer", reference.transfer);
+  reference_line("grid", reference.grid);
+
+  const auto total_line = [&os](const char* name, const grid::EnergyLedger& l) {
+    os << "{\"total\": \"" << name << "\", ";
+    append_ledger_fields(os, "", l);
+    os << "}\n";
+  };
+  total_line("direct", report.direct_total);
+  total_line("overhead", report.overhead_total);
+  total_line("amortized", report.amortized_total);
+  total_line("unattributed", report.unattributed_total);
+
+  for (const AttributionUserRow& u : report.users) {
+    os << "{\"user\": " << u.user << ", \"jobs\": " << u.jobs
+       << ", \"gpu_hours\": " << num(u.gpu_hours) << ", ";
+    append_ledger_fields(os, "direct_", u.direct);
+    os << ", ";
+    append_ledger_fields(os, "overhead_", u.overhead);
+    os << ", ";
+    append_ledger_fields(os, "amortized_", u.amortized);
+    os << "}\n";
+  }
+  for (const AttributionRegionRow& r : report.regions) {
+    os << "{\"region\": " << r.region << ", ";
+    append_ledger_fields(os, "direct_", r.direct);
+    os << ", ";
+    append_ledger_fields(os, "overhead_", r.overhead);
+    os << ", ";
+    append_ledger_fields(os, "amortized_", r.amortized);
+    os << ", ";
+    append_ledger_fields(os, "unattributed_", r.unattributed);
+    os << "}\n";
+  }
+
+  // Top lineages by attributed (direct + overhead) energy; key breaks ties
+  // so the selection is total-ordered. The full table lives in the CSV
+  // export — this is a preview, sized by the `top_jobs` header field.
+  std::vector<const AttributionJobRow*> ranked;
+  ranked.reserve(report.jobs.size());
+  for (const AttributionJobRow& row : report.jobs) ranked.push_back(&row);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AttributionJobRow* a, const AttributionJobRow* b) {
+              const double ea = a->direct.energy.joules() + a->overhead.energy.joules();
+              const double eb = b->direct.energy.joules() + b->overhead.energy.joules();
+              if (ea != eb) return ea > eb;
+              return a->key < b->key;
+            });
+  for (std::size_t i = 0; i < top; ++i) {
+    const AttributionJobRow& row = *ranked[i];
+    os << "{\"job\": " << row.key << ", \"region\": " << row.region
+       << ", \"user\": " << row.user << ", \"segments\": " << row.segments
+       << ", \"migrations\": " << row.migrations << ", \"gpu_hours\": " << num(row.gpu_hours)
+       << ", ";
+    append_ledger_fields(os, "direct_", row.direct);
+    os << ", ";
+    append_ledger_fields(os, "overhead_", row.overhead);
+    os << ", ";
+    append_ledger_fields(os, "amortized_", row.amortized);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,254 @@
+#pragma once
+// AttributionLedger: time-resolved per-job energy/CO2/cost attribution.
+//
+// The accountant (telemetry/) answers "what did each job's own GPUs burn,
+// grossed up by PUE" — Eq. 2's direct decomposition. This module answers the
+// paper's full reporting question: where did *every* metered joule go? Three
+// buckets per job lineage, each priced at the instant it was incurred:
+//
+//   direct     the accountant's facility-level charge, mirrored increment-
+//              for-increment (same doubles, same order) so the per-region
+//              direct totals equal the accountants' totals bit-for-bit.
+//   overhead   network/checkpoint energy billed by the fleet coordinator:
+//              admission transfers, migration snapshot (source) and
+//              ship+restore (destination) — billed to the *owning lineage*,
+//              so a job's footprint survives migration intact.
+//   amortized  each step's residual grid draw (idle base power of
+//              unallocated GPUs, cooling beyond the PUE gross-up, battery
+//              round-trip losses) distributed over that step's running jobs
+//              proportional to their facility share. Steps with no running
+//              jobs park the residual in the region's unattributed bucket.
+//              Battery discharge can make a step's residual negative; the
+//              bucket is a signed correction, not a meter.
+//
+// Conservation invariants (GREENHPC_CHECK_INVARIANTS wires them in-run):
+//   attribution.direct_identity   per region: sink direct total == accountant
+//                                 totals (same additions, same order)
+//   attribution.overhead_identity fleet: overhead total == transfer ledger
+//   attribution.conservation      fleet: direct + overhead == accountant +
+//                                 transfer totals (the headline identity)
+//   attribution.residual_identity per region: amortized + unattributed ==
+//                                 grid totals - accountant totals
+//
+// Threading contract (region-parallel stepping): each region's Datacenter
+// touches only its own RegionAttributionSink between the coordinator's step
+// barriers; lineage/overhead billing happens only in the coordinator's
+// serial phases. Reports iterate sinks in region-index order (the PR 7
+// trace-shard pattern), so sharded and serial runs render byte-identical
+// attribution output.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "grid/connection.hpp"
+#include "util/units.hpp"
+
+namespace greenhpc::obs {
+
+struct RunManifest;
+
+/// Fleet-unique lineage key for a job at a region (the trace span_id scheme).
+[[nodiscard]] constexpr std::uint64_t attribution_key(std::size_t region, cluster::JobId id) {
+  return (static_cast<std::uint64_t>(region) << 40) | id;
+}
+
+/// One job's accrual at one region (a migrated lineage owns one record per
+/// region it ran at; reports fold them into the root lineage).
+struct AttributionRecord {
+  std::uint64_t key = 0;
+  cluster::UserId user = 0;
+  cluster::JobClass job_class = cluster::JobClass::kTraining;
+  util::Energy it_energy;
+  grid::EnergyLedger direct;     ///< facility-level, accountant arithmetic
+  grid::EnergyLedger amortized;  ///< share of the step residuals (signed)
+  double gpu_hours = 0.0;
+};
+
+/// Per-region accrual sink. Owned by the AttributionLedger; during region-
+/// parallel stepping only the owning region's thread touches it.
+class RegionAttributionSink {
+ public:
+  explicit RegionAttributionSink(std::size_t region) : region_(region) {}
+
+  /// Opens a step: resets the per-step facility-share scratch.
+  void begin_step();
+
+  /// Mirrors one accountant charge (identical argument values, called right
+  /// next to EnergyAccountant::charge so the doubles match bit-for-bit).
+  void charge(const cluster::Job& job, util::Energy it_energy, double pue,
+              util::EnergyPrice price, util::CarbonIntensity intensity, double water_l,
+              double gpu_hours);
+
+  /// Closes a step against the grid meter's increment for the same step:
+  /// the residual (draw minus this step's direct facility charges) is
+  /// distributed over the step's charged jobs by facility share, or parked
+  /// in the unattributed bucket when nothing ran.
+  void settle_step(const grid::EnergyLedger& draw);
+
+  [[nodiscard]] std::size_t region() const { return region_; }
+  [[nodiscard]] const std::deque<AttributionRecord>& records() const { return records_; }
+  [[nodiscard]] const grid::EnergyLedger& direct_total() const { return direct_total_; }
+  [[nodiscard]] const grid::EnergyLedger& amortized_total() const { return amortized_total_; }
+  [[nodiscard]] const grid::EnergyLedger& unattributed() const { return unattributed_; }
+
+#ifdef GREENHPC_CHECK_INVARIANTS
+  /// Test seam: skews the direct total so attribution.direct_identity (and
+  /// the fleet conservation check) trips on the next deep check.
+  void debug_skew_direct(util::Energy skew) { direct_total_.energy += skew; }
+#endif
+
+ private:
+  std::size_t region_;
+  // Same layout rationale as EnergyAccountant: JobIds are dense per-site, so
+  // a slot vector replaces the hash lookup on the hottest telemetry path;
+  // the deque keeps record addresses stable and charge order deterministic.
+  std::deque<AttributionRecord> records_;
+  std::vector<std::uint32_t> slot_by_id_;  ///< JobId -> slot + 1 (0 = none)
+  /// (slot, facility joules) charged this step — the amortization weights.
+  std::vector<std::pair<std::uint32_t, double>> step_slots_;
+  grid::EnergyLedger step_direct_;  ///< facility charges within the open step
+  grid::EnergyLedger direct_total_;
+  grid::EnergyLedger amortized_total_;
+  grid::EnergyLedger unattributed_;
+};
+
+// --- report -----------------------------------------------------------------
+
+/// One job lineage, folded across every region it ran at.
+struct AttributionJobRow {
+  std::uint64_t key = 0;     ///< root lineage key (origin region | origin id)
+  std::size_t region = 0;    ///< origin region (key >> 40)
+  cluster::UserId user = 0;
+  cluster::JobClass job_class = cluster::JobClass::kTraining;
+  int segments = 0;    ///< per-region records folded in (1 = never migrated)
+  int migrations = 0;  ///< checkpoint moves billed to this lineage
+  util::Energy it_energy;
+  grid::EnergyLedger direct;
+  grid::EnergyLedger overhead;
+  grid::EnergyLedger amortized;
+  double gpu_hours = 0.0;
+};
+
+struct AttributionUserRow {
+  cluster::UserId user = 0;
+  std::size_t jobs = 0;
+  double gpu_hours = 0.0;
+  grid::EnergyLedger direct;
+  grid::EnergyLedger overhead;
+  grid::EnergyLedger amortized;
+};
+
+struct AttributionRegionRow {
+  std::size_t region = 0;
+  grid::EnergyLedger direct;
+  grid::EnergyLedger overhead;  ///< transfer energy billed at this region
+  grid::EnergyLedger amortized;
+  grid::EnergyLedger unattributed;
+};
+
+struct AttributionReport {
+  std::vector<AttributionJobRow> jobs;      ///< sorted by lineage key
+  std::vector<AttributionUserRow> users;    ///< sorted by user id
+  std::vector<AttributionRegionRow> regions;  ///< region-index order
+  grid::EnergyLedger direct_total;
+  grid::EnergyLedger overhead_total;
+  grid::EnergyLedger amortized_total;
+  grid::EnergyLedger unattributed_total;
+};
+
+/// The ledgers the conservation re-check compares the report against,
+/// embedded in the JSON export so the artifact is self-checking.
+struct AttributionReference {
+  grid::EnergyLedger accountant;  ///< sum of the regions' accountant totals
+  grid::EnergyLedger transfer;    ///< the fleet transfer ledger
+  grid::EnergyLedger grid;        ///< sum of the regions' grid meter totals
+};
+
+class AttributionLedger {
+ public:
+  AttributionLedger() { ensure_sinks(1); }
+
+  /// Grows the per-region sink set (idempotent; sink addresses are stable).
+  void ensure_sinks(std::size_t count);
+  [[nodiscard]] std::size_t sink_count() const { return sinks_.size(); }
+  [[nodiscard]] RegionAttributionSink* sink(std::size_t region) {
+    return region < sinks_.size() ? sinks_[region].get() : nullptr;
+  }
+  [[nodiscard]] const RegionAttributionSink* sink(std::size_t region) const {
+    return region < sinks_.size() ? sinks_[region].get() : nullptr;
+  }
+
+  // --- lineage/overhead API (coordinator serial phases only) ----------------
+
+  /// The root lineage key `key` currently belongs to (identity for jobs that
+  /// never migrated).
+  [[nodiscard]] std::uint64_t resolve(std::uint64_t key) const;
+
+  /// Records that the job behind `child` is a migrated continuation of the
+  /// lineage rooted at `root` (called when a checkpoint resumes).
+  void link(std::uint64_t child, std::uint64_t root) { alias_[child] = root; }
+
+  /// Bills an admission-transfer increment (network energy for routing a job
+  /// off the home region) to the routed job, at the billing region.
+  void bill_admission(std::uint64_t key, std::size_t region, cluster::UserId user,
+                      const grid::EnergyLedger& increment);
+
+  /// Bills a migration snapshot (source side; counts one migration against
+  /// the lineage) — `key` must already be resolved to the lineage root.
+  void bill_snapshot(std::uint64_t root, std::size_t region, cluster::UserId user,
+                     const grid::EnergyLedger& increment);
+
+  /// Bills a migration delivery (ship + restore at the destination).
+  void bill_delivery(std::uint64_t root, std::size_t region, cluster::UserId user,
+                     const grid::EnergyLedger& increment);
+
+  [[nodiscard]] const grid::EnergyLedger& overhead_total() const { return overhead_total_; }
+  [[nodiscard]] const grid::EnergyLedger& region_overhead(std::size_t region) const {
+    return overhead_by_region_.at(region);
+  }
+
+  /// Folds every sink (region-index order) and the overhead map into the
+  /// per-lineage / per-user / per-region report. Deterministic: sinks are
+  /// scanned in region order, records in charge order, maps in key order.
+  [[nodiscard]] AttributionReport report() const;
+
+ private:
+  struct OverheadEntry {
+    cluster::UserId user = 0;
+    int migrations = 0;
+    grid::EnergyLedger ledger;
+  };
+  void bill(std::uint64_t key, std::size_t region, cluster::UserId user,
+            const grid::EnergyLedger& increment, int migration_delta);
+
+  std::vector<std::unique_ptr<RegionAttributionSink>> sinks_;
+  /// Migrated continuation -> lineage root (resolve() follows one hop: roots
+  /// are always fully resolved before linking, so chains never form).
+  std::map<std::uint64_t, std::uint64_t> alias_;
+  std::map<std::uint64_t, OverheadEntry> overhead_;  ///< by lineage root key
+  std::vector<grid::EnergyLedger> overhead_by_region_;
+  grid::EnergyLedger overhead_total_;
+};
+
+// --- exports ----------------------------------------------------------------
+
+/// Full per-lineage table as CSV (17-significant-digit raw units so sharded
+/// vs serial byte-equality is checkable on the artifact). `manifest` non-null
+/// prepends a `# manifest: {...}` comment line.
+[[nodiscard]] std::string attribution_csv(const AttributionReport& report,
+                                          const RunManifest* manifest = nullptr);
+
+/// Line-disciplined JSON export (one object per line: manifest, header,
+/// reference ledgers, totals, per-user rows, per-region rows, top lineages
+/// by energy). Self-checking: trace_report --attrib re-derives the
+/// conservation identities from the embedded reference lines alone.
+[[nodiscard]] std::string attribution_json(const AttributionReport& report,
+                                           const AttributionReference& reference,
+                                           const RunManifest* manifest = nullptr,
+                                           std::size_t top_jobs = 20);
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,53 @@
+#include "obs/manifest.hpp"
+
+#include <sstream>
+
+#include "obs/trace.hpp"  // json_escape
+
+namespace greenhpc::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema_version\": " << schema_version << ", \"tool\": \"" << json_escape(tool)
+     << "\", \"scenario\": \"" << json_escape(scenario) << "\", \"seed\": " << seed
+     << ", \"regions\": " << regions << ", \"region_names\": [";
+  for (std::size_t i = 0; i < region_names.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(region_names[i]) << "\"";
+  }
+  os << "], \"git_describe\": \"" << json_escape(git_describe) << "\", \"build_flags\": \""
+     << json_escape(build_flags) << "\", \"wall_seconds\": " << json_number(wall_seconds) << "}";
+  return os.str();
+}
+
+RunManifest make_manifest(std::string tool) {
+  RunManifest m;
+  m.tool = std::move(tool);
+#ifdef GREENHPC_GIT_DESCRIBE
+  m.git_describe = GREENHPC_GIT_DESCRIBE;
+#else
+  m.git_describe = "unknown";
+#endif
+#ifdef GREENHPC_BUILD_TYPE
+  m.build_flags = GREENHPC_BUILD_TYPE;
+#else
+  m.build_flags = "unknown";
+#endif
+#ifdef GREENHPC_CHECK_INVARIANTS
+  m.build_flags += "+invariants";
+#endif
+  return m;
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,50 @@
+#pragma once
+// Run provenance manifests: the self-description header every export carries.
+//
+// The paper's Sec. IV-B ask is shareable, analysis-ready reporting; an
+// artifact nobody can re-run is neither. A RunManifest stamps each export
+// (--metrics, --trace, --attrib, experiment JSON, BENCH_PERF.json) with what
+// produced it: the scenario/config label, seed, region set, the build's git
+// describe and flags, the export schema version, and — stamped after the run
+// completes — the wall-clock duration. Report tools (trace_report, run_diff)
+// read the header back to refuse schema mismatches and to label comparisons.
+//
+// kSchemaVersion is the single source of truth for the export format: every
+// writer embeds it and both report tools check it, so a format change that
+// forgets to bump it is caught by the round-trip tests, and a bumped version
+// is caught by --validate on old readers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// Version of every flight-recorder export format (metrics JSONL, trace,
+/// attribution, experiment JSON manifests). Bump when a reader of the old
+/// format would misread the new one.
+inline constexpr int kSchemaVersion = 1;
+
+struct RunManifest {
+  int schema_version = kSchemaVersion;
+  std::string tool;      ///< surface that produced the artifact ("greenhpc_sim")
+  std::string scenario;  ///< scenario/config label ("fleet/carbon_forecast/r4")
+  std::uint64_t seed = 0;
+  std::size_t regions = 0;  ///< 0 = single-site
+  std::vector<std::string> region_names;
+  std::string git_describe;  ///< stamped at CMake configure time
+  std::string build_flags;   ///< build type + invariant/sanitizer knobs
+  /// Host wall-clock duration of the run, stamped post-run by the export
+  /// code. Negative = not stamped (library serializers never see wall time).
+  double wall_seconds = -1.0;
+
+  /// One-line JSON object (no trailing newline) — embeddable as a JSONL
+  /// header line, a `# manifest:` CSV comment, or a top-level JSON key.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// A manifest pre-filled with this build's provenance (git describe, build
+/// flags, schema version). Callers fill scenario/seed/regions/wall_seconds.
+[[nodiscard]] RunManifest make_manifest(std::string tool);
+
+}  // namespace greenhpc::obs

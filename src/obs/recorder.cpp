@@ -9,6 +9,7 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
       // Wall clock by design: the phase profiler (pid 99) measures host
       // execution time, never sim time.  det_lint: allow(wall-clock)
       wall_start_(std::chrono::steady_clock::now()) {
+  if (config_.attribution) attribution_ = std::make_unique<AttributionLedger>();
   if (profiling()) {
     trace_.process_name(TraceWriter::kProfilerPid, "step-loop profiler (wall clock)");
     for (std::size_t i = 0; i < kPhaseCount; ++i) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,7 @@ struct FlightRecorderConfig {
   bool metrics = false;      ///< sample the registry into the time series
   bool trace = false;        ///< buffer trace events
   bool profile = false;      ///< time step-loop phases (implied by trace)
+  bool attribution = false;  ///< per-job energy/CO2/cost attribution ledger
   std::size_t metrics_interval = 1;   ///< sample every Nth coordinator step
   std::size_t metrics_capacity = 4096;
   TraceDetail trace_detail = TraceDetail::kChanges;
@@ -50,6 +52,7 @@ class FlightRecorder {
 
   [[nodiscard]] bool metrics_on() const { return config_.metrics; }
   [[nodiscard]] bool tracing() const { return config_.trace; }
+  [[nodiscard]] bool attribution_on() const { return attribution_ != nullptr; }
   [[nodiscard]] bool profiling() const { return config_.profile || config_.trace; }
   [[nodiscard]] TraceDetail trace_detail() const { return config_.trace_detail; }
 
@@ -89,6 +92,13 @@ class FlightRecorder {
   void merge_trace_shards();
   [[nodiscard]] bool trace_shards_enabled() const { return !trace_shards_.empty(); }
 
+  /// The attribution ledger (only when config.attribution; see
+  /// obs/attribution.hpp for the threading contract). Consumers must check
+  /// attribution_on() first — like every other instrument, a detached or
+  /// attribution-less recorder costs subsystems one pointer/flag check.
+  [[nodiscard]] AttributionLedger& attribution() { return *attribution_; }
+  [[nodiscard]] const AttributionLedger& attribution() const { return *attribution_; }
+
   [[nodiscard]] std::string metrics_csv() const { return series_.to_csv(registry_); }
   [[nodiscard]] std::string metrics_jsonl() const { return series_.to_jsonl(registry_); }
 
@@ -98,6 +108,7 @@ class FlightRecorder {
   TimeSeriesStore series_;
   TraceWriter trace_;
   std::vector<std::unique_ptr<TraceWriter>> trace_shards_;
+  std::unique_ptr<AttributionLedger> attribution_;  ///< null unless configured
   PhaseProfiler profiler_;
   std::chrono::steady_clock::time_point wall_start_;  // det_lint: allow(wall-clock)
 };

@@ -1,0 +1,580 @@
+#include "obs/run_compare.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+
+namespace greenhpc::obs {
+
+// --- JSON parser -------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> value = parse_value();
+    if (value.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing content after document");
+    }
+    if (!error_.empty()) {
+      if (error != nullptr) *error = error_ + " at byte " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true", [] (JsonValue& v) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+      });
+      case 'f': return parse_literal("false", [] (JsonValue& v) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = false;
+      });
+      case 'n': return parse_literal("null", [] (JsonValue& v) {
+        v.kind = JsonValue::Kind::Null;
+      });
+      default: return parse_number();
+    }
+  }
+
+  template <typename Init>
+  std::optional<JsonValue> parse_literal(std::string_view word, Init init) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal");
+      return std::nullopt;
+    }
+    pos_ += word.size();
+    JsonValue v;
+    init(v);
+    return v;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = value;
+    return v;
+  }
+
+  std::optional<JsonValue> parse_string() {
+    ++pos_;  // opening quote
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': v.text += '"'; break;
+          case '\\': v.text += '\\'; break;
+          case '/': v.text += '/'; break;
+          case 'n': v.text += '\n'; break;
+          case 't': v.text += '\t'; break;
+          case 'r': v.text += '\r'; break;
+          default:
+            // \uXXXX and friends never appear in this repo's writers.
+            fail("unsupported escape");
+            return std::nullopt;
+        }
+      } else {
+        v.text += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::optional<JsonValue> element = parse_value();
+      if (!element.has_value()) return std::nullopt;
+      v.array.push_back(std::move(*element));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == ']') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      ++pos_;
+      std::optional<JsonValue> value = parse_value();
+      if (!value.has_value()) return std::nullopt;
+      v.object.emplace_back(std::move(key->text), std::move(*value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '}') return v;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string fmt_integer(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Appends every numeric member of `line` as `<prefix><key>` (skipping the
+/// keys named in `skip`, which identify the row rather than measure it).
+void append_numeric_fields(const JsonValue& line, const std::string& prefix,
+                           std::initializer_list<std::string_view> skip,
+                           std::vector<ArtifactSeries>& out) {
+  for (const auto& [key, value] : line.object) {
+    if (!value.is_number()) continue;
+    if (std::find(skip.begin(), skip.end(), key) != skip.end()) continue;
+    out.push_back({prefix + key, {value.number}});
+  }
+}
+
+void extract_experiment(const JsonValue& doc, ArtifactData& out) {
+  out.kind = "experiment";
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::Array) {
+    out.errors.push_back("experiment document has no metrics array");
+    return;
+  }
+  for (const JsonValue& metric : metrics->array) {
+    const JsonValue* name = metric.find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::String) {
+      out.errors.push_back("experiment metric entry without a name");
+      continue;
+    }
+    ArtifactSeries series;
+    series.name = name->text;
+    if (const JsonValue* values = metric.find("values");
+        values != nullptr && values->kind == JsonValue::Kind::Array &&
+        !values->array.empty()) {
+      for (const JsonValue& v : values->array) {
+        if (v.is_number()) series.values.push_back(v.number);
+      }
+    }
+    if (series.values.empty()) {
+      const JsonValue* mean = metric.find("mean");
+      if (mean != nullptr && mean->is_number()) series.values.push_back(mean->number);
+    }
+    if (series.values.empty()) {
+      out.errors.push_back("experiment metric '" + series.name + "' has no values");
+      continue;
+    }
+    out.series.push_back(std::move(series));
+  }
+}
+
+void extract_perf(const JsonValue& doc, ArtifactData& out) {
+  out.kind = "perf";
+  for (const auto& [key, value] : doc.object) {
+    if (key == "manifest") continue;
+    if (value.is_number()) out.series.push_back({key, {value.number}});
+  }
+}
+
+void extract_attribution_line(const JsonValue& line, ArtifactData& out) {
+  if (const JsonValue* kind = line.find("kind"); kind != nullptr) {
+    append_numeric_fields(line, "attribution.", {"schema_version"}, out.series);
+    return;
+  }
+  if (const JsonValue* ref = line.find("reference");
+      ref != nullptr && ref->kind == JsonValue::Kind::String) {
+    append_numeric_fields(line, "reference." + ref->text + ".", {}, out.series);
+    return;
+  }
+  if (const JsonValue* total = line.find("total");
+      total != nullptr && total->kind == JsonValue::Kind::String) {
+    append_numeric_fields(line, "total." + total->text + ".", {}, out.series);
+    return;
+  }
+  // Job rows also carry "user" and "region" identity keys, so they must be
+  // classified before the narrower row kinds.
+  if (const JsonValue* job = line.find("job"); job != nullptr && job->is_number()) {
+    append_numeric_fields(line, "job." + fmt_integer(job->number) + ".",
+                          {"job", "user", "region"}, out.series);
+    return;
+  }
+  if (const JsonValue* user = line.find("user"); user != nullptr && user->is_number()) {
+    append_numeric_fields(line, "user." + fmt_integer(user->number) + ".", {"user"},
+                          out.series);
+    return;
+  }
+  if (const JsonValue* region = line.find("region");
+      region != nullptr && region->is_number()) {
+    append_numeric_fields(line, "region." + fmt_integer(region->number) + ".", {"region"},
+                          out.series);
+    return;
+  }
+  out.errors.push_back("unrecognized attribution line shape");
+}
+
+void extract_metrics_line(const JsonValue& line,
+                          std::vector<ArtifactSeries>& columns,
+                          std::map<std::string, std::size_t>& index) {
+  for (const auto& [key, value] : line.object) {
+    if (!value.is_number()) continue;  // nulls: gaps simply shorten a column
+    const auto [it, inserted] = index.emplace(key, columns.size());
+    if (inserted) columns.push_back({key, {}});
+    columns[it->second].values.push_back(value.number);
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+ArtifactData load_artifact(std::istream& in) {
+  ArtifactData out;
+  out.kind = "unknown";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  // Single-document artifacts (experiment JSON, BENCH_PERF.json) parse whole;
+  // everything else is JSON-object-per-line.
+  if (std::optional<JsonValue> doc = parse_json(text, nullptr);
+      doc.has_value() && doc->is_object()) {
+    if (const JsonValue* manifest = doc->find("manifest");
+        manifest != nullptr && manifest->is_object()) {
+      out.manifest = *manifest;
+    }
+    if (doc->find("metrics") != nullptr) {
+      extract_experiment(*doc, out);
+    } else {
+      extract_perf(*doc, out);
+    }
+    return out;
+  }
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  std::vector<ArtifactSeries> columns;
+  std::map<std::string, std::size_t> column_index;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    std::optional<JsonValue> parsed = parse_json(line, &error);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      out.errors.push_back("line " + std::to_string(line_no) + ": " +
+                           (error.empty() ? "not a JSON object" : error));
+      continue;
+    }
+    if (const JsonValue* manifest = parsed->find("manifest");
+        manifest != nullptr && manifest->is_object() && parsed->object.size() == 1) {
+      out.manifest = *manifest;
+      continue;
+    }
+    if (!header_seen) {
+      header_seen = true;
+      if (const JsonValue* kind = parsed->find("kind");
+          kind != nullptr && kind->kind == JsonValue::Kind::String) {
+        out.kind = kind->text;
+      } else if (parsed->find("t_seconds") != nullptr) {
+        out.kind = "metrics";
+      }
+    }
+    if (out.kind == "attribution") {
+      extract_attribution_line(*parsed, out);
+    } else if (out.kind == "metrics") {
+      extract_metrics_line(*parsed, columns, column_index);
+    } else {
+      out.errors.push_back("line " + std::to_string(line_no) +
+                           ": unrecognized artifact line");
+    }
+  }
+  if (out.kind == "metrics") out.series = std::move(columns);
+  if (!header_seen && out.errors.empty()) out.errors.push_back("empty artifact");
+  return out;
+}
+
+// --- diff --------------------------------------------------------------------
+
+bool DiffReport::regression() const {
+  if (!errors.empty()) return true;
+  if (fail_on_missing && (!only_base.empty() || !only_cand.empty())) return true;
+  return std::any_of(deltas.begin(), deltas.end(),
+                     [](const MetricDelta& d) { return d.flagged; });
+}
+
+DiffReport diff_artifacts(const ArtifactData& base, const ArtifactData& cand,
+                          const DiffOptions& options) {
+  DiffReport report;
+  report.base_kind = base.kind;
+  report.cand_kind = cand.kind;
+  report.fail_on_missing = options.fail_on_missing;
+  for (const std::string& e : base.errors) report.errors.push_back("base: " + e);
+  for (const std::string& e : cand.errors) report.errors.push_back("candidate: " + e);
+  if (base.kind != cand.kind) {
+    report.errors.push_back("artifact kind mismatch: base is '" + base.kind +
+                            "', candidate is '" + cand.kind + "'");
+    return report;
+  }
+  if (base.manifest.has_value() && cand.manifest.has_value()) {
+    const JsonValue* bv = base.manifest->find("schema_version");
+    const JsonValue* cv = cand.manifest->find("schema_version");
+    if (bv != nullptr && cv != nullptr && bv->is_number() && cv->is_number() &&
+        bv->number != cv->number) {
+      report.errors.push_back("manifest schema_version mismatch: base " +
+                              fmt_integer(bv->number) + " vs candidate " +
+                              fmt_integer(cv->number));
+    }
+  }
+
+  std::map<std::string, const ArtifactSeries*> cand_by_name;
+  for (const ArtifactSeries& s : cand.series) cand_by_name.emplace(s.name, &s);
+
+  for (const ArtifactSeries& b : base.series) {
+    const auto it = cand_by_name.find(b.name);
+    if (it == cand_by_name.end()) {
+      report.only_base.push_back(b.name);
+      continue;
+    }
+    const ArtifactSeries& c = *it->second;
+    cand_by_name.erase(it);
+
+    MetricDelta d;
+    d.name = b.name;
+    d.base_mean = stats::mean(b.values);
+    d.cand_mean = stats::mean(c.values);
+    d.abs_delta = d.cand_mean - d.base_mean;
+    const double denom = std::max(std::abs(d.base_mean), std::abs(d.cand_mean));
+    d.rel_delta = denom > 0.0 ? std::abs(d.abs_delta) / denom : 0.0;
+    const auto tol = options.per_metric.find(b.name);
+    d.tolerance = tol != options.per_metric.end() ? tol->second : options.rel_tol;
+    if (b.values.size() == c.values.size() && b.values.size() >= 2) {
+      // Seed-paired: replica i vs replica i. The mean of the pairwise
+      // differences equals abs_delta; the CI is what pairing buys us.
+      std::vector<double> diffs(b.values.size());
+      for (std::size_t i = 0; i < diffs.size(); ++i) diffs[i] = c.values[i] - b.values[i];
+      d.paired = true;
+      d.pairs = diffs.size();
+      d.paired_ci95_half = stats::ci95_half_width(diffs);
+    }
+    d.flagged = d.rel_delta > d.tolerance &&
+                (!d.paired || std::abs(d.abs_delta) > d.paired_ci95_half);
+    report.deltas.push_back(std::move(d));
+  }
+  for (const ArtifactSeries& c : cand.series) {
+    if (cand_by_name.count(c.name) != 0) report.only_cand.push_back(c.name);
+  }
+  return report;
+}
+
+// --- rendering ---------------------------------------------------------------
+
+namespace {
+
+std::string fmt_compact(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num17(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_delta_row(std::ostringstream& os, const MetricDelta& d) {
+  os << "| " << d.name << " | " << fmt_compact(d.base_mean) << " | "
+     << fmt_compact(d.cand_mean) << " | " << fmt_compact(d.abs_delta) << " | "
+     << fmt_compact(d.rel_delta) << " | " << fmt_compact(d.tolerance) << " | ";
+  if (d.paired) {
+    os << "±" << fmt_compact(d.paired_ci95_half) << " (n=" << d.pairs << ")";
+  } else {
+    os << "-";
+  }
+  os << " |\n";
+}
+
+}  // namespace
+
+std::string render_diff_markdown(const DiffReport& report) {
+  std::ostringstream os;
+  os << "# run_diff: " << (report.regression() ? "REGRESSION" : "PASS") << "\n\n";
+  os << "base: " << report.base_kind << ", candidate: " << report.cand_kind << ", metrics: "
+     << report.deltas.size() << "\n";
+  if (!report.errors.empty()) {
+    os << "\n## Errors\n\n";
+    for (const std::string& e : report.errors) os << "- " << e << "\n";
+  }
+  std::vector<const MetricDelta*> flagged;
+  for (const MetricDelta& d : report.deltas) {
+    if (d.flagged) flagged.push_back(&d);
+  }
+  const char* header =
+      "| metric | base | candidate | delta | rel | tol | paired CI95 |\n"
+      "|---|---|---|---|---|---|---|\n";
+  if (!flagged.empty()) {
+    os << "\n## Flagged (" << flagged.size() << ")\n\n" << header;
+    for (const MetricDelta* d : flagged) append_delta_row(os, *d);
+  }
+  if (!report.only_base.empty() || !report.only_cand.empty()) {
+    os << "\n## Series mismatch"
+       << (report.fail_on_missing ? "" : " (informational)") << "\n\n";
+    for (const std::string& name : report.only_base)
+      os << "- missing from candidate: " << name << "\n";
+    for (const std::string& name : report.only_cand)
+      os << "- missing from base: " << name << "\n";
+  }
+  os << "\n## All deltas\n\n" << header;
+  for (const MetricDelta& d : report.deltas) append_delta_row(os, d);
+  return os.str();
+}
+
+std::string render_diff_json(const DiffReport& report) {
+  std::ostringstream os;
+  os << "{\"regression\": " << (report.regression() ? "true" : "false")
+     << ", \"base_kind\": \"" << json_escape(report.base_kind)
+     << "\", \"cand_kind\": \"" << json_escape(report.cand_kind) << "\", \"errors\": [";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(report.errors[i]) << "\"";
+  }
+  os << "], \"only_base\": [";
+  for (std::size_t i = 0; i < report.only_base.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(report.only_base[i]) << "\"";
+  }
+  os << "], \"only_cand\": [";
+  for (std::size_t i = 0; i < report.only_cand.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(report.only_cand[i]) << "\"";
+  }
+  os << "], \"deltas\": [";
+  for (std::size_t i = 0; i < report.deltas.size(); ++i) {
+    const MetricDelta& d = report.deltas[i];
+    if (i > 0) os << ", ";
+    os << "{\"name\": \"" << json_escape(d.name) << "\", \"base_mean\": "
+       << num17(d.base_mean) << ", \"cand_mean\": " << num17(d.cand_mean)
+       << ", \"abs_delta\": " << num17(d.abs_delta) << ", \"rel_delta\": "
+       << num17(d.rel_delta) << ", \"tolerance\": " << num17(d.tolerance)
+       << ", \"paired\": " << (d.paired ? "true" : "false") << ", \"pairs\": " << d.pairs
+       << ", \"paired_ci95_half\": " << num17(d.paired_ci95_half) << ", \"flagged\": "
+       << (d.flagged ? "true" : "false") << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace greenhpc::obs

@@ -1,0 +1,129 @@
+#pragma once
+// Cross-run comparison: loads two run artifacts (experiment JSON, attribution
+// JSONL, metrics JSONL, or a flat BENCH_PERF.json), matches series by name,
+// and renders per-metric deltas with a regression verdict.
+//
+// This is the library half of `tools/run_diff`, the CI regression sentry:
+// a golden artifact committed to the repo is compared against a freshly
+// produced one, and any relative drift beyond the configured tolerance fails
+// the build. Where both artifacts carry per-replica series (the "values"
+// arrays experiment exports emit), the diff is seed-paired: replica i of the
+// base is matched with replica i of the candidate, and the paired-difference
+// mean ships with a 95% CI (stats::t_critical_975), so a drift verdict can
+// distinguish noise from signal.
+//
+// The JSON reader here is a deliberately small DOM parser — just enough to
+// round-trip this repo's own writers (all plain ASCII, no exponents beyond
+// strtod's reach, no unicode escapes). It is not a general-purpose parser.
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greenhpc::obs {
+
+/// Minimal JSON DOM value. Object members keep insertion order (exports are
+/// deterministic, so order is meaningful when re-rendering).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+};
+
+/// Parses one JSON document. On failure returns nullopt and, when `error` is
+/// non-null, stores a message with the byte offset of the problem.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text, std::string* error);
+
+/// One named numeric series extracted from an artifact: a single value
+/// (scalars, totals) or a per-replica/per-sample column.
+struct ArtifactSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// A loaded artifact, reduced to comparable series.
+struct ArtifactData {
+  /// "experiment" | "attribution" | "metrics" | "perf" | "unknown".
+  std::string kind;
+  /// The embedded provenance manifest, when the artifact carries one.
+  std::optional<JsonValue> manifest;
+  /// Series in artifact order; names are unique.
+  std::vector<ArtifactSeries> series;
+  /// Parse problems (empty == clean load).
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Reads an artifact stream, detects its kind, and extracts series.
+[[nodiscard]] ArtifactData load_artifact(std::istream& in);
+
+struct DiffOptions {
+  /// Symmetric relative tolerance: |cand-base| / max(|base|,|cand|) above
+  /// this flags the metric (unless the paired CI absolves it).
+  double rel_tol = 1e-6;
+  /// Per-metric overrides (exact series-name match), e.g. wall-clock rates.
+  std::map<std::string, double> per_metric;
+  /// When true (default), a series present on only one side is a failure —
+  /// schema drift must be acknowledged by regenerating the golden.
+  bool fail_on_missing = true;
+};
+
+/// One matched metric's delta.
+struct MetricDelta {
+  std::string name;
+  double base_mean = 0.0;
+  double cand_mean = 0.0;
+  double abs_delta = 0.0;  ///< cand_mean - base_mean
+  double rel_delta = 0.0;  ///< |abs_delta| / max(|base_mean|, |cand_mean|)
+  double tolerance = 0.0;  ///< the rel tolerance this metric was held to
+  /// True when both sides carried an equal-length series of >= 2 replicas.
+  bool paired = false;
+  std::size_t pairs = 0;
+  double paired_ci95_half = 0.0;  ///< 95% CI half-width on the paired mean
+  /// Beyond tolerance — and, when paired, the CI excludes zero too.
+  bool flagged = false;
+};
+
+struct DiffReport {
+  std::string base_kind;
+  std::string cand_kind;
+  std::vector<MetricDelta> deltas;
+  std::vector<std::string> only_base;  ///< series missing from the candidate
+  std::vector<std::string> only_cand;  ///< series missing from the base
+  /// Load/shape problems (kind mismatch, schema-version mismatch...).
+  std::vector<std::string> errors;
+  bool fail_on_missing = true;
+
+  /// The sentry verdict: any flagged metric, missing series (when enforced),
+  /// or structural error.
+  [[nodiscard]] bool regression() const;
+};
+
+/// Matches series by name and computes deltas. Kind mismatch between the two
+/// artifacts is an error (comparing a trace to a perf file is operator
+/// error, not drift).
+[[nodiscard]] DiffReport diff_artifacts(const ArtifactData& base, const ArtifactData& cand,
+                                        const DiffOptions& options);
+
+/// Human-readable markdown: verdict line, flagged metrics first, then a
+/// table of all deltas.
+[[nodiscard]] std::string render_diff_markdown(const DiffReport& report);
+
+/// Machine-readable JSON document mirroring the markdown contents.
+[[nodiscard]] std::string render_diff_json(const DiffReport& report);
+
+}  // namespace greenhpc::obs

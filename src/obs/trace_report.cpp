@@ -1,10 +1,15 @@
 #include "obs/trace_report.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <istream>
 #include <sstream>
 #include <unordered_map>
+
+#include "obs/manifest.hpp"
+#include "obs/run_compare.hpp"
 
 namespace greenhpc::obs {
 
@@ -350,15 +355,174 @@ std::string render_trace_report(const TraceParseResult& result) {
   return out.str();
 }
 
+namespace {
+
+/// If `line` is a pure {"manifest": {...}} wrapper, validates the inner
+/// manifest into `errors` and returns true (line consumed).
+bool consume_manifest_header(const std::string& line, std::size_t line_no,
+                             std::vector<std::string>& errors) {
+  std::optional<JsonValue> parsed = parse_json(line, nullptr);
+  if (!parsed.has_value() || !parsed->is_object() || parsed->object.size() != 1 ||
+      parsed->object.front().first != "manifest") {
+    return false;
+  }
+  for (std::string& e : validate_manifest_text(extract_manifest_text(line))) {
+    errors.push_back("line " + std::to_string(line_no) + ": " + std::move(e));
+  }
+  return true;
+}
+
+/// Four ledger fields read off one attribution line under a prefix
+/// ("direct_", or "" for reference lines).
+struct LedgerFields {
+  double energy = 0.0;
+  double cost = 0.0;
+  double co2 = 0.0;
+  double water = 0.0;
+  bool complete = false;
+
+  LedgerFields& operator+=(const LedgerFields& other) {
+    energy += other.energy;
+    cost += other.cost;
+    co2 += other.co2;
+    water += other.water;
+    complete = complete && other.complete;
+    return *this;
+  }
+};
+
+LedgerFields read_ledger_fields(const JsonValue& line, const std::string& prefix) {
+  LedgerFields out;
+  const JsonValue* energy = line.find(prefix + "energy_j");
+  const JsonValue* cost = line.find(prefix + "cost_usd");
+  const JsonValue* co2 = line.find(prefix + "co2_kg");
+  const JsonValue* water = line.find(prefix + "water_l");
+  if (energy == nullptr || cost == nullptr || co2 == nullptr || water == nullptr ||
+      !energy->is_number() || !cost->is_number() || !co2->is_number() ||
+      !water->is_number()) {
+    return out;
+  }
+  out.energy = energy->number;
+  out.cost = cost->number;
+  out.co2 = co2->number;
+  out.water = water->number;
+  out.complete = true;
+  return out;
+}
+
+/// The invariant tolerance (util::check_invariant_close), re-applied from the
+/// artifact alone: 1e-9 relative with an absolute floor of 1e-9.
+void check_conserved(double a, double b, const std::string& what,
+                     std::vector<std::string>& errors) {
+  const double tol = 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+  if (std::abs(a - b) > tol) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "conservation violated: " << what << " (" << a << " vs " << b << ")";
+    errors.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::string extract_manifest_text(const std::string& text) {
+  std::size_t start = text.find("\"manifest\"");
+  std::size_t after = start == std::string::npos ? start : start + 10;
+  if (start == std::string::npos) {
+    start = text.find("# manifest:");
+    if (start == std::string::npos) return "";
+    after = start + 11;
+  }
+  std::size_t pos = after;
+  while (pos < text.size() &&
+         (std::isspace(static_cast<unsigned char>(text[pos])) != 0 || text[pos] == ':')) {
+    ++pos;
+  }
+  if (pos >= text.size() || text[pos] != '{') return "";
+  const std::size_t open = pos;
+  int depth = 0;
+  bool in_string = false;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (in_string) {
+      if (c == '\\') ++pos;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}' && --depth == 0) return text.substr(open, pos - open + 1);
+  }
+  return "";
+}
+
+std::vector<std::string> validate_manifest_text(const std::string& text) {
+  std::vector<std::string> errors;
+  std::string parse_error;
+  std::optional<JsonValue> doc = parse_json(text, &parse_error);
+  if (!doc.has_value() || !doc->is_object()) {
+    errors.push_back("manifest is not a JSON object" +
+                     (parse_error.empty() ? "" : " (" + parse_error + ")"));
+    return errors;
+  }
+  const auto require_number = [&](const char* key) -> const JsonValue* {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || !v->is_number()) {
+      errors.push_back(std::string("manifest missing numeric \"") + key + "\"");
+      return nullptr;
+    }
+    return v;
+  };
+  const auto require_string = [&](const char* key) {
+    const JsonValue* v = doc->find(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::String) {
+      errors.push_back(std::string("manifest missing string \"") + key + "\"");
+    }
+  };
+  if (const JsonValue* version = require_number("schema_version"); version != nullptr) {
+    if (version->number != static_cast<double>(kSchemaVersion)) {
+      std::ostringstream os;
+      os << "manifest schema_version " << version->number << " != supported "
+         << kSchemaVersion;
+      errors.push_back(os.str());
+    }
+  }
+  require_string("tool");
+  require_string("scenario");
+  require_number("seed");
+  require_number("regions");
+  require_string("git_describe");
+  require_string("build_flags");
+  require_number("wall_seconds");
+  if (const JsonValue* names = doc->find("region_names");
+      names == nullptr || names->kind != JsonValue::Kind::Array) {
+    errors.push_back("manifest missing array \"region_names\"");
+  }
+  return errors;
+}
+
 std::vector<std::string> validate_metrics_jsonl(std::istream& in) {
+  return validate_metrics_jsonl(in, nullptr);
+}
+
+std::vector<std::string> validate_metrics_jsonl(std::istream& in,
+                                                std::vector<std::string>* warnings) {
   std::vector<std::string> errors;
   std::vector<std::string> first_keys;
   std::string line;
   std::size_t line_no = 0;
   std::size_t rows = 0;
+  bool first_content = true;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (first_content) {
+      first_content = false;
+      if (consume_manifest_header(line, line_no, errors)) continue;
+      if (warnings != nullptr) {
+        warnings->push_back("no manifest header (pre-provenance artifact?)");
+      }
+    }
     LineScanner scan(line);
     if (!scan.consume('{')) {
       errors.push_back("line " + std::to_string(line_no) + ": not a JSON object");
@@ -414,6 +578,187 @@ std::vector<std::string> validate_metrics_jsonl(std::istream& in) {
     }
   }
   if (rows == 0) errors.push_back("no metric rows found");
+  return errors;
+}
+
+std::vector<std::string> validate_attribution_jsonl(std::istream& in,
+                                                    std::vector<std::string>* warnings) {
+  std::vector<std::string> errors;
+  std::string line;
+  std::size_t line_no = 0;
+  bool first_content = true;
+  bool header_seen = false;
+  double expect_users = -1.0;
+  double expect_regions = -1.0;
+  double expect_top = -1.0;
+  std::map<std::string, LedgerFields> references;
+  std::map<std::string, LedgerFields> totals;
+  std::map<std::string, LedgerFields> region_sums;  // bucket -> sum over rows
+  std::map<std::string, LedgerFields> user_sums;
+  std::size_t region_rows = 0;
+  std::size_t user_rows = 0;
+  std::size_t job_rows = 0;
+
+  const auto line_error = [&errors, &line_no](const std::string& message) {
+    errors.push_back("line " + std::to_string(line_no) + ": " + message);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first_content) {
+      first_content = false;
+      if (consume_manifest_header(line, line_no, errors)) continue;
+      if (warnings != nullptr) {
+        warnings->push_back("no manifest header (pre-provenance artifact?)");
+      }
+    }
+    std::string parse_error;
+    std::optional<JsonValue> parsed = parse_json(line, &parse_error);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      line_error(parse_error.empty() ? "not a JSON object" : parse_error);
+      continue;
+    }
+    if (const JsonValue* kind = parsed->find("kind"); kind != nullptr) {
+      if (kind->kind != JsonValue::Kind::String || kind->text != "attribution") {
+        line_error("header kind is not \"attribution\"");
+        continue;
+      }
+      if (header_seen) {
+        line_error("duplicate attribution header");
+        continue;
+      }
+      header_seen = true;
+      const JsonValue* version = parsed->find("schema_version");
+      if (version == nullptr || !version->is_number()) {
+        line_error("header missing numeric \"schema_version\"");
+      } else if (version->number != static_cast<double>(kSchemaVersion)) {
+        std::ostringstream os;
+        os << "schema_version " << version->number << " != supported " << kSchemaVersion;
+        line_error(os.str());
+      }
+      const auto read_count = [&](const char* key, double& out) {
+        const JsonValue* v = parsed->find(key);
+        if (v == nullptr || !v->is_number()) {
+          line_error(std::string("header missing numeric \"") + key + "\"");
+        } else {
+          out = v->number;
+        }
+      };
+      double lineages = -1.0;
+      read_count("lineages", lineages);
+      read_count("users", expect_users);
+      read_count("regions", expect_regions);
+      read_count("top_jobs", expect_top);
+      continue;
+    }
+    if (!header_seen) {
+      line_error("row before the attribution header");
+      continue;
+    }
+    if (const JsonValue* ref = parsed->find("reference");
+        ref != nullptr && ref->kind == JsonValue::Kind::String) {
+      const LedgerFields fields = read_ledger_fields(*parsed, "");
+      if (!fields.complete) line_error("reference row missing ledger fields");
+      references[ref->text] = fields;
+      continue;
+    }
+    if (const JsonValue* total = parsed->find("total");
+        total != nullptr && total->kind == JsonValue::Kind::String) {
+      const LedgerFields fields = read_ledger_fields(*parsed, "");
+      if (!fields.complete) line_error("total row missing ledger fields");
+      totals[total->text] = fields;
+      continue;
+    }
+    // Job rows carry "user"/"region" identity keys too: classify them first.
+    if (const JsonValue* job = parsed->find("job"); job != nullptr && job->is_number()) {
+      ++job_rows;
+      for (const char* bucket : {"direct_", "overhead_", "amortized_"}) {
+        if (!read_ledger_fields(*parsed, bucket).complete) {
+          line_error(std::string("job row missing ") + bucket + "ledger fields");
+        }
+      }
+      continue;
+    }
+    if (const JsonValue* user = parsed->find("user"); user != nullptr && user->is_number()) {
+      ++user_rows;
+      for (const char* bucket : {"direct_", "overhead_", "amortized_"}) {
+        const LedgerFields fields = read_ledger_fields(*parsed, bucket);
+        if (!fields.complete) {
+          line_error(std::string("user row missing ") + bucket + "ledger fields");
+        }
+        user_sums[bucket] += fields;
+      }
+      continue;
+    }
+    if (const JsonValue* region = parsed->find("region");
+        region != nullptr && region->is_number()) {
+      ++region_rows;
+      for (const char* bucket : {"direct_", "overhead_", "amortized_", "unattributed_"}) {
+        const LedgerFields fields = read_ledger_fields(*parsed, bucket);
+        if (!fields.complete) {
+          line_error(std::string("region row missing ") + bucket + "ledger fields");
+        }
+        region_sums[bucket] += fields;
+      }
+      continue;
+    }
+    line_error("unrecognized attribution row shape");
+  }
+
+  if (!header_seen) {
+    errors.push_back("missing attribution header line");
+    return errors;
+  }
+  const auto check_count = [&errors](const char* what, std::size_t got, double expect) {
+    if (expect >= 0.0 && static_cast<double>(got) != expect) {
+      std::ostringstream os;
+      os << what << " row count " << got << " != header " << expect;
+      errors.push_back(os.str());
+    }
+  };
+  check_count("user", user_rows, expect_users);
+  check_count("region", region_rows, expect_regions);
+  check_count("job", job_rows, expect_top);
+  for (const char* name : {"accountant", "transfer", "grid"}) {
+    if (references.count(name) == 0) {
+      errors.push_back(std::string("missing reference row \"") + name + "\"");
+    }
+  }
+  for (const char* name : {"direct", "overhead", "amortized", "unattributed"}) {
+    if (totals.count(name) == 0) {
+      errors.push_back(std::string("missing total row \"") + name + "\"");
+    }
+  }
+  if (!errors.empty()) return errors;
+
+  // The conservation identities, re-established from the artifact alone.
+  const auto check_ledgers = [&errors](const LedgerFields& a, const LedgerFields& b,
+                                       const std::string& what) {
+    check_conserved(a.energy, b.energy, what + " energy_j", errors);
+    check_conserved(a.cost, b.cost, what + " cost_usd", errors);
+    check_conserved(a.co2, b.co2, what + " co2_kg", errors);
+    check_conserved(a.water, b.water, what + " water_l", errors);
+  };
+  check_ledgers(totals["direct"], references["accountant"], "direct vs accountant");
+  check_ledgers(totals["overhead"], references["transfer"], "overhead vs transfer");
+  LedgerFields grid_side = totals["direct"];
+  grid_side += totals["amortized"];
+  grid_side += totals["unattributed"];
+  grid_side.complete = true;
+  check_ledgers(grid_side, references["grid"], "direct+amortized+unattributed vs grid");
+  if (region_rows > 0) {
+    check_ledgers(region_sums["direct_"], totals["direct"], "region direct vs total");
+    check_ledgers(region_sums["overhead_"], totals["overhead"], "region overhead vs total");
+    check_ledgers(region_sums["amortized_"], totals["amortized"], "region amortized vs total");
+    check_ledgers(region_sums["unattributed_"], totals["unattributed"],
+                  "region unattributed vs total");
+  }
+  if (user_rows > 0) {
+    check_ledgers(user_sums["direct_"], totals["direct"], "user direct vs total");
+    check_ledgers(user_sums["overhead_"], totals["overhead"], "user overhead vs total");
+    check_ledgers(user_sums["amortized_"], totals["amortized"], "user amortized vs total");
+  }
   return errors;
 }
 

@@ -67,4 +67,32 @@ struct TraceParseResult {
 /// "t_seconds" key present. Returns problems (empty == valid).
 [[nodiscard]] std::vector<std::string> validate_metrics_jsonl(std::istream& in);
 
+/// As above, with provenance awareness: a leading {"manifest": {...}} header
+/// line is validated (schema version, required keys) instead of tripping the
+/// flat-object rule, and a *missing* manifest is appended to `warnings`
+/// (pre-manifest artifacts stay valid) rather than failing.
+[[nodiscard]] std::vector<std::string> validate_metrics_jsonl(
+    std::istream& in, std::vector<std::string>* warnings);
+
+/// Validates an attribution JSONL export (`--attrib`): manifest header (via
+/// `warnings`, like metrics), schema version, line shapes, row counts against
+/// the header, and the conservation identities re-checked from the artifact
+/// alone (direct == accountant reference, overhead == transfer reference,
+/// direct + amortized + unattributed == grid reference, and per-region /
+/// per-user rollups == totals), each within the invariant tolerance (1e-9
+/// relative). Returns problems (empty == valid).
+[[nodiscard]] std::vector<std::string> validate_attribution_jsonl(
+    std::istream& in, std::vector<std::string>* warnings = nullptr);
+
+/// Validates one rendered manifest JSON object (a RunManifest::to_json()
+/// string): required keys with the right types, and schema_version ==
+/// kSchemaVersion (an old reader must refuse a newer format, not misread it).
+[[nodiscard]] std::vector<std::string> validate_manifest_text(const std::string& text);
+
+/// Extracts the first embedded manifest object from raw artifact text — a
+/// `"manifest": {...}` key (JSONL headers, experiment JSON, the trace's
+/// run_manifest metadata line, BENCH_PERF.json) or a `# manifest: {...}` CSV
+/// comment. Returns the object's text, or "" when the artifact carries none.
+[[nodiscard]] std::string extract_manifest_text(const std::string& text);
+
 }  // namespace greenhpc::obs

@@ -1,0 +1,47 @@
+#include "telemetry/attribution.hpp"
+
+namespace greenhpc::telemetry {
+
+util::Table attribution_user_table(const obs::AttributionReport& report) {
+  util::Table table({"user", "jobs", "gpu_hours", "direct_kwh", "direct_usd", "direct_kgco2",
+                     "overhead_kgco2", "amortized_kgco2", "total_kgco2"});
+  for (const obs::AttributionUserRow& u : report.users) {
+    const double total_kg = u.direct.carbon.kilograms() + u.overhead.carbon.kilograms() +
+                            u.amortized.carbon.kilograms();
+    table.add(u.user, u.jobs, util::fmt_fixed(u.gpu_hours, 1),
+              util::fmt_fixed(u.direct.energy.kilowatt_hours(), 1),
+              util::fmt_fixed(u.direct.cost.dollars(), 2),
+              util::fmt_fixed(u.direct.carbon.kilograms(), 2),
+              util::fmt_fixed(u.overhead.carbon.kilograms(), 3),
+              util::fmt_fixed(u.amortized.carbon.kilograms(), 2),
+              util::fmt_fixed(total_kg, 2));
+  }
+  return table;
+}
+
+util::Table attribution_region_table(const obs::AttributionReport& report) {
+  util::Table table({"region", "direct_mwh", "overhead_mwh", "amortized_mwh",
+                     "unattrib_mwh", "direct_kgco2", "overhead_kgco2", "amortized_kgco2",
+                     "unattrib_kgco2"});
+  for (const obs::AttributionRegionRow& r : report.regions) {
+    table.add(r.region, util::fmt_fixed(r.direct.energy.megawatt_hours(), 2),
+              util::fmt_fixed(r.overhead.energy.megawatt_hours(), 4),
+              util::fmt_fixed(r.amortized.energy.megawatt_hours(), 2),
+              util::fmt_fixed(r.unattributed.energy.megawatt_hours(), 2),
+              util::fmt_fixed(r.direct.carbon.kilograms(), 1),
+              util::fmt_fixed(r.overhead.carbon.kilograms(), 3),
+              util::fmt_fixed(r.amortized.carbon.kilograms(), 1),
+              util::fmt_fixed(r.unattributed.carbon.kilograms(), 1));
+  }
+  table.add("total", util::fmt_fixed(report.direct_total.energy.megawatt_hours(), 2),
+            util::fmt_fixed(report.overhead_total.energy.megawatt_hours(), 4),
+            util::fmt_fixed(report.amortized_total.energy.megawatt_hours(), 2),
+            util::fmt_fixed(report.unattributed_total.energy.megawatt_hours(), 2),
+            util::fmt_fixed(report.direct_total.carbon.kilograms(), 1),
+            util::fmt_fixed(report.overhead_total.carbon.kilograms(), 3),
+            util::fmt_fixed(report.amortized_total.carbon.kilograms(), 1),
+            util::fmt_fixed(report.unattributed_total.carbon.kilograms(), 1));
+  return table;
+}
+
+}  // namespace greenhpc::telemetry

@@ -1,0 +1,25 @@
+#pragma once
+// Attribution report tables: the CLI-facing rendering of the flight
+// recorder's carbon attribution ledger (obs::AttributionLedger).
+//
+// The ledger itself lives in obs/ so the hot path can feed it nullably; this
+// module turns its report into the same util::Table surfaces the rest of the
+// telemetry layer prints, so `greenhpc_sim --attrib` can show a per-user
+// bill and a per-region decomposition next to the run summary tables.
+
+#include "obs/attribution.hpp"
+#include "util/table.hpp"
+
+namespace greenhpc::telemetry {
+
+/// user | jobs | gpu_hours | direct kWh/USD/kgCO2 | overhead kgCO2 |
+/// amortized kgCO2 | total kgCO2 — the Eq. 2 per-user bill, now with the
+/// infra overhead and idle/PUE amortization the accountant alone cannot see.
+[[nodiscard]] util::Table attribution_user_table(const obs::AttributionReport& report);
+
+/// region | direct/overhead/amortized/unattributed MWh and kgCO2 — where the
+/// fleet's footprint actually landed, including what no job can be billed
+/// for (idle base power with an empty cluster, battery arbitrage credits).
+[[nodiscard]] util::Table attribution_region_table(const obs::AttributionReport& report);
+
+}  // namespace greenhpc::telemetry

@@ -34,7 +34,16 @@ void append_metric_json(std::ostringstream& os, const MetricStats& m) {
   os << "{\"name\":\"" << json_escape(m.name) << "\",\"replicas\":" << m.replicas
      << ",\"mean\":" << json_number(m.mean) << ",\"stddev\":" << json_number(m.stddev)
      << ",\"ci95_half\":" << json_number(m.ci95_half) << ",\"min\":" << json_number(m.min)
-     << ",\"max\":" << json_number(m.max) << "}";
+     << ",\"max\":" << json_number(m.max);
+  if (!m.values.empty()) {
+    os << ",\"values\":[";
+    for (std::size_t i = 0; i < m.values.size(); ++i) {
+      if (i > 0) os << ",";
+      os << json_number(m.values[i]);
+    }
+    os << "]";
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -62,9 +71,12 @@ std::string experiment_csv(const std::vector<MetricStats>& metrics) {
 }
 
 std::string experiment_json(const std::string& scenario,
-                            const std::vector<MetricStats>& metrics) {
+                            const std::vector<MetricStats>& metrics,
+                            const std::string& manifest_json) {
   std::ostringstream os;
-  os << "{\"scenario\":\"" << json_escape(scenario) << "\",\"replicas\":"
+  os << "{";
+  if (!manifest_json.empty()) os << "\"manifest\":" << manifest_json << ",";
+  os << "\"scenario\":\"" << json_escape(scenario) << "\",\"replicas\":"
      << (metrics.empty() ? 0 : metrics.front().replicas) << ",\"metrics\":[";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     if (i > 0) os << ",";

@@ -24,6 +24,11 @@ struct MetricStats {
   double ci95_half = 0.0;  ///< half-width of the 95% CI on the mean
   double min = 0.0;
   double max = 0.0;
+  /// Per-replica values in seed order. When present in an exported JSON,
+  /// `tools/run_diff` pairs replicas by position for a paired-difference CI
+  /// (same seed ⇒ same workload ⇒ the pairing removes workload variance).
+  /// Empty when the producer did not retain the raw series.
+  std::vector<double> values;
 };
 
 /// "12.34 ± 0.56" (the ± column every CI-annotated table uses).
@@ -36,8 +41,12 @@ struct MetricStats {
 [[nodiscard]] std::string experiment_csv(const std::vector<MetricStats>& metrics);
 
 /// JSON document: {"scenario": ..., "replicas": N, "metrics": [{...}]}.
+/// `manifest_json`, when non-empty, must be a pre-rendered JSON object (an
+/// obs::RunManifest::to_json() string) and is embedded as a leading
+/// "manifest" key — telemetry stays layered below obs by taking text.
 [[nodiscard]] std::string experiment_json(const std::string& scenario,
-                                          const std::vector<MetricStats>& metrics);
+                                          const std::vector<MetricStats>& metrics,
+                                          const std::string& manifest_json = {});
 
 /// One sweep point: a scenario label plus its aggregated metrics.
 struct SweepPointStats {

@@ -357,7 +357,7 @@ TEST(Exports, FormatCi) {
 
 TEST(Exports, TableCsvAndJsonCarryTheStats) {
   std::vector<telemetry::MetricStats> stats(1);
-  stats[0] = {"co2_kg", 8, 100.0, 4.0, 3.34, 92.0, 106.0};
+  stats[0] = {"co2_kg", 8, 100.0, 4.0, 3.34, 92.0, 106.0, {}};
   EXPECT_EQ(telemetry::experiment_table(stats).row_count(), 1u);
   const std::string csv = telemetry::experiment_csv(stats);
   EXPECT_NE(csv.find("metric,replicas,mean,stddev,ci95_half,min,max"), std::string::npos);
@@ -370,8 +370,8 @@ TEST(Exports, TableCsvAndJsonCarryTheStats) {
 }
 
 TEST(Exports, SweepTableAlignsMetricsByName) {
-  telemetry::SweepPointStats a{"point_a", {{"co2_kg", 4, 10.0, 1.0, 0.5, 9.0, 11.0}}};
-  telemetry::SweepPointStats b{"point_b", {{"other", 4, 1.0, 0.1, 0.05, 0.9, 1.1}}};
+  telemetry::SweepPointStats a{"point_a", {{"co2_kg", 4, 10.0, 1.0, 0.5, 9.0, 11.0, {}}}};
+  telemetry::SweepPointStats b{"point_b", {{"other", 4, 1.0, 0.1, 0.05, 0.9, 1.1, {}}}};
   const util::Table table = telemetry::sweep_table({a, b}, {"co2_kg"});
   EXPECT_EQ(table.row_count(), 2u);
   const std::string csv = telemetry::sweep_csv({a, b});

@@ -33,6 +33,7 @@ TEST(Invariants, CompiledOutInReleaseBuilds) {
 #include "core/datacenter.hpp"
 #include "fleet/coordinator.hpp"
 #include "forecast/bank.hpp"
+#include "obs/recorder.hpp"
 #include "sched/scheduler.hpp"
 #include "telemetry/fleet.hpp"
 #include "util/units.hpp"
@@ -165,6 +166,52 @@ TEST(Invariants, FleetFootprintIdentityTrips) {
   } disarm;  // process-global seam: never leak into other tests
   telemetry::debug_skew_fleet_transfer(true);
   expect_violation([&] { fleet->check_invariants(); }, "fleet.footprint_identity");
+}
+
+// --- attribution ledger ------------------------------------------------------
+
+TEST(Invariants, CleanAttributedRunsPassEveryCheck) {
+  obs::FlightRecorderConfig rc;
+  rc.attribution = true;
+  obs::FlightRecorder recorder(rc);
+  auto dc = reference_twin();
+  dc->set_recorder(&recorder);
+  // The periodic hook inside step() exercises direct/residual identity all
+  // the way down; the direct calls re-validate the final state.
+  dc->run_until(util::TimePoint::from_seconds(2.0 * 86400.0));
+  EXPECT_NO_THROW(dc->check_invariants());
+
+  obs::FlightRecorder fleet_recorder(rc);
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->set_recorder(&fleet_recorder);
+  fleet->run_until(fleet->now() + util::days(1));
+  EXPECT_NO_THROW(fleet->check_invariants());
+}
+
+TEST(Invariants, AttributionDirectIdentityTrips) {
+  obs::FlightRecorderConfig rc;
+  rc.attribution = true;
+  obs::FlightRecorder recorder(rc);
+  auto dc = reference_twin();
+  dc->set_recorder(&recorder);
+  dc->run_until(util::TimePoint::from_seconds(86400.0));
+  EXPECT_NO_THROW(dc->check_invariants());
+  recorder.attribution().sink(0)->debug_skew_direct(util::kilowatt_hours(1.0));
+  expect_violation([&] { dc->check_invariants(); }, "attribution.direct_identity");
+}
+
+TEST(Invariants, AttributionConservationTrips) {
+  obs::FlightRecorderConfig rc;
+  rc.attribution = true;
+  obs::FlightRecorder recorder(rc);
+  auto fleet = fleet::make_reference_fleet_coordinator("carbon_forecast", 42, 3);
+  fleet->set_recorder(&recorder);
+  fleet->run_until(fleet->now() + util::days(1));
+  EXPECT_NO_THROW(fleet->check_invariants());
+  // Skew one region's direct total: the fleet-level headline identity
+  // (direct + overhead == accountant + transfer) must trip.
+  recorder.attribution().sink(1)->debug_skew_direct(util::kilowatt_hours(1.0));
+  expect_violation([&] { fleet->check_invariants(); }, "attribution.conservation");
 }
 
 TEST(Invariants, FleetPeriodicHookFiresInsideRunUntil) {

@@ -136,6 +136,33 @@ TEST(ParallelFleet, TraceAndMetricsBitIdentical) {
   EXPECT_EQ(par_metrics, serial_metrics);
 }
 
+TEST(ParallelFleet, AttributionExportBitIdentical) {
+  // The attribution threading contract: each region's sink is touched only
+  // by its owning shard between barriers, overhead billing stays in the
+  // serial phases, and reports fold sinks in region-index order — so the
+  // rendered artifact must be byte-identical across stepping widths.
+  const auto attributed_run = [](std::size_t step_jobs, util::ThreadPool* pool,
+                                 std::string* attrib) {
+    obs::FlightRecorderConfig rc;
+    rc.attribution = true;
+    obs::FlightRecorder recorder(rc);
+    const auto fleet = build_fleet(4, step_jobs, pool, /*migration=*/true);
+    fleet->set_recorder(&recorder);
+    fleet->run_until(fleet->now() + util::days(3));
+    fleet->drain_migrations();
+    *attrib = obs::attribution_csv(recorder.attribution().report());
+    return digest(fleet->summary());
+  };
+
+  std::string serial_attrib, par_attrib;
+  const std::string serial = attributed_run(1, nullptr, &serial_attrib);
+  util::ThreadPool pool(3);
+  const std::string parallel = attributed_run(3, &pool, &par_attrib);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_FALSE(serial_attrib.empty());
+  EXPECT_EQ(par_attrib, serial_attrib);
+}
+
 // --- shard planner -----------------------------------------------------------
 
 TEST(ShardByWeight, CoversEveryIndexExactlyOnce) {

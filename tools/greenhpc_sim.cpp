@@ -23,10 +23,12 @@
 //   greenhpc_sim --replicas 32 --jobs 8 --months 1
 //   greenhpc_sim --sweep router --replicas 16 --csv out/routers
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,8 +41,10 @@
 #include "fleet/forecast_router.hpp"
 #include "forecast/rolling.hpp"
 #include "migrate/planner.hpp"
+#include "obs/manifest.hpp"
 #include "obs/recorder.hpp"
 #include "sched/forecast_carbon.hpp"
+#include "telemetry/attribution.hpp"
 #include "telemetry/experiment.hpp"
 #include "telemetry/fleet.hpp"
 #include "telemetry/migration.hpp"
@@ -80,6 +84,7 @@ struct CliOptions {
   // Observability (single-run and fleet modes).
   std::string trace_file;    // empty = no decision/phase trace
   std::string metrics_file;  // empty = no per-step metrics export
+  std::string attrib_file;   // empty = no per-job attribution export
   int metrics_interval = 1;  // sample every Nth coordinator step
   obs::TraceDetail trace_detail = obs::TraceDetail::kChanges;
   // Experiment mode.
@@ -138,6 +143,11 @@ void print_usage() {
       "                     or summarize with trace_report\n"
       "  --metrics FILE     write per-step fleet/region metrics; .csv gets\n"
       "                     CSV, anything else JSONL\n"
+      "  --attrib FILE      write the per-job energy/CO2/cost attribution\n"
+      "                     ledger (direct + infra overhead + idle/PUE\n"
+      "                     amortization); .csv gets the full per-lineage\n"
+      "                     table, anything else the JSONL report; also\n"
+      "                     prints per-user and per-region bills\n"
       "  --metrics-interval N\n"
       "                     sample metrics every Nth step (default 1)\n"
       "  --trace-detail D   changes (default: re-record a queued job's\n"
@@ -280,6 +290,8 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.trace_file = *value;
       } else if (arg == "--metrics") {
         opts.metrics_file = *value;
+      } else if (arg == "--attrib") {
+        opts.attrib_file = *value;
       } else if (arg == "--metrics-interval") {
         opts.metrics_interval = std::stoi(*value);
         if (opts.metrics_interval < 1) throw std::invalid_argument("metrics-interval");
@@ -338,37 +350,100 @@ bool write_file(const std::string& path, const std::string& content) {
 /// neither was given (the uninstrumented path: subsystems see a null
 /// recorder and skip every observability touch).
 std::unique_ptr<obs::FlightRecorder> make_recorder(const CliOptions& opts) {
-  if (opts.trace_file.empty() && opts.metrics_file.empty()) return nullptr;
+  if (opts.trace_file.empty() && opts.metrics_file.empty() && opts.attrib_file.empty()) {
+    return nullptr;
+  }
   obs::FlightRecorderConfig config;
   config.trace = !opts.trace_file.empty();
   config.metrics = !opts.metrics_file.empty();
+  config.attribution = !opts.attrib_file.empty();
   config.metrics_interval = static_cast<std::size_t>(opts.metrics_interval);
   config.trace_detail = opts.trace_detail;
   return std::make_unique<obs::FlightRecorder>(config);
 }
 
-/// Writes whichever observability outputs the run collected. The metrics
-/// format follows the filename: `.csv` gets CSV, everything else JSONL.
-bool flush_recorder(const obs::FlightRecorder& recorder, const CliOptions& opts) {
+bool ends_with_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+/// The provenance header every export from this invocation carries. The
+/// caller fills region_names; wall_seconds is stamped at flush time.
+obs::RunManifest manifest_for(const CliOptions& opts) {
+  obs::RunManifest manifest = obs::make_manifest("greenhpc_sim");
+  std::ostringstream scenario;
+  if (opts.fleet_regions > 0) {
+    scenario << "fleet/r" << opts.fleet_regions << "/" << opts.router << "/"
+             << core::policy_name(opts.policy);
+    if (opts.migration_policy != "off") scenario << "/mig-" << opts.migration_policy;
+  } else {
+    scenario << "single/" << core::policy_name(opts.policy);
+  }
+  scenario << "/" << opts.start.label() << "+" << opts.months << "mo";
+  manifest.scenario = scenario.str();
+  manifest.seed = opts.seed;
+  manifest.regions = static_cast<std::size_t>(opts.fleet_regions);
+  return manifest;
+}
+
+/// Writes whichever observability outputs the run collected, each stamped
+/// with the run manifest. The metrics/attribution format follows the
+/// filename: `.csv` gets CSV, everything else JSONL. `reference` carries the
+/// fleet totals the attribution export re-checks conservation against (unused
+/// when --attrib was not given).
+bool flush_recorder(const obs::FlightRecorder& recorder, const CliOptions& opts,
+                    obs::RunManifest manifest, const obs::AttributionReference& reference) {
+  // Host wall-clock duration, measured by the recorder itself (its pid-99
+  // profiler lane already owns the wall clock).
+  manifest.wall_seconds = recorder.wall_us() * 1e-6;
   if (!opts.trace_file.empty()) {
-    std::ofstream out(opts.trace_file);
-    if (!out) {
-      std::cerr << "error: cannot write " << opts.trace_file << "\n";
-      return false;
-    }
-    recorder.trace().write(out);
+    std::ostringstream buffer;
+    // Export-time read of the merged trace, not event emission: the shards
+    // were already folded by the recorder.  det_lint: allow(raw-trace)
+    recorder.trace().write(buffer);
+    std::string text = buffer.str();
+    // Inject the manifest as a metadata event right after the opening "[\n"
+    // (the writer owns the brackets, so the header is spliced into its text).
+    const std::string manifest_line =
+        "{\"name\": \"run_manifest\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"manifest\": " +
+        // det_lint: allow(raw-trace)
+        manifest.to_json() + (recorder.trace().size() > 0 ? "},\n" : "}\n");
+    text.insert(2, manifest_line);
+    if (!write_file(opts.trace_file, text)) return false;
+    // det_lint: allow(raw-trace)
     std::cout << "wrote trace " << opts.trace_file << " (" << recorder.trace().size()
               << " events)\n";
   }
   if (!opts.metrics_file.empty()) {
-    const bool csv = opts.metrics_file.size() >= 4 &&
-                     opts.metrics_file.compare(opts.metrics_file.size() - 4, 4, ".csv") == 0;
-    if (!write_file(opts.metrics_file, csv ? recorder.metrics_csv() : recorder.metrics_jsonl())) {
-      return false;
-    }
+    const bool csv = ends_with_csv(opts.metrics_file);
+    const std::string header = csv ? "# manifest: " + manifest.to_json() + "\n"
+                                   : "{\"manifest\": " + manifest.to_json() + "}\n";
+    const std::string body = csv ? recorder.metrics_csv() : recorder.metrics_jsonl();
+    if (!write_file(opts.metrics_file, header + body)) return false;
     std::cout << "wrote metrics " << opts.metrics_file << "\n";
   }
+  if (!opts.attrib_file.empty() && recorder.attribution_on()) {
+    const obs::AttributionReport report = recorder.attribution().report();
+    const std::string body =
+        ends_with_csv(opts.attrib_file)
+            ? obs::attribution_csv(report, &manifest)
+            : obs::attribution_json(report, reference, &manifest);
+    if (!write_file(opts.attrib_file, body)) return false;
+    std::cout << "wrote attribution " << opts.attrib_file << " (" << report.jobs.size()
+              << " lineages)\n";
+  }
   return true;
+}
+
+/// Prints the per-user (and, in fleet mode, per-region) attribution bills.
+void print_attribution_tables(const obs::FlightRecorder& recorder, bool fleet_mode) {
+  if (!recorder.attribution_on()) return;
+  const obs::AttributionReport report = recorder.attribution().report();
+  std::cout << "\nattribution (per-user bill):\n"
+            << telemetry::attribution_user_table(report);
+  if (fleet_mode) {
+    std::cout << "\nattribution (per-region decomposition):\n"
+              << telemetry::attribution_region_table(report);
+  }
 }
 
 /// The scenario the non-experiment flags describe (used when --replicas is
@@ -421,8 +496,8 @@ int run_experiment(const CliOptions& opts) {
             << " worker(s), base seed " << opts.seed << "\n";
 
   if (opts.reports) std::cerr << "note: --reports is a single-run option; ignored here\n";
-  if (!opts.trace_file.empty() || !opts.metrics_file.empty()) {
-    std::cerr << "note: --trace/--metrics instrument a single run; ignored in "
+  if (!opts.trace_file.empty() || !opts.metrics_file.empty() || !opts.attrib_file.empty()) {
+    std::cerr << "note: --trace/--metrics/--attrib instrument a single run; ignored in "
                  "experiment mode\n";
   }
   if (!opts.sweep.empty() && !opts.scenario.empty()) {
@@ -470,15 +545,28 @@ int run_experiment(const CliOptions& opts) {
             << (spec.days > 0 ? std::to_string(spec.days) + " day(s)"
                               : std::to_string(spec.months) + " month(s)")
             << "\n\n";
+  // Wall clock by design: stamps the export manifest's host-side duration,
+  // never sim state.  det_lint: allow(wall-clock)
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<experiment::ReplicaResult> results = runner.run(spec);
+  const double wall_seconds =
+      // det_lint: allow(wall-clock)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   const std::vector<telemetry::MetricStats> stats = experiment::Aggregator::aggregate(results);
   std::cout << telemetry::experiment_table(stats);
   if (!opts.csv_prefix.empty()) {
-    if (!write_file(opts.csv_prefix + "_experiment.csv", telemetry::experiment_csv(stats))) {
+    obs::RunManifest manifest = obs::make_manifest("greenhpc_sim");
+    manifest.scenario = label;
+    manifest.seed = opts.seed;
+    manifest.regions = spec.mode == experiment::Mode::kFleet ? spec.region_count : 0;
+    manifest.wall_seconds = wall_seconds;
+    if (!write_file(opts.csv_prefix + "_experiment.csv",
+                    "# manifest: " + manifest.to_json() + "\n" +
+                        telemetry::experiment_csv(stats))) {
       return 1;
     }
     if (!write_file(opts.csv_prefix + "_experiment.json",
-                    telemetry::experiment_json(label, stats))) {
+                    telemetry::experiment_json(label, stats, manifest.to_json()))) {
       return 1;
     }
     std::cout << "\nwrote " << opts.csv_prefix << "_experiment.csv and " << opts.csv_prefix
@@ -532,7 +620,22 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   coordinator.run_until(first.start);  // warm-up
   coordinator.run_until(last.end);
   coordinator.drain_migrations(opts.drain_mode);  // never strand a checkpoint mid-pipe
-  if (recorder && !flush_recorder(*recorder, opts)) return 1;
+  if (recorder) {
+    obs::RunManifest manifest = manifest_for(opts);
+    for (const fleet::RegionProfile& profile : profiles) {
+      manifest.region_names.push_back(profile.name);
+    }
+    obs::AttributionReference reference;
+    if (recorder->attribution_on()) {
+      const telemetry::FleetRunSummary totals = coordinator.summary();
+      reference.grid = totals.total.grid_totals;
+      reference.transfer = totals.transfer;
+      for (std::size_t i = 0; i < coordinator.region_count(); ++i) {
+        reference.accountant += coordinator.region(i).accountant().totals();
+      }
+    }
+    if (!flush_recorder(*recorder, opts, std::move(manifest), reference)) return 1;
+  }
 
   const telemetry::FleetRunSummary summary = coordinator.summary();
   std::cout << "\nper-region:\n" << telemetry::fleet_region_table(summary);
@@ -565,6 +668,7 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
     std::cout << "\nrouter forecast skill (realized MAPE vs actuals):\n"
               << telemetry::forecast_skill_table(fr->skills());
   }
+  if (recorder) print_attribution_tables(*recorder, /*fleet_mode=*/true);
   return 0;
 }
 
@@ -603,7 +707,15 @@ int run_cli(const CliOptions& opts) {
 
   dc.run_until(first.start);  // warm-up
   dc.run_until(last.end);
-  if (recorder && !flush_recorder(*recorder, opts)) return 1;
+  if (recorder) {
+    obs::AttributionReference reference;
+    if (recorder->attribution_on()) {
+      reference.accountant = dc.accountant().totals();
+      reference.grid = dc.summary().grid_totals;
+      // No transfer ledger in single-site mode: the reference stays zero.
+    }
+    if (!flush_recorder(*recorder, opts, manifest_for(opts), reference)) return 1;
+  }
 
   // --- summary -------------------------------------------------------------
   const core::RunSummary s = dc.summary();
@@ -647,6 +759,7 @@ int run_cli(const CliOptions& opts) {
     const telemetry::ReportCard card(&dc.accountant());
     std::cout << "\n" << card.cluster_summary() << "\n" << card.user_leaderboard(10);
   }
+  if (recorder) print_attribution_tables(*recorder, /*fleet_mode=*/false);
 
   if (!opts.csv_prefix.empty()) {
     const telemetry::ReportCard card(&dc.accountant());

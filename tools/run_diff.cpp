@@ -1,0 +1,202 @@
+// run_diff — cross-run regression sentry.
+//
+// Loads two run artifacts (experiment JSON, attribution JSONL, metrics
+// JSONL, or a flat BENCH_PERF.json), matches series by name, and renders
+// per-metric deltas with a PASS/REGRESSION verdict. Where both sides carry
+// per-replica series (experiment "values" arrays), replicas are seed-paired
+// and the delta ships with a 95% CI on the paired mean — a drift smaller
+// than its own CI is noise, not regression.
+//
+// CI runs this as the bench-smoke sentry: the flagship scenario's fresh
+// attribution export is compared against the committed golden with a small
+// relative tolerance (cross-machine libm ULP headroom); any real change to
+// the simulated numbers must be acknowledged by regenerating the golden.
+//
+// usage:
+//   run_diff BASE CANDIDATE [options]     compare two artifacts
+//   run_diff --self-test                  verify the sentry catches a
+//                                         deliberately perturbed fixture
+// options:
+//   --rel-tol X        global relative tolerance (default 1e-6)
+//   --tol METRIC=X     per-metric tolerance override (repeatable)
+//   --json FILE        also write the machine-readable report
+//   --allow-missing    series present on only one side: note, don't fail
+//
+// exit status: 0 = pass, 1 = regression, 2 = usage/IO error.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/run_compare.hpp"
+
+namespace {
+
+using greenhpc::obs::ArtifactData;
+using greenhpc::obs::DiffOptions;
+using greenhpc::obs::DiffReport;
+
+void print_usage() {
+  std::cout << "run_diff — cross-run regression sentry\n\n"
+               "usage:\n"
+               "  run_diff BASE CANDIDATE [--rel-tol X] [--tol METRIC=X]...\n"
+               "           [--json FILE] [--allow-missing]\n"
+               "  run_diff --self-test\n"
+               "  run_diff --help\n";
+}
+
+ArtifactData load_path(const std::string& path, int& rc) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    rc = 2;
+    return {};
+  }
+  return greenhpc::obs::load_artifact(in);
+}
+
+ArtifactData load_text(const std::string& text) {
+  std::istringstream in(text);
+  return greenhpc::obs::load_artifact(in);
+}
+
+// --- self-test ---------------------------------------------------------------
+
+/// A small experiment artifact with seed-paired replica values.
+const char* kBaseFixture =
+    R"({"scenario":"selftest","replicas":4,"metrics":[)"
+    R"({"name":"co2_kg","replicas":4,"mean":25,"stddev":12.9,"ci95_half":20.5,"min":10,"max":40,"values":[10,20,30,40]},)"
+    R"({"name":"energy_mwh","replicas":4,"mean":100,"stddev":0,"ci95_half":0,"min":100,"max":100,"values":[100,100,100,100]}]})";
+
+/// Identical numbers: the sentry must pass.
+const char* kCleanFixture = kBaseFixture;
+
+/// energy_mwh shifted 1% in every replica: the sentry must fail.
+const char* kPerturbedFixture =
+    R"({"scenario":"selftest","replicas":4,"metrics":[)"
+    R"({"name":"co2_kg","replicas":4,"mean":25,"stddev":12.9,"ci95_half":20.5,"min":10,"max":40,"values":[10,20,30,40]},)"
+    R"({"name":"energy_mwh","replicas":4,"mean":101,"stddev":0,"ci95_half":0,"min":101,"max":101,"values":[101,101,101,101]}]})";
+
+/// co2_kg jittered per replica with a mean drift far inside the paired CI:
+/// rel-tol alone would flag it, the CI must absolve it.
+const char* kNoisyFixture =
+    R"({"scenario":"selftest","replicas":4,"metrics":[)"
+    R"({"name":"co2_kg","replicas":4,"mean":25.1,"stddev":12.8,"ci95_half":20.4,"min":10.5,"max":39.9,"values":[10.5,19.6,30.4,39.9]},)"
+    R"({"name":"energy_mwh","replicas":4,"mean":100,"stddev":0,"ci95_half":0,"min":100,"max":100,"values":[100,100,100,100]}]})";
+
+/// energy_mwh missing entirely: schema drift must fail.
+const char* kMissingFixture =
+    R"({"scenario":"selftest","replicas":4,"metrics":[)"
+    R"({"name":"co2_kg","replicas":4,"mean":25,"stddev":12.9,"ci95_half":20.5,"min":10,"max":40,"values":[10,20,30,40]}]})";
+
+int self_test() {
+  const ArtifactData base = load_text(kBaseFixture);
+  DiffOptions tight;
+  tight.rel_tol = 1e-3;
+  int failures = 0;
+  const auto expect = [&failures](const char* what, bool got, bool want) {
+    if (got != want) {
+      std::cerr << "self-test FAILED: " << what << " (regression=" << got << ", expected "
+                << want << ")\n";
+      ++failures;
+    } else {
+      std::cout << "self-test ok: " << what << "\n";
+    }
+  };
+
+  expect("identical artifacts pass",
+         diff_artifacts(base, load_text(kCleanFixture), tight).regression(), false);
+  expect("perturbed fixture is caught",
+         diff_artifacts(base, load_text(kPerturbedFixture), tight).regression(), true);
+  expect("paired CI absolves per-replica noise",
+         diff_artifacts(base, load_text(kNoisyFixture), tight).regression(), false);
+  expect("missing series is caught",
+         diff_artifacts(base, load_text(kMissingFixture), tight).regression(), true);
+
+  DiffOptions lax = tight;
+  lax.rel_tol = 0.1;
+  expect("loose tolerance forgives the perturbation",
+         diff_artifacts(base, load_text(kPerturbedFixture), lax).regression(), false);
+
+  DiffOptions per_metric = tight;
+  per_metric.per_metric["energy_mwh"] = 0.1;
+  expect("per-metric override forgives one series",
+         diff_artifacts(base, load_text(kPerturbedFixture), per_metric).regression(), false);
+
+  if (failures == 0) {
+    std::cout << "self-test passed (6 checks)\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    print_usage();
+    return argc < 2 ? 2 : 0;
+  }
+  if (std::string(argv[1]) == "--self-test") return self_test();
+  if (argc < 3) {
+    std::cerr << "error: need BASE and CANDIDATE artifacts (see --help)\n";
+    return 2;
+  }
+
+  DiffOptions options;
+  std::string json_path;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs an argument\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--rel-tol") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      options.rel_tol = std::strtod(v, nullptr);
+    } else if (arg == "--tol") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "error: --tol expects METRIC=VALUE, got '" << spec << "'\n";
+        return 2;
+      }
+      options.per_metric[spec.substr(0, eq)] = std::strtod(spec.c_str() + eq + 1, nullptr);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--allow-missing") {
+      options.fail_on_missing = false;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "' (see --help)\n";
+      return 2;
+    }
+  }
+
+  int rc = 0;
+  const ArtifactData base = load_path(argv[1], rc);
+  if (rc != 0) return rc;
+  const ArtifactData cand = load_path(argv[2], rc);
+  if (rc != 0) return rc;
+
+  const DiffReport report = greenhpc::obs::diff_artifacts(base, cand, options);
+  std::cout << greenhpc::obs::render_diff_markdown(report);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << greenhpc::obs::render_diff_json(report) << "\n";
+  }
+  return report.regression() ? 1 : 0;
+}

@@ -5,15 +5,22 @@
 //   trace_report --validate TRACE.json  parse only; exit 1 on schema errors
 //   trace_report --metrics FILE.jsonl   validate a metrics JSONL export;
 //                                       exit 1 on schema errors
+//   trace_report --attrib FILE.json     validate an attribution export:
+//                                       schema + conservation re-check
 //
 // The summary groups complete spans by name (the step-phase profile),
 // matched async spans by category (job.queue / job.run / migration pipes),
 // and counts every event kind — enough to sanity-check a run from a
-// terminal without loading Perfetto. CI's bench-smoke job runs the
-// --validate and --metrics modes against the flagship scenario's exports.
+// terminal without loading Perfetto. Validation modes also check the
+// embedded provenance manifest when one is present (schema version must
+// match this build's obs::kSchemaVersion); a manifest-less artifact only
+// warns, so pre-provenance files stay readable. CI's bench-smoke job runs
+// the --validate, --metrics, and --attrib modes against the flagship
+// scenario's exports.
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "obs/trace_report.hpp"
@@ -26,6 +33,7 @@ void print_usage() {
                "  trace_report TRACE.json             summarize a trace file\n"
                "  trace_report --validate TRACE.json  schema check only (exit 1 on errors)\n"
                "  trace_report --metrics FILE         validate a metrics JSONL export\n"
+               "  trace_report --attrib FILE          validate an attribution export\n"
                "  trace_report --help                 this text\n";
 }
 
@@ -38,6 +46,24 @@ int open_or_fail(const std::string& path, std::ifstream& in) {
   return 0;
 }
 
+void print_warnings(const std::vector<std::string>& warnings, const char* label) {
+  for (const std::string& w : warnings) std::cerr << label << " warning: " << w << "\n";
+}
+
+/// Validates the manifest embedded in raw artifact text: schema errors into
+/// `errors`, absence into `warnings`.
+void check_embedded_manifest(const std::string& text, std::vector<std::string>& errors,
+                             std::vector<std::string>& warnings) {
+  const std::string manifest = greenhpc::obs::extract_manifest_text(text);
+  if (manifest.empty()) {
+    warnings.push_back("no manifest header (pre-provenance artifact?)");
+    return;
+  }
+  for (std::string& e : greenhpc::obs::validate_manifest_text(manifest)) {
+    errors.push_back(std::move(e));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,19 +73,24 @@ int main(int argc, char** argv) {
   }
 
   const std::string first = argv[1];
-  if (first == "--metrics") {
+  if (first == "--metrics" || first == "--attrib") {
     if (argc < 3) {
-      std::cerr << "error: --metrics needs a file (see --help)\n";
+      std::cerr << "error: " << first << " needs a file (see --help)\n";
       return 2;
     }
+    const char* label = first == "--metrics" ? "metrics" : "attribution";
     std::ifstream in;
     if (const int rc = open_or_fail(argv[2], in)) return rc;
-    const std::vector<std::string> errors = greenhpc::obs::validate_metrics_jsonl(in);
+    std::vector<std::string> warnings;
+    const std::vector<std::string> errors =
+        first == "--metrics" ? greenhpc::obs::validate_metrics_jsonl(in, &warnings)
+                             : greenhpc::obs::validate_attribution_jsonl(in, &warnings);
+    print_warnings(warnings, label);
     if (errors.empty()) {
-      std::cout << "metrics ok: " << argv[2] << "\n";
+      std::cout << label << " ok: " << argv[2] << "\n";
       return 0;
     }
-    for (const std::string& e : errors) std::cerr << "metrics error: " << e << "\n";
+    for (const std::string& e : errors) std::cerr << label << " error: " << e << "\n";
     return 1;
   }
 
@@ -72,8 +103,16 @@ int main(int argc, char** argv) {
 
   std::ifstream in;
   if (const int rc = open_or_fail(path, in)) return rc;
-  const greenhpc::obs::TraceParseResult result = greenhpc::obs::summarize_trace(in);
+  greenhpc::obs::TraceParseResult result = greenhpc::obs::summarize_trace(in);
   if (validate_only) {
+    // Re-read for the manifest: the event parser skips nested objects, so
+    // the provenance header must be pulled from the raw text.
+    std::ifstream reread(path);
+    std::ostringstream buffer;
+    buffer << reread.rdbuf();
+    std::vector<std::string> warnings;
+    check_embedded_manifest(buffer.str(), result.errors, warnings);
+    print_warnings(warnings, "trace");
     if (result.ok()) {
       std::cout << "trace ok: " << path << " (" << result.events.size() << " events)\n";
       return 0;
