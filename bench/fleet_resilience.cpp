@@ -1,0 +1,184 @@
+// RESIL1 — CO2-saving retention under fault injection.
+//
+// The robustness question for this PR's fault subsystem: the migration
+// planner's carbon edge (MIGRATE1) was measured on a fault-free fleet. Real
+// fleets lose nodes, brown out, drop telemetry, and fail checkpoint
+// transfers mid-flight. Does mid-run migration still pay once the same
+// faults hammer both arms — or does the retry/abandon machinery burn the
+// savings it was built to protect?
+//
+// Seed-paired Monte-Carlo sweep over fault intensity (same replica seed =>
+// same arrival stream, same regional environments, and — because fault
+// streams are keyed off the run seed, not the policy — the same fault
+// timeline under either policy):
+//
+//   admission-only:  4-region fleet, carbon_forecast routing, faults on,
+//                    jobs pinned to their region for life
+//   migration-on:    identical, plus the carbon MigrationPlanner (faulted
+//                    links, bounded retries, abandon-in-place)
+//
+// Retention = saving(intensity) / saving(fault-free), per intensity row.
+//
+// Acceptance (the ISSUE 10 bar):
+//   - at moderate intensity (x1.0) migration-on keeps a CO2 edge on
+//     >= 15/20 paired seeds with positive mean saving,
+//   - delivered GPU-hours stay within 5% between the arms at every
+//     intensity (degradation must not buy carbon with throughput).
+//
+// Flags (for the CI bench-smoke job): --replicas N (default 20), --days D
+// (default 0 = one full month), --intensity X (extra sweep point).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "experiment/aggregator.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/scenario.hpp"
+#include "telemetry/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace greenhpc;
+
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 42;
+constexpr double kModerate = 1.0;  // the intensity the verdict gates on
+
+struct Options {
+  std::size_t replicas = 20;
+  int days = 0;  // 0 = a full month
+  std::vector<double> intensities{0.0, 0.5, kModerate, 2.0};
+};
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--replicas" && i + 1 < argc) {
+      const int replicas = std::atoi(argv[++i]);
+      if (replicas < 2) {
+        std::cerr << "error: --replicas must be >= 2\n";
+        std::exit(2);
+      }
+      opts.replicas = static_cast<std::size_t>(replicas);
+    } else if (arg == "--days" && i + 1 < argc) {
+      opts.days = std::atoi(argv[++i]);
+      if (opts.days < 0) {
+        std::cerr << "error: --days must be >= 0\n";
+        std::exit(2);
+      }
+    } else if (arg == "--intensity" && i + 1 < argc) {
+      const double intensity = std::atof(argv[++i]);
+      if (intensity < 0.0) {
+        std::cerr << "error: --intensity must be >= 0\n";
+        std::exit(2);
+      }
+      opts.intensities.push_back(intensity);
+    } else {
+      std::cerr << "usage: fleet_resilience [--replicas N] [--days D] [--intensity X]\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+struct IntensityRow {
+  double intensity = 0.0;
+  telemetry::MetricStats saved;  ///< per-seed CO2 saving, percent
+  std::size_t paired_wins = 0;
+  double hours_ratio = 0.0;  ///< migration-on / admission-only GPU-hours
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse(argc, argv);
+  util::print_banner(std::cout, "RESIL1: CO2-saving retention under fault injection");
+  std::cout << opts.replicas << " seed-paired replicas per (policy, intensity), base seed "
+            << kBaseSeed << "\n\n";
+
+  // Same window as MIGRATE1 — hot July fleet under pressure — so the
+  // fault-free row here reproduces that bench's headline saving.
+  experiment::ScenarioSpec base;
+  base.name = "fleet_resilience_bench";
+  base.mode = experiment::Mode::kFleet;
+  base.router = "carbon_forecast";
+  base.start = {2021, 7};
+  base.rate_per_hour = 14.0;
+  if (opts.days > 0) {
+    base.days = opts.days;
+    base.warmup_days = 2;
+  }
+
+  const experiment::ReplicaRunner runner({opts.replicas, kBaseSeed, 0});
+  std::vector<IntensityRow> rows;
+  for (const double intensity : opts.intensities) {
+    experiment::ScenarioSpec stay = base;
+    stay.faults = intensity > 0.0 ? "default" : "off";
+    stay.fault_intensity = intensity > 0.0 ? intensity : 1.0;
+    stay.migration_policy = "off";
+    experiment::ScenarioSpec move = stay;
+    move.migration_policy = "carbon";
+
+    const std::vector<experiment::ReplicaResult> stay_runs = runner.run(stay);
+    const std::vector<experiment::ReplicaResult> move_runs = runner.run(move);
+
+    IntensityRow row;
+    row.intensity = intensity;
+    std::vector<double> saved_pct;
+    double stay_hours = 0.0, move_hours = 0.0;
+    for (std::size_t k = 0; k < stay_runs.size(); ++k) {
+      const double stay_co2 = stay_runs[k].run.grid_totals.carbon.kilograms();
+      const double move_co2 = move_runs[k].run.grid_totals.carbon.kilograms();
+      saved_pct.push_back(100.0 * (1.0 - move_co2 / stay_co2));
+      if (move_co2 <= stay_co2) ++row.paired_wins;
+      stay_hours += stay_runs[k].run.completed_gpu_hours;
+      move_hours += move_runs[k].run.completed_gpu_hours;
+    }
+    row.saved = experiment::Aggregator::fold("saved_pct", saved_pct);
+    row.hours_ratio = stay_hours > 0.0 ? move_hours / stay_hours : 0.0;
+    rows.push_back(row);
+  }
+
+  const double baseline_saving = rows.front().saved.mean;  // intensity 0 row
+  util::Table table({"fault_intensity", "co2_saved_pct (mean ± 95% CI)", "retention_pct",
+                     "paired_wins", "gpu_hours_ratio"});
+  for (const IntensityRow& row : rows) {
+    const double retention =
+        baseline_saving > 0.0 ? 100.0 * row.saved.mean / baseline_saving : 0.0;
+    table.add(row.intensity > 0.0 ? "x" + util::fmt_fixed(row.intensity, 2) : "fault-free",
+              telemetry::fmt_ci(row.saved.mean, row.saved.ci95_half, 3),
+              row.intensity > 0.0 ? util::fmt_fixed(retention, 1) : "-",
+              std::to_string(row.paired_wins) + "/" + std::to_string(opts.replicas),
+              util::fmt_fixed(row.hours_ratio, 4));
+  }
+  std::cout << table << "\n";
+
+  const IntensityRow* moderate = nullptr;
+  for (const IntensityRow& row : rows) {
+    if (row.intensity == kModerate) moderate = &row;
+  }
+  if (moderate == nullptr) {
+    std::cout << "PASS (vacuous): no moderate-intensity (x1.0) row in the sweep\n";
+    return 0;
+  }
+
+  // The verdict: the migration edge must survive moderate fault weather on
+  // a solid majority of seeds, without throughput divergence anywhere.
+  const bool majority_holds = 4 * moderate->paired_wins >= 3 * opts.replicas;
+  const bool saving_positive = moderate->saved.mean > 0.0;
+  bool hours_equal = true;
+  for (const IntensityRow& row : rows) {
+    hours_equal = hours_equal && row.hours_ratio > 0.95 && row.hours_ratio < 1.05;
+  }
+  const bool pass = majority_holds && saving_positive && hours_equal;
+  std::cout << (pass ? "PASS" : "FAIL") << ": at x1.0 intensity migration-on wins "
+            << moderate->paired_wins << "/" << opts.replicas
+            << (majority_holds ? " (majority)" : " (NO majority)") << ", mean saving "
+            << util::fmt_fixed(moderate->saved.mean, 3) << "%"
+            << (saving_positive ? "" : " (NOT positive)") << "; GPU-hours "
+            << (hours_equal ? "within" : "OUTSIDE") << " 5% at every intensity\n";
+  return pass ? 0 : 1;
+}

@@ -107,8 +107,8 @@ util::Power Cluster::job_gpu_power(JobId job) const {
 }
 
 void Cluster::set_enabled_nodes(int count) {
-  require(count >= 0 && count <= spec_.node_count,
-          "Cluster::set_enabled_nodes: count out of range");
+  require(count >= 0, "Cluster::set_enabled_nodes: count must be >= 0");
+  count = std::min(count, spec_.node_count);
   // Refuse to power off nodes that still hold allocations.
   for (int n = count; n < spec_.node_count; ++n) {
     require(nodes_[static_cast<std::size_t>(n)].busy == 0,
@@ -150,6 +150,10 @@ void Cluster::check_invariants() const {
                         "free " + std::to_string(free_gpus()) + " + busy " +
                             std::to_string(busy_gpus()) + " != total " +
                             std::to_string(total_gpus()));
+  util::check_invariant(enabled_nodes_ >= 0 && enabled_nodes_ <= spec_.node_count,
+                        "cluster.enabled_bounds",
+                        "enabled nodes " + std::to_string(enabled_nodes_) + " outside [0, " +
+                            std::to_string(spec_.node_count) + "]");
   for (int n = enabled_nodes_; n < spec_.node_count; ++n) {
     util::check_invariant(nodes_[static_cast<std::size_t>(n)].busy == 0,
                           "cluster.disabled_idle",

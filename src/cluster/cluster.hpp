@@ -89,8 +89,10 @@ class Cluster {
   /// Busy board power for one of the job's GPUs under its effective cap.
   [[nodiscard]] util::Power job_gpu_power(JobId job) const;
 
-  /// Enables only the first `count` nodes (q_s supply knob). Nodes holding
-  /// allocations cannot be disabled; throws if asked to.
+  /// Enables only the first `count` nodes (q_s supply knob and the fault
+  /// layer's node-loss seam). Counts above the node total clamp to it;
+  /// negative counts throw. Nodes holding allocations cannot be disabled;
+  /// throws if asked to — preempt their jobs first.
   void set_enabled_nodes(int count);
   [[nodiscard]] int enabled_nodes() const { return enabled_nodes_; }
 
@@ -120,6 +122,7 @@ class Cluster {
   ///   cluster.busy_recount     busy_total_ == per-node recount == sum of
   ///                            allocation slices
   ///   cluster.free_busy_total  free + busy == total among enabled nodes
+  ///   cluster.enabled_bounds   enabled node count within [0, node_count]
   ///   cluster.disabled_idle    disabled nodes hold no GPUs
   void check_invariants() const;
 

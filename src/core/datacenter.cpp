@@ -134,6 +134,11 @@ Datacenter::PreemptedJob Datacenter::preempt(cluster::JobId id) {
   // snapshot represents the whole lineage's progress, not just this site's.
   snapshot.work_done_gpu_seconds = job.work_done() + take_migration_credit(id);
   snapshot.work_remaining_gpu_seconds = job.work_remaining();
+  // Globally unique stamp (site seed scrambled with a per-site sequence) so
+  // resume() can reject the same snapshot twice even after migrating.
+  snapshot.snapshot_id =
+      util::SplitMix64(config_.seed + 0x9E3779B97F4A7C15ULL * ++snapshot_seq_).next();
+  if (snapshot.snapshot_id == 0) snapshot.snapshot_id = 1;
   cluster_.release(id);
   job.migrate_out(sim_.now());
   if (ctr_migrated_out_ != nullptr) ctr_migrated_out_->add();
@@ -148,6 +153,11 @@ Datacenter::PreemptedJob Datacenter::preempt(cluster::JobId id) {
 cluster::JobId Datacenter::resume(const PreemptedJob& snapshot) {
   require(snapshot.work_remaining_gpu_seconds > 0.0,
           "Datacenter::resume: snapshot has no work remaining");
+  if (snapshot.snapshot_id != 0) {
+    // Double-spend guard: banked progress may be restarted exactly once.
+    require(resumed_snapshots_.insert(snapshot.snapshot_id).second,
+            "Datacenter::resume: snapshot already resumed");
+  }
   cluster::JobRequest request = snapshot.request;
   request.work_gpu_seconds = snapshot.work_remaining_gpu_seconds;
   if (request.deadline && !(*request.deadline > sim_.now())) {
@@ -165,6 +175,29 @@ cluster::JobId Datacenter::resume(const PreemptedJob& snapshot) {
     migration_credit_[id] = snapshot.work_done_gpu_seconds;
   }
   return id;
+}
+
+std::size_t Datacenter::resize_enabled_nodes(int count) {
+  count = std::clamp(count, 0, cluster_.spec().node_count);
+  // Victims: running jobs with at least one GPU slice on a node being
+  // disabled. Collected first — preempting mutates the allocation list.
+  std::vector<cluster::JobId> victims;
+  for (const cluster::Allocation& alloc : cluster_.allocations()) {
+    for (const cluster::AllocationSlice& slice : alloc.slices) {
+      if (slice.node >= count) {
+        victims.push_back(alloc.job);
+        break;
+      }
+    }
+  }
+  for (const cluster::JobId id : victims) {
+    // Kill-and-requeue from checkpoint: the snapshot banks the lineage's
+    // progress and the remainder re-enters this site's queue immediately.
+    resume(preempt(id));
+  }
+  jobs_requeued_ += victims.size();
+  cluster_.set_enabled_nodes(count);
+  return victims.size();
 }
 
 double Datacenter::take_migration_credit(cluster::JobId id) {
@@ -258,7 +291,9 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
     ctx.explain = &sched_explain_;
   }
 
-  cluster_.set_power_cap(scheduler_->choose_cap(ctx));
+  util::Power cap = scheduler_->choose_cap(ctx);
+  if (fault_power_cap_) cap = std::min(cap, *fault_power_cap_);
+  cluster_.set_power_cap(cap);
 
   const std::vector<cluster::JobId> starts = scheduler_->select(ctx);
   started_scratch_.clear();
@@ -268,8 +303,8 @@ void Datacenter::run_scheduler(util::TimePoint t, const sched::GridSignals& sign
     if (!alloc) continue;  // defensive: scheduler overcommitted; skip
     job.start(t);
     if (job_cap_policy_) {
-      if (const std::optional<util::Power> cap = job_cap_policy_(job)) {
-        cluster_.set_job_cap(id, *cap);
+      if (const std::optional<util::Power> job_cap = job_cap_policy_(job)) {
+        cluster_.set_job_cap(id, *job_cap);
       }
     }
     const double wait_hours = (t - job.submit_time()).hours();

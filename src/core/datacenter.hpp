@@ -150,6 +150,9 @@ class Datacenter {
     /// sites it already migrated through).
     double work_done_gpu_seconds = 0.0;
     double work_remaining_gpu_seconds = 0.0;
+    /// Stamped by preempt(); lets resume() reject the same snapshot twice
+    /// (a double-spend of banked progress). 0 means hand-built/untracked.
+    std::uint64_t snapshot_id = 0;
   };
 
   /// Checkpoint-and-release: frees the job's GPUs, marks it migrated
@@ -173,6 +176,26 @@ class Datacenter {
   [[nodiscard]] std::size_t pending_migration_credits() const {
     return migration_credit_.size();
   }
+
+  // --- fault hooks (driven by fault::FaultInjector via the coordinator) ------
+
+  /// Node-loss seam: kills every running job holding GPUs on nodes at or
+  /// beyond `count` (checkpoint-and-requeue — each victim is preempted and
+  /// immediately resumed into this site's queue with its banked progress
+  /// intact), then disables those nodes. Repair is the same call with a
+  /// larger count. Returns the number of jobs requeued.
+  std::size_t resize_enabled_nodes(int count);
+
+  /// Locally restarted jobs from resize_enabled_nodes, cumulative. Each adds
+  /// one registry entry without a fleet routing decision, so the fleet's
+  /// work-conservation invariant counts these separately.
+  [[nodiscard]] std::size_t jobs_requeued() const { return jobs_requeued_; }
+
+  /// External power ceiling (brownout/blackout fault windows). Composes with
+  /// the scheduler's own cap by minimum each step; nullopt (the default)
+  /// restores scheduler-only capping.
+  void set_fault_power_cap(std::optional<util::Power> cap) { fault_power_cap_ = cap; }
+  [[nodiscard]] std::optional<util::Power> fault_power_cap() const { return fault_power_cap_; }
 
   /// Runs the twin from its current time to `end`.
   void run_until(util::TimePoint end);
@@ -274,6 +297,12 @@ class Datacenter {
   cluster::JobRegistry jobs_;
   /// Lineage progress carried by migrated-in jobs, credited at completion.
   std::unordered_map<cluster::JobId, double> migration_credit_;
+  /// Snapshot ids already resumed at this site (double-resume rejection).
+  std::unordered_set<std::uint64_t> resumed_snapshots_;
+  std::uint64_t snapshot_seq_ = 0;  ///< feeds preempt()'s snapshot_id stamps
+  std::size_t jobs_requeued_ = 0;   ///< node-fault kill-and-requeue restarts
+  /// Fault-layer power ceiling; min-composed with the scheduler's cap.
+  std::optional<util::Power> fault_power_cap_;
   std::vector<cluster::JobId> queue_;
   int queued_gpu_demand_ = 0;  ///< sum of queue_ jobs' GPU requests
   /// Per-GPU-class index over queue_, maintained on submit/dispatch so

@@ -57,6 +57,11 @@ std::string ScenarioSpec::label() const {
     if (migration_policy != "off") {
       out += "/mig-" + migration_policy;
       if (checkpoint_cost != 1.0) out += "/ckpt" + util::fmt_fixed(checkpoint_cost, 1);
+      if (max_in_flight != 4) out += "/pipe" + std::to_string(max_in_flight);
+    }
+    if (faults != "off") {
+      out += "/faults-" + faults;
+      if (fault_intensity != 1.0) out += "/fi" + util::fmt_fixed(fault_intensity, 2);
     }
   }
   if (flexible_scale != 1.0) out += "/flex" + util::fmt_fixed(flexible_scale, 1);
@@ -88,11 +93,17 @@ void ScenarioSpec::validate() const {
           "ScenarioSpec: unknown migration policy (" +
               std::string(migrate::migration_policy_names()) + ")");
   require(checkpoint_cost > 0.0, "ScenarioSpec: checkpoint_cost must be positive");
+  require(max_in_flight >= 1, "ScenarioSpec: max_in_flight must be >= 1");
+  require(fault::fault_plan_from_name(faults).has_value(),
+          "ScenarioSpec: unknown fault plan (" + std::string(fault::fault_plan_names()) + ")");
+  require(fault_intensity >= 0.0, "ScenarioSpec: fault_intensity must be >= 0");
   if (mode == Mode::kSingleSite) {
     require(!power_cap_w || *power_cap_w > 0.0, "ScenarioSpec: power cap must be positive");
     require(!battery_kwh || *battery_kwh > 0.0, "ScenarioSpec: battery must be positive");
     require(migration_policy == "off",
             "ScenarioSpec: migration needs a fleet (single-site jobs have nowhere to go)");
+    require(faults == "off",
+            "ScenarioSpec: fault injection targets the fleet step loop (use fleet mode)");
   } else {
     require(region_count >= 1 && region_count <= 512,
             "ScenarioSpec: region_count must be 1..512");
@@ -169,8 +180,10 @@ std::unique_ptr<fleet::FleetCoordinator> make_fleet(const ScenarioSpec& spec,
   config.transfer_energy_per_job = util::kilowatt_hours(spec.transfer_kwh_per_job);
   config.migration.objective = *migrate::migration_objective_from_name(spec.migration_policy);
   config.migration.checkpoint.cost_scale = spec.checkpoint_cost;
+  config.migration.max_in_flight = static_cast<std::size_t>(spec.max_in_flight);
   config.migration.forecaster.model = spec.forecast_model;
   config.migration.forecaster.horizon = util::hours(spec.forecast_horizon_hours);
+  config.faults = fault::fault_plan_from_name(spec.faults)->scaled(spec.fault_intensity);
 
   const core::PolicyKind policy = spec.scheduler;
   const core::ForecastControls forecast{spec.forecast_model,

@@ -68,6 +68,18 @@ struct ScenarioSpec {
   /// Multiplier on the checkpoint size (and thus every snapshot/ship/restore
   /// time and energy cost); 1.0 = the reference 12 GB/GPU model.
   double checkpoint_cost = 1.0;
+  /// Transfer-pipe width (MigrationConfig::max_in_flight): how many
+  /// checkpoints may be in flight (including ones waiting out a retry
+  /// backoff) at once.
+  int max_in_flight = 4;
+
+  // --- fault injection (fleet mode only) -------------------------------------
+  /// fault::fault_plan_from_name name: "off" (default) or "default". The
+  /// zero-fault path constructs no injector and stays bit-identical.
+  std::string faults = "off";
+  /// Multiplier on every fault rate/probability in the named plan (the
+  /// resilience sweep's intensity axis); 1.0 = the plan as named.
+  double fault_intensity = 1.0;
 
   // --- forecast controls (predictive scheduler/routers only) ----------------
   /// forecast::make_model name driving forecast_carbon / *_forecast policies.

@@ -1,0 +1,130 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace greenhpc::fault {
+namespace {
+
+/// Stream seed for (run seed, region, kind): a SplitMix64 scramble of the
+/// tuple so neighboring regions and kinds land on unrelated streams.
+std::uint64_t stream_seed(std::uint64_t seed, std::size_t region, FaultKind kind) {
+  util::SplitMix64 mix(seed ^ (0xFA017BA5EULL + static_cast<std::uint64_t>(region) * 0x9E3779B97F4A7C15ULL +
+                               static_cast<std::uint64_t>(kind) * 0x100000001B3ULL));
+  return mix.next();
+}
+
+/// Per-step window-arrival probability for a per-region-day rate. Step sizes
+/// are small (minutes) so the linear form is within rounding of 1 - e^-rt.
+double step_probability(double per_day_rate, util::Duration dt) {
+  return std::clamp(per_day_rate * (dt.seconds() / 86400.0), 0.0, 1.0);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeFailure: return "node_failure";
+    case FaultKind::kBlackout: return "blackout";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kTelemetryDropout: return "telemetry_dropout";
+    case FaultKind::kLink: return "link";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::vector<int> node_counts)
+    : plan_(plan) {
+  plan_.validate();
+  util::require(!node_counts.empty(), "FaultInjector: need at least one region");
+  regions_.resize(node_counts.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    util::require(node_counts[i] > 0, "FaultInjector: region node count must be positive");
+    RegionState& r = regions_[i];
+    r.node_count = node_counts[i];
+    r.node_rng = util::Rng(stream_seed(seed, i, FaultKind::kNodeFailure));
+    r.blackout_rng = util::Rng(stream_seed(seed, i, FaultKind::kBlackout));
+    r.brownout_rng = util::Rng(stream_seed(seed, i, FaultKind::kBrownout));
+    r.dropout_rng = util::Rng(stream_seed(seed, i, FaultKind::kTelemetryDropout));
+  }
+  link_rng_ = util::Rng(stream_seed(seed, regions_.size(), FaultKind::kLink));
+}
+
+FaultInjector::Events FaultInjector::begin_step(util::TimePoint t, util::Duration dt) {
+  Events events;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    RegionState& r = regions_[i];
+
+    if (r.nodes_down > 0 && t >= r.node_repair_at) {
+      r.nodes_down = 0;
+      events.node_repairs.push_back(i);
+    }
+    if (r.nodes_down == 0 && r.node_count >= 2 &&
+        r.node_rng.bernoulli(step_probability(plan_.node_fail_per_region_day, dt))) {
+      const int lost = std::clamp(
+          static_cast<int>(std::lround(plan_.node_fail_fraction * r.node_count)), 1,
+          r.node_count - 1);  // never take the whole region down; blackouts model that
+      r.nodes_down = lost;
+      r.node_repair_at = t + plan_.node_repair;
+      events.node_failures.push_back({i, lost, r.node_repair_at});
+    }
+
+    if (r.blackout && t >= r.blackout_until) {
+      r.blackout = false;
+      events.blackout_ends.push_back(i);
+    }
+    if (!r.blackout &&
+        r.blackout_rng.bernoulli(step_probability(plan_.blackout_per_region_day, dt))) {
+      r.blackout = true;
+      r.blackout_until = t + plan_.blackout_duration;
+      events.blackout_begins.push_back(i);
+    }
+
+    if (r.brownout && t >= r.brownout_until) {
+      r.brownout = false;
+      events.brownout_ends.push_back(i);
+    }
+    if (!r.brownout &&
+        r.brownout_rng.bernoulli(step_probability(plan_.brownout_per_region_day, dt))) {
+      r.brownout = true;
+      r.brownout_until = t + plan_.brownout_duration;
+      events.brownout_begins.push_back(i);
+    }
+
+    if (r.dropout && t >= r.dropout_until) {
+      r.dropout = false;
+      events.dropout_ends.push_back(i);
+    }
+    if (!r.dropout &&
+        r.dropout_rng.bernoulli(step_probability(plan_.dropout_per_region_day, dt))) {
+      r.dropout = true;
+      r.dropout_until = t + plan_.dropout_duration;
+      events.dropout_begins.push_back(i);
+    }
+  }
+  return events;
+}
+
+bool FaultInjector::admit_ok(std::size_t region) const { return !regions_[region].blackout; }
+
+bool FaultInjector::telemetry_ok(std::size_t region) const { return !regions_[region].dropout; }
+
+bool FaultInjector::brownout_active(std::size_t region) const { return regions_[region].brownout; }
+
+int FaultInjector::nodes_down(std::size_t region) const { return regions_[region].nodes_down; }
+
+int FaultInjector::total_nodes_down() const {
+  int down = 0;
+  for (const RegionState& r : regions_) down += r.nodes_down;
+  return down;
+}
+
+std::size_t FaultInjector::regions_blacked_out() const {
+  std::size_t out = 0;
+  for (const RegionState& r : regions_) out += r.blackout ? 1 : 0;
+  return out;
+}
+
+}  // namespace greenhpc::fault

@@ -1,0 +1,131 @@
+#pragma once
+// Deterministic, seeded fault injection for the fleet step loop.
+//
+// The injector owns one SplitMix64-seeded stream per (region, fault kind)
+// plus a fleet-wide stream for migration-link faults, all keyed off the run
+// seed — so fault timelines are a pure function of (seed, plan) and are
+// independent of routing policy, migration policy, and region-parallel
+// stepping width. All draws happen from the coordinator's serial phases and
+// advance with simulated time only; a run with `plan.enabled == false` never
+// constructs an injector, keeping the zero-fault path bit-identical to a
+// build without the fault layer.
+//
+// Window model: at most one open window per region per family. begin_step
+// first closes windows that expired, then draws Bernoulli(rate * dt) for
+// regions with no open window. The returned Events list is what changed this
+// step; current state is queried via admit_ok / telemetry_ok / nodes_down /
+// brownout_active.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/calendar.hpp"
+#include "util/rng.hpp"
+
+namespace greenhpc::fault {
+
+/// Fault families, used to key the per-region RNG streams.
+enum class FaultKind : std::uint8_t {
+  kNodeFailure = 0,
+  kBlackout,
+  kBrownout,
+  kTelemetryDropout,
+  kLink,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// Recovery bookkeeping across all families: the coordinator owns one of
+/// these and feeds it from injector events plus the degradation paths.
+struct FaultStats {
+  std::size_t node_failures = 0;
+  std::size_t blackouts = 0;
+  std::size_t brownouts = 0;
+  std::size_t dropouts = 0;
+  std::size_t jobs_requeued = 0;       ///< kill-and-requeue restarts from node loss
+  std::size_t link_stalls = 0;         ///< in-flight transfers delayed
+  std::size_t link_failures = 0;       ///< in-flight transfers failed
+  std::size_t migration_retries = 0;   ///< failed transfers relaunched
+  std::size_t migrations_abandoned = 0;///< retry budget exhausted, resumed at source
+  double capacity_gpu_hours_lost = 0.0;///< nodes_lost x GPUs x outage hours
+  double repair_hours = 0.0;           ///< summed node-failure outage durations
+
+  /// Mean time to repair across node-failure incidents, in hours.
+  [[nodiscard]] double mttr_hours() const {
+    return node_failures == 0 ? 0.0 : repair_hours / static_cast<double>(node_failures);
+  }
+};
+
+class FaultInjector {
+ public:
+  struct NodeFailure {
+    std::size_t region = 0;
+    int nodes_lost = 0;
+    util::TimePoint repair;
+  };
+
+  /// What changed during one begin_step call, in region-index order.
+  struct Events {
+    std::vector<NodeFailure> node_failures;
+    std::vector<std::size_t> node_repairs;
+    std::vector<std::size_t> blackout_begins;
+    std::vector<std::size_t> blackout_ends;
+    std::vector<std::size_t> brownout_begins;
+    std::vector<std::size_t> brownout_ends;
+    std::vector<std::size_t> dropout_begins;
+    std::vector<std::size_t> dropout_ends;
+
+    [[nodiscard]] bool empty() const {
+      return node_failures.empty() && node_repairs.empty() && blackout_begins.empty() &&
+             blackout_ends.empty() && brownout_begins.empty() && brownout_ends.empty() &&
+             dropout_begins.empty() && dropout_ends.empty();
+    }
+  };
+
+  /// `node_counts[i]` is region i's total node count (sizes node-loss draws).
+  FaultInjector(FaultPlan plan, std::uint64_t seed, std::vector<int> node_counts);
+
+  /// Advance fault windows across one lockstep step ending at t + dt.
+  /// Serial-phase only; draws once per region per family at most.
+  Events begin_step(util::TimePoint t, util::Duration dt);
+
+  // -- current state, valid until the next begin_step ------------------------
+  [[nodiscard]] bool admit_ok(std::size_t region) const;      ///< false during a blackout
+  [[nodiscard]] bool telemetry_ok(std::size_t region) const;  ///< false during a dropout
+  [[nodiscard]] bool brownout_active(std::size_t region) const;
+  [[nodiscard]] int nodes_down(std::size_t region) const;
+  [[nodiscard]] int total_nodes_down() const;
+  [[nodiscard]] std::size_t regions_blacked_out() const;
+
+  // -- migration-link draws: call once per in-flight transfer per step, in
+  //    deque order, so the stream stays deterministic.
+  [[nodiscard]] bool draw_link_stall() { return link_rng_.bernoulli(plan_.link_stall_prob); }
+  [[nodiscard]] bool draw_link_fail() { return link_rng_.bernoulli(plan_.link_fail_prob); }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  struct RegionState {
+    int node_count = 0;
+    int nodes_down = 0;
+    util::TimePoint node_repair_at;
+    bool blackout = false;
+    util::TimePoint blackout_until;
+    bool brownout = false;
+    util::TimePoint brownout_until;
+    bool dropout = false;
+    util::TimePoint dropout_until;
+    util::Rng node_rng{0};
+    util::Rng blackout_rng{0};
+    util::Rng brownout_rng{0};
+    util::Rng dropout_rng{0};
+  };
+
+  FaultPlan plan_;
+  std::vector<RegionState> regions_;
+  util::Rng link_rng_{0};
+};
+
+}  // namespace greenhpc::fault

@@ -1,0 +1,67 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace greenhpc::fault {
+
+FaultPlan FaultPlan::scaled(double factor) const {
+  util::require(factor >= 0.0, "FaultPlan::scaled: factor must be >= 0");
+  FaultPlan out = *this;
+  out.node_fail_per_region_day *= factor;
+  out.blackout_per_region_day *= factor;
+  out.brownout_per_region_day *= factor;
+  out.link_stall_prob = std::min(1.0, out.link_stall_prob * factor);
+  out.link_fail_prob = std::min(1.0, out.link_fail_prob * factor);
+  out.dropout_per_region_day *= factor;
+  return out;
+}
+
+void FaultPlan::validate() const {
+  util::require(node_fail_per_region_day >= 0.0 && blackout_per_region_day >= 0.0 &&
+                    brownout_per_region_day >= 0.0 && dropout_per_region_day >= 0.0,
+                "FaultPlan: rates must be >= 0");
+  util::require(node_fail_fraction >= 0.0 && node_fail_fraction <= 1.0,
+                "FaultPlan: node_fail_fraction must be in [0, 1]");
+  util::require(link_stall_prob >= 0.0 && link_stall_prob <= 1.0 && link_fail_prob >= 0.0 &&
+                    link_fail_prob <= 1.0,
+                "FaultPlan: link fault probabilities must be in [0, 1]");
+  util::require(brownout_cap_fraction > 0.0 && brownout_cap_fraction <= 1.0,
+                "FaultPlan: brownout_cap_fraction must be in (0, 1]");
+  util::require(node_repair > util::seconds(0) && blackout_duration > util::seconds(0) &&
+                    brownout_duration > util::seconds(0) && dropout_duration > util::seconds(0) &&
+                    link_stall > util::seconds(0),
+                "FaultPlan: fault windows must be positive");
+}
+
+std::optional<FaultPlan> fault_plan_from_name(const std::string& name) {
+  if (name == "off") return FaultPlan{};
+  if (name == "default") {
+    // Moderate production-flavored rates: roughly one node incident per
+    // region per week, a grid event per region per month, a telemetry gap
+    // per region per week, and a few-percent chance per step that an
+    // in-flight checkpoint transfer degrades.
+    FaultPlan plan;
+    plan.enabled = true;
+    plan.node_fail_per_region_day = 0.15;
+    plan.node_fail_fraction = 0.10;
+    plan.node_repair = util::hours(8);
+    plan.blackout_per_region_day = 0.03;
+    plan.blackout_duration = util::hours(4);
+    plan.brownout_per_region_day = 0.10;
+    plan.brownout_duration = util::hours(6);
+    plan.brownout_cap_fraction = 0.6;
+    plan.link_stall_prob = 0.02;
+    plan.link_fail_prob = 0.01;
+    plan.link_stall = util::minutes(45);
+    plan.dropout_per_region_day = 0.08;
+    plan.dropout_duration = util::hours(12);
+    return plan;
+  }
+  return std::nullopt;
+}
+
+const char* fault_plan_names() { return "off, default"; }
+
+}  // namespace greenhpc::fault

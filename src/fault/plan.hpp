@@ -1,0 +1,65 @@
+#pragma once
+// Fault scenario description: which fault families fire, how often, and how
+// long their windows last. A FaultPlan is pure configuration — the seeded
+// draws happen in FaultInjector — so plans can be named, scaled by a single
+// intensity knob for sweeps, and compared across runs.
+//
+// Rates are expressed per region-day (per transfer-step for link faults) and
+// describe the *arrival* of a fault window; the matching duration field sets
+// how long the window stays open. One window per region per family can be
+// open at a time: real fleets batch concurrent node losses into one incident,
+// and the single-window model keeps the seeded draw sequence trivially
+// reproducible.
+
+#include <optional>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace greenhpc::fault {
+
+struct FaultPlan {
+  bool enabled = false;
+
+  // -- node failures: a region loses a slice of its nodes until repaired.
+  double node_fail_per_region_day = 0.0;
+  double node_fail_fraction = 0.10;  ///< fraction of the region's nodes lost per event
+  util::Duration node_repair = util::hours(8);
+
+  // -- blackouts: the region stops admitting work and is capped to idle power.
+  double blackout_per_region_day = 0.0;
+  util::Duration blackout_duration = util::hours(4);
+
+  // -- brownouts: the region stays up but is power-capped.
+  double brownout_per_region_day = 0.0;
+  util::Duration brownout_duration = util::hours(6);
+  double brownout_cap_fraction = 0.6;  ///< cap as a fraction of GPU TDP
+
+  // -- migration-link faults: drawn per in-flight transfer per step.
+  double link_stall_prob = 0.0;  ///< transfer arrival slips by link_stall
+  double link_fail_prob = 0.0;   ///< transfer fails; retried with backoff
+  util::Duration link_stall = util::minutes(45);
+
+  // -- telemetry dropouts: carbon/price observations go dark for a window.
+  double dropout_per_region_day = 0.0;
+  util::Duration dropout_duration = util::hours(12);
+
+  /// A copy with every rate/probability multiplied by `factor` (durations
+  /// unchanged): the x-axis of the resilience sweep. factor == 0 keeps the
+  /// injector attached but silent — useful for paired baselines.
+  [[nodiscard]] FaultPlan scaled(double factor) const;
+
+  /// Throws std::invalid_argument on out-of-range rates, probabilities, or
+  /// windows.
+  void validate() const;
+};
+
+/// Named plans for the CLI: "off" (disabled, the default) and "default"
+/// (moderate rates across all four families). Returns nullopt for unknown
+/// names.
+[[nodiscard]] std::optional<FaultPlan> fault_plan_from_name(const std::string& name);
+
+/// Comma-separated list of accepted plan names, for usage text.
+[[nodiscard]] const char* fault_plan_names();
+
+}  // namespace greenhpc::fault

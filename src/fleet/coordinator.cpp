@@ -74,6 +74,16 @@ FleetCoordinator::FleetCoordinator(FleetConfig config, std::vector<RegionProfile
     planner_ = std::make_unique<migrate::MigrationPlanner>(config_.migration);
   }
   migration_.policy = migrate::migration_objective_name(config_.migration.objective);
+  if (config_.faults.enabled) {
+    std::vector<int> node_counts;
+    node_counts.reserve(regions_.size());
+    for (const auto& dc : regions_) node_counts.push_back(dc->cluster_state().spec().node_count);
+    // The injector's streams key off the run seed (scrambled per region and
+    // fault kind), never off this coordinator's workload rng_ — fault
+    // timelines are identical across routing/migration policies at a seed.
+    faults_ = std::make_unique<fault::FaultInjector>(config_.faults, config_.seed,
+                                                     std::move(node_counts));
+  }
   modulator_ = std::make_unique<workload::DemandModulator>(config_.calendar, config_.demand);
   arrivals_ = std::make_unique<workload::ArrivalProcess>(config_.arrivals, modulator_.get());
 
@@ -121,11 +131,26 @@ void FleetCoordinator::set_recorder(obs::FlightRecorder* recorder) {
     reg.gauge("fleet.transfer_energy_kwh",
               [this] { return transfer_ledger().energy.kilowatt_hours(); });
     if (hub_) hub_->register_metrics(reg, "forecast.", regions_.size());
+    if (faults_) {
+      reg.gauge("fault.nodes_down",
+                [this] { return static_cast<double>(faults_->total_nodes_down()); });
+      reg.gauge("fault.regions_blacked_out",
+                [this] { return static_cast<double>(faults_->regions_blacked_out()); });
+      reg.gauge("fault.node_failures",
+                [this] { return static_cast<double>(fault_stats_.node_failures); });
+      reg.gauge("fault.jobs_requeued",
+                [this] { return static_cast<double>(fault_stats_.jobs_requeued); });
+      reg.gauge("fault.migration_retries",
+                [this] { return static_cast<double>(fault_stats_.migration_retries); });
+      reg.gauge("fault.migrations_abandoned",
+                [this] { return static_cast<double>(fault_stats_.migrations_abandoned); });
+    }
   }
   if (recorder_->tracing()) {
     recorder_->trace().process_name(0, "fleet coordinator");
     recorder_->trace().thread_name(0, 0, "routing");
     recorder_->trace().thread_name(0, 1, "migration");
+    if (faults_) recorder_->trace().thread_name(0, 2, "faults");
     // Region events land on per-region shards in BOTH serial and parallel
     // stepping (merged in region-index order after every step), so the trace
     // byte stream never depends on the stepping width.
@@ -150,6 +175,10 @@ RegionView FleetCoordinator::view_of(std::size_t i) const {
   view.price = dc.prices().price_at(lt);
   view.carbon = dc.carbon().intensity_at(lt);
   view.renewable_share = dc.fuel_mix().mix_at(lt).renewable_share();
+  if (faults_) {
+    view.admit_ok = faults_->admit_ok(i);
+    view.telemetry_ok = faults_->telemetry_ok(i);
+  }
   return view;
 }
 
@@ -281,9 +310,194 @@ void FleetCoordinator::deliver_migrations(util::TimePoint t, std::vector<RegionV
   }
 }
 
+void FleetCoordinator::apply_faults(util::TimePoint t) {
+  const fault::FaultInjector::Events ev = faults_->begin_step(t, config_.step);
+  // Fast exit for the common quiet step: nothing changed and no window that
+  // needs coordinator action is open. (An open dropout needs none — views
+  // query telemetry_ok straight from the injector.)
+  if (ev.empty() && faults_->total_nodes_down() == 0 && faults_->regions_blacked_out() == 0) {
+    bool any_brownout = false;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      if (faults_->brownout_active(i)) {
+        any_brownout = true;
+        break;
+      }
+    }
+    if (!any_brownout) return;
+  }
+
+  const bool trace = tracing();
+  const double ts = obs::FlightRecorder::sim_us(t);
+  const auto begin_span = [&](std::vector<std::uint64_t>& ids, std::size_t r, const char* name,
+                              obs::TraceWriter::Args args) {
+    if (!trace) return;
+    if (ids.size() < regions_.size()) ids.resize(regions_.size(), 0);
+    ids[r] = ++fault_seq_;
+    recorder_->trace().async_begin(name, "fault", 0, ids[r], ts, std::move(args));
+  };
+  const auto end_span = [&](std::vector<std::uint64_t>& ids, std::size_t r, const char* name) {
+    if (!trace || r >= ids.size() || ids[r] == 0) return;
+    recorder_->trace().async_end(name, "fault", 0, ids[r], ts);
+    ids[r] = 0;
+  };
+
+  for (const fault::FaultInjector::NodeFailure& f : ev.node_failures) {
+    const cluster::ClusterSpec& spec = regions_[f.region]->cluster_state().spec();
+    // Shrink the region to its surviving nodes; jobs holding GPUs on the
+    // lost tail are killed and requeued from their banked progress.
+    const std::size_t requeued = regions_[f.region]->resize_enabled_nodes(
+        spec.node_count - faults_->nodes_down(f.region));
+    ++fault_stats_.node_failures;
+    fault_stats_.jobs_requeued += requeued;
+    const double outage_hours = (f.repair - t).seconds() / 3600.0;
+    fault_stats_.repair_hours += outage_hours;
+    fault_stats_.capacity_gpu_hours_lost +=
+        static_cast<double>(f.nodes_lost) * spec.gpus_per_node * outage_hours;
+    begin_span(fault_span_node_, f.region, "fault.node_failure",
+               {obs::arg("region", static_cast<double>(f.region)),
+                obs::arg("nodes_lost", static_cast<double>(f.nodes_lost)),
+                obs::arg("jobs_requeued", static_cast<double>(requeued))});
+  }
+  for (const std::size_t r : ev.node_repairs) {
+    regions_[r]->resize_enabled_nodes(regions_[r]->cluster_state().spec().node_count);
+    end_span(fault_span_node_, r, "fault.node_failure");
+  }
+  for (const std::size_t r : ev.blackout_begins) {
+    ++fault_stats_.blackouts;
+    begin_span(fault_span_blackout_, r, "fault.blackout",
+               {obs::arg("region", static_cast<double>(r))});
+  }
+  for (const std::size_t r : ev.blackout_ends) end_span(fault_span_blackout_, r, "fault.blackout");
+  for (const std::size_t r : ev.brownout_begins) {
+    ++fault_stats_.brownouts;
+    begin_span(fault_span_brownout_, r, "fault.brownout",
+               {obs::arg("region", static_cast<double>(r)),
+                obs::arg("cap_fraction", faults_->plan().brownout_cap_fraction)});
+  }
+  for (const std::size_t r : ev.brownout_ends) end_span(fault_span_brownout_, r, "fault.brownout");
+  for (const std::size_t r : ev.dropout_begins) {
+    ++fault_stats_.dropouts;
+    begin_span(fault_span_dropout_, r, "fault.telemetry_dropout",
+               {obs::arg("region", static_cast<double>(r))});
+  }
+  for (const std::size_t r : ev.dropout_ends) {
+    end_span(fault_span_dropout_, r, "fault.telemetry_dropout");
+  }
+
+  // Recompute every region's fault power ceiling from current windows. A
+  // blackout pins the per-GPU cap to the floor (the router drains admission
+  // away, but running jobs crawl rather than vanish); a brownout caps at the
+  // plan's fraction of TDP. Blackout dominates when the windows overlap.
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    std::optional<util::Power> cap;
+    const power::GpuSpec& gpu = regions_[i]->cluster_state().spec().gpu;
+    if (!faults_->admit_ok(i)) {
+      cap = gpu.min_cap;
+    } else if (faults_->brownout_active(i)) {
+      cap = gpu.tdp * faults_->plan().brownout_cap_fraction;
+    }
+    regions_[i]->set_fault_power_cap(cap);
+  }
+}
+
+void FleetCoordinator::apply_link_faults(util::TimePoint t) {
+  relaunch_due_retries(t);
+  // One fail draw per transfer per step, then a stall draw only for
+  // survivors — deque order, single serial stream, so the sequence is a pure
+  // function of (seed, plan, pipe history).
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (faults_->draw_link_fail()) {
+      InFlightMigration m = std::move(*it);
+      it = in_flight_.erase(it);
+      const int attempts = m.attempts + 1;
+      ++fault_stats_.link_failures;
+      ++migration_.link_failures;
+      if (tracing()) {
+        recorder_->trace().instant("fault.link_failure", "fault", 0, 2,
+                                   obs::FlightRecorder::sim_us(t),
+                                   {obs::arg("source", static_cast<double>(m.source)),
+                                    obs::arg("dest", static_cast<double>(m.dest)),
+                                    obs::arg("attempt", static_cast<double>(attempts))});
+      }
+      if (planner_->should_retry(attempts)) {
+        m.attempts = attempts;
+        const util::TimePoint next = t + planner_->retry_delay(attempts);
+        retry_queue_.push_back({std::move(m), next});
+      } else {
+        abandon_migration(std::move(m), t);
+      }
+    } else if (faults_->draw_link_stall()) {
+      // The transfer survives but slips: push its arrival out by the stall
+      // window (from now if it was already due this step).
+      it->arrival = std::max(it->arrival, t) + faults_->plan().link_stall;
+      ++fault_stats_.link_stalls;
+      ++migration_.link_stalls;
+      if (tracing()) {
+        recorder_->trace().instant("fault.link_stall", "fault", 0, 2,
+                                   obs::FlightRecorder::sim_us(t),
+                                   {obs::arg("source", static_cast<double>(it->source)),
+                                    obs::arg("dest", static_cast<double>(it->dest))});
+      }
+      ++it;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FleetCoordinator::relaunch_due_retries(util::TimePoint t) {
+  for (auto it = retry_queue_.begin(); it != retry_queue_.end();) {
+    if (t < it->next_attempt) {
+      ++it;
+      continue;
+    }
+    InFlightMigration m = std::move(it->migration);
+    it = retry_queue_.erase(it);
+    // The snapshot is already banked at the source; the relaunch re-ships and
+    // re-restores it (no second snapshot write, no extra snapshot energy —
+    // delivery energy is charged on arrival as for any transfer).
+    const int gpus = m.snapshot.request.gpus;
+    m.arrival = t + planner_->checkpoint().ship_time(gpus) +
+                planner_->checkpoint().restore_time(gpus);
+    ++fault_stats_.migration_retries;
+    ++migration_.retries;
+    if (tracing()) {
+      recorder_->trace().instant("migration.retry", "fault", 0, 2,
+                                 obs::FlightRecorder::sim_us(t),
+                                 {obs::arg("source", static_cast<double>(m.source)),
+                                  obs::arg("dest", static_cast<double>(m.dest)),
+                                  obs::arg("attempt", static_cast<double>(m.attempts))});
+    }
+    in_flight_.push_back(std::move(m));
+  }
+}
+
+void FleetCoordinator::abandon_migration(InFlightMigration m, util::TimePoint t) {
+  // Retry budget exhausted: the transfer never lands. The lineage resumes at
+  // its source from the banked snapshot — progress is conserved, only the
+  // predicted saving (and the burned overhead) is lost. The move still
+  // counts against the job's migration budget, so a flaky link cannot
+  // induce endless re-planning of the same lineage.
+  const cluster::JobId id = regions_[m.source]->resume(m.snapshot);
+  if (attrib_ != nullptr) attrib_->link(obs::attribution_key(m.source, id), m.lineage_key);
+  lineage_[m.source][id] = {m.migrations, t};
+  ++migration_.abandoned;
+  ++fault_stats_.migrations_abandoned;
+  if (tracing() && m.trace_id != 0) {
+    recorder_->trace().async_end("migration", "migration", 0, m.trace_id,
+                                 obs::FlightRecorder::sim_us(t),
+                                 {obs::arg("abandoned", 1.0),
+                                  obs::arg("resumed_job", static_cast<double>(id))});
+  }
+}
+
 void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView>& views) {
-  if (in_flight_.size() >= config_.migration.max_in_flight) return;
-  const std::size_t slots = config_.migration.max_in_flight - in_flight_.size();
+  // Transfers waiting out a retry backoff still occupy their pipe slot (and
+  // their destination reservation): the pipe has max_in_flight slots total,
+  // failed-but-not-abandoned transfers included.
+  const std::size_t pipe = in_flight_.size() + retry_queue_.size();
+  if (pipe >= config_.migration.max_in_flight) return;
+  const std::size_t slots = config_.migration.max_in_flight - pipe;
 
   // Candidates: every running job, in (region, allocation) order — a fixed,
   // replica-independent scan order, so planning is deterministic. The same
@@ -324,6 +538,9 @@ void FleetCoordinator::plan_migrations(util::TimePoint t, std::vector<RegionView
   inbound_gpus.assign(regions_.size(), 0);
   for (const InFlightMigration& m : in_flight_) {
     inbound_gpus[m.dest] += m.snapshot.request.gpus;
+  }
+  for (const PendingRetry& p : retry_queue_) {
+    inbound_gpus[p.migration.dest] += p.migration.snapshot.request.gpus;
   }
 
   const std::vector<migrate::MigrationDecision> decisions =
@@ -392,6 +609,10 @@ void FleetCoordinator::run_until(util::TimePoint end) {
     const util::TimePoint next = std::min(t + config_.step, end);
     {
       obs::PhaseScope phase(recorder_, obs::Phase::kObserveRefit);
+      // Fault windows advance first, so this step's views, observations, and
+      // decisions all see the post-fault world (serial phase: all RNG draws
+      // happen here, never inside the parallel region step).
+      if (faults_) apply_faults(t);
       refresh_views();  // one snapshot per step, into the reused buffer
       // Every step's grid signals reach the router and the migration
       // planner, not just steps with arrivals — forecast-driven policies
@@ -401,6 +622,10 @@ void FleetCoordinator::run_until(util::TimePoint end) {
     }
     if (planner_) {
       obs::PhaseScope phase(recorder_, obs::Phase::kMigration);
+      // Link faults strike before delivery: a transfer that fails this step
+      // cannot land this step, and due retries rejoin the pipe first so
+      // their relaunch order is deque order (deterministic).
+      if (faults_) apply_link_faults(t);
       deliver_migrations(t, views_);
     }
     {
@@ -462,16 +687,22 @@ void FleetCoordinator::check_invariants() const {
   }
 
   // Work conservation: every job in any region's registry either came
-  // through the router or was delivered off the migration pipe.
+  // through the router, was delivered off the migration pipe, was resumed at
+  // its source after its transfer's retry budget ran out, or was
+  // kill-and-requeued by a node failure.
   std::size_t submitted = 0;
   for (const auto& dc : regions_) submitted += dc->jobs().size();
   std::size_t routed = 0;
   for (const std::size_t n : jobs_routed_) routed += n;
-  util::check_invariant(submitted == routed + migration_.delivered,
-                        "fleet.migration_accounting",
-                        std::to_string(submitted) + " submitted vs " + std::to_string(routed) +
-                            " routed + " + std::to_string(migration_.delivered) +
-                            " delivered");
+  std::size_t requeued = 0;
+  for (const auto& dc : regions_) requeued += dc->jobs_requeued();
+  util::check_invariant(
+      submitted == routed + migration_.delivered + migration_.abandoned + requeued,
+      "fleet.migration_accounting",
+      std::to_string(submitted) + " submitted vs " + std::to_string(routed) + " routed + " +
+          std::to_string(migration_.delivered) + " delivered + " +
+          std::to_string(migration_.abandoned) + " abandoned + " +
+          std::to_string(requeued) + " fault-requeued");
 
   // The aggregated fleet footprint must equal the direct per-region sum of
   // grid totals + transfer ledgers (telemetry aggregation cannot drift).
@@ -576,8 +807,12 @@ void FleetCoordinator::drain_migrations(DrainMode mode) {
   std::size_t steps = 0;
   for (;;) {
     refresh_views();
+    // No new faults are drawn during the drain (the arrival window is
+    // closed), but transfers already waiting out a retry backoff still
+    // relaunch on schedule so every lineage lands or finishes.
+    if (faults_) relaunch_due_retries(clock_);
     deliver_migrations(clock_, views_);
-    if (in_flight_.empty() &&
+    if (in_flight_.empty() && retry_queue_.empty() &&
         (mode == DrainMode::kDeliverOnly || !lineages_pending())) {
       break;
     }
@@ -611,7 +846,7 @@ telemetry::FleetRunSummary FleetCoordinator::summary() const {
     regions.push_back(std::move(r));
   }
   telemetry::MigrationStats migration = migration_;
-  migration.in_flight = in_flight_.size();
+  migration.in_flight = in_flight_.size() + retry_queue_.size();
   return telemetry::aggregate_fleet(std::move(regions), std::move(migration));
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/datacenter.hpp"
+#include "fault/injector.hpp"
 #include "fleet/region.hpp"
 #include "fleet/routing.hpp"
 #include "forecast/hub.hpp"
@@ -66,6 +67,11 @@ struct FleetConfig {
   util::Energy transfer_energy_per_job = util::kilowatt_hours(0.0);
   /// Mid-run checkpoint-and-migrate policy (objective kOff disables it).
   migrate::MigrationConfig migration;
+  /// Seeded fault injection (node failures, blackouts/brownouts, migration-
+  /// link faults, telemetry dropouts). Disabled (the default) constructs no
+  /// injector at all: the zero-fault path draws nothing and stays
+  /// bit-identical to a build without the fault layer.
+  fault::FaultPlan faults;
   /// Share one per-region forecaster hub between the forecast router and
   /// the migration planner (one observe/refit/skill pass per region-signal
   /// per step; decisions are bit-identical either way). Off is a test seam
@@ -160,6 +166,14 @@ class FleetCoordinator {
   [[nodiscard]] const telemetry::MigrationStats& migration_stats() const { return migration_; }
   /// Checkpoints currently occupying the transfer pipe.
   [[nodiscard]] std::size_t migrations_in_flight() const { return in_flight_.size(); }
+  /// Failed transfers waiting out their retry backoff (they hold pipe slots
+  /// and destination capacity reservations until delivered or abandoned).
+  [[nodiscard]] std::size_t migrations_awaiting_retry() const { return retry_queue_.size(); }
+
+  /// The fault injector, when fault injection is enabled (nullptr otherwise).
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const { return faults_.get(); }
+  /// Fault + recovery ledger so far (all zero on fault-free runs).
+  [[nodiscard]] const fault::FaultStats& fault_stats() const { return fault_stats_; }
 
   /// The routing snapshot of one region at the current clock (exposed for
   /// tests and analysis tools).
@@ -176,8 +190,10 @@ class FleetCoordinator {
   /// run_until(); also callable directly. Throws util::InvariantViolation:
   ///   fleet.transfer_mirror       incremental transfer grand total ==
   ///                               recomputed sum of per-region ledgers
-  ///   fleet.migration_accounting  submitted == routed + delivered across
-  ///                               the fleet (work conservation)
+  ///   fleet.migration_accounting  submitted == routed + delivered +
+  ///                               abandoned-resumed-at-source + fault-
+  ///                               requeued across the fleet (work
+  ///                               conservation, fault paths included)
   ///   fleet.footprint_identity    aggregated fleet footprint == sum over
   ///                               regions of grid totals + transfer ledger
   /// plus the shared hub's forecaster_bank.prefix_integral spot checks (the
@@ -205,6 +221,13 @@ class FleetCoordinator {
     /// Attribution lineage root the delivery overhead bills to, resolved at
     /// launch (0 and unused when attribution is off).
     std::uint64_t lineage_key = 0;
+    /// Link-fault relaunch count for this transfer (0 for a fresh launch).
+    int attempts = 0;
+  };
+  /// A failed transfer waiting out its deterministic retry backoff.
+  struct PendingRetry {
+    InFlightMigration migration;
+    util::TimePoint next_attempt;
   };
   /// Per-lineage thrash bookkeeping (only jobs that have moved are tracked).
   struct Lineage {
@@ -221,6 +244,19 @@ class FleetCoordinator {
   /// Restores checkpoints whose transfer completed by `t` at their
   /// destination (keeps `views` honest about the new queue pressure).
   void deliver_migrations(util::TimePoint t, std::vector<RegionView>& views);
+  /// Fault phase (serial, before the views refresh): advances the injector's
+  /// windows, applies node kill-and-requeue / repair, and recomputes each
+  /// region's blackout/brownout power ceiling.
+  void apply_faults(util::TimePoint t);
+  /// Link-fault phase (serial, before delivery): relaunches retries that are
+  /// due, then draws stall/fail for every transfer on the pipe. A transfer
+  /// out of retry budget is abandoned in place — its lineage resumes at the
+  /// source from the banked snapshot.
+  void apply_link_faults(util::TimePoint t);
+  /// Moves retry-queue entries whose backoff expired back onto the pipe
+  /// (also called during the drain, where no new faults are drawn).
+  void relaunch_due_retries(util::TimePoint t);
+  void abandon_migration(InFlightMigration m, util::TimePoint t);
   /// Runs the planner over all running jobs and launches the winning
   /// checkpoints into the transfer pipe.
   void plan_migrations(util::TimePoint t, std::vector<RegionView>& views);
@@ -249,6 +285,9 @@ class FleetCoordinator {
   std::vector<std::size_t> jobs_routed_;
   std::vector<grid::EnergyLedger> transfer_by_region_;
   std::deque<InFlightMigration> in_flight_;
+  std::deque<PendingRetry> retry_queue_;
+  std::unique_ptr<fault::FaultInjector> faults_;  ///< null when faults off
+  fault::FaultStats fault_stats_;
   // Per-step scratch, reused across the hottest loop in the codebase.
   std::vector<RegionView> views_;
   std::vector<migrate::MigrationCandidate> candidates_;
@@ -278,6 +317,13 @@ class FleetCoordinator {
   obs::Counter* ctr_migrations_started_ = nullptr;
   obs::Counter* ctr_migrations_delivered_ = nullptr;
   std::uint64_t migration_seq_ = 0;      ///< allocates migration trace ids
+  std::uint64_t fault_seq_ = 0;          ///< allocates fault-window trace ids
+  /// Open fault-window async-span ids per region (0 = no open span); sized
+  /// lazily on first use, only when both tracing and faults are on.
+  std::vector<std::uint64_t> fault_span_node_;
+  std::vector<std::uint64_t> fault_span_blackout_;
+  std::vector<std::uint64_t> fault_span_brownout_;
+  std::vector<std::uint64_t> fault_span_dropout_;
   obs::RouteExplain route_explain_;      ///< reused per-arrival scratch
 };
 

@@ -31,6 +31,11 @@ double ForecastRouter::signal_of(const RegionView& region) const {
 
 void ForecastRouter::observe(util::TimePoint now, std::span<const RegionView> regions) {
   for (const RegionView& r : regions) {
+    // A telemetry dropout means the feed value is stale/meaningless: keep it
+    // out of the fit entirely. The observation gap ages the forecaster's
+    // outstanding predictions, so the realized-skill gate degrades that
+    // region to instantaneous routing instead of trusting a poisoned fit.
+    if (!r.telemetry_ok) continue;
     // RollingForecaster ignores repeated timestamps, so observing here and
     // again at route() time within the same step never double-counts — the
     // same dedup makes a hub-shared bank safe to feed from two consumers.
@@ -58,7 +63,7 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
   double best_now_score = std::numeric_limits<double>::infinity();
   double best_score_of_best_now = 0.0;  // integrated score of the instantaneous pick
   for (const RegionView& r : ctx.regions) {
-    if (!r.fits(request.gpus)) {
+    if (!r.admit_ok || !r.fits(request.gpus)) {
       if (ctx.explain != nullptr) {
         ctx.explain->scores.push_back({r.index, 0.0, 0.0, false});
       }
@@ -96,7 +101,7 @@ std::size_t ForecastRouter::route(const cluster::JobRequest& request, const Rout
     double pick_signal = integrated_signal(lightest, runtime,
                                            signal_of(ctx.regions[lightest]));
     for (const RegionView& r : ctx.regions) {
-      if (r.index == lightest || r.pressure() > pressure_cap) continue;
+      if (r.index == lightest || !r.admit_ok || r.pressure() > pressure_cap) continue;
       const double s = integrated_signal(r.index, runtime, signal_of(r));
       if (s < pick_signal) {
         pick_signal = s;

@@ -22,7 +22,7 @@ std::size_t greedy_route(const cluster::JobRequest& request, const RoutingContex
   std::size_t best = ctx.regions.size();
   double best_score = std::numeric_limits<double>::infinity();
   for (const RegionView& r : ctx.regions) {
-    if (!r.fits(request.gpus)) {
+    if (!r.admit_ok || !r.fits(request.gpus)) {
       if (ctx.explain != nullptr) ctx.explain->scores.push_back({r.index, 0.0, 0.0, false});
       continue;
     }
@@ -53,10 +53,19 @@ std::size_t greedy_route(const cluster::JobRequest& request, const RoutingContex
 }  // namespace
 
 std::size_t least_pressure_region(std::span<const RegionView> regions) {
+  // Healthy regions outrank unhealthy ones outright; pressure only breaks
+  // ties within the same health class. When every region is blacked out the
+  // comparison degenerates to the plain pressure order — a router must still
+  // return a valid index, and queueing at the least-loaded site is the best
+  // of the bad options.
   std::size_t best = 0;
   for (std::size_t i = 1; i < regions.size(); ++i) {
     const RegionView& r = regions[i];
     const RegionView& b = regions[best];
+    if (r.admit_ok != b.admit_ok) {
+      if (r.admit_ok) best = i;
+      continue;
+    }
     if (r.pressure() < b.pressure() ||
         (r.pressure() == b.pressure() && r.free_gpus > b.free_gpus)) {
       best = i;
@@ -72,7 +81,16 @@ util::Energy estimated_job_energy(const cluster::JobRequest& request, const Regi
 std::size_t RoundRobinRouter::route(const cluster::JobRequest& /*request*/,
                                     const RoutingContext& ctx) {
   require(!ctx.regions.empty(), "RoundRobinRouter: empty fleet");
-  const std::size_t pick = next_ % ctx.regions.size();
+  std::size_t pick = next_ % ctx.regions.size();
+  // Skip blacked-out regions; if every region is dark, keep the raw pick so
+  // the rotation (and the zero-fault path) is untouched.
+  for (std::size_t tried = 0; tried < ctx.regions.size(); ++tried) {
+    const std::size_t i = (pick + tried) % ctx.regions.size();
+    if (ctx.regions[i].admit_ok) {
+      pick = i;
+      break;
+    }
+  }
   next_ = (pick + 1) % ctx.regions.size();
   if (ctx.explain != nullptr) {
     ctx.explain->picked = pick;

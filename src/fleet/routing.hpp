@@ -42,6 +42,13 @@ struct RegionView {
   util::EnergyPrice price;       ///< instantaneous LMP (local time)
   util::CarbonIntensity carbon;  ///< instantaneous grid intensity (local time)
   double renewable_share = 0.0;
+  /// Region health gates, set by the fault layer. Always true on fault-free
+  /// runs, so policies may branch on them without changing zero-fault
+  /// behavior. admit_ok == false means a blackout window is open and
+  /// admission must drain elsewhere; telemetry_ok == false means the
+  /// carbon/price feed is dark and observations must not enter forecasters.
+  bool admit_ok = true;
+  bool telemetry_ok = true;
 
   /// Can the job start this step without queueing?
   [[nodiscard]] bool fits(int gpus) const { return free_gpus >= gpus; }
@@ -97,7 +104,8 @@ class RoutingPolicy {
                                           const RoutingContext& ctx) = 0;
 };
 
-/// Cycles through regions in order, skipping none — the fairness baseline.
+/// Cycles through regions in order — the fairness baseline. Skips only
+/// regions whose admission is gated off by a fault window.
 class RoundRobinRouter final : public RoutingPolicy {
  public:
   [[nodiscard]] const char* name() const override { return "round_robin"; }

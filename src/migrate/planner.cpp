@@ -41,6 +41,15 @@ MigrationPlanner::MigrationPlanner(MigrationConfig config)
   require(config_.max_in_flight >= 1, "MigrationPlanner: transfer pipe needs >= 1 slot");
   require(config_.deadline_margin > 0.0 && config_.deadline_margin <= 1.0,
           "MigrationPlanner: deadline margin must be in (0,1]");
+  require(config_.retry_backoff.seconds() >= 0.0,
+          "MigrationPlanner: retry_backoff must be >= 0");
+  require(config_.max_retry_attempts >= 0,
+          "MigrationPlanner: max_retry_attempts must be >= 0");
+}
+
+util::Duration MigrationPlanner::retry_delay(int attempt) const {
+  require(attempt >= 1, "MigrationPlanner::retry_delay: attempt must be >= 1");
+  return config_.retry_backoff * std::ldexp(1.0, std::min(attempt - 1, 30));
 }
 
 double MigrationPlanner::signal_of(const fleet::RegionView& region) const {
@@ -54,7 +63,12 @@ double MigrationPlanner::per_signal(util::Energy energy) const {
 }
 
 void MigrationPlanner::observe(util::TimePoint now, std::span<const fleet::RegionView> regions) {
-  for (const fleet::RegionView& r : regions) bank_->observe(now, r.index, signal_of(r), r.name);
+  for (const fleet::RegionView& r : regions) {
+    // Dropped telemetry stays out of the fit; the gap trips the realized-
+    // skill gate, degrading that region to instantaneous scoring.
+    if (!r.telemetry_ok) continue;
+    bank_->observe(now, r.index, signal_of(r), r.name);
+  }
 }
 
 void MigrationPlanner::attach_forecasts(forecast::ForecasterHub& hub) {
@@ -122,7 +136,9 @@ std::vector<MigrationDecision> MigrationPlanner::plan(
       // already in flight there: free GPUs a queued job or an inbound
       // snapshot has dibs on are not capacity — landing behind them would
       // trade grid intensity for queueing delay and lost throughput.
-      if (d.index == c.region ||
+      // A blacked-out region never receives checkpoints (it is draining
+      // admission); migrating *out* of one stays allowed.
+      if (d.index == c.region || !d.admit_ok ||
           d.free_gpus - d.queued_gpu_demand - inbound(d.index) < c.gpus) {
         continue;
       }

@@ -63,6 +63,12 @@ struct MigrationConfig {
   /// Deadline safety factor: the outage + remaining runtime must fit inside
   /// (deadline - now) * this fraction.
   double deadline_margin = 0.9;
+  /// Link-fault recovery: a failed transfer waits retry_backoff * 2^attempt
+  /// (jitter-free, so retry timelines are deterministic) before relaunching,
+  /// for at most max_retry_attempts relaunches; after that the lineage is
+  /// abandoned in place and resumed at the source.
+  util::Duration retry_backoff = util::minutes(30);
+  int max_retry_attempts = 3;
 };
 
 /// One running job offered to the planner (assembled by the coordinator).
@@ -97,6 +103,17 @@ class MigrationPlanner {
   [[nodiscard]] const CheckpointModel& checkpoint() const { return checkpoint_; }
   [[nodiscard]] bool enabled() const {
     return config_.objective != MigrationObjective::kOff;
+  }
+
+  /// Backoff before relaunching a transfer that has failed `attempt` times
+  /// (attempt >= 1): retry_backoff * 2^(attempt-1). Jitter-free on purpose —
+  /// retry timelines must replay bit-identically from the run seed.
+  [[nodiscard]] util::Duration retry_delay(int attempt) const;
+
+  /// True while a transfer that has failed `attempt` times still has retry
+  /// budget; false means abandon-in-place (resume the lineage at its source).
+  [[nodiscard]] bool should_retry(int attempt) const {
+    return attempt <= config_.max_retry_attempts;
   }
 
   /// Feed every control step's region signals (same cadence contract as

@@ -15,6 +15,12 @@ util::Table migration_table(const MigrationStats& stats) {
   table.add(stats.policy == "cost" ? "predicted saving ($, est)"
                                    : "predicted saving (kg CO2, est)",
             util::fmt_fixed(stats.predicted_saving, 1));
+  if (stats.link_stalls + stats.link_failures + stats.retries + stats.abandoned > 0) {
+    table.add("link stalls", stats.link_stalls);
+    table.add("link failures", stats.link_failures);
+    table.add("transfer retries", stats.retries);
+    table.add("lineages abandoned", stats.abandoned);
+  }
   return table;
 }
 

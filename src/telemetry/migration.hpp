@@ -29,6 +29,13 @@ struct MigrationStats {
   /// Planner-predicted saving vs. stay-put over the moved jobs' remaining
   /// runtimes, in the objective's unit (kg CO2 for carbon, $ for cost).
   double predicted_saving = 0.0;
+  /// Link-fault recovery (all zero on fault-free runs): transfers that
+  /// stalled or failed in flight, relaunches, and lineages whose retry
+  /// budget ran out (abandoned in place, resumed at their source).
+  std::size_t link_stalls = 0;
+  std::size_t link_failures = 0;
+  std::size_t retries = 0;
+  std::size_t abandoned = 0;
 };
 
 /// Two-column ledger table for CLI/example surfaces.

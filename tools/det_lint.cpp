@@ -584,6 +584,19 @@ const std::vector<Fixture>& fixtures() {
        "  int b = s.rand();\n"
        "}\n",
        {{2, "rng"}, {3, "rng"}}},
+      {"rng fires on ambient randomness in fault-draw code",
+       "fixture/fault/k.cpp",
+       "bool draw_blackout(double rate_per_day, double dt_days) {\n"
+       "  return drand48() < rate_per_day * dt_days;\n"
+       "}\n",
+       {{2, "rng"}}},
+      {"rng respects an allow comment on a sanctioned fault draw",
+       "fixture/fault/l.cpp",
+       "bool draw_blackout() {\n"
+       "  // Seeded harness shim, not sim randomness.  det_lint: allow(rng)\n"
+       "  return drand48() < 0.5;\n"
+       "}\n",
+       {}},
       {"pointer-key fires on pointer keys, not pointer values",
        "fixture/core/h.hpp",
        "struct S {\n"

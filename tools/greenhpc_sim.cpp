@@ -75,6 +75,12 @@ struct CliOptions {
   std::string migration_policy = "off";
   bool migration_set = false;
   double checkpoint_cost = 1.0;
+  int max_in_flight = 4;
+  bool max_in_flight_set = false;
+  // Fault injection (fleet mode only).
+  std::string faults = "off";
+  double fault_intensity = 1.0;
+  bool faults_set = false;
   // End-of-window drain policy (fleet mode only).
   fleet::DrainMode drain_mode = fleet::DrainMode::kDeliverOnly;
   bool drain_set = false;
@@ -129,6 +135,16 @@ void print_usage() {
       "                     region whose forecast minimizes the objective\n"
       "  --checkpoint-cost X\n"
       "                     scale on checkpoint size/time/energy (default 1)\n"
+      "  --max-in-flight N  transfer-pipe width: checkpoints in flight at once,\n"
+      "                     retry-queue entries included (default 4)\n"
+      "  --faults NAME      seeded fault injection: " << fault::fault_plan_names() << "\n"
+      "                     (default off; fleet mode only). Injects node\n"
+      "                     failures, region blackouts/brownouts, migration-\n"
+      "                     link faults, and telemetry dropouts; the fleet\n"
+      "                     degrades gracefully and reports recovery stats\n"
+      "  --fault-intensity X\n"
+      "                     multiplier on every rate in the fault plan\n"
+      "                     (default 1)\n"
       "  --drain MODE       end-of-window drain: deliver (empty the transfer\n"
       "                     pipe, default) | finish (keep stepping until every\n"
       "                     migrated lineage completes; fleet mode only)\n"
@@ -261,6 +277,25 @@ std::optional<CliOptions> parse(int argc, char** argv) {
         opts.run_flags_set = true;
         opts.checkpoint_cost = std::stod(*value);
         if (opts.checkpoint_cost <= 0.0) throw std::invalid_argument("checkpoint-cost");
+      } else if (arg == "--max-in-flight") {
+        opts.run_flags_set = true;
+        opts.max_in_flight = std::stoi(*value);
+        if (opts.max_in_flight < 1) throw std::invalid_argument("max-in-flight");
+        opts.max_in_flight_set = true;
+      } else if (arg == "--faults") {
+        opts.run_flags_set = true;
+        if (!fault::fault_plan_from_name(*value)) {
+          std::cerr << "error: unknown fault plan '" << *value << "' ("
+                    << fault::fault_plan_names() << ")\n";
+          return std::nullopt;
+        }
+        opts.faults = *value;
+        opts.faults_set = true;
+      } else if (arg == "--fault-intensity") {
+        opts.run_flags_set = true;
+        opts.fault_intensity = std::stod(*value);
+        if (opts.fault_intensity < 0.0) throw std::invalid_argument("fault-intensity");
+        opts.faults_set = true;
       } else if (arg == "--drain") {
         opts.run_flags_set = true;
         if (*value == "deliver") {
@@ -375,6 +410,10 @@ obs::RunManifest manifest_for(const CliOptions& opts) {
     scenario << "fleet/r" << opts.fleet_regions << "/" << opts.router << "/"
              << core::policy_name(opts.policy);
     if (opts.migration_policy != "off") scenario << "/mig-" << opts.migration_policy;
+    if (opts.faults != "off") {
+      scenario << "/faults-" << opts.faults;
+      if (opts.fault_intensity != 1.0) scenario << "x" << opts.fault_intensity;
+    }
   } else {
     scenario << "single/" << core::policy_name(opts.policy);
   }
@@ -464,6 +503,9 @@ experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
     spec.transfer_kwh_per_job = opts.transfer_kwh;
     spec.migration_policy = opts.migration_policy;
     spec.checkpoint_cost = opts.checkpoint_cost;
+    spec.max_in_flight = opts.max_in_flight;
+    spec.faults = opts.faults;
+    spec.fault_intensity = opts.fault_intensity;
     if (opts.cap_w || opts.battery_kwh) {
       std::cerr << "note: --cap/--battery are single-site options; ignored in fleet mode\n";
     }
@@ -471,9 +513,10 @@ experiment::ScenarioSpec spec_from_options(const CliOptions& opts) {
     spec.power_cap_w = opts.cap_w;
     spec.battery_kwh = opts.battery_kwh;
     if (opts.router_set || opts.transfer_kwh > 0.0 || opts.migration_set ||
-        opts.checkpoint_cost != 1.0 || opts.drain_set) {
-      std::cerr << "note: --router/--transfer/--migrate/--checkpoint-cost/--drain only apply "
-                   "with --fleet N; ignored\n";
+        opts.checkpoint_cost != 1.0 || opts.drain_set || opts.max_in_flight_set ||
+        opts.faults_set) {
+      std::cerr << "note: --router/--transfer/--migrate/--checkpoint-cost/--max-in-flight/"
+                   "--faults/--drain only apply with --fleet N; ignored\n";
     }
   }
   return spec;
@@ -509,8 +552,8 @@ int run_experiment(const CliOptions& opts) {
     // --replicas, --jobs, and --csv apply.
     std::cerr << "note: --sweep/--scenario fix the scenario; the --scheduler/--start/"
                  "--months/--cap/--battery/--rate/--fleet/--router/--transfer/"
-                 "--migrate/--migration-policy/--checkpoint-cost/"
-                 "--forecast-* flags are ignored\n";
+                 "--migrate/--migration-policy/--checkpoint-cost/--max-in-flight/"
+                 "--faults/--forecast-* flags are ignored\n";
   }
 
   if (!opts.sweep.empty()) {
@@ -595,8 +638,10 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   config.transfer_energy_per_job = util::kilowatt_hours(opts.transfer_kwh);
   config.migration.objective = *migrate::migration_objective_from_name(opts.migration_policy);
   config.migration.checkpoint.cost_scale = opts.checkpoint_cost;
+  config.migration.max_in_flight = static_cast<std::size_t>(opts.max_in_flight);
   config.migration.forecaster.model = opts.forecast_model;
   config.migration.forecaster.horizon = util::hours(opts.forecast_horizon_hours);
+  config.faults = fault::fault_plan_from_name(opts.faults)->scaled(opts.fault_intensity);
 
   const core::ForecastControls forecast{opts.forecast_model,
                                         util::hours(opts.forecast_horizon_hours)};
@@ -611,6 +656,10 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   if (opts.transfer_kwh > 0.0) std::cout << ", transfer " << opts.transfer_kwh << " kWh/job";
   if (opts.migration_policy != "off") {
     std::cout << ", migration " << opts.migration_policy;
+  }
+  if (opts.faults != "off") {
+    std::cout << ", faults " << opts.faults;
+    if (opts.fault_intensity != 1.0) std::cout << " x" << opts.fault_intensity;
   }
   std::cout << "\n";
 
@@ -642,6 +691,22 @@ int run_fleet(const CliOptions& opts, util::MonthSpan first, util::MonthSpan las
   std::cout << "\nfleet aggregate:\n" << telemetry::fleet_total_table(summary);
   if (coordinator.planner() != nullptr) {
     std::cout << "\nmigration ledger:\n" << telemetry::migration_table(summary.migration);
+  }
+  if (coordinator.fault_injector() != nullptr) {
+    const fault::FaultStats& fs = coordinator.fault_stats();
+    util::Table faults({"metric", "value"});
+    faults.add("node failures", fs.node_failures);
+    faults.add("region blackouts", fs.blackouts);
+    faults.add("region brownouts", fs.brownouts);
+    faults.add("telemetry dropouts", fs.dropouts);
+    faults.add("jobs requeued (node loss)", fs.jobs_requeued);
+    faults.add("migration link stalls", fs.link_stalls);
+    faults.add("migration link failures", fs.link_failures);
+    faults.add("migration retries", fs.migration_retries);
+    faults.add("migrations abandoned", fs.migrations_abandoned);
+    faults.add("capacity lost (GPU-h)", util::fmt_fixed(fs.capacity_gpu_hours_lost, 0));
+    faults.add("node MTTR (h)", util::fmt_fixed(fs.mttr_hours(), 2));
+    std::cout << "\nfault & recovery ledger:\n" << faults;
   }
 
   // Where did the energy come from? Per-region grid character over the window.
